@@ -1,0 +1,93 @@
+// Reproduces Figure 12: the extra asymmetric cyclic load supportable when
+// two static priority levels are used instead of one.
+//
+// Interpretation (DESIGN.md decision 5): the gain from multiple levels
+// comes from the paper's own motivation — "connections requesting large
+// delay bounds can be assigned low priority levels" — combined with
+// Section 5's note that the CAC check is what sizes the ring-node
+// buffers.  Concretely, the heavy terminal's large shared-memory block is
+// low-speed cyclic traffic (deadline 150 ms), while the other terminals
+// carry high-speed cyclic traffic (deadline 1 ms):
+//
+//   * 1 priority: everyone shares one 32-cell FIFO, so the heavy
+//     terminal's worst-case clumps are capped by the high-speed queue and
+//     every connection is effectively held to the 1 ms bound;
+//   * 2 priorities: high-speed traffic keeps its 32-cell level-0 queue
+//     and 370-cell-time budget, while the heavy connection moves to a
+//     level-1 queue sized by the CAC check (2048 cells) against its own
+//     55000-cell-time budget.
+//
+// A 2-priority column with *equal* 32-cell queues is included to document
+// that the gain genuinely comes from the deadline/buffer split: with
+// identical caps the low level is starved by worst-case level-0 clumps
+// and two levels cannot beat one.
+//
+// Expected shape (paper): the 2-priority curve dominates, with the gap
+// widening as p grows.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "rtnet/cyclic.h"
+#include "rtnet/scenario.h"
+
+namespace {
+
+constexpr std::size_t kRingNodes = 16;
+constexpr std::size_t kTerminalsPerNode = 16;
+
+}  // namespace
+
+int main() {
+  const double high_deadline =
+      rtcac::standard_cyclic_classes()[0].deadline_cell_times();  // ~370
+  const double low_deadline =
+      rtcac::standard_cyclic_classes()[2].deadline_cell_times();  // ~55000
+
+  std::printf(
+      "Figure 12 reproduction: asymmetric load vs p, 1 vs 2 priorities\n"
+      "16-node ring, N=16, hard CDV; heavy terminal carries low-speed\n"
+      "cyclic traffic (deadline %.0f), others high-speed (deadline %.0f)\n\n",
+      low_deadline, high_deadline);
+  std::printf("%-6s %-10s %-12s %-10s %-18s\n", "p", "1-prio",
+              "2-prio", "gain", "2-prio-equal-queues");
+
+  rtcac::ScenarioOptions one;
+  one.ring_nodes = kRingNodes;
+  one.terminals_per_node = kTerminalsPerNode;
+
+  rtcac::ScenarioOptions two = one;
+  two.priorities = 2;
+  two.queue_cells_by_priority = {32, 2048};
+
+  rtcac::ScenarioOptions two_equal = one;
+  two_equal.priorities = 2;
+
+  const double deadlines[] = {high_deadline, low_deadline};
+  const double equal_deadlines[] = {high_deadline, high_deadline};
+
+  for (int step = 0; step <= 9; ++step) {
+    const double p = 0.1 * step;
+    const auto pattern =
+        rtcac::TrafficPattern::asymmetric(kRingNodes, kTerminalsPerNode, p);
+    // Single priority: one FIFO, everyone effectively held to the
+    // high-speed budget (all broadcasts see the same per-node bounds).
+    const double cap1 =
+        rtcac::max_supportable_load(one, pattern, high_deadline);
+    const double cap2 =
+        p == 0.0
+            ? cap1  // no heavy terminal to split off
+            : std::max(cap1, rtcac::max_supportable_load_per_priority(
+                                 two, pattern, deadlines,
+                                 rtcac::assign_heavy_low(2)));
+    const double cap2_equal =
+        p == 0.0 ? cap1
+                 : std::max(cap1, rtcac::max_supportable_load_per_priority(
+                                      two_equal, pattern, equal_deadlines,
+                                      rtcac::assign_heavy_low(2)));
+    std::printf("%-6.2f %-10.3f %-12.3f %+-10.3f %-18.3f\n", p, cap1, cap2,
+                cap2 - cap1, cap2_equal);
+    std::fflush(stdout);
+  }
+  return 0;
+}

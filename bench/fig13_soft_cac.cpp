@@ -1,0 +1,46 @@
+// Reproduces Figure 13: supportable asymmetric cyclic load under the hard
+// CAC (CDV = linear sum of upstream bounds) versus the soft CAC (CDV =
+// square-root summation), Section 4.3 discussion 1.
+//
+// Expected shape (paper): the soft curve dominates the hard curve — the
+// statistical CDV accumulation frees the capacity the worst-of-worst-case
+// assumption wastes.
+
+#include <cstdio>
+
+#include "rtnet/scenario.h"
+
+namespace {
+
+constexpr std::size_t kRingNodes = 16;
+constexpr std::size_t kTerminalsPerNode = 16;
+constexpr double kDeadline = 370;
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 13 reproduction: asymmetric load vs p, soft vs hard CAC\n"
+      "16-node ring, N=16, 32-cell FIFOs, deadline 370 cell times\n\n");
+  std::printf("%-6s %-10s %-10s %-8s\n", "p", "hard", "soft", "gain");
+
+  rtcac::ScenarioOptions hard;
+  hard.ring_nodes = kRingNodes;
+  hard.terminals_per_node = kTerminalsPerNode;
+  rtcac::ScenarioOptions soft = hard;
+  soft.cdv_policy = rtcac::CdvPolicy::kSoft;
+
+  for (int step = 0; step <= 9; ++step) {
+    const double p = 0.1 * step;
+    const auto pattern =
+        rtcac::TrafficPattern::asymmetric(kRingNodes, kTerminalsPerNode, p);
+    const double cap_hard =
+        rtcac::max_supportable_load(hard, pattern, kDeadline);
+    const double cap_soft =
+        rtcac::max_supportable_load(soft, pattern, kDeadline);
+    std::printf("%-6.2f %-10.3f %-10.3f %+.3f\n", p, cap_hard, cap_soft,
+                cap_soft - cap_hard);
+    std::fflush(stdout);
+  }
+  return 0;
+}

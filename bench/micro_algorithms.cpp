@@ -1,0 +1,139 @@
+// Micro-benchmarks (M1) of the admission machinery itself, for the
+// paper's Section 4.3 discussion 2: CAC cost grows with the number of
+// priority levels and with the connection count, which bounds how fast
+// switched VCs can be established.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/delay_bound.h"
+#include "core/stream_ops.h"
+#include "core/switch_cac.h"
+#include "core/traffic.h"
+#include "util/xorshift.h"
+
+namespace {
+
+using namespace rtcac;
+
+BitStream random_stream(Xorshift& rng, double max_rate = 0.2) {
+  const double pcr = max_rate * (0.1 + 0.9 * rng.uniform());
+  const double scr = pcr * (0.2 + 0.8 * rng.uniform());
+  const auto mbs = static_cast<std::uint32_t>(1 + rng.below(8));
+  return delay(TrafficDescriptor::vbr(pcr, scr, mbs).to_bitstream(),
+               32.0 * static_cast<double>(rng.below(8)));
+}
+
+void BM_Multiplex(benchmark::State& state) {
+  Xorshift rng(1);
+  BitStream aggregate;
+  for (int i = 0; i < state.range(0); ++i) {
+    aggregate = multiplex(aggregate, random_stream(rng));
+  }
+  const BitStream one = random_stream(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiplex(aggregate, one));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Multiplex)->Range(4, 256)->Complexity(benchmark::oN);
+
+void BM_Filter(benchmark::State& state) {
+  Xorshift rng(2);
+  BitStream aggregate;
+  for (int i = 0; i < state.range(0); ++i) {
+    aggregate = multiplex(aggregate, random_stream(rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter(aggregate));
+  }
+}
+BENCHMARK(BM_Filter)->Range(4, 256);
+
+void BM_Delay(benchmark::State& state) {
+  Xorshift rng(3);
+  const BitStream stream =
+      TrafficDescriptor::vbr(0.5, 0.05, 16).to_bitstream();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delay(stream, 480.0));
+  }
+}
+BENCHMARK(BM_Delay);
+
+void BM_DelayBound(benchmark::State& state) {
+  Xorshift rng(4);
+  BitStream offered;
+  BitStream hp;
+  // Keep the aggregate stable (sum of rates < 1) at every size so the
+  // bound computation cannot take the cheap "unbounded" early exit.
+  const double per_stream = 0.6 / static_cast<double>(state.range(0));
+  for (int i = 0; i < state.range(0); ++i) {
+    offered = multiplex(offered, random_stream(rng, per_stream));
+    hp = multiplex(hp, random_stream(rng, per_stream / 2));
+  }
+  const BitStream hp_filtered = filter(hp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delay_bound(offered, hp_filtered));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DelayBound)->Range(4, 256)->Complexity(benchmark::oN);
+
+// Full per-switch admission check as a function of connection count and
+// priority levels — the quantity that gates on-line VC setup.
+void BM_SwitchAdmission(benchmark::State& state) {
+  const auto priorities = static_cast<std::size_t>(state.range(0));
+  const auto connections = static_cast<std::size_t>(state.range(1));
+  SwitchCac::Config cfg;
+  cfg.in_ports = 4;
+  cfg.out_ports = 4;
+  cfg.priorities = priorities;
+  cfg.advertised_bound = 1e9;  // admit everything; measure cost only
+  SwitchCac cac(cfg);
+  Xorshift rng(5);
+  for (std::size_t i = 0; i < connections; ++i) {
+    cac.add(i, rng.below(4), 0,
+            static_cast<Priority>(rng.below(priorities)),
+            random_stream(rng, 0.9 / static_cast<double>(connections)));
+  }
+  const BitStream candidate =
+      random_stream(rng, 0.5 / static_cast<double>(connections));
+  const auto prio = static_cast<Priority>(priorities / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cac.check(0, 0, prio, candidate));
+  }
+}
+BENCHMARK(BM_SwitchAdmission)
+    ->ArgsProduct({{1, 2, 4, 8}, {16, 64, 256}});
+
+// What exactness costs: the same admission check in Rational arithmetic.
+void BM_ExactSwitchAdmission(benchmark::State& state) {
+  const auto connections = static_cast<std::size_t>(state.range(0));
+  ExactSwitchCac::Config cfg;
+  cfg.in_ports = 4;
+  cfg.out_ports = 1;
+  cfg.priorities = 1;
+  cfg.advertised_bound = Rational(1000000);
+  ExactSwitchCac cac(cfg);
+  Xorshift rng(6);
+  for (std::size_t i = 0; i < connections; ++i) {
+    // Dyadic rates keep the rationals small, as a realistic config would.
+    const auto denom = static_cast<std::int64_t>(
+        8 * connections * (1 + rng.below(4)));
+    const ExactBitStream stream{
+        {Rational(1), Rational(0)},
+        {Rational(1, denom), Rational(1 + static_cast<std::int64_t>(i % 3))}};
+    cac.add(i, rng.below(4), 0, 0, stream);
+  }
+  const ExactBitStream candidate{{Rational(1), Rational(0)},
+                                 {Rational(1, 64), Rational(1)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cac.check(0, 0, 0, candidate));
+  }
+}
+BENCHMARK(BM_ExactSwitchAdmission)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Experiment P1 (paper Section 5: the CAC check's outcomes "help to set
+// network parameters such as ring node buffer sizes and number of
+// priority levels needed to support a given set of real-time
+// connections").
+//
+// Workload: the Figure 12 mix — 16x16 terminals of high-speed cyclic
+// traffic (1 ms deadline) with one heavy terminal carrying 60% of the
+// total load as low-speed bulk cyclic traffic (150 ms deadline).  For a
+// given total load B the design question is: how many priority levels,
+// with what per-level FIFO depths, make the set schedulable?
+//
+// The search tries L = 1 (everything in the 32-cell high-speed queue)
+// and L = 2 (bulk on its own level, depth picked from a geometric grid).
+// Depth is not free: the advertised bound is also the per-hop CDV every
+// downstream hop must absorb, so the search genuinely explores a
+// trade-off, and for workloads whose low level would carry too much
+// distributed load no depth converges at all — a structural property of
+// hard worst-case CDV accounting this bench makes visible.
+
+#include <cstdio>
+#include <span>
+
+#include "rtnet/cyclic.h"
+#include "rtnet/scenario.h"
+
+namespace {
+
+using namespace rtcac;
+
+constexpr std::size_t kRing = 16;
+constexpr std::size_t kTerminals = 16;
+constexpr double kHeavyShare = 0.6;
+const double kDepthGrid[] = {64, 128, 256, 512, 1024, 2048};
+
+bool feasible_one_level(const TrafficPattern& pattern, double load,
+                        double high_deadline) {
+  ScenarioOptions options;
+  options.ring_nodes = kRing;
+  options.terminals_per_node = kTerminals;
+  const auto result = evaluate_cyclic_scenario(options, pattern, load);
+  // One FIFO: every connection sees the same per-node bounds, so the
+  // tightest (high-speed) deadline governs all of them.
+  return result.all_admitted && result.max_e2e_bound <= high_deadline;
+}
+
+// Returns the smallest workable bulk-queue depth, or 0 when none.
+double feasible_two_levels(const TrafficPattern& pattern, double load,
+                           double high_deadline, double bulk_deadline) {
+  for (const double depth : kDepthGrid) {
+    ScenarioOptions options;
+    options.ring_nodes = kRing;
+    options.terminals_per_node = kTerminals;
+    options.priorities = 2;
+    options.queue_cells_by_priority = {32, depth};
+    const auto result = evaluate_cyclic_scenario(options, pattern, load,
+                                                 assign_heavy_low(2));
+    if (!result.all_admitted) continue;
+    if (result.max_e2e_by_priority[0] <= high_deadline &&
+        result.max_e2e_by_priority[1] <= bulk_deadline) {
+      return depth;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  const double high_deadline =
+      standard_cyclic_classes()[0].deadline_cell_times();  // ~367
+  const double bulk_deadline =
+      standard_cyclic_classes()[2].deadline_cell_times();  // ~55000
+  const auto pattern =
+      TrafficPattern::asymmetric(kRing, kTerminals, kHeavyShare);
+
+  std::printf(
+      "Priority levels needed (Figure 12 mix: heavy bulk terminal at %.0f%%\n"
+      "of total load, deadlines %.0f / %.0f cell times)\n\n",
+      kHeavyShare * 100, high_deadline, bulk_deadline);
+  std::printf("%-8s %-8s %-16s %s\n", "B", "L=1", "L=2 (depth)",
+              "levels needed");
+  for (const double load :
+       {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45}) {
+    const bool one = feasible_one_level(pattern, load, high_deadline);
+    const double depth =
+        feasible_two_levels(pattern, load, high_deadline, bulk_deadline);
+    const char* needed = one ? "1" : depth > 0 ? "2" : ">2";
+    if (depth > 0) {
+      std::printf("%-8.2f %-8s yes (%-6.0f)    %s\n", load,
+                  one ? "yes" : "no", depth, needed);
+    } else {
+      std::printf("%-8.2f %-8s %-16s %s\n", load, one ? "yes" : "no", "no",
+                  needed);
+    }
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nThe single 32-cell FIFO saturates early because the heavy bulk\n"
+      "terminal's worst-case clumps share it with 1 ms traffic; giving the\n"
+      "bulk class its own CAC-sized level extends the schedulable region —\n"
+      "the Figure 12 result expressed as a design rule.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Table 1: the three cyclic-transmission service classes of
+// RTnet with their derived bandwidth requirements, next to the figures
+// the paper prints.
+
+#include <cstdio>
+
+#include "rtnet/cyclic.h"
+
+int main() {
+  std::printf(
+      "Table 1 reproduction: types of cyclic transmission\n"
+      "(derived from period / delay / memory; paper's bandwidth column "
+      "shown for comparison)\n\n");
+  std::printf("%-14s %-11s %-10s %-12s %-12s %-10s %-10s %-10s\n", "type",
+              "period(ms)", "delay(ms)", "memory(KB)", "cells/update",
+              "payload", "wire", "paper");
+  std::printf("%-14s %-11s %-10s %-12s %-12s %-10s %-10s %-10s\n", "", "", "",
+              "", "", "(Mbps)", "(Mbps)", "(Mbps)");
+
+  const double paper_mbps[] = {32.0, 17.5, 6.8};
+  const auto& classes = rtcac::standard_cyclic_classes();
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const auto& c = classes[i];
+    std::printf("%-14s %-11.0f %-10.0f %-12.0f %-12zu %-10.2f %-10.2f %-10.1f\n",
+                c.name.c_str(), c.period_ms, c.delay_ms, c.memory_kb,
+                c.cells_per_update(), c.payload_bandwidth_mbps(),
+                c.wire_bandwidth_mbps(), paper_mbps[i]);
+  }
+
+  std::printf(
+      "\nDerived QoS parameters for one full-size connection per class:\n");
+  std::printf("%-14s %-18s %-20s\n", "type", "normalized load",
+              "deadline (cell times)");
+  for (const auto& c : classes) {
+    std::printf("%-14s %-18.5f %-20.1f\n", c.name.c_str(),
+                c.normalized_load(), c.deadline_cell_times());
+  }
+  return 0;
+}

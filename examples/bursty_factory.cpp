@@ -1,0 +1,104 @@
+// Bursty factory-floor traffic (the paper's motivation for VBR support,
+// Sections 1-2): alarm/event streams that are idle most of the time but
+// must deliver a burst of cells within a hard deadline when something
+// trips.
+//
+// Provisioning the burst as CBR at peak rate wastes the link: this
+// example admits the same event streams three ways and counts how many
+// sensors fit —
+//   (a) CBR at peak rate through the bit-stream CAC,
+//   (b) VBR (PCR, SCR, MBS) through the bit-stream CAC,
+//   (c) VBR through naive peak allocation (admits on average rate? no —
+//       peak allocation must charge PCR, so it fits the fewest).
+//
+// Build & run:
+//   ./build/examples/bursty_factory
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/peak_allocation.h"
+#include "net/connection_manager.h"
+
+using namespace rtcac;
+
+namespace {
+
+// One event stream: up to 12 cells back to back at half link rate when an
+// alarm fires, long-run average under 1%.
+const TrafficDescriptor kEventVbr = TrafficDescriptor::vbr(0.5, 0.008, 12);
+const TrafficDescriptor kEventCbrAtPeak = TrafficDescriptor::cbr(0.5);
+constexpr double kDeadline = 120;  // cell times (~0.3 ms)
+constexpr std::size_t kSensors = 64;
+
+struct Testbed {
+  Topology topo;
+  std::vector<LinkId> access;
+  LinkId uplink;
+
+  Testbed() {
+    const NodeId sw = topo.add_switch("cell-controller");
+    const NodeId scada = topo.add_terminal("scada");
+    for (std::size_t i = 0; i < kSensors; ++i) {
+      access.push_back(topo.add_link(topo.add_terminal(), sw));
+    }
+    uplink = topo.add_link(sw, scada);
+  }
+};
+
+std::size_t admit_with_cac(const TrafficDescriptor& traffic) {
+  Testbed bed;
+  ConnectionManager::Params params;
+  params.advertised_bound = 64;  // a deeper FIFO for the event class
+  ConnectionManager manager(bed.topo, params);
+  std::size_t admitted = 0;
+  for (const LinkId a : bed.access) {
+    QosRequest request;
+    request.traffic = traffic;
+    request.deadline = kDeadline;
+    if (manager.setup(request, Route{a, bed.uplink}).accepted) {
+      ++admitted;
+    }
+  }
+  return admitted;
+}
+
+std::size_t admit_with_peak_allocation(const TrafficDescriptor& traffic) {
+  Testbed bed;
+  PeakAllocationCac cac(bed.topo);
+  std::size_t admitted = 0;
+  for (const LinkId a : bed.access) {
+    if (cac.setup(traffic, {a, bed.uplink}).accepted) ++admitted;
+  }
+  return admitted;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Bursty factory floor: %zu sensors, each %s,\n"
+      "burst deadline %.0f cell times through one cell controller\n\n",
+      kSensors, kEventVbr.to_string().c_str(), kDeadline);
+
+  const std::size_t cbr_cac = admit_with_cac(kEventCbrAtPeak);
+  const std::size_t vbr_cac = admit_with_cac(kEventVbr);
+  const std::size_t vbr_peak = admit_with_peak_allocation(kEventVbr);
+
+  std::printf("%-46s %s\n", "provisioning scheme", "sensors admitted");
+  std::printf("%-46s %zu / %zu\n", "peak allocation (PCR reserved per sensor)",
+              vbr_peak, kSensors);
+  std::printf("%-46s %zu / %zu\n",
+              "bit-stream CAC, CBR at peak rate", cbr_cac, kSensors);
+  std::printf("%-46s %zu / %zu\n",
+              "bit-stream CAC, VBR contract (this paper)", vbr_cac, kSensors);
+
+  std::printf(
+      "\nThe VBR contract admits %.1fx the sensors of peak-rate CBR while\n"
+      "keeping the same hard per-burst deadline guarantee: the CAC only\n"
+      "charges each sensor its worst-case *burst*, not a permanent peak\n"
+      "reservation.\n",
+      static_cast<double>(vbr_cac) /
+          static_cast<double>(cbr_cac > 0 ? cbr_cac : 1));
+  return 0;
+}

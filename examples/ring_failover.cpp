@@ -1,0 +1,103 @@
+// Ring wrap-around failover (the paper's Section 5 fault-tolerance claim:
+// "the network can tolerate any single link/node failure by using a
+// hardware ring wrap-around technology similar to that used in FDDI").
+//
+// A unicast connection is established clockwise through the distributed
+// SETUP/CONNECTED signaling; then a clockwise ring link "fails", the
+// route is re-planned on the counter-rotating ring, and signaling
+// re-admits the connection on the new path.
+//
+// Build & run:
+//   ./build/examples/ring_failover
+
+#include <cstdio>
+
+#include "net/label_manager.h"
+#include "net/routing.h"
+#include "net/signaling.h"
+#include "rtnet/rtnet.h"
+
+using namespace rtcac;
+
+namespace {
+
+void print_labels(const LabelPath& path) {
+  std::printf("  label chain: %s", path.initial.to_string().c_str());
+  for (const auto& binding : path.bindings) {
+    std::printf(" -> %s", binding.out_label.to_string().c_str());
+  }
+  std::printf("\n");
+}
+
+void print_route(const Rtnet& net, const Route& route) {
+  const auto nodes = net.topology().route_nodes(route);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "  " : " -> ",
+                net.topology().node(nodes[i]).name.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  RtnetConfig cfg;
+  cfg.ring_nodes = 8;
+  cfg.terminals_per_node = 1;
+  cfg.dual_ring = true;
+  const Rtnet net(cfg);
+
+  ConnectionManager::Params params;
+  params.advertised_bound = 32;
+  ConnectionManager manager(net.topology(), params);
+  SignalingEngine signaling(manager);
+  LabelManager labels(net.topology());
+
+  QosRequest request;
+  request.traffic = TrafficDescriptor::cbr(0.15);
+
+  std::printf("== establishing control loop term0.0 -> ring3, clockwise ==\n");
+  const Route primary = net.unicast_route(0, 0, 3);
+  print_route(net, primary);
+  const ConnectionId conn = signaling.initiate(request, primary);
+  signaling.run();
+  const auto outcome = signaling.outcome(conn).value();
+  std::printf("connected: %s, e2e bound at setup %.2f cell times\n",
+              outcome.connected ? "yes" : "no",
+              outcome.e2e_bound_at_setup);
+  const LabelPath primary_labels = labels.establish(conn, primary);
+  print_labels(primary_labels);
+  std::printf("\n");
+  std::printf("signaling trace (%zu messages):\n", signaling.trace().size());
+  for (const auto& m : signaling.trace()) {
+    std::printf("  %s\n", to_string(m).c_str());
+  }
+
+  std::printf("\n== ring link ring1 -> ring2 fails ==\n");
+  const LinkId failed = net.cw_link(1);
+  const auto replanned = shortest_route_avoiding(
+      net.topology(), net.terminal(0, 0), net.ring_node(3), {{failed}});
+  if (!replanned.has_value()) {
+    std::printf("no alternate route — dual ring missing?\n");
+    return 1;
+  }
+  std::printf("wrap-around route found:\n");
+  print_route(net, *replanned);
+
+  std::printf("\n== tearing down the broken path, re-admitting ==\n");
+  manager.teardown(conn);
+  labels.release(conn);
+  const ConnectionId recovered = signaling.initiate(request, *replanned);
+  signaling.run();
+  const auto retry = signaling.outcome(recovered).value();
+  std::printf("re-admitted on the counter-rotating ring: %s, e2e bound "
+              "%.2f cell times\n",
+              retry.connected ? "yes" : "no", retry.e2e_bound_at_setup);
+  print_labels(labels.establish(recovered, *replanned));
+
+  std::printf(
+      "\nThe CAC state of every surviving switch was restored exactly by\n"
+      "the teardown, so the recovered connection's guarantees are as hard\n"
+      "as the original ones.\n");
+  return retry.connected ? 0 : 1;
+}

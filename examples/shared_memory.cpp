@@ -1,0 +1,70 @@
+// The distributed real-time shared memory of Section 5, end to end: every
+// ring node owns a slice of plant state and broadcasts it cyclically; the
+// service reports the guarantees a control engineer cares about — update
+// latency and staleness — against what the CAC admitted.
+//
+// Build & run:
+//   ./build/examples/shared_memory
+
+#include <cstdio>
+
+#include "rtnet/shared_memory.h"
+
+using namespace rtcac;
+
+int main() {
+  RtnetConfig cfg;
+  cfg.ring_nodes = 16;
+  cfg.terminals_per_node = 1;
+  cfg.dual_ring = false;
+  const Rtnet net(cfg);
+
+  // The plant: 12 nodes publish fast state (1 ms class), 4 publish bulk
+  // telemetry (30 ms class).
+  std::vector<RegionSpec> regions;
+  for (std::size_t n = 0; n < 16; ++n) {
+    RegionSpec region;
+    region.node = n;
+    region.terminal = 0;
+    if (n % 4 == 3) {
+      region.cyclic = standard_cyclic_classes()[1];  // medium speed
+      region.share = 0.10;
+    } else {
+      region.cyclic = standard_cyclic_classes()[0];  // high speed
+      region.share = 1.0 / 16.0;
+    }
+    regions.push_back(region);
+  }
+
+  std::printf("admitting %zu shared-memory regions on a 16-node ring...\n",
+              regions.size());
+  SharedMemoryService service(net, regions);
+  std::printf("all admitted; simulating 100 ms of plant operation\n\n");
+  service.run_until(static_cast<Tick>(cell_times_from_seconds(0.1)));
+
+  std::printf("%-6s %-13s %-9s %-9s %-14s %-14s %-12s\n", "node", "class",
+              "updates", "damaged", "worst-latency", "guarantee",
+              "staleness");
+  bool all_within = true;
+  for (std::size_t index = 0; index < service.region_count(); ++index) {
+    const RegionSpec& region = service.region(index);
+    const RegionStats& stats = service.stats(index);
+    const bool ok = static_cast<double>(stats.worst_update_latency) <=
+                    stats.guaranteed_latency;
+    all_within = all_within && ok && stats.updates_damaged == 0;
+    std::printf("%-6zu %-13s %-9llu %-9llu %-14lld %-14.0f %-12lld%s\n",
+                region.node, region.cyclic.name.c_str(),
+                static_cast<unsigned long long>(stats.updates_completed),
+                static_cast<unsigned long long>(stats.updates_damaged),
+                static_cast<long long>(stats.worst_update_latency),
+                stats.guaranteed_latency,
+                static_cast<long long>(stats.worst_staleness),
+                ok ? "" : "  <-- LATE");
+  }
+  std::printf(
+      "\nEvery region met its admission-time guarantee: %s\n"
+      "(latency = frame pacing + queueing bound + per-hop forwarding;\n"
+      "all figures in cell times, 1 cell time = 2.7 us)\n",
+      all_within ? "yes" : "NO");
+  return all_within ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+// Soft real-time connections (paper Section 4.3 discussion 1 and the
+// conclusion): the soft CAC accumulates CDV as sqrt(sum of squares),
+// betting that no cell hits the worst case at every hop at once.  This
+// example loads a 16-node RTnet with a symmetric cyclic pattern the hard
+// CAC refuses but the soft CAC admits, then simulates two worlds:
+//
+//   * realistic: periodic sources with scattered phases — the bet pays,
+//     delays stay far inside the soft bound and the 1 ms deadline;
+//   * adversarial: greedy phase-aligned sources — the bet can lose, which
+//     is exactly why this service class is "soft".
+//
+// Build & run:
+//   ./build/examples/soft_realtime
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "net/connection_manager.h"
+#include "rtnet/rtnet.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+using namespace rtcac;
+
+namespace {
+
+constexpr std::size_t kRing = 16;
+constexpr std::size_t kTerminals = 16;  // N=16: 256 connections
+constexpr double kLoad = 0.5;  // Figure 10's hard per-node limit is ~0.45
+constexpr double kDeadline =
+    std::numeric_limits<double>::infinity();  // capped per node instead
+
+struct World {
+  double max_delay = 0;
+  double mean_delay = 0;
+  std::uint64_t drops = 0;
+  Histogram histogram{10.0, 60};  // 10-cell buckets to 600
+};
+
+World simulate(const Rtnet& net, const std::vector<ConnectionId>& ids,
+               bool adversarial) {
+  SimNetwork::Options opt;
+  opt.priorities = 1;
+  opt.queue_capacity = 33;  // the 32-cell FIFO + output register
+  SimNetwork sim(net.topology(), opt);
+  const double pcr = kLoad / static_cast<double>(kRing * kTerminals);
+  const auto period = static_cast<Tick>(1.0 / pcr);
+  std::size_t i = 0;
+  for (std::size_t n = 0; n < kRing; ++n) {
+    for (std::size_t t = 0; t < kTerminals; ++t, ++i) {
+      std::unique_ptr<SourceScheduler> source;
+      if (adversarial) {
+        source = std::make_unique<GreedySourceScheduler>(
+            TrafficDescriptor::cbr(pcr));
+      } else {
+        // Scatter phases deterministically across the period.
+        const Tick phase = static_cast<Tick>((i * 37) % period);
+        source = std::make_unique<PeriodicSourceScheduler>(period, phase);
+      }
+      sim.install(ids[i], net.broadcast_route(n, t), 0, std::move(source));
+    }
+  }
+  sim.run_until(static_cast<Tick>(cell_times_from_seconds(0.05)));
+
+  World world;
+  SummaryStats all;
+  for (const ConnectionId id : ids) {
+    const auto& sink = sim.sink(id);
+    world.max_delay = std::max(world.max_delay, sink.queue_delay().max());
+    all.merge(sink.queue_delay());
+  }
+  world.mean_delay = all.mean();
+  world.drops = sim.total_drops();
+  return world;
+}
+
+}  // namespace
+
+int main() {
+  RtnetConfig cfg;
+  cfg.ring_nodes = kRing;
+  cfg.terminals_per_node = kTerminals;
+  cfg.dual_ring = false;
+  const Rtnet net(cfg);
+
+  const double pcr = kLoad / static_cast<double>(kRing * kTerminals);
+  QosRequest request;
+  request.traffic = TrafficDescriptor::cbr(pcr);
+  request.deadline = kDeadline;
+
+  // Hard CAC: refused.
+  {
+    ConnectionManager::Params hard;
+    hard.advertised_bound = 32;
+    hard.cdv_policy = CdvPolicy::kHard;
+    ConnectionManager manager(net.topology(), hard);
+    bool refused = false;
+    std::string reason;
+    for (std::size_t n = 0; n < kRing && !refused; ++n) {
+      for (std::size_t t = 0; t < kTerminals; ++t) {
+        const auto r = manager.setup(request, net.broadcast_route(n, t));
+        if (!r.accepted) {
+          refused = true;
+          reason = r.reason;
+          break;
+        }
+      }
+    }
+    std::printf("hard CAC at total load %.2f: %s\n  (%s)\n\n", kLoad,
+                refused ? "REFUSED" : "admitted", reason.c_str());
+  }
+
+  // Soft CAC: admitted.
+  ConnectionManager::Params soft;
+  soft.advertised_bound = 32;
+  soft.cdv_policy = CdvPolicy::kSoft;
+  ConnectionManager manager(net.topology(), soft);
+  std::vector<ConnectionId> ids;
+  for (std::size_t n = 0; n < kRing; ++n) {
+    for (std::size_t t = 0; t < kTerminals; ++t) {
+      const auto r = manager.setup(request, net.broadcast_route(n, t));
+      if (!r.accepted) {
+        std::printf("soft CAC unexpectedly refused: %s\n", r.reason.c_str());
+        return 1;
+      }
+      ids.push_back(r.id);
+    }
+  }
+  double soft_bound = 0;
+  for (const ConnectionId id : ids) {
+    soft_bound = std::max(soft_bound, manager.current_e2e_bound(id).value());
+  }
+  std::printf("soft CAC: all %zu connections admitted; soft end-to-end "
+              "bound %.1f cell times\n\n",
+              ids.size(), soft_bound);
+
+  const World realistic = simulate(net, ids, /*adversarial=*/false);
+  std::printf("realistic (scattered phases), 50 ms simulated:\n");
+  std::printf("  max delay  : %.0f cell times (soft bound %.1f)\n",
+              realistic.max_delay, soft_bound);
+  std::printf("  mean delay : %.2f cell times\n", realistic.mean_delay);
+  std::printf("  drops      : %llu\n\n",
+              static_cast<unsigned long long>(realistic.drops));
+
+  const World adversarial = simulate(net, ids, /*adversarial=*/true);
+  std::printf("adversarial (greedy, phase-aligned), 50 ms simulated:\n");
+  std::printf("  max delay  : %.0f cell times\n", adversarial.max_delay);
+  std::printf("  drops      : %llu\n\n",
+              static_cast<unsigned long long>(adversarial.drops));
+
+  std::printf(
+      "The soft guarantee held comfortably under realistic phases, while "
+      "the\naligned worst case %s — the residual risk that makes this "
+      "service\nclass soft rather than hard.\n",
+      (adversarial.max_delay > soft_bound || adversarial.drops > 0)
+          ? "exceeded the soft budget"
+          : "stayed within the soft budget this time");
+  return 0;
+}

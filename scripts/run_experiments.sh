@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure reproduction and saves the outputs under
+# results/, one file per experiment (see DESIGN.md for the index).
+#
+#   ./scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="results"
+mkdir -p "$OUT"
+
+run() {
+  local name="$1"
+  echo "== $name"
+  "$BUILD/bench/$name" | tee "$OUT/$name.txt"
+  echo
+}
+
+run table1_cyclic        # Table 1
+run fig10_symmetric      # Figure 10
+run fig11_asymmetric     # Figure 11
+run fig12_priorities     # Figure 12
+run fig13_soft_cac       # Figure 13
+run ablation_filtering   # A1: vs max-rate-function CAC
+run ablation_peak_alloc  # A2: vs peak bandwidth allocation
+run buffer_sizing        # B1: FIFO depth design
+run priority_levels      # P1: priority-level design
+run delay_distribution   # D1: measured delays under the bound
+
+echo "== micro_algorithms (google-benchmark)"
+"$BUILD/bench/micro_algorithms" --benchmark_min_time=0.05 \
+  | tee "$OUT/micro_algorithms.txt"
+
+echo
+echo "outputs saved under $OUT/"

@@ -1,0 +1,119 @@
+#include "atm/aal5.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace rtcac {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = make_crc_table();
+  return table;
+}
+
+// Trailer layout (last 8 bytes of the CPCS-PDU):
+//   [0] CPCS-UU  [1] CPI  [2..3] length (big endian)  [4..7] CRC-32.
+constexpr std::size_t kTrailerBytes = 8;
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    c = crc_table()[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Aal5Segments aal5_segment(std::span<const std::uint8_t> frame) {
+  if (frame.size() > kMaxAal5Frame) {
+    throw std::invalid_argument("aal5_segment: frame exceeds 65535 bytes");
+  }
+  const std::size_t cells = aal5_cells_for(frame.size());
+  const std::size_t total = cells * kCellPayloadBytes;
+
+  std::vector<std::uint8_t> pdu(total, 0);
+  std::copy(frame.begin(), frame.end(), pdu.begin());
+  // Trailer occupies the final 8 bytes; padding (zeros) sits between.
+  std::uint8_t* trailer = pdu.data() + total - kTrailerBytes;
+  trailer[0] = 0;  // CPCS-UU
+  trailer[1] = 0;  // CPI
+  trailer[2] = static_cast<std::uint8_t>(frame.size() >> 8);
+  trailer[3] = static_cast<std::uint8_t>(frame.size() & 0xFF);
+  // CRC covers everything up to and including the length field.
+  const std::uint32_t crc =
+      crc32(std::span<const std::uint8_t>(pdu.data(), total - 4));
+  trailer[4] = static_cast<std::uint8_t>(crc >> 24);
+  trailer[5] = static_cast<std::uint8_t>(crc >> 16);
+  trailer[6] = static_cast<std::uint8_t>(crc >> 8);
+  trailer[7] = static_cast<std::uint8_t>(crc & 0xFF);
+
+  Aal5Segments segments;
+  segments.payloads.resize(cells);
+  for (std::size_t k = 0; k < cells; ++k) {
+    std::copy_n(pdu.begin() + static_cast<std::ptrdiff_t>(
+                                  k * kCellPayloadBytes),
+                kCellPayloadBytes, segments.payloads[k].begin());
+  }
+  return segments;
+}
+
+Aal5Reassembler::Result Aal5Reassembler::push(const CellPayload& payload,
+                                              bool last_cell) {
+  Result result;
+  // An impossible frame length means cells of the end-of-frame indication
+  // were lost; give up on the partial frame before buffering forever.
+  if (buffer_.size() >= kMaxAal5Frame + kCellPayloadBytes) {
+    buffer_.clear();
+    ++bad_;
+    result.error = Aal5Error::kOversized;
+    // The current payload starts (or continues) a fresh attempt.
+  }
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+  if (!last_cell) return result;
+
+  // End of frame: validate the trailer.
+  const std::size_t total = buffer_.size();
+  const std::uint8_t* trailer = buffer_.data() + total - 8;
+  const std::size_t length =
+      (static_cast<std::size_t>(trailer[2]) << 8) | trailer[3];
+  const std::uint32_t wire_crc = (static_cast<std::uint32_t>(trailer[4]) << 24) |
+                                 (static_cast<std::uint32_t>(trailer[5]) << 16) |
+                                 (static_cast<std::uint32_t>(trailer[6]) << 8) |
+                                 static_cast<std::uint32_t>(trailer[7]);
+  const bool length_ok = aal5_cells_for(length) * kCellPayloadBytes == total;
+  if (!length_ok) {
+    buffer_.clear();
+    ++bad_;
+    result.error = Aal5Error::kLengthMismatch;
+    return result;
+  }
+  const std::uint32_t computed =
+      crc32(std::span<const std::uint8_t>(buffer_.data(), total - 4));
+  if (computed != wire_crc) {
+    buffer_.clear();
+    ++bad_;
+    result.error = Aal5Error::kBadCrc;
+    return result;
+  }
+  result.frame.emplace(buffer_.begin(),
+                       buffer_.begin() + static_cast<std::ptrdiff_t>(length));
+  buffer_.clear();
+  ++ok_;
+  return result;
+}
+
+}  // namespace rtcac

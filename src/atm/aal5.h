@@ -1,0 +1,99 @@
+// rtcac/atm/aal5.h
+//
+// ATM Adaptation Layer 5 — the standard way variable-length messages
+// (RTnet's cyclic shared-memory updates, alarm records, ...) ride on
+// fixed 48-byte cell payloads:
+//
+//   * the frame is padded so that payload + 8-byte trailer fills a whole
+//     number of cells;
+//   * the trailer (last 8 bytes of the last cell) carries UU/CPI octets,
+//     the 16-bit payload length and a CRC-32 over the entire CPCS-PDU;
+//   * the "last cell of frame" is signaled out of band (the AUU bit of
+//     the cell header's PTI field), which segment()/Reassembler model
+//     with an explicit flag.
+//
+// The codec is bit-faithful (real padding, real CRC-32, length check) so
+// corruption and cell loss are *detected*, as AAL5 promises: a dropped
+// cell shows up as a length/CRC mismatch at reassembly, never as silent
+// garbage.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "atm/cell.h"
+
+namespace rtcac {
+
+/// IEEE 802.3 / AAL5 CRC-32 (polynomial 0x04C11DB7, reflected,
+/// init/final 0xFFFFFFFF).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// One 48-byte cell payload.
+using CellPayload = std::array<std::uint8_t, kCellPayloadBytes>;
+
+/// A segmented frame: payloads.back() carries the AAL5 trailer and is the
+/// cell transmitted with the end-of-frame indication.
+struct Aal5Segments {
+  std::vector<CellPayload> payloads;
+};
+
+/// Largest frame AAL5 can carry (16-bit length field).
+inline constexpr std::size_t kMaxAal5Frame = 65535;
+
+/// Segments `frame` into cell payloads.  Throws std::invalid_argument for
+/// frames over kMaxAal5Frame bytes.  Empty frames are legal (one cell of
+/// padding + trailer).
+[[nodiscard]] Aal5Segments aal5_segment(std::span<const std::uint8_t> frame);
+
+/// Why a frame failed reassembly.
+enum class Aal5Error {
+  kLengthMismatch,  ///< cells lost/inserted: trailer length disagrees
+  kBadCrc,          ///< payload corrupted in flight
+  kOversized,       ///< more cells than any legal frame before last-cell
+};
+
+/// Reassembles one frame at a time from in-order cell payloads (ATM
+/// guarantees per-VC ordering; loss shows up as missing cells).
+class Aal5Reassembler {
+ public:
+  struct Result {
+    /// Set when a frame completed successfully.
+    std::optional<std::vector<std::uint8_t>> frame;
+    /// Set when the end-of-frame cell arrived but the frame is bad.
+    std::optional<Aal5Error> error;
+  };
+
+  /// Feeds the next cell payload; `last_cell` is the AUU end-of-frame
+  /// indication.  Returns a completed frame, an error (state resets
+  /// either way), or neither while mid-frame.
+  Result push(const CellPayload& payload, bool last_cell);
+
+  /// Cells buffered for the frame in progress.
+  [[nodiscard]] std::size_t pending_cells() const noexcept {
+    return buffer_.size() / kCellPayloadBytes;
+  }
+
+  /// Drops any partial frame (e.g. on connection reset).
+  void reset() noexcept { buffer_.clear(); }
+
+  [[nodiscard]] std::uint64_t frames_ok() const noexcept { return ok_; }
+  [[nodiscard]] std::uint64_t frames_bad() const noexcept { return bad_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::uint64_t ok_ = 0;
+  std::uint64_t bad_ = 0;
+};
+
+/// Cells needed to carry a frame of `frame_bytes` (payload + trailer +
+/// padding).
+[[nodiscard]] constexpr std::size_t aal5_cells_for(std::size_t frame_bytes) {
+  return (frame_bytes + 8 + kCellPayloadBytes - 1) / kCellPayloadBytes;
+}
+
+}  // namespace rtcac

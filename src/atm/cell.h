@@ -1,0 +1,57 @@
+// rtcac/atm/cell.h
+//
+// The unit of transmission.  A real ATM cell is 53 bytes (48 payload + 5
+// header); at the 155.52 Mbps (OC-3) rate the paper assumes, one cell time
+// is ~2.7 us.  The simulator works on an integer grid of cell times
+// ("ticks"): every link transmits exactly one cell per tick.
+
+#pragma once
+
+#include <cstdint>
+
+#include "atm/vpi_vci.h"
+#include "core/connection.h"
+
+namespace rtcac {
+
+/// Simulator time, in cell times.
+using Tick = std::int64_t;
+
+/// Bytes per ATM cell and payload, and the OC-3 cell time the paper uses.
+inline constexpr int kCellBytes = 53;
+inline constexpr int kCellPayloadBytes = 48;
+inline constexpr double kLinkMbps = 155.52;
+/// Seconds to transmit one cell at 155.52 Mbps (~2.73 us).
+inline constexpr double kCellTimeSeconds =
+    kCellBytes * 8 / (kLinkMbps * 1e6);
+
+/// Converts between wall-clock and cell-time units.
+[[nodiscard]] constexpr double cell_times_from_seconds(double seconds) {
+  return seconds / kCellTimeSeconds;
+}
+[[nodiscard]] constexpr double seconds_from_cell_times(double cell_times) {
+  return cell_times * kCellTimeSeconds;
+}
+
+/// One cell in flight.  The ConnectionId is simulator bookkeeping (stats
+/// attribution); when a connection is installed with a LabelPath the data
+/// path forwards on `label` with per-switch translation, exactly like
+/// real ATM hardware, and label/connection consistency is checked at
+/// every hop.
+///
+/// The frame fields model the AAL boundary: `end_of_frame` is the AUU bit
+/// of the PTI field (last cell of an AAL5 CPCS-PDU), and frame /
+/// cell_in_frame let receivers reassemble and detect damaged updates
+/// without carrying the 48 payload bytes through the simulator.
+struct Cell {
+  ConnectionId connection = kInvalidConnection;
+  std::uint64_t sequence = 0;   ///< per-connection cell counter
+  Tick injected = 0;            ///< tick the source emitted the cell
+  Tick queue_wait = 0;          ///< accumulated queueing delay so far
+  std::uint32_t frame = 0;          ///< AAL frame number
+  std::uint16_t cell_in_frame = 0;  ///< position within the frame
+  bool end_of_frame = true;         ///< AUU: last cell of the frame
+  VcLabel label;                    ///< VPI/VCI on the current link
+};
+
+}  // namespace rtcac

@@ -1,0 +1,128 @@
+#include "atm/cell_header.h"
+
+#include <stdexcept>
+
+namespace rtcac {
+
+namespace {
+
+constexpr std::uint8_t kHecCoset = 0x55;
+
+std::array<std::uint8_t, 256> make_crc8_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (int n = 0; n < 256; ++n) {
+    std::uint8_t c = static_cast<std::uint8_t>(n);
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 0x80) ? static_cast<std::uint8_t>((c << 1) ^ 0x07)
+                     : static_cast<std::uint8_t>(c << 1);
+    }
+    table[static_cast<std::size_t>(n)] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint8_t, 256>& crc8_table() {
+  static const auto table = make_crc8_table();
+  return table;
+}
+
+// Syndrome of a received 5-octet header: 0 iff consistent.
+std::uint8_t syndrome(const EncodedHeader& octets) {
+  const std::uint8_t expect = static_cast<std::uint8_t>(
+      hec_crc8(std::span<const std::uint8_t>(octets.data(), 4)) ^ kHecCoset);
+  return static_cast<std::uint8_t>(expect ^ octets[4]);
+}
+
+// Precomputed syndrome of every single-bit error position (bit i of the
+// 40-bit header): flipping bit i changes the syndrome by a fixed pattern,
+// so a lookup identifies which bit to repair.
+std::array<std::uint8_t, 40> make_single_bit_syndromes() {
+  std::array<std::uint8_t, 40> table{};
+  const EncodedHeader zero{};
+  const std::uint8_t base = syndrome(zero);
+  for (int bit = 0; bit < 40; ++bit) {
+    EncodedHeader flipped{};
+    flipped[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(0x80u >> (bit % 8));
+    table[static_cast<std::size_t>(bit)] =
+        static_cast<std::uint8_t>(syndrome(flipped) ^ base);
+  }
+  return table;
+}
+
+const std::array<std::uint8_t, 40>& single_bit_syndromes() {
+  static const auto table = make_single_bit_syndromes();
+  return table;
+}
+
+}  // namespace
+
+std::uint8_t hec_crc8(std::span<const std::uint8_t> bytes) {
+  std::uint8_t c = 0;
+  for (const std::uint8_t byte : bytes) {
+    c = crc8_table()[static_cast<std::size_t>(c ^ byte)];
+  }
+  return c;
+}
+
+EncodedHeader encode_header(const CellHeader& header) {
+  if (header.gfc > 0x0F) {
+    throw std::invalid_argument("encode_header: GFC exceeds 4 bits");
+  }
+  if (header.label.vpi > 0xFF) {
+    throw std::invalid_argument("encode_header: UNI VPI exceeds 8 bits");
+  }
+  if (header.pti > 0x07) {
+    throw std::invalid_argument("encode_header: PTI exceeds 3 bits");
+  }
+  EncodedHeader octets{};
+  octets[0] = static_cast<std::uint8_t>((header.gfc << 4) |
+                                        (header.label.vpi >> 4));
+  octets[1] = static_cast<std::uint8_t>(((header.label.vpi & 0x0F) << 4) |
+                                        (header.label.vci >> 12));
+  octets[2] = static_cast<std::uint8_t>((header.label.vci >> 4) & 0xFF);
+  octets[3] = static_cast<std::uint8_t>(((header.label.vci & 0x0F) << 4) |
+                                        (header.pti << 1) |
+                                        (header.clp ? 1 : 0));
+  octets[4] = static_cast<std::uint8_t>(
+      hec_crc8(std::span<const std::uint8_t>(octets.data(), 4)) ^ kHecCoset);
+  return octets;
+}
+
+DecodeResult decode_header(const EncodedHeader& octets) {
+  DecodeResult result;
+  EncodedHeader repaired = octets;
+  const std::uint8_t s = syndrome(octets);
+  if (s != 0) {
+    // Single-bit errors have unique syndromes (the code's minimum
+    // distance is 4 over the 40 protected bits); look the bit up.
+    int bit = -1;
+    const auto& table = single_bit_syndromes();
+    for (int i = 0; i < 40; ++i) {
+      if (table[static_cast<std::size_t>(i)] == s) {
+        bit = i;
+        break;
+      }
+    }
+    if (bit < 0) {
+      return result;  // multi-bit damage: discard
+    }
+    repaired[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(0x80u >> (bit % 8));
+    result.corrected = true;
+  }
+
+  CellHeader header;
+  header.gfc = static_cast<std::uint8_t>(repaired[0] >> 4);
+  header.label.vpi = static_cast<std::uint16_t>(
+      ((repaired[0] & 0x0F) << 4) | (repaired[1] >> 4));
+  header.label.vci = static_cast<std::uint16_t>(
+      ((repaired[1] & 0x0F) << 12) | (repaired[2] << 4) |
+      (repaired[3] >> 4));
+  header.pti = static_cast<std::uint8_t>((repaired[3] >> 1) & 0x07);
+  header.clp = (repaired[3] & 1) != 0;
+  result.header = header;
+  return result;
+}
+
+}  // namespace rtcac

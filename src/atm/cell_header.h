@@ -1,0 +1,60 @@
+// rtcac/atm/cell_header.h
+//
+// The 5-byte ATM cell header (UNI format, ITU-T I.361) and its Header
+// Error Control byte (I.432): a CRC-8 over the first four octets,
+// polynomial x^8+x^2+x+1, XORed with 0x55 ("coset") before transmission.
+// HEC corrects any single-bit header error and detects multi-bit ones —
+// the mechanism that keeps a corrupted VPI/VCI from misdelivering a cell
+// into some other connection's hard real-time stream.
+//
+//   bits  39-36  GFC   (generic flow control, UNI only)
+//   bits  35-28  VPI   (8 bits at the UNI)
+//   bits  27-12  VCI
+//   bits  11-9   PTI   (payload type; bit 9 is the AAL5 AUU "last cell")
+//   bit   8      CLP   (cell loss priority)
+//   bits  7-0    HEC
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "atm/vpi_vci.h"
+
+namespace rtcac {
+
+/// Decoded header fields.
+struct CellHeader {
+  std::uint8_t gfc = 0;   ///< 4 bits
+  VcLabel label;          ///< VPI (8 bits at UNI) + VCI (16 bits)
+  std::uint8_t pti = 0;   ///< 3 bits; LSB = AUU (end of AAL5 frame)
+  bool clp = false;       ///< cell loss priority (1 = discard-eligible)
+
+  [[nodiscard]] bool end_of_frame() const noexcept { return (pti & 1) != 0; }
+
+  friend bool operator==(const CellHeader&, const CellHeader&) = default;
+};
+
+using EncodedHeader = std::array<std::uint8_t, 5>;
+
+/// CRC-8 over `bytes` with the HEC polynomial x^8 + x^2 + x + 1 (0x07).
+[[nodiscard]] std::uint8_t hec_crc8(std::span<const std::uint8_t> bytes);
+
+/// Encodes the header, computing the HEC (including the 0x55 coset).
+/// Throws std::invalid_argument if a field exceeds its width.
+[[nodiscard]] EncodedHeader encode_header(const CellHeader& header);
+
+/// Outcome of decoding a received header.
+struct DecodeResult {
+  std::optional<CellHeader> header;  ///< set when valid or corrected
+  bool corrected = false;            ///< a single-bit error was repaired
+};
+
+/// Decodes and HEC-checks 5 received octets.  A single-bit error anywhere
+/// in the 40 header bits is corrected; anything worse yields no header
+/// (the cell must be discarded).
+[[nodiscard]] DecodeResult decode_header(const EncodedHeader& octets);
+
+}  // namespace rtcac

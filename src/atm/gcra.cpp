@@ -1,0 +1,74 @@
+#include "atm/gcra.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtcac {
+
+namespace {
+// Slack for the conformance comparison: emission times come out of
+// floating-point division (1/PCR etc.) and a cell that is late by rounding
+// noise only must still conform.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+Gcra::Gcra(double increment, double limit)
+    : increment_(increment), limit_(limit) {
+  if (!(increment > 0)) {
+    throw std::invalid_argument("Gcra: increment must be > 0");
+  }
+  if (limit < 0) {
+    throw std::invalid_argument("Gcra: limit must be >= 0");
+  }
+}
+
+bool Gcra::conforms(double t) const noexcept {
+  return t >= tat_ - limit_ - kSlack;
+}
+
+void Gcra::commit(double t) {
+  if (!conforms(t)) {
+    throw std::logic_error("Gcra: committing a non-conforming cell");
+  }
+  tat_ = std::max(t, tat_) + increment_;
+}
+
+double Gcra::earliest_conforming(double t) const noexcept {
+  return std::max(t, tat_ - limit_);
+}
+
+DualGcra::DualGcra(const TrafficDescriptor& td)
+    : descriptor_(td),
+      peak_((td.validate(), 1.0 / td.pcr), 0.0),
+      sustain_(1.0 / td.scr,
+               static_cast<double>(td.mbs - 1) * (1.0 / td.scr - 1.0 / td.pcr)) {
+}
+
+bool DualGcra::conforms(double t) const noexcept {
+  return peak_.conforms(t) && sustain_.conforms(t);
+}
+
+void DualGcra::commit(double t) {
+  if (!conforms(t)) {
+    throw std::logic_error("DualGcra: committing a non-conforming cell");
+  }
+  peak_.commit(t);
+  sustain_.commit(t);
+}
+
+double DualGcra::earliest_conforming(double t) const noexcept {
+  // The two buckets only ever push the time later; two passes reach the
+  // joint fixed point because earliest_conforming is monotone and a later
+  // time never breaks the other bucket's conformance.
+  double e = std::max(peak_.earliest_conforming(t),
+                      sustain_.earliest_conforming(t));
+  e = std::max(peak_.earliest_conforming(e), sustain_.earliest_conforming(e));
+  return e;
+}
+
+void DualGcra::reset() noexcept {
+  peak_.reset();
+  sustain_.reset();
+}
+
+}  // namespace rtcac

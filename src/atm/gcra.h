@@ -1,0 +1,83 @@
+// rtcac/atm/gcra.h
+//
+// The Generic Cell Rate Algorithm (ATM Forum TM 4.0 "virtual scheduling"
+// form) — the usage parameter control the paper assumes at sources: a
+// connection may not inject more traffic than its (PCR, SCR, MBS)
+// contract, which is enforced / produced by a dual GCRA:
+//
+//   * GCRA(T=1/PCR, tau=0)                 — peak-rate spacing;
+//   * GCRA(T=1/SCR, tau=(MBS-1)(1/SCR-1/PCR)) — sustainable rate with
+//     burst tolerance.
+//
+// Times are in cell times (double; the simulator rounds up to ticks —
+// delaying a cell never breaks GCRA conformance).
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/traffic.h"
+
+namespace rtcac {
+
+/// Single-bucket GCRA(T, tau), virtual-scheduling formulation.
+///
+/// A cell at time t conforms iff t >= TAT - tau, where TAT is the
+/// theoretical arrival time; on a conforming cell TAT advances to
+/// max(t, TAT) + T.
+class Gcra {
+ public:
+  /// Throws std::invalid_argument unless increment > 0 and limit >= 0.
+  Gcra(double increment, double limit);
+
+  /// Emission interval T.
+  [[nodiscard]] double increment() const noexcept { return increment_; }
+  /// Burst tolerance tau.
+  [[nodiscard]] double limit() const noexcept { return limit_; }
+
+  /// Would a cell at time t conform?  Pure.
+  [[nodiscard]] bool conforms(double t) const noexcept;
+
+  /// Records a conforming cell at time t, advancing the TAT.
+  /// Precondition: conforms(t) (checked; throws std::logic_error).
+  void commit(double t);
+
+  /// Earliest time >= t at which a cell would conform (shaper use).
+  [[nodiscard]] double earliest_conforming(double t) const noexcept;
+
+  void reset() noexcept { tat_ = 0; }
+
+ private:
+  double increment_;
+  double limit_;
+  double tat_ = 0;  ///< theoretical arrival time of the next cell
+};
+
+/// Dual GCRA enforcing a full VBR contract (PCR, SCR, MBS); CBR contracts
+/// degenerate to the peak bucket alone.
+class DualGcra {
+ public:
+  /// Throws std::invalid_argument on an invalid descriptor.
+  explicit DualGcra(const TrafficDescriptor& td);
+
+  [[nodiscard]] bool conforms(double t) const noexcept;
+
+  /// Records a conforming cell.  Throws std::logic_error if !conforms(t).
+  void commit(double t);
+
+  /// Earliest time >= t at which a cell conforms to both buckets.
+  [[nodiscard]] double earliest_conforming(double t) const noexcept;
+
+  void reset() noexcept;
+
+  [[nodiscard]] const TrafficDescriptor& descriptor() const noexcept {
+    return descriptor_;
+  }
+
+ private:
+  TrafficDescriptor descriptor_;
+  Gcra peak_;
+  Gcra sustain_;
+};
+
+}  // namespace rtcac

@@ -1,0 +1,146 @@
+#include "atm/source_scheduler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtcac {
+
+namespace {
+
+/// Smallest integer tick >= t, forgiving rounding noise just below an
+/// integer.
+Tick ceil_tick(double t) {
+  return static_cast<Tick>(std::ceil(t - 1e-9));
+}
+
+}  // namespace
+
+GreedySourceScheduler::GreedySourceScheduler(
+    const TrafficDescriptor& td, Tick start,
+    std::optional<std::uint64_t> max_cells)
+    : gcra_(td), start_(start), remaining_(max_cells) {}
+
+std::optional<Tick> GreedySourceScheduler::next() {
+  if (remaining_.has_value()) {
+    if (*remaining_ == 0) return std::nullopt;
+    --*remaining_;
+  }
+  const double want =
+      first_ ? static_cast<double>(start_) : static_cast<double>(last_ + 1);
+  const Tick t = ceil_tick(gcra_.earliest_conforming(want));
+  gcra_.commit(static_cast<double>(t));
+  first_ = false;
+  last_ = t;
+  return t;
+}
+
+PeriodicSourceScheduler::PeriodicSourceScheduler(
+    Tick period, Tick phase, std::optional<std::uint64_t> max_cells)
+    : period_(period), next_tick_(phase), remaining_(max_cells) {
+  if (period < 1) {
+    throw std::invalid_argument("PeriodicSourceScheduler: period must be >= 1");
+  }
+  if (phase < 0) {
+    throw std::invalid_argument("PeriodicSourceScheduler: phase must be >= 0");
+  }
+}
+
+std::optional<Tick> PeriodicSourceScheduler::next() {
+  if (remaining_.has_value()) {
+    if (*remaining_ == 0) return std::nullopt;
+    --*remaining_;
+  }
+  const Tick t = next_tick_;
+  next_tick_ += period_;
+  return t;
+}
+
+FrameBurstSourceScheduler::FrameBurstSourceScheduler(
+    std::uint16_t frame_cells, Tick period, Tick spacing, Tick phase,
+    std::optional<std::uint32_t> max_frames)
+    : frame_cells_(frame_cells),
+      period_(period),
+      spacing_(spacing),
+      phase_(phase),
+      remaining_frames_(max_frames) {
+  if (frame_cells < 1) {
+    throw std::invalid_argument(
+        "FrameBurstSourceScheduler: frame_cells must be >= 1");
+  }
+  if (spacing < 1) {
+    throw std::invalid_argument(
+        "FrameBurstSourceScheduler: spacing must be >= 1");
+  }
+  if (phase < 0) {
+    throw std::invalid_argument(
+        "FrameBurstSourceScheduler: phase must be >= 0");
+  }
+  if (static_cast<Tick>(frame_cells) * spacing > period) {
+    throw std::invalid_argument(
+        "FrameBurstSourceScheduler: frame does not fit its period");
+  }
+}
+
+std::optional<Tick> FrameBurstSourceScheduler::next() {
+  if (remaining_frames_.has_value() && *remaining_frames_ == 0) {
+    return std::nullopt;
+  }
+  // Remember which (frame, cell) this emission is — annotate() stamps it —
+  // then advance, so callers that never annotate still progress.
+  emitted_frame_ = frame_;
+  emitted_cell_ = cell_;
+  const Tick t = phase_ + static_cast<Tick>(frame_) * period_ +
+                 static_cast<Tick>(cell_) * spacing_;
+  if (++cell_ == frame_cells_) {
+    cell_ = 0;
+    ++frame_;
+    if (remaining_frames_.has_value()) --*remaining_frames_;
+  }
+  return t;
+}
+
+void FrameBurstSourceScheduler::annotate(Cell& cell) {
+  cell.frame = emitted_frame_;
+  cell.cell_in_frame = emitted_cell_;
+  cell.end_of_frame = (emitted_cell_ + 1 == frame_cells_);
+}
+
+RandomOnOffSourceScheduler::RandomOnOffSourceScheduler(
+    const TrafficDescriptor& td, std::uint64_t seed, Options options)
+    : gcra_(td), rng_(seed), options_(options) {
+  if (options_.mean_burst_cells == 0) {
+    throw std::invalid_argument(
+        "RandomOnOffSourceScheduler: mean_burst_cells must be >= 1");
+  }
+  if (options_.mean_gap < 1) {
+    throw std::invalid_argument(
+        "RandomOnOffSourceScheduler: mean_gap must be >= 1");
+  }
+}
+
+std::optional<Tick> RandomOnOffSourceScheduler::next() {
+  if (burst_remaining_ == 0) {
+    // Draw the next burst: geometric length, exponential-ish gap.
+    burst_remaining_ = 1;
+    const double p = 1.0 / static_cast<double>(options_.mean_burst_cells);
+    while (burst_remaining_ < 4 * options_.mean_burst_cells &&
+           !rng_.chance(p)) {
+      ++burst_remaining_;
+    }
+    const double gap = -std::log(1.0 - rng_.uniform()) *
+                       static_cast<double>(options_.mean_gap);
+    clock_ += 1 + static_cast<Tick>(gap);
+  }
+  --burst_remaining_;
+  // Demand cells back-to-back within the burst; the shaper stretches the
+  // spacing whenever the contract requires it.
+  const double want = static_cast<double>(
+      std::max(clock_, last_emitted_ + 1));
+  const Tick t = ceil_tick(gcra_.earliest_conforming(want));
+  gcra_.commit(static_cast<double>(t));
+  clock_ = t;
+  last_emitted_ = t;
+  return t;
+}
+
+}  // namespace rtcac

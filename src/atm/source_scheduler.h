@@ -1,0 +1,132 @@
+// rtcac/atm/source_scheduler.h
+//
+// Cell-emission schedules for simulated sources.  Every scheduler emits a
+// monotonically increasing sequence of ticks (>= 1 apart — the access link
+// carries one cell per cell time) that conforms to the connection's
+// (PCR, SCR, MBS) contract; the flavours differ in *which* conforming
+// pattern they produce:
+//
+//   * GreedySourceScheduler — the adversarial worst case: every cell at
+//     the earliest conforming tick (the discrete pattern of Fig. 1 whose
+//     envelope Algorithm 2.1 bounds).  Used to stress analytic bounds.
+//   * PeriodicSourceScheduler — a well-behaved CBR source: fixed spacing
+//     with a phase offset (RTnet cyclic transmission).
+//   * RandomOnOffSourceScheduler — bursty but conforming: random bursts
+//     shaped through a dual GCRA.  Used for soft-CAC and average-case
+//     experiments.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "atm/cell.h"
+#include "atm/gcra.h"
+#include "util/xorshift.h"
+
+namespace rtcac {
+
+/// Produces the tick of each successive cell emission.
+class SourceScheduler {
+ public:
+  virtual ~SourceScheduler() = default;
+
+  /// Tick of the next cell; nullopt when the source is exhausted.
+  /// Successive values are strictly increasing.
+  virtual std::optional<Tick> next() = 0;
+
+  /// Stamps application metadata (AAL frame fields) onto the cell whose
+  /// emission next() just returned.  Default: single-cell frames.
+  virtual void annotate(Cell& cell) { cell.frame = static_cast<std::uint32_t>(cell.sequence); }
+};
+
+/// Adversarial source: earliest conforming tick for every cell.
+class GreedySourceScheduler final : public SourceScheduler {
+ public:
+  /// Emits `max_cells` cells (no limit if nullopt) starting at `start`.
+  explicit GreedySourceScheduler(
+      const TrafficDescriptor& td, Tick start = 0,
+      std::optional<std::uint64_t> max_cells = std::nullopt);
+
+  std::optional<Tick> next() override;
+
+ private:
+  DualGcra gcra_;
+  Tick start_;
+  std::optional<std::uint64_t> remaining_;
+  bool first_ = true;
+  Tick last_ = 0;
+};
+
+/// Fixed-period CBR source.
+class PeriodicSourceScheduler final : public SourceScheduler {
+ public:
+  /// Throws std::invalid_argument unless period >= 1 and phase >= 0.
+  PeriodicSourceScheduler(Tick period, Tick phase = 0,
+                          std::optional<std::uint64_t> max_cells = std::nullopt);
+
+  std::optional<Tick> next() override;
+
+ private:
+  Tick period_;
+  Tick next_tick_;
+  std::optional<std::uint64_t> remaining_;
+};
+
+/// Cyclic-transmission source: every `period` ticks it emits one frame of
+/// `frame_cells` cells paced `spacing` ticks apart — the shape of an
+/// RTnet shared-memory update (an AAL5 PDU worth of cells, rate-shaped to
+/// the class's CBR contract).  Cells carry frame/cell_in_frame metadata
+/// and the end-of-frame indication.
+class FrameBurstSourceScheduler final : public SourceScheduler {
+ public:
+  /// Throws std::invalid_argument unless frame_cells >= 1, spacing >= 1
+  /// and the frame fits its period (frame_cells * spacing <= period).
+  FrameBurstSourceScheduler(
+      std::uint16_t frame_cells, Tick period, Tick spacing, Tick phase = 0,
+      std::optional<std::uint32_t> max_frames = std::nullopt);
+
+  std::optional<Tick> next() override;
+  void annotate(Cell& cell) override;
+
+ private:
+  std::uint16_t frame_cells_;
+  Tick period_;
+  Tick spacing_;
+  Tick phase_;
+  std::optional<std::uint32_t> remaining_frames_;
+  std::uint32_t frame_ = 0;
+  std::uint16_t cell_ = 0;
+  std::uint32_t emitted_frame_ = 0;
+  std::uint16_t emitted_cell_ = 0;
+};
+
+/// Knobs for RandomOnOffSourceScheduler (namespace scope so the
+/// constructor can default it).
+struct RandomOnOffOptions {
+  std::uint32_t mean_burst_cells = 4;  ///< geometric mean burst length
+  Tick mean_gap = 50;                  ///< mean idle gap between bursts
+};
+
+/// Conforming random on/off source: alternates bursts of back-to-back
+/// demand (shaped by the contract's dual GCRA) with idle gaps.
+class RandomOnOffSourceScheduler final : public SourceScheduler {
+ public:
+  using Options = RandomOnOffOptions;
+
+  RandomOnOffSourceScheduler(const TrafficDescriptor& td, std::uint64_t seed,
+                             Options options = RandomOnOffOptions{});
+
+  std::optional<Tick> next() override;
+
+ private:
+  DualGcra gcra_;
+  Xorshift rng_;
+  Options options_;
+  Tick clock_ = 0;       ///< demand time of the next wanted cell
+  std::uint32_t burst_remaining_ = 0;
+  Tick last_emitted_ = -1;
+};
+
+}  // namespace rtcac

@@ -1,0 +1,40 @@
+// rtcac/atm/vpi_vci.h
+//
+// ATM cell labels.  A cell is forwarded on its (VPI, VCI) pair, which is
+// meaningful only per link: every switch translates the incoming label to
+// the label the next hop expects.  VCIs 0-31 are reserved for signaling
+// and OAM (ITU-T I.361), so user connections allocate from 32 upward.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rtcac {
+
+struct VcLabel {
+  std::uint16_t vpi = 0;
+  std::uint16_t vci = 0;
+
+  friend bool operator==(const VcLabel&, const VcLabel&) = default;
+  friend auto operator<=>(const VcLabel&, const VcLabel&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(vpi) + "/" + std::to_string(vci);
+  }
+};
+
+/// First VCI available to user connections.
+inline constexpr std::uint16_t kFirstUserVci = 32;
+/// NNI VPI space is 12 bits.
+inline constexpr std::uint16_t kMaxVpi = 4095;
+
+}  // namespace rtcac
+
+template <>
+struct std::hash<rtcac::VcLabel> {
+  std::size_t operator()(const rtcac::VcLabel& label) const noexcept {
+    return (static_cast<std::size_t>(label.vpi) << 16) | label.vci;
+  }
+};

@@ -1,0 +1,174 @@
+#include "baseline/max_rate_cac.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rtcac {
+
+BurstyEnvelope::BurstyEnvelope(double burst, BitStream stream)
+    : burst_(burst), stream_(std::move(stream)) {
+  if (burst < 0) {
+    throw std::invalid_argument("BurstyEnvelope: negative burst");
+  }
+}
+
+BurstyEnvelope BurstyEnvelope::from_traffic(const TrafficDescriptor& traffic) {
+  return BurstyEnvelope(0.0, traffic.to_bitstream());
+}
+
+double BurstyEnvelope::bits_before(double t) const {
+  if (t < 0) return 0;
+  return burst_ + stream_.bits_before(t);
+}
+
+BurstyEnvelope BurstyEnvelope::delayed(double cdv) const {
+  if (cdv < 0) {
+    throw std::invalid_argument("BurstyEnvelope: negative CDV");
+  }
+  if (cdv == 0) return *this;
+  // Everything the source may emit in [0, cdv] is assumed to arrive as one
+  // instantaneous burst — the upper bound of [9], with no link-rate cap.
+  return BurstyEnvelope(burst_ + stream_.bits_before(cdv),
+                        shift_left(stream_, cdv));
+}
+
+BurstyEnvelope BurstyEnvelope::multiplexed(const BurstyEnvelope& other) const {
+  return BurstyEnvelope(burst_ + other.burst_,
+                        multiplex(stream_, other.stream_));
+}
+
+std::optional<double> BurstyEnvelope::delay_bound() const {
+  // Single priority over a unit link: service curve G(u) = u, so the
+  // horizontal and vertical deviations coincide:
+  //   D = sup_t (burst + A_s(t) - t),
+  // attained at a breakpoint of the stream (concave minus linear).
+  if (stream_.final_rate() > 1.0 + NumTraits<double>::kEps) {
+    return std::nullopt;
+  }
+  double best = burst_;  // t = 0
+  for (const auto& seg : stream_.segments()) {
+    const double v = burst_ + stream_.bits_before(seg.start) - seg.start;
+    if (v > best) best = v;
+  }
+  const double last = stream_.segments().back().start;
+  const double v = burst_ + stream_.bits_before(last) - last;
+  if (v > best) best = v;
+  return best < 0 ? 0 : best;
+}
+
+std::optional<double> BurstyEnvelope::max_backlog() const {
+  return delay_bound();  // identical for a unit-rate single-priority server
+}
+
+MaxRateNetworkCac::MaxRateNetworkCac(std::size_t queueing_points,
+                                     double advertised_bound)
+    : points_(queueing_points),
+      advertised_bound_(advertised_bound),
+      components_(queueing_points) {
+  if (queueing_points == 0) {
+    throw std::invalid_argument("MaxRateNetworkCac: need queueing points");
+  }
+  if (!(advertised_bound > 0)) {
+    throw std::invalid_argument("MaxRateNetworkCac: bound must be > 0");
+  }
+}
+
+BurstyEnvelope MaxRateNetworkCac::arrival_at(const TrafficDescriptor& traffic,
+                                             std::size_t hop_index) const {
+  // Hard CDV accumulation over the fixed advertised bounds, as in the
+  // bit-stream scheme, so the two CACs differ only in envelope math.
+  const double cdv = advertised_bound_ * static_cast<double>(hop_index);
+  return BurstyEnvelope::from_traffic(traffic).delayed(cdv);
+}
+
+BurstyEnvelope MaxRateNetworkCac::aggregate_with(
+    std::size_t point, const BurstyEnvelope* extra) const {
+  BurstyEnvelope aggregate;
+  for (const auto& [id, env] : components_[point]) {
+    aggregate = aggregate.multiplexed(env);
+  }
+  if (extra != nullptr) {
+    aggregate = aggregate.multiplexed(*extra);
+  }
+  return aggregate;
+}
+
+MaxRateNetworkCac::Result MaxRateNetworkCac::setup(
+    const TrafficDescriptor& traffic, const std::vector<std::size_t>& route) {
+  traffic.validate();
+  Result result;
+  for (const std::size_t point : route) {
+    if (point >= points_) {
+      throw std::invalid_argument("MaxRateNetworkCac: bad queueing point");
+    }
+  }
+
+  const ConnectionId id = next_id_;
+  std::size_t committed = 0;
+  for (std::size_t h = 0; h < route.size(); ++h) {
+    const BurstyEnvelope arrival = arrival_at(traffic, h);
+    const auto bound =
+        aggregate_with(route[h], &arrival).delay_bound();
+    if (!bound.has_value() || *bound > advertised_bound_) {
+      std::ostringstream os;
+      os << "bound at point " << route[h] << " would be "
+         << (bound.has_value() ? std::to_string(*bound) : "unbounded")
+         << " > advertised " << advertised_bound_;
+      result.reason = os.str();
+      break;
+    }
+    components_[route[h]].emplace(id, arrival);
+    ++committed;
+    result.hop_bounds.push_back(*bound);
+    result.e2e_bound_at_setup += *bound;
+  }
+
+  if (!result.reason.empty()) {
+    for (std::size_t h = 0; h < committed; ++h) {
+      components_[route[h]].erase(id);
+    }
+    result.hop_bounds.clear();
+    result.e2e_bound_at_setup = 0;
+    return result;
+  }
+
+  result.accepted = true;
+  result.id = id;
+  ++next_id_;
+  records_.emplace(id, Record{traffic, route});
+  return result;
+}
+
+bool MaxRateNetworkCac::teardown(ConnectionId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  for (const std::size_t point : it->second.route) {
+    components_[point].erase(id);
+  }
+  records_.erase(it);
+  return true;
+}
+
+std::optional<double> MaxRateNetworkCac::computed_bound(
+    std::size_t point) const {
+  if (point >= points_) {
+    throw std::invalid_argument("MaxRateNetworkCac: bad queueing point");
+  }
+  if (components_[point].empty()) return 0.0;
+  return aggregate_with(point, nullptr).delay_bound();
+}
+
+std::optional<double> MaxRateNetworkCac::current_e2e_bound(
+    ConnectionId id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  double total = 0;
+  for (const std::size_t point : it->second.route) {
+    const auto bound = computed_bound(point);
+    if (!bound.has_value()) return std::nullopt;
+    total += *bound;
+  }
+  return total;
+}
+
+}  // namespace rtcac

@@ -1,0 +1,130 @@
+// rtcac/baseline/max_rate_cac.h
+//
+// A maximum-rate-function admission controller in the style of Raha,
+// Kamat & Zhao (INFOCOM'96, reference [9] of the paper) — the framework
+// the bit-stream CAC improves on.  Two deliberate simplifications relative
+// to src/core, matching the paper's stated deltas:
+//
+//   1. *Upper-bound distortion*: after accumulating CDV, the arrival
+//      envelope is A'(I) = A(I + CDV) — the whole early prefix becomes an
+//      instantaneous burst, NOT clipped by the incoming link rate.  (The
+//      bit-stream model's exact distortion caps the release at link rate.)
+//   2. *No link filtering*: aggregates are summed across incoming links
+//      without modeling the smoothing each physical link applies, so the
+//      analyzed aggregate can exceed the total incoming capacity.
+//
+// Both make the computed worst-case bounds looser, so this baseline admits
+// strictly less traffic — bench/ablation_filtering quantifies the gap on
+// the RTnet workload.
+//
+// The envelope representation is a concave piecewise-linear cumulative
+// function with an optional jump at the origin: burst + BitStream.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bitstream.h"
+#include "core/connection.h"
+#include "core/stream_ops.h"
+#include "core/traffic.h"
+
+namespace rtcac {
+
+/// Arrival envelope with an instantaneous burst: A(I) = burst + S-bits in
+/// [0, I].  The burst term is what distinguishes this model from the
+/// bit-stream one (a physical link can never deliver a jump).
+class BurstyEnvelope {
+ public:
+  BurstyEnvelope() = default;
+  BurstyEnvelope(double burst, BitStream stream);
+
+  /// Envelope of a source contract (no burst: sources are rate-limited).
+  static BurstyEnvelope from_traffic(const TrafficDescriptor& traffic);
+
+  [[nodiscard]] double burst() const noexcept { return burst_; }
+  [[nodiscard]] const BitStream& stream() const noexcept { return stream_; }
+
+  /// Cumulative bits in [0, t], including the origin jump.
+  [[nodiscard]] double bits_before(double t) const;
+
+  /// Upper-bound CDV distortion: A'(I) = A(I + cdv).
+  [[nodiscard]] BurstyEnvelope delayed(double cdv) const;
+
+  /// Worst-case aggregate of two envelopes (bursts and rates add).
+  [[nodiscard]] BurstyEnvelope multiplexed(const BurstyEnvelope& other) const;
+
+  /// Worst-case FIFO queueing delay of this aggregate over a unit-rate
+  /// link (single priority level, as in [9]'s basic configuration);
+  /// nullopt when unbounded.
+  [[nodiscard]] std::optional<double> delay_bound() const;
+
+  /// Worst-case backlog over a unit-rate link; nullopt when unbounded.
+  [[nodiscard]] std::optional<double> max_backlog() const;
+
+ private:
+  double burst_ = 0;
+  BitStream stream_;
+};
+
+/// Network-level admission using the max-rate baseline: each queueing
+/// point keeps one aggregate envelope (no in-link structure), advertises a
+/// fixed bound, and accumulates CDV as the sum of upstream advertised
+/// bounds — the same deployment shape as ConnectionManager so results are
+/// directly comparable.
+class MaxRateNetworkCac {
+ public:
+  /// `queueing_points` abstract link/port slots; `advertised_bound` is the
+  /// per-point Dmax in cell times.
+  MaxRateNetworkCac(std::size_t queueing_points, double advertised_bound);
+
+  struct Result {
+    bool accepted = false;
+    ConnectionId id = kInvalidConnection;
+    std::string reason;
+    std::vector<double> hop_bounds;  ///< computed, at setup
+    double e2e_bound_at_setup = 0;
+  };
+
+  /// Admits iff every queueing point's recomputed bound stays within the
+  /// advertised bound.  `route` lists queueing-point indices in order.
+  Result setup(const TrafficDescriptor& traffic,
+               const std::vector<std::size_t>& route);
+  bool teardown(ConnectionId id);
+
+  /// Computed bound at a queueing point under current load.
+  [[nodiscard]] std::optional<double> computed_bound(std::size_t point) const;
+  /// Recomputed end-to-end bound of a live connection; nullopt if unknown
+  /// or unbounded.
+  [[nodiscard]] std::optional<double> current_e2e_bound(ConnectionId id) const;
+
+  [[nodiscard]] double advertised() const noexcept {
+    return advertised_bound_;
+  }
+  [[nodiscard]] std::size_t connection_count() const noexcept {
+    return records_.size();
+  }
+
+ private:
+  struct Record {
+    TrafficDescriptor traffic;
+    std::vector<std::size_t> route;
+  };
+
+  [[nodiscard]] BurstyEnvelope arrival_at(const TrafficDescriptor& traffic,
+                                          std::size_t hop_index) const;
+  [[nodiscard]] BurstyEnvelope aggregate_with(
+      std::size_t point, const BurstyEnvelope* extra) const;
+
+  std::size_t points_;
+  double advertised_bound_;
+  /// Component envelopes per queueing point, keyed by connection.
+  std::vector<std::map<ConnectionId, BurstyEnvelope>> components_;
+  std::map<ConnectionId, Record> records_;
+  ConnectionId next_id_ = 1;
+};
+
+}  // namespace rtcac

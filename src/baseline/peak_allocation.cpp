@@ -1,0 +1,58 @@
+#include "baseline/peak_allocation.h"
+
+#include <sstream>
+
+namespace rtcac {
+
+namespace {
+// Admission slack: many equal-rate connections must fill a link to exactly
+// 1.0 despite floating-point summation.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+PeakAllocationCac::PeakAllocationCac(const Topology& topology)
+    : topology_(topology), load_(topology.link_count(), 0.0) {}
+
+PeakAllocationCac::Result PeakAllocationCac::setup(
+    const TrafficDescriptor& traffic, const Route& route) {
+  traffic.validate();
+  Result result;
+  (void)topology_.route_nodes(route);  // validates connectivity
+  for (const LinkId link : route) {
+    if (load_[link] + traffic.pcr > 1.0 + kSlack) {
+      std::ostringstream os;
+      os << "link " << link << " peak load " << load_[link] + traffic.pcr
+         << " exceeds capacity";
+      result.reason = os.str();
+      result.rejecting_link = link;
+      return result;
+    }
+  }
+  for (const LinkId link : route) {
+    load_[link] += traffic.pcr;
+  }
+  result.accepted = true;
+  result.id = next_id_++;
+  records_.emplace(result.id, std::make_pair(traffic.pcr, route));
+  return result;
+}
+
+bool PeakAllocationCac::teardown(ConnectionId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  for (const LinkId link : it->second.second) {
+    load_[link] -= it->second.first;
+    if (load_[link] < 0) load_[link] = 0;  // absorb rounding
+  }
+  records_.erase(it);
+  return true;
+}
+
+double PeakAllocationCac::link_load(LinkId link) const {
+  if (link >= load_.size()) {
+    throw std::invalid_argument("PeakAllocationCac: bad link id");
+  }
+  return load_[link];
+}
+
+}  // namespace rtcac

@@ -1,0 +1,53 @@
+// rtcac/baseline/peak_allocation.h
+//
+// The strawman CAC of the paper's introduction: peak bandwidth allocation.
+// A connection is admitted iff, on every link of its route, the sum of the
+// admitted peak cell rates stays within the link bandwidth.
+//
+// This keeps links un-oversubscribed on average but — as Section 1 argues
+// and bench/ablation_peak_alloc demonstrates — it cannot bound queueing
+// delay: jitter introduced upstream lets cells of many connections clump
+// and arrive simultaneously, overflowing any finite FIFO.  It is the
+// baseline the bit-stream CAC is measured against.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/connection.h"
+#include "net/topology.h"
+
+namespace rtcac {
+
+class PeakAllocationCac {
+ public:
+  struct Result {
+    bool accepted = false;
+    ConnectionId id = kInvalidConnection;
+    std::string reason;
+    std::optional<LinkId> rejecting_link;
+  };
+
+  explicit PeakAllocationCac(const Topology& topology);
+
+  /// Admits iff sum(PCR) <= 1 on every route link.
+  Result setup(const TrafficDescriptor& traffic, const Route& route);
+  bool teardown(ConnectionId id);
+
+  /// Allocated peak bandwidth on a link (normalized).
+  [[nodiscard]] double link_load(LinkId link) const;
+  [[nodiscard]] std::size_t connection_count() const noexcept {
+    return records_.size();
+  }
+
+ private:
+  const Topology& topology_;
+  std::vector<double> load_;
+  std::map<ConnectionId, std::pair<double, Route>> records_;
+  ConnectionId next_id_ = 1;
+};
+
+}  // namespace rtcac

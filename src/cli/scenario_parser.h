@@ -1,0 +1,80 @@
+// rtcac/cli/scenario_parser.h
+//
+// Text scenario format for the rtcac_admit command-line tool, so a
+// network plan can be admission-checked without writing C++.  The format
+// is line-oriented; '#' starts a comment.
+//
+//   # topology
+//   switch   sw0
+//   terminal tA
+//   link     tA sw0          # unidirectional, optional propagation ticks
+//   link     sw0 sw1 3
+//
+//   # network-wide CAC configuration (before the first connect)
+//   priorities 2
+//   queue      32            # advertised bound / FIFO depth, cell times
+//   cdv        hard          # or: soft
+//   guarantee  computed      # or: advertised
+//
+//   # connection requests, admitted in file order
+//   connect c1 route=tA-sw0-sw1 cbr=0.2            deadline=50
+//   connect c2 route=tA-sw0-sw1 vbr=0.5,0.1,8      deadline=60 prio=1
+//
+// Routes name the nodes the connection visits; each consecutive pair must
+// be joined by a link (the first matching link is used).
+
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/connection_manager.h"
+
+namespace rtcac {
+
+/// One `connect` line.
+struct ScenarioConnection {
+  std::string name;
+  QosRequest request;
+  Route route;
+};
+
+/// A fully parsed scenario file.
+struct ScenarioFile {
+  Topology topology;
+  ConnectionManager::Params params;
+  std::vector<ScenarioConnection> connections;
+};
+
+/// Thrown on any syntax or semantic error; the message carries the line
+/// number and offending text.
+class ScenarioParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a scenario from a stream.  Throws ScenarioParseError.
+[[nodiscard]] ScenarioFile parse_scenario(std::istream& in);
+
+/// Convenience overload for in-memory text (tests, tools).
+[[nodiscard]] ScenarioFile parse_scenario(const std::string& text);
+
+/// Admission outcome of one scenario connection.
+struct ScenarioOutcome {
+  std::string name;
+  bool accepted = false;
+  std::string reason;
+  double e2e_bound_at_setup = 0;
+  double e2e_advertised = 0;
+};
+
+/// Runs every `connect` in file order against a fresh ConnectionManager
+/// built from the scenario; returns one outcome per connection.  The
+/// manager is exposed through the out-parameter (may be nullptr) so
+/// callers can print reports against the final state.
+std::vector<ScenarioOutcome> run_scenario(
+    const ScenarioFile& scenario, std::unique_ptr<ConnectionManager>* manager_out = nullptr);
+
+}  // namespace rtcac

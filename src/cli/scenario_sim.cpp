@@ -1,0 +1,61 @@
+#include "cli/scenario_sim.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/simulator.h"
+
+namespace rtcac {
+
+ScenarioSimReport simulate_scenario(
+    const ScenarioFile& scenario, const ConnectionManager& manager,
+    const std::vector<ScenarioOutcome>& outcomes, Tick horizon) {
+  if (outcomes.size() != scenario.connections.size()) {
+    throw std::invalid_argument(
+        "simulate_scenario: outcomes do not match the scenario");
+  }
+
+  SimNetwork::Options options;
+  options.priorities = scenario.params.priorities;
+  options.queue_capacity =
+      static_cast<std::size_t>(scenario.params.advertised_bound) + 1;
+  SimNetwork sim(manager.topology(), options);
+
+  // Admitted connections appear in the manager in id order, which is
+  // admission (= file) order.
+  struct Pending {
+    std::size_t scenario_index;
+    ConnectionId id;
+  };
+  std::vector<Pending> admitted;
+  auto record = manager.connections().begin();
+  for (std::size_t k = 0; k < scenario.connections.size(); ++k) {
+    if (!outcomes[k].accepted) continue;
+    if (record == manager.connections().end()) {
+      throw std::invalid_argument(
+          "simulate_scenario: manager does not hold the admitted state");
+    }
+    const auto& conn = scenario.connections[k];
+    sim.install(record->first, conn.route, conn.request.priority,
+                std::make_unique<GreedySourceScheduler>(conn.request.traffic));
+    admitted.push_back(Pending{k, record->first});
+    ++record;
+  }
+
+  sim.run_until(horizon);
+
+  ScenarioSimReport report;
+  report.drops = sim.total_drops();
+  for (const Pending& pending : admitted) {
+    ScenarioSimReport::Connection conn;
+    conn.name = scenario.connections[pending.scenario_index].name;
+    conn.delivered = sim.sink(pending.id).delivered();
+    conn.max_delay = sim.sink(pending.id).queue_delay().max();
+    conn.bound = manager.current_e2e_bound(pending.id).value_or(0);
+    conn.within_bound = conn.max_delay <= conn.bound + 1e-9;
+    report.connections.push_back(std::move(conn));
+  }
+  return report;
+}
+
+}  // namespace rtcac

@@ -1,0 +1,49 @@
+// rtcac/cli/scenario_sim.h
+//
+// Adversarial validation of an admitted scenario: replay the admitted
+// connections in the cell simulator under greedy phase-aligned sources
+// (FIFO depth = advertised bound + the output-register slot) and compare
+// every measured worst-case delay with its analytic bound.  Backs
+// `rtcac_admit --simulate`.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atm/cell.h"
+#include "cli/scenario_parser.h"
+
+namespace rtcac {
+
+struct ScenarioSimReport {
+  struct Connection {
+    std::string name;
+    std::uint64_t delivered = 0;
+    double max_delay = 0;     ///< measured worst case (cell times)
+    double bound = 0;         ///< analytic e2e bound under the final load
+    bool within_bound = true;
+  };
+
+  std::vector<Connection> connections;  ///< admitted ones, in file order
+  std::uint64_t drops = 0;              ///< cells lost anywhere
+  /// True iff nothing dropped and every measurement stayed in bounds.
+  [[nodiscard]] bool all_within() const {
+    if (drops != 0) return false;
+    for (const Connection& conn : connections) {
+      if (!conn.within_bound) return false;
+    }
+    return true;
+  }
+};
+
+/// Simulates `horizon` cell times of worst-case traffic for the admitted
+/// subset of `scenario`.  `manager` and `outcomes` must come from
+/// run_scenario() on the same scenario (the manager holds the admitted
+/// state the bounds are computed from).
+[[nodiscard]] ScenarioSimReport simulate_scenario(
+    const ScenarioFile& scenario, const ConnectionManager& manager,
+    const std::vector<ScenarioOutcome>& outcomes, Tick horizon = 50000);
+
+}  // namespace rtcac

@@ -1,0 +1,325 @@
+// rtcac/core/bitstream.h
+//
+// The bit-stream traffic model of Zheng et al. (MERL TR-96-21 / ICDCS'97),
+// Section 2.
+//
+// A bit stream S = {(r(k), t(k)), k = 0..m} is a step-wise, non-increasing
+// rate function of time: the stream has rate r(k) during [t(k), t(k+1)),
+// with t(0) = 0 and t(m+1) = infinity.  Time is measured in cell times
+// (the time to transmit one 53-byte cell at full link rate) and rate is
+// normalized to the link bandwidth, so a single connection has rates in
+// [0, 1] while an aggregate of n simultaneously-arriving streams can reach
+// rate n.
+//
+// The monotonicity (worst-case traffic is front-loaded) is a class
+// invariant: every operation in the paper's algebra — delay distortion,
+// multiplexing, demultiplexing, link filtering (stream_ops.h) and the
+// worst-case queueing analysis (delay_bound.h) — both requires and
+// preserves it.
+//
+// The class is templated on the scalar type.  `BitStream` (double) is the
+// production instantiation; `ExactBitStream` (Rational) provides exact
+// admission decisions and is used by the tests to cross-validate the
+// floating-point code.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <limits>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace rtcac {
+
+/// Scalar-type policy for the stream algebra.  The primary template serves
+/// exact types (Rational): comparisons are exact and no coalescing slack is
+/// applied.
+template <typename Num>
+struct NumTraits {
+  static constexpr bool kExact = true;
+
+  static bool nearly_equal(const Num& a, const Num& b) { return a == b; }
+  static bool nearly_leq(const Num& a, const Num& b) { return a <= b; }
+  /// Snaps values that are negative only through rounding noise to zero.
+  /// For exact types a negative value is a genuine contract violation, so
+  /// it is returned unchanged and the caller's validation rejects it.
+  static Num snap_nonnegative(const Num& a) { return a; }
+};
+
+template <>
+struct NumTraits<double> {
+  static constexpr bool kExact = false;
+  /// Absolute-ish tolerance; rates in this library are O(1)..O(256) and
+  /// times O(1e4), so a scaled epsilon keeps comparisons meaningful at
+  /// both magnitudes.
+  static constexpr double kEps = 1e-9;
+
+  static double scale(double a, double b) {
+    return std::max({1.0, std::abs(a), std::abs(b)});
+  }
+  static bool nearly_equal(double a, double b) {
+    return std::abs(a - b) <= kEps * scale(a, b);
+  }
+  static bool nearly_leq(double a, double b) {
+    return a <= b + kEps * scale(a, b);
+  }
+  static double snap_nonnegative(double a) {
+    return (a < 0 && a >= -kEps) ? 0.0 : a;
+  }
+};
+
+/// One step of a bit stream: the stream runs at `rate` from `start` until
+/// the next segment's start (or forever, for the last segment).
+template <typename Num>
+struct BasicSegment {
+  Num rate{};
+  Num start{};
+
+  friend bool operator==(const BasicSegment&, const BasicSegment&) = default;
+};
+
+/// A worst-case traffic envelope: step-wise non-increasing rate function.
+///
+/// Invariants (checked at construction):
+///   * at least one segment, the first starting at time 0;
+///   * segment start times strictly increasing;
+///   * rates non-negative and non-increasing;
+///   * adjacent segments with (nearly) equal rates are coalesced, so the
+///     representation is canonical.
+template <typename Num>
+class BasicBitStream {
+ public:
+  using Segment = BasicSegment<Num>;
+  using Traits = NumTraits<Num>;
+
+  /// The zero stream (no traffic).
+  BasicBitStream() : segments_{Segment{Num(0), Num(0)}} {}
+
+  /// Constant-rate stream from time 0.  Throws on negative rate.
+  static BasicBitStream constant(const Num& rate) {
+    return BasicBitStream(std::vector<Segment>{Segment{rate, Num(0)}});
+  }
+
+  /// Builds a stream from segments, validating and canonicalizing.
+  /// Throws std::invalid_argument on any invariant violation.
+  explicit BasicBitStream(std::vector<Segment> segments)
+      : segments_(std::move(segments)) {
+    canonicalize();
+  }
+
+  BasicBitStream(std::initializer_list<Segment> segments)
+      : segments_(segments) {
+    canonicalize();
+  }
+
+  [[nodiscard]] std::span<const Segment> segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return segments_.size(); }
+
+  /// Rate of the stream at time t (t < 0 is treated as 0).
+  [[nodiscard]] Num rate_at(const Num& t) const {
+    const Segment* seg = &segments_.front();
+    for (const Segment& s : segments_) {
+      if (s.start > t) break;
+      seg = &s;
+    }
+    return seg->rate;
+  }
+
+  /// Rate of the final (infinite) segment.
+  [[nodiscard]] Num final_rate() const noexcept {
+    return segments_.back().rate;
+  }
+
+  /// Peak (initial) rate.
+  [[nodiscard]] Num peak_rate() const noexcept {
+    return segments_.front().rate;
+  }
+
+  /// True iff the stream carries no traffic at all.
+  [[nodiscard]] bool is_zero() const noexcept {
+    return segments_.size() == 1 && segments_.front().rate == Num(0);
+  }
+
+  /// Cumulative bits A(t) = integral of the rate over [0, t].
+  /// t < 0 yields 0.
+  [[nodiscard]] Num bits_before(const Num& t) const {
+    if (t <= Num(0)) return Num(0);
+    Num area{0};
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      const Num seg_start = segments_[k].start;
+      if (seg_start >= t) break;
+      const Num seg_end =
+          (k + 1 < segments_.size()) ? std::min(segments_[k + 1].start, t) : t;
+      area += segments_[k].rate * (seg_end - seg_start);
+    }
+    return area;
+  }
+
+  /// Earliest time t with A(t) >= bits; nullopt if the stream never
+  /// accumulates that many bits (possible only when the tail rate is 0).
+  [[nodiscard]] std::optional<Num> time_of_bits(const Num& bits) const {
+    if (bits <= Num(0)) return Num(0);
+    Num area{0};
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      const Num seg_start = segments_[k].start;
+      const Num rate = segments_[k].rate;
+      const bool last = (k + 1 == segments_.size());
+      if (!last) {
+        const Num seg_len = segments_[k + 1].start - seg_start;
+        const Num gained = rate * seg_len;
+        if (area + gained >= bits) {
+          return seg_start + (bits - area) / rate;  // rate > 0 here
+        }
+        area += gained;
+      } else {
+        if (rate == Num(0)) {
+          if constexpr (Traits::kExact) {
+            if (area >= bits) return seg_start;
+          } else {
+            if (Traits::nearly_leq(bits, area)) return seg_start;
+          }
+          return std::nullopt;
+        }
+        return seg_start + (bits - area) / rate;
+      }
+    }
+    return std::nullopt;  // unreachable; keeps -Wreturn-type quiet
+  }
+
+  /// Total bits ever produced; nullopt when infinite (tail rate > 0).
+  [[nodiscard]] std::optional<Num> total_bits() const {
+    if (final_rate() > Num(0)) return std::nullopt;
+    return bits_before(segments_.back().start);
+  }
+
+  /// Pointwise comparison: true iff this stream's cumulative function
+  /// dominates (is >= at every t) the other's.  Used by tests to verify
+  /// that distortion operators only ever make a stream "worse".
+  [[nodiscard]] bool dominates(const BasicBitStream& other) const {
+    // A_this and A_other are piecewise linear and concave; comparing at
+    // every breakpoint of both suffices, plus the tail slopes.
+    for (const Segment& s : segments_) {
+      if (!Traits::nearly_leq(other.bits_before(s.start),
+                              bits_before(s.start))) {
+        return false;
+      }
+    }
+    for (const Segment& s : other.segments_) {
+      if (!Traits::nearly_leq(other.bits_before(s.start),
+                              bits_before(s.start))) {
+        return false;
+      }
+    }
+    const Num last =
+        std::max(segments_.back().start, other.segments_.back().start);
+    if (!Traits::nearly_leq(other.bits_before(last), bits_before(last))) {
+      return false;
+    }
+    return Traits::nearly_leq(other.final_rate(), final_rate());
+  }
+
+  /// Structural equality up to the numeric tolerance of Num.
+  [[nodiscard]] bool nearly_equal(const BasicBitStream& other) const {
+    if (segments_.size() != other.segments_.size()) return false;
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      if (!Traits::nearly_equal(segments_[k].rate, other.segments_[k].rate) ||
+          !Traits::nearly_equal(segments_[k].start,
+                                other.segments_[k].start)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  friend bool operator==(const BasicBitStream& a,
+                         const BasicBitStream& b) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      if (k > 0) os << ", ";
+      os << "(" << as_printable(segments_[k].rate) << " @ "
+         << as_printable(segments_[k].start) << ")";
+    }
+    os << "}";
+    return os.str();
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const BasicBitStream& s) {
+    return os << s.to_string();
+  }
+
+ private:
+  template <typename T>
+  static const T& as_printable(const T& v) {
+    return v;
+  }
+
+  void canonicalize() {
+    if (segments_.empty()) {
+      throw std::invalid_argument("BitStream: needs at least one segment");
+    }
+    if (!(segments_.front().start == Num(0))) {
+      throw std::invalid_argument("BitStream: first segment must start at 0");
+    }
+    for (auto& seg : segments_) {
+      seg.rate = Traits::snap_nonnegative(seg.rate);
+      if (seg.rate < Num(0)) {
+        throw std::invalid_argument("BitStream: negative rate");
+      }
+    }
+    for (std::size_t k = 1; k < segments_.size(); ++k) {
+      if (!(segments_[k - 1].start < segments_[k].start)) {
+        throw std::invalid_argument(
+            "BitStream: segment starts must be strictly increasing");
+      }
+      if (segments_[k].rate > segments_[k - 1].rate) {
+        if (!Traits::nearly_leq(segments_[k].rate, segments_[k - 1].rate)) {
+          throw std::invalid_argument(
+              "BitStream: rates must be non-increasing (got " + to_string() +
+              ")");
+        }
+        segments_[k].rate = segments_[k - 1].rate;  // snap rounding noise
+      }
+    }
+    // Coalesce adjacent segments with (nearly) equal rates so equivalent
+    // streams have identical representations and repeated algebra does not
+    // grow the segment list without bound.
+    std::vector<Segment> out;
+    out.reserve(segments_.size());
+    out.push_back(segments_.front());
+    for (std::size_t k = 1; k < segments_.size(); ++k) {
+      if (Traits::nearly_equal(segments_[k].rate, out.back().rate)) {
+        continue;
+      }
+      out.push_back(segments_[k]);
+    }
+    segments_ = std::move(out);
+  }
+
+  std::vector<Segment> segments_;
+};
+
+/// Production instantiation: floating point, tolerant comparisons.
+using Segment = BasicSegment<double>;
+using BitStream = BasicBitStream<double>;
+
+/// Exact instantiation for boundary-exact admission and test oracles.
+using ExactSegment = BasicSegment<Rational>;
+using ExactBitStream = BasicBitStream<Rational>;
+
+}  // namespace rtcac

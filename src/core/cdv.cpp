@@ -1,0 +1,38 @@
+#include "core/cdv.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtcac {
+
+double accumulate_cdv(CdvPolicy policy,
+                      std::span<const double> upstream_bounds) {
+  double sum = 0;
+  switch (policy) {
+    case CdvPolicy::kHard:
+      for (const double d : upstream_bounds) {
+        if (d < 0) throw std::invalid_argument("accumulate_cdv: negative bound");
+        sum += d;
+      }
+      return sum;
+    case CdvPolicy::kSoft:
+      for (const double d : upstream_bounds) {
+        if (d < 0) throw std::invalid_argument("accumulate_cdv: negative bound");
+        sum += d * d;
+      }
+      return std::sqrt(sum);
+  }
+  throw std::logic_error("accumulate_cdv: unknown policy");
+}
+
+std::string to_string(CdvPolicy policy) {
+  switch (policy) {
+    case CdvPolicy::kHard:
+      return "hard";
+    case CdvPolicy::kSoft:
+      return "soft";
+  }
+  return "?";
+}
+
+}  // namespace rtcac

@@ -1,0 +1,34 @@
+// rtcac/core/cdv.h
+//
+// Cell-delay-variation accumulation policies (Section 4.3, discussion 1).
+//
+// A connection's worst-case arrival stream at hop h is its source envelope
+// distorted by the CDV it may have accumulated over hops 1..h-1.  For hard
+// real-time connections the CDV is the plain sum of the upstream per-hop
+// delay bounds — every cell could hit the worst case everywhere.  For soft
+// real-time connections the paper suggests a less conservative square-root
+// accumulation (the chance of hitting the worst case at every hop is
+// vanishingly small); we implement it as sqrt(sum of squared bounds),
+// which is exact for independent zero-mean jitter and is the standard
+// reading of "square-root summation".
+
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace rtcac {
+
+enum class CdvPolicy {
+  kHard,  ///< linear sum of upstream delay bounds (guaranteed worst case)
+  kSoft,  ///< sqrt of sum of squares (statistical, for soft real-time)
+};
+
+/// Accumulated CDV over the given upstream per-hop delay bounds (cell
+/// times) under the chosen policy.  An empty span yields 0 (first hop).
+[[nodiscard]] double accumulate_cdv(CdvPolicy policy,
+                                    std::span<const double> upstream_bounds);
+
+[[nodiscard]] std::string to_string(CdvPolicy policy);
+
+}  // namespace rtcac

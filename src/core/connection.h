@@ -1,0 +1,44 @@
+// rtcac/core/connection.h
+//
+// Connection-level vocabulary shared by the CAC engine, the signaling
+// layer and the simulator: connection identifiers, QoS requests and the
+// per-connection record a switch keeps (Section 4.3 of the paper).
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/traffic.h"
+
+namespace rtcac {
+
+/// Network-unique connection identifier (assigned by the connection
+/// manager / signaling layer; a stand-in for the ATM VPI/VCI pair).
+using ConnectionId = std::uint64_t;
+
+inline constexpr ConnectionId kInvalidConnection =
+    std::numeric_limits<ConnectionId>::max();
+
+/// Static transmission priority at a switch.  0 is the *highest* priority;
+/// larger values are served only when all smaller levels are empty.
+using Priority = std::uint32_t;
+
+/// What a source end system asks the network for in a SETUP message:
+/// a traffic contract plus an end-to-end queueing delay bound D
+/// (cell times).  Successful establishment means the network guarantees
+/// cells conforming to `traffic` are queued for at most `deadline` in
+/// total across all hops.
+struct QosRequest {
+  TrafficDescriptor traffic;
+  double deadline = std::numeric_limits<double>::infinity();
+  Priority priority = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return traffic.to_string() + " D=" + std::to_string(deadline) +
+           " prio=" + std::to_string(priority);
+  }
+};
+
+}  // namespace rtcac

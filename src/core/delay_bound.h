@@ -1,0 +1,223 @@
+// rtcac/core/delay_bound.h
+//
+// Worst-case queueing analysis at a static-priority FIFO queueing point
+// (Section 4.2, Algorithm 4.1 of the paper).
+//
+// Inputs:
+//   S  — the aggregated worst-case arrival stream of priority p;
+//   S1 — the *filtered* aggregated arrival stream of all priorities higher
+//        than p (filtered = the rate at which higher-priority traffic can
+//        actually occupy the outgoing link, hence <= 1 everywhere).
+//
+// The service available to priority p at time u is 1 - r1(u).  A bit of S
+// arriving at time t departs, in the worst case, at
+//     g(t) = inf { u : G(u) > A(t) },   G(u) = ∫₀ᵘ (1 - r1),
+// because all A(t) earlier-or-equal priority-p bits must be transmitted
+// first (FIFO within the priority) and higher-priority traffic preempts
+// the link.  The queueing delay bound is
+//     D = sup_t max(0, g(t) - t),
+// the horizontal deviation between the arrival curve A and the service
+// curve G.  A is concave and G convex (r non-increasing, r1 non-increasing
+// so 1 - r1 non-decreasing), so D(t) is piecewise linear with breakpoints
+// only at breakpoints of S and at preimages of breakpoints of S1 —
+// evaluating those finitely many candidates is exact; no maximization over
+// a continuum is needed (the paper's "easier delay bound calculation"
+// claim).
+//
+// The strict inequality in g(t) (upper inverse of G) matters: when
+// higher-priority traffic saturates the link over an interval, G is flat
+// there and a priority-p bit arriving while the backlog is exactly served
+// can still be stuck behind the saturation until the interval *ends*.  The
+// lower inverse would under-report the bound by the width of the flat
+// segment.  When G saturates permanently at exactly A(t) (zero tail
+// capacity), the last bit departs when G first reaches A(t), so the lower
+// inverse applies in that boundary case.
+//
+// The buffer requirement is the vertical deviation sup_t (A(t) - G(t)),
+// provided by max_backlog().
+//
+// Both return nullopt when the bound is infinite, i.e. tail arrivals
+// outpace tail service — an admission controller must reject such a
+// configuration.
+
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bitstream.h"
+
+namespace rtcac {
+
+namespace detail {
+
+/// Piecewise-linear, non-decreasing, convex service curve
+/// G(u) = ∫₀ᵘ (1 - r1) for a filtered higher-priority stream r1 (<= 1).
+template <typename Num>
+class ServiceCurve {
+ public:
+  explicit ServiceCurve(const BasicBitStream<Num>& higher_priority_filtered) {
+    for (const auto& seg : higher_priority_filtered.segments()) {
+      Num capacity = NumTraits<Num>::snap_nonnegative(Num(1) - seg.rate);
+      if (capacity < Num(0)) {
+        throw std::invalid_argument(
+            "ServiceCurve: higher-priority stream must be filtered "
+            "(rate <= 1)");
+      }
+      starts_.push_back(seg.start);
+      capacities_.push_back(capacity);
+    }
+    values_.resize(starts_.size());
+    values_[0] = Num(0);
+    for (std::size_t k = 1; k < starts_.size(); ++k) {
+      values_[k] =
+          values_[k - 1] + capacities_[k - 1] * (starts_[k] - starts_[k - 1]);
+    }
+  }
+
+  /// Service available in [0, u].
+  [[nodiscard]] Num operator()(const Num& u) const {
+    if (u <= Num(0)) return Num(0);
+    std::size_t k = 0;
+    while (k + 1 < starts_.size() && starts_[k + 1] <= u) ++k;
+    return values_[k] + capacities_[k] * (u - starts_[k]);
+  }
+
+  /// Tail service rate (capacity after the last breakpoint).
+  [[nodiscard]] Num tail_capacity() const { return capacities_.back(); }
+
+  [[nodiscard]] std::span<const Num> breakpoints() const { return starts_; }
+
+  /// Worst-case departure time for cumulative demand `a`:
+  /// inf{u : G(u) > a}, falling back to the lower inverse when G saturates
+  /// at exactly a.  nullopt if G never reaches a (demand never served).
+  [[nodiscard]] std::optional<Num> departure(const Num& a) const {
+    if (a < Num(0)) return Num(0);
+    // Find the first segment k whose *end value* exceeds a; departure lies
+    // inside it.  Flat (zero-capacity) segments are skipped, which is
+    // exactly the upper-inverse semantics.
+    for (std::size_t k = 0; k + 1 < starts_.size(); ++k) {
+      if (values_[k + 1] > a) {
+        // capacities_[k] > 0, otherwise values_ would not have grown.
+        return starts_[k] + (a - values_[k]) / capacities_[k];
+      }
+    }
+    const std::size_t last = starts_.size() - 1;
+    if (capacities_[last] > Num(0)) {
+      const Num excess = a - values_[last];
+      return starts_[last] + (excess > Num(0) ? excess / capacities_[last]
+                                              : Num(0));
+    }
+    // Service saturates at values_[last].  Served only if demand does not
+    // exceed it; the final bit departs when G first reached a.
+    const bool served = NumTraits<Num>::kExact
+                            ? (values_[last] >= a)
+                            : NumTraits<Num>::nearly_leq(a, values_[last]);
+    if (!served) return std::nullopt;
+    return lower_inverse(a);
+  }
+
+ private:
+  /// Earliest u with G(u) >= a; requires G to reach a.
+  [[nodiscard]] Num lower_inverse(const Num& a) const {
+    if (a <= Num(0)) return Num(0);
+    for (std::size_t k = 0; k < starts_.size(); ++k) {
+      const bool last = (k + 1 == starts_.size());
+      const Num end_value = last ? values_[k] : values_[k + 1];
+      if (!last && end_value >= a && capacities_[k] > Num(0)) {
+        return starts_[k] + (a - values_[k]) / capacities_[k];
+      }
+      if (last) {
+        if (capacities_[k] > Num(0)) {
+          const Num excess = a - values_[k];
+          return starts_[k] +
+                 (excess > Num(0) ? excess / capacities_[k] : Num(0));
+        }
+        return starts_[k];
+      }
+    }
+    return starts_.back();  // unreachable
+  }
+
+  std::vector<Num> starts_;
+  std::vector<Num> capacities_;
+  std::vector<Num> values_;  // G at each breakpoint
+};
+
+}  // namespace detail
+
+/// Worst-case queueing delay bound for priority-p arrivals S given the
+/// filtered higher-priority arrivals S1 (Algorithm 4.1).  For the highest
+/// priority pass the zero stream as S1.  Returns nullopt when unbounded.
+template <typename Num>
+std::optional<Num> delay_bound(const BasicBitStream<Num>& s,
+                               const BasicBitStream<Num>& s1_filtered) {
+  if (s.is_zero()) return Num(0);  // no arrivals, no delay
+  const detail::ServiceCurve<Num> g(s1_filtered);
+
+  // Unbounded iff arrivals outpace service forever.
+  const bool tail_stable =
+      NumTraits<Num>::kExact
+          ? (s.final_rate() <= g.tail_capacity())
+          : NumTraits<Num>::nearly_leq(s.final_rate(), g.tail_capacity());
+  if (!tail_stable) return std::nullopt;
+
+  // Candidate maximizers: breakpoints of S, plus the (earliest) arrival
+  // times whose cumulative demand matches the service level at a
+  // breakpoint of G — where the departure-time map changes slope.
+  std::vector<Num> candidates;
+  candidates.reserve(s.size() + g.breakpoints().size());
+  for (const auto& seg : s.segments()) candidates.push_back(seg.start);
+  for (const auto& u : g.breakpoints()) {
+    if (const auto t = s.time_of_bits(g(u)); t.has_value()) {
+      candidates.push_back(*t);
+    }
+  }
+
+  Num best{0};
+  for (const Num& t : candidates) {
+    const auto depart = g.departure(s.bits_before(t));
+    if (!depart.has_value()) return std::nullopt;  // demand never served
+    if (*depart - t > best) best = *depart - t;
+  }
+  return best;
+}
+
+/// Worst-case backlog (buffer requirement, in cell times' worth of bits =
+/// cells) of the priority-p queue: the vertical deviation
+/// sup_t (A(t) - G(t)).  Returns nullopt when unbounded.
+template <typename Num>
+std::optional<Num> max_backlog(const BasicBitStream<Num>& s,
+                               const BasicBitStream<Num>& s1_filtered) {
+  if (s.is_zero()) return Num(0);
+  const detail::ServiceCurve<Num> g(s1_filtered);
+
+  const bool tail_stable =
+      NumTraits<Num>::kExact
+          ? (s.final_rate() <= g.tail_capacity())
+          : NumTraits<Num>::nearly_leq(s.final_rate(), g.tail_capacity());
+  if (!tail_stable) return std::nullopt;
+
+  // A - G is piecewise linear with breakpoints at the union of both
+  // breakpoint sets; its maximum is attained at one of them (the tail
+  // slope is non-positive by the stability check).
+  Num best{0};
+  for (const auto& seg : s.segments()) {
+    const Num v = s.bits_before(seg.start) - g(seg.start);
+    if (v > best) best = v;
+  }
+  for (const auto& u : g.breakpoints()) {
+    const Num v = s.bits_before(u) - g(u);
+    if (v > best) best = v;
+  }
+  const Num last =
+      std::max(s.segments().back().start, g.breakpoints().back());
+  const Num v = s.bits_before(last) - g(last);
+  if (v > best) best = v;
+  return best;
+}
+
+}  // namespace rtcac

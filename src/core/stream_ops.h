@@ -1,0 +1,255 @@
+// rtcac/core/stream_ops.h
+//
+// The bit-stream manipulation algebra of Section 3 of the paper:
+//
+//   * multiplex    (Algorithm 3.2) — pointwise rate sum of two streams;
+//   * demultiplex  (Algorithm 3.3) — pointwise rate difference, used to
+//     remove a component from an aggregate it was previously added to;
+//   * filter       (Algorithm 3.4) — the smoothing a transmission link of
+//     unit rate applies to a stream whose rate exceeds the link bandwidth;
+//   * delay        (Algorithm 3.1) — worst-case clumping distortion a
+//     stream suffers after crossing queueing points with accumulated cell
+//     delay variation CDV.
+//
+// `delay` is implemented as prefix-collapse + `filter`: delaying by CDV in
+// the worst case turns the first CDV of traffic into an instantaneous
+// backlog released at link rate, i.e. the delayed cumulative function is
+// A'(t) = min(t, A(t + CDV)).  That is exactly `filter` applied to the
+// stream shifted left by CDV with an initial backlog of A(CDV).  The paper
+// presents the two algorithms separately; sharing the drain computation
+// removes a whole class of off-by-one-segment bugs.
+//
+// All operations preserve the BitStream invariant (step-wise,
+// non-increasing) and are pure: they return new streams.
+
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bitstream.h"
+
+namespace rtcac {
+
+/// Multiplexes two streams (Algorithm 3.2): the worst-case aggregate of two
+/// connections sharing a queueing point has, at every instant, the sum of
+/// the component rates.
+template <typename Num>
+BasicBitStream<Num> multiplex(const BasicBitStream<Num>& s1,
+                              const BasicBitStream<Num>& s2) {
+  using Segment = BasicSegment<Num>;
+  std::vector<Segment> out;
+  out.reserve(s1.size() + s2.size());
+  const auto a = s1.segments();
+  const auto b = s2.segments();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  // Sweep the union of breakpoints; at each, the aggregate rate is the sum
+  // of the rates currently in force.
+  while (i < a.size() || j < b.size()) {
+    Num t{};
+    if (j >= b.size() || (i < a.size() && a[i].start < b[j].start)) {
+      t = a[i].start;
+      ++i;
+    } else if (i >= a.size() || b[j].start < a[i].start) {
+      t = b[j].start;
+      ++j;
+    } else {
+      t = a[i].start;
+      ++i;
+      ++j;
+    }
+    const Num rate = (i > 0 ? a[i - 1].rate : Num(0)) +
+                     (j > 0 ? b[j - 1].rate : Num(0));
+    out.push_back(Segment{rate, t});
+  }
+  return BasicBitStream<Num>(std::move(out));
+}
+
+/// Thrown by demultiplex when the subtrahend is not contained in the
+/// aggregate (the difference would be negative beyond numeric noise).
+/// Indicates a bookkeeping bug in the caller, not bad input traffic.
+class StreamContainmentError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Demultiplexes (Algorithm 3.3): removes component s2 from aggregate s1,
+/// requiring that s2 was previously multiplexed into s1 (rates never go
+/// negative).  Throws StreamContainmentError otherwise.
+template <typename Num>
+BasicBitStream<Num> demultiplex(const BasicBitStream<Num>& s1,
+                                const BasicBitStream<Num>& s2) {
+  using Segment = BasicSegment<Num>;
+  std::vector<Segment> out;
+  out.reserve(s1.size() + s2.size());
+  const auto a = s1.segments();
+  const auto b = s2.segments();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    Num t{};
+    if (j >= b.size() || (i < a.size() && a[i].start < b[j].start)) {
+      t = a[i].start;
+      ++i;
+    } else if (i >= a.size() || b[j].start < a[i].start) {
+      t = b[j].start;
+      ++j;
+    } else {
+      t = a[i].start;
+      ++i;
+      ++j;
+    }
+    Num rate = (i > 0 ? a[i - 1].rate : Num(0)) -
+               (j > 0 ? b[j - 1].rate : Num(0));
+    rate = NumTraits<Num>::snap_nonnegative(rate);
+    if (rate < Num(0)) {
+      throw StreamContainmentError(
+          "demultiplex: component stream is not contained in the aggregate");
+    }
+    out.push_back(Segment{rate, t});
+  }
+  // The difference of two non-increasing step functions need not be
+  // monotone in general, but it is whenever s2 was a multiplexed component
+  // of s1 (the remainder is itself a sum of non-increasing streams).  The
+  // BitStream constructor re-validates, turning any misuse into a loud
+  // error instead of a silently wrong admission decision.
+  try {
+    return BasicBitStream<Num>(std::move(out));
+  } catch (const std::invalid_argument&) {
+    throw StreamContainmentError(
+        "demultiplex: result is not a valid worst-case stream; the "
+        "component was not part of this aggregate");
+  }
+}
+
+/// Filters a stream through a unit-bandwidth transmission link
+/// (Algorithm 3.4), optionally with `initial_backlog` bits already queued
+/// at time 0.  While backlog remains, the output runs at link rate 1; once
+/// the queue drains the input passes through unchanged.  Because input
+/// rates are non-increasing, the queue has a single busy period.
+///
+/// If the queue never drains (tail input rate >= 1 with backlog, or > 1),
+/// the output is a permanent full-rate stream {(1, 0)}.
+template <typename Num>
+BasicBitStream<Num> filter(const BasicBitStream<Num>& s,
+                           const Num& initial_backlog = Num(0)) {
+  using Segment = BasicSegment<Num>;
+  if (initial_backlog < Num(0)) {
+    throw std::invalid_argument("filter: negative initial backlog");
+  }
+  const auto segs = s.segments();
+  // Fast path: nothing to smooth.
+  if (initial_backlog == Num(0) && segs.front().rate <= Num(1)) {
+    return s;
+  }
+
+  // Walk segments tracking queue occupancy Q(t); Q' = rate - 1.
+  // Q is concave (rate non-increasing), so the first time Q hits zero the
+  // busy period is over for good.
+  Num queue = initial_backlog;
+  std::optional<Num> drain_time;
+  std::size_t drain_seg = 0;
+  for (std::size_t k = 0; k < segs.size(); ++k) {
+    const Num rate = segs[k].rate;
+    if (rate < Num(1)) {
+      const Num slope = Num(1) - rate;  // drain speed
+      if (k + 1 < segs.size()) {
+        const Num len = segs[k + 1].start - segs[k].start;
+        if (queue <= slope * len) {
+          drain_time = segs[k].start + queue / slope;
+          drain_seg = k;
+          break;
+        }
+        queue -= slope * len;
+      } else {
+        drain_time = segs[k].start + queue / slope;
+        drain_seg = k;
+        break;
+      }
+    } else if (rate > Num(1)) {
+      if (k + 1 == segs.size()) break;  // grows forever
+      queue += (rate - Num(1)) * (segs[k + 1].start - segs[k].start);
+    } else {
+      // rate == 1: queue constant through this segment.
+      if (k + 1 == segs.size()) break;
+    }
+  }
+
+  if (!drain_time.has_value()) {
+    // Link saturated forever.
+    return BasicBitStream<Num>::constant(Num(1));
+  }
+
+  std::vector<Segment> out;
+  out.reserve(segs.size() - drain_seg + 1);
+  if (*drain_time == Num(0)) {
+    // Degenerate: zero backlog and first rate exactly 1 was handled by the
+    // fast path only for rate <= 1; an initial_backlog of 0 with rate > 1
+    // cannot drain at t = 0.  Reaching here means initial_backlog == 0 and
+    // the stream is already link-feasible.
+    return s;
+  }
+  out.push_back(Segment{Num(1), Num(0)});
+  // After the drain instant the output follows the input.  The input rate
+  // at drain_time is segs[drain_seg].rate (< 1, or the drain would not
+  // have completed inside this segment) — unless the queue emptied exactly
+  // at the segment's end, in which case the next segment takes over
+  // immediately and emitting the drained one would duplicate its start.
+  std::size_t resume = drain_seg;
+  if (resume + 1 < segs.size() && !(segs[resume + 1].start > *drain_time)) {
+    ++resume;
+  }
+  out.push_back(Segment{segs[resume].rate, *drain_time});
+  for (std::size_t k = resume + 1; k < segs.size(); ++k) {
+    out.push_back(segs[k]);
+  }
+  return BasicBitStream<Num>(std::move(out));
+}
+
+/// Shifts a stream left by `shift` time units: result rate r'(t) =
+/// r(t + shift).  Bits produced before `shift` are dropped (the caller
+/// accounts for them, e.g. as the initial backlog of `delay`).
+template <typename Num>
+BasicBitStream<Num> shift_left(const BasicBitStream<Num>& s,
+                               const Num& shift) {
+  using Segment = BasicSegment<Num>;
+  if (shift < Num(0)) {
+    throw std::invalid_argument("shift_left: negative shift");
+  }
+  if (shift == Num(0)) return s;
+  const auto segs = s.segments();
+  std::vector<Segment> out;
+  out.reserve(segs.size());
+  for (const auto& seg : segs) {
+    const Num start =
+        seg.start <= shift ? Num(0) : Num(seg.start - shift);
+    if (!out.empty() && out.back().start == start) {
+      out.back().rate = seg.rate;  // later segment at same (clamped) start wins
+    } else {
+      out.push_back(Segment{seg.rate, start});
+    }
+  }
+  return BasicBitStream<Num>(std::move(out));
+}
+
+/// Worst-case delay distortion (Algorithm 3.1): the stream after crossing
+/// queueing points with accumulated cell delay variation `cdv`.
+///
+/// In the worst case every bit generated in [0, cdv] is held until time
+/// cdv and then released back-to-back at link rate, while later bits pass
+/// undelayed.  Rebasing time at the first released bit gives
+/// A'(t) = min(t, A(t + cdv)): the original cumulative curve shifted left
+/// by cdv, clipped by the link rate.
+template <typename Num>
+BasicBitStream<Num> delay(const BasicBitStream<Num>& s, const Num& cdv) {
+  if (cdv < Num(0)) {
+    throw std::invalid_argument("delay: negative CDV");
+  }
+  if (cdv == Num(0) || s.is_zero()) return s;
+  const Num accumulated = s.bits_before(cdv);
+  return filter(shift_left(s, cdv), accumulated);
+}
+
+}  // namespace rtcac

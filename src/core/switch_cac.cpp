@@ -1,0 +1,271 @@
+#include "core/switch_cac.h"
+
+#include <stdexcept>
+
+namespace rtcac {
+
+template <typename Num>
+BasicSwitchCac<Num>::BasicSwitchCac(const Config& config) : config_(config) {
+  if (config_.in_ports == 0 || config_.out_ports == 0 ||
+      config_.priorities == 0) {
+    throw std::invalid_argument(
+        "SwitchCac: ports and priorities must be positive");
+  }
+  if (!(config_.advertised_bound > Num(0))) {
+    throw std::invalid_argument("SwitchCac: advertised bound must be > 0");
+  }
+  advertised_.assign(config_.out_ports * config_.priorities,
+                     config_.advertised_bound);
+  arrival_aggr_.assign(
+      config_.in_ports * config_.out_ports * config_.priorities, Stream{});
+  cell_counts_.assign(arrival_aggr_.size(), 0);
+}
+
+template <typename Num>
+std::size_t BasicSwitchCac<Num>::cell_index(std::size_t in_port,
+                                            std::size_t out_port,
+                                            Priority priority) const {
+  return (in_port * config_.out_ports + out_port) * config_.priorities +
+         priority;
+}
+
+template <typename Num>
+void BasicSwitchCac<Num>::check_ports(std::size_t in_port,
+                                      std::size_t out_port,
+                                      Priority priority) const {
+  if (in_port >= config_.in_ports || out_port >= config_.out_ports ||
+      priority >= config_.priorities) {
+    throw std::invalid_argument("SwitchCac: port or priority out of range");
+  }
+}
+
+template <typename Num>
+Num BasicSwitchCac<Num>::advertised(std::size_t out_port,
+                                    Priority priority) const {
+  check_ports(0, out_port, priority);
+  return advertised_[out_port * config_.priorities + priority];
+}
+
+template <typename Num>
+void BasicSwitchCac<Num>::set_advertised(std::size_t out_port,
+                                         Priority priority, Num bound) {
+  check_ports(0, out_port, priority);
+  if (!(bound > Num(0))) {
+    throw std::invalid_argument("SwitchCac: advertised bound must be > 0");
+  }
+  advertised_[out_port * config_.priorities + priority] = bound;
+}
+
+template <typename Num>
+typename BasicSwitchCac<Num>::Stream BasicSwitchCac<Num>::rebuild_cell(
+    std::size_t in_port, std::size_t out_port, Priority priority) const {
+  Stream aggr;
+  for (const auto& [id, rec] : records_) {
+    if (rec.in_port == in_port && rec.out_port == out_port &&
+        rec.priority == priority) {
+      aggr = multiplex(aggr, rec.arrival);
+    }
+  }
+  return aggr;
+}
+
+template <typename Num>
+typename BasicSwitchCac<Num>::Stream BasicSwitchCac<Num>::offered_aggregate(
+    std::size_t out_port, Priority priority, const Stream* extra,
+    std::size_t extra_in, Priority extra_prio) const {
+  Stream offered;
+  for (std::size_t i = 0; i < config_.in_ports; ++i) {
+    const Stream* cell = &arrival_aggr_[cell_index(i, out_port, priority)];
+    Stream with_extra;
+    if (extra != nullptr && i == extra_in && priority == extra_prio) {
+      with_extra = multiplex(*cell, *extra);
+      cell = &with_extra;
+    }
+    if (cell->is_zero()) continue;
+    offered = multiplex(offered, filter(*cell));
+  }
+  return offered;
+}
+
+template <typename Num>
+typename BasicSwitchCac<Num>::Stream
+BasicSwitchCac<Num>::higher_priority_filtered(std::size_t out_port,
+                                              Priority priority,
+                                              const Stream* extra,
+                                              std::size_t extra_in,
+                                              Priority extra_prio) const {
+  Stream out_aggr;
+  for (std::size_t i = 0; i < config_.in_ports; ++i) {
+    // Aggregate all strictly-higher priorities on this incoming link: they
+    // share the link, so one filter pass applies to their union.
+    Stream hp;
+    for (Priority q = 0; q < priority; ++q) {
+      const Stream* cell = &arrival_aggr_[cell_index(i, out_port, q)];
+      Stream with_extra;
+      if (extra != nullptr && i == extra_in && q == extra_prio) {
+        with_extra = multiplex(*cell, *extra);
+        cell = &with_extra;
+      }
+      if (cell->is_zero()) continue;
+      hp = multiplex(hp, *cell);
+    }
+    if (hp.is_zero()) continue;
+    out_aggr = multiplex(out_aggr, filter(hp));
+  }
+  // The higher-priority traffic leaves through the same unit-rate out-link,
+  // so it can occupy at most rate 1 of it.
+  return filter(out_aggr);
+}
+
+template <typename Num>
+typename BasicSwitchCac<Num>::CheckResult BasicSwitchCac<Num>::check(
+    std::size_t in_port, std::size_t out_port, Priority priority,
+    const Stream& arrival) const {
+  check_ports(in_port, out_port, priority);
+  CheckResult result;
+  result.bounds.assign(config_.priorities, std::nullopt);
+
+  // Steps 1-4 of the paper's CAC check for the connection's own priority,
+  // then Step 5 for every lower priority level (higher levels cannot be
+  // affected by the newcomer and keep their previously verified bounds).
+  for (Priority q = 0; q < config_.priorities; ++q) {
+    std::optional<Num> bound;
+    if (q < priority) {
+      bound = computed_bound(out_port, q);
+    } else {
+      const Stream offered =
+          offered_aggregate(out_port, q, &arrival, in_port, priority);
+      const Stream hp = higher_priority_filtered(out_port, q, &arrival,
+                                                 in_port, priority);
+      bound = delay_bound(offered, hp);
+    }
+    result.bounds[q] = bound;
+    if (q == priority) {
+      result.bound_at_priority = bound;
+    }
+    if (q >= priority) {
+      const Num dmax = advertised_[out_port * config_.priorities + q];
+      if (!bound.has_value() || *bound > dmax) {
+        std::ostringstream os;
+        os << "delay bound at out-port " << out_port << " priority " << q
+           << " would be ";
+        if (bound.has_value()) {
+          os << *bound;
+        } else {
+          os << "unbounded";
+        }
+        os << " > advertised " << dmax;
+        result.admitted = false;
+        result.reason = os.str();
+        return result;
+      }
+    }
+  }
+  result.admitted = true;
+  return result;
+}
+
+template <typename Num>
+void BasicSwitchCac<Num>::add(ConnectionId id, std::size_t in_port,
+                              std::size_t out_port, Priority priority,
+                              const Stream& arrival) {
+  check_ports(in_port, out_port, priority);
+  if (records_.contains(id)) {
+    throw std::invalid_argument("SwitchCac: duplicate connection id " +
+                                std::to_string(id));
+  }
+  records_.emplace(id, Record{in_port, out_port, priority, arrival});
+  const std::size_t idx = cell_index(in_port, out_port, priority);
+  arrival_aggr_[idx] = multiplex(arrival_aggr_[idx], arrival);
+  ++cell_counts_[idx];
+}
+
+template <typename Num>
+bool BasicSwitchCac<Num>::remove(ConnectionId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  const Record rec = it->second;
+  records_.erase(it);
+  const std::size_t idx = cell_index(rec.in_port, rec.out_port, rec.priority);
+  --cell_counts_[idx];
+  // Rebuild rather than demultiplex: repeated setup/teardown must not
+  // accumulate floating-point drift in the aggregates.
+  arrival_aggr_[idx] = cell_counts_[idx] == 0
+                           ? Stream{}
+                           : rebuild_cell(rec.in_port, rec.out_port,
+                                          rec.priority);
+  return true;
+}
+
+template <typename Num>
+std::optional<Num> BasicSwitchCac<Num>::computed_bound(
+    std::size_t out_port, Priority priority) const {
+  check_ports(0, out_port, priority);
+  const Stream offered = offered_aggregate(out_port, priority, nullptr, 0, 0);
+  if (offered.is_zero()) return Num(0);
+  const Stream hp =
+      higher_priority_filtered(out_port, priority, nullptr, 0, 0);
+  return delay_bound(offered, hp);
+}
+
+template <typename Num>
+std::optional<Num> BasicSwitchCac<Num>::buffer_requirement(
+    std::size_t out_port, Priority priority) const {
+  check_ports(0, out_port, priority);
+  const Stream offered = offered_aggregate(out_port, priority, nullptr, 0, 0);
+  if (offered.is_zero()) return Num(0);
+  const Stream hp =
+      higher_priority_filtered(out_port, priority, nullptr, 0, 0);
+  return max_backlog(offered, hp);
+}
+
+template <typename Num>
+std::size_t BasicSwitchCac<Num>::connection_count(std::size_t out_port,
+                                                  Priority priority) const {
+  check_ports(0, out_port, priority);
+  std::size_t count = 0;
+  for (const auto& [id, rec] : records_) {
+    if (rec.out_port == out_port && rec.priority == priority) ++count;
+  }
+  return count;
+}
+
+template <typename Num>
+Num BasicSwitchCac<Num>::sustained_load(std::size_t out_port,
+                                        Priority priority) const {
+  check_ports(0, out_port, priority);
+  Num load{0};
+  for (std::size_t i = 0; i < config_.in_ports; ++i) {
+    load += arrival_aggr_[cell_index(i, out_port, priority)].final_rate();
+  }
+  return load;
+}
+
+template <typename Num>
+const typename BasicSwitchCac<Num>::Stream&
+BasicSwitchCac<Num>::arrival_aggregate(std::size_t in_port,
+                                       std::size_t out_port,
+                                       Priority priority) const {
+  check_ports(in_port, out_port, priority);
+  return arrival_aggr_[cell_index(in_port, out_port, priority)];
+}
+
+template <typename Num>
+bool BasicSwitchCac<Num>::state_consistent() const {
+  for (std::size_t i = 0; i < config_.in_ports; ++i) {
+    for (std::size_t j = 0; j < config_.out_ports; ++j) {
+      for (Priority p = 0; p < config_.priorities; ++p) {
+        const Stream expect = rebuild_cell(i, j, p);
+        if (!expect.nearly_equal(arrival_aggr_[cell_index(i, j, p)])) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+template class BasicSwitchCac<double>;
+template class BasicSwitchCac<Rational>;
+
+}  // namespace rtcac

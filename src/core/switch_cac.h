@@ -1,0 +1,202 @@
+// rtcac/core/switch_cac.h
+//
+// Per-switch connection admission control state and check — the heart of
+// Section 4.3 of the paper.
+//
+// A switch with static-priority FIFO output queues keeps, for every
+// (incoming port i, outgoing port j, priority p), the worst-case arrival
+// streams of the connections routed (i -> j) at priority p.  From these it
+// derives, per the paper's bookkeeping:
+//
+//   S_ia(i,j,p)   aggregate of the (i,j,p) connection arrival streams
+//   S_if(i,j,p)   = filter(S_ia(i,j,p))      — smoothed by the in-link
+//   S_oa(j,p)     = mux_i S_if(i,j,p)        — offered to out-queue (j,p)
+//   S_hp_ia(i,j,p) aggregate over priorities *higher* than p
+//   S_of(j,p)     = filter(mux_i filter(S_hp_ia(i,j,p)))
+//                                            — hp traffic on out-link j
+//   D'(j,p)       = delay_bound(S_oa(j,p), S_of(j,p))
+//
+// The switch advertises a fixed bound Dmax(j,p) per outgoing queue (its
+// FIFO depth in cells); a new connection is admissible iff, with its
+// stream added, D'(j,p) and D'(j,q) for every lower priority q stay within
+// the advertised bounds (higher priorities cannot be affected).  Because
+// the advertised bounds are fixed, upstream CDV accumulation never needs
+// to be re-iterated when load changes — the paper's key simplification.
+//
+// check() is a pure trial; add()/remove() mutate state.  remove() restores
+// the exact state (aggregates are rebuilt from the per-connection records,
+// so floating-point drift cannot accumulate across setup/teardown cycles).
+//
+// Like the stream algebra, the engine is generic over its scalar:
+// `SwitchCac` (double) is the production instantiation; `ExactSwitchCac`
+// (Rational) decides exactly at the boundary — a computed bound equal to
+// the advertised bound admits, bit for bit, independent of evaluation
+// order.  Both are explicitly instantiated in switch_cac.cpp.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bitstream.h"
+#include "core/connection.h"
+#include "core/delay_bound.h"
+#include "core/stream_ops.h"
+
+namespace rtcac {
+
+/// Admission verdict for one switch, with the computed worst-case bounds
+/// that justify it.  nullopt bounds mean "unbounded" (always a
+/// rejection).
+template <typename Num>
+struct BasicSwitchCheckResult {
+  bool admitted = false;
+  /// Computed worst-case queueing delay D'(j,p) at the connection's own
+  /// priority, including the candidate connection (cell times).
+  std::optional<Num> bound_at_priority;
+  /// Computed bounds D'(j,q) for every priority q at the outgoing port,
+  /// including the candidate (index = priority).
+  std::vector<std::optional<Num>> bounds;
+  /// Human-readable rejection reason; empty when admitted.
+  std::string reason;
+};
+
+/// CAC state of one static-priority FIFO switch.
+template <typename Num>
+class BasicSwitchCac {
+ public:
+  using Stream = BasicBitStream<Num>;
+  using CheckResult = BasicSwitchCheckResult<Num>;
+
+  struct Config {
+    std::size_t in_ports = 0;
+    std::size_t out_ports = 0;
+    std::size_t priorities = 1;
+    /// Default advertised per-queue delay bound Dmax (cell times); equal
+    /// to the FIFO queue depth in cells, per the paper's RTnet setup.
+    Num advertised_bound = Num(32);
+  };
+
+  /// Throws std::invalid_argument on a degenerate config.
+  explicit BasicSwitchCac(const Config& config);
+
+  [[nodiscard]] std::size_t in_ports() const noexcept {
+    return config_.in_ports;
+  }
+  [[nodiscard]] std::size_t out_ports() const noexcept {
+    return config_.out_ports;
+  }
+  [[nodiscard]] std::size_t priorities() const noexcept {
+    return config_.priorities;
+  }
+
+  /// Advertised (fixed) bound for outgoing queue (j, p).
+  [[nodiscard]] Num advertised(std::size_t out_port, Priority priority) const;
+  void set_advertised(std::size_t out_port, Priority priority, Num bound);
+
+  /// Trial admission of a connection with worst-case arrival stream
+  /// `arrival` (already CDV-distorted for this hop) routed in->out at
+  /// `priority`.  Does not mutate state.
+  [[nodiscard]] CheckResult check(std::size_t in_port, std::size_t out_port,
+                                  Priority priority,
+                                  const Stream& arrival) const;
+
+  /// Commits a connection.  Call after a successful check(); add() itself
+  /// does not re-verify bounds.  Throws std::invalid_argument on duplicate
+  /// id or out-of-range ports.
+  void add(ConnectionId id, std::size_t in_port, std::size_t out_port,
+           Priority priority, const Stream& arrival);
+
+  /// Removes a connection; returns false if the id is unknown.
+  bool remove(ConnectionId id);
+
+  /// Computed worst-case delay bound D'(j,p) with the current connection
+  /// set; nullopt when unbounded.  Zero traffic yields 0.
+  [[nodiscard]] std::optional<Num> computed_bound(std::size_t out_port,
+                                                  Priority priority) const;
+
+  /// Worst-case backlog (buffer requirement, cells) of queue (j, p);
+  /// nullopt when unbounded.
+  [[nodiscard]] std::optional<Num> buffer_requirement(
+      std::size_t out_port, Priority priority) const;
+
+  [[nodiscard]] std::size_t connection_count() const noexcept {
+    return records_.size();
+  }
+
+  /// Connections queued at (out_port, priority).
+  [[nodiscard]] std::size_t connection_count(std::size_t out_port,
+                                             Priority priority) const;
+
+  /// Long-run (sustained) load offered to queue (out_port, priority):
+  /// the tail rate of the offered aggregate, normalized to the link.
+  [[nodiscard]] Num sustained_load(std::size_t out_port,
+                                   Priority priority) const;
+
+  /// Aggregated arrival stream S_ia(i,j,p) (mostly for tests/diagnostics).
+  [[nodiscard]] const Stream& arrival_aggregate(std::size_t in_port,
+                                                std::size_t out_port,
+                                                Priority priority) const;
+
+  /// Verifies that every cached aggregate equals the mux of its component
+  /// connection streams (within tolerance).  Test/diagnostic hook; O(n).
+  [[nodiscard]] bool state_consistent() const;
+
+ private:
+  struct Record {
+    std::size_t in_port;
+    std::size_t out_port;
+    Priority priority;
+    Stream arrival;
+  };
+
+  [[nodiscard]] std::size_t cell_index(std::size_t in_port,
+                                       std::size_t out_port,
+                                       Priority priority) const;
+  void check_ports(std::size_t in_port, std::size_t out_port,
+                   Priority priority) const;
+
+  /// Rebuilds S_ia(i,j,p) from the per-connection records.
+  [[nodiscard]] Stream rebuild_cell(std::size_t in_port,
+                                    std::size_t out_port,
+                                    Priority priority) const;
+
+  /// S_oa(j,p): offered aggregate at out-queue (j,p), optionally with
+  /// `extra` multiplexed into cell (extra_in, j, extra_prio) — used for
+  /// trial checks without mutating state.
+  [[nodiscard]] Stream offered_aggregate(std::size_t out_port,
+                                         Priority priority,
+                                         const Stream* extra,
+                                         std::size_t extra_in,
+                                         Priority extra_prio) const;
+
+  /// S_of(j,p): filtered aggregate of priorities < p on out-link j,
+  /// with the same optional trial stream.
+  [[nodiscard]] Stream higher_priority_filtered(std::size_t out_port,
+                                                Priority priority,
+                                                const Stream* extra,
+                                                std::size_t extra_in,
+                                                Priority extra_prio) const;
+
+  Config config_;
+  std::vector<Num> advertised_;        // [out * priorities + prio]
+  std::vector<Stream> arrival_aggr_;   // S_ia per (in, out, prio)
+  std::vector<std::size_t> cell_counts_;  // #connections per (in, out, prio)
+  std::map<ConnectionId, Record> records_;
+};
+
+/// Production instantiation.
+using SwitchCac = BasicSwitchCac<double>;
+using SwitchCheckResult = BasicSwitchCheckResult<double>;
+
+/// Exact instantiation: boundary-exact admission decisions.
+using ExactSwitchCac = BasicSwitchCac<Rational>;
+using ExactSwitchCheckResult = BasicSwitchCheckResult<Rational>;
+
+extern template class BasicSwitchCac<double>;
+extern template class BasicSwitchCac<Rational>;
+
+}  // namespace rtcac

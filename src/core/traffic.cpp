@@ -1,0 +1,146 @@
+#include "core/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtcac {
+
+void TrafficDescriptor::validate() const {
+  if (!(pcr > 0) || pcr > 1.0) {
+    throw std::invalid_argument("TrafficDescriptor: PCR must be in (0, 1], got " +
+                                std::to_string(pcr));
+  }
+  if (!(scr > 0) || scr > pcr) {
+    throw std::invalid_argument(
+        "TrafficDescriptor: SCR must be in (0, PCR], got " +
+        std::to_string(scr));
+  }
+  if (mbs < 1) {
+    throw std::invalid_argument("TrafficDescriptor: MBS must be >= 1");
+  }
+}
+
+BitStream TrafficDescriptor::to_bitstream() const {
+  validate();
+  // Algorithm 2.1: one cell at link rate, the rest of the burst at PCR,
+  // then the SCR tail.  Segments whose span would be empty are skipped so
+  // the start times stay strictly increasing; the BitStream constructor
+  // coalesces equal-rate neighbours (e.g. CBR, where SCR == PCR).
+  std::vector<Segment> segs;
+  segs.push_back(Segment{1.0, 0.0});
+  const double burst_end = 1.0 + static_cast<double>(mbs - 1) / pcr;
+  if (mbs > 1 && pcr < 1.0) {
+    segs.push_back(Segment{pcr, 1.0});
+  }
+  if (scr < (mbs > 1 ? pcr : 1.0)) {
+    segs.push_back(Segment{scr, burst_end});
+  }
+  return BitStream(std::move(segs));
+}
+
+ExactBitStream TrafficDescriptor::to_exact_bitstream(std::int64_t scale) const {
+  validate();
+  if (scale <= 0) {
+    throw std::invalid_argument("to_exact_bitstream: scale must be positive");
+  }
+  const auto as_rational = [scale](double rate, const char* name) {
+    const double scaled = rate * static_cast<double>(scale);
+    const double rounded = std::round(scaled);
+    if (std::abs(scaled - rounded) > 1e-6) {
+      throw std::invalid_argument(
+          std::string("to_exact_bitstream: ") + name +
+          " is not an exact multiple of 1/scale");
+    }
+    return Rational(static_cast<std::int64_t>(rounded), scale);
+  };
+  const Rational rp = as_rational(pcr, "PCR");
+  const Rational rs = as_rational(scr, "SCR");
+
+  std::vector<ExactSegment> segs;
+  segs.push_back(ExactSegment{Rational(1), Rational(0)});
+  const Rational burst_end =
+      Rational(1) + Rational(static_cast<std::int64_t>(mbs) - 1) / rp;
+  if (mbs > 1 && rp < Rational(1)) {
+    segs.push_back(ExactSegment{rp, Rational(1)});
+  }
+  if (rs < (mbs > 1 ? rp : Rational(1))) {
+    segs.push_back(ExactSegment{rs, burst_end});
+  }
+  return ExactBitStream(std::move(segs));
+}
+
+std::string TrafficDescriptor::to_string() const {
+  std::ostringstream os;
+  if (is_cbr()) {
+    os << "CBR(PCR=" << pcr << ")";
+  } else {
+    os << "VBR(PCR=" << pcr << ", SCR=" << scr << ", MBS=" << mbs << ")";
+  }
+  return os.str();
+}
+
+// The source contract is the ATM-Forum dual GCRA: GCRA(1/PCR, 0) for peak
+// spacing and GCRA(1/SCR, (MBS-1)(1/SCR - 1/PCR)) for the sustainable rate
+// with burst tolerance.  This reading allows exactly MBS back-to-back
+// cells at PCR and therefore matches the Algorithm 2.1 envelope bit for
+// bit at cell boundaries.  The paper's Eq. (1) token recurrence, read
+// literally (bucket of MBS whole tokens refilled at SCR), would admit
+// 1 + (MBS-1)/(1 - SCR/PCR) cells at peak spacing — *more* than its own
+// envelope covers whenever SCR is close to PCR — so we adopt the GCRA
+// semantics (see DESIGN.md, "semantics decisions").
+
+namespace {
+
+struct DualGcraState {
+  double tat_peak = 0;
+  double tat_sustain = 0;
+  double tau_sustain = 0;
+
+  explicit DualGcraState(const TrafficDescriptor& td)
+      : tau_sustain(static_cast<double>(td.mbs - 1) *
+                    (1.0 / td.scr - 1.0 / td.pcr)) {}
+
+  [[nodiscard]] double earliest() const {
+    return std::max(tat_peak, tat_sustain - tau_sustain);
+  }
+  [[nodiscard]] bool conforming(double t) const {
+    constexpr double kSlack = 1e-9;
+    return t >= tat_peak - kSlack && t >= tat_sustain - tau_sustain - kSlack;
+  }
+  void commit(const TrafficDescriptor& td, double t) {
+    tat_peak = std::max(t, tat_peak) + 1.0 / td.pcr;
+    tat_sustain = std::max(t, tat_sustain) + 1.0 / td.scr;
+  }
+};
+
+}  // namespace
+
+std::vector<double> greedy_cell_times(const TrafficDescriptor& td,
+                                      std::size_t count) {
+  td.validate();
+  std::vector<double> times;
+  times.reserve(count);
+  DualGcraState gcra(td);
+  for (std::size_t k = 0; k < count; ++k) {
+    const double t = gcra.earliest();
+    gcra.commit(td, t);
+    times.push_back(t);
+  }
+  return times;
+}
+
+bool conforms(const TrafficDescriptor& td,
+              const std::vector<double>& cell_times) {
+  td.validate();
+  if (!std::is_sorted(cell_times.begin(), cell_times.end())) return false;
+  DualGcraState gcra(td);
+  for (const double t : cell_times) {
+    if (!gcra.conforming(t)) return false;
+    gcra.commit(td, t);
+  }
+  return true;
+}
+
+}  // namespace rtcac

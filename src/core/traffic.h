@@ -1,0 +1,90 @@
+// rtcac/core/traffic.h
+//
+// CBR/VBR traffic descriptors (Section 2 of the paper) and their
+// conversion to worst-case bit streams (Algorithm 2.1).
+//
+// A VBR connection is characterized by (PCR, SCR, MBS): peak cell rate,
+// sustainable cell rate (both normalized to link bandwidth) and maximum
+// burst size in cells.  The source may emit up to MBS cells back-to-back
+// at PCR provided its long-run rate stays within SCR — the token-bucket
+// rule of Eq. (1).  A CBR connection is the special case SCR == PCR,
+// MBS == 1.
+//
+// The worst-case generation pattern (most bits in every prefix [0, t]) is:
+// one cell at full link rate, the remaining MBS-1 burst cells at PCR, then
+// a steady SCR tail — giving the three-segment stream of Algorithm 2.1:
+//     S = {(1, 0), (PCR, 1), (SCR, 1 + (MBS-1)/PCR)}.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bitstream.h"
+
+namespace rtcac {
+
+/// Traffic contract of a CBR/VBR connection.  Rates are normalized to the
+/// link bandwidth; MBS is in cells.
+struct TrafficDescriptor {
+  double pcr = 0;       ///< peak cell rate, in (0, 1]
+  double scr = 0;       ///< sustainable cell rate, in (0, pcr]
+  std::uint32_t mbs = 1;  ///< maximum burst size, >= 1 cell
+
+  /// CBR contract: a single rate, burst of one cell.
+  static TrafficDescriptor cbr(double pcr) {
+    return TrafficDescriptor{pcr, pcr, 1};
+  }
+
+  /// VBR contract.
+  static TrafficDescriptor vbr(double pcr, double scr, std::uint32_t mbs) {
+    return TrafficDescriptor{pcr, scr, mbs};
+  }
+
+  [[nodiscard]] bool is_cbr() const noexcept {
+    return mbs == 1 && scr == pcr;
+  }
+
+  /// Validates the contract; throws std::invalid_argument with a
+  /// diagnostic if any parameter is out of range.
+  void validate() const;
+
+  /// Worst-case bit-stream envelope (Algorithm 2.1).  Calls validate().
+  [[nodiscard]] BitStream to_bitstream() const;
+
+  /// Same envelope in exact arithmetic.  `scale` is the common denominator
+  /// used to express the rates as rationals (rates must be exact multiples
+  /// of 1/scale).  Throws std::invalid_argument if they are not.
+  [[nodiscard]] ExactBitStream to_exact_bitstream(std::int64_t scale) const;
+
+  /// Average long-run bandwidth consumed (== SCR).
+  [[nodiscard]] double average_rate() const noexcept { return scr; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const TrafficDescriptor&,
+                         const TrafficDescriptor&) = default;
+};
+
+/// Generates the first `count` worst-case (greedy) cell emission times, in
+/// cell times, of a source obeying this contract — the discrete pattern of
+/// Fig. 1 whose envelope Algorithm 2.1 bounds.  Used by the simulator's
+/// adversarial sources and by the tests that check the envelope dominates
+/// the discrete cell stream.
+///
+/// Cell k is emitted at the earliest instant the dual GCRA allows
+/// (GCRA(1/PCR, 0) + GCRA(1/SCR, (MBS-1)(1/SCR - 1/PCR))), which permits
+/// exactly MBS back-to-back cells at PCR.  Note: the paper's Eq. (1)
+/// token recurrence, read literally, would allow longer peak bursts than
+/// its own Algorithm 2.1 envelope when SCR approaches PCR; the GCRA
+/// semantics adopted here are consistent with the envelope (DESIGN.md).
+[[nodiscard]] std::vector<double> greedy_cell_times(
+    const TrafficDescriptor& td, std::size_t count);
+
+/// True iff the cell emission times satisfy the (PCR, SCR, MBS) contract
+/// under the dual-GCRA semantics above.
+[[nodiscard]] bool conforms(const TrafficDescriptor& td,
+                            const std::vector<double>& cell_times);
+
+}  // namespace rtcac

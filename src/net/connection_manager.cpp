@@ -1,0 +1,192 @@
+#include "net/connection_manager.h"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/stream_ops.h"
+#include "util/log.h"
+
+namespace rtcac {
+
+namespace {
+constexpr std::size_t kNoCac = std::numeric_limits<std::size_t>::max();
+}
+
+ConnectionManager::ConnectionManager(const Topology& topology,
+                                     const Params& params)
+    : topology_(topology), params_(params) {
+  if (params_.priorities == 0) {
+    throw std::invalid_argument("ConnectionManager: priorities must be >= 1");
+  }
+  cac_index_.assign(topology_.node_count(), kNoCac);
+  for (const NodeInfo& n : topology_.nodes()) {
+    if (n.kind != NodeKind::kSwitch) continue;
+    SwitchCac::Config cfg;
+    cfg.in_ports = topology_.in_links(n.id).size() + 1;  // + local port
+    cfg.out_ports = topology_.out_links(n.id).size();
+    cfg.priorities = params_.priorities;
+    cfg.advertised_bound = params_.advertised_bound;
+    if (cfg.out_ports == 0) continue;  // sink-only switch: nothing to admit
+    cac_index_[n.id] = cacs_.size();
+    cacs_.emplace_back(cfg);
+  }
+}
+
+SwitchCac& ConnectionManager::switch_cac(NodeId node) {
+  if (node >= cac_index_.size() || cac_index_[node] == kNoCac) {
+    throw std::invalid_argument(
+        "ConnectionManager: node has no CAC state (terminal or sink)");
+  }
+  return cacs_[cac_index_[node]];
+}
+
+const SwitchCac& ConnectionManager::switch_cac(NodeId node) const {
+  if (node >= cac_index_.size() || cac_index_[node] == kNoCac) {
+    throw std::invalid_argument(
+        "ConnectionManager: node has no CAC state (terminal or sink)");
+  }
+  return cacs_[cac_index_[node]];
+}
+
+std::vector<HopRef> ConnectionManager::queueing_points(
+    const Route& route) const {
+  const std::vector<NodeId> nodes = topology_.route_nodes(route);
+  std::vector<HopRef> hops;
+  hops.reserve(route.size());
+  for (std::size_t k = 0; k < route.size(); ++k) {
+    const NodeId from = nodes[k];
+    if (topology_.node(from).kind != NodeKind::kSwitch) {
+      continue;  // terminals are rate-controlled, not queueing points
+    }
+    HopRef hop;
+    hop.node = from;
+    hop.link = route[k];
+    hop.out_port = topology_.out_port(route[k]);
+    hop.in_port = (k == 0) ? topology_.local_in_port(from)
+                           : topology_.in_port(route[k - 1]);
+    hops.push_back(hop);
+  }
+  return hops;
+}
+
+BitStream ConnectionManager::arrival_at_hop(const TrafficDescriptor& traffic,
+                                            std::span<const HopRef> hops,
+                                            std::size_t hop_index,
+                                            Priority priority) const {
+  if (hop_index > hops.size()) {
+    throw std::invalid_argument("arrival_at_hop: hop index out of range");
+  }
+  std::vector<double> upstream;
+  upstream.reserve(hop_index);
+  for (std::size_t h = 0; h < hop_index; ++h) {
+    upstream.push_back(
+        switch_cac(hops[h].node).advertised(hops[h].out_port, priority));
+  }
+  const double cdv = accumulate_cdv(params_.cdv_policy, upstream);
+  return delay(traffic.to_bitstream(), cdv);
+}
+
+ConnectionManager::SetupResult ConnectionManager::setup(
+    const QosRequest& request, const Route& route) {
+  SetupResult result;
+  request.traffic.validate();
+  if (request.priority >= params_.priorities) {
+    result.reason = "priority out of range";
+    return result;
+  }
+
+  const std::vector<HopRef> hops = queueing_points(route);
+  const ConnectionId id = next_id_;
+
+  // Walk the route as the SETUP message would, committing hop by hop and
+  // rolling back on the first rejection.
+  std::size_t committed = 0;
+  for (std::size_t h = 0; h < hops.size(); ++h) {
+    SwitchCac& cac = switch_cac(hops[h].node);
+    const BitStream arrival =
+        arrival_at_hop(request.traffic, hops, h, request.priority);
+    const SwitchCheckResult check =
+        cac.check(hops[h].in_port, hops[h].out_port, request.priority,
+                  arrival);
+    if (!check.admitted) {
+      result.rejecting_node = hops[h].node;
+      std::ostringstream os;
+      os << "rejected at " << topology_.node(hops[h].node).name << ": "
+         << check.reason;
+      result.reason = os.str();
+      break;
+    }
+    cac.add(id, hops[h].in_port, hops[h].out_port, request.priority, arrival);
+    ++committed;
+    // check.bound_at_priority always has a value when admitted (an
+    // unbounded result is rejected inside check()).
+    result.hop_bounds.push_back(check.bound_at_priority.value());
+    result.e2e_bound_at_setup += check.bound_at_priority.value();
+    result.e2e_advertised +=
+        cac.advertised(hops[h].out_port, request.priority);
+  }
+
+  // Deadline check under the configured guarantee semantics.
+  if (result.reason.empty()) {
+    const double promised = params_.guarantee == GuaranteeMode::kAdvertised
+                                ? result.e2e_advertised
+                                : result.e2e_bound_at_setup;
+    if (promised > request.deadline) {
+      std::ostringstream os;
+      os << "end-to-end bound " << promised << " exceeds deadline "
+         << request.deadline;
+      result.reason = os.str();
+    }
+  }
+
+  if (!result.reason.empty()) {
+    for (std::size_t h = 0; h < committed; ++h) {
+      switch_cac(hops[h].node).remove(id);
+    }
+    result.hop_bounds.clear();
+    result.e2e_bound_at_setup = 0;
+    result.e2e_advertised = 0;
+    RTCAC_DEBUG << "setup failed: " << result.reason;
+    return result;
+  }
+
+  result.accepted = true;
+  result.id = id;
+  next_id_++;
+  records_.emplace(id, ConnectionRecord{request, route, hops});
+  return result;
+}
+
+void ConnectionManager::adopt(ConnectionId id, ConnectionRecord record) {
+  if (records_.contains(id)) {
+    throw std::invalid_argument("ConnectionManager: duplicate adopted id");
+  }
+  records_.emplace(id, std::move(record));
+}
+
+bool ConnectionManager::teardown(ConnectionId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  for (const HopRef& hop : it->second.hops) {
+    switch_cac(hop.node).remove(id);
+  }
+  records_.erase(it);
+  return true;
+}
+
+std::optional<double> ConnectionManager::current_e2e_bound(
+    ConnectionId id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  double total = 0;
+  for (const HopRef& hop : it->second.hops) {
+    const auto bound = switch_cac(hop.node).computed_bound(
+        hop.out_port, it->second.request.priority);
+    if (!bound.has_value()) return std::nullopt;
+    total += *bound;
+  }
+  return total;
+}
+
+}  // namespace rtcac

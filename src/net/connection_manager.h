@@ -1,0 +1,143 @@
+// rtcac/net/connection_manager.h
+//
+// Network-level connection admission control (Section 4.3), in the
+// "central connection admission control server" deployment the paper
+// describes for RTnet: one ConnectionManager owns the CAC state of every
+// switch and walks a connection's route hop by hop, exactly as the
+// distributed SETUP procedure would (signaling.h drives the same state
+// machine message-by-message).
+//
+// Per hop, the connection's worst-case arrival stream is its source
+// envelope distorted by the CDV accumulated over upstream queueing points
+// (accumulate_cdv over the *advertised* per-hop bounds — fixed regardless
+// of load, the paper's no-iteration property).  The switch check then
+// verifies the computed worst-case bounds stay within the advertised ones.
+//
+// End-to-end deadline semantics are selectable:
+//   * GuaranteeMode::kAdvertised — sum of advertised hop bounds must meet
+//     the deadline.  Load-independent: the promise can never be invalidated
+//     by later admissions.  What an online switched-VC service should use.
+//   * GuaranteeMode::kComputed — sum of the worst-case bounds computed at
+//     setup time must meet the deadline.  Tighter, but a later admission
+//     can grow another connection's computed bound (never past the
+//     advertised cap).  This matches the paper's off-line RTnet evaluation
+//     (Figures 10-13), where the full connection set is known.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cdv.h"
+#include "core/connection.h"
+#include "core/switch_cac.h"
+#include "net/topology.h"
+
+namespace rtcac {
+
+enum class GuaranteeMode { kAdvertised, kComputed };
+
+/// One queueing point a route crosses: switch `node` transmitting onto
+/// `link` from its output queue `out_port`, fed from input `in_port`.
+struct HopRef {
+  NodeId node = 0;
+  LinkId link = 0;
+  std::size_t in_port = 0;
+  std::size_t out_port = 0;
+};
+
+class ConnectionManager {
+ public:
+  struct Params {
+    std::size_t priorities = 1;
+    /// Default advertised per-queue bound Dmax, in cell times (== FIFO
+    /// depth in cells).
+    double advertised_bound = 32;
+    CdvPolicy cdv_policy = CdvPolicy::kHard;
+    GuaranteeMode guarantee = GuaranteeMode::kComputed;
+  };
+
+  struct SetupResult {
+    bool accepted = false;
+    ConnectionId id = kInvalidConnection;
+    std::string reason;                   ///< empty when accepted
+    std::optional<NodeId> rejecting_node; ///< switch that said no, if any
+    /// Computed worst-case bound at each queueing point, at setup time.
+    std::vector<double> hop_bounds;
+    double e2e_bound_at_setup = 0;  ///< sum of hop_bounds
+    double e2e_advertised = 0;      ///< sum of advertised hop bounds
+  };
+
+  ConnectionManager(const Topology& topology, const Params& params);
+
+  ConnectionManager(const ConnectionManager&) = delete;
+  ConnectionManager& operator=(const ConnectionManager&) = delete;
+
+  /// Admits (or rejects) a connection over `route`.  On success the state
+  /// of every switch on the route is updated; on failure all partial
+  /// updates are rolled back and `reason` explains the rejection.
+  SetupResult setup(const QosRequest& request, const Route& route);
+
+  /// Releases a connection, restoring every switch's state.  Returns
+  /// false for an unknown id.
+  bool teardown(ConnectionId id);
+
+  /// Queueing points of a route (links transmitted by switches).  Throws
+  /// std::invalid_argument on a malformed route.
+  [[nodiscard]] std::vector<HopRef> queueing_points(const Route& route) const;
+
+  /// Worst-case arrival stream the connection presents at queueing point
+  /// `hop_index` of `hops` (CDV-distorted per the configured policy).
+  [[nodiscard]] BitStream arrival_at_hop(const TrafficDescriptor& traffic,
+                                         std::span<const HopRef> hops,
+                                         std::size_t hop_index,
+                                         Priority priority) const;
+
+  /// End-to-end worst-case bound of an established connection under the
+  /// *current* total load (off-line evaluation, Figures 10-13); nullopt if
+  /// any hop is unbounded or the id is unknown.
+  [[nodiscard]] std::optional<double> current_e2e_bound(ConnectionId id) const;
+
+  /// Per-switch CAC state (advertised-bound tuning, diagnostics).  Throws
+  /// std::invalid_argument for a terminal node.
+  [[nodiscard]] SwitchCac& switch_cac(NodeId node);
+  [[nodiscard]] const SwitchCac& switch_cac(NodeId node) const;
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t connection_count() const noexcept {
+    return records_.size();
+  }
+
+  struct ConnectionRecord {
+    QosRequest request;
+    Route route;
+    std::vector<HopRef> hops;
+  };
+  [[nodiscard]] const std::map<ConnectionId, ConnectionRecord>& connections()
+      const noexcept {
+    return records_;
+  }
+
+  /// Signaling support: reserves a fresh network-unique connection id for
+  /// a hop-by-hop (distributed) setup.
+  [[nodiscard]] ConnectionId allocate_id() noexcept { return next_id_++; }
+
+  /// Signaling support: registers a connection whose per-switch state was
+  /// committed externally (by SignalingEngine), making it visible to
+  /// teardown() and current_e2e_bound().  Throws on duplicate id.
+  void adopt(ConnectionId id, ConnectionRecord record);
+
+ private:
+  const Topology& topology_;
+  Params params_;
+  /// Index into cacs_ per node; npos for terminals.
+  std::vector<std::size_t> cac_index_;
+  std::vector<SwitchCac> cacs_;
+  std::map<ConnectionId, ConnectionRecord> records_;
+  ConnectionId next_id_ = 1;
+};
+
+}  // namespace rtcac

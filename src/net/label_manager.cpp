@@ -1,0 +1,106 @@
+#include "net/label_manager.h"
+
+#include <stdexcept>
+
+namespace rtcac {
+
+LabelManager::LabelManager(const Topology& topology) : topology_(topology) {
+  // Every node that can receive cells owns the label space of its
+  // incoming links; switches get one extra slot for locally originated
+  // traffic.
+  for (const NodeInfo& node : topology_.nodes()) {
+    const std::size_t in_links = topology_.in_links(node.id).size();
+    const std::size_t ports =
+        in_links + (node.kind == NodeKind::kSwitch ? 1 : 0);
+    if (ports == 0) continue;
+    nodes_.emplace(node.id,
+                   NodeLabels{LabelAllocator(ports), LabelSwitchingTable{}});
+  }
+}
+
+LabelPath LabelManager::establish(ConnectionId id, const Route& route) {
+  const std::vector<NodeId> path_nodes = topology_.route_nodes(route);
+  if (paths_.contains(id)) {
+    throw std::invalid_argument("LabelManager: duplicate connection id");
+  }
+
+  // Allocate the label each link will carry: the receiving node owns it.
+  std::vector<VcLabel> link_labels(route.size());
+  std::vector<Allocation> allocations;
+  allocations.reserve(route.size());
+  std::vector<LabelBinding> installed;
+  try {
+    for (std::size_t k = 0; k < route.size(); ++k) {
+      const LinkInfo& link = topology_.link(route[k]);
+      const std::size_t port = topology_.in_port(route[k]);
+      NodeLabels& receiver = nodes_.at(link.to);
+      link_labels[k] = receiver.allocator.allocate(port);
+      allocations.push_back(Allocation{link.to, port, link_labels[k]});
+    }
+    // Install the translation at every intermediate switch.
+    for (std::size_t k = 1; k < route.size(); ++k) {
+      const NodeId node = path_nodes[k];
+      if (topology_.node(node).kind != NodeKind::kSwitch) {
+        throw std::invalid_argument(
+            "LabelManager: route transits a terminal");
+      }
+      LabelBinding binding;
+      binding.node = node;
+      binding.in_port = topology_.in_port(route[k - 1]);
+      binding.in_label = link_labels[k - 1];
+      binding.out_port = topology_.out_port(route[k]);
+      binding.out_label = link_labels[k];
+      LabelSwitchingTable::Entry entry;
+      entry.out_port = binding.out_port;
+      entry.out_label = binding.out_label;
+      entry.connection = id;
+      if (!nodes_.at(node).table.install(binding.in_port, binding.in_label,
+                                         entry)) {
+        throw std::runtime_error("LabelManager: label collision");
+      }
+      installed.push_back(binding);
+    }
+  } catch (...) {
+    // Roll back partial state so a failed setup leaves no residue.
+    for (const LabelBinding& binding : installed) {
+      nodes_.at(binding.node).table.remove(binding.in_port,
+                                           binding.in_label);
+    }
+    for (const Allocation& alloc : allocations) {
+      nodes_.at(alloc.node).allocator.release(alloc.port, alloc.label);
+    }
+    throw;
+  }
+
+  Established established;
+  established.path.initial = link_labels.front();
+  established.path.bindings = std::move(installed);
+  established.path.egress = link_labels.back();
+  established.allocations = std::move(allocations);
+  const LabelPath result = established.path;
+  paths_.emplace(id, std::move(established));
+  return result;
+}
+
+bool LabelManager::release(ConnectionId id) {
+  const auto it = paths_.find(id);
+  if (it == paths_.end()) return false;
+  for (const LabelBinding& binding : it->second.path.bindings) {
+    nodes_.at(binding.node).table.remove(binding.in_port, binding.in_label);
+  }
+  for (const Allocation& alloc : it->second.allocations) {
+    nodes_.at(alloc.node).allocator.release(alloc.port, alloc.label);
+  }
+  paths_.erase(it);
+  return true;
+}
+
+const LabelSwitchingTable& LabelManager::table(NodeId node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument("LabelManager: node has no label state");
+  }
+  return it->second.table;
+}
+
+}  // namespace rtcac

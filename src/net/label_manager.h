@@ -1,0 +1,93 @@
+// rtcac/net/label_manager.h
+//
+// Network-wide VPI/VCI management: what the signaling plane does, hop by
+// hop, when it carries a SETUP — each switch allocates the label the
+// connection will use on its *incoming* link and installs the translation
+// to the label the next switch handed back.  The result is a LabelPath:
+// the label the source stamps on its cells, one rewrite per switch, and
+// the label the destination finally sees.
+//
+// Labels are link-local, so two connections may legitimately carry the
+// same (VPI, VCI) on different links; the allocator scopes them per
+// (switch, in-port).
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/label_table.h"
+#include "net/topology.h"
+
+namespace rtcac {
+
+/// One switch's translation for a connection.
+struct LabelBinding {
+  NodeId node = 0;
+  std::size_t in_port = 0;
+  VcLabel in_label;
+  std::size_t out_port = 0;
+  VcLabel out_label;
+};
+
+/// The full label chain of an established connection.
+struct LabelPath {
+  /// Label the source stamps on every cell (valid on the first link).
+  VcLabel initial;
+  /// Per-switch translations, in route order.
+  std::vector<LabelBinding> bindings;
+  /// Label cells carry on the final link (what the destination binds to
+  /// the connection).
+  VcLabel egress;
+};
+
+class LabelManager {
+ public:
+  explicit LabelManager(const Topology& topology);
+
+  LabelManager(const LabelManager&) = delete;
+  LabelManager& operator=(const LabelManager&) = delete;
+
+  /// Allocates labels and installs translations for `route`.  Throws
+  /// std::invalid_argument on malformed routes or duplicate ids and
+  /// std::runtime_error on label exhaustion (releasing any partial
+  /// state first).
+  LabelPath establish(ConnectionId id, const Route& route);
+
+  /// Removes the connection's bindings everywhere; false if unknown.
+  bool release(ConnectionId id);
+
+  /// The forwarding table of a switch (the data path consults this).
+  [[nodiscard]] const LabelSwitchingTable& table(NodeId node) const;
+
+  [[nodiscard]] std::size_t connection_count() const noexcept {
+    return paths_.size();
+  }
+  [[nodiscard]] const LabelPath& path(ConnectionId id) const {
+    return paths_.at(id).path;
+  }
+
+ private:
+  struct NodeLabels {
+    LabelAllocator allocator;
+    LabelSwitchingTable table;
+  };
+  /// Which (node, in-port) each link label was allocated at, so release()
+  /// can return everything, including the egress label the final node
+  /// holds (it has no binding entry).
+  struct Allocation {
+    NodeId node;
+    std::size_t port;
+    VcLabel label;
+  };
+  struct Established {
+    LabelPath path;
+    std::vector<Allocation> allocations;
+  };
+
+  const Topology& topology_;
+  std::map<NodeId, NodeLabels> nodes_;  // every node with incoming links
+  std::map<ConnectionId, Established> paths_;
+};
+
+}  // namespace rtcac

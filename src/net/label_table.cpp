@@ -1,0 +1,75 @@
+#include "net/label_table.h"
+
+#include <stdexcept>
+
+namespace rtcac {
+
+LabelAllocator::LabelAllocator(std::size_t in_ports) : ports_(in_ports) {
+  if (in_ports == 0) {
+    throw std::invalid_argument("LabelAllocator: need at least one port");
+  }
+}
+
+VcLabel LabelAllocator::allocate(std::size_t in_port) {
+  if (in_port >= ports_.size()) {
+    throw std::invalid_argument("LabelAllocator: bad in port");
+  }
+  PortState& port = ports_[in_port];
+  if (!port.free_list.empty()) {
+    const VcLabel label = port.free_list.back();
+    port.free_list.pop_back();
+    ++port.live;
+    return label;
+  }
+  if (port.next.vpi > kMaxVpi) {
+    throw std::runtime_error("LabelAllocator: label space exhausted");
+  }
+  const VcLabel label = port.next;
+  if (port.next.vci == 0xFFFF) {
+    port.next.vci = kFirstUserVci;
+    ++port.next.vpi;
+  } else {
+    ++port.next.vci;
+  }
+  ++port.live;
+  return label;
+}
+
+bool LabelAllocator::release(std::size_t in_port, VcLabel label) {
+  if (in_port >= ports_.size()) {
+    throw std::invalid_argument("LabelAllocator: bad in port");
+  }
+  PortState& port = ports_[in_port];
+  if (port.live == 0) return false;
+  // The allocator does not track the full live set (the switching table
+  // is the source of truth); it only guards against double release via
+  // the live counter and never hands a freed label out twice.
+  --port.live;
+  port.free_list.push_back(label);
+  return true;
+}
+
+std::size_t LabelAllocator::allocated(std::size_t in_port) const {
+  if (in_port >= ports_.size()) {
+    throw std::invalid_argument("LabelAllocator: bad in port");
+  }
+  return ports_[in_port].live;
+}
+
+bool LabelSwitchingTable::install(std::size_t in_port, VcLabel in_label,
+                                  const Entry& entry) {
+  return entries_.emplace(Key{in_port, in_label}, entry).second;
+}
+
+std::optional<LabelSwitchingTable::Entry> LabelSwitchingTable::lookup(
+    std::size_t in_port, VcLabel in_label) const {
+  const auto it = entries_.find(Key{in_port, in_label});
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool LabelSwitchingTable::remove(std::size_t in_port, VcLabel in_label) {
+  return entries_.erase(Key{in_port, in_label}) > 0;
+}
+
+}  // namespace rtcac

@@ -1,0 +1,82 @@
+// rtcac/net/label_table.h
+//
+// The per-switch VPI/VCI machinery: an allocator handing out unused
+// labels per incoming port (labels are link-local in ATM), and the label
+// switching table mapping (in_port, in_label) to (out_port, out_label,
+// priority) — the data structure the cell data path consults on every
+// cell.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "atm/vpi_vci.h"
+#include "core/connection.h"
+
+namespace rtcac {
+
+/// Hands out link-local labels for one switch's incoming ports.
+class LabelAllocator {
+ public:
+  explicit LabelAllocator(std::size_t in_ports);
+
+  /// Next unused label on `in_port`; freed labels are reused first.
+  /// Throws std::runtime_error when the 28-bit space is exhausted and
+  /// std::invalid_argument on a bad port.
+  VcLabel allocate(std::size_t in_port);
+
+  /// Returns a label to the pool.  False if it was not allocated.
+  bool release(std::size_t in_port, VcLabel label);
+
+  [[nodiscard]] std::size_t allocated(std::size_t in_port) const;
+
+ private:
+  struct PortState {
+    VcLabel next{0, kFirstUserVci};
+    std::vector<VcLabel> free_list;
+    std::size_t live = 0;
+  };
+  std::vector<PortState> ports_;
+};
+
+/// The forwarding table: (in_port, in_label) -> (out_port, out_label,
+/// priority).  One instance per switch.
+class LabelSwitchingTable {
+ public:
+  struct Entry {
+    std::size_t out_port = 0;
+    VcLabel out_label;
+    Priority priority = 0;
+    ConnectionId connection = kInvalidConnection;
+  };
+
+  /// Installs a translation; returns false when (in_port, in_label) is
+  /// already bound (label collision — caller must allocate properly).
+  bool install(std::size_t in_port, VcLabel in_label, const Entry& entry);
+
+  /// nullopt == unknown label: a real switch drops such cells.
+  [[nodiscard]] std::optional<Entry> lookup(std::size_t in_port,
+                                            VcLabel in_label) const;
+
+  bool remove(std::size_t in_port, VcLabel in_label);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Key {
+    std::size_t in_port;
+    VcLabel label;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      return key.in_port * 0x9E3779B9u ^ std::hash<VcLabel>{}(key.label);
+    }
+  };
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+};
+
+}  // namespace rtcac

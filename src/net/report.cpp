@@ -1,0 +1,91 @@
+#include "net/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace rtcac {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double NetworkReport::worst_bound() const {
+  double worst = 0;
+  for (const QueueReport& q : queues) {
+    worst = std::max(worst, q.computed_bound);
+  }
+  return worst;
+}
+
+std::size_t NetworkReport::total_recommended_slots() const {
+  std::size_t total = 0;
+  for (const QueueReport& q : queues) {
+    total += q.recommended_slots;
+  }
+  return total;
+}
+
+bool NetworkReport::all_within_advertised() const {
+  return std::all_of(queues.begin(), queues.end(), [](const QueueReport& q) {
+    return q.computed_bound <= q.advertised_bound;
+  });
+}
+
+std::string NetworkReport::to_string() const {
+  std::ostringstream os;
+  os << "network report: " << connections << " connections, "
+     << queues.size() << " active queues\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-10s %-5s %-5s %-6s %-9s %-10s %-10s %-8s %-6s\n",
+                "node", "port", "prio", "conns", "load", "bound", "advert",
+                "backlog", "slots");
+  os << line;
+  for (const QueueReport& q : queues) {
+    std::snprintf(line, sizeof(line),
+                  "%-10s %-5zu %-5u %-6zu %-9.4f %-10.2f %-10.2f %-8.2f %-6zu\n",
+                  q.node_name.c_str(), q.out_port, q.priority, q.connections,
+                  q.sustained_load, q.computed_bound, q.advertised_bound,
+                  q.backlog_cells, q.recommended_slots);
+    os << line;
+  }
+  return os.str();
+}
+
+NetworkReport summarize(const ConnectionManager& manager) {
+  NetworkReport report;
+  report.connections = manager.connection_count();
+  const Topology& topo = manager.topology();
+  for (const NodeInfo& node : topo.nodes()) {
+    if (node.kind != NodeKind::kSwitch || topo.out_links(node.id).empty()) {
+      continue;
+    }
+    const SwitchCac& cac = manager.switch_cac(node.id);
+    for (std::size_t port = 0; port < cac.out_ports(); ++port) {
+      for (Priority prio = 0; prio < cac.priorities(); ++prio) {
+        const std::size_t conns = cac.connection_count(port, prio);
+        if (conns == 0) continue;
+        QueueReport q;
+        q.node = node.id;
+        q.node_name = node.name;
+        q.out_port = port;
+        q.priority = prio;
+        q.connections = conns;
+        q.sustained_load = cac.sustained_load(port, prio);
+        q.computed_bound = cac.computed_bound(port, prio).value_or(kInf);
+        q.advertised_bound = cac.advertised(port, prio);
+        q.backlog_cells = cac.buffer_requirement(port, prio).value_or(kInf);
+        q.recommended_slots =
+            std::isfinite(q.backlog_cells)
+                ? static_cast<std::size_t>(std::ceil(q.backlog_cells - 1e-9)) +
+                      1
+                : 0;
+        report.queues.push_back(std::move(q));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace rtcac

@@ -1,0 +1,60 @@
+// rtcac/net/report.h
+//
+// Network-wide summaries of the CAC state — the "outcomes of the CAC
+// check" the paper says RTnet's designers used to set ring-node buffer
+// sizes and priority-level counts (Section 5).
+//
+// summarize() walks every switch queue carrying traffic and reports, per
+// (node, out-port, priority): the connection count, the sustained load,
+// the computed worst-case delay bound versus the advertised one, the
+// worst-case backlog, and the recommended physical FIFO depth (backlog
+// rounded up, plus the output-register slot a slotted switch needs —
+// DESIGN.md decision 6).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/connection_manager.h"
+
+namespace rtcac {
+
+/// One switch output queue with at least one connection.
+struct QueueReport {
+  NodeId node = 0;
+  std::string node_name;
+  std::size_t out_port = 0;
+  Priority priority = 0;
+  std::size_t connections = 0;
+  /// Long-run offered load, normalized to the link rate.
+  double sustained_load = 0;
+  /// Computed worst-case queueing delay (cell times); infinity when
+  /// unbounded (should never happen for an admitted state).
+  double computed_bound = 0;
+  double advertised_bound = 0;
+  /// Worst-case backlog in cells (fluid).
+  double backlog_cells = 0;
+  /// Recommended physical FIFO depth: ceil(backlog) + 1 register slot.
+  std::size_t recommended_slots = 0;
+};
+
+struct NetworkReport {
+  std::vector<QueueReport> queues;  ///< non-empty queues, node-major order
+  std::size_t connections = 0;     ///< network-wide connection count
+
+  /// Largest computed bound across all queues (0 when idle).
+  [[nodiscard]] double worst_bound() const;
+  /// Sum of recommended FIFO slots — total real-time buffer memory.
+  [[nodiscard]] std::size_t total_recommended_slots() const;
+  /// True iff every computed bound is within its advertised bound.
+  [[nodiscard]] bool all_within_advertised() const;
+
+  /// Fixed-width human-readable table.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Snapshot of the manager's current admitted state.
+[[nodiscard]] NetworkReport summarize(const ConnectionManager& manager);
+
+}  // namespace rtcac

@@ -1,0 +1,90 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+namespace rtcac {
+
+namespace {
+
+struct Label {
+  std::size_t hops = std::numeric_limits<std::size_t>::max();
+  Tick propagation = 0;
+  LinkId via = 0;
+  bool reached = false;
+};
+
+}  // namespace
+
+std::optional<Route> shortest_route_avoiding(
+    const Topology& topology, NodeId from, NodeId to,
+    std::span<const LinkId> excluded) {
+  if (from >= topology.node_count() || to >= topology.node_count()) {
+    return std::nullopt;
+  }
+  if (from == to) return Route{};
+
+  std::vector<bool> banned(topology.link_count(), false);
+  for (const LinkId l : excluded) {
+    if (l < banned.size()) banned[l] = true;
+  }
+
+  // Dijkstra over (hops, propagation); the graph is small and static.
+  using Entry = std::tuple<std::size_t, Tick, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  std::vector<Label> labels(topology.node_count());
+  labels[from].hops = 0;
+  labels[from].reached = true;
+  frontier.emplace(0, 0, from);
+
+  while (!frontier.empty()) {
+    const auto [hops, prop, node] = frontier.top();
+    frontier.pop();
+    if (hops > labels[node].hops ||
+        (hops == labels[node].hops && prop > labels[node].propagation)) {
+      continue;  // stale
+    }
+    if (node == to) break;
+    for (const LinkId lid : topology.out_links(node)) {
+      if (banned[lid]) continue;
+      const LinkInfo& l = topology.link(lid);
+      // Terminals only originate traffic; transit through one is not a
+      // path (their single access link makes this moot, but be explicit).
+      if (node != from &&
+          topology.node(node).kind == NodeKind::kTerminal) {
+        continue;
+      }
+      const std::size_t nh = hops + 1;
+      const Tick np = prop + l.propagation;
+      Label& lbl = labels[l.to];
+      if (!lbl.reached || nh < lbl.hops ||
+          (nh == lbl.hops && np < lbl.propagation)) {
+        lbl.reached = true;
+        lbl.hops = nh;
+        lbl.propagation = np;
+        lbl.via = lid;
+        frontier.emplace(nh, np, l.to);
+      }
+    }
+  }
+
+  if (!labels[to].reached) return std::nullopt;
+  Route route;
+  for (NodeId n = to; n != from;) {
+    const LinkId via = labels[n].via;
+    route.push_back(via);
+    n = topology.link(via).from;
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+std::optional<Route> shortest_route(const Topology& topology, NodeId from,
+                                    NodeId to) {
+  return shortest_route_avoiding(topology, from, to, {});
+}
+
+}  // namespace rtcac

@@ -1,0 +1,28 @@
+// rtcac/net/routing.h
+//
+// Route selection.  The paper assumes a "preselected route" per connection
+// (Section 4.1); we provide minimum-hop routing (Dijkstra on hop count
+// with propagation as tie-break) plus helpers for enumerating routes used
+// by failover scenarios.
+
+#pragma once
+
+#include <optional>
+
+#include "net/topology.h"
+
+namespace rtcac {
+
+/// Minimum-hop route from `from` to `to`; nullopt when unreachable.
+/// Ties are broken toward lower total propagation, then lower link ids, so
+/// the result is deterministic.
+[[nodiscard]] std::optional<Route> shortest_route(const Topology& topology,
+                                                  NodeId from, NodeId to);
+
+/// Minimum-hop route that avoids every link in `excluded` (e.g. a failed
+/// cable); nullopt when no such route exists.
+[[nodiscard]] std::optional<Route> shortest_route_avoiding(
+    const Topology& topology, NodeId from, NodeId to,
+    std::span<const LinkId> excluded);
+
+}  // namespace rtcac

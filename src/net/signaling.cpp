@@ -1,0 +1,178 @@
+#include "net/signaling.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace rtcac {
+
+std::string to_string(const SignalingMessage& m) {
+  std::ostringstream os;
+  switch (m.type) {
+    case SignalingMessageType::kSetup:
+      os << "SETUP";
+      break;
+    case SignalingMessageType::kReject:
+      os << "REJECT";
+      break;
+    case SignalingMessageType::kConnected:
+      os << "CONNECTED";
+      break;
+  }
+  os << " conn=" << m.id << " at=" << m.at << " hop=" << m.hop_index;
+  if (!m.reason.empty()) os << " (" << m.reason << ")";
+  return os.str();
+}
+
+ConnectionId SignalingEngine::initiate(const QosRequest& request,
+                                       const Route& route) {
+  request.traffic.validate();
+  const std::vector<NodeId> nodes = manager_.topology().route_nodes(route);
+
+  InFlight flight;
+  flight.request = request;
+  flight.route = route;
+  flight.hops = manager_.queueing_points(route);
+  flight.source = nodes.front();
+  flight.destination = nodes.back();
+
+  const ConnectionId id = manager_.allocate_id();
+  in_flight_.emplace(id, std::move(flight));
+
+  SignalingMessage m;
+  m.type = SignalingMessageType::kSetup;
+  m.id = id;
+  m.at = nodes.front();
+  m.hop_index = 0;
+  queue_.push_back(m);
+  return id;
+}
+
+bool SignalingEngine::step() {
+  if (queue_.empty()) return false;
+  const SignalingMessage m = queue_.front();
+  queue_.pop_front();
+  trace_.push_back(m);
+  RTCAC_DEBUG << "signaling: " << to_string(m);
+  switch (m.type) {
+    case SignalingMessageType::kSetup:
+      process_setup(m);
+      break;
+    case SignalingMessageType::kReject:
+      process_reject(m);
+      break;
+    case SignalingMessageType::kConnected:
+      process_connected(m);
+      break;
+  }
+  return true;
+}
+
+void SignalingEngine::run() {
+  while (step()) {
+  }
+}
+
+void SignalingEngine::process_setup(const SignalingMessage& m) {
+  InFlight& flight = in_flight_.at(m.id);
+
+  if (m.hop_index >= flight.hops.size()) {
+    // SETUP reached the destination: check the end-to-end deadline, then
+    // confirm back to the source.
+    const double promised =
+        manager_.params().guarantee == GuaranteeMode::kAdvertised
+            ? flight.e2e_advertised
+            : flight.e2e_bound_at_setup;
+    if (promised > flight.request.deadline) {
+      SignalingMessage reject;
+      reject.type = SignalingMessageType::kReject;
+      reject.id = m.id;
+      reject.at = flight.destination;
+      reject.hop_index = flight.committed;
+      std::ostringstream os;
+      os << "end-to-end bound " << promised << " exceeds deadline "
+         << flight.request.deadline;
+      reject.reason = os.str();
+      queue_.push_back(reject);
+      return;
+    }
+    SignalingMessage connected;
+    connected.type = SignalingMessageType::kConnected;
+    connected.id = m.id;
+    connected.at = flight.source;
+    connected.hop_index = flight.hops.size();
+    queue_.push_back(connected);
+    return;
+  }
+
+  const HopRef& hop = flight.hops[m.hop_index];
+  SwitchCac& cac = manager_.switch_cac(hop.node);
+  const BitStream arrival = manager_.arrival_at_hop(
+      flight.request.traffic, flight.hops, m.hop_index,
+      flight.request.priority);
+  const SwitchCheckResult check = cac.check(
+      hop.in_port, hop.out_port, flight.request.priority, arrival);
+  if (!check.admitted) {
+    SignalingMessage reject;
+    reject.type = SignalingMessageType::kReject;
+    reject.id = m.id;
+    reject.at = hop.node;
+    reject.hop_index = flight.committed;
+    reject.reason = check.reason;
+    queue_.push_back(reject);
+    return;
+  }
+
+  cac.add(m.id, hop.in_port, hop.out_port, flight.request.priority, arrival);
+  ++flight.committed;
+  flight.e2e_bound_at_setup += check.bound_at_priority.value();
+  flight.e2e_advertised +=
+      cac.advertised(hop.out_port, flight.request.priority);
+
+  SignalingMessage forward = m;
+  forward.hop_index = m.hop_index + 1;
+  forward.at = manager_.topology().link(hop.link).to;
+  queue_.push_back(forward);
+}
+
+void SignalingEngine::process_reject(const SignalingMessage& m) {
+  InFlight& flight = in_flight_.at(m.id);
+  if (m.hop_index > 0) {
+    // Release the most recent reservation and keep walking upstream.
+    const HopRef& hop = flight.hops[m.hop_index - 1];
+    manager_.switch_cac(hop.node).remove(m.id);
+    SignalingMessage upstream = m;
+    upstream.hop_index = m.hop_index - 1;
+    upstream.at = hop.node;
+    queue_.push_back(upstream);
+    return;
+  }
+  SignalingOutcome outcome;
+  outcome.connected = false;
+  outcome.reason = m.reason.empty() ? "rejected" : m.reason;
+  outcome.rejecting_node = m.at;
+  outcomes_.emplace(m.id, outcome);
+  in_flight_.erase(m.id);
+}
+
+void SignalingEngine::process_connected(const SignalingMessage& m) {
+  InFlight& flight = in_flight_.at(m.id);
+  SignalingOutcome outcome;
+  outcome.connected = true;
+  outcome.e2e_bound_at_setup = flight.e2e_bound_at_setup;
+  outcome.e2e_advertised = flight.e2e_advertised;
+  outcomes_.emplace(m.id, outcome);
+  manager_.adopt(m.id, ConnectionManager::ConnectionRecord{
+                           flight.request, flight.route, flight.hops});
+  in_flight_.erase(m.id);
+}
+
+std::optional<SignalingOutcome> SignalingEngine::outcome(
+    ConnectionId id) const {
+  const auto it = outcomes_.find(id);
+  if (it == outcomes_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace rtcac

@@ -1,0 +1,110 @@
+// rtcac/net/signaling.h
+//
+// The distributed connection setup procedure of Section 4.1:
+//
+//   * the source end system sends a SETUP message carrying
+//     (PCR, SCR, MBS, D) along the preselected route;
+//   * each switch runs the CAC check; on success it commits the
+//     reservation and forwards SETUP downstream, on failure it sends
+//     REJECT back upstream (releasing the reservations already made);
+//   * when SETUP reaches the destination, CONNECTED travels back to the
+//     source, which may then start sending cells.
+//
+// The engine shares switch state with a ConnectionManager, so centrally
+// and distributedly established connections coexist; completed setups are
+// adopted into the manager (teardown, bound queries).  Messages are
+// processed from a FIFO queue one at a time — step() — so tests and
+// examples can interleave and observe the protocol, including rejection
+// cascades.  Processing order is deterministic.
+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/connection_manager.h"
+
+namespace rtcac {
+
+enum class SignalingMessageType { kSetup, kReject, kConnected };
+
+struct SignalingMessage {
+  SignalingMessageType type = SignalingMessageType::kSetup;
+  ConnectionId id = kInvalidConnection;
+  /// Node about to process the message.
+  NodeId at = 0;
+  /// For SETUP: index of the next queueing point to check.
+  /// For REJECT: index of the next committed queueing point to release
+  /// (walking backwards).
+  std::size_t hop_index = 0;
+  std::string reason;  ///< REJECT diagnostics
+};
+
+[[nodiscard]] std::string to_string(const SignalingMessage& m);
+
+/// Final fate of a signaling attempt.
+struct SignalingOutcome {
+  bool connected = false;
+  std::string reason;  ///< empty when connected
+  std::optional<NodeId> rejecting_node;
+  double e2e_bound_at_setup = 0;
+  double e2e_advertised = 0;
+};
+
+class SignalingEngine {
+ public:
+  explicit SignalingEngine(ConnectionManager& manager) : manager_(manager) {}
+
+  SignalingEngine(const SignalingEngine&) = delete;
+  SignalingEngine& operator=(const SignalingEngine&) = delete;
+
+  /// Queues a SETUP for `request` over `route`; returns the provisional
+  /// connection id.  Throws std::invalid_argument on a malformed route.
+  ConnectionId initiate(const QosRequest& request, const Route& route);
+
+  /// Processes the next queued message; returns false when idle.
+  bool step();
+
+  /// Runs until no messages remain.
+  void run();
+
+  /// Outcome of a finished attempt; nullopt while still in flight.
+  [[nodiscard]] std::optional<SignalingOutcome> outcome(
+      ConnectionId id) const;
+
+  /// Every message processed so far, in order (protocol trace).
+  [[nodiscard]] const std::vector<SignalingMessage>& trace() const noexcept {
+    return trace_;
+  }
+
+  [[nodiscard]] std::size_t pending_messages() const noexcept {
+    return queue_.size();
+  }
+
+ private:
+  struct InFlight {
+    QosRequest request;
+    Route route;
+    std::vector<HopRef> hops;
+    std::size_t committed = 0;  ///< queueing points reserved so far
+    double e2e_bound_at_setup = 0;
+    double e2e_advertised = 0;
+    NodeId source = 0;
+    NodeId destination = 0;
+  };
+
+  void process_setup(const SignalingMessage& m);
+  void process_reject(const SignalingMessage& m);
+  void process_connected(const SignalingMessage& m);
+
+  ConnectionManager& manager_;
+  std::deque<SignalingMessage> queue_;
+  std::map<ConnectionId, InFlight> in_flight_;
+  std::map<ConnectionId, SignalingOutcome> outcomes_;
+  std::vector<SignalingMessage> trace_;
+};
+
+}  // namespace rtcac

@@ -1,0 +1,111 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtcac {
+
+NodeId Topology::add_node(NodeKind kind, std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  if (name.empty()) {
+    name = (kind == NodeKind::kSwitch ? "sw" : "term") + std::to_string(id);
+  }
+  nodes_.push_back(NodeInfo{id, kind, std::move(name)});
+  out_links_.emplace_back();
+  in_links_.emplace_back();
+  return id;
+}
+
+NodeId Topology::add_switch(std::string name) {
+  return add_node(NodeKind::kSwitch, std::move(name));
+}
+
+NodeId Topology::add_terminal(std::string name) {
+  return add_node(NodeKind::kTerminal, std::move(name));
+}
+
+LinkId Topology::add_link(NodeId from, NodeId to, Tick propagation) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw std::invalid_argument("Topology: unknown link endpoint");
+  }
+  if (from == to) {
+    throw std::invalid_argument("Topology: self-loop link");
+  }
+  if (propagation < 0) {
+    throw std::invalid_argument("Topology: negative propagation");
+  }
+  if (nodes_[from].kind == NodeKind::kTerminal && !out_links_[from].empty()) {
+    throw std::invalid_argument(
+        "Topology: terminal already has an access link");
+  }
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(LinkInfo{id, from, to, propagation});
+  out_links_[from].push_back(id);
+  in_links_[to].push_back(id);
+  return id;
+}
+
+const NodeInfo& Topology::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::invalid_argument("Topology: bad node id");
+  return nodes_[id];
+}
+
+const LinkInfo& Topology::link(LinkId id) const {
+  if (id >= links_.size()) throw std::invalid_argument("Topology: bad link id");
+  return links_[id];
+}
+
+std::span<const LinkId> Topology::out_links(NodeId id) const {
+  if (id >= nodes_.size()) throw std::invalid_argument("Topology: bad node id");
+  return out_links_[id];
+}
+
+std::span<const LinkId> Topology::in_links(NodeId id) const {
+  if (id >= nodes_.size()) throw std::invalid_argument("Topology: bad node id");
+  return in_links_[id];
+}
+
+std::size_t Topology::out_port(LinkId link_id) const {
+  const LinkInfo& l = link(link_id);
+  const auto& outs = out_links_[l.from];
+  const auto it = std::find(outs.begin(), outs.end(), link_id);
+  return static_cast<std::size_t>(it - outs.begin());
+}
+
+std::size_t Topology::in_port(LinkId link_id) const {
+  const LinkInfo& l = link(link_id);
+  const auto& ins = in_links_[l.to];
+  const auto it = std::find(ins.begin(), ins.end(), link_id);
+  return static_cast<std::size_t>(it - ins.begin());
+}
+
+std::size_t Topology::local_in_port(NodeId id) const {
+  return in_links(id).size();
+}
+
+std::optional<LinkId> Topology::find_link(NodeId from, NodeId to) const {
+  if (from >= nodes_.size()) return std::nullopt;
+  for (const LinkId l : out_links_[from]) {
+    if (links_[l].to == to) return l;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Topology::route_nodes(const Route& route) const {
+  if (route.empty()) {
+    throw std::invalid_argument("Topology: empty route");
+  }
+  std::vector<NodeId> nodes;
+  nodes.reserve(route.size() + 1);
+  nodes.push_back(link(route.front()).from);
+  for (std::size_t k = 0; k < route.size(); ++k) {
+    const LinkInfo& l = link(route[k]);
+    if (l.from != nodes.back()) {
+      throw std::invalid_argument("Topology: disconnected route");
+    }
+    nodes.push_back(l.to);
+  }
+  return nodes;
+}
+
+}  // namespace rtcac

@@ -1,0 +1,50 @@
+#include "rtnet/cyclic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtcac {
+
+std::size_t CyclicClass::cells_per_update() const {
+  return static_cast<std::size_t>(
+      std::ceil(memory_kb * 1024.0 / kCellPayloadBytes));
+}
+
+double CyclicClass::payload_bandwidth_mbps() const {
+  return memory_kb * 1024.0 * 8.0 / (period_ms * 1e-3) / 1e6;
+}
+
+double CyclicClass::wire_bandwidth_mbps() const {
+  return static_cast<double>(cells_per_update()) * kCellBytes * 8.0 /
+         (period_ms * 1e-3) / 1e6;
+}
+
+double CyclicClass::normalized_load() const {
+  return wire_bandwidth_mbps() / kLinkMbps;
+}
+
+double CyclicClass::deadline_cell_times() const {
+  return cell_times_from_seconds(delay_ms * 1e-3);
+}
+
+TrafficDescriptor CyclicClass::cbr_contract(double share) const {
+  if (!(share > 0) || share > 1.0) {
+    throw std::invalid_argument("CyclicClass: share must be in (0, 1]");
+  }
+  const double rate = normalized_load() * share;
+  if (!(rate > 0) || rate > 1.0) {
+    throw std::invalid_argument("CyclicClass: contract rate out of range");
+  }
+  return TrafficDescriptor::cbr(rate);
+}
+
+const std::array<CyclicClass, 3>& standard_cyclic_classes() {
+  static const std::array<CyclicClass, 3> kClasses = {
+      CyclicClass{"high speed", 1.0, 1.0, 4.0},
+      CyclicClass{"medium speed", 30.0, 30.0, 64.0},
+      CyclicClass{"low speed", 150.0, 150.0, 128.0},
+  };
+  return kClasses;
+}
+
+}  // namespace rtcac

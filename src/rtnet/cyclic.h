@@ -1,0 +1,46 @@
+// rtcac/rtnet/cyclic.h
+//
+// RTnet's cyclic transmission service (Section 5, Table 1): a distributed
+// real-time shared memory.  Each terminal periodically broadcasts its
+// slice of the shared memory; the table's three service classes fix the
+// update period, the allowable update delay (== the period) and the
+// maximum shared-memory size, from which the required bandwidth follows.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "atm/cell.h"
+#include "core/traffic.h"
+
+namespace rtcac {
+
+struct CyclicClass {
+  std::string name;
+  double period_ms = 0;   ///< memory update period
+  double delay_ms = 0;    ///< maximum allowable update delay
+  double memory_kb = 0;   ///< maximum shared-memory size (KiB)
+
+  /// Cells needed to carry one full memory update (48-byte payloads).
+  [[nodiscard]] std::size_t cells_per_update() const;
+  /// Payload bandwidth, Mbps: memory bits / period (what Table 1 lists).
+  [[nodiscard]] double payload_bandwidth_mbps() const;
+  /// On-the-wire bandwidth including the 5-byte cell headers, Mbps.
+  [[nodiscard]] double wire_bandwidth_mbps() const;
+  /// Normalized sustained link load of one full-size update stream.
+  [[nodiscard]] double normalized_load() const;
+  /// Allowable delay in cell times (the QoS deadline a broadcast
+  /// connection of this class requests).
+  [[nodiscard]] double deadline_cell_times() const;
+
+  /// CBR contract for a terminal owning `share` (in (0, 1]) of this
+  /// class's shared memory: PCR sized so the update fits in the period.
+  [[nodiscard]] TrafficDescriptor cbr_contract(double share = 1.0) const;
+};
+
+/// The three classes of Table 1: high / medium / low speed.
+[[nodiscard]] const std::array<CyclicClass, 3>& standard_cyclic_classes();
+
+}  // namespace rtcac

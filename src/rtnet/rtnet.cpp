@@ -1,0 +1,133 @@
+#include "rtnet/rtnet.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace rtcac {
+
+Rtnet::Rtnet(const RtnetConfig& config) : config_(config) {
+  if (config_.ring_nodes < 2 || config_.ring_nodes > 16) {
+    throw std::invalid_argument("Rtnet: ring_nodes must be in [2, 16]");
+  }
+  if (config_.terminals_per_node < 1 || config_.terminals_per_node > 16) {
+    throw std::invalid_argument(
+        "Rtnet: terminals_per_node must be in [1, 16]");
+  }
+
+  const std::size_t n = config_.ring_nodes;
+  const std::size_t t_per = config_.terminals_per_node;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ring_nodes_.push_back(topology_.add_switch("ring" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < t_per; ++t) {
+      terminals_.push_back(topology_.add_terminal(
+          "term" + std::to_string(i) + "." + std::to_string(t)));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    cw_links_.push_back(
+        topology_.add_link(ring_nodes_[i], ring_nodes_[(i + 1) % n]));
+  }
+  if (config_.dual_ring) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ccw_links_.push_back(
+          topology_.add_link(ring_nodes_[i], ring_nodes_[(i + n - 1) % n]));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < t_per; ++t) {
+      access_links_.push_back(
+          topology_.add_link(terminals_[i * t_per + t], ring_nodes_[i]));
+    }
+  }
+  if (config_.delivery_links) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t t = 0; t < t_per; ++t) {
+        delivery_links_.push_back(
+            topology_.add_link(ring_nodes_[i], terminals_[i * t_per + t]));
+      }
+    }
+  }
+}
+
+NodeId Rtnet::ring_node(std::size_t i) const {
+  return ring_nodes_.at(i);
+}
+
+NodeId Rtnet::terminal(std::size_t node, std::size_t t) const {
+  if (node >= config_.ring_nodes || t >= config_.terminals_per_node) {
+    throw std::invalid_argument("Rtnet: bad terminal index");
+  }
+  return terminals_[node * config_.terminals_per_node + t];
+}
+
+LinkId Rtnet::cw_link(std::size_t i) const { return cw_links_.at(i); }
+
+LinkId Rtnet::ccw_link(std::size_t i) const {
+  if (!config_.dual_ring) {
+    throw std::logic_error("Rtnet: single-ring network has no ccw links");
+  }
+  return ccw_links_.at(i);
+}
+
+LinkId Rtnet::access_link(std::size_t node, std::size_t t) const {
+  if (node >= config_.ring_nodes || t >= config_.terminals_per_node) {
+    throw std::invalid_argument("Rtnet: bad terminal index");
+  }
+  return access_links_[node * config_.terminals_per_node + t];
+}
+
+LinkId Rtnet::delivery_link(std::size_t node, std::size_t t) const {
+  if (!config_.delivery_links) {
+    throw std::logic_error("Rtnet: built without delivery links");
+  }
+  if (node >= config_.ring_nodes || t >= config_.terminals_per_node) {
+    throw std::invalid_argument("Rtnet: bad terminal index");
+  }
+  return delivery_links_[node * config_.terminals_per_node + t];
+}
+
+Route Rtnet::broadcast_route(std::size_t node, std::size_t t) const {
+  Route route;
+  route.push_back(access_link(node, t));
+  const std::size_t n = config_.ring_nodes;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    route.push_back(cw_links_[(node + k) % n]);
+  }
+  return route;
+}
+
+Route Rtnet::unicast_route(std::size_t from_node, std::size_t from_t,
+                           std::size_t to_node) const {
+  if (to_node >= config_.ring_nodes) {
+    throw std::invalid_argument("Rtnet: bad destination node");
+  }
+  Route route;
+  route.push_back(access_link(from_node, from_t));
+  const std::size_t n = config_.ring_nodes;
+  for (std::size_t k = from_node; k != to_node; k = (k + 1) % n) {
+    route.push_back(cw_links_[k]);
+  }
+  return route;
+}
+
+Route Rtnet::unicast_route_ccw(std::size_t from_node, std::size_t from_t,
+                               std::size_t to_node) const {
+  if (to_node >= config_.ring_nodes) {
+    throw std::invalid_argument("Rtnet: bad destination node");
+  }
+  if (!config_.dual_ring) {
+    throw std::logic_error("Rtnet: single-ring network has no ccw route");
+  }
+  Route route;
+  route.push_back(access_link(from_node, from_t));
+  const std::size_t n = config_.ring_nodes;
+  for (std::size_t k = from_node; k != to_node; k = (k + n - 1) % n) {
+    route.push_back(ccw_links_[k]);
+  }
+  return route;
+}
+
+}  // namespace rtcac

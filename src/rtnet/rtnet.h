@@ -1,0 +1,94 @@
+// rtcac/rtnet/rtnet.h
+//
+// The RTnet plant-control network of Section 5: a star-ring of up to 16
+// ring nodes connected by dual 155 Mbps links, with up to 16 terminals
+// attached to each ring node.  Cyclic (shared-memory) traffic is broadcast
+// around the ring; the dual counter-rotating ring provides FDDI-style
+// wrap-around tolerance of any single link failure.
+//
+// Modeling choices (DESIGN.md decision 3): the primary direction is the
+// clockwise ring.  A broadcast from a terminal is one connection whose
+// route is its access link followed by the 15 clockwise ring links — every
+// ring node on the way sees (and would locally deliver) the cells; the
+// originating node strips them, so the last transit link ends at the
+// node "before" the source.  Each ring hop is one queueing point with a
+// 32-cell highest-priority FIFO (87 us of CDV per node at OC-3).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace rtcac {
+
+struct RtnetConfig {
+  std::size_t ring_nodes = 16;
+  std::size_t terminals_per_node = 1;
+  /// Build the counter-clockwise ring too (failover capacity).
+  bool dual_ring = true;
+  /// Build node->terminal delivery links (needed when simulating delivery
+  /// to end systems; the Fig. 10-13 analyses measure to the last ring
+  /// node, as DESIGN.md records).
+  bool delivery_links = false;
+};
+
+class Rtnet {
+ public:
+  /// Throws std::invalid_argument for fewer than 2 ring nodes, zero
+  /// terminals, or more than the RTnet maximum of 16 of either.
+  explicit Rtnet(const RtnetConfig& config);
+
+  [[nodiscard]] const Topology& topology() const noexcept {
+    return topology_;
+  }
+  [[nodiscard]] const RtnetConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] NodeId ring_node(std::size_t i) const;
+  [[nodiscard]] NodeId terminal(std::size_t node, std::size_t t) const;
+
+  /// Clockwise ring link out of ring node i (toward i+1 mod n).
+  [[nodiscard]] LinkId cw_link(std::size_t i) const;
+  /// Counter-clockwise ring link out of ring node i (toward i-1 mod n);
+  /// throws std::logic_error when the network was built single-ring.
+  [[nodiscard]] LinkId ccw_link(std::size_t i) const;
+  /// Access link of terminal (node, t) into its ring node.
+  [[nodiscard]] LinkId access_link(std::size_t node, std::size_t t) const;
+  /// Delivery link ring node -> terminal; requires delivery_links.
+  [[nodiscard]] LinkId delivery_link(std::size_t node, std::size_t t) const;
+
+  /// Broadcast route of terminal (node, t): access link + the
+  /// ring_nodes-1 clockwise ring links (cells reach every other node).
+  [[nodiscard]] Route broadcast_route(std::size_t node, std::size_t t) const;
+
+  /// Unicast route terminal (from_node, from_t) -> ring node `to_node`,
+  /// clockwise.  to_node == from_node yields just the access link.
+  [[nodiscard]] Route unicast_route(std::size_t from_node, std::size_t from_t,
+                                    std::size_t to_node) const;
+
+  /// Same route re-planned counter-clockwise, as the ring wrap-around
+  /// would use when clockwise link `failed` is down.
+  [[nodiscard]] Route unicast_route_ccw(std::size_t from_node,
+                                        std::size_t from_t,
+                                        std::size_t to_node) const;
+
+  [[nodiscard]] std::size_t ring_size() const noexcept {
+    return config_.ring_nodes;
+  }
+  [[nodiscard]] std::size_t terminals_per_node() const noexcept {
+    return config_.terminals_per_node;
+  }
+
+ private:
+  RtnetConfig config_;
+  Topology topology_;
+  std::vector<NodeId> ring_nodes_;
+  std::vector<NodeId> terminals_;       // [node * T + t]
+  std::vector<LinkId> cw_links_;        // [i]: i -> i+1
+  std::vector<LinkId> ccw_links_;       // [i]: i -> i-1
+  std::vector<LinkId> access_links_;    // [node * T + t]
+  std::vector<LinkId> delivery_links_;  // [node * T + t]
+};
+
+}  // namespace rtcac

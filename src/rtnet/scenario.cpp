@@ -1,0 +1,262 @@
+#include "rtnet/scenario.h"
+
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/connection_manager.h"
+
+namespace rtcac {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TrafficPattern TrafficPattern::symmetric(std::size_t ring_nodes,
+                                         std::size_t terminals_per_node) {
+  TrafficPattern pattern;
+  const std::size_t total = ring_nodes * terminals_per_node;
+  pattern.shares.assign(total, 1.0 / static_cast<double>(total));
+  return pattern;
+}
+
+TrafficPattern TrafficPattern::asymmetric(std::size_t ring_nodes,
+                                          std::size_t terminals_per_node,
+                                          double p) {
+  if (p < 0 || p > 1) {
+    throw std::invalid_argument("TrafficPattern: p must be in [0, 1]");
+  }
+  TrafficPattern pattern;
+  const std::size_t total = ring_nodes * terminals_per_node;
+  if (total == 1) {
+    pattern.shares.assign(1, 1.0);
+    return pattern;
+  }
+  pattern.shares.assign(total,
+                        (1.0 - p) / static_cast<double>(total - 1));
+  pattern.shares[0] = p;
+  return pattern;
+}
+
+PriorityAssigner assign_uniform(Priority priority) {
+  return [priority](std::size_t, std::size_t, double) { return priority; };
+}
+
+PriorityAssigner assign_heavy_low(std::size_t priorities) {
+  if (priorities < 2) {
+    throw std::invalid_argument("assign_heavy_low: needs >= 2 priorities");
+  }
+  const Priority low = static_cast<Priority>(priorities - 1);
+  return [low](std::size_t node, std::size_t t, double) -> Priority {
+    return (node == 0 && t == 0) ? low : 0;
+  };
+}
+
+PriorityAssigner assign_heavy_high(std::size_t priorities) {
+  if (priorities < 2) {
+    throw std::invalid_argument("assign_heavy_high: needs >= 2 priorities");
+  }
+  const Priority low = static_cast<Priority>(priorities - 1);
+  return [low](std::size_t node, std::size_t t, double) -> Priority {
+    return (node == 0 && t == 0) ? 0 : low;
+  };
+}
+
+PriorityAssigner assign_split(std::size_t priorities) {
+  if (priorities < 2) {
+    throw std::invalid_argument("assign_split: needs >= 2 priorities");
+  }
+  return [priorities](std::size_t node, std::size_t t, double) -> Priority {
+    return static_cast<Priority>((node + t) % priorities);
+  };
+}
+
+ScenarioResult evaluate_cyclic_scenario(const ScenarioOptions& options,
+                                        const TrafficPattern& pattern,
+                                        double total_load,
+                                        const PriorityAssigner& assign) {
+  const std::size_t n = options.ring_nodes;
+  const std::size_t t_per = options.terminals_per_node;
+  if (pattern.shares.size() != n * t_per) {
+    throw std::invalid_argument(
+        "evaluate_cyclic_scenario: pattern size does not match topology");
+  }
+  if (!(total_load > 0)) {
+    throw std::invalid_argument(
+        "evaluate_cyclic_scenario: total load must be > 0");
+  }
+
+  RtnetConfig net_cfg;
+  net_cfg.ring_nodes = n;
+  net_cfg.terminals_per_node = t_per;
+  net_cfg.dual_ring = false;  // the scenarios use the primary ring only
+  net_cfg.delivery_links = options.include_delivery_hop;
+  const Rtnet net(net_cfg);
+
+  if (!options.queue_cells_by_priority.empty() &&
+      options.queue_cells_by_priority.size() != options.priorities) {
+    throw std::invalid_argument(
+        "evaluate_cyclic_scenario: queue_cells_by_priority size mismatch");
+  }
+
+  ConnectionManager::Params params;
+  params.priorities = options.priorities;
+  params.advertised_bound = options.queue_cells;
+  params.cdv_policy = options.cdv_policy;
+  params.guarantee = GuaranteeMode::kComputed;
+  ConnectionManager manager(net.topology(), params);
+
+  if (!options.queue_cells_by_priority.empty()) {
+    for (const NodeInfo& node : net.topology().nodes()) {
+      if (node.kind != NodeKind::kSwitch) continue;
+      SwitchCac& cac = manager.switch_cac(node.id);
+      for (std::size_t port = 0; port < cac.out_ports(); ++port) {
+        for (Priority q = 0; q < options.priorities; ++q) {
+          cac.set_advertised(port, q, options.queue_cells_by_priority[q]);
+        }
+      }
+    }
+  }
+
+  ScenarioResult result;
+  struct Admitted {
+    ConnectionId id;
+    std::size_t node;
+    Priority priority;
+  };
+  std::vector<Admitted> admitted;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < t_per; ++t) {
+      const double share = pattern.shares[i * t_per + t];
+      if (share <= 0) continue;
+      ++result.requested;
+      const double pcr = total_load * share;
+      if (pcr > 1.0) {
+        std::ostringstream os;
+        os << "terminal (" << i << "," << t << ") peak rate " << pcr
+           << " exceeds link rate";
+        result.first_rejection = os.str();
+        return result;
+      }
+      QosRequest request;
+      request.traffic = TrafficDescriptor::cbr(pcr);
+      request.deadline = kInf;  // bounds are evaluated post hoc
+      request.priority = assign(i, t, share);
+      Route route = net.broadcast_route(i, t);
+      if (options.include_delivery_hop) {
+        // Deliver at terminal 0 of the final ring node: the node ->
+        // terminal hop becomes one more queueing point.
+        route.push_back(net.delivery_link((i + n - 1) % n, 0));
+      }
+      const auto setup = manager.setup(request, route);
+      if (!setup.accepted) {
+        result.first_rejection = setup.reason;
+        return result;
+      }
+      admitted.push_back(Admitted{setup.id, i, request.priority});
+      ++result.admitted;
+    }
+  }
+  result.all_admitted = true;
+
+  // End-to-end bound per connection under the *final* load.  Every
+  // broadcast crosses the same 15 ring output ports starting at its node,
+  // so cache the per-(node, priority) ring-port bound.
+  std::map<std::pair<std::size_t, Priority>, double> port_bound;
+  const auto ring_port_bound = [&](std::size_t node,
+                                   Priority priority) -> double {
+    const auto key = std::make_pair(node, priority);
+    if (const auto it = port_bound.find(key); it != port_bound.end()) {
+      return it->second;
+    }
+    const std::size_t port = net.topology().out_port(net.cw_link(node));
+    const auto bound =
+        manager.switch_cac(net.ring_node(node)).computed_bound(port, priority);
+    const double value = bound.value_or(kInf);
+    port_bound.emplace(key, value);
+    return value;
+  };
+
+  result.max_e2e_by_priority.assign(options.priorities, 0);
+  for (const Admitted& conn : admitted) {
+    double e2e = 0;
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      e2e += ring_port_bound((conn.node + k) % n, conn.priority);
+    }
+    if (options.include_delivery_hop) {
+      const std::size_t last = (conn.node + n - 1) % n;
+      const std::size_t port =
+          net.topology().out_port(net.delivery_link(last, 0));
+      e2e += manager.switch_cac(net.ring_node(last))
+                 .computed_bound(port, conn.priority)
+                 .value_or(kInf);
+    }
+    if (e2e > result.max_e2e_bound) result.max_e2e_bound = e2e;
+    if (e2e > result.max_e2e_by_priority[conn.priority]) {
+      result.max_e2e_by_priority[conn.priority] = e2e;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+double search_max_load(const std::function<bool(double)>& feasible,
+                       double tolerance) {
+  if (!(tolerance > 0)) {
+    throw std::invalid_argument("max_supportable_load: bad tolerance");
+  }
+  double lo = 0;
+  double hi = 1.0;
+  if (feasible(hi)) return hi;
+  if (!feasible(tolerance)) return 0;
+  lo = tolerance;
+  while (hi - lo > tolerance) {
+    const double mid = (lo + hi) / 2;
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+double max_supportable_load(const ScenarioOptions& options,
+                            const TrafficPattern& pattern, double deadline,
+                            const PriorityAssigner& assign,
+                            double tolerance) {
+  const auto feasible = [&](double load) {
+    const ScenarioResult r =
+        evaluate_cyclic_scenario(options, pattern, load, assign);
+    return r.all_admitted && r.max_e2e_bound <= deadline;
+  };
+  return search_max_load(feasible, tolerance);
+}
+
+double max_supportable_load_per_priority(const ScenarioOptions& options,
+                                         const TrafficPattern& pattern,
+                                         std::span<const double> deadlines,
+                                         const PriorityAssigner& assign,
+                                         double tolerance) {
+  if (deadlines.size() != options.priorities) {
+    throw std::invalid_argument(
+        "max_supportable_load_per_priority: one deadline per level");
+  }
+  const auto feasible = [&](double load) {
+    const ScenarioResult r =
+        evaluate_cyclic_scenario(options, pattern, load, assign);
+    if (!r.all_admitted) return false;
+    for (std::size_t q = 0; q < deadlines.size(); ++q) {
+      if (r.max_e2e_by_priority[q] > deadlines[q]) return false;
+    }
+    return true;
+  };
+  return search_max_load(feasible, tolerance);
+}
+
+}  // namespace rtcac

@@ -1,0 +1,114 @@
+// rtcac/rtnet/scenario.h
+//
+// The evaluation scenarios of Section 5 (Figures 10-13): cyclic-traffic
+// load patterns over a 16-node RTnet ring, admitted through the bit-stream
+// CAC, with the resulting worst-case end-to-end queueing delay bounds.
+//
+// A pattern assigns each terminal a share of the total normalized load B;
+// terminal (i, t)'s broadcast CBR connection then has PCR = B * share.
+// Figure 10 uses the symmetric pattern (share = 1/(16N)); Figures 11-13
+// give one "heavy" terminal the fraction p and split the rest evenly.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cdv.h"
+#include "core/connection.h"
+#include "rtnet/rtnet.h"
+
+namespace rtcac {
+
+struct ScenarioOptions {
+  std::size_t ring_nodes = 16;
+  std::size_t terminals_per_node = 1;  ///< N
+  std::size_t priorities = 1;
+  /// FIFO depth per priority queue == advertised per-hop bound Dmax
+  /// (cell times).  RTnet uses 32 cells (~87 us at OC-3).
+  double queue_cells = 32;
+  /// Optional per-priority queue depths (index = level).  When set (size
+  /// must equal `priorities`), overrides queue_cells — the knob Fig. 12
+  /// turns: a low-priority class with a loose deadline can be given a
+  /// deeper FIFO, which the CAC check then sizes traffic against.
+  std::vector<double> queue_cells_by_priority;
+  CdvPolicy cdv_policy = CdvPolicy::kHard;
+  /// Extend every broadcast to the delivery link of one terminal on the
+  /// final ring node, adding the node->terminal hop as a 16th queueing
+  /// point.  The paper's figures measure to the last ring node (DESIGN.md
+  /// decision 3); this knob verifies that choice is harmless: the
+  /// delivery port is fed by a single in-link, so per-in-link filtering
+  /// bounds its queue at zero and the e2e bound is unchanged.
+  bool include_delivery_hop = false;
+};
+
+/// Per-terminal load shares (sum to 1); index = node * N + t.
+struct TrafficPattern {
+  std::vector<double> shares;
+
+  static TrafficPattern symmetric(std::size_t ring_nodes,
+                                  std::size_t terminals_per_node);
+  /// Terminal (0, 0) generates fraction `p` of the total load; the rest is
+  /// split evenly over the remaining terminals.  p in [0, 1].
+  static TrafficPattern asymmetric(std::size_t ring_nodes,
+                                   std::size_t terminals_per_node, double p);
+};
+
+/// Chooses a connection's priority from its position and load share.
+using PriorityAssigner =
+    std::function<Priority(std::size_t node, std::size_t t, double share)>;
+
+/// Everyone at the given priority (default: the single level 0).
+[[nodiscard]] PriorityAssigner assign_uniform(Priority priority = 0);
+/// Heavy terminal (0,0) at the *lowest* level, everyone else at the
+/// highest — DESIGN.md decision 4 for Figure 12.
+[[nodiscard]] PriorityAssigner assign_heavy_low(std::size_t priorities);
+/// The reverse assignment (heavy terminal highest), for comparison.
+[[nodiscard]] PriorityAssigner assign_heavy_high(std::size_t priorities);
+/// Round-robin split of terminals across the levels: each level's FIFO
+/// queue then only buffers its own share of the worst-case clumps, which
+/// is where the Fig. 12 capacity gain comes from.
+[[nodiscard]] PriorityAssigner assign_split(std::size_t priorities);
+
+struct ScenarioResult {
+  /// Whether the whole pattern was admitted at total load B.
+  bool all_admitted = false;
+  std::size_t admitted = 0;
+  std::size_t requested = 0;
+  /// Max over admitted connections of the end-to-end worst-case bound
+  /// under the final load (cell times); infinity when any hop unbounded.
+  double max_e2e_bound = 0;
+  /// Same maximum, split by the connection's priority level (0 for levels
+  /// with no connections).
+  std::vector<double> max_e2e_by_priority;
+  std::string first_rejection;
+};
+
+/// Builds the ring, admits every terminal's broadcast CBR connection at
+/// total load `total_load`, and reports the worst end-to-end bound.
+[[nodiscard]] ScenarioResult evaluate_cyclic_scenario(
+    const ScenarioOptions& options, const TrafficPattern& pattern,
+    double total_load, const PriorityAssigner& assign = assign_uniform());
+
+/// Largest total load B (within `tolerance`) whose pattern is fully
+/// admitted with every end-to-end bound <= `deadline` cell times.
+/// Returns 0 when even a vanishing load fails.
+[[nodiscard]] double max_supportable_load(
+    const ScenarioOptions& options, const TrafficPattern& pattern,
+    double deadline, const PriorityAssigner& assign = assign_uniform(),
+    double tolerance = 1.0 / 256.0);
+
+/// Variant with one deadline per priority level (size must equal
+/// options.priorities): level q's worst end-to-end bound must stay within
+/// deadlines[q].  This is how heterogeneous cyclic classes (Table 1) are
+/// mapped onto levels in the Fig. 12 experiment.
+[[nodiscard]] double max_supportable_load_per_priority(
+    const ScenarioOptions& options, const TrafficPattern& pattern,
+    std::span<const double> deadlines,
+    const PriorityAssigner& assign = assign_uniform(),
+    double tolerance = 1.0 / 256.0);
+
+}  // namespace rtcac

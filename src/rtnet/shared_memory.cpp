@@ -1,0 +1,155 @@
+#include "rtnet/shared_memory.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "atm/source_scheduler.h"
+
+namespace rtcac {
+
+namespace {
+
+struct FramePlan {
+  std::uint16_t cells = 0;  ///< cells per update frame
+  Tick period = 0;
+  Tick spacing = 0;  ///< pacing between the frame's cells
+};
+
+FramePlan plan_frames(const RegionSpec& region) {
+  FramePlan plan;
+  const double bytes = region.share * region.cyclic.memory_kb * 1024.0;
+  plan.cells = static_cast<std::uint16_t>(
+      std::max(1.0, std::ceil(bytes / kCellPayloadBytes)));
+  plan.period = static_cast<Tick>(
+      cell_times_from_seconds(region.cyclic.period_ms * 1e-3));
+  plan.spacing = std::max<Tick>(1, plan.period / plan.cells);
+  if (static_cast<Tick>(plan.cells) * plan.spacing > plan.period) {
+    // The region is too large to fit its period even back to back.
+    throw std::invalid_argument(
+        "SharedMemoryService: region does not fit its update period");
+  }
+  return plan;
+}
+
+}  // namespace
+
+SharedMemoryService::SharedMemoryService(const Rtnet& net,
+                                         std::vector<RegionSpec> regions)
+    : net_(net),
+      regions_(std::move(regions)),
+      manager_(net.topology(),
+               [] {
+                 ConnectionManager::Params params;
+                 params.priorities = 1;
+                 params.advertised_bound = 32;
+                 params.guarantee = GuaranteeMode::kComputed;
+                 return params;
+               }()),
+      sim_(net.topology(), SimNetwork::Options{1, 33}) {
+  if (regions_.empty()) {
+    throw std::invalid_argument("SharedMemoryService: no regions");
+  }
+
+  std::vector<FramePlan> plans;
+  plans.reserve(regions_.size());
+  for (const RegionSpec& region : regions_) {
+    if (!(region.share > 0) || region.share > 1.0) {
+      throw std::invalid_argument("SharedMemoryService: share out of (0,1]");
+    }
+    const FramePlan plan = plan_frames(region);
+    plans.push_back(plan);
+
+    QosRequest request;
+    // The contract mirrors the actual pacing: one cell per `spacing`.
+    request.traffic =
+        TrafficDescriptor::cbr(1.0 / static_cast<double>(plan.spacing));
+    request.deadline = region.cyclic.deadline_cell_times();
+    const Route route = net_.broadcast_route(region.node, region.terminal);
+    const auto result = manager_.setup(request, route);
+    if (!result.accepted) {
+      std::ostringstream os;
+      os << "SharedMemoryService: region of (" << region.node << ","
+         << region.terminal << ") not admissible: " << result.reason;
+      throw std::invalid_argument(os.str());
+    }
+    connection_ids_.push_back(result.id);
+  }
+
+  // All regions admitted: install the traffic and the observers, and
+  // freeze the per-region guarantees under the final load.
+  for (std::size_t index = 0; index < regions_.size(); ++index) {
+    const RegionSpec& region = regions_[index];
+    const FramePlan& plan = plans[index];
+    const Route route = net_.broadcast_route(region.node, region.terminal);
+    sim_.install(connection_ids_[index], route, 0,
+                 std::make_unique<FrameBurstSourceScheduler>(
+                     plan.cells, plan.period, plan.spacing));
+    observers_.push_back(std::make_unique<Observer>());
+    observers_.back()->stats.guaranteed_latency =
+        static_cast<double>(plan.cells - 1) * static_cast<double>(plan.spacing) +
+        manager_.current_e2e_bound(connection_ids_[index]).value() +
+        static_cast<double>(route.size());  // store-and-forward per link
+    sim_.set_delivery_hook(
+        connection_ids_[index],
+        [this, index](const Cell& cell, Tick now) {
+          on_delivery(index, cell, now);
+        });
+  }
+}
+
+void SharedMemoryService::on_delivery(std::size_t region_index,
+                                      const Cell& cell, Tick now) {
+  Observer& obs = *observers_[region_index];
+
+  if (cell.frame != obs.expected_frame) {
+    // A whole frame (or tail of one) went missing.
+    if (obs.expected_cell > 0) {
+      ++obs.stats.updates_damaged;  // the frame we were assembling
+    }
+    if (cell.frame > obs.expected_frame) {
+      obs.stats.updates_damaged += cell.frame - obs.expected_frame -
+                                   (obs.expected_cell > 0 ? 1 : 0);
+    }
+    obs.expected_frame = cell.frame;
+    obs.expected_cell = 0;
+    obs.frame_ok = true;
+  }
+  if (cell.cell_in_frame != obs.expected_cell) {
+    obs.frame_ok = false;  // missing cells within the frame
+  }
+  if (cell.cell_in_frame == 0) {
+    obs.frame_first_emission = cell.injected;
+    obs.frame_ok = obs.frame_ok && true;
+  }
+  obs.expected_cell = static_cast<std::uint16_t>(cell.cell_in_frame + 1);
+
+  if (!cell.end_of_frame) return;
+
+  if (obs.frame_ok) {
+    ++obs.stats.updates_completed;
+    const Tick latency = now - obs.frame_first_emission;
+    obs.stats.worst_update_latency =
+        std::max(obs.stats.worst_update_latency, latency);
+    if (obs.last_completion.has_value()) {
+      obs.stats.worst_staleness = std::max(
+          obs.stats.worst_staleness, now - *obs.last_completion);
+    }
+    obs.last_completion = now;
+  } else {
+    ++obs.stats.updates_damaged;
+  }
+  obs.expected_frame = cell.frame + 1;
+  obs.expected_cell = 0;
+  obs.frame_ok = true;
+}
+
+void SharedMemoryService::run_until(Tick horizon) {
+  sim_.run_until(horizon);
+}
+
+double SharedMemoryService::queueing_bound(std::size_t index) const {
+  return manager_.current_e2e_bound(connection_ids_.at(index)).value();
+}
+
+}  // namespace rtcac

@@ -1,0 +1,28 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rtcac {
+
+void EventQueue::schedule(Tick time, EventPhase phase, Action action) {
+  if (time < 0) {
+    throw std::invalid_argument("EventQueue: negative event time");
+  }
+  heap_.push(Event{time, phase, next_seq_++, std::move(action)});
+}
+
+Tick EventQueue::run_next() {
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue: run_next on empty queue");
+  }
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the action handle (shared_ptr-backed std::function copy is
+  // cheap relative to simulation work).
+  Event ev = heap_.top();
+  heap_.pop();
+  ev.action();
+  return ev.time;
+}
+
+}  // namespace rtcac

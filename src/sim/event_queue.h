@@ -1,0 +1,64 @@
+// rtcac/sim/event_queue.h
+//
+// Deterministic discrete-event core for the cell-level simulator.
+//
+// ATM is slotted: every link moves at most one cell per cell time, so all
+// interesting instants are integer ticks.  Within a tick, events run in
+// two phases — arrivals (phase 0: cells delivered to a node, sources
+// emitting) strictly before transmissions (phase 1: an output port picking
+// its next cell).  This guarantees a port's scheduling decision at tick t
+// sees every cell that has arrived by t, independent of the order events
+// happened to be scheduled in — the property the static-priority FIFO
+// analysis assumes.  Ties within a phase break by insertion order, so runs
+// are bit-for-bit reproducible.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "atm/cell.h"
+
+namespace rtcac {
+
+enum class EventPhase : std::uint8_t { kArrival = 0, kTransmit = 1 };
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at `time` (>= the last popped time).
+  void schedule(Tick time, EventPhase phase, Action action);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event; valid only when !empty().
+  [[nodiscard]] Tick next_time() const { return heap_.top().time; }
+
+  /// Pops and runs the earliest event; returns its time.
+  Tick run_next();
+
+ private:
+  struct Event {
+    Tick time;
+    EventPhase phase;
+    std::uint64_t seq;
+    // Ordered as a max-heap inverted: "greater" pops first-in-time.
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.phase != b.phase) return a.phase > b.phase;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rtcac

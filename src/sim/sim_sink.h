@@ -1,0 +1,38 @@
+// rtcac/sim/sim_sink.h
+//
+// Per-connection delivery statistics: end-to-end *network* queueing delay
+// (the sum of per-port waits the cell accumulated — directly comparable to
+// the analytic end-to-end queueing delay bound), plus the access-link
+// serialization wait charged before the cell entered the network.
+
+#pragma once
+
+#include <cstdint>
+
+#include "atm/cell.h"
+#include "util/stats.h"
+
+namespace rtcac {
+
+class SimSink {
+ public:
+  void deliver(const Cell& cell, Tick now) {
+    ++delivered_;
+    last_delivery_ = now;
+    queue_delay_.add(static_cast<double>(cell.queue_wait));
+  }
+
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] Tick last_delivery() const noexcept { return last_delivery_; }
+  /// Distribution of per-cell total network queueing delay (ticks).
+  [[nodiscard]] const SummaryStats& queue_delay() const noexcept {
+    return queue_delay_;
+  }
+
+ private:
+  std::uint64_t delivered_ = 0;
+  Tick last_delivery_ = 0;
+  SummaryStats queue_delay_;
+};
+
+}  // namespace rtcac

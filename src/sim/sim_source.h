@@ -1,0 +1,48 @@
+// rtcac/sim/sim_source.h
+//
+// A connection's traffic generator inside the simulation: wraps a
+// SourceScheduler (atm/source_scheduler.h) and lazily pumps one emission
+// event at a time into the event queue, so even infinite schedules cost
+// O(pending) memory.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "atm/source_scheduler.h"
+#include "core/connection.h"
+
+namespace rtcac {
+
+class SimSource {
+ public:
+  SimSource(ConnectionId connection, std::unique_ptr<SourceScheduler> scheduler)
+      : connection_(connection), scheduler_(std::move(scheduler)) {}
+
+  [[nodiscard]] ConnectionId connection() const noexcept {
+    return connection_;
+  }
+
+  /// Emission tick of the next cell, building it; nullopt when exhausted.
+  std::optional<std::pair<Tick, Cell>> next_emission() {
+    const auto t = scheduler_->next();
+    if (!t.has_value()) return std::nullopt;
+    Cell cell;
+    cell.connection = connection_;
+    cell.sequence = next_seq_++;
+    cell.injected = *t;
+    cell.queue_wait = 0;
+    scheduler_->annotate(cell);
+    return std::make_pair(*t, cell);
+  }
+
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return next_seq_; }
+
+ private:
+  ConnectionId connection_;
+  std::unique_ptr<SourceScheduler> scheduler_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rtcac

@@ -1,0 +1,62 @@
+#include "sim/sim_switch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtcac {
+
+OutputPort::OutputPort(std::size_t priorities, std::size_t capacity)
+    : capacity_(capacity),
+      queues_(priorities),
+      max_backlog_(priorities, 0),
+      max_wait_(priorities, 0) {
+  if (priorities == 0) {
+    throw std::invalid_argument("OutputPort: priorities must be >= 1");
+  }
+}
+
+bool OutputPort::enqueue(const Cell& cell, Priority p, Tick now) {
+  if (p >= queues_.size()) {
+    throw std::invalid_argument("OutputPort: priority out of range");
+  }
+  auto& q = queues_[p];
+  if (capacity_ != 0 && q.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  q.push_back(Queued{cell, now});
+  ++backlog_;
+  max_backlog_[p] = std::max(max_backlog_[p], q.size());
+  return true;
+}
+
+std::optional<OutputPort::Departure> OutputPort::dequeue(Tick now) {
+  for (std::size_t p = 0; p < queues_.size(); ++p) {
+    auto& q = queues_[p];
+    if (q.empty()) continue;
+    Queued item = std::move(q.front());
+    q.pop_front();
+    --backlog_;
+    ++transmitted_;
+    const Tick wait = now - item.enqueued;
+    max_wait_[p] = std::max(max_wait_[p], wait);
+    return Departure{item.cell, static_cast<Priority>(p), wait};
+  }
+  return std::nullopt;
+}
+
+std::size_t OutputPort::max_backlog(Priority p) const {
+  if (p >= max_backlog_.size()) {
+    throw std::invalid_argument("OutputPort: priority out of range");
+  }
+  return max_backlog_[p];
+}
+
+Tick OutputPort::max_wait(Priority p) const {
+  if (p >= max_wait_.size()) {
+    throw std::invalid_argument("OutputPort: priority out of range");
+  }
+  return max_wait_[p];
+}
+
+}  // namespace rtcac

@@ -1,0 +1,78 @@
+// rtcac/sim/sim_switch.h
+//
+// The queueing element of the simulator: an output port with one FIFO
+// queue per static priority level, served at one cell per tick, highest
+// priority first — exactly the switch model the paper's analysis assumes
+// (Section 4.1).  Terminals reuse the same element with a single queue as
+// their access-link serializer.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "atm/cell.h"
+#include "core/connection.h"
+
+namespace rtcac {
+
+/// Static-priority FIFO output port.
+class OutputPort {
+ public:
+  /// `capacity` is the per-priority queue depth in cells; 0 = unbounded.
+  OutputPort(std::size_t priorities, std::size_t capacity);
+
+  /// Enqueues a cell at priority `p`; returns false (and counts a drop)
+  /// when that priority's queue is full.
+  bool enqueue(const Cell& cell, Priority p, Tick now);
+
+  [[nodiscard]] bool has_backlog() const noexcept { return backlog_ > 0; }
+  [[nodiscard]] std::size_t backlog() const noexcept { return backlog_; }
+
+  struct Departure {
+    Cell cell;
+    Priority priority;
+    Tick wait;  ///< ticks the cell sat in this queue
+  };
+
+  /// Pops the head of the highest-priority non-empty queue.  The caller
+  /// decides where the wait is charged (network queueing delay at a
+  /// switch, access serialization at a terminal).  nullopt when empty.
+  std::optional<Departure> dequeue(Tick now);
+
+  [[nodiscard]] std::uint64_t transmitted() const noexcept {
+    return transmitted_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Largest backlog ever seen in priority-p's queue (cells) — the
+  /// empirical counterpart of max_backlog() in the analysis.
+  [[nodiscard]] std::size_t max_backlog(Priority p) const;
+  /// Largest queueing wait (ticks) ever charged at priority p.
+  [[nodiscard]] Tick max_wait(Priority p) const;
+
+  [[nodiscard]] std::size_t priorities() const noexcept {
+    return queues_.size();
+  }
+
+  /// Port bookkeeping used by the engine: earliest tick the link is free.
+  Tick next_free = 0;
+  bool transmit_scheduled = false;
+
+ private:
+  struct Queued {
+    Cell cell;
+    Tick enqueued;
+  };
+
+  std::size_t capacity_;
+  std::vector<std::deque<Queued>> queues_;
+  std::vector<std::size_t> max_backlog_;
+  std::vector<Tick> max_wait_;
+  std::size_t backlog_ = 0;
+  std::uint64_t transmitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace rtcac

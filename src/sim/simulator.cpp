@@ -1,0 +1,246 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace rtcac {
+
+void Simulator::schedule(Tick time, EventPhase phase,
+                         EventQueue::Action action) {
+  if (time < now_) {
+    throw std::logic_error("Simulator: scheduling into the past");
+  }
+  events_.schedule(time, phase, std::move(action));
+}
+
+std::size_t Simulator::run_until(Tick horizon) {
+  std::size_t processed = 0;
+  while (!events_.empty() && events_.next_time() <= horizon) {
+    // Advance the clock before dispatching so the action reads the event's
+    // own time from now().
+    now_ = events_.next_time();
+    events_.run_next();
+    ++processed;
+  }
+  now_ = std::max(now_, horizon);
+  return processed;
+}
+
+SimNetwork::SimNetwork(const Topology& topology, const Options& options)
+    : topology_(topology), options_(options) {
+  if (options_.priorities == 0) {
+    throw std::invalid_argument("SimNetwork: priorities must be >= 1");
+  }
+  nodes_.reserve(topology_.node_count());
+  for (const NodeInfo& n : topology_.nodes()) {
+    NodeState state;
+    state.is_terminal = (n.kind == NodeKind::kTerminal);
+    const std::size_t ports = topology_.out_links(n.id).size();
+    state.ports.reserve(ports);
+    for (std::size_t p = 0; p < ports; ++p) {
+      // Terminal serializers are source-side buffers: unbounded.  Switch
+      // queues use the configured FIFO depth.
+      state.ports.emplace_back(options_.priorities,
+                               state.is_terminal ? 0 : options_.queue_capacity);
+    }
+    nodes_.push_back(std::move(state));
+  }
+}
+
+void SimNetwork::install(ConnectionId id, const Route& route,
+                         Priority priority,
+                         std::unique_ptr<SourceScheduler> scheduler) {
+  if (priority >= options_.priorities) {
+    throw std::invalid_argument("SimNetwork: priority out of range");
+  }
+  if (connections_.contains(id)) {
+    throw std::invalid_argument("SimNetwork: duplicate connection id");
+  }
+  const std::vector<NodeId> path = topology_.route_nodes(route);
+  if (std::set<NodeId>(path.begin(), path.end()).size() != path.size()) {
+    throw std::invalid_argument(
+        "SimNetwork: routes revisiting a node are not supported");
+  }
+
+  ConnectionState state;
+  state.route = route;
+  state.priority = priority;
+  state.source = path.front();
+  state.destination = path.back();
+  // UPC runs at the UNI — the source node, before the access link — so a
+  // conforming emission schedule is judged free of the serialization
+  // jitter a shared access link adds (jitter compresses gaps and would
+  // fail GCRA even for honest sources; CDV handling is the network
+  // analysis's job, not the policer's).
+  state.ingress = path.front();
+  state.source_gen =
+      std::make_unique<SimSource>(id, std::move(scheduler));
+  for (std::size_t k = 0; k < route.size(); ++k) {
+    nodes_[path[k]].routes.emplace(
+        id, RouteEntry{topology_.out_port(route[k]), priority});
+  }
+  connections_.emplace(id, std::move(state));
+  pump_source(id);
+}
+
+void SimNetwork::install_policed(ConnectionId id, const Route& route,
+                                 Priority priority,
+                                 std::unique_ptr<SourceScheduler> scheduler,
+                                 const TrafficDescriptor& contract) {
+  install(id, route, priority, std::move(scheduler));
+  connections_.at(id).policer.emplace(contract);
+}
+
+std::uint64_t SimNetwork::policed_cells(ConnectionId id) const {
+  return connections_.at(id).policed;
+}
+
+void SimNetwork::set_delivery_hook(ConnectionId id, DeliveryHook hook) {
+  connections_.at(id).delivery_hook = std::move(hook);
+}
+
+void SimNetwork::attach_labels(ConnectionId id, const LabelPath& labels) {
+  ConnectionState& conn = connections_.at(id);
+  conn.initial_label = labels.initial;
+  conn.egress_label = labels.egress;
+  conn.label_bindings.clear();
+  for (const LabelBinding& binding : labels.bindings) {
+    if (!conn.label_bindings.emplace(binding.node, binding).second) {
+      throw std::invalid_argument(
+          "SimNetwork: label path visits a node twice");
+    }
+  }
+}
+
+void SimNetwork::pump_source(ConnectionId id) {
+  ConnectionState& conn = connections_.at(id);
+  auto emission = conn.source_gen->next_emission();
+  if (!emission.has_value()) return;
+  const auto [tick, cell] = *emission;
+  if (tick < sim_.now()) {
+    throw std::logic_error("SimNetwork: source emitted into the past");
+  }
+  sim_.schedule(tick, EventPhase::kArrival, [this, id, cell = cell]() {
+    arrive(id, cell, connections_.at(id).source, std::nullopt);
+    pump_source(id);
+  });
+}
+
+void SimNetwork::arrive(ConnectionId id, Cell cell, NodeId node,
+                        std::optional<std::size_t> in_port) {
+  ConnectionState& conn = connections_.at(id);
+  if (conn.initial_label.has_value()) {
+    if (node == conn.source) {
+      cell.label = *conn.initial_label;  // stamped at birth, at the UNI
+    } else if (const auto binding = conn.label_bindings.find(node);
+               binding != conn.label_bindings.end()) {
+      // A real switch forwards on (in port, label) alone; anything that
+      // does not match the installed translation is discarded.
+      if (cell.label != binding->second.in_label || !in_port.has_value() ||
+          *in_port != binding->second.in_port) {
+        ++label_misroutes_;
+        return;
+      }
+      cell.label = binding->second.out_label;
+    }
+  }
+  if (node == conn.destination) {
+    if (conn.egress_label.has_value() && cell.label != *conn.egress_label) {
+      ++label_misroutes_;
+      return;
+    }
+    conn.sink.deliver(cell, sim_.now());
+    if (conn.delivery_hook) conn.delivery_hook(cell, sim_.now());
+    return;
+  }
+  if (conn.policer.has_value() && node == conn.ingress) {
+    const double t = static_cast<double>(sim_.now());
+    if (!conn.policer->conforms(t)) {
+      ++conn.policed;  // UPC discard: the contract violator pays, alone
+      return;
+    }
+    conn.policer->commit(t);
+  }
+  NodeState& ns = nodes_[node];
+  const auto it = ns.routes.find(id);
+  if (it == ns.routes.end()) {
+    throw std::logic_error("SimNetwork: cell arrived off its route");
+  }
+  const RouteEntry entry = it->second;
+  ns.ports[entry.out_port].enqueue(cell, entry.priority, sim_.now());
+  ensure_transmit_scheduled(node, entry.out_port);
+}
+
+void SimNetwork::ensure_transmit_scheduled(NodeId node, std::size_t port_idx) {
+  OutputPort& port = nodes_[node].ports[port_idx];
+  if (!port.has_backlog() || port.transmit_scheduled) return;
+  const Tick when = std::max(sim_.now(), port.next_free);
+  port.transmit_scheduled = true;
+  sim_.schedule(when, EventPhase::kTransmit,
+                [this, node, port_idx]() { transmit(node, port_idx); });
+}
+
+void SimNetwork::transmit(NodeId node, std::size_t port_idx) {
+  NodeState& ns = nodes_[node];
+  OutputPort& port = ns.ports[port_idx];
+  port.transmit_scheduled = false;
+  auto departure = port.dequeue(sim_.now());
+  if (!departure.has_value()) return;
+
+  Cell cell = departure->cell;
+  ConnectionState& conn = connections_.at(cell.connection);
+  if (ns.is_terminal) {
+    conn.access_wait.add(static_cast<double>(departure->wait));
+  } else {
+    cell.queue_wait += departure->wait;
+  }
+
+  port.next_free = sim_.now() + 1;
+  const LinkId link_id = topology_.out_links(node)[port_idx];
+  const LinkInfo& link = topology_.link(link_id);
+  const Tick lands = sim_.now() + 1 + link.propagation;
+  const ConnectionId id = cell.connection;
+  const NodeId to = link.to;
+  const std::size_t to_port = topology_.in_port(link_id);
+  sim_.schedule(lands, EventPhase::kArrival, [this, id, cell, to, to_port]() {
+    arrive(id, cell, to, to_port);
+  });
+  ensure_transmit_scheduled(node, port_idx);
+}
+
+void SimNetwork::run_until(Tick horizon) {
+  if (horizon < horizon_) return;
+  horizon_ = horizon;
+  sim_.run_until(horizon);
+}
+
+const SimSink& SimNetwork::sink(ConnectionId id) const {
+  return connections_.at(id).sink;
+}
+
+const SummaryStats& SimNetwork::access_wait(ConnectionId id) const {
+  return connections_.at(id).access_wait;
+}
+
+std::uint64_t SimNetwork::total_drops() const noexcept {
+  std::uint64_t drops = 0;
+  for (const NodeState& ns : nodes_) {
+    for (const OutputPort& port : ns.ports) {
+      drops += port.dropped();
+    }
+  }
+  return drops;
+}
+
+std::size_t SimNetwork::max_backlog(NodeId node, std::size_t out_port,
+                                    Priority priority) const {
+  return nodes_.at(node).ports.at(out_port).max_backlog(priority);
+}
+
+Tick SimNetwork::max_port_wait(NodeId node, std::size_t out_port,
+                               Priority priority) const {
+  return nodes_.at(node).ports.at(out_port).max_wait(priority);
+}
+
+}  // namespace rtcac

@@ -1,0 +1,180 @@
+// rtcac/sim/simulator.h
+//
+// Cell-level simulation of an ATM network with static-priority FIFO
+// switches — the substrate on which the paper's analytic bounds are
+// validated: run adversarial (greedy, phase-aligned) sources through the
+// exact switch model the analysis assumes and check that no measured
+// queueing delay ever exceeds the computed worst-case bound, and no
+// admitted cell is ever dropped from a FIFO sized to the advertised bound.
+//
+// Model (matching Section 4.1):
+//   * slotted time; every link carries one cell per tick;
+//   * store-and-forward: a cell fully received at tick t may start
+//     transmission at t; it lands at the next node at t + 1 + propagation;
+//   * each switch output port serves its priority FIFO queues highest
+//     level first, FIFO within a level;
+//   * terminals serialize their connections' cells onto their access link
+//     (that wait is accounted separately — the network queueing delay a
+//     QoS contract covers starts at the first switch).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "atm/gcra.h"
+#include "net/label_manager.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+#include "sim/sim_sink.h"
+#include "sim/sim_source.h"
+#include "sim/sim_switch.h"
+
+namespace rtcac {
+
+/// Bare event-driven clock: schedule/run.  SimNetwork composes it; tests
+/// can also drive it directly.
+class Simulator {
+ public:
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+
+  /// Schedules an action; time must be >= now().
+  void schedule(Tick time, EventPhase phase, EventQueue::Action action);
+
+  /// Runs all events with time <= horizon; returns events processed.
+  std::size_t run_until(Tick horizon);
+
+  [[nodiscard]] bool idle() const noexcept { return events_.empty(); }
+
+ private:
+  EventQueue events_;
+  Tick now_ = 0;
+};
+
+/// A simulated network instance: topology + installed connections.
+class SimNetwork {
+ public:
+  struct Options {
+    std::size_t priorities = 1;
+    /// Per-priority FIFO depth at switch ports, in cells (0 = unbounded).
+    std::size_t queue_capacity = 0;
+  };
+
+  SimNetwork(const Topology& topology, const Options& options);
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Installs a connection: cells follow `route` at `priority`, generated
+  /// by `scheduler`.  The route's first node is the source (terminal or
+  /// switch); cells are consumed at the route's last node.  Throws
+  /// std::invalid_argument on malformed input or duplicate id.
+  void install(ConnectionId id, const Route& route, Priority priority,
+               std::unique_ptr<SourceScheduler> scheduler);
+
+  /// Same, with usage parameter control: a dual GCRA for `contract` runs
+  /// at the connection's UNI (the source node, ahead of the access link)
+  /// and discards non-conforming cells before they reach any queue — the
+  /// mechanism that keeps one misbehaving source from invalidating other
+  /// connections' guarantees (the paper assumes conforming sources; UPC
+  /// is what makes the assumption enforceable).  A conforming emission
+  /// schedule is never policed.
+  void install_policed(ConnectionId id, const Route& route,
+                       Priority priority,
+                       std::unique_ptr<SourceScheduler> scheduler,
+                       const TrafficDescriptor& contract);
+
+  /// Cells discarded by ingress UPC for this connection.
+  [[nodiscard]] std::uint64_t policed_cells(ConnectionId id) const;
+
+  /// Application hook invoked for every cell delivered at the
+  /// connection's destination (after the SimSink records it) — how an
+  /// AAL reassembler or the cyclic shared-memory service taps the wire.
+  using DeliveryHook = std::function<void(const Cell&, Tick)>;
+  void set_delivery_hook(ConnectionId id, DeliveryHook hook);
+
+  /// Runs the connection's data path on VPI/VCI labels: the source stamps
+  /// `labels.initial`, every switch on the route translates per the
+  /// bindings (as its LabelSwitchingTable would), and the destination
+  /// verifies the egress label.  Any mismatch — wrong label, wrong input
+  /// port — discards the cell and counts a misroute, like real hardware
+  /// dropping an unknown VPI/VCI.  Call after install()/install_policed().
+  void attach_labels(ConnectionId id, const LabelPath& labels);
+
+  /// Cells discarded because their label did not match the switching
+  /// tables (0 for a consistent control plane).
+  [[nodiscard]] std::uint64_t label_misroutes() const noexcept {
+    return label_misroutes_;
+  }
+
+  /// Advances the simulation to `horizon` ticks.
+  void run_until(Tick horizon);
+
+  [[nodiscard]] const SimSink& sink(ConnectionId id) const;
+  /// Access-link serialization wait of a source's cells (ticks).
+  [[nodiscard]] const SummaryStats& access_wait(ConnectionId id) const;
+
+  /// Total cells dropped anywhere (queue overflow).  Zero for any
+  /// correctly admitted workload with FIFO depth >= advertised bound.
+  [[nodiscard]] std::uint64_t total_drops() const noexcept;
+
+  /// Peak occupancy of queue (node, out_port, priority), in cells.
+  [[nodiscard]] std::size_t max_backlog(NodeId node, std::size_t out_port,
+                                        Priority priority) const;
+  /// Largest single-visit wait at queue (node, out_port, priority).
+  [[nodiscard]] Tick max_port_wait(NodeId node, std::size_t out_port,
+                                   Priority priority) const;
+
+  [[nodiscard]] const Topology& topology() const noexcept {
+    return topology_;
+  }
+
+ private:
+  struct RouteEntry {
+    std::size_t out_port;
+    Priority priority;
+  };
+  struct ConnectionState {
+    Route route;
+    Priority priority;
+    NodeId source;
+    NodeId destination;
+    NodeId ingress;  ///< UPC point: the source node (UNI)
+    std::unique_ptr<SimSource> source_gen;
+    SimSink sink;
+    SummaryStats access_wait;
+    std::optional<DualGcra> policer;
+    std::uint64_t policed = 0;
+    DeliveryHook delivery_hook;
+    /// Label plane, when attached: initial/egress labels plus the
+    /// per-switch translation, keyed by node (routes visit a node once).
+    std::optional<VcLabel> initial_label;
+    std::optional<VcLabel> egress_label;
+    std::map<NodeId, LabelBinding> label_bindings;
+  };
+  struct NodeState {
+    std::vector<OutputPort> ports;  // one per out-link
+    std::map<ConnectionId, RouteEntry> routes;
+    bool is_terminal = false;
+  };
+
+  void pump_source(ConnectionId id);
+  void arrive(ConnectionId id, Cell cell, NodeId node,
+              std::optional<std::size_t> in_port);
+  void ensure_transmit_scheduled(NodeId node, std::size_t port);
+  void transmit(NodeId node, std::size_t port);
+
+  const Topology& topology_;
+  Options options_;
+  Simulator sim_;
+  std::vector<NodeState> nodes_;
+  std::map<ConnectionId, ConnectionState> connections_;
+  std::uint64_t label_misroutes_ = 0;
+  Tick horizon_ = 0;
+};
+
+}  // namespace rtcac

@@ -1,0 +1,34 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace rtcac {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+namespace {
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "[debug] ";
+    case LogLevel::kInfo:
+      return "[info ] ";
+    case LogLevel::kWarn:
+      return "[warn ] ";
+    case LogLevel::kError:
+      return "[error] ";
+    case LogLevel::kOff:
+      break;
+  }
+  return "[?    ] ";
+}
+
+}  // namespace
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::cerr << prefix(level) << message << '\n';
+}
+
+}  // namespace rtcac

@@ -1,0 +1,65 @@
+// rtcac/util/log.h
+//
+// Minimal leveled logger.  The library itself logs nothing by default
+// (Level::kWarn); examples and benches raise the level for narration.
+// Not thread-safe by design: the simulator and CAC engine are
+// single-threaded (a DES has one logical clock), and keeping the logger
+// lock-free keeps it out of benchmark profiles.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rtcac {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  static void set_level(LogLevel level) noexcept { level_ = level; }
+  static LogLevel level() noexcept { return level_; }
+  static bool enabled(LogLevel level) noexcept { return level >= level_; }
+
+  /// Writes one formatted line to stderr with a level prefix.
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace log_detail {
+
+/// Accumulates one log line and emits it on destruction.
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { Log::write(level_, os_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace log_detail
+
+}  // namespace rtcac
+
+#define RTCAC_LOG(level)                       \
+  if (!::rtcac::Log::enabled(level)) {         \
+  } else                                       \
+    ::rtcac::log_detail::LineBuilder(level)
+
+#define RTCAC_DEBUG RTCAC_LOG(::rtcac::LogLevel::kDebug)
+#define RTCAC_INFO RTCAC_LOG(::rtcac::LogLevel::kInfo)
+#define RTCAC_WARN RTCAC_LOG(::rtcac::LogLevel::kWarn)
+#define RTCAC_ERROR RTCAC_LOG(::rtcac::LogLevel::kError)

@@ -1,0 +1,113 @@
+#include "util/rational.h"
+
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+namespace rtcac {
+
+namespace {
+
+rtcac_int128 gcd128(rtcac_int128 a, rtcac_int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const rtcac_int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational Rational::reduce(rtcac_int128 num, rtcac_int128 den) {
+  if (den == 0) {
+    throw std::invalid_argument("Rational: zero denominator");
+  }
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  if (num == 0) {
+    den = 1;
+  } else {
+    const rtcac_int128 g = gcd128(num, den);
+    num /= g;
+    den /= g;
+  }
+  constexpr rtcac_int128 kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr rtcac_int128 kMax = std::numeric_limits<std::int64_t>::max();
+  if (num < kMin || num > kMax || den > kMax) {
+    throw RationalOverflow("Rational: reduced value exceeds int64 range");
+  }
+  Rational r;
+  r.num_ = static_cast<std::int64_t>(num);
+  r.den_ = static_cast<std::int64_t>(den);
+  return r;
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(0), den_(1) {
+  *this = reduce(num, den);
+}
+
+double Rational::to_double() const noexcept {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  return reduce(-static_cast<rtcac_int128>(num_), den_);
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  const rtcac_int128 num = static_cast<rtcac_int128>(num_) * rhs.den_ +
+                       static_cast<rtcac_int128>(rhs.num_) * den_;
+  const rtcac_int128 den = static_cast<rtcac_int128>(den_) * rhs.den_;
+  *this = reduce(num, den);
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  const rtcac_int128 num = static_cast<rtcac_int128>(num_) * rhs.den_ -
+                       static_cast<rtcac_int128>(rhs.num_) * den_;
+  const rtcac_int128 den = static_cast<rtcac_int128>(den_) * rhs.den_;
+  *this = reduce(num, den);
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  const rtcac_int128 num = static_cast<rtcac_int128>(num_) * rhs.num_;
+  const rtcac_int128 den = static_cast<rtcac_int128>(den_) * rhs.den_;
+  *this = reduce(num, den);
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.num_ == 0) {
+    throw std::domain_error("Rational: division by zero");
+  }
+  const rtcac_int128 num = static_cast<rtcac_int128>(num_) * rhs.den_;
+  const rtcac_int128 den = static_cast<rtcac_int128>(den_) * rhs.num_;
+  *this = reduce(num, den);
+  return *this;
+}
+
+bool operator<(const Rational& a, const Rational& b) noexcept {
+  return static_cast<rtcac_int128>(a.num_) * b.den_ <
+         static_cast<rtcac_int128>(b.num_) * a.den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+Rational abs(const Rational& r) {
+  return r.num() < 0 ? -r : r;
+}
+
+}  // namespace rtcac

@@ -1,0 +1,118 @@
+// rtcac/util/rational.h
+//
+// Exact rational arithmetic on 64-bit numerator/denominator.
+//
+// The bit-stream algebra (src/core) is templated on its scalar type so the
+// same worst-case analysis can run either in floating point (fast, the
+// production default) or exactly (Rational).  Exact arithmetic matters for
+// admission control: a delay bound that is equal to the advertised bound
+// must admit, and floating-point noise around that boundary would make the
+// decision configuration-dependent.  Tests also use Rational to cross-check
+// the double instantiation.
+//
+// Representation invariant: den > 0, gcd(|num|, den) == 1, and 0/1 is the
+// unique zero.  All operations keep intermediates in rtcac_int128 and throw
+// RationalOverflow if a reduced result does not fit in int64.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+// 128-bit intermediates keep reduce() overflow-free; the __extension__
+// spelling silences -Wpedantic on GCC/Clang.
+__extension__ typedef __int128 rtcac_int128;
+
+namespace rtcac {
+
+/// Thrown when a reduced rational result exceeds the int64 range.
+class RationalOverflow : public std::overflow_error {
+ public:
+  explicit RationalOverflow(const std::string& what)
+      : std::overflow_error(what) {}
+};
+
+/// Exact rational number with int64 numerator and denominator.
+///
+/// Models a totally ordered field subset; supports the operations the
+/// bit-stream algebra needs (+, -, *, /, comparisons) plus conversions.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+
+  /// Integer value.
+  constexpr Rational(std::int64_t value) noexcept  // NOLINT(google-explicit-constructor)
+      : num_(value), den_(1) {}
+
+  /// num/den, reduced.  Throws std::invalid_argument if den == 0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] std::int64_t den() const noexcept { return den_; }
+
+  /// Closest double; exact when representable.
+  [[nodiscard]] double to_double() const noexcept;
+
+  /// True iff the value is an integer.
+  [[nodiscard]] bool is_integer() const noexcept { return den_ == 1; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// Throws std::domain_error on division by zero.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend Rational operator-(Rational lhs, const Rational& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  friend Rational operator*(Rational lhs, const Rational& rhs) {
+    lhs *= rhs;
+    return lhs;
+  }
+  friend Rational operator/(Rational lhs, const Rational& rhs) {
+    lhs /= rhs;
+    return lhs;
+  }
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b) noexcept;
+  friend bool operator>(const Rational& a, const Rational& b) noexcept {
+    return b < a;
+  }
+  friend bool operator<=(const Rational& a, const Rational& b) noexcept {
+    return !(b < a);
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) noexcept {
+    return !(a < b);
+  }
+
+ private:
+  // Reduces an rtcac_int128 fraction and range-checks into *this.
+  static Rational reduce(rtcac_int128 num, rtcac_int128 den);
+
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// abs for the stream algebra's generic code.
+[[nodiscard]] Rational abs(const Rational& r);
+
+}  // namespace rtcac

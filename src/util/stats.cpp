@@ -1,0 +1,108 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtcac {
+
+void SummaryStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double SummaryStats::variance() const noexcept {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SummaryStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+void SummaryStats::merge(const SummaryStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string SummaryStats::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count_;
+  if (count_ > 0) {
+    os << " min=" << min_ << " mean=" << mean_ << " max=" << max_
+       << " sd=" << stddev();
+  }
+  return os.str();
+}
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : width_(bucket_width), buckets_(num_buckets, 0) {
+  if (!(bucket_width > 0)) {
+    throw std::invalid_argument("Histogram: bucket_width must be > 0");
+  }
+  if (num_buckets == 0) {
+    throw std::invalid_argument("Histogram: num_buckets must be > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < 0) x = 0;
+  const double idx = std::floor(x / width_);
+  if (idx >= static_cast<double>(buckets_.size())) {
+    ++overflow_;
+  } else {
+    ++buckets_[static_cast<std::size_t>(idx)];
+  }
+}
+
+double Histogram::quantile_upper_bound(double quantile) const {
+  if (total_ == 0) return 0;
+  quantile = std::clamp(quantile, 0.0, 1.0);
+  const double target = quantile * static_cast<double>(total_);
+  double cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += static_cast<double>(buckets_[i]);
+    if (cum >= target) {
+      return width_ * static_cast<double>(i + 1);
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  os << "total=" << total_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    os << " [" << width_ * static_cast<double>(i) << ","
+       << width_ * static_cast<double>(i + 1) << ")=" << buckets_[i];
+  }
+  if (overflow_ > 0) os << " overflow=" << overflow_;
+  return os.str();
+}
+
+}  // namespace rtcac

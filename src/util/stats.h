@@ -1,0 +1,81 @@
+// rtcac/util/stats.h
+//
+// Small statistics helpers used by the simulator and the bench harnesses:
+// a streaming summary (count/min/max/mean/variance via Welford) and a
+// fixed-bucket histogram for delay distributions.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtcac {
+
+/// Streaming summary statistics (Welford's online algorithm).
+///
+/// Numerically stable for long simulation runs; O(1) per sample.
+class SummaryStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  /// Minimum of added samples; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Maximum of added samples; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Mean of added samples; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Merges another summary into this one (parallel-run aggregation).
+  void merge(const SummaryStats& other) noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+/// Fixed-width bucket histogram over [0, bucket_width * num_buckets),
+/// with an overflow bucket for larger samples.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument unless bucket_width > 0 and
+  /// num_buckets > 0.
+  Histogram(double bucket_width, std::size_t num_buckets);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i);
+  }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double bucket_width() const noexcept { return width_; }
+
+  /// Smallest x such that at least `quantile` (in [0,1]) of the mass lies
+  /// at or below x's bucket upper edge.  Returns +inf if the quantile falls
+  /// in the overflow bucket.
+  [[nodiscard]] double quantile_upper_bound(double quantile) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rtcac

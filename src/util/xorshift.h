@@ -1,0 +1,80 @@
+// rtcac/util/xorshift.h
+//
+// Deterministic, seedable PRNG (xoshiro256**) used by the simulator's
+// randomized traffic sources and the property-based tests.  We use our own
+// generator rather than std::mt19937 so simulation traces are reproducible
+// across standard-library implementations — distribution code in libstdc++
+// and libc++ is not bit-compatible.
+
+#pragma once
+
+#include <cstdint>
+
+namespace rtcac {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Xorshift {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xorshift(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    // splitmix64 to spread a possibly low-entropy seed across the state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection-free variant is overkill here;
+    // modulo bias is negligible for the ranges the tests use, but we still
+    // reject to keep property tests exactly uniform.
+    const std::uint64_t threshold = (~n + 1) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// True with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace rtcac

@@ -1,0 +1,181 @@
+// Unit tests for the AAL5 segmentation/reassembly codec.
+
+#include "atm/aal5.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/xorshift.h"
+
+namespace rtcac {
+namespace {
+
+std::vector<std::uint8_t> pattern_frame(std::size_t size) {
+  std::vector<std::uint8_t> frame(size);
+  std::iota(frame.begin(), frame.end(), std::uint8_t{1});
+  return frame;
+}
+
+TEST(Crc32, KnownVectors) {
+  // "123456789" -> 0xCBF43926 (the canonical CRC-32 check value).
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Aal5, CellCountsIncludeTrailerAndPadding) {
+  EXPECT_EQ(aal5_cells_for(0), 1u);    // trailer alone
+  EXPECT_EQ(aal5_cells_for(40), 1u);   // 40 + 8 == 48
+  EXPECT_EQ(aal5_cells_for(41), 2u);   // spills into a second cell
+  EXPECT_EQ(aal5_cells_for(48), 2u);
+  EXPECT_EQ(aal5_cells_for(88), 2u);
+  EXPECT_EQ(aal5_cells_for(4096), 86u);  // the 4 KiB cyclic update
+}
+
+TEST(Aal5, RoundTripSingleCell) {
+  const auto frame = pattern_frame(20);
+  const auto segments = aal5_segment(frame);
+  ASSERT_EQ(segments.payloads.size(), 1u);
+  Aal5Reassembler reassembler;
+  const auto result = reassembler.push(segments.payloads[0], true);
+  ASSERT_TRUE(result.frame.has_value());
+  EXPECT_EQ(*result.frame, frame);
+  EXPECT_EQ(reassembler.frames_ok(), 1u);
+}
+
+TEST(Aal5, RoundTripMultiCellSizes) {
+  for (const std::size_t size : {0u, 40u, 41u, 48u, 100u, 1000u, 4096u}) {
+    const auto frame = pattern_frame(size);
+    const auto segments = aal5_segment(frame);
+    EXPECT_EQ(segments.payloads.size(), aal5_cells_for(size));
+    Aal5Reassembler reassembler;
+    for (std::size_t k = 0; k + 1 < segments.payloads.size(); ++k) {
+      const auto mid = reassembler.push(segments.payloads[k], false);
+      EXPECT_FALSE(mid.frame.has_value());
+      EXPECT_FALSE(mid.error.has_value());
+    }
+    const auto result =
+        reassembler.push(segments.payloads.back(), true);
+    ASSERT_TRUE(result.frame.has_value()) << "size " << size;
+    EXPECT_EQ(*result.frame, frame);
+  }
+}
+
+TEST(Aal5, BackToBackFramesReassembleIndependently) {
+  Aal5Reassembler reassembler;
+  for (int i = 0; i < 5; ++i) {
+    const auto frame = pattern_frame(60 + static_cast<std::size_t>(i));
+    const auto segments = aal5_segment(frame);
+    for (std::size_t k = 0; k < segments.payloads.size(); ++k) {
+      const auto result = reassembler.push(
+          segments.payloads[k], k + 1 == segments.payloads.size());
+      if (k + 1 == segments.payloads.size()) {
+        ASSERT_TRUE(result.frame.has_value());
+        EXPECT_EQ(*result.frame, frame);
+      }
+    }
+  }
+  EXPECT_EQ(reassembler.frames_ok(), 5u);
+  EXPECT_EQ(reassembler.frames_bad(), 0u);
+}
+
+TEST(Aal5, LostCellDetectedAsLengthMismatch) {
+  const auto frame = pattern_frame(100);  // 3 cells
+  const auto segments = aal5_segment(frame);
+  ASSERT_EQ(segments.payloads.size(), 3u);
+  Aal5Reassembler reassembler;
+  // Cell 1 is lost in the network.
+  (void)reassembler.push(segments.payloads[0], false);
+  const auto result = reassembler.push(segments.payloads[2], true);
+  EXPECT_FALSE(result.frame.has_value());
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(*result.error, Aal5Error::kLengthMismatch);
+  EXPECT_EQ(reassembler.frames_bad(), 1u);
+  EXPECT_EQ(reassembler.pending_cells(), 0u);  // state reset
+}
+
+TEST(Aal5, CorruptionDetectedByCrc) {
+  const auto frame = pattern_frame(100);
+  auto segments = aal5_segment(frame);
+  segments.payloads[1][7] ^= 0x40;  // single bit flip mid-frame
+  Aal5Reassembler reassembler;
+  (void)reassembler.push(segments.payloads[0], false);
+  (void)reassembler.push(segments.payloads[1], false);
+  const auto result = reassembler.push(segments.payloads[2], true);
+  EXPECT_FALSE(result.frame.has_value());
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(*result.error, Aal5Error::kBadCrc);
+}
+
+TEST(Aal5, WholeLostCellWithCompensatingCountStillCaught) {
+  // Drop one cell AND duplicate another so the count matches: length
+  // passes, CRC must catch it.
+  const auto frame = pattern_frame(130);  // 3 cells
+  const auto segments = aal5_segment(frame);
+  Aal5Reassembler reassembler;
+  (void)reassembler.push(segments.payloads[0], false);
+  (void)reassembler.push(segments.payloads[0], false);  // dup, cell 1 lost
+  const auto result = reassembler.push(segments.payloads[2], true);
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(*result.error, Aal5Error::kBadCrc);
+}
+
+TEST(Aal5, RecoverAfterError) {
+  const auto bad_frame = pattern_frame(100);
+  const auto good_frame = pattern_frame(50);
+  const auto bad = aal5_segment(bad_frame);
+  const auto good = aal5_segment(good_frame);
+  Aal5Reassembler reassembler;
+  (void)reassembler.push(bad.payloads[0], false);
+  (void)reassembler.push(bad.payloads[2], true);  // length mismatch
+  for (std::size_t k = 0; k < good.payloads.size(); ++k) {
+    const auto result = reassembler.push(
+        good.payloads[k], k + 1 == good.payloads.size());
+    if (k + 1 == good.payloads.size()) {
+      ASSERT_TRUE(result.frame.has_value());
+      EXPECT_EQ(*result.frame, good_frame);
+    }
+  }
+}
+
+TEST(Aal5, MissingLastCellIndicationEventuallyAborts) {
+  // A stream that never signals end-of-frame must not buffer forever.
+  const CellPayload junk{};
+  Aal5Reassembler reassembler;
+  bool saw_oversize = false;
+  for (int i = 0; i < 1500 && !saw_oversize; ++i) {
+    const auto result = reassembler.push(junk, false);
+    saw_oversize = result.error.has_value() &&
+                   *result.error == Aal5Error::kOversized;
+  }
+  EXPECT_TRUE(saw_oversize);
+}
+
+TEST(Aal5, RejectsOversizedFrame) {
+  EXPECT_THROW(aal5_segment(std::vector<std::uint8_t>(kMaxAal5Frame + 1)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(aal5_segment(std::vector<std::uint8_t>(kMaxAal5Frame)));
+}
+
+TEST(Aal5, RandomRoundTrips) {
+  Xorshift rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::uint8_t> frame(rng.below(3000));
+    for (auto& byte : frame) {
+      byte = static_cast<std::uint8_t>(rng() & 0xFF);
+    }
+    const auto segments = aal5_segment(frame);
+    Aal5Reassembler reassembler;
+    Aal5Reassembler::Result result;
+    for (std::size_t k = 0; k < segments.payloads.size(); ++k) {
+      result = reassembler.push(segments.payloads[k],
+                                k + 1 == segments.payloads.size());
+    }
+    ASSERT_TRUE(result.frame.has_value()) << "trial " << trial;
+    EXPECT_EQ(*result.frame, frame);
+  }
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,148 @@
+// Unit tests for GCRA policing/shaping, including the cross-check between
+// the UPC view (DualGcra) and the contract view (rtcac::conforms).
+
+#include "atm/gcra.h"
+
+#include <gtest/gtest.h>
+
+#include "core/traffic.h"
+
+namespace rtcac {
+namespace {
+
+TEST(Gcra, RejectsBadParameters) {
+  EXPECT_THROW(Gcra(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Gcra(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Gcra(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(Gcra, PeakSpacingEnforced) {
+  Gcra g(4.0, 0.0);  // one cell per 4 cell times
+  EXPECT_TRUE(g.conforms(0.0));
+  g.commit(0.0);
+  EXPECT_FALSE(g.conforms(3.0));
+  EXPECT_TRUE(g.conforms(4.0));
+  g.commit(4.0);
+  EXPECT_FALSE(g.conforms(7.9));
+}
+
+TEST(Gcra, BurstToleranceAllowsEarlyCells) {
+  Gcra g(4.0, 8.0);  // tau of two extra cells
+  g.commit(0.0);
+  EXPECT_TRUE(g.conforms(0.0));  // TAT=4, limit 8: conforming
+  g.commit(0.0);
+  EXPECT_TRUE(g.conforms(0.0));  // TAT=8
+  g.commit(0.0);
+  EXPECT_FALSE(g.conforms(0.0));  // TAT=12 > 0 + 8
+  EXPECT_TRUE(g.conforms(4.0));
+}
+
+TEST(Gcra, CommitNonConformingThrows) {
+  Gcra g(4.0, 0.0);
+  g.commit(0.0);
+  EXPECT_THROW(g.commit(1.0), std::logic_error);
+}
+
+TEST(Gcra, EarliestConformingIsConforming) {
+  Gcra g(3.0, 2.0);
+  g.commit(0.0);
+  g.commit(1.0);
+  const double e = g.earliest_conforming(0.0);
+  EXPECT_TRUE(g.conforms(e));
+  EXPECT_FALSE(g.conforms(e - 0.01));
+}
+
+TEST(Gcra, IdleSourceRegainsCredit) {
+  Gcra g(4.0, 4.0);
+  g.commit(0.0);
+  g.commit(100.0);  // long idle: TAT snaps to t + T
+  EXPECT_TRUE(g.conforms(100.0));  // tau covers one more immediate cell
+}
+
+TEST(Gcra, ResetClearsState) {
+  Gcra g(4.0, 0.0);
+  g.commit(0.0);
+  g.reset();
+  EXPECT_TRUE(g.conforms(0.0));
+}
+
+TEST(DualGcra, CbrDegeneratesToPeakBucket) {
+  DualGcra g(TrafficDescriptor::cbr(0.25));
+  g.commit(0.0);
+  EXPECT_FALSE(g.conforms(3.0));
+  EXPECT_TRUE(g.conforms(4.0));
+}
+
+TEST(DualGcra, AllowsExactlyMbsCellsAtPeak) {
+  const auto td = TrafficDescriptor::vbr(0.5, 0.1, 3);
+  DualGcra g(td);
+  // Three cells at peak spacing conform; the fourth must wait for the
+  // sustainable bucket.
+  for (const double t : {0.0, 2.0, 4.0}) {
+    ASSERT_TRUE(g.conforms(t)) << t;
+    g.commit(t);
+  }
+  EXPECT_FALSE(g.conforms(6.0));
+  const double e = g.earliest_conforming(6.0);
+  EXPECT_DOUBLE_EQ(e, 14.0);  // matches greedy_cell_times
+}
+
+TEST(DualGcra, EarliestConformingSatisfiesBothBuckets) {
+  const auto td = TrafficDescriptor::vbr(0.25, 0.2, 6);
+  DualGcra g(td);
+  double t = 0;
+  for (int k = 0; k < 32; ++k) {
+    t = g.earliest_conforming(t);
+    ASSERT_TRUE(g.conforms(t)) << "cell " << k;
+    g.commit(t);
+  }
+}
+
+TEST(DualGcra, AgreesWithContractConforms) {
+  // The GCRA shaper and the contract checker implement the same semantics:
+  // every greedy schedule is GCRA-conforming cell by cell, and a schedule
+  // GCRA rejects is rejected by conforms() too.
+  for (const auto td :
+       {TrafficDescriptor::cbr(0.2), TrafficDescriptor::vbr(0.5, 0.1, 3),
+        TrafficDescriptor::vbr(0.25, 0.2, 6),
+        TrafficDescriptor::vbr(1.0, 0.05, 10)}) {
+    const auto times = greedy_cell_times(td, 40);
+    DualGcra g(td);
+    for (const double t : times) {
+      ASSERT_TRUE(g.conforms(t)) << td.to_string() << " t=" << t;
+      g.commit(t);
+    }
+    // Sneak one extra cell right after a greedy burst: must violate both.
+    auto cheat = times;
+    cheat.push_back(times.back() + 1e-6);
+    DualGcra g2(td);
+    bool gcra_ok = true;
+    for (const double t : cheat) {
+      if (!g2.conforms(t)) {
+        gcra_ok = false;
+        break;
+      }
+      g2.commit(t);
+    }
+    EXPECT_FALSE(gcra_ok) << td.to_string();
+    EXPECT_FALSE(conforms(td, cheat)) << td.to_string();
+  }
+}
+
+TEST(DualGcra, RejectsInvalidDescriptor) {
+  EXPECT_THROW(DualGcra(TrafficDescriptor::vbr(0.1, 0.5, 2)),
+               std::invalid_argument);
+}
+
+TEST(DualGcra, ResetRestoresFreshState) {
+  const auto td = TrafficDescriptor::vbr(0.5, 0.1, 2);
+  DualGcra g(td);
+  g.commit(0.0);
+  g.commit(2.0);
+  EXPECT_FALSE(g.conforms(4.0));
+  g.reset();
+  EXPECT_TRUE(g.conforms(0.0));
+}
+
+}  // namespace
+}  // namespace rtcac

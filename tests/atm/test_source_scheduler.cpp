@@ -1,0 +1,127 @@
+// Unit tests for the simulated cell sources.
+
+#include "atm/source_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/traffic.h"
+
+namespace rtcac {
+namespace {
+
+std::vector<Tick> drain(SourceScheduler& s, std::size_t max_cells) {
+  std::vector<Tick> ticks;
+  while (ticks.size() < max_cells) {
+    const auto t = s.next();
+    if (!t.has_value()) break;
+    ticks.push_back(*t);
+  }
+  return ticks;
+}
+
+std::vector<double> as_times(const std::vector<Tick>& ticks) {
+  return {ticks.begin(), ticks.end()};
+}
+
+TEST(GreedySource, CbrEmitsPeriodically) {
+  GreedySourceScheduler s(TrafficDescriptor::cbr(0.25));
+  const auto ticks = drain(s, 5);
+  EXPECT_EQ(ticks, (std::vector<Tick>{0, 4, 8, 12, 16}));
+}
+
+TEST(GreedySource, NonIntegerPeriodRoundsUpAndConforms) {
+  const auto td = TrafficDescriptor::cbr(0.3);  // period 10/3
+  GreedySourceScheduler s(td);
+  const auto ticks = drain(s, 30);
+  EXPECT_TRUE(conforms(td, as_times(ticks)));
+  // GCRA's max(t, TAT) forfeits fractional credit once an emission is
+  // quantized up to the next tick, so the effective spacing on the tick
+  // grid is ceil(1/PCR) = 4, not the fractional 10/3.
+  EXPECT_EQ(ticks.back(), 29 * 4);
+}
+
+TEST(GreedySource, VbrBurstMatchesGreedyCellTimes) {
+  const auto td = TrafficDescriptor::vbr(0.5, 0.1, 3);
+  GreedySourceScheduler s(td);
+  const auto ticks = drain(s, 5);
+  EXPECT_EQ(ticks, (std::vector<Tick>{0, 2, 4, 14, 24}));
+}
+
+TEST(GreedySource, StartOffsetShiftsSchedule) {
+  GreedySourceScheduler s(TrafficDescriptor::cbr(0.5), 7);
+  const auto ticks = drain(s, 3);
+  EXPECT_EQ(ticks, (std::vector<Tick>{7, 9, 11}));
+}
+
+TEST(GreedySource, MaxCellsExhausts) {
+  GreedySourceScheduler s(TrafficDescriptor::cbr(0.5), 0, 3);
+  EXPECT_EQ(drain(s, 100).size(), 3u);
+  EXPECT_FALSE(s.next().has_value());
+}
+
+TEST(GreedySource, TicksStrictlyIncrease) {
+  GreedySourceScheduler s(TrafficDescriptor::vbr(1.0, 0.02, 20));
+  const auto ticks = drain(s, 64);
+  for (std::size_t k = 1; k < ticks.size(); ++k) {
+    EXPECT_LT(ticks[k - 1], ticks[k]);
+  }
+}
+
+TEST(PeriodicSource, EmitsWithPhase) {
+  PeriodicSourceScheduler s(10, 3);
+  EXPECT_EQ(drain(s, 4), (std::vector<Tick>{3, 13, 23, 33}));
+}
+
+TEST(PeriodicSource, RejectsBadParameters) {
+  EXPECT_THROW(PeriodicSourceScheduler(0), std::invalid_argument);
+  EXPECT_THROW(PeriodicSourceScheduler(5, -1), std::invalid_argument);
+}
+
+TEST(PeriodicSource, MaxCells) {
+  PeriodicSourceScheduler s(2, 0, 2);
+  EXPECT_EQ(drain(s, 10).size(), 2u);
+}
+
+TEST(RandomOnOffSource, AlwaysConformsToContract) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 99ull}) {
+    const auto td = TrafficDescriptor::vbr(0.5, 0.05, 4);
+    RandomOnOffSourceScheduler s(td, seed);
+    const auto ticks = drain(s, 200);
+    ASSERT_EQ(ticks.size(), 200u);
+    EXPECT_TRUE(conforms(td, as_times(ticks))) << "seed=" << seed;
+    for (std::size_t k = 1; k < ticks.size(); ++k) {
+      ASSERT_LT(ticks[k - 1], ticks[k]);
+    }
+  }
+}
+
+TEST(RandomOnOffSource, DeterministicPerSeed) {
+  const auto td = TrafficDescriptor::vbr(0.5, 0.1, 8);
+  RandomOnOffSourceScheduler a(td, 42);
+  RandomOnOffSourceScheduler b(td, 42);
+  EXPECT_EQ(drain(a, 100), drain(b, 100));
+}
+
+TEST(RandomOnOffSource, RespectsOptionValidation) {
+  const auto td = TrafficDescriptor::cbr(0.5);
+  RandomOnOffOptions opt;
+  opt.mean_burst_cells = 0;
+  EXPECT_THROW(RandomOnOffSourceScheduler(td, 1, opt), std::invalid_argument);
+  opt.mean_burst_cells = 2;
+  opt.mean_gap = 0;
+  EXPECT_THROW(RandomOnOffSourceScheduler(td, 1, opt), std::invalid_argument);
+}
+
+TEST(RandomOnOffSource, LongRunRateStaysWithinScr) {
+  const auto td = TrafficDescriptor::vbr(0.8, 0.1, 6);
+  RandomOnOffSourceScheduler s(td, 7);
+  const auto ticks = drain(s, 500);
+  const double rate =
+      static_cast<double>(ticks.size()) / static_cast<double>(ticks.back());
+  EXPECT_LE(rate, td.scr * 1.05);
+}
+
+}  // namespace
+}  // namespace rtcac

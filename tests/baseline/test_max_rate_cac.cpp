@@ -1,0 +1,194 @@
+// Unit tests for the maximum-rate-function baseline ([9]-style), and the
+// comparison properties the paper claims over it.
+
+#include "baseline/max_rate_cac.h"
+
+#include <gtest/gtest.h>
+
+#include "core/delay_bound.h"
+#include "net/connection_manager.h"
+
+namespace rtcac {
+namespace {
+
+TEST(BurstyEnvelope, FromTrafficHasNoBurst) {
+  const auto env =
+      BurstyEnvelope::from_traffic(TrafficDescriptor::cbr(0.25));
+  EXPECT_DOUBLE_EQ(env.burst(), 0.0);
+  EXPECT_DOUBLE_EQ(env.bits_before(1.0), 1.0);
+}
+
+TEST(BurstyEnvelope, DelayMovesPrefixIntoBurst) {
+  const auto env =
+      BurstyEnvelope::from_traffic(TrafficDescriptor::cbr(0.25));
+  const auto delayed = env.delayed(9.0);
+  // bits in [0, 9] of the envelope: 1 + 8*0.25 = 3.
+  EXPECT_DOUBLE_EQ(delayed.burst(), 3.0);
+  // Upper bound: cumulative shifted, unclipped.
+  EXPECT_DOUBLE_EQ(delayed.bits_before(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(delayed.bits_before(4.0), env.bits_before(13.0));
+}
+
+TEST(BurstyEnvelope, MultiplexAddsBurstsAndRates) {
+  const auto a = BurstyEnvelope(2.0, BitStream::constant(0.3));
+  const auto b = BurstyEnvelope(1.0, BitStream::constant(0.4));
+  const auto sum = a.multiplexed(b);
+  EXPECT_DOUBLE_EQ(sum.burst(), 3.0);
+  EXPECT_DOUBLE_EQ(sum.stream().rate_at(0.0), 0.7);
+}
+
+TEST(BurstyEnvelope, DelayBoundIncludesBurst) {
+  const auto env = BurstyEnvelope(5.0, BitStream::constant(0.5));
+  EXPECT_DOUBLE_EQ(env.delay_bound().value(), 5.0);
+  EXPECT_DOUBLE_EQ(env.max_backlog().value(), 5.0);
+}
+
+TEST(BurstyEnvelope, UnboundedWhenOverloaded) {
+  const auto env = BurstyEnvelope(0.0, BitStream::constant(1.2));
+  EXPECT_FALSE(env.delay_bound().has_value());
+}
+
+TEST(BurstyEnvelope, RejectsNegativeInputs) {
+  EXPECT_THROW(BurstyEnvelope(-1.0, BitStream{}), std::invalid_argument);
+  EXPECT_THROW(BurstyEnvelope{}.delayed(-1.0), std::invalid_argument);
+}
+
+TEST(BurstyEnvelope, UpperBoundDistortionDominatesExact) {
+  // The paper's claim "exact worst-case distortions rather than an upper
+  // bound": the baseline's delayed envelope is pointwise >= the exact
+  // bit-stream delay distortion.
+  const BitStream s = TrafficDescriptor::vbr(0.5, 0.1, 4).to_bitstream();
+  for (const double cdv : {4.0, 16.0, 64.0}) {
+    const BitStream exact = delay(s, cdv);
+    const auto crude = BurstyEnvelope(0.0, s).delayed(cdv);
+    for (double t = 0; t <= 120.0; t += 0.5) {
+      EXPECT_GE(crude.bits_before(t) + 1e-9, exact.bits_before(t))
+          << "cdv=" << cdv << " t=" << t;
+    }
+  }
+}
+
+TEST(BurstyEnvelope, BaselineBoundIsNeverTighterThanBitStream) {
+  // Same aggregate analyzed both ways (single priority, one queueing
+  // point, identical CDV): the max-rate bound >= the bit-stream bound.
+  const auto td = TrafficDescriptor::vbr(0.4, 0.05, 6);
+  const double cdv = 32.0;
+  // Bit-stream: exact distortion + per-in-link filtering (each connection
+  // on its own access link contributes filter(delay(...))).
+  const BitStream exact_one = delay(td.to_bitstream(), cdv);
+  const BitStream exact_aggr =
+      multiplex(filter(exact_one), filter(exact_one));
+  const double exact_bound = delay_bound(exact_aggr, BitStream{}).value();
+  // Baseline: upper-bound distortion, no filtering.
+  const auto crude_one = BurstyEnvelope::from_traffic(td).delayed(cdv);
+  const double crude_bound =
+      crude_one.multiplexed(crude_one).delay_bound().value();
+  EXPECT_GE(crude_bound, exact_bound);
+}
+
+TEST(MaxRateNetworkCac, AdmitsAndTracksState) {
+  MaxRateNetworkCac cac(4, 32.0);
+  const auto r =
+      cac.setup(TrafficDescriptor::cbr(0.3), {0, 1, 2});
+  EXPECT_TRUE(r.accepted) << r.reason;
+  EXPECT_EQ(r.hop_bounds.size(), 3u);
+  EXPECT_EQ(cac.connection_count(), 1u);
+  EXPECT_GT(cac.computed_bound(1).value(), 0.0);
+  EXPECT_DOUBLE_EQ(cac.computed_bound(3).value(), 0.0);
+  EXPECT_DOUBLE_EQ(cac.current_e2e_bound(r.id).value(),
+                   cac.computed_bound(0).value() +
+                       cac.computed_bound(1).value() +
+                       cac.computed_bound(2).value());
+}
+
+TEST(MaxRateNetworkCac, RejectsWhenBoundExceedsAdvertised) {
+  MaxRateNetworkCac cac(2, 4.0);
+  std::size_t admitted = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (!cac.setup(TrafficDescriptor::cbr(0.2), {0, 1}).accepted) break;
+    ++admitted;
+  }
+  EXPECT_LT(admitted, 32u);
+  EXPECT_GT(admitted, 0u);
+  // Every committed point still within its advertised bound.
+  EXPECT_LE(cac.computed_bound(0).value(), 4.0 + 1e-9);
+  EXPECT_LE(cac.computed_bound(1).value(), 4.0 + 1e-9);
+}
+
+TEST(MaxRateNetworkCac, RollbackOnMidRouteRejection) {
+  MaxRateNetworkCac cac(2, 2.0);
+  // Load point 1 heavily so a later two-point route fails there.
+  while (cac.setup(TrafficDescriptor::cbr(0.25), {1}).accepted) {
+  }
+  const std::size_t before = cac.connection_count();
+  const auto r = cac.setup(TrafficDescriptor::cbr(0.25), {0, 1});
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(cac.connection_count(), before);
+  EXPECT_DOUBLE_EQ(cac.computed_bound(0).value(), 0.0);  // nothing leaked
+}
+
+TEST(MaxRateNetworkCac, TeardownRestores) {
+  MaxRateNetworkCac cac(1, 16.0);
+  const auto a = cac.setup(TrafficDescriptor::cbr(0.4), {0});
+  const auto b = cac.setup(TrafficDescriptor::cbr(0.4), {0});
+  ASSERT_TRUE(a.accepted);
+  ASSERT_TRUE(b.accepted);
+  const double both = cac.computed_bound(0).value();
+  cac.teardown(b.id);
+  EXPECT_LT(cac.computed_bound(0).value(), both);
+  EXPECT_FALSE(cac.teardown(b.id));
+}
+
+TEST(MaxRateNetworkCac, AdmitsLessThanBitStreamCacOnSameWorkload) {
+  // The headline comparison: on an identical multi-hop workload with
+  // identical advertised bounds, the baseline admits no more connections
+  // (and in this configuration strictly fewer).
+  const double bound = 16.0;
+  MaxRateNetworkCac crude(3, bound);
+
+  Topology topo;
+  std::vector<NodeId> terms;
+  const NodeId s0 = topo.add_switch();
+  const NodeId s1 = topo.add_switch();
+  const NodeId s2 = topo.add_switch();
+  const NodeId s3 = topo.add_switch();
+  const LinkId l0 = topo.add_link(s0, s1);
+  const LinkId l1 = topo.add_link(s1, s2);
+  const LinkId l2 = topo.add_link(s2, s3);
+  std::vector<LinkId> access;
+  for (int i = 0; i < 64; ++i) {
+    const NodeId t = topo.add_terminal();
+    terms.push_back(t);
+    access.push_back(topo.add_link(t, s0));
+  }
+  ConnectionManager::Params params;
+  params.advertised_bound = bound;
+  ConnectionManager exact(topo, params);
+
+  const auto td = TrafficDescriptor::cbr(0.02);
+  std::size_t crude_admitted = 0;
+  std::size_t exact_admitted = 0;
+  for (int i = 0; i < 48; ++i) {
+    if (crude.setup(td, {0, 1, 2}).accepted) ++crude_admitted;
+    QosRequest req;
+    req.traffic = td;
+    if (exact.setup(req, Route{access[i], l0, l1, l2}).accepted) {
+      ++exact_admitted;
+    }
+  }
+  EXPECT_GT(exact_admitted, crude_admitted);
+}
+
+TEST(MaxRateNetworkCac, Validation) {
+  EXPECT_THROW(MaxRateNetworkCac(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MaxRateNetworkCac(1, 0.0), std::invalid_argument);
+  MaxRateNetworkCac cac(1, 1.0);
+  EXPECT_THROW(cac.setup(TrafficDescriptor::cbr(0.5), {7}),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cac.computed_bound(9)),
+               std::invalid_argument);
+  EXPECT_FALSE(cac.current_e2e_bound(42).has_value());
+}
+
+}  // namespace
+}  // namespace rtcac

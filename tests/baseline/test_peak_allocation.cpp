@@ -1,0 +1,91 @@
+// Unit tests for the peak-bandwidth-allocation baseline CAC.
+
+#include "baseline/peak_allocation.h"
+
+#include <gtest/gtest.h>
+
+namespace rtcac {
+namespace {
+
+struct Chain {
+  Topology topo;
+  NodeId t0, t1, sw0, sw1;
+  LinkId a0, a1, mid;
+
+  Chain() {
+    t0 = topo.add_terminal();
+    t1 = topo.add_terminal();
+    sw0 = topo.add_switch();
+    sw1 = topo.add_switch();
+    a0 = topo.add_link(t0, sw0);
+    a1 = topo.add_link(t1, sw0);
+    mid = topo.add_link(sw0, sw1);
+  }
+};
+
+TEST(PeakAllocation, AdmitsUpToLinkBandwidth) {
+  Chain c;
+  PeakAllocationCac cac(c.topo);
+  EXPECT_TRUE(cac.setup(TrafficDescriptor::cbr(0.5), {c.a0, c.mid}).accepted);
+  EXPECT_TRUE(cac.setup(TrafficDescriptor::cbr(0.5), {c.a1, c.mid}).accepted);
+  EXPECT_DOUBLE_EQ(cac.link_load(c.mid), 1.0);
+  const auto reject = cac.setup(TrafficDescriptor::cbr(0.1), {c.a0, c.mid});
+  EXPECT_FALSE(reject.accepted);
+  EXPECT_EQ(reject.rejecting_link.value(), c.mid);
+  EXPECT_FALSE(reject.reason.empty());
+}
+
+TEST(PeakAllocation, ManyEqualSharesFillExactly) {
+  Chain c;
+  PeakAllocationCac cac(c.topo);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(cac.setup(TrafficDescriptor::cbr(0.1), {c.a0, c.mid}).accepted)
+        << i;
+  }
+  EXPECT_FALSE(cac.setup(TrafficDescriptor::cbr(0.01), {c.a0, c.mid}).accepted);
+}
+
+TEST(PeakAllocation, VbrChargedAtPeak) {
+  Chain c;
+  PeakAllocationCac cac(c.topo);
+  ASSERT_TRUE(
+      cac.setup(TrafficDescriptor::vbr(0.9, 0.01, 100), {c.a0, c.mid})
+          .accepted);
+  // Average load is tiny but the peak reservation blocks the link.
+  EXPECT_FALSE(cac.setup(TrafficDescriptor::cbr(0.2), {c.a1, c.mid}).accepted);
+}
+
+TEST(PeakAllocation, TeardownReleasesBandwidth) {
+  Chain c;
+  PeakAllocationCac cac(c.topo);
+  const auto r = cac.setup(TrafficDescriptor::cbr(0.9), {c.a0, c.mid});
+  ASSERT_TRUE(r.accepted);
+  EXPECT_FALSE(cac.setup(TrafficDescriptor::cbr(0.2), {c.a1, c.mid}).accepted);
+  EXPECT_TRUE(cac.teardown(r.id));
+  EXPECT_DOUBLE_EQ(cac.link_load(c.mid), 0.0);
+  EXPECT_TRUE(cac.setup(TrafficDescriptor::cbr(0.2), {c.a1, c.mid}).accepted);
+  EXPECT_FALSE(cac.teardown(r.id));
+}
+
+TEST(PeakAllocation, PartialRouteFailureReservesNothing) {
+  Chain c;
+  PeakAllocationCac cac(c.topo);
+  ASSERT_TRUE(cac.setup(TrafficDescriptor::cbr(1.0), {c.mid}).accepted);
+  // a0 has room but mid is full: nothing must leak onto a0.
+  ASSERT_FALSE(cac.setup(TrafficDescriptor::cbr(0.5), {c.a0, c.mid}).accepted);
+  EXPECT_DOUBLE_EQ(cac.link_load(c.a0), 0.0);
+}
+
+TEST(PeakAllocation, ValidatesInput) {
+  Chain c;
+  PeakAllocationCac cac(c.topo);
+  EXPECT_THROW(cac.setup(TrafficDescriptor::cbr(0.0), {c.a0}),
+               std::invalid_argument);
+  EXPECT_THROW(cac.setup(TrafficDescriptor::cbr(0.5), {c.a0, c.a1}),
+               std::invalid_argument);  // disconnected route
+  EXPECT_THROW(static_cast<void>(cac.link_load(99)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,73 @@
+// Unit tests for the scenario validation simulation (rtcac_admit
+// --simulate's engine).
+
+#include "cli/scenario_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace rtcac {
+namespace {
+
+constexpr const char* kScenario = R"(
+terminal tA
+terminal tB
+switch   sw0
+switch   sw1
+terminal tZ
+link tA sw0
+link tB sw0
+link sw0 sw1
+link sw1 tZ
+queue 32
+connect steady route=tA-sw0-sw1-tZ cbr=0.3 deadline=40
+connect bursty route=tB-sw0-sw1-tZ vbr=0.5,0.05,6 deadline=64
+connect hog    route=tA-sw0-sw1-tZ cbr=0.9
+)";
+
+TEST(ScenarioSim, AdmittedConnectionsStayWithinBounds) {
+  const ScenarioFile scenario = parse_scenario(std::string(kScenario));
+  std::unique_ptr<ConnectionManager> manager;
+  const auto outcomes = run_scenario(scenario, &manager);
+  ASSERT_TRUE(outcomes[0].accepted);
+  ASSERT_TRUE(outcomes[1].accepted);
+  ASSERT_FALSE(outcomes[2].accepted);  // hog rejected
+
+  const ScenarioSimReport report =
+      simulate_scenario(scenario, *manager, outcomes, 20000);
+  ASSERT_EQ(report.connections.size(), 2u);  // rejected one not simulated
+  EXPECT_EQ(report.connections[0].name, "steady");
+  EXPECT_EQ(report.connections[1].name, "bursty");
+  EXPECT_EQ(report.drops, 0u);
+  EXPECT_TRUE(report.all_within());
+  for (const auto& conn : report.connections) {
+    EXPECT_GT(conn.delivered, 100u);
+    EXPECT_LE(conn.max_delay, conn.bound + 1e-9);
+  }
+}
+
+TEST(ScenarioSim, EmptyAdmissionYieldsEmptyReport) {
+  // Advertised-mode deadline below the advertised sum: rejected for sure.
+  const ScenarioFile scenario = parse_scenario(std::string(
+      "terminal t\nswitch s\nterminal z\nlink t s\nlink s z\n"
+      "guarantee advertised\n"
+      "connect impossible route=t-s-z cbr=0.9 deadline=10\n"));
+  std::unique_ptr<ConnectionManager> manager;
+  const auto outcomes = run_scenario(scenario, &manager);
+  ASSERT_FALSE(outcomes[0].accepted);
+  const auto report = simulate_scenario(scenario, *manager, outcomes, 1000);
+  EXPECT_TRUE(report.connections.empty());
+  EXPECT_TRUE(report.all_within());
+}
+
+TEST(ScenarioSim, ValidatesInputConsistency) {
+  const ScenarioFile scenario = parse_scenario(std::string(
+      "terminal t\nswitch s\nterminal z\nlink t s\nlink s z\n"
+      "connect c route=t-s-z cbr=0.5\n"));
+  std::unique_ptr<ConnectionManager> manager;
+  const auto outcomes = run_scenario(scenario, &manager);
+  EXPECT_THROW(simulate_scenario(scenario, *manager, {}, 100),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,187 @@
+// Unit tests for the bit-stream traffic model (paper Section 2).
+
+#include "core/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rtcac {
+namespace {
+
+TEST(BitStream, DefaultIsZeroStream) {
+  const BitStream s;
+  EXPECT_TRUE(s.is_zero());
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.rate_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.bits_before(100), 0.0);
+}
+
+TEST(BitStream, ConstantStream) {
+  const auto s = BitStream::constant(0.5);
+  EXPECT_FALSE(s.is_zero());
+  EXPECT_DOUBLE_EQ(s.rate_at(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.rate_at(1e9), 0.5);
+  EXPECT_DOUBLE_EQ(s.bits_before(10), 5.0);
+}
+
+TEST(BitStream, SegmentsAndRates) {
+  const BitStream s{{1.0, 0.0}, {0.5, 2.0}, {0.1, 6.0}};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.rate_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(1.999), 1.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.rate_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.rate_at(6.0), 0.1);
+  EXPECT_DOUBLE_EQ(s.rate_at(1e6), 0.1);
+  EXPECT_DOUBLE_EQ(s.peak_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(s.final_rate(), 0.1);
+}
+
+TEST(BitStream, NegativeTimeHasZeroRateIntegral) {
+  const BitStream s{{1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(s.bits_before(-5.0), 0.0);
+}
+
+TEST(BitStream, CumulativeBits) {
+  const BitStream s{{1.0, 0.0}, {0.5, 2.0}, {0.0, 6.0}};
+  EXPECT_DOUBLE_EQ(s.bits_before(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.bits_before(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.bits_before(2), 2.0);
+  EXPECT_DOUBLE_EQ(s.bits_before(4), 3.0);
+  EXPECT_DOUBLE_EQ(s.bits_before(6), 4.0);
+  EXPECT_DOUBLE_EQ(s.bits_before(100), 4.0);  // zero tail
+}
+
+TEST(BitStream, TimeOfBitsInvertsCumulative) {
+  const BitStream s{{1.0, 0.0}, {0.5, 2.0}, {0.0, 6.0}};
+  EXPECT_DOUBLE_EQ(s.time_of_bits(0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.time_of_bits(1.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(s.time_of_bits(2.0).value(), 2.0);
+  EXPECT_DOUBLE_EQ(s.time_of_bits(3.0).value(), 4.0);
+  EXPECT_DOUBLE_EQ(s.time_of_bits(4.0).value(), 6.0);
+  EXPECT_FALSE(s.time_of_bits(4.5).has_value());  // never produced
+}
+
+TEST(BitStream, TimeOfBitsOnInfiniteTail) {
+  const BitStream s{{0.25, 0.0}};
+  EXPECT_DOUBLE_EQ(s.time_of_bits(1.0).value(), 4.0);
+  EXPECT_DOUBLE_EQ(s.time_of_bits(100.0).value(), 400.0);
+}
+
+TEST(BitStream, TotalBits) {
+  const BitStream finite{{1.0, 0.0}, {0.0, 3.0}};
+  EXPECT_DOUBLE_EQ(finite.total_bits().value(), 3.0);
+  const BitStream infinite{{1.0, 0.0}, {0.5, 3.0}};
+  EXPECT_FALSE(infinite.total_bits().has_value());
+}
+
+TEST(BitStream, RejectsFirstSegmentNotAtZero) {
+  EXPECT_THROW((BitStream{{1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(BitStream, RejectsEmptySegments) {
+  EXPECT_THROW(BitStream(std::vector<Segment>{}), std::invalid_argument);
+}
+
+TEST(BitStream, RejectsIncreasingRates) {
+  EXPECT_THROW((BitStream{{0.5, 0.0}, {0.9, 1.0}}), std::invalid_argument);
+}
+
+TEST(BitStream, RejectsNegativeRate) {
+  EXPECT_THROW((BitStream{{-0.5, 0.0}}), std::invalid_argument);
+}
+
+TEST(BitStream, RejectsNonIncreasingTimes) {
+  EXPECT_THROW((BitStream{{1.0, 0.0}, {0.5, 2.0}, {0.25, 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(BitStream, SnapsRoundingNoiseInRates) {
+  // A rate higher than its predecessor by only rounding noise is clamped,
+  // not rejected.
+  const BitStream s{{0.5, 0.0}, {0.5 + 1e-12, 1.0}, {0.1, 2.0}};
+  EXPECT_DOUBLE_EQ(s.rate_at(1.5), 0.5);
+}
+
+TEST(BitStream, SnapsTinyNegativeRates) {
+  const BitStream s{{0.5, 0.0}, {-1e-12, 1.0}};
+  EXPECT_DOUBLE_EQ(s.final_rate(), 0.0);
+}
+
+TEST(BitStream, CoalescesEqualRates) {
+  const BitStream s{{1.0, 0.0}, {0.5, 1.0}, {0.5, 2.0}, {0.25, 3.0}};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.bits_before(3.0), 2.0);
+}
+
+TEST(BitStream, CanonicalFormMakesEquivalentStreamsEqual) {
+  const BitStream a{{1.0, 0.0}, {0.5, 1.0}};
+  const BitStream b{{1.0, 0.0}, {0.5, 1.0}, {0.5, 7.0}};
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.nearly_equal(b));
+}
+
+TEST(BitStream, DominatesReflexive) {
+  const BitStream s{{1.0, 0.0}, {0.5, 2.0}};
+  EXPECT_TRUE(s.dominates(s));
+}
+
+TEST(BitStream, DominatesDetectsLargerStream) {
+  const BitStream big{{1.0, 0.0}, {0.5, 3.0}};
+  const BitStream small{{1.0, 0.0}, {0.5, 2.0}};
+  EXPECT_TRUE(big.dominates(small));
+  EXPECT_FALSE(small.dominates(big));
+}
+
+TEST(BitStream, DominanceConsidersTailRate) {
+  // Equal everywhere early, but `fat` has a larger tail rate and so
+  // eventually overtakes: `thin` must not dominate it.
+  const BitStream fat{{0.5, 0.0}};
+  const BitStream thin{{0.5, 0.0}, {0.1, 10.0}};
+  EXPECT_TRUE(fat.dominates(thin));
+  EXPECT_FALSE(thin.dominates(fat));
+}
+
+TEST(BitStream, ZeroStreamIsDominatedByEverything) {
+  const BitStream s{{0.25, 0.0}};
+  EXPECT_TRUE(s.dominates(BitStream{}));
+  EXPECT_FALSE(BitStream{}.dominates(s));
+}
+
+TEST(BitStream, ToStringListsSegments) {
+  const BitStream s{{1.0, 0.0}, {0.5, 2.0}};
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("1"), std::string::npos);
+  EXPECT_NE(text.find("0.5"), std::string::npos);
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), text);
+}
+
+// --- Exact (Rational) instantiation ---------------------------------------
+
+TEST(ExactBitStream, BasicAlgebraIsExact) {
+  const ExactBitStream s{{Rational(1), Rational(0)},
+                         {Rational(1, 3), Rational(1)},
+                         {Rational(1, 7), Rational(10)}};
+  EXPECT_EQ(s.bits_before(Rational(10)), Rational(1) + Rational(9, 3));
+  EXPECT_EQ(s.rate_at(Rational(5)), Rational(1, 3));
+  EXPECT_EQ(s.time_of_bits(Rational(4)).value(), Rational(10));
+}
+
+TEST(ExactBitStream, RejectsExactRateIncrease) {
+  EXPECT_THROW((ExactBitStream{{Rational(1, 3), Rational(0)},
+                               {Rational(1, 2), Rational(1)}}),
+               std::invalid_argument);
+}
+
+TEST(ExactBitStream, IdenticalRationalsCoalesce) {
+  const ExactBitStream a{{Rational(1, 3), Rational(0)},
+                         {Rational(2, 6), Rational(5)}};
+  EXPECT_EQ(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rtcac

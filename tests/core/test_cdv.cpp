@@ -1,0 +1,72 @@
+// Unit tests for CDV accumulation policies (Section 4.3, discussion 1).
+
+#include "core/cdv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rtcac {
+namespace {
+
+TEST(Cdv, FirstHopHasNoCdv) {
+  EXPECT_DOUBLE_EQ(accumulate_cdv(CdvPolicy::kHard, {}), 0.0);
+  EXPECT_DOUBLE_EQ(accumulate_cdv(CdvPolicy::kSoft, {}), 0.0);
+}
+
+TEST(Cdv, HardIsLinearSum) {
+  const std::vector<double> bounds{32, 32, 32};
+  EXPECT_DOUBLE_EQ(accumulate_cdv(CdvPolicy::kHard, bounds), 96.0);
+}
+
+TEST(Cdv, SoftIsRootSumSquare) {
+  const std::vector<double> bounds{3, 4};
+  EXPECT_DOUBLE_EQ(accumulate_cdv(CdvPolicy::kSoft, bounds), 5.0);
+}
+
+TEST(Cdv, SingleHopPoliciesAgree) {
+  const std::vector<double> bounds{17.5};
+  EXPECT_DOUBLE_EQ(accumulate_cdv(CdvPolicy::kHard, bounds),
+                   accumulate_cdv(CdvPolicy::kSoft, bounds));
+}
+
+TEST(Cdv, SoftNeverExceedsHard) {
+  const std::vector<double> bounds{32, 32, 32, 32, 32, 32, 32, 32};
+  const double hard = accumulate_cdv(CdvPolicy::kHard, bounds);
+  const double soft = accumulate_cdv(CdvPolicy::kSoft, bounds);
+  EXPECT_LT(soft, hard);
+  // sqrt(8 * 32^2) = 32 * sqrt(8)
+  EXPECT_DOUBLE_EQ(soft, 32.0 * std::sqrt(8.0));
+}
+
+TEST(Cdv, SoftGainGrowsWithHopCount) {
+  // The relative saving of soft accumulation improves as routes lengthen —
+  // the effect Figure 13 banks on.
+  std::vector<double> bounds;
+  double prev_ratio = 1.0;
+  for (int hops = 1; hops <= 15; ++hops) {
+    bounds.push_back(32);
+    const double ratio = accumulate_cdv(CdvPolicy::kSoft, bounds) /
+                         accumulate_cdv(CdvPolicy::kHard, bounds);
+    EXPECT_LE(ratio, prev_ratio + 1e-12);
+    prev_ratio = ratio;
+  }
+  EXPECT_NEAR(prev_ratio, 1.0 / std::sqrt(15.0), 1e-12);
+}
+
+TEST(Cdv, RejectsNegativeBounds) {
+  const std::vector<double> bounds{32, -1};
+  EXPECT_THROW(static_cast<void>(accumulate_cdv(CdvPolicy::kHard, bounds)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(accumulate_cdv(CdvPolicy::kSoft, bounds)),
+               std::invalid_argument);
+}
+
+TEST(Cdv, ToStringNamesPolicies) {
+  EXPECT_EQ(to_string(CdvPolicy::kHard), "hard");
+  EXPECT_EQ(to_string(CdvPolicy::kSoft), "soft");
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,190 @@
+// Unit tests for the worst-case queueing analysis (paper Section 4.2,
+// Algorithm 4.1), including a brute-force numeric oracle.
+
+#include "core/delay_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stream_ops.h"
+#include "core/traffic.h"
+
+namespace rtcac {
+namespace {
+
+// Brute-force oracle: D = sup_t (g(t) - t) with g(t) = inf{u : G(u) > A(t)},
+// evaluated on a dense grid with a fine inverse search.  Slow but
+// independent of the production code path.
+double brute_force_delay_bound(const BitStream& s, const BitStream& hp,
+                               double t_max, double dt) {
+  double worst = 0;
+  for (double t = 0; t <= t_max; t += dt) {
+    const double arrived = s.bits_before(t);
+    // march u forward until service first exceeds arrived
+    double u = t > worst ? 0 : 0;  // always from 0: G is cheap enough here
+    double g = 0;
+    while (g + 1e-12 < arrived && u < 8 * t_max) {
+      u += dt / 4;
+      g += (1.0 - hp.rate_at(u - dt / 4)) * (dt / 4);
+    }
+    // skip trailing zero-capacity plateau
+    while (u < 8 * t_max && 1.0 - hp.rate_at(u) <= 1e-12) {
+      u += dt / 4;
+    }
+    worst = std::max(worst, u - t);
+  }
+  return worst;
+}
+
+TEST(DelayBound, ZeroTrafficHasZeroDelay) {
+  EXPECT_DOUBLE_EQ(delay_bound(BitStream{}, BitStream{}).value(), 0.0);
+}
+
+TEST(DelayBound, FeasibleStreamAloneHasZeroDelay) {
+  // Arrival never exceeds the link rate: no queueing.
+  const BitStream s{{1.0, 0.0}, {0.25, 1.0}};
+  EXPECT_DOUBLE_EQ(delay_bound(s, BitStream{}).value(), 0.0);
+}
+
+TEST(DelayBound, HighestPriorityBoundIsMaxQueueBuildup) {
+  // Rate 2 for 4 units: backlog peaks at 4 bits == 4 cell times of delay
+  // at unit service.
+  const BitStream s{{2.0, 0.0}, {0.5, 4.0}};
+  EXPECT_DOUBLE_EQ(delay_bound(s, BitStream{}).value(), 4.0);
+  EXPECT_DOUBLE_EQ(max_backlog(s, BitStream{}).value(), 4.0);
+}
+
+TEST(DelayBound, UnstableAggregateIsUnbounded) {
+  EXPECT_FALSE(delay_bound(BitStream::constant(1.2), BitStream{}).has_value());
+  EXPECT_FALSE(max_backlog(BitStream::constant(1.2), BitStream{}).has_value());
+}
+
+TEST(DelayBound, ExactlyCriticalLoadIsBounded) {
+  // Tail rate exactly 1 with a finite early excess: the backlog never
+  // grows past its initial hump.
+  const BitStream s{{2.0, 0.0}, {1.0, 3.0}};
+  EXPECT_DOUBLE_EQ(delay_bound(s, BitStream{}).value(), 3.0);
+}
+
+TEST(DelayBound, HigherPriorityTrafficInflatesBound) {
+  const BitStream s{{2.0, 0.0}, {0.25, 2.0}};
+  const BitStream hp_none;
+  const auto hp_half = BitStream::constant(0.5);
+  const double d0 = delay_bound(s, hp_none).value();
+  const double d1 = delay_bound(s, hp_half).value();
+  EXPECT_GT(d1, d0);
+  // Service halves, so the 2-bit excess (rate 2 vs capacity ...) grows:
+  // A(t) = 2t on [0,2]; G(u) = u/2.  g(2) = 8, D = 6.  After t = 2,
+  // arrivals at 0.25 < 0.5 capacity: D shrinks.
+  EXPECT_DOUBLE_EQ(d1, 6.0);
+}
+
+TEST(DelayBound, SaturatedHigherPriorityWindowBlocksService) {
+  // hp occupies the whole link for [0, 10): even a lone cell of lower
+  // priority arriving at t = 0 waits the full window.
+  const BitStream hp{{1.0, 0.0}, {0.0, 10.0}};
+  const BitStream s{{1.0, 0.0}, {0.0, 1.0}};  // one cell at t = 0
+  EXPECT_DOUBLE_EQ(delay_bound(s, hp).value(), 10.0);
+}
+
+TEST(DelayBound, SaturationWindowAppliesToLateArrivalsToo) {
+  // The regression the upper inverse exists for: hp saturates [0, 10) and
+  // p-bits trickle in at 0.4 afterward-capacity 0.5.  A bit arriving just
+  // after t = 0 departs just after u = 10.
+  const BitStream hp{{1.0, 0.0}, {0.5, 10.0}};
+  const BitStream s = BitStream::constant(0.4);
+  const double d = delay_bound(s, hp).value();
+  EXPECT_DOUBLE_EQ(d, 10.0);
+}
+
+TEST(DelayBound, FullySaturatedLinkIsUnboundedForAnyTraffic) {
+  // A filtered hp stream is non-increasing, so "capacity appears later"
+  // cannot happen; the only permanent-saturation case is hp == 1 forever,
+  // where any nonzero lower-priority demand starves.
+  const auto hp = BitStream::constant(1.0);
+  const BitStream one_cell{{1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_FALSE(delay_bound(one_cell, hp).has_value());
+  EXPECT_DOUBLE_EQ(delay_bound(BitStream{}, hp).value(), 0.0);
+}
+
+TEST(DelayBound, MatchesBruteForceOnVbrAggregates) {
+  const BitStream a = TrafficDescriptor::vbr(0.5, 0.1, 4).to_bitstream();
+  const BitStream b = TrafficDescriptor::vbr(0.4, 0.05, 6).to_bitstream();
+  const BitStream c = TrafficDescriptor::cbr(0.2).to_bitstream();
+  const BitStream s = multiplex(multiplex(a, b), c);
+  const BitStream hp = filter(multiplex(
+      TrafficDescriptor::cbr(0.15).to_bitstream(),
+      TrafficDescriptor::vbr(0.3, 0.05, 3).to_bitstream()));
+  const double exact = delay_bound(s, hp).value();
+  const double brute = brute_force_delay_bound(s, hp, 60.0, 0.05);
+  EXPECT_NEAR(exact, brute, 0.15) << "analytic vs brute-force drifted";
+  EXPECT_GE(exact, brute - 0.15);
+}
+
+TEST(DelayBound, MatchesBruteForceWithDistortedArrivals) {
+  const BitStream base = TrafficDescriptor::cbr(0.3).to_bitstream();
+  const BitStream s = multiplex(delay(base, 12.0), delay(base, 24.0));
+  const BitStream hp = filter(delay(
+      TrafficDescriptor::vbr(0.6, 0.1, 8).to_bitstream(), 16.0));
+  const double exact = delay_bound(s, hp).value();
+  const double brute = brute_force_delay_bound(s, hp, 120.0, 0.05);
+  EXPECT_NEAR(exact, brute, 0.2);
+}
+
+TEST(DelayBound, RejectsUnfilteredHigherPriorityStream) {
+  // S1 must be filtered (rate <= 1); feeding a raw aggregate is a caller
+  // bug and must be loud.
+  const BitStream one_cell{{1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_THROW(delay_bound(one_cell, BitStream::constant(1.5)),
+               std::invalid_argument);
+  EXPECT_THROW(max_backlog(one_cell, BitStream::constant(1.5)),
+               std::invalid_argument);
+}
+
+TEST(MaxBacklog, VerticalDeviationSimpleCase) {
+  // Rate 3 for 2 units against unit service: peak backlog (3-1)*2 = 4.
+  const BitStream s{{3.0, 0.0}, {0.2, 2.0}};
+  EXPECT_DOUBLE_EQ(max_backlog(s, BitStream{}).value(), 4.0);
+}
+
+TEST(MaxBacklog, WithHigherPriorityService) {
+  // capacity 0.5; arrivals 2 for 2 units: backlog (2-0.5)*2 = 3.
+  const BitStream s{{2.0, 0.0}, {0.2, 2.0}};
+  const auto hp = BitStream::constant(0.5);
+  EXPECT_DOUBLE_EQ(max_backlog(s, hp).value(), 3.0);
+}
+
+TEST(MaxBacklog, NeverExceedsDelayBoundTimesUnitRate) {
+  // With unit total service, backlog <= delay bound (service rate <= 1).
+  const BitStream s = multiplex(
+      TrafficDescriptor::vbr(0.5, 0.1, 6).to_bitstream(),
+      delay(TrafficDescriptor::vbr(0.5, 0.2, 4).to_bitstream(), 10.0));
+  const auto hp = filter(TrafficDescriptor::vbr(0.4, 0.1, 8).to_bitstream());
+  const double backlog = max_backlog(s, hp).value();
+  const double bound = delay_bound(s, hp).value();
+  EXPECT_LE(backlog, bound + 1e-9);
+}
+
+// --- exact instantiation ----------------------------------------------------
+
+TEST(DelayBoundExact, RationalBoundIsExact) {
+  // Aggregate of three CBR-like streams at rate 1/3 each arriving as unit
+  // bursts: rate 3 for 1 time unit, then 1.  Tail rate exactly 1 ->
+  // bounded; queue grows to 2 during [0,1) and then holds: D = 2.
+  const ExactBitStream s{{Rational(3), Rational(0)},
+                         {Rational(1), Rational(1)}};
+  const auto d = delay_bound(s, ExactBitStream{});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, Rational(2));
+}
+
+TEST(DelayBoundExact, UnboundedAtStrictOverload) {
+  const ExactBitStream s{{Rational(3), Rational(0)},
+                         {Rational(101, 100), Rational(1)}};
+  EXPECT_FALSE(delay_bound(s, ExactBitStream{}).has_value());
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,269 @@
+// Unit tests for the stream-manipulation algebra (paper Section 3,
+// Algorithms 3.1-3.4), against hand-computed worst cases.
+
+#include "core/stream_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "core/traffic.h"
+
+namespace rtcac {
+namespace {
+
+// --- multiplex (Algorithm 3.2) ---------------------------------------------
+
+TEST(Multiplex, RatesAddPointwise) {
+  const BitStream a{{0.5, 0.0}, {0.25, 4.0}};
+  const BitStream b{{0.4, 0.0}, {0.1, 2.0}};
+  const BitStream sum = multiplex(a, b);
+  EXPECT_DOUBLE_EQ(sum.rate_at(0.0), 0.9);
+  EXPECT_DOUBLE_EQ(sum.rate_at(2.0), 0.6);
+  EXPECT_DOUBLE_EQ(sum.rate_at(4.0), 0.35);
+  EXPECT_DOUBLE_EQ(sum.bits_before(6.0), a.bits_before(6.0) + b.bits_before(6.0));
+}
+
+TEST(Multiplex, AggregateRateCanExceedLinkRate) {
+  const auto a = BitStream::constant(0.8);
+  const auto b = BitStream::constant(0.7);
+  EXPECT_DOUBLE_EQ(multiplex(a, b).rate_at(0.0), 1.5);
+}
+
+TEST(Multiplex, ZeroIsIdentity) {
+  const BitStream s{{1.0, 0.0}, {0.25, 3.0}};
+  EXPECT_EQ(multiplex(s, BitStream{}), s);
+  EXPECT_EQ(multiplex(BitStream{}, s), s);
+}
+
+TEST(Multiplex, SharedBreakpointsMergeOnce) {
+  const BitStream a{{1.0, 0.0}, {0.5, 2.0}};
+  const BitStream b{{0.5, 0.0}, {0.25, 2.0}};
+  const BitStream sum = multiplex(a, b);
+  EXPECT_EQ(sum.size(), 2u);
+  EXPECT_DOUBLE_EQ(sum.rate_at(2.0), 0.75);
+}
+
+// --- demultiplex (Algorithm 3.3) --------------------------------------------
+
+TEST(Demultiplex, UndoesMultiplex) {
+  const BitStream a{{1.0, 0.0}, {0.5, 2.0}, {0.1, 5.0}};
+  const BitStream b{{0.7, 0.0}, {0.2, 3.0}};
+  const BitStream sum = multiplex(a, b);
+  EXPECT_TRUE(demultiplex(sum, b).nearly_equal(a));
+  EXPECT_TRUE(demultiplex(sum, a).nearly_equal(b));
+}
+
+TEST(Demultiplex, RemovingEverythingLeavesZero) {
+  const BitStream a{{0.5, 0.0}, {0.25, 2.0}};
+  EXPECT_TRUE(demultiplex(a, a).is_zero());
+}
+
+TEST(Demultiplex, RejectsNonComponent) {
+  const auto small = BitStream::constant(0.3);
+  const auto big = BitStream::constant(0.5);
+  EXPECT_THROW(demultiplex(small, big), StreamContainmentError);
+}
+
+TEST(Demultiplex, RejectsStructurallyForeignStream) {
+  // Same total rate early on, but the subtrahend's tail exceeds the
+  // aggregate's, producing a negative rate later.
+  const BitStream aggregate{{0.8, 0.0}, {0.2, 4.0}};
+  const BitStream foreign{{0.5, 0.0}, {0.4, 4.0}};
+  EXPECT_THROW(demultiplex(aggregate, foreign), StreamContainmentError);
+}
+
+// --- filter (Algorithm 3.4) --------------------------------------------------
+
+TEST(Filter, LinkFeasibleStreamPassesUnchanged) {
+  const BitStream s{{1.0, 0.0}, {0.5, 2.0}};
+  EXPECT_EQ(filter(s), s);
+}
+
+TEST(Filter, SmoothsOverloadAtUnitRate) {
+  // Rate 2 for 4 time units = 8 bits offered, 4 transmitted, 4 queued.
+  // Tail rate 0.5 drains the 4-bit backlog at slope 0.5: drained at
+  // t = 4 + 4/0.5 = 12.
+  const BitStream s{{2.0, 0.0}, {0.5, 4.0}};
+  const BitStream out = filter(s);
+  EXPECT_DOUBLE_EQ(out.rate_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(out.rate_at(11.9), 1.0);
+  EXPECT_DOUBLE_EQ(out.rate_at(12.0), 0.5);
+  // Bit conservation once drained.
+  EXPECT_DOUBLE_EQ(out.bits_before(12.0), s.bits_before(12.0));
+  EXPECT_DOUBLE_EQ(out.bits_before(20.0), s.bits_before(20.0));
+}
+
+TEST(Filter, OutputNeverExceedsLinkRate) {
+  const BitStream s{{3.0, 0.0}, {2.0, 1.0}, {0.25, 3.0}};
+  const BitStream out = filter(s);
+  EXPECT_LE(out.peak_rate(), 1.0);
+}
+
+TEST(Filter, PermanentOverloadSaturatesForever) {
+  const BitStream out = filter(BitStream::constant(1.5));
+  EXPECT_EQ(out, BitStream::constant(1.0));
+}
+
+TEST(Filter, ExactlyUnitTailAfterBurstStaysSaturated) {
+  const BitStream s{{2.0, 0.0}, {1.0, 1.0}};
+  EXPECT_EQ(filter(s), BitStream::constant(1.0));
+}
+
+TEST(Filter, InitialBacklogDelaysFeasibleStream) {
+  // 3 queued bits ahead of a 0.25-rate stream: drain slope 0.75,
+  // drained at t = 4; before that, full rate.
+  const BitStream s = BitStream::constant(0.25);
+  const BitStream out = filter(s, 3.0);
+  EXPECT_DOUBLE_EQ(out.rate_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(out.rate_at(3.9), 1.0);
+  EXPECT_DOUBLE_EQ(out.rate_at(4.0), 0.25);
+  EXPECT_DOUBLE_EQ(out.bits_before(4.0), 3.0 + s.bits_before(4.0));
+}
+
+TEST(Filter, ZeroBacklogZeroRateIsZero) {
+  EXPECT_TRUE(filter(BitStream{}).is_zero());
+}
+
+TEST(Filter, BacklogWithZeroStreamDrainsAtFullRate) {
+  const BitStream out = filter(BitStream{}, 2.0);
+  EXPECT_DOUBLE_EQ(out.rate_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(out.rate_at(1.9), 1.0);
+  EXPECT_DOUBLE_EQ(out.rate_at(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(out.total_bits().value(), 2.0);
+}
+
+TEST(Filter, RejectsNegativeBacklog) {
+  EXPECT_THROW(filter(BitStream{}, -1.0), std::invalid_argument);
+}
+
+TEST(Filter, IsIdempotent) {
+  const BitStream s{{2.5, 0.0}, {0.7, 2.0}, {0.2, 9.0}};
+  const BitStream once = filter(s);
+  EXPECT_EQ(filter(once), once);
+}
+
+// --- shift_left ---------------------------------------------------------------
+
+TEST(ShiftLeft, DropsPrefixAndRebasesTime) {
+  const BitStream s{{1.0, 0.0}, {0.5, 2.0}, {0.1, 6.0}};
+  const BitStream out = shift_left(s, 3.0);
+  EXPECT_DOUBLE_EQ(out.rate_at(0.0), 0.5);  // was the rate at t = 3
+  EXPECT_DOUBLE_EQ(out.rate_at(3.0), 0.1);  // breakpoint 6 -> 3
+  EXPECT_DOUBLE_EQ(out.bits_before(10.0), s.bits_before(13.0) - s.bits_before(3.0));
+}
+
+TEST(ShiftLeft, ZeroShiftIsIdentity) {
+  const BitStream s{{1.0, 0.0}, {0.5, 2.0}};
+  EXPECT_EQ(shift_left(s, 0.0), s);
+}
+
+TEST(ShiftLeft, ShiftLandingExactlyOnBreakpoint) {
+  const BitStream s{{1.0, 0.0}, {0.5, 2.0}, {0.25, 4.0}};
+  const BitStream out = shift_left(s, 2.0);
+  EXPECT_DOUBLE_EQ(out.rate_at(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(out.rate_at(2.0), 0.25);
+}
+
+TEST(ShiftLeft, RejectsNegativeShift) {
+  EXPECT_THROW(shift_left(BitStream{}, -0.5), std::invalid_argument);
+}
+
+// --- delay (Algorithm 3.1) -----------------------------------------------------
+
+TEST(Delay, ZeroCdvIsIdentity) {
+  const BitStream s{{1.0, 0.0}, {0.25, 1.0}};
+  EXPECT_EQ(delay(s, 0.0), s);
+}
+
+TEST(Delay, ClumpsPrefixIntoFullRateBurst) {
+  // CBR at rate 0.25 (one cell at rate 1, then 0.25) delayed by CDV = 8:
+  // bits in [0, 8] = 1 + 7*0.25 = 2.75 arrive back-to-back, so the delayed
+  // stream runs at rate 1 until its cumulative curve meets A(t + 8).
+  const TrafficDescriptor td = TrafficDescriptor::cbr(0.25);
+  const BitStream s = td.to_bitstream();
+  const double cdv = 8.0;
+  const BitStream out = delay(s, cdv);
+  EXPECT_DOUBLE_EQ(out.rate_at(0.0), 1.0);
+  // A'(t) = min(t, A(t + cdv)), checked densely.
+  for (double t = 0; t <= 30.0; t += 0.5) {
+    const double expect = std::min(t, s.bits_before(t + cdv));
+    EXPECT_NEAR(out.bits_before(t), expect, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Delay, MatchesMinFormulaForVbr) {
+  const TrafficDescriptor td = TrafficDescriptor::vbr(0.5, 0.1, 4);
+  const BitStream s = td.to_bitstream();
+  for (const double cdv : {0.5, 1.0, 3.7, 12.0, 64.0}) {
+    const BitStream out = delay(s, cdv);
+    for (double t = 0; t <= 80.0; t += 0.25) {
+      const double expect = std::min(t, s.bits_before(t + cdv));
+      EXPECT_NEAR(out.bits_before(t), expect, 1e-9)
+          << "cdv=" << cdv << " t=" << t;
+    }
+  }
+}
+
+TEST(Delay, ComposesAdditively) {
+  // delay(delay(S, a), b) == delay(S, a + b): jitter accumulates across
+  // queueing points exactly.
+  const BitStream s = TrafficDescriptor::vbr(0.5, 0.125, 3).to_bitstream();
+  const BitStream twice = delay(delay(s, 5.0), 7.0);
+  const BitStream once = delay(s, 12.0);
+  EXPECT_TRUE(twice.nearly_equal(once))
+      << "twice=" << twice << " once=" << once;
+}
+
+TEST(Delay, DominatesOriginalStream) {
+  const BitStream s = TrafficDescriptor::cbr(0.2).to_bitstream();
+  EXPECT_TRUE(delay(s, 16.0).dominates(s));
+}
+
+TEST(Delay, MonotoneInCdv) {
+  const BitStream s = TrafficDescriptor::vbr(0.8, 0.05, 10).to_bitstream();
+  EXPECT_TRUE(delay(s, 20.0).dominates(delay(s, 10.0)));
+  EXPECT_TRUE(delay(s, 10.0).dominates(delay(s, 1.0)));
+}
+
+TEST(Delay, RejectsNegativeCdv) {
+  EXPECT_THROW(delay(BitStream{}, -1.0), std::invalid_argument);
+}
+
+TEST(Delay, ZeroStreamStaysZero) {
+  EXPECT_TRUE(delay(BitStream{}, 50.0).is_zero());
+}
+
+// --- exact arithmetic cross-check ----------------------------------------------
+
+TEST(ExactOps, MultiplexAndFilterAreExact) {
+  const ExactBitStream a{{Rational(1), Rational(0)},
+                         {Rational(1, 4), Rational(1)}};
+  const ExactBitStream b{{Rational(1), Rational(0)},
+                         {Rational(1, 2), Rational(3)}};
+  const ExactBitStream sum = multiplex(a, b);
+  EXPECT_EQ(sum.rate_at(Rational(0)), Rational(2));
+  EXPECT_EQ(sum.rate_at(Rational(2)), Rational(5, 4));
+  EXPECT_EQ(sum.rate_at(Rational(3)), Rational(3, 4));
+
+  // Overload 2 for [0,1): queue 1; then 5/4 for [1,3): queue 1 + 2*(1/4)
+  // = 3/2; then rate 3/4 drains at slope 1/4: drained at 3 + (3/2)/(1/4) = 9.
+  const ExactBitStream out = filter(sum);
+  EXPECT_EQ(out.rate_at(Rational(0)), Rational(1));
+  EXPECT_EQ(out.rate_at(Rational(8)), Rational(1));
+  EXPECT_EQ(out.rate_at(Rational(9)), Rational(3, 4));
+}
+
+TEST(ExactOps, DelayMatchesMinFormulaExactly) {
+  const ExactBitStream s{{Rational(1), Rational(0)},
+                         {Rational(1, 3), Rational(1)}};
+  const Rational cdv(5);
+  const ExactBitStream out = delay(s, cdv);
+  for (std::int64_t n = 0; n <= 40; ++n) {
+    const Rational t(n, 2);
+    const Rational expect =
+        std::min(t, s.bits_before(t + cdv));
+    EXPECT_EQ(out.bits_before(t), expect) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,186 @@
+// Property-based tests of the stream algebra: randomized streams, checked
+// against algebraic invariants and against the exact Rational
+// instantiation.  These are the tests that would catch a subtly wrong
+// drain-point or breakpoint-merge computation that unit cases miss.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/delay_bound.h"
+#include "core/stream_ops.h"
+#include "util/xorshift.h"
+
+namespace rtcac {
+namespace {
+
+// Random non-increasing step stream with rational-friendly values: rates
+// are multiples of 1/64 in [0, max_rate], times multiples of 1/4.
+BitStream random_stream(Xorshift& rng, double max_rate = 1.0,
+                        std::size_t max_segments = 5) {
+  const std::size_t n = 1 + rng.below(max_segments);
+  std::vector<double> rates;
+  for (std::size_t i = 0; i < n; ++i) {
+    rates.push_back(static_cast<double>(rng.below(
+                        static_cast<std::uint64_t>(max_rate * 64) + 1)) /
+                    64.0);
+  }
+  std::sort(rates.rbegin(), rates.rend());
+  std::vector<Segment> segs;
+  double t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    segs.push_back(Segment{rates[i], t});
+    t += 0.25 * static_cast<double>(1 + rng.below(40));
+  }
+  return BitStream(std::move(segs));
+}
+
+ExactBitStream to_exact(const BitStream& s) {
+  std::vector<ExactSegment> segs;
+  for (const auto& seg : s.segments()) {
+    segs.push_back(ExactSegment{
+        Rational(static_cast<std::int64_t>(std::lround(seg.rate * 64)), 64),
+        Rational(static_cast<std::int64_t>(std::lround(seg.start * 4)), 4)});
+  }
+  return ExactBitStream(std::move(segs));
+}
+
+class StreamPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+TEST_P(StreamPropertyTest, MultiplexCommutes) {
+  Xorshift rng(GetParam());
+  const BitStream a = random_stream(rng);
+  const BitStream b = random_stream(rng);
+  EXPECT_TRUE(multiplex(a, b).nearly_equal(multiplex(b, a)));
+}
+
+TEST_P(StreamPropertyTest, MultiplexAssociates) {
+  Xorshift rng(GetParam() * 7919 + 1);
+  const BitStream a = random_stream(rng);
+  const BitStream b = random_stream(rng);
+  const BitStream c = random_stream(rng);
+  EXPECT_TRUE(multiplex(multiplex(a, b), c)
+                  .nearly_equal(multiplex(a, multiplex(b, c))));
+}
+
+TEST_P(StreamPropertyTest, DemultiplexInvertsMultiplex) {
+  Xorshift rng(GetParam() * 104729 + 3);
+  const BitStream a = random_stream(rng);
+  const BitStream b = random_stream(rng);
+  EXPECT_TRUE(demultiplex(multiplex(a, b), b).nearly_equal(a));
+}
+
+TEST_P(StreamPropertyTest, FilterConservesBitsAfterDrain) {
+  Xorshift rng(GetParam() * 65537 + 5);
+  const BitStream s = multiplex(random_stream(rng, 1.0),
+                                random_stream(rng, 1.0));
+  const BitStream out = filter(s);
+  // The filtered stream never carries more than the link allows and never
+  // more bits than were offered; once both are in steady state the counts
+  // agree (if the queue drained at all).
+  EXPECT_LE(out.peak_rate(), 1.0 + 1e-9);
+  const double horizon = 400.0;
+  EXPECT_LE(out.bits_before(horizon), s.bits_before(horizon) + 1e-9);
+  if (s.final_rate() < 1.0) {
+    const double late = 4000.0;
+    EXPECT_NEAR(out.bits_before(late), s.bits_before(late), 1e-6);
+  }
+}
+
+TEST_P(StreamPropertyTest, FilterIsIdempotent) {
+  Xorshift rng(GetParam() * 31 + 7);
+  const BitStream s = multiplex(random_stream(rng, 1.0),
+                                random_stream(rng, 1.0));
+  const BitStream once = filter(s);
+  EXPECT_TRUE(filter(once).nearly_equal(once));
+}
+
+TEST_P(StreamPropertyTest, DelayDominatesAndComposes) {
+  Xorshift rng(GetParam() * 193 + 11);
+  const BitStream s = random_stream(rng, 1.0);
+  const double c1 = 0.25 * static_cast<double>(1 + rng.below(100));
+  const double c2 = 0.25 * static_cast<double>(1 + rng.below(100));
+  const BitStream d1 = delay(s, c1);
+  EXPECT_TRUE(d1.dominates(s)) << "s=" << s << " c1=" << c1;
+  EXPECT_TRUE(delay(d1, c2).nearly_equal(delay(s, c1 + c2)))
+      << "s=" << s << " c1=" << c1 << " c2=" << c2;
+}
+
+TEST_P(StreamPropertyTest, DelayBoundMonotoneInTraffic) {
+  Xorshift rng(GetParam() * 389 + 13);
+  const BitStream a = random_stream(rng, 0.5);
+  const BitStream b = random_stream(rng, 0.4);
+  const BitStream both = multiplex(a, b);
+  const auto d_a = delay_bound(a, BitStream{});
+  const auto d_both = delay_bound(both, BitStream{});
+  ASSERT_TRUE(d_a.has_value());
+  if (d_both.has_value()) {
+    EXPECT_GE(*d_both, *d_a - 1e-9);
+  }
+}
+
+TEST_P(StreamPropertyTest, DelayBoundMonotoneInHigherPriorityLoad) {
+  Xorshift rng(GetParam() * 769 + 17);
+  const BitStream s = random_stream(rng, 0.4);
+  const BitStream hp_small = filter(random_stream(rng, 0.3));
+  const BitStream hp_big = filter(multiplex(hp_small, random_stream(rng, 0.2)));
+  const auto d_small = delay_bound(s, hp_small);
+  const auto d_big = delay_bound(s, hp_big);
+  ASSERT_TRUE(d_small.has_value());
+  if (d_big.has_value()) {
+    EXPECT_GE(*d_big, *d_small - 1e-9);
+  }
+}
+
+TEST_P(StreamPropertyTest, BacklogNeverExceedsDelayBound) {
+  // Unit-rate server: vertical deviation <= horizontal deviation.
+  Xorshift rng(GetParam() * 1543 + 19);
+  const BitStream s =
+      multiplex(random_stream(rng, 1.0), random_stream(rng, 0.5));
+  const BitStream hp = filter(random_stream(rng, 0.4));
+  const auto backlog = max_backlog(s, hp);
+  const auto bound = delay_bound(s, hp);
+  ASSERT_EQ(backlog.has_value(), bound.has_value());
+  if (bound.has_value()) {
+    EXPECT_LE(*backlog, *bound + 1e-9);
+  }
+}
+
+// --- double vs exact cross-validation --------------------------------------
+
+TEST_P(StreamPropertyTest, DoubleMatchesExactMultiplexFilter) {
+  Xorshift rng(GetParam() * 6151 + 23);
+  const BitStream a = random_stream(rng, 1.0);
+  const BitStream b = random_stream(rng, 1.0);
+  const BitStream approx = filter(multiplex(a, b));
+  const ExactBitStream exact = filter(multiplex(to_exact(a), to_exact(b)));
+  ASSERT_EQ(approx.size(), exact.size())
+      << "approx=" << approx << " exact=" << exact;
+  for (std::size_t k = 0; k < approx.size(); ++k) {
+    EXPECT_NEAR(approx.segments()[k].rate,
+                exact.segments()[k].rate.to_double(), 1e-9);
+    EXPECT_NEAR(approx.segments()[k].start,
+                exact.segments()[k].start.to_double(), 1e-6);
+  }
+}
+
+TEST_P(StreamPropertyTest, DoubleMatchesExactDelayBound) {
+  Xorshift rng(GetParam() * 12289 + 29);
+  const BitStream a = random_stream(rng, 1.0);
+  const BitStream b = random_stream(rng, 0.5);
+  const BitStream s = multiplex(a, b);
+  const BitStream hp_raw = random_stream(rng, 0.5);
+  const auto approx = delay_bound(s, filter(hp_raw));
+  const auto exact = delay_bound(multiplex(to_exact(a), to_exact(b)),
+                                 filter(to_exact(hp_raw)));
+  ASSERT_EQ(approx.has_value(), exact.has_value());
+  if (approx.has_value()) {
+    EXPECT_NEAR(*approx, exact->to_double(), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace rtcac

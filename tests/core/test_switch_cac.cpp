@@ -1,0 +1,233 @@
+// Unit tests for the per-switch CAC state machine (Section 4.3).
+
+#include "core/switch_cac.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stream_ops.h"
+#include "core/traffic.h"
+
+namespace rtcac {
+namespace {
+
+SwitchCac::Config small_config(std::size_t priorities = 1,
+                               double bound = 32) {
+  SwitchCac::Config cfg;
+  cfg.in_ports = 3;
+  cfg.out_ports = 2;
+  cfg.priorities = priorities;
+  cfg.advertised_bound = bound;
+  return cfg;
+}
+
+TEST(SwitchCac, RejectsDegenerateConfig) {
+  SwitchCac::Config cfg;
+  EXPECT_THROW(SwitchCac{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.advertised_bound = 0;
+  EXPECT_THROW(SwitchCac{cfg}, std::invalid_argument);
+}
+
+TEST(SwitchCac, AdvertisedBoundsAreConfigurable) {
+  SwitchCac cac(small_config(2, 32));
+  EXPECT_DOUBLE_EQ(cac.advertised(0, 0), 32);
+  cac.set_advertised(0, 1, 64);
+  EXPECT_DOUBLE_EQ(cac.advertised(0, 1), 64);
+  EXPECT_DOUBLE_EQ(cac.advertised(1, 1), 32);
+  EXPECT_THROW(cac.set_advertised(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cac.advertised(5, 0)),
+               std::invalid_argument);
+}
+
+TEST(SwitchCac, EmptySwitchHasZeroBounds) {
+  const SwitchCac cac(small_config());
+  EXPECT_DOUBLE_EQ(cac.computed_bound(0, 0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(cac.buffer_requirement(0, 0).value(), 0.0);
+}
+
+TEST(SwitchCac, SingleFeasibleConnectionAdmitsWithZeroBound) {
+  SwitchCac cac(small_config());
+  const BitStream s = TrafficDescriptor::cbr(0.5).to_bitstream();
+  const auto check = cac.check(0, 0, 0, s);
+  EXPECT_TRUE(check.admitted) << check.reason;
+  EXPECT_DOUBLE_EQ(check.bound_at_priority.value(), 0.0);
+  cac.add(1, 0, 0, 0, s);
+  EXPECT_DOUBLE_EQ(cac.computed_bound(0, 0).value(), 0.0);
+}
+
+TEST(SwitchCac, TwoInputsContendAtOutput) {
+  // Two CBR 0.5 streams from different in-ports: both start with a
+  // full-rate cell, so the aggregate hits rate 2 briefly -> 1 cell of
+  // backlog, 1 cell time of delay.
+  SwitchCac cac(small_config());
+  const BitStream s = TrafficDescriptor::cbr(0.5).to_bitstream();
+  cac.add(1, 0, 0, 0, s);
+  const auto check = cac.check(1, 0, 0, s);
+  EXPECT_TRUE(check.admitted);
+  EXPECT_GT(check.bound_at_priority.value(), 0.0);
+  cac.add(2, 1, 0, 0, s);
+  EXPECT_NEAR(cac.computed_bound(0, 0).value(), 1.0, 1e-9);
+}
+
+TEST(SwitchCac, SameInLinkTrafficIsFilteredBeforeContention) {
+  // Two connections sharing ONE in-link cannot arrive simultaneously —
+  // the link serializes them, so the bound stays smaller than the
+  // two-in-link case.
+  SwitchCac shared(small_config());
+  SwitchCac split(small_config());
+  const BitStream s = TrafficDescriptor::cbr(0.4).to_bitstream();
+  shared.add(1, 0, 0, 0, s);
+  shared.add(2, 0, 0, 0, s);
+  split.add(1, 0, 0, 0, s);
+  split.add(2, 1, 0, 0, s);
+  EXPECT_LT(shared.computed_bound(0, 0).value(),
+            split.computed_bound(0, 0).value());
+}
+
+TEST(SwitchCac, RejectsWhenBoundWouldExceedAdvertised) {
+  // Tiny advertised bound: the second simultaneous-burst stream pushes
+  // the worst case past it.
+  SwitchCac cac(small_config(1, 0.5));
+  const BitStream s = TrafficDescriptor::cbr(0.5).to_bitstream();
+  EXPECT_TRUE(cac.check(0, 0, 0, s).admitted);
+  cac.add(1, 0, 0, 0, s);
+  const auto check = cac.check(1, 0, 0, s);
+  EXPECT_FALSE(check.admitted);
+  EXPECT_NE(check.reason.find("delay bound"), std::string::npos);
+}
+
+TEST(SwitchCac, RejectsOverloadedOutput) {
+  SwitchCac cac(small_config());
+  cac.add(1, 0, 0, 0, TrafficDescriptor::cbr(0.7).to_bitstream());
+  const auto check =
+      cac.check(1, 0, 0, TrafficDescriptor::cbr(0.6).to_bitstream());
+  EXPECT_FALSE(check.admitted);  // 1.3 sustained load: unbounded
+  EXPECT_NE(check.reason.find("unbounded"), std::string::npos);
+}
+
+TEST(SwitchCac, OutputsAreIndependent) {
+  SwitchCac cac(small_config());
+  cac.add(1, 0, 0, 0, TrafficDescriptor::cbr(0.9).to_bitstream());
+  const auto check =
+      cac.check(1, 1, 0, TrafficDescriptor::cbr(0.9).to_bitstream());
+  EXPECT_TRUE(check.admitted);
+}
+
+TEST(SwitchCac, CheckDoesNotMutate) {
+  SwitchCac cac(small_config());
+  const BitStream s = TrafficDescriptor::cbr(0.5).to_bitstream();
+  (void)cac.check(0, 0, 0, s);
+  EXPECT_EQ(cac.connection_count(), 0u);
+  EXPECT_DOUBLE_EQ(cac.computed_bound(0, 0).value(), 0.0);
+  EXPECT_TRUE(cac.arrival_aggregate(0, 0, 0).is_zero());
+}
+
+TEST(SwitchCac, AddRemoveRestoresState) {
+  SwitchCac cac(small_config());
+  const BitStream a = TrafficDescriptor::cbr(0.3).to_bitstream();
+  const BitStream b = TrafficDescriptor::vbr(0.5, 0.1, 4).to_bitstream();
+  cac.add(1, 0, 0, 0, a);
+  const double bound_before = cac.computed_bound(0, 0).value();
+  cac.add(2, 1, 0, 0, b);
+  EXPECT_GT(cac.computed_bound(0, 0).value(), bound_before);
+  EXPECT_TRUE(cac.remove(2));
+  EXPECT_DOUBLE_EQ(cac.computed_bound(0, 0).value(), bound_before);
+  EXPECT_TRUE(cac.state_consistent());
+  EXPECT_FALSE(cac.remove(2));  // already gone
+}
+
+TEST(SwitchCac, ManySetupTeardownCyclesDoNotDrift) {
+  SwitchCac cac(small_config());
+  const BitStream keep = TrafficDescriptor::cbr(0.25).to_bitstream();
+  cac.add(1, 0, 0, 0, keep);
+  const double baseline = cac.computed_bound(0, 0).value();
+  const BitStream churn = TrafficDescriptor::vbr(0.7, 0.05, 9).to_bitstream();
+  for (int i = 0; i < 100; ++i) {
+    cac.add(1000 + i, 1, 0, 0, churn);
+    cac.remove(1000 + i);
+  }
+  EXPECT_DOUBLE_EQ(cac.computed_bound(0, 0).value(), baseline);
+  EXPECT_TRUE(cac.state_consistent());
+}
+
+TEST(SwitchCac, DuplicateIdThrows) {
+  SwitchCac cac(small_config());
+  const BitStream s = TrafficDescriptor::cbr(0.1).to_bitstream();
+  cac.add(7, 0, 0, 0, s);
+  EXPECT_THROW(cac.add(7, 1, 0, 0, s), std::invalid_argument);
+}
+
+TEST(SwitchCac, PortRangeChecks) {
+  SwitchCac cac(small_config());
+  const BitStream s = TrafficDescriptor::cbr(0.1).to_bitstream();
+  EXPECT_THROW(cac.check(3, 0, 0, s), std::invalid_argument);
+  EXPECT_THROW(cac.check(0, 2, 0, s), std::invalid_argument);
+  EXPECT_THROW(cac.check(0, 0, 1, s), std::invalid_argument);
+}
+
+// --- multi-priority behaviour ------------------------------------------------
+
+TEST(SwitchCac, HigherPriorityTrafficInflatesLowerPriorityBound) {
+  SwitchCac cac(small_config(2, 64));
+  const BitStream lp = TrafficDescriptor::cbr(0.3).to_bitstream();
+  cac.add(1, 0, 0, 1, lp);
+  const double lp_alone = cac.computed_bound(0, 1).value();
+  cac.add(2, 1, 0, 0, TrafficDescriptor::vbr(0.6, 0.2, 8).to_bitstream());
+  EXPECT_GT(cac.computed_bound(0, 1).value(), lp_alone);
+}
+
+TEST(SwitchCac, LowerPriorityTrafficDoesNotAffectHigher) {
+  SwitchCac cac(small_config(2, 64));
+  cac.add(1, 0, 0, 0, TrafficDescriptor::cbr(0.3).to_bitstream());
+  const double hp_before = cac.computed_bound(0, 0).value();
+  cac.add(2, 1, 0, 1, TrafficDescriptor::vbr(0.6, 0.2, 8).to_bitstream());
+  EXPECT_DOUBLE_EQ(cac.computed_bound(0, 0).value(), hp_before);
+}
+
+TEST(SwitchCac, NewHighPriorityConnectionCheckedAgainstLowerLevels) {
+  // A newcomer at priority 0 must not wreck an existing priority-1
+  // connection's bound: with a tight advertised bound at level 1, the
+  // check fails even though level 0 itself would be fine.
+  SwitchCac cac(small_config(2, 32));
+  cac.set_advertised(0, 1, 1.0);
+  cac.add(1, 0, 0, 1, TrafficDescriptor::cbr(0.4).to_bitstream());
+  ASSERT_LE(cac.computed_bound(0, 1).value(), 1.0);
+  const auto check =
+      cac.check(1, 0, 0, TrafficDescriptor::vbr(0.5, 0.2, 16).to_bitstream());
+  EXPECT_FALSE(check.admitted);
+  EXPECT_NE(check.reason.find("priority 1"), std::string::npos);
+}
+
+TEST(SwitchCac, SplittingPrioritiesHelpsUrgentTraffic) {
+  // The paper's motivation for multi-level support: the urgent stream's
+  // bound with a priority of its own is no worse than FIFO-sharing with
+  // the bursty stream.
+  const BitStream urgent = TrafficDescriptor::cbr(0.2).to_bitstream();
+  const BitStream bursty = TrafficDescriptor::vbr(0.7, 0.1, 12).to_bitstream();
+
+  SwitchCac fifo(small_config(1, 256));
+  fifo.add(1, 0, 0, 0, urgent);
+  fifo.add(2, 1, 0, 0, bursty);
+  const double shared = fifo.computed_bound(0, 0).value();
+
+  SwitchCac prio(small_config(2, 256));
+  prio.add(1, 0, 0, 0, urgent);
+  prio.add(2, 1, 0, 1, bursty);
+  const double own_level = prio.computed_bound(0, 0).value();
+
+  EXPECT_LE(own_level, shared + 1e-9);
+}
+
+TEST(SwitchCac, CheckReportsBoundsForAllPriorities) {
+  SwitchCac cac(small_config(3, 64));
+  cac.add(1, 0, 0, 0, TrafficDescriptor::cbr(0.2).to_bitstream());
+  cac.add(2, 1, 0, 2, TrafficDescriptor::cbr(0.2).to_bitstream());
+  const auto check =
+      cac.check(2, 0, 1, TrafficDescriptor::cbr(0.2).to_bitstream());
+  ASSERT_TRUE(check.admitted);
+  ASSERT_EQ(check.bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(check.bounds[1].value(), check.bound_at_priority.value());
+}
+
+}  // namespace
+}  // namespace rtcac

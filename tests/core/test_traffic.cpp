@@ -1,0 +1,186 @@
+// Unit tests for traffic descriptors and Algorithm 2.1 (Section 2).
+
+#include "core/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rtcac {
+namespace {
+
+TEST(TrafficDescriptor, CbrFactory) {
+  const auto td = TrafficDescriptor::cbr(0.25);
+  EXPECT_TRUE(td.is_cbr());
+  EXPECT_DOUBLE_EQ(td.pcr, 0.25);
+  EXPECT_DOUBLE_EQ(td.scr, 0.25);
+  EXPECT_EQ(td.mbs, 1u);
+  EXPECT_NO_THROW(td.validate());
+}
+
+TEST(TrafficDescriptor, VbrFactory) {
+  const auto td = TrafficDescriptor::vbr(0.5, 0.1, 8);
+  EXPECT_FALSE(td.is_cbr());
+  EXPECT_DOUBLE_EQ(td.average_rate(), 0.1);
+  EXPECT_NO_THROW(td.validate());
+}
+
+TEST(TrafficDescriptor, ValidationRejectsBadParameters) {
+  EXPECT_THROW(TrafficDescriptor::cbr(0.0).validate(), std::invalid_argument);
+  EXPECT_THROW(TrafficDescriptor::cbr(-0.5).validate(), std::invalid_argument);
+  EXPECT_THROW(TrafficDescriptor::cbr(1.5).validate(), std::invalid_argument);
+  EXPECT_THROW(TrafficDescriptor::vbr(0.5, 0.6, 4).validate(),
+               std::invalid_argument);  // SCR > PCR
+  EXPECT_THROW(TrafficDescriptor::vbr(0.5, 0.0, 4).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((TrafficDescriptor{0.5, 0.1, 0}.validate()),
+               std::invalid_argument);
+}
+
+TEST(TrafficDescriptor, CbrBitStreamHasTwoSegments) {
+  // One cell at link rate, then PCR forever.
+  const BitStream s = TrafficDescriptor::cbr(0.25).to_bitstream();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.rate_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(1.0), 0.25);
+}
+
+TEST(TrafficDescriptor, FullRateCbrIsJustTheLink) {
+  const BitStream s = TrafficDescriptor::cbr(1.0).to_bitstream();
+  EXPECT_EQ(s, BitStream::constant(1.0));
+}
+
+TEST(TrafficDescriptor, VbrBitStreamMatchesAlgorithm21) {
+  // S = {(1, 0), (PCR, 1), (SCR, 1 + (MBS-1)/PCR)}.
+  const auto td = TrafficDescriptor::vbr(0.5, 0.1, 4);
+  const BitStream s = td.to_bitstream();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.segments()[0].rate, 1.0);
+  EXPECT_DOUBLE_EQ(s.segments()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.segments()[1].rate, 0.5);
+  EXPECT_DOUBLE_EQ(s.segments()[1].start, 1.0);
+  EXPECT_DOUBLE_EQ(s.segments()[2].rate, 0.1);
+  EXPECT_DOUBLE_EQ(s.segments()[2].start, 1.0 + 3.0 / 0.5);
+}
+
+TEST(TrafficDescriptor, VbrAtFullPeakRateBurstsAtLinkRate) {
+  // PCR == 1: the whole MBS burst rides the first full-rate segment.
+  const auto td = TrafficDescriptor::vbr(1.0, 0.25, 5);
+  const BitStream s = td.to_bitstream();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.segments()[1].start, 5.0);
+  EXPECT_DOUBLE_EQ(s.segments()[1].rate, 0.25);
+}
+
+TEST(TrafficDescriptor, VbrWithScrEqualPcrCollapses) {
+  const auto td = TrafficDescriptor::vbr(0.5, 0.5, 7);
+  const BitStream s = td.to_bitstream();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.segments()[1].rate, 0.5);
+}
+
+TEST(TrafficDescriptor, ExactBitStreamAgreesWithDouble) {
+  const auto td = TrafficDescriptor::vbr(0.5, 0.125, 6);
+  const BitStream d = td.to_bitstream();
+  const ExactBitStream e = td.to_exact_bitstream(64);
+  ASSERT_EQ(d.size(), e.size());
+  for (std::size_t k = 0; k < d.size(); ++k) {
+    EXPECT_DOUBLE_EQ(d.segments()[k].rate, e.segments()[k].rate.to_double());
+    EXPECT_DOUBLE_EQ(d.segments()[k].start,
+                     e.segments()[k].start.to_double());
+  }
+}
+
+TEST(TrafficDescriptor, ExactBitStreamRejectsInexactRates) {
+  const auto td = TrafficDescriptor::cbr(1.0 / 3.0);
+  EXPECT_THROW(td.to_exact_bitstream(64), std::invalid_argument);
+  EXPECT_NO_THROW(td.to_exact_bitstream(3));
+}
+
+TEST(TrafficDescriptor, ToStringNamesTheService) {
+  EXPECT_NE(TrafficDescriptor::cbr(0.5).to_string().find("CBR"),
+            std::string::npos);
+  EXPECT_NE(TrafficDescriptor::vbr(0.5, 0.1, 2).to_string().find("VBR"),
+            std::string::npos);
+}
+
+// --- greedy cell generation (the discrete side of Fig. 1) ------------------
+
+TEST(GreedyCellTimes, CbrIsPeriodic) {
+  const auto times = greedy_cell_times(TrafficDescriptor::cbr(0.25), 5);
+  ASSERT_EQ(times.size(), 5u);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    EXPECT_DOUBLE_EQ(times[k], 4.0 * static_cast<double>(k));
+  }
+}
+
+TEST(GreedyCellTimes, VbrBurstThenSustained) {
+  // MBS=3 at PCR=0.5 (spacing 2), then 1/SCR spacing (Eq. 1 literal).
+  const auto td = TrafficDescriptor::vbr(0.5, 0.1, 3);
+  const auto times = greedy_cell_times(td, 5);
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+  EXPECT_DOUBLE_EQ(times[2], 4.0);
+  EXPECT_DOUBLE_EQ(times[3], 14.0);  // 4 + 1/SCR
+  EXPECT_DOUBLE_EQ(times[4], 24.0);
+}
+
+TEST(GreedyCellTimes, ZeroCountIsEmpty) {
+  EXPECT_TRUE(greedy_cell_times(TrafficDescriptor::cbr(0.5), 0).empty());
+}
+
+TEST(GreedyCellTimes, GreedyScheduleConforms) {
+  for (const auto td :
+       {TrafficDescriptor::cbr(0.2), TrafficDescriptor::vbr(0.5, 0.1, 3),
+        TrafficDescriptor::vbr(1.0, 0.05, 10),
+        TrafficDescriptor::vbr(0.8, 0.7, 2)}) {
+    EXPECT_TRUE(conforms(td, greedy_cell_times(td, 64))) << td.to_string();
+  }
+}
+
+TEST(GreedyCellTimes, EnvelopeDominatesDiscreteCells) {
+  // Every cell, transmitted at link rate over [t_k, t_k + 1), must fit
+  // under the Algorithm 2.1 envelope: sum of per-cell contributions up to
+  // t never exceeds A(t).
+  for (const auto td :
+       {TrafficDescriptor::cbr(0.3), TrafficDescriptor::vbr(0.5, 0.1, 3),
+        TrafficDescriptor::vbr(0.25, 0.2, 6),
+        TrafficDescriptor::vbr(1.0, 0.1, 4)}) {
+    const BitStream envelope = td.to_bitstream();
+    const auto times = greedy_cell_times(td, 48);
+    const double horizon = times.back() + 2;
+    for (double t = 0; t <= horizon; t += 0.125) {
+      double discrete = 0;
+      for (const double tk : times) {
+        discrete += std::clamp(t - tk, 0.0, 1.0);
+      }
+      EXPECT_LE(discrete, envelope.bits_before(t) + 1e-9)
+          << td.to_string() << " t=" << t;
+    }
+  }
+}
+
+TEST(Conforms, DetectsPeakViolation) {
+  const auto td = TrafficDescriptor::cbr(0.5);
+  EXPECT_TRUE(conforms(td, {0.0, 2.0, 4.0}));
+  EXPECT_FALSE(conforms(td, {0.0, 1.0}));  // spacing < 1/PCR
+}
+
+TEST(Conforms, DetectsSustainedViolation) {
+  // MBS=2 at PCR=0.5: two cells 2 apart are fine, a third at peak spacing
+  // is not (tokens exhausted; must wait 1/SCR).
+  const auto td = TrafficDescriptor::vbr(0.5, 0.1, 2);
+  EXPECT_TRUE(conforms(td, {0.0, 2.0}));
+  EXPECT_FALSE(conforms(td, {0.0, 2.0, 4.0}));
+  EXPECT_TRUE(conforms(td, {0.0, 2.0, 12.0}));
+}
+
+TEST(Conforms, EmptyAndUnsortedInputs) {
+  const auto td = TrafficDescriptor::cbr(0.5);
+  EXPECT_TRUE(conforms(td, {}));
+  EXPECT_FALSE(conforms(td, {2.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,200 @@
+// End-to-end workflow tests: whole-system scenarios exercising topology,
+// signaling, admission, teardown, failover and baselines together.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/peak_allocation.h"
+#include "net/routing.h"
+#include "net/signaling.h"
+#include "rtnet/cyclic.h"
+#include "rtnet/rtnet.h"
+#include "sim/simulator.h"
+
+namespace rtcac {
+namespace {
+
+TEST(EndToEnd, CyclicClassesFitOnRtnetWithDeadlines) {
+  // Each of Table 1's classes, carried as one broadcast CBR connection per
+  // ring node, fits a 16-node RTnet within its own deadline.
+  RtnetConfig cfg;
+  cfg.ring_nodes = 16;
+  cfg.terminals_per_node = 1;
+  cfg.dual_ring = false;
+  const Rtnet net(cfg);
+  ConnectionManager::Params params;
+  params.advertised_bound = 32;
+  params.guarantee = GuaranteeMode::kComputed;
+  ConnectionManager manager(net.topology(), params);
+
+  for (const auto& cls : standard_cyclic_classes()) {
+    // The class's shared memory is split evenly across the 16 nodes.
+    QosRequest request;
+    request.traffic = cls.cbr_contract(1.0 / 16.0);
+    request.deadline = cls.deadline_cell_times();
+    for (std::size_t n = 0; n < 16; ++n) {
+      const auto result = manager.setup(request, net.broadcast_route(n, 0));
+      ASSERT_TRUE(result.accepted)
+          << cls.name << " node " << n << ": " << result.reason;
+    }
+  }
+  // And the final computed bounds still meet the tightest deadline.
+  for (const auto& [id, rec] : manager.connections()) {
+    const auto bound = manager.current_e2e_bound(id);
+    ASSERT_TRUE(bound.has_value());
+    EXPECT_LE(*bound, rec.request.deadline);
+  }
+}
+
+TEST(EndToEnd, SignalingOverRtnetRing) {
+  RtnetConfig cfg;
+  cfg.ring_nodes = 8;
+  cfg.terminals_per_node = 2;
+  cfg.dual_ring = false;
+  const Rtnet net(cfg);
+  ConnectionManager::Params params;
+  params.advertised_bound = 32;
+  ConnectionManager manager(net.topology(), params);
+  SignalingEngine engine(manager);
+
+  std::vector<ConnectionId> ids;
+  for (std::size_t n = 0; n < 8; ++n) {
+    for (std::size_t t = 0; t < 2; ++t) {
+      QosRequest request;
+      request.traffic = TrafficDescriptor::cbr(0.02);
+      ids.push_back(engine.initiate(request, net.broadcast_route(n, t)));
+    }
+  }
+  engine.run();
+  for (const ConnectionId id : ids) {
+    ASSERT_TRUE(engine.outcome(id).has_value());
+    EXPECT_TRUE(engine.outcome(id)->connected)
+        << engine.outcome(id)->reason;
+  }
+  EXPECT_EQ(manager.connection_count(), ids.size());
+  // Tear half of them down and re-admit.
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(manager.teardown(ids[i]));
+  }
+  QosRequest request;
+  request.traffic = TrafficDescriptor::cbr(0.02);
+  const ConnectionId again =
+      engine.initiate(request, net.broadcast_route(0, 0));
+  engine.run();
+  EXPECT_TRUE(engine.outcome(again)->connected);
+}
+
+TEST(EndToEnd, RingFailoverReroutesAndReadmits) {
+  // A clockwise link fails; the wrap-around (ccw) route still admits the
+  // connection, as RTnet's dual ring promises.
+  RtnetConfig cfg;
+  cfg.ring_nodes = 6;
+  cfg.terminals_per_node = 1;
+  cfg.dual_ring = true;
+  const Rtnet net(cfg);
+  ConnectionManager::Params params;
+  params.advertised_bound = 32;
+  ConnectionManager manager(net.topology(), params);
+
+  QosRequest request;
+  request.traffic = TrafficDescriptor::cbr(0.2);
+
+  // Primary route 0 -> 3 clockwise crosses cw links 0, 1, 2.
+  const Route primary = net.unicast_route(0, 0, 3);
+  const auto first = manager.setup(request, primary);
+  ASSERT_TRUE(first.accepted);
+
+  // Link 1 "fails": routing must find a path avoiding it, and admission
+  // must succeed on the counter-rotating ring.
+  const LinkId failed = net.cw_link(1);
+  const auto reroute = shortest_route_avoiding(
+      net.topology(), net.terminal(0, 0), net.ring_node(3), {{failed}});
+  ASSERT_TRUE(reroute.has_value());
+  for (const LinkId l : *reroute) {
+    EXPECT_NE(l, failed);
+  }
+  ASSERT_TRUE(manager.teardown(first.id));
+  const auto second = manager.setup(request, *reroute);
+  EXPECT_TRUE(second.accepted) << second.reason;
+}
+
+TEST(EndToEnd, PeakAllocationAdmitsWhatBitStreamRejects) {
+  // The paper's Section 1 argument, executed: a workload that peak
+  // allocation happily admits but whose worst case overflows the 32-cell
+  // FIFO — the bit-stream CAC refuses it.
+  Topology topo;
+  const std::size_t kTerminals = 40;
+  const NodeId sw = topo.add_switch();
+  const NodeId dst = topo.add_terminal();
+  std::vector<LinkId> access;
+  for (std::size_t i = 0; i < kTerminals; ++i) {
+    access.push_back(topo.add_link(topo.add_terminal(), sw));
+  }
+  const LinkId out = topo.add_link(sw, dst);
+
+  PeakAllocationCac peak(topo);
+  ConnectionManager::Params params;
+  params.advertised_bound = 32;
+  ConnectionManager exact(topo, params);
+
+  const auto td = TrafficDescriptor::cbr(1.0 / kTerminals);
+  std::size_t peak_admitted = 0;
+  std::size_t exact_admitted = 0;
+  for (std::size_t i = 0; i < kTerminals; ++i) {
+    if (peak.setup(td, {access[i], out}).accepted) ++peak_admitted;
+    QosRequest request;
+    request.traffic = td;
+    if (exact.setup(request, Route{access[i], out}).accepted) {
+      ++exact_admitted;
+    }
+  }
+  EXPECT_EQ(peak_admitted, kTerminals);  // sum(PCR) == 1 exactly
+  EXPECT_LT(exact_admitted, kTerminals);  // 39 simultaneous cells > 32 FIFO
+
+  // And the simulator confirms the peak-allocated set really overflows.
+  SimNetwork sim(topo, SimNetwork::Options{1, 32});
+  for (std::size_t i = 0; i < kTerminals; ++i) {
+    sim.install(100 + i, Route{access[i], out}, 0,
+                std::make_unique<GreedySourceScheduler>(td));
+  }
+  sim.run_until(5000);
+  EXPECT_GT(sim.total_drops(), 0u);
+}
+
+TEST(EndToEnd, AdvertisedModeSurvivesLaterAdmissions) {
+  // Under GuaranteeMode::kAdvertised a connection's promise (sum of
+  // advertised bounds) can never be invalidated by later setups: computed
+  // bounds stay below advertised at every hop, by construction of the
+  // admission test.
+  RtnetConfig cfg;
+  cfg.ring_nodes = 4;
+  cfg.terminals_per_node = 4;
+  cfg.dual_ring = false;
+  const Rtnet net(cfg);
+  ConnectionManager::Params params;
+  params.advertised_bound = 32;
+  params.guarantee = GuaranteeMode::kAdvertised;
+  ConnectionManager manager(net.topology(), params);
+
+  QosRequest request;
+  request.traffic = TrafficDescriptor::cbr(0.03);
+  request.deadline = 3 * 32.0;
+
+  std::vector<ConnectionId> admitted;
+  for (std::size_t n = 0; n < 4; ++n) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      const auto result = manager.setup(request, net.broadcast_route(n, t));
+      if (result.accepted) admitted.push_back(result.id);
+    }
+  }
+  ASSERT_FALSE(admitted.empty());
+  for (const ConnectionId id : admitted) {
+    const auto bound = manager.current_e2e_bound(id);
+    ASSERT_TRUE(bound.has_value());
+    EXPECT_LE(*bound, 3 * 32.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rtcac

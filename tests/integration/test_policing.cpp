@@ -1,0 +1,134 @@
+// Usage parameter control: the admission guarantees only cover sources
+// that honor their contract; these tests show (a) a violator can wreck a
+// conforming connection's guarantee when nothing polices it, and (b) with
+// ingress UPC the violator's excess is discarded at the edge and every
+// conforming connection keeps its analytic bound.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/connection_manager.h"
+#include "sim/simulator.h"
+
+namespace rtcac {
+namespace {
+
+struct Shared {
+  Topology topo;
+  LinkId access_good, access_bad, out;
+  NodeId sw;
+
+  Shared() {
+    const NodeId good = topo.add_terminal("good");
+    const NodeId bad = topo.add_terminal("bad");
+    sw = topo.add_switch();
+    const NodeId dst = topo.add_terminal("dst");
+    access_good = topo.add_link(good, sw);
+    access_bad = topo.add_link(bad, sw);
+    out = topo.add_link(sw, dst);
+  }
+};
+
+// Both connections are *admitted* with the well-behaved contract, but the
+// "bad" source actually transmits at more than 6x its contracted rate.
+constexpr double kContractPcr = 0.125;
+const TrafficDescriptor kContract = TrafficDescriptor::cbr(kContractPcr);
+
+std::unique_ptr<SourceScheduler> violator() {
+  // Period 1: full link rate, flagrantly above CBR(0.125)'s spacing of 8.
+  return std::make_unique<PeriodicSourceScheduler>(1);
+}
+
+double admitted_bound(ConnectionManager& manager, const Shared& net,
+                      ConnectionId* good_id) {
+  QosRequest request;
+  request.traffic = kContract;
+  const auto good =
+      manager.setup(request, Route{net.access_good, net.out});
+  const auto bad = manager.setup(request, Route{net.access_bad, net.out});
+  EXPECT_TRUE(good.accepted);
+  EXPECT_TRUE(bad.accepted);
+  *good_id = good.id;
+  return manager.current_e2e_bound(good.id).value();
+}
+
+TEST(Policing, ViolatorBreaksConformingGuaranteeWithoutUpc) {
+  Shared net;
+  ConnectionManager::Params params;
+  params.advertised_bound = 16;
+  ConnectionManager manager(net.topo, params);
+  ConnectionId good_id = 0;
+  const double bound = admitted_bound(manager, net, &good_id);
+
+  SimNetwork sim(net.topo, SimNetwork::Options{1, 0});  // unbounded queues
+  sim.install(good_id, Route{net.access_good, net.out}, 0,
+              std::make_unique<GreedySourceScheduler>(kContract));
+  sim.install(999, Route{net.access_bad, net.out}, 0, violator());
+  sim.run_until(4000);
+
+  // The conforming connection's measured delay blows straight through its
+  // "guaranteed" bound: admission control alone cannot protect it.
+  EXPECT_GT(sim.sink(good_id).queue_delay().max(), bound);
+}
+
+TEST(Policing, UpcRestoresGuaranteeAndChargesTheViolator) {
+  Shared net;
+  ConnectionManager::Params params;
+  params.advertised_bound = 16;
+  ConnectionManager manager(net.topo, params);
+  ConnectionId good_id = 0;
+  const double bound = admitted_bound(manager, net, &good_id);
+
+  SimNetwork sim(net.topo, SimNetwork::Options{1, 17});
+  sim.install_policed(good_id, Route{net.access_good, net.out}, 0,
+                      std::make_unique<GreedySourceScheduler>(kContract),
+                      kContract);
+  sim.install_policed(999, Route{net.access_bad, net.out}, 0, violator(),
+                      kContract);
+  sim.run_until(4000);
+
+  // The violator's excess dies at the edge...
+  EXPECT_GT(sim.policed_cells(999), 1000u);
+  // ...it still gets its contracted share through...
+  EXPECT_GT(sim.sink(999).delivered(), 400u);
+  // ...and the conforming connection keeps its analytic guarantee.
+  EXPECT_EQ(sim.policed_cells(good_id), 0u);
+  EXPECT_LE(sim.sink(good_id).queue_delay().max(), bound + 1e-9);
+  EXPECT_EQ(sim.total_drops(), 0u);
+}
+
+TEST(Policing, ConformingSourcesAreNeverPoliced) {
+  // Greedy, periodic and random conforming sources all pass UPC intact,
+  // including when two share one access link (serialization only delays
+  // cells, which never breaks GCRA conformance).
+  Topology topo;
+  const NodeId term = topo.add_terminal();
+  const NodeId sw = topo.add_switch();
+  const NodeId dst = topo.add_terminal();
+  const LinkId access = topo.add_link(term, sw);
+  const LinkId out = topo.add_link(sw, dst);
+
+  const auto vbr = TrafficDescriptor::vbr(0.5, 0.05, 6);
+  SimNetwork sim(topo, SimNetwork::Options{1, 0});
+  sim.install_policed(1, Route{access, out}, 0,
+                      std::make_unique<GreedySourceScheduler>(vbr), vbr);
+  sim.install_policed(2, Route{access, out}, 0,
+                      std::make_unique<RandomOnOffSourceScheduler>(vbr, 7),
+                      vbr);
+  sim.run_until(20000);
+  EXPECT_EQ(sim.policed_cells(1), 0u);
+  EXPECT_EQ(sim.policed_cells(2), 0u);
+  EXPECT_GT(sim.sink(1).delivered(), 100u);
+  EXPECT_GT(sim.sink(2).delivered(), 100u);
+}
+
+TEST(Policing, AccessorValidation) {
+  Shared net;
+  SimNetwork sim(net.topo, SimNetwork::Options{1, 0});
+  EXPECT_THROW(static_cast<void>(sim.policed_cells(42)),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,228 @@
+// Unit tests for network-level admission control (Section 4.3 end to end).
+
+#include "net/connection_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace rtcac {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// term0, term1 -> sw0 -> sw1 -> sw2 (three queueing points per route).
+struct Chain {
+  Topology topo;
+  NodeId term0, term1, sw0, sw1, sw2;
+  LinkId acc0, acc1, l01, l12;
+
+  Chain() {
+    term0 = topo.add_terminal();
+    term1 = topo.add_terminal();
+    sw0 = topo.add_switch();
+    sw1 = topo.add_switch();
+    sw2 = topo.add_switch();
+    acc0 = topo.add_link(term0, sw0);
+    acc1 = topo.add_link(term1, sw0);
+    l01 = topo.add_link(sw0, sw1);
+    l12 = topo.add_link(sw1, sw2);
+  }
+
+  [[nodiscard]] Route route0() const { return {acc0, l01, l12}; }
+  [[nodiscard]] Route route1() const { return {acc1, l01, l12}; }
+
+  [[nodiscard]] ConnectionManager::Params params(double bound = 32) const {
+    ConnectionManager::Params p;
+    p.priorities = 1;
+    p.advertised_bound = bound;
+    return p;
+  }
+};
+
+QosRequest cbr_request(double pcr, double deadline = kInf) {
+  QosRequest r;
+  r.traffic = TrafficDescriptor::cbr(pcr);
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(ConnectionManager, QueueingPointsSkipTerminals) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  const auto hops = mgr.queueing_points(c.route0());
+  ASSERT_EQ(hops.size(), 2u);  // sw0 and sw1 transmit; terminal does not
+  EXPECT_EQ(hops[0].node, c.sw0);
+  EXPECT_EQ(hops[0].in_port, c.topo.in_port(c.acc0));
+  EXPECT_EQ(hops[1].node, c.sw1);
+  EXPECT_EQ(hops[1].in_port, c.topo.in_port(c.l01));
+}
+
+TEST(ConnectionManager, RouteStartingAtSwitchUsesLocalPort) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  const auto hops = mgr.queueing_points(Route{c.l01, c.l12});
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0].in_port, c.topo.local_in_port(c.sw0));
+}
+
+TEST(ConnectionManager, AdmitsFeasibleConnection) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  const auto result = mgr.setup(cbr_request(0.5), c.route0());
+  EXPECT_TRUE(result.accepted) << result.reason;
+  EXPECT_NE(result.id, kInvalidConnection);
+  EXPECT_EQ(result.hop_bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.e2e_advertised, 64.0);
+  EXPECT_EQ(mgr.connection_count(), 1u);
+}
+
+TEST(ConnectionManager, ArrivalStreamsAccumulateCdvAlongRoute) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  const auto traffic = TrafficDescriptor::cbr(0.25);
+  const auto hops = mgr.queueing_points(c.route0());
+  const BitStream at0 = mgr.arrival_at_hop(traffic, hops, 0, 0);
+  const BitStream at1 = mgr.arrival_at_hop(traffic, hops, 1, 0);
+  EXPECT_EQ(at0, traffic.to_bitstream());  // no upstream queueing yet
+  EXPECT_TRUE(at1.dominates(at0));
+  EXPECT_GT(at1.bits_before(10.0), at0.bits_before(10.0));
+}
+
+TEST(ConnectionManager, RejectsOverload) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  ASSERT_TRUE(mgr.setup(cbr_request(0.7), c.route0()).accepted);
+  const auto result = mgr.setup(cbr_request(0.6), c.route1());
+  EXPECT_FALSE(result.accepted);
+  EXPECT_TRUE(result.rejecting_node.has_value());
+  EXPECT_EQ(*result.rejecting_node, c.sw0);
+  EXPECT_EQ(mgr.connection_count(), 1u);
+}
+
+TEST(ConnectionManager, RollbackLeavesNoResidue) {
+  // Advertised-mode deadline failure is only detected after every hop has
+  // committed, so it exercises the full rollback path.
+  Chain c;
+  auto params = c.params();
+  params.guarantee = GuaranteeMode::kAdvertised;
+  ConnectionManager mgr(c.topo, params);
+  const auto reject = mgr.setup(cbr_request(0.5, /*deadline=*/10.0),
+                                c.route0());
+  ASSERT_FALSE(reject.accepted);  // advertised 64 > deadline 10
+  EXPECT_TRUE(reject.hop_bounds.empty());
+  for (const NodeId sw : {c.sw0, c.sw1}) {
+    EXPECT_EQ(mgr.switch_cac(sw).connection_count(), 0u);
+    EXPECT_TRUE(mgr.switch_cac(sw).state_consistent());
+  }
+  EXPECT_EQ(mgr.connection_count(), 0u);
+}
+
+TEST(ConnectionManager, DeadlineCheckedUnderComputedMode) {
+  Chain c;
+  auto params = c.params();
+  params.guarantee = GuaranteeMode::kComputed;
+  ConnectionManager mgr(c.topo, params);
+  // Lone CBR connection: computed bounds are ~0, so even a tight deadline
+  // passes.
+  EXPECT_TRUE(mgr.setup(cbr_request(0.5, 1.0), c.route0()).accepted);
+}
+
+TEST(ConnectionManager, DeadlineCheckedUnderAdvertisedMode) {
+  Chain c;
+  auto params = c.params();
+  params.guarantee = GuaranteeMode::kAdvertised;
+  ConnectionManager mgr(c.topo, params);
+  // Advertised sum is 64 regardless of load: deadline 1.0 must fail...
+  EXPECT_FALSE(mgr.setup(cbr_request(0.5, 1.0), c.route0()).accepted);
+  // ...and deadline 64 passes.
+  EXPECT_TRUE(mgr.setup(cbr_request(0.5, 64.0), c.route0()).accepted);
+}
+
+TEST(ConnectionManager, TeardownRestoresCapacity) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  const auto first = mgr.setup(cbr_request(0.7), c.route0());
+  ASSERT_TRUE(first.accepted);
+  ASSERT_FALSE(mgr.setup(cbr_request(0.6), c.route1()).accepted);
+  EXPECT_TRUE(mgr.teardown(first.id));
+  EXPECT_TRUE(mgr.setup(cbr_request(0.6), c.route1()).accepted);
+  EXPECT_FALSE(mgr.teardown(first.id));  // already gone
+}
+
+TEST(ConnectionManager, CurrentE2eBoundTracksLoad) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  const auto first = mgr.setup(cbr_request(0.5), c.route0());
+  ASSERT_TRUE(first.accepted);
+  const double alone = mgr.current_e2e_bound(first.id).value();
+  const auto second = mgr.setup(cbr_request(0.4), c.route1());
+  ASSERT_TRUE(second.accepted);
+  const double contended = mgr.current_e2e_bound(first.id).value();
+  EXPECT_GE(contended, alone);
+  EXPECT_GT(contended, 0.0);
+  EXPECT_FALSE(mgr.current_e2e_bound(9999).has_value());
+}
+
+TEST(ConnectionManager, SetupBoundsNeverExceedAdvertised) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params(8.0));
+  for (int i = 0; i < 8; ++i) {
+    const auto result = mgr.setup(cbr_request(0.1), c.route0());
+    if (!result.accepted) break;
+    for (const double b : result.hop_bounds) {
+      EXPECT_LE(b, 8.0 + 1e-9);
+    }
+  }
+}
+
+TEST(ConnectionManager, SoftCdvAdmitsMoreThanHard) {
+  // With soft CDV accumulation the distorted streams at hop 2 are milder,
+  // so the computed bound there is no larger.
+  Chain c;
+  auto hard_params = c.params();
+  auto soft_params = c.params();
+  soft_params.cdv_policy = CdvPolicy::kSoft;
+  ConnectionManager hard(c.topo, hard_params);
+  ConnectionManager soft(c.topo, soft_params);
+  for (auto* mgr : {&hard, &soft}) {
+    ASSERT_TRUE(mgr->setup(cbr_request(0.45), c.route0()).accepted);
+    ASSERT_TRUE(mgr->setup(cbr_request(0.45), c.route1()).accepted);
+  }
+  const auto port = c.topo.out_port(c.l12);
+  const double hard_bound =
+      hard.switch_cac(c.sw1).computed_bound(port, 0).value();
+  const double soft_bound =
+      soft.switch_cac(c.sw1).computed_bound(port, 0).value();
+  EXPECT_LE(soft_bound, hard_bound);
+}
+
+TEST(ConnectionManager, InvalidRequests) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  QosRequest bad = cbr_request(0.5);
+  bad.priority = 5;
+  const auto result = mgr.setup(bad, c.route0());
+  EXPECT_FALSE(result.accepted);
+  EXPECT_NE(result.reason.find("priority"), std::string::npos);
+  EXPECT_THROW(mgr.setup(cbr_request(2.0), c.route0()),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(mgr.switch_cac(c.term0)),
+               std::invalid_argument);
+}
+
+TEST(ConnectionManager, AdoptAndAllocateSupportSignaling) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  const ConnectionId id = mgr.allocate_id();
+  ConnectionManager::ConnectionRecord rec;
+  rec.request = cbr_request(0.1);
+  rec.route = c.route0();
+  rec.hops = mgr.queueing_points(c.route0());
+  mgr.adopt(id, rec);
+  EXPECT_EQ(mgr.connection_count(), 1u);
+  EXPECT_THROW(mgr.adopt(id, rec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtcac

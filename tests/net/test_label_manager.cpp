@@ -1,0 +1,232 @@
+// Unit tests for the VPI/VCI label plane: allocator, switching table,
+// network-wide label management, and the labeled data path in the
+// simulator.
+
+#include "net/label_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "sim/simulator.h"
+
+namespace rtcac {
+namespace {
+
+TEST(VcLabel, OrderingHashingPrinting) {
+  const VcLabel a{0, 32};
+  const VcLabel b{0, 33};
+  const VcLabel c{1, 32};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (VcLabel{0, 32}));
+  EXPECT_NE(std::hash<VcLabel>{}(a), std::hash<VcLabel>{}(b));
+  EXPECT_EQ(a.to_string(), "0/32");
+}
+
+TEST(LabelAllocator, HandsOutDistinctLabelsPerPort) {
+  LabelAllocator alloc(2);
+  std::set<VcLabel> seen;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(seen.insert(alloc.allocate(0)).second);
+  }
+  EXPECT_EQ(alloc.allocated(0), 100u);
+  // Port 1 is an independent space: the same labels reappear there.
+  EXPECT_EQ(alloc.allocate(1), (VcLabel{0, kFirstUserVci}));
+}
+
+TEST(LabelAllocator, SkipsReservedVcis) {
+  LabelAllocator alloc(1);
+  EXPECT_GE(alloc.allocate(0).vci, kFirstUserVci);
+}
+
+TEST(LabelAllocator, ReleaseEnablesReuse) {
+  LabelAllocator alloc(1);
+  const VcLabel first = alloc.allocate(0);
+  (void)alloc.allocate(0);
+  EXPECT_TRUE(alloc.release(0, first));
+  EXPECT_EQ(alloc.allocate(0), first);
+  EXPECT_EQ(alloc.allocated(0), 2u);
+}
+
+TEST(LabelAllocator, VciWrapAdvancesVpi) {
+  LabelAllocator alloc(1);
+  VcLabel label{};
+  for (int i = 0; i < 0x10000 - kFirstUserVci + 5; ++i) {
+    label = alloc.allocate(0);
+  }
+  EXPECT_EQ(label.vpi, 1);
+}
+
+TEST(LabelAllocator, Validation) {
+  EXPECT_THROW(LabelAllocator(0), std::invalid_argument);
+  LabelAllocator alloc(1);
+  EXPECT_THROW(alloc.allocate(1), std::invalid_argument);
+  EXPECT_FALSE(alloc.release(0, VcLabel{0, 99}));  // nothing live
+}
+
+TEST(LabelSwitchingTable, InstallLookupRemove) {
+  LabelSwitchingTable table;
+  LabelSwitchingTable::Entry entry;
+  entry.out_port = 2;
+  entry.out_label = VcLabel{0, 77};
+  entry.connection = 9;
+  EXPECT_TRUE(table.install(1, VcLabel{0, 40}, entry));
+  EXPECT_FALSE(table.install(1, VcLabel{0, 40}, entry));  // collision
+  const auto hit = table.lookup(1, VcLabel{0, 40});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->out_port, 2u);
+  EXPECT_EQ(hit->out_label, (VcLabel{0, 77}));
+  EXPECT_EQ(hit->connection, 9u);
+  // Same label on a different port is a different key.
+  EXPECT_FALSE(table.lookup(0, VcLabel{0, 40}).has_value());
+  EXPECT_TRUE(table.remove(1, VcLabel{0, 40}));
+  EXPECT_FALSE(table.remove(1, VcLabel{0, 40}));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+struct Chain {
+  Topology topo;
+  NodeId term, sw0, sw1, dst;
+  LinkId access, mid, out;
+
+  Chain() {
+    term = topo.add_terminal();
+    sw0 = topo.add_switch();
+    sw1 = topo.add_switch();
+    dst = topo.add_terminal();
+    access = topo.add_link(term, sw0);
+    mid = topo.add_link(sw0, sw1);
+    out = topo.add_link(sw1, dst);
+  }
+
+  [[nodiscard]] Route route() const { return {access, mid, out}; }
+};
+
+TEST(LabelManager, EstablishesPerHopTranslations) {
+  Chain c;
+  LabelManager manager(c.topo);
+  const LabelPath path = manager.establish(1, c.route());
+  // Two switches translate (sw0 and sw1); the source stamps the label
+  // sw0 allocated on the access link.
+  ASSERT_EQ(path.bindings.size(), 2u);
+  EXPECT_EQ(path.bindings[0].node, c.sw0);
+  EXPECT_EQ(path.bindings[0].in_label, path.initial);
+  EXPECT_EQ(path.bindings[1].node, c.sw1);
+  EXPECT_EQ(path.bindings[0].out_label, path.bindings[1].in_label);
+  EXPECT_EQ(path.bindings[1].out_label, path.egress);
+  // The tables now answer data-path lookups.
+  const auto hop0 =
+      manager.table(c.sw0).lookup(path.bindings[0].in_port, path.initial);
+  ASSERT_TRUE(hop0.has_value());
+  EXPECT_EQ(hop0->out_label, path.bindings[0].out_label);
+  EXPECT_EQ(manager.connection_count(), 1u);
+  EXPECT_EQ(manager.path(1).initial, path.initial);
+}
+
+TEST(LabelManager, ConnectionsOnSameLinkGetDistinctLabels) {
+  Chain c;
+  LabelManager manager(c.topo);
+  const LabelPath a = manager.establish(1, Route{c.mid, c.out});
+  const LabelPath b = manager.establish(2, Route{c.mid, c.out});
+  EXPECT_NE(a.initial, b.initial);
+  EXPECT_NE(a.egress, b.egress);
+}
+
+TEST(LabelManager, ReleaseFreesLabelsAndTables) {
+  Chain c;
+  LabelManager manager(c.topo);
+  const LabelPath path = manager.establish(1, c.route());
+  EXPECT_TRUE(manager.release(1));
+  EXPECT_FALSE(manager.release(1));
+  EXPECT_FALSE(manager.table(c.sw0)
+                   .lookup(path.bindings[0].in_port, path.initial)
+                   .has_value());
+  // Labels are reusable: a new connection gets the released ones back.
+  const LabelPath again = manager.establish(2, c.route());
+  EXPECT_EQ(again.initial, path.initial);
+}
+
+TEST(LabelManager, DuplicateIdThrows) {
+  Chain c;
+  LabelManager manager(c.topo);
+  (void)manager.establish(1, c.route());
+  EXPECT_THROW(manager.establish(1, c.route()), std::invalid_argument);
+}
+
+// --- labeled data path in the simulator -------------------------------------
+
+TEST(LabelManager, LabeledDataPathDeliversAndTranslates) {
+  Chain c;
+  LabelManager manager(c.topo);
+  const LabelPath path = manager.establish(1, c.route());
+
+  SimNetwork sim(c.topo, SimNetwork::Options{1, 0});
+  sim.install(1, c.route(), 0,
+              std::make_unique<PeriodicSourceScheduler>(5, 0, 20));
+  sim.attach_labels(1, path);
+
+  std::vector<VcLabel> seen;
+  sim.set_delivery_hook(1, [&](const Cell& cell, Tick) {
+    seen.push_back(cell.label);
+  });
+  sim.run_until(400);
+
+  EXPECT_EQ(sim.sink(1).delivered(), 20u);
+  EXPECT_EQ(sim.label_misroutes(), 0u);
+  ASSERT_FALSE(seen.empty());
+  for (const VcLabel& label : seen) {
+    EXPECT_EQ(label, path.egress);  // every cell was rewritten twice
+  }
+}
+
+TEST(LabelManager, CorruptedLabelPathDropsCells) {
+  Chain c;
+  LabelManager manager(c.topo);
+  LabelPath path = manager.establish(1, c.route());
+  path.bindings[1].in_label = VcLabel{7, 700};  // sabotage sw1's entry
+
+  SimNetwork sim(c.topo, SimNetwork::Options{1, 0});
+  sim.install(1, c.route(), 0,
+              std::make_unique<PeriodicSourceScheduler>(5, 0, 10));
+  sim.attach_labels(1, path);
+  sim.run_until(200);
+
+  EXPECT_EQ(sim.sink(1).delivered(), 0u);  // all dropped at sw1
+  EXPECT_EQ(sim.label_misroutes(), 10u);
+}
+
+TEST(LabelManager, ManyConnectionsKeepLabelsSeparated) {
+  // Several connections share every link; each must see only its own
+  // egress label and all cells must arrive (no cross-talk, no drops).
+  Topology topo;
+  const NodeId sw0 = topo.add_switch();
+  const NodeId sw1 = topo.add_switch();
+  const LinkId mid = topo.add_link(sw0, sw1);
+  std::vector<LinkId> access;
+  std::vector<LinkId> delivery;
+  for (int i = 0; i < 6; ++i) {
+    access.push_back(topo.add_link(topo.add_terminal(), sw0));
+    delivery.push_back(topo.add_link(sw1, topo.add_terminal()));
+  }
+  LabelManager manager(topo);
+  SimNetwork sim(topo, SimNetwork::Options{1, 0});
+  std::vector<LabelPath> paths;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const Route route{access[i], mid, delivery[i]};
+    paths.push_back(manager.establish(1 + i, route));
+    sim.install(1 + i, route, 0,
+                std::make_unique<PeriodicSourceScheduler>(
+                    7, static_cast<Tick>(i), 30));
+    sim.attach_labels(1 + i, paths.back());
+  }
+  sim.run_until(600);
+  EXPECT_EQ(sim.label_misroutes(), 0u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(sim.sink(1 + i).delivered(), 30u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace rtcac

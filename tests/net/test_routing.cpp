@@ -1,0 +1,109 @@
+// Unit tests for route selection.
+
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace rtcac {
+namespace {
+
+struct Diamond {
+  Topology topo;
+  NodeId a, b, c, d;
+  LinkId ab, ac, bd, cd, ad;
+
+  Diamond() {
+    a = topo.add_switch("a");
+    b = topo.add_switch("b");
+    c = topo.add_switch("c");
+    d = topo.add_switch("d");
+    ab = topo.add_link(a, b);
+    ac = topo.add_link(a, c, 10);
+    bd = topo.add_link(b, d);
+    cd = topo.add_link(c, d);
+    ad = topo.add_link(a, d, 50);  // direct but slow
+  }
+};
+
+TEST(Routing, PrefersFewestHops) {
+  Diamond g;
+  const auto route = shortest_route(g.topo, g.a, g.d);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(*route, Route{g.ad});  // 1 hop beats 2 hops despite propagation
+}
+
+TEST(Routing, BreaksHopTiesByPropagation) {
+  Diamond g;
+  const auto route = shortest_route(g.topo, g.a, g.c);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(*route, Route{g.ac});
+  // a->d has routes ab+bd (prop 0) and ac+cd (prop 10) at 2 hops; with the
+  // 1-hop ad removed, the zero-propagation one wins.
+  const LinkId banned[] = {g.ad};
+  const auto two_hop = shortest_route_avoiding(g.topo, g.a, g.d, banned);
+  ASSERT_TRUE(two_hop.has_value());
+  EXPECT_EQ(*two_hop, (Route{g.ab, g.bd}));
+}
+
+TEST(Routing, AvoidsExcludedLinks) {
+  Diamond g;
+  const LinkId banned[] = {g.ad, g.ab};
+  const auto route = shortest_route_avoiding(g.topo, g.a, g.d, banned);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(*route, (Route{g.ac, g.cd}));
+}
+
+TEST(Routing, UnreachableIsNullopt) {
+  Topology topo;
+  const NodeId a = topo.add_switch();
+  const NodeId b = topo.add_switch();
+  EXPECT_FALSE(shortest_route(topo, a, b).has_value());
+  const NodeId c = topo.add_switch();
+  topo.add_link(a, c);
+  const LinkId only = topo.find_link(a, c).value();
+  const LinkId banned[] = {only};
+  EXPECT_FALSE(shortest_route_avoiding(topo, a, c, banned).has_value());
+}
+
+TEST(Routing, SelfRouteIsEmpty) {
+  Topology topo;
+  const NodeId a = topo.add_switch();
+  EXPECT_EQ(shortest_route(topo, a, a).value(), Route{});
+}
+
+TEST(Routing, BadNodesAreNullopt) {
+  Topology topo;
+  EXPECT_FALSE(shortest_route(topo, 0, 1).has_value());
+}
+
+TEST(Routing, TerminalsDoNotTransit) {
+  // a -> t -> b exists structurally, but terminals cannot forward.
+  Topology topo;
+  const NodeId a = topo.add_switch();
+  const NodeId t = topo.add_terminal();
+  const NodeId b = topo.add_switch();
+  topo.add_link(a, t);
+  topo.add_link(t, b);
+  EXPECT_FALSE(shortest_route(topo, a, b).has_value());
+  // But a route *starting* at the terminal uses its access link.
+  const auto from_term = shortest_route(topo, t, b);
+  ASSERT_TRUE(from_term.has_value());
+  EXPECT_EQ(from_term->size(), 1u);
+}
+
+TEST(Routing, FindsRingPath) {
+  Topology topo;
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+  for (int i = 0; i < 6; ++i) nodes.push_back(topo.add_switch());
+  for (int i = 0; i < 6; ++i) {
+    links.push_back(topo.add_link(nodes[i], nodes[(i + 1) % 6]));
+  }
+  const auto route = shortest_route(topo, nodes[1], nodes[5]);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->size(), 4u);  // 1 -> 2 -> 3 -> 4 -> 5
+  EXPECT_EQ(topo.route_nodes(*route).back(), nodes[5]);
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,80 @@
+// Unit tests for the network graph model.
+
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace rtcac {
+namespace {
+
+TEST(Topology, NodesAndKinds) {
+  Topology topo;
+  const NodeId sw = topo.add_switch("core");
+  const NodeId term = topo.add_terminal();
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.node(sw).kind, NodeKind::kSwitch);
+  EXPECT_EQ(topo.node(sw).name, "core");
+  EXPECT_EQ(topo.node(term).kind, NodeKind::kTerminal);
+  EXPECT_FALSE(topo.node(term).name.empty());  // auto-named
+  EXPECT_THROW(static_cast<void>(topo.node(99)), std::invalid_argument);
+}
+
+TEST(Topology, LinksAndPorts) {
+  Topology topo;
+  const NodeId a = topo.add_switch();
+  const NodeId b = topo.add_switch();
+  const NodeId c = topo.add_switch();
+  const LinkId ab = topo.add_link(a, b);
+  const LinkId ac = topo.add_link(a, c);
+  const LinkId cb = topo.add_link(c, b);
+
+  EXPECT_EQ(topo.link_count(), 3u);
+  EXPECT_EQ(topo.link(ab).from, a);
+  EXPECT_EQ(topo.link(ab).to, b);
+  EXPECT_EQ(topo.out_links(a).size(), 2u);
+  EXPECT_EQ(topo.in_links(b).size(), 2u);
+  EXPECT_EQ(topo.out_port(ab), 0u);
+  EXPECT_EQ(topo.out_port(ac), 1u);
+  EXPECT_EQ(topo.in_port(ab), 0u);
+  EXPECT_EQ(topo.in_port(cb), 1u);
+  EXPECT_EQ(topo.local_in_port(b), 2u);
+}
+
+TEST(Topology, FindLink) {
+  Topology topo;
+  const NodeId a = topo.add_switch();
+  const NodeId b = topo.add_switch();
+  const LinkId ab = topo.add_link(a, b);
+  EXPECT_EQ(topo.find_link(a, b).value(), ab);
+  EXPECT_FALSE(topo.find_link(b, a).has_value());
+}
+
+TEST(Topology, LinkValidation) {
+  Topology topo;
+  const NodeId a = topo.add_switch();
+  const NodeId t = topo.add_terminal();
+  EXPECT_THROW(topo.add_link(a, a), std::invalid_argument);
+  EXPECT_THROW(topo.add_link(a, 99), std::invalid_argument);
+  EXPECT_THROW(topo.add_link(a, t, -1), std::invalid_argument);
+  topo.add_link(t, a);
+  // A terminal has exactly one access link.
+  EXPECT_THROW(topo.add_link(t, a), std::invalid_argument);
+}
+
+TEST(Topology, RouteNodesValidatesConnectivity) {
+  Topology topo;
+  const NodeId a = topo.add_switch();
+  const NodeId b = topo.add_switch();
+  const NodeId c = topo.add_switch();
+  const LinkId ab = topo.add_link(a, b);
+  const LinkId bc = topo.add_link(b, c);
+  const LinkId ac = topo.add_link(a, c);
+
+  const auto nodes = topo.route_nodes(Route{ab, bc});
+  EXPECT_EQ(nodes, (std::vector<NodeId>{a, b, c}));
+  EXPECT_THROW(topo.route_nodes(Route{}), std::invalid_argument);
+  EXPECT_THROW(topo.route_nodes(Route{ab, ac}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,90 @@
+// Unit tests for the cyclic-transmission service classes (Table 1).
+
+#include "rtnet/cyclic.h"
+
+#include <gtest/gtest.h>
+
+namespace rtcac {
+namespace {
+
+TEST(Cyclic, TableOneHasThreeClasses) {
+  const auto& classes = standard_cyclic_classes();
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[0].name, "high speed");
+  EXPECT_EQ(classes[1].name, "medium speed");
+  EXPECT_EQ(classes[2].name, "low speed");
+}
+
+TEST(Cyclic, PeriodsAndSizesMatchTableOne) {
+  const auto& c = standard_cyclic_classes();
+  EXPECT_DOUBLE_EQ(c[0].period_ms, 1.0);
+  EXPECT_DOUBLE_EQ(c[0].memory_kb, 4.0);
+  EXPECT_DOUBLE_EQ(c[1].period_ms, 30.0);
+  EXPECT_DOUBLE_EQ(c[1].memory_kb, 64.0);
+  EXPECT_DOUBLE_EQ(c[2].period_ms, 150.0);
+  EXPECT_DOUBLE_EQ(c[2].memory_kb, 128.0);
+  for (const auto& cls : c) {
+    EXPECT_DOUBLE_EQ(cls.delay_ms, cls.period_ms);
+  }
+}
+
+TEST(Cyclic, PayloadBandwidthsApproximateTableOne) {
+  // The paper lists 32 / 17.5 / 6.8 Mbps; the derivation (memory * 8 /
+  // period) reproduces them within the paper's own rounding (~10%).
+  const auto& c = standard_cyclic_classes();
+  EXPECT_NEAR(c[0].payload_bandwidth_mbps(), 32.0, 3.0);
+  EXPECT_NEAR(c[1].payload_bandwidth_mbps(), 17.5, 1.0);
+  EXPECT_NEAR(c[2].payload_bandwidth_mbps(), 6.8, 0.4);
+}
+
+TEST(Cyclic, WireBandwidthIncludesCellOverhead) {
+  for (const auto& cls : standard_cyclic_classes()) {
+    EXPECT_GT(cls.wire_bandwidth_mbps(), cls.payload_bandwidth_mbps());
+    // 53/48 overhead, plus at most one padding cell.
+    EXPECT_LT(cls.wire_bandwidth_mbps(),
+              cls.payload_bandwidth_mbps() * 53.0 / 48.0 * 1.01);
+  }
+}
+
+TEST(Cyclic, CellsPerUpdate) {
+  // 4 KiB / 48-byte payloads = ceil(4096/48) = 86 cells.
+  EXPECT_EQ(standard_cyclic_classes()[0].cells_per_update(), 86u);
+}
+
+TEST(Cyclic, NormalizedLoadsFitOneLink) {
+  double total = 0;
+  for (const auto& cls : standard_cyclic_classes()) {
+    EXPECT_GT(cls.normalized_load(), 0.0);
+    EXPECT_LT(cls.normalized_load(), 1.0);
+    total += cls.normalized_load();
+  }
+  // All three classes together stay well under the 155 Mbps link.
+  EXPECT_LT(total, 0.5);
+}
+
+TEST(Cyclic, DeadlinesInCellTimes) {
+  // 1 ms at ~2.7 us per cell is ~370 cell times — the number the paper
+  // quotes for the high-speed class.
+  EXPECT_NEAR(standard_cyclic_classes()[0].deadline_cell_times(), 370.0, 5.0);
+}
+
+TEST(Cyclic, CbrContractScalesWithShare) {
+  const auto& high = standard_cyclic_classes()[0];
+  const auto full = high.cbr_contract();
+  const auto half = high.cbr_contract(0.5);
+  EXPECT_TRUE(full.is_cbr());
+  EXPECT_NEAR(half.pcr, full.pcr / 2, 1e-12);
+  EXPECT_THROW(static_cast<void>(high.cbr_contract(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(high.cbr_contract(1.5)),
+               std::invalid_argument);
+}
+
+TEST(Cyclic, CellTimeConstantsAreConsistent) {
+  EXPECT_NEAR(kCellTimeSeconds, 2.7e-6, 0.1e-6);
+  EXPECT_NEAR(cell_times_from_seconds(seconds_from_cell_times(123.0)), 123.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,120 @@
+// Unit tests for the RTnet star-ring topology builder.
+
+#include "rtnet/rtnet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rtcac {
+namespace {
+
+RtnetConfig config(std::size_t nodes, std::size_t terms, bool dual = true,
+                   bool delivery = false) {
+  RtnetConfig cfg;
+  cfg.ring_nodes = nodes;
+  cfg.terminals_per_node = terms;
+  cfg.dual_ring = dual;
+  cfg.delivery_links = delivery;
+  return cfg;
+}
+
+TEST(Rtnet, ValidatesConfig) {
+  EXPECT_THROW(Rtnet(config(1, 1)), std::invalid_argument);
+  EXPECT_THROW(Rtnet(config(17, 1)), std::invalid_argument);
+  EXPECT_THROW(Rtnet(config(4, 0)), std::invalid_argument);
+  EXPECT_THROW(Rtnet(config(4, 17)), std::invalid_argument);
+}
+
+TEST(Rtnet, TopologyCounts) {
+  const Rtnet net(config(16, 16, true, true));
+  // 16 switches + 256 terminals.
+  EXPECT_EQ(net.topology().node_count(), 16u + 256u);
+  // 16 cw + 16 ccw + 256 access + 256 delivery.
+  EXPECT_EQ(net.topology().link_count(), 16u + 16u + 256u + 256u);
+}
+
+TEST(Rtnet, SingleRingOmitsCcw) {
+  const Rtnet net(config(4, 1, false));
+  EXPECT_EQ(net.topology().link_count(), 4u + 4u);
+  EXPECT_THROW(static_cast<void>(net.ccw_link(0)), std::logic_error);
+  EXPECT_THROW(net.unicast_route_ccw(0, 0, 2), std::logic_error);
+}
+
+TEST(Rtnet, RingLinksFormOneCycle) {
+  const Rtnet net(config(5, 1, false));
+  std::set<NodeId> visited;
+  NodeId at = net.ring_node(0);
+  for (int i = 0; i < 5; ++i) {
+    visited.insert(at);
+    const LinkInfo& l = net.topology().link(net.cw_link(i));
+    EXPECT_EQ(l.from, net.ring_node(static_cast<std::size_t>(i)));
+    at = l.to;
+  }
+  EXPECT_EQ(visited.size(), 5u);
+  EXPECT_EQ(at, net.ring_node(0));
+}
+
+TEST(Rtnet, CcwRingRunsBackwards) {
+  const Rtnet net(config(4, 1, true));
+  const LinkInfo& l = net.topology().link(net.ccw_link(0));
+  EXPECT_EQ(l.from, net.ring_node(0));
+  EXPECT_EQ(l.to, net.ring_node(3));
+}
+
+TEST(Rtnet, AccessLinksConnectTerminals) {
+  const Rtnet net(config(3, 2, false));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t t = 0; t < 2; ++t) {
+      const LinkInfo& l = net.topology().link(net.access_link(i, t));
+      EXPECT_EQ(l.from, net.terminal(i, t));
+      EXPECT_EQ(l.to, net.ring_node(i));
+      EXPECT_EQ(net.topology().node(l.from).kind, NodeKind::kTerminal);
+    }
+  }
+  EXPECT_THROW(static_cast<void>(net.terminal(3, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(net.access_link(0, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(net.delivery_link(0, 0)),
+               std::logic_error);
+}
+
+TEST(Rtnet, BroadcastRouteVisitsEveryNodeOnce) {
+  const Rtnet net(config(6, 2, false));
+  const Route route = net.broadcast_route(2, 1);
+  ASSERT_EQ(route.size(), 6u);  // access + 5 ring links
+  const auto nodes = net.topology().route_nodes(route);
+  EXPECT_EQ(nodes.front(), net.terminal(2, 1));
+  EXPECT_EQ(nodes.back(), net.ring_node(1));  // node "before" the source
+  const std::set<NodeId> unique(nodes.begin(), nodes.end());
+  EXPECT_EQ(unique.size(), nodes.size());
+}
+
+TEST(Rtnet, UnicastRouteClockwise) {
+  const Rtnet net(config(8, 1, false));
+  const Route route = net.unicast_route(6, 0, 1);
+  // access + links 6->7->0->1.
+  ASSERT_EQ(route.size(), 4u);
+  EXPECT_EQ(net.topology().route_nodes(route).back(), net.ring_node(1));
+  // Degenerate: destination is the local ring node.
+  EXPECT_EQ(net.unicast_route(3, 0, 3).size(), 1u);
+  EXPECT_THROW(net.unicast_route(0, 0, 9), std::invalid_argument);
+}
+
+TEST(Rtnet, CcwRouteAvoidsClockwiseLinks) {
+  const Rtnet net(config(8, 1, true));
+  const Route cw = net.unicast_route(0, 0, 3);
+  const Route ccw = net.unicast_route_ccw(0, 0, 3);
+  EXPECT_EQ(net.topology().route_nodes(ccw).back(), net.ring_node(3));
+  for (std::size_t k = 1; k < ccw.size(); ++k) {  // skip shared access link
+    for (std::size_t j = 1; j < cw.size(); ++j) {
+      EXPECT_NE(ccw[k], cw[j]);
+    }
+  }
+  // Going "backwards" 0 -> 7 -> ... -> 3 is 5 ring hops.
+  EXPECT_EQ(ccw.size(), 1u + 5u);
+}
+
+}  // namespace
+}  // namespace rtcac

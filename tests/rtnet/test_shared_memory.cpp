@@ -1,0 +1,219 @@
+// Unit/integration tests of the cyclic shared-memory service (Section 5's
+// application), including the frame source it rides on.
+
+#include "rtnet/shared_memory.h"
+
+#include <gtest/gtest.h>
+
+#include "atm/source_scheduler.h"
+#include "core/traffic.h"
+
+namespace rtcac {
+namespace {
+
+// --- the frame source -------------------------------------------------------
+
+TEST(FrameBurstSource, EmitsFramesOnSchedule) {
+  FrameBurstSourceScheduler source(3, 100, 4, 10);
+  std::vector<Tick> ticks;
+  std::vector<std::uint32_t> frames;
+  std::vector<bool> last;
+  for (int i = 0; i < 7; ++i) {
+    const auto t = source.next();
+    ASSERT_TRUE(t.has_value());
+    Cell cell;
+    source.annotate(cell);
+    ticks.push_back(*t);
+    frames.push_back(cell.frame);
+    last.push_back(cell.end_of_frame);
+  }
+  EXPECT_EQ(ticks, (std::vector<Tick>{10, 14, 18, 110, 114, 118, 210}));
+  EXPECT_EQ(frames, (std::vector<std::uint32_t>{0, 0, 0, 1, 1, 1, 2}));
+  EXPECT_EQ(last, (std::vector<bool>{false, false, true, false, false, true,
+                                     false}));
+}
+
+TEST(FrameBurstSource, PacingConformsToMatchingCbrContract) {
+  FrameBurstSourceScheduler source(8, 200, 5);
+  std::vector<double> times;
+  for (int i = 0; i < 40; ++i) {
+    times.push_back(static_cast<double>(source.next().value()));
+  }
+  EXPECT_TRUE(conforms(TrafficDescriptor::cbr(1.0 / 5.0), times));
+}
+
+TEST(FrameBurstSource, MaxFramesExhausts) {
+  FrameBurstSourceScheduler source(2, 50, 3, 0, 2);
+  int cells = 0;
+  while (source.next().has_value()) ++cells;
+  EXPECT_EQ(cells, 4);
+}
+
+TEST(FrameBurstSource, Validation) {
+  EXPECT_THROW(FrameBurstSourceScheduler(0, 100, 1), std::invalid_argument);
+  EXPECT_THROW(FrameBurstSourceScheduler(1, 100, 0), std::invalid_argument);
+  EXPECT_THROW(FrameBurstSourceScheduler(1, 100, 1, -1),
+               std::invalid_argument);
+  EXPECT_THROW(FrameBurstSourceScheduler(51, 100, 2), std::invalid_argument);
+  EXPECT_NO_THROW(FrameBurstSourceScheduler(50, 100, 2));
+}
+
+// --- the service -------------------------------------------------------------
+
+RegionSpec high_speed_region(std::size_t node, double share = 1.0 / 16.0) {
+  RegionSpec region;
+  region.node = node;
+  region.terminal = 0;
+  region.cyclic = standard_cyclic_classes()[0];
+  region.share = share;
+  return region;
+}
+
+TEST(SharedMemoryService, AdmitsAndDeliversUpdates) {
+  RtnetConfig cfg;
+  cfg.ring_nodes = 8;
+  cfg.terminals_per_node = 1;
+  cfg.dual_ring = false;
+  const Rtnet net(cfg);
+  std::vector<RegionSpec> regions;
+  for (std::size_t n = 0; n < 8; ++n) {
+    regions.push_back(high_speed_region(n, 1.0 / 8.0));
+  }
+  SharedMemoryService service(net, regions);
+  ASSERT_EQ(service.region_count(), 8u);
+
+  // ~20 ms: dozens of 1 ms update cycles.
+  service.run_until(static_cast<Tick>(cell_times_from_seconds(0.02)));
+
+  for (std::size_t index = 0; index < 8; ++index) {
+    const RegionStats& stats = service.stats(index);
+    EXPECT_GE(stats.updates_completed, 15u) << "region " << index;
+    EXPECT_EQ(stats.updates_damaged, 0u);
+    EXPECT_GT(stats.guaranteed_latency, 0.0);
+    EXPECT_LE(static_cast<double>(stats.worst_update_latency),
+              stats.guaranteed_latency)
+        << "region " << index;
+    // Staleness stays within one period plus the latency guarantee.
+    const double period =
+        cell_times_from_seconds(regions[index].cyclic.period_ms * 1e-3);
+    EXPECT_LE(static_cast<double>(stats.worst_staleness),
+              period + stats.guaranteed_latency);
+  }
+}
+
+TEST(SharedMemoryService, GuaranteeIncludesQueueingBound) {
+  RtnetConfig cfg;
+  cfg.ring_nodes = 4;
+  cfg.terminals_per_node = 1;
+  cfg.dual_ring = false;
+  const Rtnet net(cfg);
+  SharedMemoryService service(net, {high_speed_region(0, 0.05)});
+  EXPECT_GE(service.stats(0).guaranteed_latency,
+            service.queueing_bound(0));
+}
+
+TEST(SharedMemoryService, RefusesInadmissibleRegionSet) {
+  RtnetConfig cfg;
+  cfg.ring_nodes = 8;
+  cfg.terminals_per_node = 1;
+  cfg.dual_ring = false;
+  const Rtnet net(cfg);
+  // Full-size high-speed regions from every node: 8 x 23% load does not
+  // fit a single ring link.
+  std::vector<RegionSpec> regions;
+  for (std::size_t n = 0; n < 8; ++n) {
+    regions.push_back(high_speed_region(n, 1.0));
+  }
+  EXPECT_THROW(SharedMemoryService(net, regions), std::invalid_argument);
+}
+
+TEST(SharedMemoryService, ValidatesRegions) {
+  RtnetConfig cfg;
+  cfg.ring_nodes = 4;
+  cfg.terminals_per_node = 1;
+  cfg.dual_ring = false;
+  const Rtnet net(cfg);
+  EXPECT_THROW(SharedMemoryService(net, {}), std::invalid_argument);
+  RegionSpec bad = high_speed_region(0);
+  bad.share = 0;
+  EXPECT_THROW(SharedMemoryService(net, {bad}), std::invalid_argument);
+}
+
+TEST(SharedMemoryService, DetectsDamagedUpdatesFromCellLoss) {
+  // Drive the observer directly through the simulator's delivery path is
+  // overkill here; exercise the bookkeeping via a bespoke SimNetwork with
+  // a violating unpoliced source and a tiny FIFO so cells really vanish.
+  Topology topo;
+  const NodeId term = topo.add_terminal();
+  const NodeId rogue = topo.add_terminal();
+  const NodeId sw = topo.add_switch();
+  const NodeId dst = topo.add_terminal();
+  const LinkId access = topo.add_link(term, sw);
+  const LinkId rogue_access = topo.add_link(rogue, sw);
+  const LinkId out = topo.add_link(sw, dst);
+
+  SimNetwork sim(topo, SimNetwork::Options{2, 4});  // 4-cell FIFOs
+  // A higher-priority source firing 40-cell full-rate bursts every 200
+  // ticks starves the observed connection's little queue during each
+  // burst (frames in flight lose cells) and leaves it alone in between
+  // (those frames complete).
+  sim.install(2, Route{rogue_access, out}, 0,
+              std::make_unique<FrameBurstSourceScheduler>(40, 200, 1));
+  // The observed connection: 8-cell frames, paced 2 apart, every 100.
+  sim.install(1, Route{access, out}, 1,
+              std::make_unique<FrameBurstSourceScheduler>(8, 100, 2));
+
+  std::uint64_t completed = 0;
+  std::uint64_t damaged = 0;
+  std::uint32_t expected_frame = 0;
+  std::uint16_t expected_cell = 0;
+  bool frame_ok = true;
+  sim.set_delivery_hook(1, [&](const Cell& cell, Tick) {
+    if (cell.frame != expected_frame) {
+      frame_ok = false;
+      expected_frame = cell.frame;
+    }
+    if (cell.cell_in_frame != expected_cell) frame_ok = false;
+    expected_cell = static_cast<std::uint16_t>(cell.cell_in_frame + 1);
+    if (cell.end_of_frame) {
+      (frame_ok ? completed : damaged) += 1;
+      ++expected_frame;
+      expected_cell = 0;
+      frame_ok = true;
+    }
+  });
+  sim.run_until(3000);
+  EXPECT_GT(sim.total_drops(), 0u);
+  EXPECT_GT(damaged, 0u) << "cell loss must surface as damaged updates";
+}
+
+TEST(SharedMemoryService, MixedClassesCoexist) {
+  RtnetConfig cfg;
+  cfg.ring_nodes = 4;
+  cfg.terminals_per_node = 2;
+  cfg.dual_ring = false;
+  const Rtnet net(cfg);
+  std::vector<RegionSpec> regions;
+  for (std::size_t n = 0; n < 4; ++n) {
+    RegionSpec fast = high_speed_region(n, 0.1);
+    regions.push_back(fast);
+    RegionSpec slow;
+    slow.node = n;
+    slow.terminal = 1;
+    slow.cyclic = standard_cyclic_classes()[1];  // medium speed
+    slow.share = 0.05;
+    regions.push_back(slow);
+  }
+  SharedMemoryService service(net, regions);
+  service.run_until(static_cast<Tick>(cell_times_from_seconds(0.07)));
+  for (std::size_t index = 0; index < regions.size(); ++index) {
+    EXPECT_GT(service.stats(index).updates_completed, 0u) << index;
+    EXPECT_EQ(service.stats(index).updates_damaged, 0u) << index;
+    EXPECT_LE(static_cast<double>(service.stats(index).worst_update_latency),
+              service.stats(index).guaranteed_latency)
+        << index;
+  }
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,101 @@
+// Unit tests for the deterministic discrete-event core.
+
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace rtcac {
+namespace {
+
+TEST(EventQueue, EmptyBehaviour) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW(q.run_next(), std::logic_error);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5, EventPhase::kArrival, [&] { order.push_back(5); });
+  q.schedule(1, EventPhase::kArrival, [&] { order.push_back(1); });
+  q.schedule(3, EventPhase::kArrival, [&] { order.push_back(3); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(EventQueue, ArrivalsBeforeTransmitsWithinTick) {
+  EventQueue q;
+  std::vector<std::string> order;
+  q.schedule(2, EventPhase::kTransmit, [&] { order.push_back("tx"); });
+  q.schedule(2, EventPhase::kArrival, [&] { order.push_back("arr"); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<std::string>{"arr", "tx"}));
+}
+
+TEST(EventQueue, InsertionOrderBreaksTies) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(7, EventPhase::kArrival, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunNextReturnsEventTime) {
+  EventQueue q;
+  q.schedule(9, EventPhase::kArrival, [] {});
+  EXPECT_EQ(q.next_time(), 9);
+  EXPECT_EQ(q.run_next(), 9);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<Tick> fired;
+  std::function<void(Tick)> chain = [&](Tick t) {
+    fired.push_back(t);
+    if (t < 5) {
+      q.schedule(t + 1, EventPhase::kArrival, [&, t] { chain(t + 1); });
+    }
+  };
+  q.schedule(0, EventPhase::kArrival, [&] { chain(0); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, (std::vector<Tick>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueue, NegativeTimeRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1, EventPhase::kArrival, [] {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilProcessesInclusive) {
+  Simulator sim;
+  int hits = 0;
+  sim.schedule(3, EventPhase::kArrival, [&] { ++hits; });
+  sim.schedule(4, EventPhase::kArrival, [&] { ++hits; });
+  EXPECT_EQ(sim.run_until(3), 1u);
+  EXPECT_EQ(sim.now(), 3);
+  EXPECT_EQ(hits, 1);
+  sim.run_until(10);
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator sim;
+  sim.schedule(5, EventPhase::kArrival, [] {});
+  sim.run_until(5);
+  EXPECT_THROW(sim.schedule(4, EventPhase::kArrival, [] {}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,109 @@
+// Unit tests for exact rational arithmetic.
+
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace rtcac {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_integer());
+}
+
+TEST(Rational, ReducesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NormalizesSign) {
+  const Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_EQ(Rational(-3, -6), Rational(1, 2));
+}
+
+TEST(Rational, ZeroIsCanonical) {
+  EXPECT_EQ(Rational(0, 17), Rational(0));
+  EXPECT_EQ(Rational(0, -5).den(), 1);
+}
+
+TEST(Rational, RejectsZeroDenominator) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 3) / Rational(4, 9), Rational(3, 2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(1, 2), Rational(2, 4));
+  EXPECT_NE(Rational(1, 3), Rational(1, 4));
+}
+
+TEST(Rational, ComparisonsDoNotOverflowInt64) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max() / 2;
+  EXPECT_LT(Rational(big - 1, big), Rational(big, big - 1));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-3, 2).to_double(), -1.5);
+}
+
+TEST(Rational, ToStringAndStreaming) {
+  EXPECT_EQ(Rational(7).to_string(), "7");
+  EXPECT_EQ(Rational(22, 7).to_string(), "22/7");
+  std::ostringstream os;
+  os << Rational(-1, 3);
+  EXPECT_EQ(os.str(), "-1/3");
+}
+
+TEST(Rational, Abs) {
+  EXPECT_EQ(abs(Rational(-5, 3)), Rational(5, 3));
+  EXPECT_EQ(abs(Rational(5, 3)), Rational(5, 3));
+}
+
+TEST(Rational, OverflowDetected) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  const Rational huge(big, 1);
+  EXPECT_THROW(huge + huge, RationalOverflow);
+  EXPECT_THROW(huge * Rational(2), RationalOverflow);
+}
+
+TEST(Rational, IntermediateProductsUse128Bits) {
+  // num*den products exceed int64 but the reduced result fits.
+  const std::int64_t big = 3'037'000'499;  // ~sqrt(2^63)
+  const Rational a(big, big + 1);
+  const Rational b(big + 1, big);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Rational, SumOfManyTermsStaysExact) {
+  Rational sum;
+  for (int i = 1; i <= 30; ++i) {
+    sum += Rational(1, i * (i + 1));  // telescopes to 1 - 1/(n+1)
+  }
+  EXPECT_EQ(sum, Rational(30, 31));
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,124 @@
+// Unit tests for the statistics helpers.
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rtcac {
+namespace {
+
+TEST(SummaryStats, Empty) {
+  const SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStats, SingleSample) {
+  SummaryStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStats, KnownMoments) {
+  SummaryStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SummaryStats, NegativeValues) {
+  SummaryStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(SummaryStats, MergeMatchesSequential) {
+  SummaryStats a;
+  SummaryStats b;
+  SummaryStats all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStats, MergeWithEmpty) {
+  SummaryStats a;
+  a.add(1.0);
+  SummaryStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(SummaryStats, ToStringMentionsCount) {
+  SummaryStats s;
+  s.add(1);
+  EXPECT_NE(s.to_string().find("n=1"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConfig) {
+  EXPECT_THROW(Histogram(0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(1.0, 4);
+  for (const double x : {0.5, 1.5, 1.9, 3.0, 10.0}) h.add(x);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, NegativeSamplesClampToFirstBucket) {
+  Histogram h(1.0, 2);
+  h.add(-5.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(Histogram, QuantileUpperBound) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile_upper_bound(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile_upper_bound(0.95), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile_upper_bound(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileInOverflowIsInfinite) {
+  Histogram h(1.0, 2);
+  h.add(100.0);
+  EXPECT_TRUE(std::isinf(h.quantile_upper_bound(1.0)));
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  const Histogram h(1.0, 2);
+  EXPECT_DOUBLE_EQ(h.quantile_upper_bound(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace rtcac
