@@ -3,16 +3,35 @@
 # results/, one file per experiment (see DESIGN.md for the index).
 #
 #   ./scripts/run_experiments.sh [build-dir]
+#
+# Runs from any working directory; paths resolve against the repository
+# root.  Fails fast (set -euo pipefail): a crashing experiment stops the
+# run instead of leaving a silently incomplete results/ directory.
 set -euo pipefail
+
+REPO_ROOT="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd -- "$REPO_ROOT"
 
 BUILD="${1:-build}"
 OUT="results"
+
+if [[ ! -d "$BUILD/bench" ]]; then
+  echo "error: '$BUILD/bench' not found — build first:" >&2
+  echo "  cmake -B '$BUILD' -S . && cmake --build '$BUILD' -j" >&2
+  exit 1
+fi
+
 mkdir -p "$OUT"
 
 run() {
   local name="$1"
+  local exe="$BUILD/bench/$name"
+  if [[ ! -x "$exe" ]]; then
+    echo "error: experiment binary '$exe' is missing or not executable" >&2
+    exit 1
+  fi
   echo "== $name"
-  "$BUILD/bench/$name" | tee "$OUT/$name.txt"
+  "$exe" | tee "$OUT/$name.txt"
   echo
 }
 

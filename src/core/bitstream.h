@@ -38,9 +38,12 @@
 #include <utility>
 #include <vector>
 
+#include "util/contract.h"
 #include "util/rational.h"
 
 namespace rtcac {
+
+struct BitStreamTestAccess;  // white-box corruption hook for audit tests
 
 /// Scalar-type policy for the stream algebra.  The primary template serves
 /// exact types (Rational): comparisons are exact and no coalescing slack is
@@ -151,6 +154,24 @@ class BasicBitStream {
   /// True iff the stream carries no traffic at all.
   [[nodiscard]] bool is_zero() const noexcept {
     return segments_.size() == 1 && segments_.front().rate == Num(0);
+  }
+
+  /// Re-verifies the class invariant on the current representation:
+  /// non-empty, first segment at time 0, strictly increasing starts,
+  /// non-negative and non-increasing rates.  The constructor establishes
+  /// this; RTCAC_INVARIANT_AUDIT call sites (stream_ops.h, switch_cac.cpp)
+  /// re-check it in audit builds to catch corruption after construction.
+  [[nodiscard]] bool invariants_hold() const noexcept {
+    if (segments_.empty()) return false;
+    if (!(segments_.front().start == Num(0))) return false;
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      if (segments_[k].rate < Num(0)) return false;
+      if (k > 0) {
+        if (!(segments_[k - 1].start < segments_[k].start)) return false;
+        if (segments_[k].rate > segments_[k - 1].rate) return false;
+      }
+    }
+    return true;
   }
 
   /// Cumulative bits A(t) = integral of the rate over [0, t].
@@ -270,29 +291,21 @@ class BasicBitStream {
   }
 
   void canonicalize() {
-    if (segments_.empty()) {
-      throw std::invalid_argument("BitStream: needs at least one segment");
-    }
-    if (!(segments_.front().start == Num(0))) {
-      throw std::invalid_argument("BitStream: first segment must start at 0");
-    }
+    RTCAC_REQUIRE(!segments_.empty(), "BitStream: needs at least one segment");
+    RTCAC_REQUIRE(segments_.front().start == Num(0),
+                  "BitStream: first segment must start at 0");
     for (auto& seg : segments_) {
       seg.rate = Traits::snap_nonnegative(seg.rate);
-      if (seg.rate < Num(0)) {
-        throw std::invalid_argument("BitStream: negative rate");
-      }
+      RTCAC_REQUIRE(!(seg.rate < Num(0)), "BitStream: negative rate");
     }
     for (std::size_t k = 1; k < segments_.size(); ++k) {
-      if (!(segments_[k - 1].start < segments_[k].start)) {
-        throw std::invalid_argument(
-            "BitStream: segment starts must be strictly increasing");
-      }
+      RTCAC_REQUIRE(segments_[k - 1].start < segments_[k].start,
+                    "BitStream: segment starts must be strictly increasing");
       if (segments_[k].rate > segments_[k - 1].rate) {
-        if (!Traits::nearly_leq(segments_[k].rate, segments_[k - 1].rate)) {
-          throw std::invalid_argument(
-              "BitStream: rates must be non-increasing (got " + to_string() +
-              ")");
-        }
+        RTCAC_REQUIRE(
+            Traits::nearly_leq(segments_[k].rate, segments_[k - 1].rate),
+            "BitStream: rates must be non-increasing (got " + to_string() +
+                ")");
         segments_[k].rate = segments_[k - 1].rate;  // snap rounding noise
       }
     }
@@ -312,6 +325,10 @@ class BasicBitStream {
   }
 
   std::vector<Segment> segments_;
+
+  // Lets the invariant-audit tests corrupt a constructed stream in place
+  // (the public API cannot, by design).
+  friend struct BitStreamTestAccess;
 };
 
 /// Production instantiation: floating point, tolerant comparisons.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace rtcac {
 
 double accumulate_cdv(CdvPolicy policy,
@@ -11,13 +13,13 @@ double accumulate_cdv(CdvPolicy policy,
   switch (policy) {
     case CdvPolicy::kHard:
       for (const double d : upstream_bounds) {
-        if (d < 0) throw std::invalid_argument("accumulate_cdv: negative bound");
+        RTCAC_REQUIRE(!(d < 0), "accumulate_cdv: negative bound");
         sum += d;
       }
       return sum;
     case CdvPolicy::kSoft:
       for (const double d : upstream_bounds) {
-        if (d < 0) throw std::invalid_argument("accumulate_cdv: negative bound");
+        RTCAC_REQUIRE(!(d < 0), "accumulate_cdv: negative bound");
         sum += d * d;
       }
       return std::sqrt(sum);

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "core/bitstream.h"
+#include "util/contract.h"
 
 namespace rtcac {
 
@@ -62,11 +63,9 @@ class ServiceCurve {
   explicit ServiceCurve(const BasicBitStream<Num>& higher_priority_filtered) {
     for (const auto& seg : higher_priority_filtered.segments()) {
       Num capacity = NumTraits<Num>::snap_nonnegative(Num(1) - seg.rate);
-      if (capacity < Num(0)) {
-        throw std::invalid_argument(
-            "ServiceCurve: higher-priority stream must be filtered "
-            "(rate <= 1)");
-      }
+      RTCAC_REQUIRE(!(capacity < Num(0)),
+                    "ServiceCurve: higher-priority stream must be filtered "
+                    "(rate <= 1)");
       starts_.push_back(seg.start);
       capacities_.push_back(capacity);
     }

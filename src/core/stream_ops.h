@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/bitstream.h"
+#include "util/contract.h"
 
 namespace rtcac {
 
@@ -38,8 +39,8 @@ namespace rtcac {
 template <typename Num>
 BasicBitStream<Num> multiplex(const BasicBitStream<Num>& s1,
                               const BasicBitStream<Num>& s2) {
-  using Segment = BasicSegment<Num>;
-  std::vector<Segment> out;
+  using Seg = BasicSegment<Num>;
+  std::vector<Seg> out;
   out.reserve(s1.size() + s2.size());
   const auto a = s1.segments();
   const auto b = s2.segments();
@@ -62,9 +63,12 @@ BasicBitStream<Num> multiplex(const BasicBitStream<Num>& s1,
     }
     const Num rate = (i > 0 ? a[i - 1].rate : Num(0)) +
                      (j > 0 ? b[j - 1].rate : Num(0));
-    out.push_back(Segment{rate, t});
+    out.push_back(Seg{rate, t});
   }
-  return BasicBitStream<Num>(std::move(out));
+  BasicBitStream<Num> result(std::move(out));
+  RTCAC_INVARIANT_AUDIT(result.invariants_hold(),
+                        "multiplex: output violates the stream invariant");
+  return result;
 }
 
 /// Thrown by demultiplex when the subtrahend is not contained in the
@@ -81,8 +85,8 @@ class StreamContainmentError : public std::logic_error {
 template <typename Num>
 BasicBitStream<Num> demultiplex(const BasicBitStream<Num>& s1,
                                 const BasicBitStream<Num>& s2) {
-  using Segment = BasicSegment<Num>;
-  std::vector<Segment> out;
+  using Seg = BasicSegment<Num>;
+  std::vector<Seg> out;
   out.reserve(s1.size() + s2.size());
   const auto a = s1.segments();
   const auto b = s2.segments();
@@ -108,7 +112,7 @@ BasicBitStream<Num> demultiplex(const BasicBitStream<Num>& s1,
       throw StreamContainmentError(
           "demultiplex: component stream is not contained in the aggregate");
     }
-    out.push_back(Segment{rate, t});
+    out.push_back(Seg{rate, t});
   }
   // The difference of two non-increasing step functions need not be
   // monotone in general, but it is whenever s2 was a multiplexed component
@@ -116,7 +120,11 @@ BasicBitStream<Num> demultiplex(const BasicBitStream<Num>& s1,
   // BitStream constructor re-validates, turning any misuse into a loud
   // error instead of a silently wrong admission decision.
   try {
-    return BasicBitStream<Num>(std::move(out));
+    BasicBitStream<Num> result(std::move(out));
+    RTCAC_INVARIANT_AUDIT(
+        result.invariants_hold(),
+        "demultiplex: output violates the stream invariant");
+    return result;
   } catch (const std::invalid_argument&) {
     throw StreamContainmentError(
         "demultiplex: result is not a valid worst-case stream; the "
@@ -135,10 +143,9 @@ BasicBitStream<Num> demultiplex(const BasicBitStream<Num>& s1,
 template <typename Num>
 BasicBitStream<Num> filter(const BasicBitStream<Num>& s,
                            const Num& initial_backlog = Num(0)) {
-  using Segment = BasicSegment<Num>;
-  if (initial_backlog < Num(0)) {
-    throw std::invalid_argument("filter: negative initial backlog");
-  }
+  using Seg = BasicSegment<Num>;
+  RTCAC_REQUIRE(!(initial_backlog < Num(0)),
+                "filter: negative initial backlog");
   const auto segs = s.segments();
   // Fast path: nothing to smooth.
   if (initial_backlog == Num(0) && segs.front().rate <= Num(1)) {
@@ -182,7 +189,7 @@ BasicBitStream<Num> filter(const BasicBitStream<Num>& s,
     return BasicBitStream<Num>::constant(Num(1));
   }
 
-  std::vector<Segment> out;
+  std::vector<Seg> out;
   out.reserve(segs.size() - drain_seg + 1);
   if (*drain_time == Num(0)) {
     // Degenerate: zero backlog and first rate exactly 1 was handled by the
@@ -191,7 +198,7 @@ BasicBitStream<Num> filter(const BasicBitStream<Num>& s,
     // the stream is already link-feasible.
     return s;
   }
-  out.push_back(Segment{Num(1), Num(0)});
+  out.push_back(Seg{Num(1), Num(0)});
   // After the drain instant the output follows the input.  The input rate
   // at drain_time is segs[drain_seg].rate (< 1, or the drain would not
   // have completed inside this segment) — unless the queue emptied exactly
@@ -201,11 +208,16 @@ BasicBitStream<Num> filter(const BasicBitStream<Num>& s,
   if (resume + 1 < segs.size() && !(segs[resume + 1].start > *drain_time)) {
     ++resume;
   }
-  out.push_back(Segment{segs[resume].rate, *drain_time});
+  out.push_back(Seg{segs[resume].rate, *drain_time});
   for (std::size_t k = resume + 1; k < segs.size(); ++k) {
     out.push_back(segs[k]);
   }
-  return BasicBitStream<Num>(std::move(out));
+  BasicBitStream<Num> result(std::move(out));
+  RTCAC_INVARIANT_AUDIT(
+      result.invariants_hold() &&
+          NumTraits<Num>::nearly_leq(result.peak_rate(), Num(1)),
+      "filter: output must be a link-feasible (rate <= 1) stream");
+  return result;
 }
 
 /// Shifts a stream left by `shift` time units: result rate r'(t) =
@@ -214,13 +226,11 @@ BasicBitStream<Num> filter(const BasicBitStream<Num>& s,
 template <typename Num>
 BasicBitStream<Num> shift_left(const BasicBitStream<Num>& s,
                                const Num& shift) {
-  using Segment = BasicSegment<Num>;
-  if (shift < Num(0)) {
-    throw std::invalid_argument("shift_left: negative shift");
-  }
+  using Seg = BasicSegment<Num>;
+  RTCAC_REQUIRE(!(shift < Num(0)), "shift_left: negative shift");
   if (shift == Num(0)) return s;
   const auto segs = s.segments();
-  std::vector<Segment> out;
+  std::vector<Seg> out;
   out.reserve(segs.size());
   for (const auto& seg : segs) {
     const Num start =
@@ -228,10 +238,13 @@ BasicBitStream<Num> shift_left(const BasicBitStream<Num>& s,
     if (!out.empty() && out.back().start == start) {
       out.back().rate = seg.rate;  // later segment at same (clamped) start wins
     } else {
-      out.push_back(Segment{seg.rate, start});
+      out.push_back(Seg{seg.rate, start});
     }
   }
-  return BasicBitStream<Num>(std::move(out));
+  BasicBitStream<Num> result(std::move(out));
+  RTCAC_INVARIANT_AUDIT(result.invariants_hold(),
+                        "shift_left: output violates the stream invariant");
+  return result;
 }
 
 /// Worst-case delay distortion (Algorithm 3.1): the stream after crossing
@@ -244,12 +257,13 @@ BasicBitStream<Num> shift_left(const BasicBitStream<Num>& s,
 /// by cdv, clipped by the link rate.
 template <typename Num>
 BasicBitStream<Num> delay(const BasicBitStream<Num>& s, const Num& cdv) {
-  if (cdv < Num(0)) {
-    throw std::invalid_argument("delay: negative CDV");
-  }
+  RTCAC_REQUIRE(!(cdv < Num(0)), "delay: negative CDV");
   if (cdv == Num(0) || s.is_zero()) return s;
   const Num accumulated = s.bits_before(cdv);
-  return filter(shift_left(s, cdv), accumulated);
+  BasicBitStream<Num> result = filter(shift_left(s, cdv), accumulated);
+  RTCAC_INVARIANT_AUDIT(result.invariants_hold(),
+                        "delay: output violates the stream invariant");
+  return result;
 }
 
 }  // namespace rtcac

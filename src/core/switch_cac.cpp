@@ -6,14 +6,11 @@ namespace rtcac {
 
 template <typename Num>
 BasicSwitchCac<Num>::BasicSwitchCac(const Config& config) : config_(config) {
-  if (config_.in_ports == 0 || config_.out_ports == 0 ||
-      config_.priorities == 0) {
-    throw std::invalid_argument(
-        "SwitchCac: ports and priorities must be positive");
-  }
-  if (!(config_.advertised_bound > Num(0))) {
-    throw std::invalid_argument("SwitchCac: advertised bound must be > 0");
-  }
+  RTCAC_REQUIRE(config_.in_ports > 0 && config_.out_ports > 0 &&
+                    config_.priorities > 0,
+                "SwitchCac: ports and priorities must be positive");
+  RTCAC_REQUIRE(config_.advertised_bound > Num(0),
+                "SwitchCac: advertised bound must be > 0");
   advertised_.assign(config_.out_ports * config_.priorities,
                      config_.advertised_bound);
   arrival_aggr_.assign(
@@ -33,10 +30,9 @@ template <typename Num>
 void BasicSwitchCac<Num>::check_ports(std::size_t in_port,
                                       std::size_t out_port,
                                       Priority priority) const {
-  if (in_port >= config_.in_ports || out_port >= config_.out_ports ||
-      priority >= config_.priorities) {
-    throw std::invalid_argument("SwitchCac: port or priority out of range");
-  }
+  RTCAC_REQUIRE(in_port < config_.in_ports && out_port < config_.out_ports &&
+                    priority < config_.priorities,
+                "SwitchCac: port or priority out of range");
 }
 
 template <typename Num>
@@ -50,9 +46,7 @@ template <typename Num>
 void BasicSwitchCac<Num>::set_advertised(std::size_t out_port,
                                          Priority priority, Num bound) {
   check_ports(0, out_port, priority);
-  if (!(bound > Num(0))) {
-    throw std::invalid_argument("SwitchCac: advertised bound must be > 0");
-  }
+  RTCAC_REQUIRE(bound > Num(0), "SwitchCac: advertised bound must be > 0");
   advertised_[out_port * config_.priorities + priority] = bound;
 }
 
@@ -170,14 +164,13 @@ void BasicSwitchCac<Num>::add(ConnectionId id, std::size_t in_port,
                               std::size_t out_port, Priority priority,
                               const Stream& arrival) {
   check_ports(in_port, out_port, priority);
-  if (records_.contains(id)) {
-    throw std::invalid_argument("SwitchCac: duplicate connection id " +
-                                std::to_string(id));
-  }
+  RTCAC_REQUIRE(!records_.contains(id),
+                "SwitchCac: duplicate connection id " + std::to_string(id));
   records_.emplace(id, Record{in_port, out_port, priority, arrival});
   const std::size_t idx = cell_index(in_port, out_port, priority);
   arrival_aggr_[idx] = multiplex(arrival_aggr_[idx], arrival);
   ++cell_counts_[idx];
+  audit_invariants();
 }
 
 template <typename Num>
@@ -194,6 +187,7 @@ bool BasicSwitchCac<Num>::remove(ConnectionId id) {
                            ? Stream{}
                            : rebuild_cell(rec.in_port, rec.out_port,
                                           rec.priority);
+  audit_invariants();
   return true;
 }
 
@@ -263,6 +257,35 @@ bool BasicSwitchCac<Num>::state_consistent() const {
     }
   }
   return true;
+}
+
+template <typename Num>
+bool BasicSwitchCac<Num>::bandwidth_conserved() const {
+  // The tail (sustained) rate of a multiplexed aggregate is the exact sum
+  // of its components' tail rates, so per-cell sums must match the cached
+  // aggregates — up to numeric tolerance for the double instantiation.
+  std::vector<Num> expected(arrival_aggr_.size(), Num(0));
+  for (const auto& [id, rec] : records_) {
+    expected[cell_index(rec.in_port, rec.out_port, rec.priority)] +=
+        rec.arrival.final_rate();
+  }
+  for (std::size_t k = 0; k < arrival_aggr_.size(); ++k) {
+    if (!NumTraits<Num>::nearly_equal(arrival_aggr_[k].final_rate(),
+                                      expected[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename Num>
+void BasicSwitchCac<Num>::audit_invariants() const {
+  RTCAC_INVARIANT_AUDIT(
+      bandwidth_conserved(),
+      "SwitchCac: sustained bandwidth not conserved across S_ia cells");
+  RTCAC_INVARIANT_AUDIT(
+      state_consistent(),
+      "SwitchCac: cached aggregates diverged from connection records");
 }
 
 template class BasicSwitchCac<double>;

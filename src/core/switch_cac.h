@@ -45,8 +45,11 @@
 #include "core/connection.h"
 #include "core/delay_bound.h"
 #include "core/stream_ops.h"
+#include "util/contract.h"
 
 namespace rtcac {
+
+struct SwitchCacTestAccess;  // white-box corruption hook for audit tests
 
 /// Admission verdict for one switch, with the computed worst-case bounds
 /// that justify it.  nullopt bounds mean "unbounded" (always a
@@ -145,6 +148,13 @@ class BasicSwitchCac {
   /// connection streams (within tolerance).  Test/diagnostic hook; O(n).
   [[nodiscard]] bool state_consistent() const;
 
+  /// Verifies sustained-bandwidth conservation: for every S_ia cell, the
+  /// aggregate's tail rate equals the sum of its component connections'
+  /// tail rates (the multiplex algebra is rate-additive, so any drift
+  /// means the bookkeeping corrupted an aggregate).  Test/diagnostic
+  /// hook; O(n).
+  [[nodiscard]] bool bandwidth_conserved() const;
+
  private:
   struct Record {
     std::size_t in_port;
@@ -181,11 +191,19 @@ class BasicSwitchCac {
                                                 std::size_t extra_in,
                                                 Priority extra_prio) const;
 
+  /// Re-audits the full CAC state (aggregate/record consistency and
+  /// bandwidth conservation) via RTCAC_INVARIANT_AUDIT; compiles to
+  /// nothing outside audit builds.  Called after every mutation.
+  void audit_invariants() const;
+
   Config config_;
   std::vector<Num> advertised_;        // [out * priorities + prio]
   std::vector<Stream> arrival_aggr_;   // S_ia per (in, out, prio)
   std::vector<std::size_t> cell_counts_;  // #connections per (in, out, prio)
   std::map<ConnectionId, Record> records_;
+
+  // Lets the invariant-audit tests corrupt internal state in place.
+  friend struct SwitchCacTestAccess;
 };
 
 /// Production instantiation.

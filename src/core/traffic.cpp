@@ -5,21 +5,18 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace rtcac {
 
 void TrafficDescriptor::validate() const {
-  if (!(pcr > 0) || pcr > 1.0) {
-    throw std::invalid_argument("TrafficDescriptor: PCR must be in (0, 1], got " +
-                                std::to_string(pcr));
-  }
-  if (!(scr > 0) || scr > pcr) {
-    throw std::invalid_argument(
-        "TrafficDescriptor: SCR must be in (0, PCR], got " +
-        std::to_string(scr));
-  }
-  if (mbs < 1) {
-    throw std::invalid_argument("TrafficDescriptor: MBS must be >= 1");
-  }
+  RTCAC_REQUIRE(pcr > 0 && !(pcr > 1.0),
+                "TrafficDescriptor: PCR must be in (0, 1], got " +
+                    std::to_string(pcr));
+  RTCAC_REQUIRE(scr > 0 && !(scr > pcr),
+                "TrafficDescriptor: SCR must be in (0, PCR], got " +
+                    std::to_string(scr));
+  RTCAC_REQUIRE(mbs >= 1, "TrafficDescriptor: MBS must be >= 1");
 }
 
 BitStream TrafficDescriptor::to_bitstream() const {
@@ -42,17 +39,13 @@ BitStream TrafficDescriptor::to_bitstream() const {
 
 ExactBitStream TrafficDescriptor::to_exact_bitstream(std::int64_t scale) const {
   validate();
-  if (scale <= 0) {
-    throw std::invalid_argument("to_exact_bitstream: scale must be positive");
-  }
+  RTCAC_REQUIRE(scale > 0, "to_exact_bitstream: scale must be positive");
   const auto as_rational = [scale](double rate, const char* name) {
     const double scaled = rate * static_cast<double>(scale);
     const double rounded = std::round(scaled);
-    if (std::abs(scaled - rounded) > 1e-6) {
-      throw std::invalid_argument(
-          std::string("to_exact_bitstream: ") + name +
-          " is not an exact multiple of 1/scale");
-    }
+    RTCAC_REQUIRE(!(std::abs(scaled - rounded) > 1e-6),
+                  std::string("to_exact_bitstream: ") + name +
+                      " is not an exact multiple of 1/scale");
     return Rational(static_cast<std::int64_t>(rounded), scale);
   };
   const Rational rp = as_rational(pcr, "PCR");

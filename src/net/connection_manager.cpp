@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/stream_ops.h"
+#include "util/contract.h"
 #include "util/log.h"
 
 namespace rtcac {
@@ -16,9 +17,8 @@ constexpr std::size_t kNoCac = std::numeric_limits<std::size_t>::max();
 ConnectionManager::ConnectionManager(const Topology& topology,
                                      const Params& params)
     : topology_(topology), params_(params) {
-  if (params_.priorities == 0) {
-    throw std::invalid_argument("ConnectionManager: priorities must be >= 1");
-  }
+  RTCAC_REQUIRE(params_.priorities >= 1,
+                "ConnectionManager: priorities must be >= 1");
   cac_index_.assign(topology_.node_count(), kNoCac);
   for (const NodeInfo& n : topology_.nodes()) {
     if (n.kind != NodeKind::kSwitch) continue;
@@ -34,18 +34,14 @@ ConnectionManager::ConnectionManager(const Topology& topology,
 }
 
 SwitchCac& ConnectionManager::switch_cac(NodeId node) {
-  if (node >= cac_index_.size() || cac_index_[node] == kNoCac) {
-    throw std::invalid_argument(
-        "ConnectionManager: node has no CAC state (terminal or sink)");
-  }
+  RTCAC_REQUIRE(node < cac_index_.size() && cac_index_[node] != kNoCac,
+                "ConnectionManager: node has no CAC state (terminal or sink)");
   return cacs_[cac_index_[node]];
 }
 
 const SwitchCac& ConnectionManager::switch_cac(NodeId node) const {
-  if (node >= cac_index_.size() || cac_index_[node] == kNoCac) {
-    throw std::invalid_argument(
-        "ConnectionManager: node has no CAC state (terminal or sink)");
-  }
+  RTCAC_REQUIRE(node < cac_index_.size() && cac_index_[node] != kNoCac,
+                "ConnectionManager: node has no CAC state (terminal or sink)");
   return cacs_[cac_index_[node]];
 }
 
@@ -74,9 +70,8 @@ BitStream ConnectionManager::arrival_at_hop(const TrafficDescriptor& traffic,
                                             std::span<const HopRef> hops,
                                             std::size_t hop_index,
                                             Priority priority) const {
-  if (hop_index > hops.size()) {
-    throw std::invalid_argument("arrival_at_hop: hop index out of range");
-  }
+  RTCAC_REQUIRE(hop_index <= hops.size(),
+                "arrival_at_hop: hop index out of range");
   std::vector<double> upstream;
   upstream.reserve(hop_index);
   for (std::size_t h = 0; h < hop_index; ++h) {
@@ -159,9 +154,8 @@ ConnectionManager::SetupResult ConnectionManager::setup(
 }
 
 void ConnectionManager::adopt(ConnectionId id, ConnectionRecord record) {
-  if (records_.contains(id)) {
-    throw std::invalid_argument("ConnectionManager: duplicate adopted id");
-  }
+  RTCAC_REQUIRE(!records_.contains(id),
+                "ConnectionManager: duplicate adopted id");
   records_.emplace(id, std::move(record));
 }
 

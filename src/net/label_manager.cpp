@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace rtcac {
 
 LabelManager::LabelManager(const Topology& topology) : topology_(topology) {
@@ -20,9 +22,8 @@ LabelManager::LabelManager(const Topology& topology) : topology_(topology) {
 
 LabelPath LabelManager::establish(ConnectionId id, const Route& route) {
   const std::vector<NodeId> path_nodes = topology_.route_nodes(route);
-  if (paths_.contains(id)) {
-    throw std::invalid_argument("LabelManager: duplicate connection id");
-  }
+  RTCAC_REQUIRE(!paths_.contains(id),
+                "LabelManager: duplicate connection id");
 
   // Allocate the label each link will carry: the receiving node owns it.
   std::vector<VcLabel> link_labels(route.size());
@@ -40,10 +41,8 @@ LabelPath LabelManager::establish(ConnectionId id, const Route& route) {
     // Install the translation at every intermediate switch.
     for (std::size_t k = 1; k < route.size(); ++k) {
       const NodeId node = path_nodes[k];
-      if (topology_.node(node).kind != NodeKind::kSwitch) {
-        throw std::invalid_argument(
-            "LabelManager: route transits a terminal");
-      }
+      RTCAC_REQUIRE(topology_.node(node).kind == NodeKind::kSwitch,
+                    "LabelManager: route transits a terminal");
       LabelBinding binding;
       binding.node = node;
       binding.in_port = topology_.in_port(route[k - 1]);
@@ -97,9 +96,8 @@ bool LabelManager::release(ConnectionId id) {
 
 const LabelSwitchingTable& LabelManager::table(NodeId node) const {
   const auto it = nodes_.find(node);
-  if (it == nodes_.end()) {
-    throw std::invalid_argument("LabelManager: node has no label state");
-  }
+  RTCAC_REQUIRE(it != nodes_.end(),
+                "LabelManager: node has no label state");
   return it->second.table;
 }
 

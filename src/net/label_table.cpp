@@ -2,18 +2,16 @@
 
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace rtcac {
 
 LabelAllocator::LabelAllocator(std::size_t in_ports) : ports_(in_ports) {
-  if (in_ports == 0) {
-    throw std::invalid_argument("LabelAllocator: need at least one port");
-  }
+  RTCAC_REQUIRE(in_ports >= 1, "LabelAllocator: need at least one port");
 }
 
 VcLabel LabelAllocator::allocate(std::size_t in_port) {
-  if (in_port >= ports_.size()) {
-    throw std::invalid_argument("LabelAllocator: bad in port");
-  }
+  RTCAC_REQUIRE(in_port < ports_.size(), "LabelAllocator: bad in port");
   PortState& port = ports_[in_port];
   if (!port.free_list.empty()) {
     const VcLabel label = port.free_list.back();
@@ -36,9 +34,7 @@ VcLabel LabelAllocator::allocate(std::size_t in_port) {
 }
 
 bool LabelAllocator::release(std::size_t in_port, VcLabel label) {
-  if (in_port >= ports_.size()) {
-    throw std::invalid_argument("LabelAllocator: bad in port");
-  }
+  RTCAC_REQUIRE(in_port < ports_.size(), "LabelAllocator: bad in port");
   PortState& port = ports_[in_port];
   if (port.live == 0) return false;
   // The allocator does not track the full live set (the switching table
@@ -50,9 +46,7 @@ bool LabelAllocator::release(std::size_t in_port, VcLabel label) {
 }
 
 std::size_t LabelAllocator::allocated(std::size_t in_port) const {
-  if (in_port >= ports_.size()) {
-    throw std::invalid_argument("LabelAllocator: bad in port");
-  }
+  RTCAC_REQUIRE(in_port < ports_.size(), "LabelAllocator: bad in port");
   return ports_[in_port].live;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace rtcac {
 
 NodeId Topology::add_node(NodeKind kind, std::string name) {
@@ -25,19 +27,13 @@ NodeId Topology::add_terminal(std::string name) {
 }
 
 LinkId Topology::add_link(NodeId from, NodeId to, Tick propagation) {
-  if (from >= nodes_.size() || to >= nodes_.size()) {
-    throw std::invalid_argument("Topology: unknown link endpoint");
-  }
-  if (from == to) {
-    throw std::invalid_argument("Topology: self-loop link");
-  }
-  if (propagation < 0) {
-    throw std::invalid_argument("Topology: negative propagation");
-  }
-  if (nodes_[from].kind == NodeKind::kTerminal && !out_links_[from].empty()) {
-    throw std::invalid_argument(
-        "Topology: terminal already has an access link");
-  }
+  RTCAC_REQUIRE(from < nodes_.size() && to < nodes_.size(),
+                "Topology: unknown link endpoint");
+  RTCAC_REQUIRE(from != to, "Topology: self-loop link");
+  RTCAC_REQUIRE(propagation >= 0, "Topology: negative propagation");
+  RTCAC_REQUIRE(
+      !(nodes_[from].kind == NodeKind::kTerminal && !out_links_[from].empty()),
+      "Topology: terminal already has an access link");
   const LinkId id = static_cast<LinkId>(links_.size());
   links_.push_back(LinkInfo{id, from, to, propagation});
   out_links_[from].push_back(id);
@@ -46,22 +42,22 @@ LinkId Topology::add_link(NodeId from, NodeId to, Tick propagation) {
 }
 
 const NodeInfo& Topology::node(NodeId id) const {
-  if (id >= nodes_.size()) throw std::invalid_argument("Topology: bad node id");
+  RTCAC_REQUIRE(id < nodes_.size(), "Topology: bad node id");
   return nodes_[id];
 }
 
 const LinkInfo& Topology::link(LinkId id) const {
-  if (id >= links_.size()) throw std::invalid_argument("Topology: bad link id");
+  RTCAC_REQUIRE(id < links_.size(), "Topology: bad link id");
   return links_[id];
 }
 
 std::span<const LinkId> Topology::out_links(NodeId id) const {
-  if (id >= nodes_.size()) throw std::invalid_argument("Topology: bad node id");
+  RTCAC_REQUIRE(id < nodes_.size(), "Topology: bad node id");
   return out_links_[id];
 }
 
 std::span<const LinkId> Topology::in_links(NodeId id) const {
-  if (id >= nodes_.size()) throw std::invalid_argument("Topology: bad node id");
+  RTCAC_REQUIRE(id < nodes_.size(), "Topology: bad node id");
   return in_links_[id];
 }
 
@@ -92,17 +88,13 @@ std::optional<LinkId> Topology::find_link(NodeId from, NodeId to) const {
 }
 
 std::vector<NodeId> Topology::route_nodes(const Route& route) const {
-  if (route.empty()) {
-    throw std::invalid_argument("Topology: empty route");
-  }
+  RTCAC_REQUIRE(!route.empty(), "Topology: empty route");
   std::vector<NodeId> nodes;
   nodes.reserve(route.size() + 1);
   nodes.push_back(link(route.front()).from);
   for (std::size_t k = 0; k < route.size(); ++k) {
     const LinkInfo& l = link(route[k]);
-    if (l.from != nodes.back()) {
-      throw std::invalid_argument("Topology: disconnected route");
-    }
+    RTCAC_REQUIRE(l.from == nodes.back(), "Topology: disconnected route");
     nodes.push_back(l.to);
   }
   return nodes;

@@ -1,26 +1,27 @@
 #include "sim/event_queue.h"
 
-#include <stdexcept>
 #include <utility>
+
+#include "util/contract.h"
 
 namespace rtcac {
 
 void EventQueue::schedule(Tick time, EventPhase phase, Action action) {
-  if (time < 0) {
-    throw std::invalid_argument("EventQueue: negative event time");
-  }
+  RTCAC_REQUIRE(time >= 0, "EventQueue: negative event time");
   heap_.push(Event{time, phase, next_seq_++, std::move(action)});
 }
 
 Tick EventQueue::run_next() {
-  if (heap_.empty()) {
-    throw std::logic_error("EventQueue: run_next on empty queue");
-  }
+  RTCAC_REQUIRE(!heap_.empty(), "EventQueue: run_next on empty queue");
   // priority_queue::top is const; move out via const_cast is UB-adjacent,
   // so copy the action handle (shared_ptr-backed std::function copy is
   // cheap relative to simulation work).
   Event ev = heap_.top();
   heap_.pop();
+  RTCAC_INVARIANT_AUDIT(
+      ev.time >= last_popped_,
+      "EventQueue: event timestamps popped out of order");
+  last_popped_ = ev.time;
   ev.action();
   return ev.time;
 }

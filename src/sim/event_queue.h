@@ -38,8 +38,14 @@ class EventQueue {
   /// Time of the earliest pending event; valid only when !empty().
   [[nodiscard]] Tick next_time() const { return heap_.top().time; }
 
-  /// Pops and runs the earliest event; returns its time.
+  /// Pops and runs the earliest event; returns its time.  Audit builds
+  /// verify dispatch-time monotonicity (each popped timestamp >= the
+  /// previous one) — the property the static-priority FIFO analysis
+  /// assumes of the simulated timeline.
   Tick run_next();
+
+  /// Time of the most recently popped event (0 before any pop).
+  [[nodiscard]] Tick last_popped() const noexcept { return last_popped_; }
 
  private:
   struct Event {
@@ -59,6 +65,7 @@ class EventQueue {
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  Tick last_popped_ = 0;
 };
 
 }  // namespace rtcac

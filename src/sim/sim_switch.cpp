@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace rtcac {
 
 OutputPort::OutputPort(std::size_t priorities, std::size_t capacity)
@@ -10,15 +12,11 @@ OutputPort::OutputPort(std::size_t priorities, std::size_t capacity)
       queues_(priorities),
       max_backlog_(priorities, 0),
       max_wait_(priorities, 0) {
-  if (priorities == 0) {
-    throw std::invalid_argument("OutputPort: priorities must be >= 1");
-  }
+  RTCAC_REQUIRE(priorities >= 1, "OutputPort: priorities must be >= 1");
 }
 
 bool OutputPort::enqueue(const Cell& cell, Priority p, Tick now) {
-  if (p >= queues_.size()) {
-    throw std::invalid_argument("OutputPort: priority out of range");
-  }
+  RTCAC_REQUIRE(p < queues_.size(), "OutputPort: priority out of range");
   auto& q = queues_[p];
   if (capacity_ != 0 && q.size() >= capacity_) {
     ++dropped_;
@@ -46,16 +44,12 @@ std::optional<OutputPort::Departure> OutputPort::dequeue(Tick now) {
 }
 
 std::size_t OutputPort::max_backlog(Priority p) const {
-  if (p >= max_backlog_.size()) {
-    throw std::invalid_argument("OutputPort: priority out of range");
-  }
+  RTCAC_REQUIRE(p < max_backlog_.size(), "OutputPort: priority out of range");
   return max_backlog_[p];
 }
 
 Tick OutputPort::max_wait(Priority p) const {
-  if (p >= max_wait_.size()) {
-    throw std::invalid_argument("OutputPort: priority out of range");
-  }
+  RTCAC_REQUIRE(p < max_wait_.size(), "OutputPort: priority out of range");
   return max_wait_[p];
 }
 

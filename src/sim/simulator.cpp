@@ -4,13 +4,13 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/contract.h"
+
 namespace rtcac {
 
 void Simulator::schedule(Tick time, EventPhase phase,
                          EventQueue::Action action) {
-  if (time < now_) {
-    throw std::logic_error("Simulator: scheduling into the past");
-  }
+  RTCAC_REQUIRE(time >= now_, "Simulator: scheduling into the past");
   events_.schedule(time, phase, std::move(action));
 }
 
@@ -29,9 +29,8 @@ std::size_t Simulator::run_until(Tick horizon) {
 
 SimNetwork::SimNetwork(const Topology& topology, const Options& options)
     : topology_(topology), options_(options) {
-  if (options_.priorities == 0) {
-    throw std::invalid_argument("SimNetwork: priorities must be >= 1");
-  }
+  RTCAC_REQUIRE(options_.priorities >= 1,
+                "SimNetwork: priorities must be >= 1");
   nodes_.reserve(topology_.node_count());
   for (const NodeInfo& n : topology_.nodes()) {
     NodeState state;
@@ -51,17 +50,14 @@ SimNetwork::SimNetwork(const Topology& topology, const Options& options)
 void SimNetwork::install(ConnectionId id, const Route& route,
                          Priority priority,
                          std::unique_ptr<SourceScheduler> scheduler) {
-  if (priority >= options_.priorities) {
-    throw std::invalid_argument("SimNetwork: priority out of range");
-  }
-  if (connections_.contains(id)) {
-    throw std::invalid_argument("SimNetwork: duplicate connection id");
-  }
+  RTCAC_REQUIRE(priority < options_.priorities,
+                "SimNetwork: priority out of range");
+  RTCAC_REQUIRE(!connections_.contains(id),
+                "SimNetwork: duplicate connection id");
   const std::vector<NodeId> path = topology_.route_nodes(route);
-  if (std::set<NodeId>(path.begin(), path.end()).size() != path.size()) {
-    throw std::invalid_argument(
-        "SimNetwork: routes revisiting a node are not supported");
-  }
+  RTCAC_REQUIRE(
+      std::set<NodeId>(path.begin(), path.end()).size() == path.size(),
+      "SimNetwork: routes revisiting a node are not supported");
 
   ConnectionState state;
   state.route = route;
@@ -106,10 +102,8 @@ void SimNetwork::attach_labels(ConnectionId id, const LabelPath& labels) {
   conn.egress_label = labels.egress;
   conn.label_bindings.clear();
   for (const LabelBinding& binding : labels.bindings) {
-    if (!conn.label_bindings.emplace(binding.node, binding).second) {
-      throw std::invalid_argument(
-          "SimNetwork: label path visits a node twice");
-    }
+    RTCAC_REQUIRE(conn.label_bindings.emplace(binding.node, binding).second,
+                  "SimNetwork: label path visits a node twice");
   }
 }
 
@@ -118,9 +112,8 @@ void SimNetwork::pump_source(ConnectionId id) {
   auto emission = conn.source_gen->next_emission();
   if (!emission.has_value()) return;
   const auto [tick, cell] = *emission;
-  if (tick < sim_.now()) {
-    throw std::logic_error("SimNetwork: source emitted into the past");
-  }
+  RTCAC_ASSERT(tick >= sim_.now(),
+               "SimNetwork: source emitted into the past");
   sim_.schedule(tick, EventPhase::kArrival, [this, id, cell = cell]() {
     arrive(id, cell, connections_.at(id).source, std::nullopt);
     pump_source(id);
@@ -164,9 +157,8 @@ void SimNetwork::arrive(ConnectionId id, Cell cell, NodeId node,
   }
   NodeState& ns = nodes_[node];
   const auto it = ns.routes.find(id);
-  if (it == ns.routes.end()) {
-    throw std::logic_error("SimNetwork: cell arrived off its route");
-  }
+  RTCAC_ASSERT(it != ns.routes.end(),
+               "SimNetwork: cell arrived off its route");
   const RouteEntry entry = it->second;
   ns.ports[entry.out_port].enqueue(cell, entry.priority, sim_.now());
   ensure_transmit_scheduled(node, entry.out_port);

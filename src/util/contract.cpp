@@ -1,0 +1,48 @@
+#include "util/contract.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rtcac {
+
+ContractViolation::ContractViolation(const char* kind, const char* expression,
+                                     const char* file, int line,
+                                     const std::string& message)
+    : std::invalid_argument(
+          detail::format_violation(kind, expression, file, line, message)),
+      kind_(kind),
+      expression_(expression),
+      file_(file),
+      line_(line) {}
+
+bool audits_enabled() noexcept { return RTCAC_AUDIT_ENABLED != 0; }
+
+int library_contract_mode() noexcept { return RTCAC_CONTRACT_MODE; }
+
+namespace detail {
+
+std::string format_violation(const char* kind, const char* expr,
+                             const char* file, int line,
+                             const std::string& message) {
+  std::ostringstream os;
+  os << message << " [" << kind << " `" << expr << "` violated at " << file
+     << ":" << line << "]";
+  return os.str();
+}
+
+void contract_throw(const char* kind, const char* expr, const char* file,
+                    int line, const std::string& message) {
+  throw ContractViolation(kind, expr, file, line, message);
+}
+
+void contract_trap(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& message) noexcept {
+  const std::string what =
+      format_violation(kind, expr, file, line, message);
+  std::fprintf(stderr, "rtcac: %s\n", what.c_str());
+  std::fflush(stderr);
+  __builtin_trap();
+}
+
+}  // namespace detail
+}  // namespace rtcac

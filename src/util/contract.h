@@ -1,0 +1,156 @@
+// rtcac/util/contract.h
+//
+// Contract framework for the admission-control library.
+//
+// A hard real-time CAC is only as trustworthy as its worst-case analysis
+// code: one silently violated precondition (a negative rate, an
+// out-of-order breakpoint) turns a "guaranteed" delay bound into a wrong
+// admission decision.  This header centralizes how such violations are
+// detected and what happens when one fires, replacing the ad-hoc
+// `throw std::invalid_argument` calls that used to be scattered through
+// src/core, src/sim and src/net.
+//
+// Three macro families:
+//
+//   RTCAC_REQUIRE(cond, msg)          precondition on a public API;
+//   RTCAC_ASSERT(cond, msg)           internal consistency assertion;
+//   RTCAC_INVARIANT_AUDIT(cond, msg)  O(n) re-verification of a class
+//                                     invariant (stream monotonicity, CAC
+//                                     state conservation, event-queue
+//                                     ordering).  Compiled in only when
+//                                     RTCAC_CONTRACT_AUDIT is defined
+//                                     (Debug builds do this by default,
+//                                     see the top-level CMakeLists.txt);
+//                                     Release builds pay nothing.
+//
+// The failure response is selected per translation unit at compile time
+// with -DRTCAC_CONTRACT_MODE=<n>:
+//
+//   0 (RTCAC_CONTRACT_OFF)    checks compile to nothing — for measuring
+//                             contract overhead, never for production CAC;
+//   1 (RTCAC_CONTRACT_THROW)  throw rtcac::ContractViolation (the
+//                             default).  ContractViolation derives from
+//                             std::invalid_argument so callers written
+//                             against the historical throw-based API keep
+//                             working unchanged;
+//   2 (RTCAC_CONTRACT_TRAP)   print the violation to stderr and
+//                             __builtin_trap() — for embedded/fuzzing
+//                             builds where unwinding is unavailable or
+//                             unwanted.
+//
+// The message argument is evaluated lazily: it is only constructed when
+// the check fails, so `RTCAC_REQUIRE(ok, "id " + std::to_string(id))`
+// costs nothing on the fast path beyond the condition itself.
+//
+// ODR note: every macro expands inline at the call site, so mixing modes
+// across translation units of one binary is an ODR violation for inline
+// (template/header) code.  The build applies one mode globally
+// (RTCAC_CONTRACT_MODE cache variable); the per-mode unit tests compile
+// their own self-contained helpers rather than re-instantiating library
+// templates.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#define RTCAC_CONTRACT_OFF 0
+#define RTCAC_CONTRACT_THROW 1
+#define RTCAC_CONTRACT_TRAP 2
+
+#ifndef RTCAC_CONTRACT_MODE
+#define RTCAC_CONTRACT_MODE RTCAC_CONTRACT_THROW
+#endif
+
+#if RTCAC_CONTRACT_MODE != RTCAC_CONTRACT_OFF &&   \
+    RTCAC_CONTRACT_MODE != RTCAC_CONTRACT_THROW && \
+    RTCAC_CONTRACT_MODE != RTCAC_CONTRACT_TRAP
+#error "RTCAC_CONTRACT_MODE must be 0 (off), 1 (throw) or 2 (trap)"
+#endif
+
+namespace rtcac {
+
+/// Thrown (in RTCAC_CONTRACT_THROW mode) when a contract check fails.
+/// Derives from std::invalid_argument: a contract violation is a caller
+/// bug, and the pre-framework API reported exactly that type.
+class ContractViolation : public std::invalid_argument {
+ public:
+  ContractViolation(const char* kind, const char* expression,
+                    const char* file, int line, const std::string& message);
+
+  /// "precondition", "assertion" or "invariant".
+  [[nodiscard]] const char* kind() const noexcept { return kind_; }
+  /// The stringized failing condition.
+  [[nodiscard]] const char* expression() const noexcept { return expression_; }
+  [[nodiscard]] const char* file() const noexcept { return file_; }
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  const char* kind_;
+  const char* expression_;
+  const char* file_;
+  int line_;
+};
+
+/// True iff the rtcac libraries were compiled with invariant audits
+/// (RTCAC_CONTRACT_AUDIT).  Tests use this to skip corruption tests when
+/// the library under test compiled its audits out.
+[[nodiscard]] bool audits_enabled() noexcept;
+
+/// Contract mode the rtcac libraries were compiled with (0/1/2).  The
+/// macros in *this* translation unit follow RTCAC_CONTRACT_MODE instead;
+/// the two agree in any sane build.
+[[nodiscard]] int library_contract_mode() noexcept;
+
+namespace detail {
+
+/// Formats "kind violation: msg (expr) at file:line".
+[[nodiscard]] std::string format_violation(const char* kind, const char* expr,
+                                           const char* file, int line,
+                                           const std::string& message);
+
+[[noreturn]] void contract_throw(const char* kind, const char* expr,
+                                 const char* file, int line,
+                                 const std::string& message);
+
+/// Writes the violation to stderr and traps; never unwinds, so it is safe
+/// in noexcept contexts and signal-free fuzzing harnesses.
+[[noreturn]] void contract_trap(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const std::string& message) noexcept;
+
+}  // namespace detail
+}  // namespace rtcac
+
+#if RTCAC_CONTRACT_MODE == RTCAC_CONTRACT_OFF
+#define RTCAC_CONTRACT_CHECK_(kind, cond, msg) static_cast<void>(0)
+#elif RTCAC_CONTRACT_MODE == RTCAC_CONTRACT_THROW
+#define RTCAC_CONTRACT_CHECK_(kind, cond, msg)                       \
+  ((cond) ? static_cast<void>(0)                                     \
+          : ::rtcac::detail::contract_throw(kind, #cond, __FILE__,   \
+                                            __LINE__, (msg)))
+#else  // RTCAC_CONTRACT_TRAP
+#define RTCAC_CONTRACT_CHECK_(kind, cond, msg)                       \
+  ((cond) ? static_cast<void>(0)                                     \
+          : ::rtcac::detail::contract_trap(kind, #cond, __FILE__,    \
+                                           __LINE__, (msg)))
+#endif
+
+/// Precondition on a public entry point.  `msg` may be any expression
+/// convertible to std::string; it is evaluated only on failure.
+#define RTCAC_REQUIRE(cond, msg) RTCAC_CONTRACT_CHECK_("precondition", cond, msg)
+
+/// Internal consistency assertion (a failure is a bug in rtcac itself,
+/// not in the caller's arguments).
+#define RTCAC_ASSERT(cond, msg) RTCAC_CONTRACT_CHECK_("assertion", cond, msg)
+
+// Invariant audits: expensive whole-state re-verification, compiled in
+// only for audit builds (Debug by default).
+#if defined(RTCAC_CONTRACT_AUDIT) && RTCAC_CONTRACT_MODE != RTCAC_CONTRACT_OFF
+#define RTCAC_AUDIT_ENABLED 1
+#define RTCAC_INVARIANT_AUDIT(cond, msg) \
+  RTCAC_CONTRACT_CHECK_("invariant", cond, msg)
+#else
+#define RTCAC_AUDIT_ENABLED 0
+#define RTCAC_INVARIANT_AUDIT(cond, msg) static_cast<void>(0)
+#endif

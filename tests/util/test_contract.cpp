@@ -1,0 +1,118 @@
+// Contract framework, throw mode (RTCAC_CONTRACT_MODE == 1).
+//
+// Per the ODR note in util/contract.h, each per-mode test binary pins its
+// own mode before including the header and exercises self-contained
+// helpers rather than re-instantiating library templates under a mode the
+// library was not built with.
+
+#undef RTCAC_CONTRACT_MODE
+#define RTCAC_CONTRACT_MODE 1
+#ifndef RTCAC_CONTRACT_AUDIT
+#define RTCAC_CONTRACT_AUDIT 1
+#endif
+#include "util/contract.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace rtcac {
+namespace {
+
+// Self-contained helpers using the macros under this TU's mode.
+void require_positive(int x) { RTCAC_REQUIRE(x > 0, "x must be positive"); }
+void assert_even(int x) { RTCAC_ASSERT(x % 2 == 0, "x must be even"); }
+void audit_small(int x) {
+  RTCAC_INVARIANT_AUDIT(x < 100, "x exceeded the audited bound");
+}
+
+TEST(ContractThrow, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(require_positive(1));
+  EXPECT_NO_THROW(assert_even(2));
+  EXPECT_NO_THROW(audit_small(3));
+}
+
+TEST(ContractThrow, RequireThrowsContractViolation) {
+  EXPECT_THROW(require_positive(0), ContractViolation);
+}
+
+TEST(ContractThrow, ViolationIsAnInvalidArgumentAndLogicError) {
+  // Compatibility guarantee: pre-framework callers caught
+  // std::invalid_argument (and hence std::logic_error).
+  EXPECT_THROW(require_positive(-5), std::invalid_argument);
+  EXPECT_THROW(require_positive(-5), std::logic_error);
+}
+
+TEST(ContractThrow, ViolationCarriesKindExpressionAndLocation) {
+  try {
+    require_positive(-1);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "precondition");
+    EXPECT_STREQ(e.expression(), "x > 0");
+    EXPECT_NE(std::string(e.file()).find("test_contract.cpp"),
+              std::string::npos);
+    EXPECT_GT(e.line(), 0);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x must be positive"), std::string::npos);
+    EXPECT_NE(what.find("precondition `x > 0` violated at"),
+              std::string::npos);
+  }
+}
+
+TEST(ContractThrow, AssertReportsAssertionKind) {
+  try {
+    assert_even(3);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "assertion");
+  }
+}
+
+TEST(ContractThrow, AuditReportsInvariantKind) {
+  static_assert(RTCAC_AUDIT_ENABLED == 1,
+                "this TU defines RTCAC_CONTRACT_AUDIT");
+  try {
+    audit_small(1000);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "invariant");
+  }
+}
+
+TEST(ContractThrow, MessageIsEvaluatedLazily) {
+  int evaluations = 0;
+  auto expensive_message = [&evaluations] {
+    ++evaluations;
+    return std::string("expensive");
+  };
+  RTCAC_REQUIRE(true, expensive_message());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(RTCAC_REQUIRE(false, expensive_message()), ContractViolation);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ContractThrow, MessageAcceptsStringExpressions) {
+  const int id = 42;
+  try {
+    RTCAC_REQUIRE(id < 0, "bad id " + std::to_string(id));
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("bad id 42"), std::string::npos);
+  }
+}
+
+TEST(ContractThrow, LibraryModeIntrospectionIsConsistent) {
+  // The linked rtcac_util reports the build-wide mode; whatever it is,
+  // it must be one of the three valid settings, and audits_enabled()
+  // must agree with its definition.
+  const int mode = library_contract_mode();
+  EXPECT_TRUE(mode == 0 || mode == 1 || mode == 2);
+  if (mode == 0) {
+    EXPECT_FALSE(audits_enabled());
+  }
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,63 @@
+// Contract framework, off mode (RTCAC_CONTRACT_MODE == 0): every check in
+// this translation unit must compile to nothing — neither the condition
+// nor the message expression is evaluated.
+
+#undef RTCAC_CONTRACT_MODE
+#define RTCAC_CONTRACT_MODE 0
+#ifndef RTCAC_CONTRACT_AUDIT
+#define RTCAC_CONTRACT_AUDIT 1
+#endif
+#include "util/contract.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rtcac {
+namespace {
+
+TEST(ContractOff, FailingChecksAreNoOps) {
+  EXPECT_NO_THROW(RTCAC_REQUIRE(false, "ignored"));
+  EXPECT_NO_THROW(RTCAC_ASSERT(false, "ignored"));
+  EXPECT_NO_THROW(RTCAC_INVARIANT_AUDIT(false, "ignored"));
+}
+
+TEST(ContractOff, ConditionIsNotEvaluated) {
+  int evaluations = 0;
+  // [[maybe_unused]]: in off mode the macro discards its arguments, so
+  // the lambda is never referenced at all.
+  [[maybe_unused]] auto failing_condition = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  RTCAC_REQUIRE(failing_condition(), "ignored");
+  RTCAC_ASSERT(failing_condition(), "ignored");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractOff, MessageIsNotEvaluated) {
+  int evaluations = 0;
+  [[maybe_unused]] auto expensive_message = [&evaluations] {
+    ++evaluations;
+    return std::string("expensive");
+  };
+  RTCAC_REQUIRE(false, expensive_message());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractOff, AuditsCompileOutEvenWhenAuditMacroDefined) {
+  // RTCAC_CONTRACT_AUDIT is defined in this TU, but off mode wins: the
+  // audit gate requires a live contract mode.
+  static_assert(RTCAC_AUDIT_ENABLED == 0,
+                "audits must be dead in off mode");
+  int evaluations = 0;
+  [[maybe_unused]] auto counting_condition = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  RTCAC_INVARIANT_AUDIT(counting_condition(), "ignored");
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -1,0 +1,51 @@
+// Contract framework, trap mode (RTCAC_CONTRACT_MODE == 2): a failing
+// check prints the violation to stderr and aborts the process via
+// __builtin_trap().  Verified with gtest death tests.
+
+#undef RTCAC_CONTRACT_MODE
+#define RTCAC_CONTRACT_MODE 2
+#ifndef RTCAC_CONTRACT_AUDIT
+#define RTCAC_CONTRACT_AUDIT 1
+#endif
+#include "util/contract.h"
+
+#include <gtest/gtest.h>
+
+namespace rtcac {
+namespace {
+
+void require_positive(int x) { RTCAC_REQUIRE(x > 0, "x must be positive"); }
+void audit_small(int x) {
+  RTCAC_INVARIANT_AUDIT(x < 100, "x exceeded the audited bound");
+}
+
+TEST(ContractTrapDeathTest, PassingChecksDoNotDie) {
+  require_positive(7);
+  audit_small(7);
+  SUCCEED();
+}
+
+TEST(ContractTrapDeathTest, FailingRequireTrapsWithDiagnostic) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(require_positive(-1),
+               "x must be positive.*precondition `x > 0` violated at");
+}
+
+TEST(ContractTrapDeathTest, FailingAuditTraps) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(audit_small(500), "invariant `x < 100` violated at");
+}
+
+TEST(ContractTrapDeathTest, TrapIsUsableInNoexceptContext) {
+  // contract_trap never unwinds, so a failing check inside a noexcept
+  // function must not turn into std::terminate-with-active-exception —
+  // it dies via the trap with the diagnostic already flushed.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  auto noexcept_fn = [](int x) noexcept {
+    RTCAC_REQUIRE(x > 0, "noexcept precondition");
+  };
+  EXPECT_DEATH(noexcept_fn(0), "noexcept precondition");
+}
+
+}  // namespace
+}  // namespace rtcac

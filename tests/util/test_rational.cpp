@@ -105,5 +105,54 @@ TEST(Rational, SumOfManyTermsStaysExact) {
   EXPECT_EQ(sum, Rational(30, 31));
 }
 
+// Extreme-input regressions: every operation routes intermediates through
+// 128-bit arithmetic, so nothing below may overflow an int64 silently (a
+// signed-overflow UB report under UBSan) — each either yields the exact
+// value or throws RationalOverflow.
+
+TEST(Rational, Int64MinInputsDoNotOverflowSilently) {
+  const std::int64_t min64 = std::numeric_limits<std::int64_t>::min();
+  // -min64 does not exist in int64; negation and min/-1 must throw, not
+  // wrap.
+  EXPECT_THROW(-Rational(min64), RationalOverflow);
+  EXPECT_THROW(Rational(min64, -1), RationalOverflow);
+  // min64 itself and min64/positive-denominator are representable.
+  EXPECT_EQ(Rational(min64).to_string(),
+            std::to_string(min64));
+  EXPECT_EQ(Rational(min64, 2), Rational(min64 / 2));
+  EXPECT_THROW(static_cast<void>(abs(Rational(min64))), RationalOverflow);
+}
+
+TEST(Rational, ExtremeArithmeticEitherExactOrThrows) {
+  const std::int64_t max64 = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t min64 = std::numeric_limits<std::int64_t>::min();
+  const Rational hi(max64);
+  const Rational lo(min64);
+  // max - min == 2^64 - 1 > int64: overflow, detected.
+  EXPECT_THROW(hi - lo, RationalOverflow);
+  EXPECT_THROW(lo * Rational(2), RationalOverflow);
+  EXPECT_THROW(lo * lo, RationalOverflow);
+  // Exactly representable extreme results pass through.
+  EXPECT_EQ(hi + lo, Rational(-1));
+  EXPECT_EQ(lo / lo, Rational(1));
+  EXPECT_EQ(hi / hi, Rational(1));
+  EXPECT_EQ(lo / Rational(2), Rational(min64 / 2));
+  // 1/max64 * max64 exercises the largest cross products that still
+  // reduce into range.
+  EXPECT_EQ(Rational(1, max64) * Rational(max64), Rational(1));
+}
+
+TEST(Rational, ExtremeDenominatorsCompareCorrectly) {
+  const std::int64_t max64 = std::numeric_limits<std::int64_t>::max();
+  const Rational tiny(1, max64);
+  const Rational tinier(1, max64 - 1);
+  // Cross-multiplied comparison uses 128-bit intermediates; it must not
+  // wrap into a reversed ordering.
+  EXPECT_LT(tiny, tinier);
+  EXPECT_GT(Rational(max64), Rational(max64 - 1));
+  EXPECT_LT(Rational(std::numeric_limits<std::int64_t>::min()),
+            Rational(1, max64));
+}
+
 }  // namespace
 }  // namespace rtcac

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""rtcac_lint: project-specific static checks for the rtcac source tree.
+
+Rules (see docs/STATIC_ANALYSIS.md for rationale):
+
+  float-compare     src/core must not compare against floating-point
+                    literals with raw ==, !=, <= or >=.  Admission
+                    decisions are numeric-policy-sensitive; tolerant
+                    comparisons belong in NumTraits<Num> (nearly_equal,
+                    nearly_leq, snap_nonnegative) so the Rational and
+                    double instantiations stay semantically aligned.
+
+  no-rand           No rand(), std::rand or srand anywhere in src/.
+                    Simulations must be reproducible from a seed; use
+                    util/xorshift.h (SplitMix/xorshift) instead.
+
+  naked-throw       src/core must not `throw std::invalid_argument`
+                    directly for precondition failures; use RTCAC_REQUIRE
+                    from util/contract.h so the failure mode (throw /
+                    trap / off) is centrally configurable.
+
+  include-hygiene   Project includes are quoted and src/-relative
+                    ("core/bitstream.h"), never "..", never bare
+                    same-directory names; system headers use <>.
+                    Every header starts with #pragma once.
+
+A finding can be suppressed on its line with a trailing comment:
+    // rtcac-lint: allow(<rule-name>)
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
+errors.  Run from anywhere: paths are resolved against --root (default:
+the repository containing this script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Top-level directories under src/ that form the include namespace.
+SRC_MODULES = ("util", "core", "atm", "sim", "net", "baseline", "rtnet", "cli")
+
+ALLOW_RE = re.compile(r"rtcac-lint:\s*allow\(([a-z-]+)\)")
+
+# Comparison of a floating-point literal with a raw relational operator,
+# either side: `x == 0.5`, `1e-9 >= y`, `r <= 1.0f`.
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+|\d+[eE][-+]?\d+|\d+\.\d*[eE][-+]?\d+)[fF]?"
+FLOAT_CMP_RE = re.compile(
+    r"(?:(?:==|!=|<=|>=)\s*" + FLOAT_LITERAL + r"(?![\w.])"
+    r"|(?<![\w.])" + FLOAT_LITERAL + r"\s*(?:==|!=|<=|>=))"
+)
+
+RAND_RE = re.compile(r"(?:std::|\b)s?rand\s*\(")
+NAKED_THROW_RE = re.compile(r"\bthrow\s+std::invalid_argument\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
+
+
+def strip_comments_and_strings(line: str, in_block_comment: bool):
+    """Blanks out comment and string-literal bodies, preserving column
+    positions, so the rule regexes never fire on prose or messages.
+    Returns (code_text, comment_text, still_in_block_comment)."""
+    code = []
+    comment = []
+    i = 0
+    n = len(line)
+    state = "block" if in_block_comment else "code"
+    quote = ""
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                comment.append(line[i:])
+                break
+            if c == "/" and nxt == "*":
+                state = "block"
+                code.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = "string"
+                quote = c
+                code.append(c)
+                i += 1
+                continue
+            code.append(c)
+            i += 1
+        elif state == "string":
+            if c == "\\":
+                code.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                code.append(c)
+            else:
+                code.append(" ")
+            i += 1
+        else:  # block comment
+            if c == "*" and nxt == "/":
+                state = "code"
+                comment.append("  ")
+                i += 2
+                continue
+            comment.append(c)
+            i += 1
+    return "".join(code), "".join(comment), state == "block"
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings: list[tuple[Path, int, str, str]] = []
+
+    def report(self, path: Path, lineno: int, rule: str, message: str,
+               comment_text: str) -> None:
+        if rule in ALLOW_RE.findall(comment_text):
+            return
+        self.findings.append((path, lineno, rule, message))
+
+    def lint_file(self, path: Path) -> None:
+        rel = path.relative_to(self.root)
+        in_core = rel.parts[:2] == ("src", "core")
+        is_header = path.suffix == ".h"
+        text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+
+        if is_header and not any(
+                ln.strip() == "#pragma once" for ln in lines):
+            self.report(path, 1, "include-hygiene",
+                        "header is missing #pragma once", "")
+
+        in_block = False
+        for lineno, raw in enumerate(lines, start=1):
+            code, comment_text, in_block = strip_comments_and_strings(
+                raw, in_block)
+
+            # Match includes against the raw line: the stripper blanks
+            # string bodies, which would erase the include path itself.
+            m = INCLUDE_RE.match(raw)
+            if m:
+                target = m.group(1)
+                if target.startswith('"'):
+                    inner = target.strip('"')
+                    if ".." in inner.split("/"):
+                        self.report(path, lineno, "include-hygiene",
+                                    f'parent-relative include "{inner}"; use '
+                                    "a src/-relative path", comment_text)
+                    elif inner.split("/")[0] not in SRC_MODULES:
+                        self.report(
+                            path, lineno, "include-hygiene",
+                            f'quoted include "{inner}" is not src/-relative '
+                            f"(expected one of: {', '.join(SRC_MODULES)}/...); "
+                            "system headers use <>", comment_text)
+
+            if RAND_RE.search(code):
+                self.report(path, lineno, "no-rand",
+                            "rand()/srand() is not reproducible across "
+                            "platforms; use util/xorshift.h", comment_text)
+
+            if in_core:
+                if NAKED_THROW_RE.search(code):
+                    self.report(path, lineno, "naked-throw",
+                                "precondition failures in src/core go "
+                                "through RTCAC_REQUIRE (util/contract.h), "
+                                "not naked throws", comment_text)
+                if FLOAT_CMP_RE.search(code):
+                    self.report(path, lineno, "float-compare",
+                                "raw comparison against a floating-point "
+                                "literal in an admission path; use "
+                                "NumTraits<Num> (nearly_equal / nearly_leq)",
+                                comment_text)
+
+    def run(self, paths: list[Path]) -> int:
+        for path in paths:
+            self.lint_file(path)
+        for path, lineno, rule, message in self.findings:
+            rel = path.relative_to(self.root)
+            print(f"{rel}:{lineno}: [{rule}] {message}")
+        if self.findings:
+            print(f"rtcac_lint: {len(self.findings)} finding(s)",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: inferred)")
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="files to lint (default: all of src/)")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"rtcac_lint: {root} does not look like the rtcac repo "
+              "(no src/)", file=sys.stderr)
+        return 2
+
+    if args.files:
+        paths = [p.resolve() for p in args.files]
+        for p in paths:
+            if not p.is_file():
+                print(f"rtcac_lint: no such file: {p}", file=sys.stderr)
+                return 2
+    else:
+        paths = sorted(p for p in (root / "src").rglob("*")
+                       if p.suffix in (".h", ".cpp") and p.is_file())
+
+    return Linter(root).run(paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
