@@ -162,15 +162,55 @@ typename BasicSwitchCac<Num>::CheckResult BasicSwitchCac<Num>::check(
 template <typename Num>
 void BasicSwitchCac<Num>::add(ConnectionId id, std::size_t in_port,
                               std::size_t out_port, Priority priority,
-                              const Stream& arrival) {
+                              const Stream& arrival, double lease_expiry) {
   check_ports(in_port, out_port, priority);
   RTCAC_REQUIRE(!records_.contains(id),
                 "SwitchCac: duplicate connection id " + std::to_string(id));
-  records_.emplace(id, Record{in_port, out_port, priority, arrival});
+  records_.emplace(id,
+                   Record{in_port, out_port, priority, arrival, lease_expiry});
   const std::size_t idx = cell_index(in_port, out_port, priority);
   arrival_aggr_[idx] = multiplex(arrival_aggr_[idx], arrival);
   ++cell_counts_[idx];
   audit_invariants();
+}
+
+template <typename Num>
+bool BasicSwitchCac<Num>::renew_lease(ConnectionId id, double lease_expiry) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  it->second.lease_expiry = lease_expiry;
+  return true;
+}
+
+template <typename Num>
+bool BasicSwitchCac<Num>::make_permanent(ConnectionId id) {
+  return renew_lease(id, kPermanentLease);
+}
+
+template <typename Num>
+double BasicSwitchCac<Num>::lease_expiry(ConnectionId id) const {
+  const auto it = records_.find(id);
+  RTCAC_REQUIRE(it != records_.end(),
+                "SwitchCac: lease_expiry of unknown id " + std::to_string(id));
+  return it->second.lease_expiry;
+}
+
+template <typename Num>
+std::vector<ConnectionId> BasicSwitchCac<Num>::reclaim(double now) {
+  std::vector<ConnectionId> expired;
+  for (const auto& [id, rec] : records_) {
+    if (rec.lease_expiry <= now) expired.push_back(id);
+  }
+  for (const ConnectionId id : expired) remove(id);
+  return expired;
+}
+
+template <typename Num>
+std::vector<ConnectionId> BasicSwitchCac<Num>::connection_ids() const {
+  std::vector<ConnectionId> ids;
+  ids.reserve(records_.size());
+  for (const auto& [id, rec] : records_) ids.push_back(id);
+  return ids;
 }
 
 template <typename Num>

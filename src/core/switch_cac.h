@@ -27,6 +27,13 @@
 // the exact state (aggregates are rebuilt from the per-connection records,
 // so floating-point drift cannot accumulate across setup/teardown cycles).
 //
+// Fault tolerance: a commit may carry a *lease* — an expiry instant on the
+// caller's clock.  A hop reserved by a distributed SETUP holds its
+// bandwidth only until the lease runs out; CONNECTED (via
+// ConnectionManager::adopt) makes it permanent, retransmitted SETUPs renew
+// it, and reclaim(now) sweeps whatever expired so a lost message can never
+// leak reserved bandwidth forever (docs/FAULT_TOLERANCE.md).
+//
 // Like the stream algebra, the engine is generic over its scalar:
 // `SwitchCac` (double) is the production instantiation; `ExactSwitchCac`
 // (Rational) decides exactly at the boundary — a computed bound equal to
@@ -35,6 +42,7 @@
 
 #pragma once
 
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -107,14 +115,45 @@ class BasicSwitchCac {
                                   Priority priority,
                                   const Stream& arrival) const;
 
+  /// Lease expiry marking a permanent (non-expiring) commitment.
+  static constexpr double kPermanentLease =
+      std::numeric_limits<double>::infinity();
+
   /// Commits a connection.  Call after a successful check(); add() itself
   /// does not re-verify bounds.  Throws std::invalid_argument on duplicate
-  /// id or out-of-range ports.
+  /// id or out-of-range ports.  `lease_expiry` is the instant (caller's
+  /// clock) the reservation may be reclaimed as an orphan; the default
+  /// commits permanently.
   void add(ConnectionId id, std::size_t in_port, std::size_t out_port,
-           Priority priority, const Stream& arrival);
+           Priority priority, const Stream& arrival,
+           double lease_expiry = kPermanentLease);
 
   /// Removes a connection; returns false if the id is unknown.
   bool remove(ConnectionId id);
+
+  /// True iff `id` currently holds a reservation here.
+  [[nodiscard]] bool contains(ConnectionId id) const noexcept {
+    return records_.contains(id);
+  }
+
+  /// Extends (or shortens) the lease of a committed connection; returns
+  /// false if the id is unknown.
+  bool renew_lease(ConnectionId id, double lease_expiry);
+
+  /// Converts a leased reservation into a permanent one (CONNECTED
+  /// confirmed end to end); returns false if the id is unknown.
+  bool make_permanent(ConnectionId id);
+
+  /// Lease expiry of a committed connection.  Throws for an unknown id.
+  [[nodiscard]] double lease_expiry(ConnectionId id) const;
+
+  /// Removes every reservation whose lease expired at or before `now` and
+  /// returns the reclaimed connection ids (ascending).  Permanent
+  /// commitments are never reclaimed.
+  std::vector<ConnectionId> reclaim(double now);
+
+  /// Ids of all committed connections, ascending.
+  [[nodiscard]] std::vector<ConnectionId> connection_ids() const;
 
   /// Computed worst-case delay bound D'(j,p) with the current connection
   /// set; nullopt when unbounded.  Zero traffic yields 0.
@@ -161,6 +200,7 @@ class BasicSwitchCac {
     std::size_t out_port;
     Priority priority;
     Stream arrival;
+    double lease_expiry = kPermanentLease;
   };
 
   [[nodiscard]] std::size_t cell_index(std::size_t in_port,

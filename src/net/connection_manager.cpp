@@ -1,6 +1,7 @@
 #include "net/connection_manager.h"
 
 #include <limits>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -12,6 +13,18 @@ namespace rtcac {
 
 namespace {
 constexpr std::size_t kNoCac = std::numeric_limits<std::size_t>::max();
+}
+
+const char* to_string(TeardownReason reason) noexcept {
+  switch (reason) {
+    case TeardownReason::kLocal:
+      return "local";
+    case TeardownReason::kRelease:
+      return "release";
+    case TeardownReason::kFailure:
+      return "failure";
+  }
+  return "?";
 }
 
 ConnectionManager::ConnectionManager(const Topology& topology,
@@ -156,17 +169,55 @@ ConnectionManager::SetupResult ConnectionManager::setup(
 void ConnectionManager::adopt(ConnectionId id, ConnectionRecord record) {
   RTCAC_REQUIRE(!records_.contains(id),
                 "ConnectionManager: duplicate adopted id");
+  for (const HopRef& hop : record.hops) {
+    RTCAC_ASSERT(switch_cac(hop.node).contains(id),
+                 "ConnectionManager: adopted connection " +
+                     std::to_string(id) + " holds no reservation at " +
+                     topology_.node(hop.node).name);
+    // CONNECTED confirmed the route end to end; the reservations stop
+    // being provisional and outlive any setup lease.
+    switch_cac(hop.node).make_permanent(id);
+  }
   records_.emplace(id, std::move(record));
 }
 
 bool ConnectionManager::teardown(ConnectionId id) {
+  return teardown(id, TeardownReason::kLocal);
+}
+
+bool ConnectionManager::teardown(ConnectionId id, TeardownReason reason) {
   const auto it = records_.find(id);
   if (it == records_.end()) return false;
   for (const HopRef& hop : it->second.hops) {
     switch_cac(hop.node).remove(id);
   }
   records_.erase(it);
+  ++teardowns_[reason];
   return true;
+}
+
+std::size_t ConnectionManager::teardowns(TeardownReason reason) const {
+  const auto it = teardowns_.find(reason);
+  return it == teardowns_.end() ? 0 : it->second;
+}
+
+ConnectionManager::ReclaimResult ConnectionManager::reclaim(double now) {
+  ReclaimResult result;
+  std::set<ConnectionId> orphans;
+  for (SwitchCac& cac : cacs_) {
+    for (const ConnectionId id : cac.reclaim(now)) {
+      // Adopted connections are permanent; an expired lease can only
+      // belong to a setup attempt that never completed.
+      RTCAC_ASSERT(!records_.contains(id),
+                   "ConnectionManager: reclaimed a reservation of adopted "
+                   "connection " + std::to_string(id));
+      ++result.reservations_reclaimed;
+      orphans.insert(id);
+    }
+  }
+  result.orphans.assign(orphans.begin(), orphans.end());
+  orphans_reclaimed_ += result.orphans.size();
+  return result;
 }
 
 std::optional<double> ConnectionManager::current_e2e_bound(

@@ -39,6 +39,15 @@ namespace rtcac {
 
 enum class GuaranteeMode { kAdvertised, kComputed };
 
+/// Why a connection's reservations were released (diagnostics counters).
+enum class TeardownReason {
+  kLocal,    ///< ordinary user-requested teardown
+  kRelease,  ///< signaling RELEASE tearing down a failed/timed-out setup
+  kFailure,  ///< component failure forced the release
+};
+
+[[nodiscard]] const char* to_string(TeardownReason reason) noexcept;
+
 /// One queueing point a route crosses: switch `node` transmitting onto
 /// `link` from its output queue `out_port`, fed from input `in_port`.
 struct HopRef {
@@ -81,8 +90,28 @@ class ConnectionManager {
   SetupResult setup(const QosRequest& request, const Route& route);
 
   /// Releases a connection, restoring every switch's state.  Returns
-  /// false for an unknown id.
+  /// false for an unknown id.  The reason-tagged variant feeds the
+  /// teardowns() diagnostics counters (the plain form counts as kLocal).
   bool teardown(ConnectionId id);
+  bool teardown(ConnectionId id, TeardownReason reason);
+
+  /// Teardowns performed so far for `reason`.
+  [[nodiscard]] std::size_t teardowns(TeardownReason reason) const;
+
+  /// Orphan-reservation reclamation sweep: removes, from every switch,
+  /// reservations whose lease expired at or before `now`.  Adopted
+  /// connections are permanent and never reclaimed.  Returns the distinct
+  /// orphaned connection ids and the number of hop reservations returned.
+  struct ReclaimResult {
+    std::vector<ConnectionId> orphans;     ///< distinct ids, ascending
+    std::size_t reservations_reclaimed = 0;  ///< hop entries removed
+  };
+  ReclaimResult reclaim(double now);
+
+  /// Cumulative count of distinct orphaned connections reclaimed.
+  [[nodiscard]] std::size_t orphans_reclaimed() const noexcept {
+    return orphans_reclaimed_;
+  }
 
   /// Queueing points of a route (links transmitted by switches).  Throws
   /// std::invalid_argument on a malformed route.
@@ -127,7 +156,10 @@ class ConnectionManager {
 
   /// Signaling support: registers a connection whose per-switch state was
   /// committed externally (by SignalingEngine), making it visible to
-  /// teardown() and current_e2e_bound().  Throws on duplicate id.
+  /// teardown() and current_e2e_bound().  Throws on duplicate id.  Verifies
+  /// (under RTCAC_ASSERT) that every hop of the record actually holds a
+  /// reservation for `id`, then makes those reservations permanent — the
+  /// lease refresh the CONNECTED confirmation implies.
   void adopt(ConnectionId id, ConnectionRecord record);
 
  private:
@@ -137,6 +169,8 @@ class ConnectionManager {
   std::vector<std::size_t> cac_index_;
   std::vector<SwitchCac> cacs_;
   std::map<ConnectionId, ConnectionRecord> records_;
+  std::map<TeardownReason, std::size_t> teardowns_;
+  std::size_t orphans_reclaimed_ = 0;
   ConnectionId next_id_ = 1;
 };
 

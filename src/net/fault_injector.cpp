@@ -1,0 +1,115 @@
+#include "net/fault_injector.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+
+namespace rtcac {
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultProfile profile)
+    : rng_(seed), profile_(profile) {
+  const auto is_probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+  RTCAC_REQUIRE(is_probability(profile_.drop_probability) &&
+                    is_probability(profile_.duplicate_probability) &&
+                    is_probability(profile_.delay_probability) &&
+                    is_probability(profile_.reorder_probability),
+                "FaultInjector: probabilities must be in [0, 1]");
+  RTCAC_REQUIRE(profile_.max_delay >= 1 && profile_.max_jitter >= 1,
+                "FaultInjector: max_delay and max_jitter must be >= 1");
+}
+
+FaultVerdict FaultInjector::verdict(const SignalingMessage& m) {
+  ++counters_.messages_seen;
+  const std::size_t ordinal = ++seen_[m.type];
+
+  FaultVerdict v;
+  if (const auto it = scripted_drops_.find(m.type);
+      it != scripted_drops_.end() && it->second.contains(ordinal)) {
+    v.drop = true;
+    ++counters_.dropped;
+    return v;
+  }
+  if (const auto it = scripted_dups_.find(m.type);
+      it != scripted_dups_.end() && it->second.contains(ordinal)) {
+    v.duplicate = true;
+    v.duplicate_delay = 1;
+    ++counters_.duplicated;
+    return v;
+  }
+
+  if (rng_.chance(profile_.drop_probability)) {
+    v.drop = true;
+    ++counters_.dropped;
+    return v;  // a dropped message spawns no duplicate and needs no delay
+  }
+  if (rng_.chance(profile_.duplicate_probability)) {
+    v.duplicate = true;
+    v.duplicate_delay = static_cast<Tick>(
+        1 + rng_.below(static_cast<std::uint64_t>(profile_.max_delay)));
+    ++counters_.duplicated;
+  }
+  if (rng_.chance(profile_.delay_probability)) {
+    v.extra_delay = static_cast<Tick>(
+        1 + rng_.below(static_cast<std::uint64_t>(profile_.max_delay)));
+    ++counters_.delayed;
+  } else if (rng_.chance(profile_.reorder_probability)) {
+    v.extra_delay = static_cast<Tick>(
+        1 + rng_.below(static_cast<std::uint64_t>(profile_.max_jitter)));
+    ++counters_.reordered;
+  }
+  return v;
+}
+
+void FaultInjector::drop_nth(SignalingMessageType type, std::size_t nth) {
+  RTCAC_REQUIRE(nth >= 1, "FaultInjector: scripted ordinals are 1-based");
+  scripted_drops_[type].insert(nth);
+}
+
+void FaultInjector::duplicate_nth(SignalingMessageType type,
+                                  std::size_t nth) {
+  RTCAC_REQUIRE(nth >= 1, "FaultInjector: scripted ordinals are 1-based");
+  scripted_dups_[type].insert(nth);
+}
+
+void FaultInjector::fail_node(NodeId node) { down_nodes_.insert(node); }
+void FaultInjector::recover_node(NodeId node) { down_nodes_.erase(node); }
+void FaultInjector::fail_link(LinkId link) { down_links_.insert(link); }
+void FaultInjector::recover_link(LinkId link) { down_links_.erase(link); }
+
+void FaultInjector::schedule_node_outage(NodeId node, Tick from, Tick to) {
+  RTCAC_REQUIRE(from < to, "FaultInjector: empty outage window");
+  node_outages_[node].push_back(Outage{from, to});
+}
+
+void FaultInjector::schedule_link_outage(LinkId link, Tick from, Tick to) {
+  RTCAC_REQUIRE(from < to, "FaultInjector: empty outage window");
+  link_outages_[link].push_back(Outage{from, to});
+}
+
+bool FaultInjector::in_outage(const std::vector<Outage>& outages,
+                              Tick now) noexcept {
+  return std::any_of(outages.begin(), outages.end(), [now](const Outage& o) {
+    return o.from <= now && now < o.to;
+  });
+}
+
+bool FaultInjector::node_up(NodeId node, Tick now) const {
+  if (down_nodes_.contains(node)) return false;
+  const auto it = node_outages_.find(node);
+  return it == node_outages_.end() || !in_outage(it->second, now);
+}
+
+bool FaultInjector::link_up(LinkId link, Tick now) const {
+  if (down_links_.contains(link)) return false;
+  const auto it = link_outages_.find(link);
+  return it == link_outages_.end() || !in_outage(it->second, now);
+}
+
+bool FaultInjector::deliverable(const SignalingMessage& m, Tick now) {
+  const bool ok = node_up(m.at, now) &&
+                  (!m.via.has_value() || link_up(*m.via, now));
+  if (!ok) ++counters_.failed_component_losses;
+  return ok;
+}
+
+}  // namespace rtcac

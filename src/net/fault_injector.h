@@ -1,0 +1,122 @@
+// rtcac/net/fault_injector.h
+//
+// Deterministic, seeded fault model for the signaling plane.  The paper's
+// setup procedure (Section 4.1) assumes lossless in-order delivery and
+// non-failing components; this injector supplies the adversary the
+// fault-tolerant engine is tested against:
+//
+//   * per-message faults — drop, duplicate, delay, reorder — drawn from a
+//     seeded xoshiro stream, so a failure trace is reproducible from its
+//     seed alone;
+//   * scripted faults — "drop the 2nd REJECT" — for the targeted cascade
+//     regressions (a lost REJECT, a lost CONNECTED, a duplicate SETUP
+//     arriving after the reject);
+//   * component failures — links and switches taken down either manually
+//     or over scheduled tick windows.  A message is lost when, at its
+//     delivery instant, the node it addresses or the link carrying it is
+//     down.
+//
+// The injector only *classifies*; the SignalingEngine applies verdicts to
+// its timed queue.  All state, including the RNG, lives here so two
+// engines with equal seeds and schedules replay identical fault traces.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/signaling_message.h"
+#include "util/xorshift.h"
+
+namespace rtcac {
+
+/// Probabilities are per message; draws are independent.
+struct FaultProfile {
+  double drop_probability = 0;
+  double duplicate_probability = 0;
+  double delay_probability = 0;
+  /// Extra transit ticks a delayed message suffers, uniform in
+  /// [1, max_delay].
+  Tick max_delay = 8;
+  double reorder_probability = 0;
+  /// Forward jitter of a reordered message, uniform in [1, max_jitter] —
+  /// enough to swap it past its neighbors in the timed queue.
+  Tick max_jitter = 2;
+};
+
+/// Fate of one message at send time.
+struct FaultVerdict {
+  bool drop = false;
+  bool duplicate = false;
+  Tick extra_delay = 0;      ///< added to the original copy's transit
+  Tick duplicate_delay = 0;  ///< extra transit of the duplicate copy
+};
+
+struct FaultCounters {
+  std::size_t messages_seen = 0;
+  std::size_t dropped = 0;
+  std::size_t duplicated = 0;
+  std::size_t delayed = 0;
+  std::size_t reordered = 0;
+  /// Messages lost because their node or link was down at delivery.
+  std::size_t failed_component_losses = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed, FaultProfile profile = {});
+
+  /// Classifies a message about to be sent; updates counters.  Scripted
+  /// faults take precedence over probabilistic draws (a scripted drop
+  /// wins over a scripted duplicate).
+  [[nodiscard]] FaultVerdict verdict(const SignalingMessage& m);
+
+  /// Scripts the nth (1-based) message of `type` to be dropped or
+  /// duplicated, counting from the injector's construction.
+  void drop_nth(SignalingMessageType type, std::size_t nth);
+  void duplicate_nth(SignalingMessageType type, std::size_t nth);
+
+  /// Manual component state; failures persist until recovered.
+  void fail_node(NodeId node);
+  void recover_node(NodeId node);
+  void fail_link(LinkId link);
+  void recover_link(LinkId link);
+
+  /// Scheduled outage over the half-open tick window [from, to).
+  void schedule_node_outage(NodeId node, Tick from, Tick to);
+  void schedule_link_outage(LinkId link, Tick from, Tick to);
+
+  [[nodiscard]] bool node_up(NodeId node, Tick now) const;
+  [[nodiscard]] bool link_up(LinkId link, Tick now) const;
+
+  /// True iff `m` can be delivered at `now`: the addressed node and the
+  /// carrying link (if any) are up.  Counts a component loss when not.
+  [[nodiscard]] bool deliverable(const SignalingMessage& m, Tick now);
+
+  [[nodiscard]] const FaultCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  struct Outage {
+    Tick from = 0;
+    Tick to = 0;
+  };
+  [[nodiscard]] static bool in_outage(const std::vector<Outage>& outages,
+                                      Tick now) noexcept;
+
+  Xorshift rng_;
+  FaultProfile profile_;
+  std::map<SignalingMessageType, std::set<std::size_t>> scripted_drops_;
+  std::map<SignalingMessageType, std::set<std::size_t>> scripted_dups_;
+  std::map<SignalingMessageType, std::size_t> seen_;
+  std::set<NodeId> down_nodes_;
+  std::set<LinkId> down_links_;
+  std::map<NodeId, std::vector<Outage>> node_outages_;
+  std::map<LinkId, std::vector<Outage>> link_outages_;
+  FaultCounters counters_;
+};
+
+}  // namespace rtcac

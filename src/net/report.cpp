@@ -53,6 +53,60 @@ std::string NetworkReport::to_string() const {
   return os.str();
 }
 
+double SignalingReport::connect_ratio() const {
+  if (attempts == 0) return 1.0;
+  return static_cast<double>(connected) / static_cast<double>(attempts);
+}
+
+std::string SignalingReport::to_string() const {
+  std::ostringstream os;
+  os << "signaling report: " << attempts << " attempts, " << connected
+     << " connected (" << connect_ratio() * 100.0 << "%)\n";
+  os << "  retransmits " << retransmits << ", timeouts " << timeouts
+     << ", stale dropped " << stale_dropped << ", lost to faults "
+     << lost_to_faults << "\n";
+  os << "  releases sent " << releases_sent << " (" << released_hops
+     << " hop reservations), orphans reclaimed " << orphans_reclaimed
+     << "\n";
+  for (const auto& [reason, count] : rejects_by_reason) {
+    if (count > 0) {
+      os << "  rejected (" << rtcac::to_string(reason) << "): " << count
+         << "\n";
+    }
+  }
+  for (const auto& [reason, count] : teardowns) {
+    if (count > 0) {
+      os << "  torn down (" << rtcac::to_string(reason) << "): " << count
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+SignalingReport summarize_signaling(const SignalingEngine& engine) {
+  SignalingReport report;
+  report.attempts = engine.outcomes().size();
+  for (const auto& entry : engine.outcomes()) {
+    if (entry.second.connected) ++report.connected;
+  }
+  const SignalingEngine::Counters& c = engine.counters();
+  report.retransmits = c.retransmits;
+  report.timeouts = c.timeouts;
+  report.stale_dropped = c.stale_dropped;
+  report.releases_sent = c.releases_sent;
+  report.released_hops = c.released_hops;
+  report.lost_to_faults = c.lost_to_faults;
+  report.rejects_by_reason = c.rejects_by_reason;
+  const ConnectionManager& manager = engine.manager();
+  report.orphans_reclaimed = manager.orphans_reclaimed();
+  for (const TeardownReason reason :
+       {TeardownReason::kLocal, TeardownReason::kRelease,
+        TeardownReason::kFailure}) {
+    report.teardowns[reason] = manager.teardowns(reason);
+  }
+  return report;
+}
+
 NetworkReport summarize(const ConnectionManager& manager) {
   NetworkReport report;
   report.connections = manager.connection_count();

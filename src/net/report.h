@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/connection_manager.h"
+#include "net/signaling.h"
 
 namespace rtcac {
 
@@ -56,5 +57,34 @@ struct NetworkReport {
 
 /// Snapshot of the manager's current admitted state.
 [[nodiscard]] NetworkReport summarize(const ConnectionManager& manager);
+
+/// Control-plane health summary of a SignalingEngine run: how many setup
+/// attempts resolved and how, what the fault layer cost (retransmissions,
+/// timeouts, messages lost), and how much state the recovery machinery
+/// returned (RELEASE walks, reclaimed orphans).  See
+/// docs/FAULT_TOLERANCE.md for the underlying mechanisms.
+struct SignalingReport {
+  std::size_t attempts = 0;   ///< setup attempts with a final outcome
+  std::size_t connected = 0;  ///< ... of which established end to end
+  std::size_t retransmits = 0;
+  std::size_t timeouts = 0;
+  std::size_t stale_dropped = 0;
+  std::size_t releases_sent = 0;
+  std::size_t released_hops = 0;
+  std::size_t lost_to_faults = 0;
+  std::size_t orphans_reclaimed = 0;
+  std::map<RejectReason, std::size_t> rejects_by_reason;
+  std::map<TeardownReason, std::size_t> teardowns;
+
+  /// Fraction of resolved attempts that connected (1 when none resolved).
+  [[nodiscard]] double connect_ratio() const;
+
+  /// Human-readable multi-line summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Snapshot of an engine's (and its manager's) signaling counters.
+[[nodiscard]] SignalingReport summarize_signaling(
+    const SignalingEngine& engine);
 
 }  // namespace rtcac

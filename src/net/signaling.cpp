@@ -1,60 +1,138 @@
 #include "net/signaling.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "util/log.h"
 
 namespace rtcac {
 
+const char* to_string(SignalingMessageType type) noexcept {
+  switch (type) {
+    case SignalingMessageType::kSetup:
+      return "SETUP";
+    case SignalingMessageType::kReject:
+      return "REJECT";
+    case SignalingMessageType::kConnected:
+      return "CONNECTED";
+    case SignalingMessageType::kRelease:
+      return "RELEASE";
+  }
+  return "?";
+}
+
+const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kAdmission:
+      return "admission";
+    case RejectReason::kDeadline:
+      return "deadline";
+    case RejectReason::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
 std::string to_string(const SignalingMessage& m) {
   std::ostringstream os;
-  switch (m.type) {
-    case SignalingMessageType::kSetup:
-      os << "SETUP";
-      break;
-    case SignalingMessageType::kReject:
-      os << "REJECT";
-      break;
-    case SignalingMessageType::kConnected:
-      os << "CONNECTED";
-      break;
-  }
-  os << " conn=" << m.id << " at=" << m.at << " hop=" << m.hop_index;
+  os << to_string(m.type) << " conn=" << m.id << " at=" << m.at
+     << " hop=" << m.hop_index;
+  if (m.attempt > 0) os << " attempt=" << m.attempt;
   if (!m.reason.empty()) os << " (" << m.reason << ")";
   return os.str();
 }
 
+SignalingEngine::SignalingEngine(ConnectionManager& manager)
+    : SignalingEngine(manager, Timers{}, nullptr) {}
+
+SignalingEngine::SignalingEngine(ConnectionManager& manager, Timers timers,
+                                 FaultInjector* faults)
+    : manager_(manager), timers_(timers), faults_(faults) {
+  RTCAC_REQUIRE(timers_.hop_latency >= 1 && timers_.setup_rto >= 1 &&
+                    timers_.backoff >= 1 && timers_.lease >= 1,
+                "SignalingEngine: timer parameters must be >= 1");
+}
+
 ConnectionId SignalingEngine::initiate(const QosRequest& request,
                                        const Route& route) {
+  // Validate the complete request before allocating a connection id: a
+  // malformed route or out-of-range priority must burn no id and leave no
+  // in-flight residue.
   request.traffic.validate();
+  RTCAC_REQUIRE(request.priority < manager_.params().priorities,
+                "SignalingEngine: request priority out of range");
   const std::vector<NodeId> nodes = manager_.topology().route_nodes(route);
 
   InFlight flight;
   flight.request = request;
   flight.route = route;
   flight.hops = manager_.queueing_points(route);
+  flight.hop_states.assign(flight.hops.size(), HopState{});
+  flight.rto = timers_.setup_rto;
   flight.source = nodes.front();
   flight.destination = nodes.back();
 
   const ConnectionId id = manager_.allocate_id();
-  in_flight_.emplace(id, std::move(flight));
-
-  SignalingMessage m;
-  m.type = SignalingMessageType::kSetup;
-  m.id = id;
-  m.at = nodes.front();
-  m.hop_index = 0;
-  queue_.push_back(m);
+  const auto [it, inserted] = in_flight_.emplace(id, std::move(flight));
+  RTCAC_ASSERT(inserted, "SignalingEngine: in-flight id collision");
+  send_setup(id, it->second);
+  arm_setup_timer(id, it->second);
   return id;
 }
 
-bool SignalingEngine::step() {
-  if (queue_.empty()) return false;
-  const SignalingMessage m = queue_.front();
-  queue_.pop_front();
+void SignalingEngine::send_setup(ConnectionId id, const InFlight& flight) {
+  SignalingMessage m;
+  m.type = SignalingMessageType::kSetup;
+  m.id = id;
+  m.at = flight.source;
+  m.hop_index = 0;
+  m.attempt = flight.attempt;
+  m.via = flight.route.front();
+  send(std::move(m), timers_.hop_latency);
+}
+
+void SignalingEngine::arm_setup_timer(ConnectionId id,
+                                      const InFlight& flight) {
+  events_.schedule(now() + flight.rto, EventPhase::kTimer,
+                   [this, id, attempt = flight.attempt] {
+                     on_setup_timer(id, attempt);
+                   });
+}
+
+void SignalingEngine::send(SignalingMessage m, Tick transit) {
+  Tick extra = 0;
+  if (faults_ != nullptr) {
+    const FaultVerdict v = faults_->verdict(m);
+    if (v.drop) {
+      ++counters_.lost_to_faults;
+      return;
+    }
+    if (v.duplicate) enqueue(m, now() + transit + v.duplicate_delay);
+    extra = v.extra_delay;
+  }
+  enqueue(std::move(m), now() + transit + extra);
+}
+
+void SignalingEngine::enqueue(SignalingMessage m, Tick at) {
+  ++pending_messages_;
+  events_.schedule(at, EventPhase::kArrival, [this, msg = std::move(m)] {
+    --pending_messages_;
+    deliver(msg);
+  });
+}
+
+void SignalingEngine::deliver(const SignalingMessage& m) {
+  if (faults_ != nullptr && !faults_->deliverable(m, now())) {
+    ++counters_.lost_to_faults;  // destroyed in transit, never processed
+    return;
+  }
   trace_.push_back(m);
   RTCAC_DEBUG << "signaling: " << to_string(m);
+  processed_message_ = true;
   switch (m.type) {
     case SignalingMessageType::kSetup:
       process_setup(m);
@@ -65,8 +143,22 @@ bool SignalingEngine::step() {
     case SignalingMessageType::kConnected:
       process_connected(m);
       break;
+    case SignalingMessageType::kRelease:
+      process_release(m);
+      break;
   }
-  return true;
+}
+
+bool SignalingEngine::step() {
+  // Absorb non-message events (expired timers, in-transit losses) until a
+  // signaling message is actually handled, preserving the historical
+  // "one message per step" observability contract.
+  while (!events_.empty()) {
+    processed_message_ = false;
+    events_.run_next();
+    if (processed_message_) return true;
+  }
+  return false;
 }
 
 void SignalingEngine::run() {
@@ -75,26 +167,41 @@ void SignalingEngine::run() {
 }
 
 void SignalingEngine::process_setup(const SignalingMessage& m) {
-  InFlight& flight = in_flight_.at(m.id);
+  const auto it = in_flight_.find(m.id);
+  if (it == in_flight_.end() || m.attempt != it->second.attempt) {
+    ++counters_.stale_dropped;  // finished or superseded attempt
+    return;
+  }
+  InFlight& flight = it->second;
 
   if (m.hop_index >= flight.hops.size()) {
     // SETUP reached the destination: check the end-to-end deadline, then
     // confirm back to the source.
+    double bound_sum = 0;
+    double advertised_sum = 0;
+    for (const HopState& hs : flight.hop_states) {
+      bound_sum += hs.bound;
+      advertised_sum += hs.advertised;
+    }
     const double promised =
         manager_.params().guarantee == GuaranteeMode::kAdvertised
-            ? flight.e2e_advertised
-            : flight.e2e_bound_at_setup;
+            ? advertised_sum
+            : bound_sum;
     if (promised > flight.request.deadline) {
       SignalingMessage reject;
       reject.type = SignalingMessageType::kReject;
       reject.id = m.id;
       reject.at = flight.destination;
-      reject.hop_index = flight.committed;
+      reject.hop_index = flight.hops.size();
+      reject.attempt = m.attempt;
+      reject.origin = flight.destination;
+      reject.category = RejectReason::kDeadline;
+      if (!flight.route.empty()) reject.via = flight.route.back();
       std::ostringstream os;
       os << "end-to-end bound " << promised << " exceeds deadline "
          << flight.request.deadline;
       reject.reason = os.str();
-      queue_.push_back(reject);
+      send(std::move(reject), timers_.hop_latency);
       return;
     }
     SignalingMessage connected;
@@ -102,70 +209,229 @@ void SignalingEngine::process_setup(const SignalingMessage& m) {
     connected.id = m.id;
     connected.at = flight.source;
     connected.hop_index = flight.hops.size();
-    queue_.push_back(connected);
+    connected.attempt = m.attempt;
+    if (!flight.route.empty()) connected.via = flight.route.front();
+    // The confirmation crosses the whole route on its way back.
+    send(std::move(connected),
+         timers_.hop_latency * static_cast<Tick>(flight.route.size()));
     return;
   }
 
   const HopRef& hop = flight.hops[m.hop_index];
   SwitchCac& cac = manager_.switch_cac(hop.node);
-  const BitStream arrival = manager_.arrival_at_hop(
-      flight.request.traffic, flight.hops, m.hop_index,
-      flight.request.priority);
-  const SwitchCheckResult check = cac.check(
-      hop.in_port, hop.out_port, flight.request.priority, arrival);
-  if (!check.admitted) {
-    SignalingMessage reject;
-    reject.type = SignalingMessageType::kReject;
-    reject.id = m.id;
-    reject.at = hop.node;
-    reject.hop_index = flight.committed;
-    reject.reason = check.reason;
-    queue_.push_back(reject);
-    return;
-  }
+  HopState& state = flight.hop_states[m.hop_index];
+  const double lease_until = static_cast<double>(now() + timers_.lease);
 
-  cac.add(m.id, hop.in_port, hop.out_port, flight.request.priority, arrival);
-  ++flight.committed;
-  flight.e2e_bound_at_setup += check.bound_at_priority.value();
-  flight.e2e_advertised +=
-      cac.advertised(hop.out_port, flight.request.priority);
+  if (cac.contains(m.id)) {
+    // A duplicate or retransmitted SETUP must not double-commit: renew
+    // the lease and re-own the reservation for the current attempt.
+    cac.renew_lease(m.id, lease_until);
+    state.committed = true;
+  } else {
+    const BitStream arrival = manager_.arrival_at_hop(
+        flight.request.traffic, flight.hops, m.hop_index,
+        flight.request.priority);
+    const SwitchCheckResult check = cac.check(
+        hop.in_port, hop.out_port, flight.request.priority, arrival);
+    if (!check.admitted) {
+      SignalingMessage reject;
+      reject.type = SignalingMessageType::kReject;
+      reject.id = m.id;
+      reject.at = hop.node;
+      reject.hop_index = m.hop_index;
+      reject.attempt = m.attempt;
+      reject.origin = hop.node;
+      reject.category = RejectReason::kAdmission;
+      reject.reason = check.reason;
+      if (m.hop_index > 0) {
+        reject.via = flight.hops[m.hop_index - 1].link;
+      } else if (!flight.route.empty()) {
+        reject.via = flight.route.front();
+      }
+      send(std::move(reject), timers_.hop_latency);
+      return;
+    }
+    cac.add(m.id, hop.in_port, hop.out_port, flight.request.priority,
+            arrival, lease_until);
+    state.committed = true;
+    // check.bound_at_priority always has a value when admitted (an
+    // unbounded result is rejected inside check()).
+    state.bound = check.bound_at_priority.value();
+    state.advertised = cac.advertised(hop.out_port, flight.request.priority);
+  }
 
   SignalingMessage forward = m;
   forward.hop_index = m.hop_index + 1;
   forward.at = manager_.topology().link(hop.link).to;
-  queue_.push_back(forward);
+  forward.via = hop.link;
+  send(std::move(forward), timers_.hop_latency);
 }
 
 void SignalingEngine::process_reject(const SignalingMessage& m) {
-  InFlight& flight = in_flight_.at(m.id);
+  const auto it = in_flight_.find(m.id);
+  if (it == in_flight_.end() || m.attempt != it->second.attempt) {
+    // A reject of a finished or superseded attempt must not release state
+    // the live attempt owns; whatever its epoch committed dies with the
+    // hop leases instead.
+    ++counters_.stale_dropped;
+    return;
+  }
+  InFlight& flight = it->second;
   if (m.hop_index > 0) {
     // Release the most recent reservation and keep walking upstream.
-    const HopRef& hop = flight.hops[m.hop_index - 1];
-    manager_.switch_cac(hop.node).remove(m.id);
+    const std::size_t k = m.hop_index - 1;
+    HopState& state = flight.hop_states[k];
+    if (state.committed) {
+      // remove() may find nothing if the lease was already reclaimed.
+      manager_.switch_cac(flight.hops[k].node).remove(m.id);
+      state = HopState{};
+    }
     SignalingMessage upstream = m;
-    upstream.hop_index = m.hop_index - 1;
-    upstream.at = hop.node;
-    queue_.push_back(upstream);
+    upstream.hop_index = k;
+    upstream.at = flight.hops[k].node;
+    if (k > 0) {
+      upstream.via = flight.hops[k - 1].link;
+    } else if (!flight.route.empty()) {
+      upstream.via = flight.route.front();
+    }
+    send(std::move(upstream), timers_.hop_latency);
     return;
   }
   SignalingOutcome outcome;
   outcome.connected = false;
   outcome.reason = m.reason.empty() ? "rejected" : m.reason;
-  outcome.rejecting_node = m.at;
-  outcomes_.emplace(m.id, outcome);
-  in_flight_.erase(m.id);
+  outcome.rejecting_node = m.origin.has_value() ? *m.origin : m.at;
+  process_failure(m.id, flight, std::move(outcome),
+                  m.category == RejectReason::kNone ? RejectReason::kAdmission
+                                                    : m.category);
 }
 
 void SignalingEngine::process_connected(const SignalingMessage& m) {
-  InFlight& flight = in_flight_.at(m.id);
+  const auto it = in_flight_.find(m.id);
+  if (it == in_flight_.end() || m.attempt != it->second.attempt) {
+    ++counters_.stale_dropped;
+    return;
+  }
+  InFlight& flight = it->second;
+  // Adopt only if the reservation chain is intact end to end: a crossing
+  // duplicate-attempt reject or an aggressive reclaim may have punched a
+  // hole.  If so, ignore this confirmation — the retransmission timer
+  // drives another round (or times the attempt out).
+  for (std::size_t k = 0; k < flight.hops.size(); ++k) {
+    if (!flight.hop_states[k].committed ||
+        !manager_.switch_cac(flight.hops[k].node).contains(m.id)) {
+      ++counters_.stale_dropped;
+      return;
+    }
+  }
   SignalingOutcome outcome;
   outcome.connected = true;
-  outcome.e2e_bound_at_setup = flight.e2e_bound_at_setup;
-  outcome.e2e_advertised = flight.e2e_advertised;
-  outcomes_.emplace(m.id, outcome);
+  for (const HopState& hs : flight.hop_states) {
+    outcome.e2e_bound_at_setup += hs.bound;
+    outcome.e2e_advertised += hs.advertised;
+  }
   manager_.adopt(m.id, ConnectionManager::ConnectionRecord{
                            flight.request, flight.route, flight.hops});
-  in_flight_.erase(m.id);
+  outcomes_.emplace(m.id, std::move(outcome));
+  in_flight_.erase(it);
+}
+
+void SignalingEngine::process_release(const SignalingMessage& m) {
+  const auto it = releasing_.find(m.id);
+  if (it == releasing_.end()) {
+    ++counters_.stale_dropped;
+    return;
+  }
+  const std::vector<HopRef>& hops = it->second;
+  if (m.hop_index < hops.size()) {
+    const HopRef& hop = hops[m.hop_index];
+    // The lease may have beaten us to it; remove() tolerates that.
+    if (manager_.switch_cac(hop.node).remove(m.id)) {
+      ++counters_.released_hops;
+    }
+    if (m.hop_index + 1 < hops.size()) {
+      SignalingMessage forward = m;
+      forward.hop_index = m.hop_index + 1;
+      forward.at = hops[m.hop_index + 1].node;
+      forward.via = hop.link;
+      send(std::move(forward), timers_.hop_latency);
+      return;
+    }
+  }
+  // Walk complete.  An adopted record (application-initiated release)
+  // retires through the reason-tagged teardown.
+  manager_.teardown(m.id, TeardownReason::kRelease);
+  releasing_.erase(it);
+}
+
+void SignalingEngine::process_failure(ConnectionId id, InFlight& flight,
+                                      SignalingOutcome outcome,
+                                      RejectReason category) {
+  ++counters_.rejects_by_reason[category];
+  const bool residue =
+      std::any_of(flight.hop_states.begin(), flight.hop_states.end(),
+                  [](const HopState& hs) { return hs.committed; });
+  if (residue && !releasing_.contains(id)) {
+    // Tear down whatever part of the route is still committed.  If the
+    // RELEASE walk is itself lost, the hop leases are the backstop.
+    releasing_.emplace(id, flight.hops);
+    ++counters_.releases_sent;
+    SignalingMessage release;
+    release.type = SignalingMessageType::kRelease;
+    release.id = id;
+    release.at = flight.hops.front().node;
+    release.hop_index = 0;
+    release.attempt = flight.attempt;
+    if (!flight.route.empty()) release.via = flight.route.front();
+    send(std::move(release), timers_.hop_latency);
+  }
+  outcomes_.emplace(id, std::move(outcome));
+  in_flight_.erase(id);
+}
+
+void SignalingEngine::on_setup_timer(ConnectionId id, std::uint32_t attempt) {
+  const auto it = in_flight_.find(id);
+  if (it == in_flight_.end() || it->second.attempt != attempt) {
+    return;  // attempt resolved or already superseded; timer is stale
+  }
+  InFlight& flight = it->second;
+  if (flight.retries >= timers_.max_retries) {
+    ++counters_.timeouts;
+    SignalingOutcome outcome;
+    outcome.connected = false;
+    std::ostringstream os;
+    os << "setup timed out after " << flight.retries << " retransmissions";
+    outcome.reason = os.str();
+    process_failure(id, flight, std::move(outcome), RejectReason::kTimeout);
+    return;
+  }
+  // New attempt epoch: anything still in flight from the old round is
+  // stale from here on, so the retry cannot double-commit or be answered
+  // by a rejection it already superseded.
+  ++flight.retries;
+  ++flight.attempt;
+  flight.rto *= timers_.backoff;
+  ++counters_.retransmits;
+  send_setup(id, flight);
+  arm_setup_timer(id, flight);
+}
+
+bool SignalingEngine::release(ConnectionId id) {
+  const auto& connections = manager_.connections();
+  const auto it = connections.find(id);
+  if (it == connections.end() || releasing_.contains(id)) return false;
+  releasing_.emplace(id, it->second.hops);
+  ++counters_.releases_sent;
+  SignalingMessage release;
+  release.type = SignalingMessageType::kRelease;
+  release.id = id;
+  release.hop_index = 0;
+  if (!it->second.hops.empty()) {
+    release.at = it->second.hops.front().node;
+  }
+  if (!it->second.route.empty()) release.via = it->second.route.front();
+  send(std::move(release), timers_.hop_latency);
+  return true;
 }
 
 std::optional<SignalingOutcome> SignalingEngine::outcome(

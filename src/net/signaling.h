@@ -1,49 +1,53 @@
 // rtcac/net/signaling.h
 //
-// The distributed connection setup procedure of Section 4.1:
+// The distributed connection setup procedure of Section 4.1, hardened for
+// lossy, failure-prone control planes:
 //
 //   * the source end system sends a SETUP message carrying
 //     (PCR, SCR, MBS, D) along the preselected route;
 //   * each switch runs the CAC check; on success it commits the
-//     reservation and forwards SETUP downstream, on failure it sends
-//     REJECT back upstream (releasing the reservations already made);
+//     reservation — under a *lease* that expires unless refreshed — and
+//     forwards SETUP downstream; on failure it sends REJECT back upstream
+//     (releasing the reservations already made);
 //   * when SETUP reaches the destination, CONNECTED travels back to the
-//     source, which may then start sending cells.
+//     source, which adopts the connection into the ConnectionManager
+//     (making the hop reservations permanent) and may start sending cells.
 //
-// The engine shares switch state with a ConnectionManager, so centrally
-// and distributedly established connections coexist; completed setups are
-// adopted into the manager (teardown, bound queries).  Messages are
-// processed from a FIFO queue one at a time — step() — so tests and
-// examples can interleave and observe the protocol, including rejection
-// cascades.  Processing order is deterministic.
+// Fault tolerance (docs/FAULT_TOLERANCE.md):
+//
+//   * messages move on a virtual clock (the simulator's EventQueue; one
+//     tick per hop) instead of an unlosable FIFO, so an attached
+//     FaultInjector can drop, duplicate, delay and reorder them, and fail
+//     links or switches mid-protocol;
+//   * the source arms a retransmission timer per SETUP; on expiry the
+//     attempt epoch is bumped and SETUP is resent with exponentially
+//     backed-off timeouts, up to Timers::max_retries times;
+//   * processing is idempotent: a hop that already holds the reservation
+//     renews its lease instead of double-committing, and any message from
+//     a finished or superseded attempt epoch is discarded as stale;
+//   * when the retry budget is exhausted the source gives up, reports a
+//     timeout outcome, and sends RELEASE down the route to tear down
+//     whatever was committed; reservations a lost RELEASE leaves behind
+//     die with their leases (ConnectionManager::reclaim).
+//
+// Messages are processed one at a time — step() — in virtual-time order,
+// so tests and examples can interleave and observe the protocol, including
+// rejection cascades.  Processing is deterministic; under a seeded
+// FaultInjector the complete failure trace replays from the seed.
 
 #pragma once
 
-#include <deque>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "net/connection_manager.h"
+#include "net/fault_injector.h"
+#include "net/signaling_message.h"
+#include "sim/event_queue.h"
 
 namespace rtcac {
-
-enum class SignalingMessageType { kSetup, kReject, kConnected };
-
-struct SignalingMessage {
-  SignalingMessageType type = SignalingMessageType::kSetup;
-  ConnectionId id = kInvalidConnection;
-  /// Node about to process the message.
-  NodeId at = 0;
-  /// For SETUP: index of the next queueing point to check.
-  /// For REJECT: index of the next committed queueing point to release
-  /// (walking backwards).
-  std::size_t hop_index = 0;
-  std::string reason;  ///< REJECT diagnostics
-};
-
-[[nodiscard]] std::string to_string(const SignalingMessage& m);
 
 /// Final fate of a signaling attempt.
 struct SignalingOutcome {
@@ -56,55 +60,139 @@ struct SignalingOutcome {
 
 class SignalingEngine {
  public:
-  explicit SignalingEngine(ConnectionManager& manager) : manager_(manager) {}
+  /// Virtual-clock protocol parameters (all times in ticks = cell times).
+  struct Timers {
+    Tick hop_latency = 1;  ///< control-message transit per hop
+    Tick setup_rto = 32;   ///< initial SETUP retransmission timeout
+    std::uint32_t backoff = 2;      ///< RTO multiplier per retransmission
+    std::uint32_t max_retries = 4;  ///< retransmissions before giving up
+    Tick lease = 256;  ///< lifetime of an unconfirmed hop reservation
+  };
+
+  struct Counters {
+    std::size_t retransmits = 0;    ///< SETUPs re-sent after a lost round
+    std::size_t timeouts = 0;       ///< attempts abandoned (budget spent)
+    std::size_t stale_dropped = 0;  ///< finished/superseded-epoch messages
+    std::size_t releases_sent = 0;  ///< RELEASE teardowns initiated
+    std::size_t released_hops = 0;  ///< hop reservations RELEASE returned
+    std::size_t lost_to_faults = 0; ///< messages the fault layer destroyed
+    std::map<RejectReason, std::size_t> rejects_by_reason;
+  };
+
+  explicit SignalingEngine(ConnectionManager& manager);
+  /// `faults`, when given, must outlive the engine.
+  SignalingEngine(ConnectionManager& manager, Timers timers,
+                  FaultInjector* faults = nullptr);
 
   SignalingEngine(const SignalingEngine&) = delete;
   SignalingEngine& operator=(const SignalingEngine&) = delete;
 
-  /// Queues a SETUP for `request` over `route`; returns the provisional
-  /// connection id.  Throws std::invalid_argument on a malformed route.
+  /// Queues a SETUP for `request` over `route` and arms its
+  /// retransmission timer; returns the provisional connection id.  Throws
+  /// std::invalid_argument on a malformed route or an out-of-range
+  /// priority — validation happens *before* an id is allocated, so a bad
+  /// request burns no id and leaves no in-flight residue.
   ConnectionId initiate(const QosRequest& request, const Route& route);
 
-  /// Processes the next queued message; returns false when idle.
+  /// Processes queued events in virtual-time order until one signaling
+  /// message has been handled; returns false once the queue is drained.
+  /// Expired timers and messages destroyed in transit are absorbed
+  /// silently along the way.
   bool step();
 
-  /// Runs until no messages remain.
+  /// Runs until no events remain.  Every initiated setup is guaranteed an
+  /// outcome by then: at worst its retransmission budget expires.
   void run();
+
+  /// Starts an asynchronous RELEASE walk tearing down an *established*
+  /// (adopted) connection hop by hop on the virtual clock; the manager
+  /// records the completed teardown with TeardownReason::kRelease.
+  /// Returns false for an unknown id or a release already in progress.
+  bool release(ConnectionId id);
 
   /// Outcome of a finished attempt; nullopt while still in flight.
   [[nodiscard]] std::optional<SignalingOutcome> outcome(
       ConnectionId id) const;
 
-  /// Every message processed so far, in order (protocol trace).
+  /// All finished attempts so far, by connection id.
+  [[nodiscard]] const std::map<ConnectionId, SignalingOutcome>& outcomes()
+      const noexcept {
+    return outcomes_;
+  }
+
+  /// Every message processed so far, in order (protocol trace).  Messages
+  /// lost in transit never reach the trace.
   [[nodiscard]] const std::vector<SignalingMessage>& trace() const noexcept {
     return trace_;
   }
 
+  /// Control messages currently in transit (timer events excluded).
   [[nodiscard]] std::size_t pending_messages() const noexcept {
-    return queue_.size();
+    return pending_messages_;
+  }
+
+  /// Virtual time of the most recently processed event.
+  [[nodiscard]] Tick now() const noexcept { return events_.last_popped(); }
+
+  [[nodiscard]] const Counters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const Timers& timers() const noexcept { return timers_; }
+  [[nodiscard]] const ConnectionManager& manager() const noexcept {
+    return manager_;
   }
 
  private:
+  /// Per-hop commit state of one setup attempt.  Kept per hop (not as a
+  /// single high-water mark) because retransmitted walks skip hops that
+  /// are still committed, and stale rejects may punch holes.
+  struct HopState {
+    bool committed = false;
+    double bound = 0;       ///< computed bound frozen at commit time
+    double advertised = 0;  ///< advertised bound at commit time
+  };
+
   struct InFlight {
     QosRequest request;
     Route route;
     std::vector<HopRef> hops;
-    std::size_t committed = 0;  ///< queueing points reserved so far
-    double e2e_bound_at_setup = 0;
-    double e2e_advertised = 0;
+    std::vector<HopState> hop_states;
+    std::uint32_t attempt = 0;  ///< current epoch; older messages are stale
+    std::uint32_t retries = 0;
+    Tick rto = 0;  ///< timeout of the current attempt
     NodeId source = 0;
     NodeId destination = 0;
   };
 
+  void send(SignalingMessage m, Tick transit);
+  void enqueue(SignalingMessage m, Tick at);
+  void deliver(const SignalingMessage& m);
+
   void process_setup(const SignalingMessage& m);
   void process_reject(const SignalingMessage& m);
   void process_connected(const SignalingMessage& m);
+  void process_release(const SignalingMessage& m);
+  /// Finalizes a failed attempt: records the outcome, counts the reject
+  /// category, and starts a RELEASE sweep over any committed residue.
+  void process_failure(ConnectionId id, InFlight& flight,
+                       SignalingOutcome outcome, RejectReason category);
+  void on_setup_timer(ConnectionId id, std::uint32_t attempt);
+  void arm_setup_timer(ConnectionId id, const InFlight& flight);
+  void send_setup(ConnectionId id, const InFlight& flight);
 
   ConnectionManager& manager_;
-  std::deque<SignalingMessage> queue_;
+  Timers timers_;
+  FaultInjector* faults_;
+  EventQueue events_;
+  std::size_t pending_messages_ = 0;
+  bool processed_message_ = false;  ///< set by deliver(), read by step()
   std::map<ConnectionId, InFlight> in_flight_;
+  /// Routes of teardowns in progress: RELEASE walks outlive their
+  /// (already finalized) in-flight record.
+  std::map<ConnectionId, std::vector<HopRef>> releasing_;
   std::map<ConnectionId, SignalingOutcome> outcomes_;
   std::vector<SignalingMessage> trace_;
+  Counters counters_;
 };
 
 }  // namespace rtcac

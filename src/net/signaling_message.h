@@ -1,0 +1,60 @@
+// rtcac/net/signaling_message.h
+//
+// Wire vocabulary of the distributed connection setup procedure
+// (Section 4.1), split out of signaling.h so the fault-injection layer can
+// classify messages without depending on the engine itself.
+//
+// Beyond the paper's SETUP/REJECT/CONNECTED, the fault-tolerant engine
+// adds RELEASE — sent by the source after a retransmission budget is
+// exhausted (or a failure is detected) to tear down whatever part of the
+// route was committed.  Every message additionally carries the *attempt
+// epoch* of the setup it belongs to: retransmissions bump the epoch, so a
+// stale message from an abandoned attempt can be recognized and dropped
+// instead of double-committing or double-releasing (see
+// docs/FAULT_TOLERANCE.md).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/connection.h"
+#include "net/topology.h"
+
+namespace rtcac {
+
+enum class SignalingMessageType { kSetup, kReject, kConnected, kRelease };
+
+/// Coarse rejection category, for the rejects-by-reason counters.
+enum class RejectReason { kNone, kAdmission, kDeadline, kTimeout };
+
+[[nodiscard]] const char* to_string(SignalingMessageType type) noexcept;
+[[nodiscard]] const char* to_string(RejectReason reason) noexcept;
+
+struct SignalingMessage {
+  SignalingMessageType type = SignalingMessageType::kSetup;
+  ConnectionId id = kInvalidConnection;
+  /// Node about to process the message.
+  NodeId at = 0;
+  /// For SETUP/RELEASE: index of the next queueing point to check/release
+  /// (walking forward).  For REJECT: index of the next committed queueing
+  /// point to release (walking backwards).
+  std::size_t hop_index = 0;
+  /// Attempt epoch of the setup this message belongs to (0 = first try).
+  std::uint32_t attempt = 0;
+  /// Forward-direction link whose cable carries this message (control
+  /// traffic shares the cable in both directions, so a failed link loses
+  /// both the downstream SETUP and the upstream REJECT).  Unset for
+  /// messages that do not traverse a modeled link.
+  std::optional<LinkId> via;
+  /// For REJECT: the node that originated the rejection (`at` mutates as
+  /// the message walks upstream).
+  std::optional<NodeId> origin;
+  std::string reason;                       ///< REJECT diagnostics
+  RejectReason category = RejectReason::kNone;  ///< REJECT classification
+};
+
+[[nodiscard]] std::string to_string(const SignalingMessage& m);
+
+}  // namespace rtcac

@@ -4,13 +4,15 @@
 //
 // ATM is slotted: every link moves at most one cell per cell time, so all
 // interesting instants are integer ticks.  Within a tick, events run in
-// two phases — arrivals (phase 0: cells delivered to a node, sources
+// three phases — arrivals (phase 0: cells delivered to a node, sources
 // emitting) strictly before transmissions (phase 1: an output port picking
-// its next cell).  This guarantees a port's scheduling decision at tick t
-// sees every cell that has arrived by t, independent of the order events
-// happened to be scheduled in — the property the static-priority FIFO
-// analysis assumes.  Ties within a phase break by insertion order, so runs
-// are bit-for-bit reproducible.
+// its next cell), strictly before timers (phase 2: protocol timeouts such
+// as the signaling engine's SETUP retransmission timers).  This guarantees
+// a port's scheduling decision at tick t sees every cell that has arrived
+// by t, and a timer firing at t sees the tick's complete message activity
+// — a SETUP answered exactly at its deadline is not retransmitted.  Ties
+// within a phase break by insertion order, so runs are bit-for-bit
+// reproducible.
 
 #pragma once
 
@@ -23,7 +25,7 @@
 
 namespace rtcac {
 
-enum class EventPhase : std::uint8_t { kArrival = 0, kTransmit = 1 };
+enum class EventPhase : std::uint8_t { kArrival = 0, kTransmit = 1, kTimer = 2 };
 
 class EventQueue {
  public:

@@ -229,5 +229,49 @@ TEST(SwitchCac, CheckReportsBoundsForAllPriorities) {
   EXPECT_DOUBLE_EQ(check.bounds[1].value(), check.bound_at_priority.value());
 }
 
+TEST(SwitchCac, AddDefaultsToPermanentLease) {
+  SwitchCac cac(small_config());
+  cac.add(1, 0, 0, 0, TrafficDescriptor::cbr(0.2).to_bitstream());
+  EXPECT_TRUE(cac.contains(1));
+  EXPECT_EQ(cac.lease_expiry(1), SwitchCac::kPermanentLease);
+  EXPECT_TRUE(cac.reclaim(1e18).empty());
+  EXPECT_EQ(cac.connection_count(), 1u);
+}
+
+TEST(SwitchCac, ReclaimSweepsOnlyExpiredLeases) {
+  SwitchCac cac(small_config());
+  const BitStream s = TrafficDescriptor::cbr(0.1).to_bitstream();
+  cac.add(1, 0, 0, 0, s, /*lease_expiry=*/10.0);
+  cac.add(2, 1, 0, 0, s, /*lease_expiry=*/20.0);
+  cac.add(3, 2, 0, 0, s);  // permanent
+  EXPECT_TRUE(cac.reclaim(9.9).empty());
+  // Expiry is inclusive: a lease ending exactly now is reclaimable.
+  EXPECT_EQ(cac.reclaim(10.0), (std::vector<ConnectionId>{1}));
+  EXPECT_FALSE(cac.contains(1));
+  EXPECT_EQ(cac.reclaim(1e9), (std::vector<ConnectionId>{2}));
+  EXPECT_EQ(cac.connection_ids(), (std::vector<ConnectionId>{3}));
+  EXPECT_TRUE(cac.state_consistent());
+  EXPECT_TRUE(cac.bandwidth_conserved());
+}
+
+TEST(SwitchCac, RenewAndPermanentExtendLeases) {
+  SwitchCac cac(small_config());
+  const BitStream s = TrafficDescriptor::cbr(0.1).to_bitstream();
+  cac.add(1, 0, 0, 0, s, /*lease_expiry=*/10.0);
+  cac.add(2, 1, 0, 0, s, /*lease_expiry=*/10.0);
+  EXPECT_TRUE(cac.renew_lease(1, 100.0));
+  EXPECT_DOUBLE_EQ(cac.lease_expiry(1), 100.0);
+  EXPECT_TRUE(cac.make_permanent(2));
+  EXPECT_EQ(cac.lease_expiry(2), SwitchCac::kPermanentLease);
+  EXPECT_EQ(cac.reclaim(50.0), (std::vector<ConnectionId>{}));
+  EXPECT_EQ(cac.reclaim(100.0), (std::vector<ConnectionId>{1}));
+  // Unknown ids: renew/make_permanent report false, lease_expiry throws.
+  EXPECT_FALSE(cac.renew_lease(99, 1.0));
+  EXPECT_FALSE(cac.make_permanent(99));
+  EXPECT_THROW(static_cast<void>(cac.lease_expiry(99)),
+               std::invalid_argument);
+  EXPECT_FALSE(cac.contains(99));
+}
+
 }  // namespace
 }  // namespace rtcac

@@ -219,9 +219,82 @@ TEST(ConnectionManager, AdoptAndAllocateSupportSignaling) {
   rec.request = cbr_request(0.1);
   rec.route = c.route0();
   rec.hops = mgr.queueing_points(c.route0());
+  // Commit the per-hop state externally, as SignalingEngine would, under
+  // setup leases; adopt() verifies the chain and makes it permanent.
+  for (std::size_t h = 0; h < rec.hops.size(); ++h) {
+    const HopRef& hop = rec.hops[h];
+    mgr.switch_cac(hop.node).add(
+        id, hop.in_port, hop.out_port, rec.request.priority,
+        mgr.arrival_at_hop(rec.request.traffic, rec.hops, h,
+                           rec.request.priority),
+        /*lease_expiry=*/100.0);
+  }
   mgr.adopt(id, rec);
   EXPECT_EQ(mgr.connection_count(), 1u);
+  for (const HopRef& hop : rec.hops) {
+    EXPECT_EQ(mgr.switch_cac(hop.node).lease_expiry(id),
+              SwitchCac::kPermanentLease);
+  }
   EXPECT_THROW(mgr.adopt(id, rec), std::invalid_argument);
+  // Nothing expires: the adopted reservations are permanent now.
+  const auto swept = mgr.reclaim(1e9);
+  EXPECT_TRUE(swept.orphans.empty());
+  EXPECT_EQ(mgr.connection_count(), 1u);
+}
+
+TEST(ConnectionManager, AdoptWithoutReservationsIsACaughtBug) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  const ConnectionId id = mgr.allocate_id();
+  ConnectionManager::ConnectionRecord rec;
+  rec.request = cbr_request(0.1);
+  rec.route = c.route0();
+  rec.hops = mgr.queueing_points(c.route0());
+  // No per-hop commitments were made: the hop/record consistency check
+  // must refuse the adoption (RTCAC_ASSERT -> throws in this build).
+  EXPECT_THROW(mgr.adopt(id, rec), std::invalid_argument);
+  EXPECT_EQ(mgr.connection_count(), 0u);
+}
+
+TEST(ConnectionManager, ReasonTaggedTeardownCountsPerReason) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  const auto a = mgr.setup(cbr_request(0.2), c.route0());
+  const auto b = mgr.setup(cbr_request(0.2), c.route1());
+  ASSERT_TRUE(a.accepted);
+  ASSERT_TRUE(b.accepted);
+  EXPECT_TRUE(mgr.teardown(a.id));  // plain form counts as kLocal
+  EXPECT_TRUE(mgr.teardown(b.id, TeardownReason::kRelease));
+  EXPECT_FALSE(mgr.teardown(b.id, TeardownReason::kRelease));
+  EXPECT_EQ(mgr.teardowns(TeardownReason::kLocal), 1u);
+  EXPECT_EQ(mgr.teardowns(TeardownReason::kRelease), 1u);
+  EXPECT_EQ(mgr.teardowns(TeardownReason::kFailure), 0u);
+  EXPECT_STREQ(to_string(TeardownReason::kRelease), "release");
+}
+
+TEST(ConnectionManager, ReclaimSweepsExpiredLeasesAcrossSwitches) {
+  Chain c;
+  ConnectionManager mgr(c.topo, c.params());
+  const ConnectionId orphan = mgr.allocate_id();
+  const auto hops = mgr.queueing_points(c.route0());
+  const QosRequest req = cbr_request(0.3);
+  for (std::size_t h = 0; h < hops.size(); ++h) {
+    mgr.switch_cac(hops[h].node).add(
+        orphan, hops[h].in_port, hops[h].out_port, req.priority,
+        mgr.arrival_at_hop(req.traffic, hops, h, req.priority),
+        /*lease_expiry=*/50.0);
+  }
+  // Too early: leases still run.
+  EXPECT_TRUE(mgr.reclaim(49.0).orphans.empty());
+  const auto swept = mgr.reclaim(50.0);
+  ASSERT_EQ(swept.orphans.size(), 1u);
+  EXPECT_EQ(swept.orphans.front(), orphan);
+  EXPECT_EQ(swept.reservations_reclaimed, hops.size());
+  EXPECT_EQ(mgr.orphans_reclaimed(), 1u);
+  for (const HopRef& hop : hops) {
+    EXPECT_EQ(mgr.switch_cac(hop.node).connection_count(), 0u);
+    EXPECT_TRUE(mgr.switch_cac(hop.node).state_consistent());
+  }
 }
 
 }  // namespace

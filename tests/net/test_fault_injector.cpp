@@ -1,0 +1,137 @@
+// Unit tests for the deterministic signaling-plane fault model.
+
+#include "net/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace rtcac {
+namespace {
+
+SignalingMessage setup_msg(ConnectionId id = 1) {
+  SignalingMessage m;
+  m.type = SignalingMessageType::kSetup;
+  m.id = id;
+  return m;
+}
+
+TEST(FaultInjector, RejectsInvalidProfiles) {
+  FaultProfile p;
+  p.drop_probability = 1.5;
+  EXPECT_THROW(FaultInjector(1, p), std::invalid_argument);
+  p = FaultProfile{};
+  p.reorder_probability = -0.1;
+  EXPECT_THROW(FaultInjector(1, p), std::invalid_argument);
+  p = FaultProfile{};
+  p.max_delay = 0;
+  EXPECT_THROW(FaultInjector(1, p), std::invalid_argument);
+}
+
+TEST(FaultInjector, QuietProfilePassesEverything) {
+  FaultInjector faults(42);
+  for (int i = 0; i < 100; ++i) {
+    const FaultVerdict v = faults.verdict(setup_msg());
+    EXPECT_FALSE(v.drop);
+    EXPECT_FALSE(v.duplicate);
+    EXPECT_EQ(v.extra_delay, 0);
+  }
+  EXPECT_EQ(faults.counters().messages_seen, 100u);
+  EXPECT_EQ(faults.counters().dropped, 0u);
+}
+
+TEST(FaultInjector, SameSeedReplaysIdenticalVerdicts) {
+  FaultProfile p;
+  p.drop_probability = 0.3;
+  p.duplicate_probability = 0.3;
+  p.delay_probability = 0.3;
+  p.reorder_probability = 0.3;
+  FaultInjector a(7, p);
+  FaultInjector b(7, p);
+  for (int i = 0; i < 500; ++i) {
+    const FaultVerdict va = a.verdict(setup_msg());
+    const FaultVerdict vb = b.verdict(setup_msg());
+    ASSERT_EQ(va.drop, vb.drop);
+    ASSERT_EQ(va.duplicate, vb.duplicate);
+    ASSERT_EQ(va.extra_delay, vb.extra_delay);
+    ASSERT_EQ(va.duplicate_delay, vb.duplicate_delay);
+  }
+  EXPECT_EQ(a.counters().dropped, b.counters().dropped);
+  EXPECT_GT(a.counters().dropped, 0u);
+  EXPECT_GT(a.counters().duplicated, 0u);
+  EXPECT_GT(a.counters().delayed, 0u);
+}
+
+TEST(FaultInjector, ScriptedFaultsHitExactOrdinalsPerType) {
+  FaultInjector faults(1);
+  faults.drop_nth(SignalingMessageType::kSetup, 2);
+  faults.duplicate_nth(SignalingMessageType::kSetup, 3);
+  faults.drop_nth(SignalingMessageType::kReject, 1);
+  EXPECT_THROW(faults.drop_nth(SignalingMessageType::kSetup, 0),
+               std::invalid_argument);
+
+  EXPECT_FALSE(faults.verdict(setup_msg()).drop);  // 1st SETUP passes
+  EXPECT_TRUE(faults.verdict(setup_msg()).drop);   // 2nd dropped
+  const FaultVerdict third = faults.verdict(setup_msg());
+  EXPECT_TRUE(third.duplicate);
+  EXPECT_GE(third.duplicate_delay, 1);
+  SignalingMessage reject;
+  reject.type = SignalingMessageType::kReject;
+  EXPECT_TRUE(faults.verdict(reject).drop);  // ordinals count per type
+  EXPECT_FALSE(faults.verdict(setup_msg()).drop);
+}
+
+TEST(FaultInjector, DelayedMessagesGetBoundedExtraTransit) {
+  FaultProfile p;
+  p.delay_probability = 1.0;
+  p.max_delay = 5;
+  FaultInjector faults(11, p);
+  for (int i = 0; i < 200; ++i) {
+    const FaultVerdict v = faults.verdict(setup_msg());
+    EXPECT_GE(v.extra_delay, 1);
+    EXPECT_LE(v.extra_delay, 5);
+  }
+  EXPECT_EQ(faults.counters().delayed, 200u);
+}
+
+TEST(FaultInjector, ManualComponentFailuresLoseMessages) {
+  FaultInjector faults(1);
+  EXPECT_TRUE(faults.node_up(3, 0));
+  faults.fail_node(3);
+  EXPECT_FALSE(faults.node_up(3, 0));
+  faults.fail_link(5);
+  EXPECT_FALSE(faults.link_up(5, 7));
+
+  SignalingMessage at_down_node = setup_msg();
+  at_down_node.at = 3;
+  EXPECT_FALSE(faults.deliverable(at_down_node, 0));
+  SignalingMessage via_down_link = setup_msg();
+  via_down_link.at = 9;
+  via_down_link.via = 5;
+  EXPECT_FALSE(faults.deliverable(via_down_link, 0));
+  EXPECT_EQ(faults.counters().failed_component_losses, 2u);
+
+  faults.recover_node(3);
+  faults.recover_link(5);
+  EXPECT_TRUE(faults.deliverable(at_down_node, 0));
+  EXPECT_TRUE(faults.deliverable(via_down_link, 0));
+}
+
+TEST(FaultInjector, ScheduledOutageWindowsAreHalfOpen) {
+  FaultInjector faults(1);
+  faults.schedule_node_outage(2, 10, 20);
+  faults.schedule_link_outage(4, 15, 16);
+  EXPECT_THROW(faults.schedule_node_outage(2, 5, 5), std::invalid_argument);
+
+  EXPECT_TRUE(faults.node_up(2, 9));
+  EXPECT_FALSE(faults.node_up(2, 10));
+  EXPECT_FALSE(faults.node_up(2, 19));
+  EXPECT_TRUE(faults.node_up(2, 20));  // [from, to)
+  EXPECT_TRUE(faults.link_up(4, 14));
+  EXPECT_FALSE(faults.link_up(4, 15));
+  EXPECT_TRUE(faults.link_up(4, 16));
+  // Other components are unaffected.
+  EXPECT_TRUE(faults.node_up(3, 12));
+  EXPECT_TRUE(faults.link_up(5, 15));
+}
+
+}  // namespace
+}  // namespace rtcac

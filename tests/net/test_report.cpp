@@ -113,5 +113,46 @@ TEST(NetworkReport, TeardownShrinksReport) {
   EXPECT_TRUE(summarize(manager).queues.empty());
 }
 
+TEST(SignalingReport, IdleEngineReportsCleanSlate) {
+  Bed bed;
+  ConnectionManager manager(bed.topo, {});
+  SignalingEngine engine(manager);
+  const SignalingReport report = summarize_signaling(engine);
+  EXPECT_EQ(report.attempts, 0u);
+  EXPECT_EQ(report.connected, 0u);
+  EXPECT_DOUBLE_EQ(report.connect_ratio(), 1.0);
+  EXPECT_EQ(report.lost_to_faults, 0u);
+  EXPECT_NE(report.to_string().find("signaling report"), std::string::npos);
+}
+
+TEST(SignalingReport, AggregatesEngineAndManagerCounters) {
+  Bed bed;
+  ConnectionManager manager(bed.topo, {});
+  FaultInjector faults(3);
+  faults.drop_nth(SignalingMessageType::kConnected, 1);
+  SignalingEngine engine(manager, SignalingEngine::Timers{}, &faults);
+  QosRequest request;
+  request.traffic = TrafficDescriptor::cbr(0.25);
+  const ConnectionId id =
+      engine.initiate(request, Route{bed.a0, bed.mid, bed.out});
+  engine.run();
+  ASSERT_TRUE(engine.outcome(id)->connected);
+  ASSERT_TRUE(engine.release(id));
+  engine.run();
+
+  const SignalingReport report = summarize_signaling(engine);
+  EXPECT_EQ(report.attempts, 1u);
+  EXPECT_EQ(report.connected, 1u);
+  EXPECT_DOUBLE_EQ(report.connect_ratio(), 1.0);
+  EXPECT_EQ(report.retransmits, 1u);      // the dropped CONNECTED cost one
+  EXPECT_EQ(report.lost_to_faults, 1u);
+  EXPECT_EQ(report.releases_sent, 1u);
+  EXPECT_EQ(report.teardowns.at(TeardownReason::kRelease), 1u);
+  EXPECT_EQ(report.orphans_reclaimed, manager.orphans_reclaimed());
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("retransmits 1"), std::string::npos);
+  EXPECT_NE(text.find("torn down (release): 1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rtcac

@@ -39,6 +39,21 @@ TEST(EventQueue, ArrivalsBeforeTransmitsWithinTick) {
   EXPECT_EQ(order, (std::vector<std::string>{"arr", "tx"}));
 }
 
+TEST(EventQueue, TimersRunAfterMessagesWithinTick) {
+  // Phase 2 (kTimer) fires only after every arrival and transmission of
+  // the same tick: a retransmission timer must not beat the confirmation
+  // it is guarding against losing.
+  EventQueue q;
+  std::vector<std::string> order;
+  q.schedule(2, EventPhase::kTimer, [&] { order.push_back("timer"); });
+  q.schedule(2, EventPhase::kTransmit, [&] { order.push_back("tx"); });
+  q.schedule(2, EventPhase::kArrival, [&] { order.push_back("arr"); });
+  q.schedule(1, EventPhase::kTimer, [&] { order.push_back("early"); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"early", "arr", "tx", "timer"}));
+}
+
 TEST(EventQueue, InsertionOrderBreaksTies) {
   EventQueue q;
   std::vector<int> order;

@@ -24,6 +24,15 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
                     same-directory names; system headers use <>.
                     Every header starts with #pragma once.
 
+  signaling-state   In src/net/signaling.cpp the engine's protocol
+                    state (in_flight_, outcomes_, releasing_) may be
+                    mutated only inside SignalingEngine member
+                    functions named initiate, release, process_* or
+                    on_* — every state transition must sit on a
+                    message- or timer-driven handler path
+                    (docs/FAULT_TOLERANCE.md), not in accessors or
+                    plumbing.
+
 A finding can be suppressed on its line with a trailing comment:
     // rtcac-lint: allow(<rule-name>)
 
@@ -55,6 +64,17 @@ FLOAT_CMP_RE = re.compile(
 RAND_RE = re.compile(r"(?:std::|\b)s?rand\s*\(")
 NAKED_THROW_RE = re.compile(r"\bthrow\s+std::invalid_argument\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
+
+# signaling-state: which SignalingEngine member we are inside (tracked
+# from out-of-line definitions), which members count as protocol state,
+# and what a mutation of them looks like.
+SIGNALING_FUNC_RE = re.compile(r"\bSignalingEngine::(\w+)\s*\(")
+SIGNALING_MUTATION_RE = re.compile(
+    r"\b(?:in_flight_|outcomes_|releasing_)\s*"
+    r"(?:\.\s*(?:emplace|try_emplace|insert|erase|clear|extract|merge|"
+    r"swap)\s*\(|\[)"
+)
+SIGNALING_HANDLER_PREFIXES = ("process_", "on_", "initiate", "release")
 
 
 def strip_comments_and_strings(line: str, in_block_comment: bool):
@@ -123,6 +143,8 @@ class Linter:
     def lint_file(self, path: Path) -> None:
         rel = path.relative_to(self.root)
         in_core = rel.parts[:2] == ("src", "core")
+        is_signaling = rel.parts == ("src", "net", "signaling.cpp")
+        current_function = ""
         is_header = path.suffix == ".h"
         text = path.read_text(encoding="utf-8")
         lines = text.splitlines()
@@ -159,6 +181,21 @@ class Linter:
                 self.report(path, lineno, "no-rand",
                             "rand()/srand() is not reproducible across "
                             "platforms; use util/xorshift.h", comment_text)
+
+            if is_signaling:
+                m = SIGNALING_FUNC_RE.search(code)
+                if m:
+                    current_function = m.group(1)
+                if (SIGNALING_MUTATION_RE.search(code)
+                        and not current_function.startswith(
+                            SIGNALING_HANDLER_PREFIXES)):
+                    self.report(
+                        path, lineno, "signaling-state",
+                        "protocol state (in_flight_/outcomes_/releasing_) "
+                        "mutated outside a SignalingEngine handler "
+                        f"(currently in '{current_function or '<top level>'}'"
+                        "); move the transition into initiate/release/"
+                        "process_*/on_*", comment_text)
 
             if in_core:
                 if NAKED_THROW_RE.search(code):
