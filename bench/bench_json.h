@@ -1,0 +1,107 @@
+// Minimal machine-readable benchmark output: every perf harness in bench/
+// appends BenchRecord rows and writes one JSON array, so each PR lands a
+// comparable trajectory point (BENCH_admission.json; docs/PERFORMANCE.md).
+//
+// Schema, one object per record:
+//   {"benchmark": str,            // scenario name, e.g. "churn_cached_n256"
+//    "n": int,                    // problem size (connections, streams, ...)
+//    "wall_ns": number,           // total wall time of the timed section
+//    "admissions_per_sec": number,// ops / wall seconds for the scenario
+//    "segments_total": int}       // aggregate segment count (state size)
+//
+// Header-only and dependency-free on purpose: bench binaries link only
+// the library under test, so the writer cannot perturb what it measures.
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rtcac::bench {
+
+struct BenchRecord {
+  std::string benchmark;
+  std::size_t n = 0;
+  double wall_ns = 0.0;
+  double admissions_per_sec = 0.0;
+  std::size_t segments_total = 0;
+};
+
+/// Collects records and serializes them as a JSON array.  Strings are
+/// escaped, non-finite numbers clamped to 0 (JSON has no NaN/Inf), so the
+/// output always parses.
+class BenchJsonWriter {
+ public:
+  void add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  [[nodiscard]] const std::vector<BenchRecord>& records() const {
+    return records_;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream os;
+    os.precision(17);
+    os << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      os << "  {\"benchmark\": \"" << escape(r.benchmark) << "\", "
+         << "\"n\": " << r.n << ", "
+         << "\"wall_ns\": " << finite(r.wall_ns) << ", "
+         << "\"admissions_per_sec\": " << finite(r.admissions_per_sec) << ", "
+         << "\"segments_total\": " << r.segments_total << "}"
+         << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+    return os.str();
+  }
+
+  /// Writes the array to `path`; returns false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_json();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static double finite(double v) { return std::isfinite(v) ? v : 0.0; }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            std::ostringstream esc;
+            esc << "\\u00" << std::hex << (c < 16 ? "0" : "")
+                << static_cast<int>(c);
+            out += esc.str();
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace rtcac::bench

@@ -1,0 +1,388 @@
+// Admission hot-path benchmark (docs/PERFORMANCE.md): measures the cached
+// SwitchCac::check against the frozen pre-optimization path
+// (check_from_scratch) on the paper's online-CAC regime — a 4x4 switch
+// with 4 static priorities under connection churn — plus the k-way
+// multiplex_all vs. left-fold micro comparison and the batched vs. per-id
+// reclaim sweep.  Emits BENCH_admission.json (bench_json.h schema) so
+// every perf PR lands a trajectory point, and self-checks that the two
+// paths reach identical admission decisions (bounds within
+// NumTraits<double>::kEps) before timing anything.
+//
+// Usage: cac_admission_bench [--smoke] [--out PATH]
+//   --smoke   CI-sized run: tiny rep counts, same scenarios and schema.
+//   --out     JSON output path (default: BENCH_admission.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/stream_ops.h"
+#include "core/switch_cac.h"
+#include "core/traffic.h"
+#include "util/xorshift.h"
+
+namespace {
+
+using namespace rtcac;
+
+constexpr std::size_t kInPorts = 4;
+constexpr std::size_t kOutPorts = 4;
+constexpr Priority kPriorities = 4;
+
+struct Candidate {
+  std::size_t in, out;
+  Priority prio;
+  BitStream arrival;
+};
+
+// Multi-burst worst-case envelopes: 18-25 decreasing steps per connection
+// (a VBR source whose CDV-distorted bursts decay over many horizons),
+// with sustained rates small enough that a 256-connection switch still
+// admits.  Segment-rich streams are the regime the paper's online CAC
+// must survive — and what separates the linear sweep from the quadratic
+// reference scan.
+BitStream random_arrival(Xorshift& rng) {
+  const std::size_t steps = 18 + rng.below(8);
+  std::vector<Segment> segs;
+  double t = 0.0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    // Strictly decreasing arithmetic ladder: every step is a distinct
+    // rate (1/2048 apart, far beyond coalescing tolerance), so segment
+    // counts survive aggregation and grow with the admitted set.
+    const double rate = static_cast<double>(steps - i) / 2048.0;
+    segs.push_back(Segment{rate, t});
+    t += 4.0 * static_cast<double>(1 + rng.below(64));
+  }
+  return BitStream(std::move(segs));
+}
+
+Candidate random_candidate(Xorshift& rng) {
+  return Candidate{rng.below(kInPorts), rng.below(kOutPorts),
+                   static_cast<Priority>(rng.below(kPriorities)),
+                   random_arrival(rng)};
+}
+
+SwitchCac make_switch() {
+  SwitchCac::Config cfg;
+  cfg.in_ports = kInPorts;
+  cfg.out_ports = kOutPorts;
+  cfg.priorities = kPriorities;
+  cfg.advertised_bound = 512.0;
+  return SwitchCac(cfg);
+}
+
+std::vector<Candidate> populate(SwitchCac& cac, std::size_t n,
+                                Xorshift& rng) {
+  std::vector<Candidate> routes;
+  routes.reserve(n);
+  for (std::size_t id = 1; id <= n; ++id) {
+    Candidate c = random_candidate(rng);
+    cac.add(id, c.in, c.out, c.prio, c.arrival);
+    routes.push_back(std::move(c));
+  }
+  return routes;
+}
+
+std::size_t segments_total(const SwitchCac& cac) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kInPorts; ++i) {
+    for (std::size_t j = 0; j < kOutPorts; ++j) {
+      for (Priority p = 0; p < kPriorities; ++p) {
+        total += cac.arrival_aggregate(i, j, p).size();
+      }
+    }
+  }
+  return total;
+}
+
+template <typename F>
+double time_ns(F&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto stop = std::chrono::steady_clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count());
+}
+
+bench::BenchRecord make_record(const std::string& name, std::size_t n,
+                               double wall_ns, std::size_t ops,
+                               std::size_t segments) {
+  bench::BenchRecord r;
+  r.benchmark = name;
+  r.n = n;
+  r.wall_ns = wall_ns;
+  r.admissions_per_sec =
+      wall_ns > 0.0 ? static_cast<double>(ops) * 1e9 / wall_ns : 0.0;
+  r.segments_total = segments;
+  return r;
+}
+
+// The gate before any timing: cached and from-scratch admission must
+// agree — same verdicts, bounds within tolerance — on a candidate sweep
+// over the populated switch.
+bool decisions_identical(const SwitchCac& cac, Xorshift& rng,
+                         std::size_t trials) {
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Candidate c = random_candidate(rng);
+    const SwitchCheckResult fast = cac.check(c.in, c.out, c.prio, c.arrival);
+    const SwitchCheckResult slow =
+        cac.check_from_scratch(c.in, c.out, c.prio, c.arrival);
+    if (fast.admitted != slow.admitted) {
+      std::cerr << "DECISION MISMATCH: cached "
+                << (fast.admitted ? "admits" : "rejects") << ", scratch "
+                << (slow.admitted ? "admits" : "rejects") << "\n";
+      return false;
+    }
+    for (std::size_t q = 0; q < fast.bounds.size(); ++q) {
+      const auto& a = fast.bounds[q];
+      const auto& b = slow.bounds[q];
+      if (a.has_value() != b.has_value() ||
+          (a.has_value() && !NumTraits<double>::nearly_equal(*a, *b))) {
+        std::cerr << "BOUND MISMATCH at priority " << q << "\n";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int run(bool smoke, const std::string& out_path) {
+  bench::BenchJsonWriter json;
+  std::cout << (smoke ? "[smoke] " : "")
+            << "cac_admission_bench: " << kInPorts << "x" << kOutPorts
+            << " switch, " << kPriorities << " priorities\n\n";
+
+  // --- admission throughput vs. admitted-connection count ---------------
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{16}
+            : std::vector<std::size_t>{16, 64, 256};
+  for (const std::size_t n : sizes) {
+    Xorshift rng(42);
+    SwitchCac cac = make_switch();
+    populate(cac, n, rng);
+    const std::size_t segments = segments_total(cac);
+
+    Xorshift check_rng(7);
+    if (!decisions_identical(cac, check_rng, smoke ? 4 : 32)) return 1;
+
+    std::vector<Candidate> probes;
+    Xorshift probe_rng(1000 + n);
+    const std::size_t reps_cached = smoke ? 40 : 2000;
+    const std::size_t reps_scratch = smoke ? 4 : (n >= 256 ? 30 : 200);
+    for (std::size_t i = 0;
+         i < std::max(reps_cached, reps_scratch); ++i) {
+      probes.push_back(random_candidate(probe_rng));
+    }
+    // Warm the caches once so the cached numbers measure the steady
+    // state, the regime an online CAC lives in.
+    (void)cac.check(probes[0].in, probes[0].out, probes[0].prio,
+                    probes[0].arrival);
+
+    bool sink = false;
+    const double cached_ns = time_ns([&] {
+      for (std::size_t i = 0; i < reps_cached; ++i) {
+        const Candidate& c = probes[i];
+        sink ^= cac.check(c.in, c.out, c.prio, c.arrival).admitted;
+      }
+    });
+    const double scratch_ns = time_ns([&] {
+      for (std::size_t i = 0; i < reps_scratch; ++i) {
+        const Candidate& c = probes[i];
+        sink ^=
+            cac.check_from_scratch(c.in, c.out, c.prio, c.arrival).admitted;
+      }
+    });
+    if (sink) std::cout << "";  // keep the checks observable
+
+    json.add(make_record("check_cached_n" + std::to_string(n), n, cached_ns,
+                         reps_cached, segments));
+    json.add(make_record("check_scratch_n" + std::to_string(n), n,
+                         scratch_ns, reps_scratch, segments));
+    const double per_cached = cached_ns / static_cast<double>(reps_cached);
+    const double per_scratch = scratch_ns / static_cast<double>(reps_scratch);
+    std::cout << "check        n=" << n << ": cached " << per_cached / 1e3
+              << " us/op, scratch " << per_scratch / 1e3 << " us/op ("
+              << per_scratch / per_cached << "x)\n";
+  }
+
+  // --- setup/teardown churn (the acceptance scenario) -------------------
+  {
+    const std::size_t n = smoke ? 32 : 256;
+    const std::size_t churn_cached = smoke ? 20 : 600;
+    const std::size_t churn_scratch = smoke ? 5 : 40;
+    double per_op[2] = {0.0, 0.0};
+    for (const bool scratch : {false, true}) {
+      Xorshift rng(42);
+      SwitchCac cac = make_switch();
+      populate(cac, n, rng);
+      const std::size_t segments = segments_total(cac);
+      const std::size_t ops = scratch ? churn_scratch : churn_cached;
+      Xorshift churn_rng(99);
+      ConnectionId next_id = n + 1;
+      ConnectionId oldest = 1;
+      std::size_t admitted = 0;
+      const double ns = time_ns([&] {
+        for (std::size_t i = 0; i < ops; ++i) {
+          // One churn op = teardown of the oldest connection, then a
+          // route search (probe kAltRoutes candidate routes, as ATM
+          // signaling does on SETUP, and keep the one with the smallest
+          // delay bound) and setup of the chosen alternative.
+          constexpr std::size_t kAltRoutes = 4;
+          (void)cac.remove(oldest++);
+          std::optional<Candidate> best;
+          double best_bound = 0.0;
+          for (std::size_t alt = 0; alt < kAltRoutes; ++alt) {
+            Candidate c = random_candidate(churn_rng);
+            const SwitchCheckResult r =
+                scratch
+                    ? cac.check_from_scratch(c.in, c.out, c.prio, c.arrival)
+                    : cac.check(c.in, c.out, c.prio, c.arrival);
+            if (!r.admitted) continue;
+            const double bound = r.bounds[c.prio].value_or(0.0);
+            if (!best || bound < best_bound) {
+              best = std::move(c);
+              best_bound = bound;
+            }
+          }
+          if (best) {
+            cac.add(next_id, best->in, best->out, best->prio, best->arrival);
+            ++admitted;
+          }
+          ++next_id;
+        }
+      });
+      const std::string name =
+          std::string("churn_") + (scratch ? "scratch" : "cached") + "_n" +
+          std::to_string(n);
+      json.add(make_record(name, n, ns, ops, segments));
+      per_op[scratch ? 1 : 0] = ns / static_cast<double>(ops);
+      std::cout << "churn        n=" << n << " ("
+                << (scratch ? "scratch" : "cached ") << "): "
+                << per_op[scratch ? 1 : 0] / 1e3 << " us/op, " << admitted
+                << "/" << ops << " admitted\n";
+    }
+    std::cout << "churn speedup (scratch/cached): "
+              << per_op[1] / per_op[0] << "x\n";
+  }
+
+  // --- k-way multiplex vs. left-fold micro ------------------------------
+  for (const std::size_t k :
+       smoke ? std::vector<std::size_t>{16}
+             : std::vector<std::size_t>{64, 256}) {
+    Xorshift rng(5);
+    std::vector<BitStream> streams;
+    std::vector<const BitStream*> ptrs;
+    for (std::size_t i = 0; i < k; ++i) {
+      streams.push_back(random_arrival(rng));
+    }
+    for (const auto& s : streams) ptrs.push_back(&s);
+    const std::size_t reps = smoke ? 5 : 50;
+    // Verify once before timing: the two forms must produce the same
+    // aggregate (tolerance-equal; bitwise when no coalescing fires).
+    BitStream fold_result;
+    for (const auto& s : streams) fold_result = multiplex(fold_result, s);
+    const BitStream kway_result = multiplex_all(ptrs);
+    if (!fold_result.nearly_equal(kway_result)) {
+      std::cerr << "MULTIPLEX MISMATCH: fold " << fold_result.size()
+                << " segments vs k-way " << kway_result.size() << "\n";
+      return 1;
+    }
+    std::size_t segs = 0;
+    const double fold_ns = time_ns([&] {
+      for (std::size_t r = 0; r < reps; ++r) {
+        BitStream aggr;
+        for (const auto& s : streams) aggr = multiplex(aggr, s);
+        segs = aggr.size();
+      }
+    });
+    const double kway_ns = time_ns([&] {
+      for (std::size_t r = 0; r < reps; ++r) {
+        segs = multiplex_all(ptrs).size();
+      }
+    });
+    json.add(make_record("multiplex_fold_n" + std::to_string(k), k, fold_ns,
+                         reps, segs));
+    json.add(make_record("multiplex_kway_n" + std::to_string(k), k, kway_ns,
+                         reps, segs));
+    std::cout << "multiplex    k=" << k << ": fold "
+              << fold_ns / static_cast<double>(reps) / 1e3
+              << " us, k-way " << kway_ns / static_cast<double>(reps) / 1e3
+              << " us (" << fold_ns / kway_ns << "x)\n";
+  }
+
+  // --- batched vs. per-id orphan reclamation ----------------------------
+  {
+    const std::size_t n = smoke ? 32 : 256;
+    const std::size_t reps = smoke ? 2 : 10;
+    double wall[2] = {0.0, 0.0};
+    std::size_t segments = 0;
+    for (const bool batched : {true, false}) {
+      double total = 0.0;
+      for (std::size_t r = 0; r < reps; ++r) {
+        Xorshift rng(42);
+        SwitchCac cac = make_switch();
+        // Half the reservations hold short leases: the orphan sweep after
+        // a burst of lost CONNECTEDs, many expiries per touched cell.
+        for (std::size_t id = 1; id <= n; ++id) {
+          const Candidate c = random_candidate(rng);
+          cac.add(id, c.in, c.out, c.prio, c.arrival,
+                  id % 2 == 0 ? 10.0 : SwitchCac::kPermanentLease);
+        }
+        segments = segments_total(cac);
+        total += time_ns([&] {
+          if (batched) {
+            (void)cac.reclaim(20.0);
+          } else {
+            for (std::size_t id = 2; id <= n; id += 2) {
+              (void)cac.remove(id);
+            }
+          }
+        });
+      }
+      wall[batched ? 0 : 1] = total;
+      json.add(make_record(
+          std::string("reclaim_") + (batched ? "batched" : "serial") + "_n" +
+              std::to_string(n),
+          n, total, reps * (n / 2), segments));
+    }
+    std::cout << "reclaim      n=" << n << ": batched "
+              << wall[0] / static_cast<double>(reps) / 1e6
+              << " ms/sweep, serial "
+              << wall[1] / static_cast<double>(reps) / 1e6 << " ms/sweep ("
+              << wall[1] / wall[0] << "x)\n";
+  }
+
+  if (!json.write(out_path)) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << json.records().size() << " records to "
+            << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_admission.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: cac_admission_bench [--smoke] [--out PATH]\n";
+      return 2;
+    }
+  }
+  return run(smoke, out_path);
+}

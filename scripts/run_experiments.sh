@@ -51,4 +51,9 @@ echo "== micro_algorithms (google-benchmark)"
   | tee "$OUT/micro_algorithms.txt"
 
 echo
-echo "outputs saved under $OUT/"
+echo "== cac_admission_bench (perf trajectory -> BENCH_admission.json)"
+"$BUILD/bench/cac_admission_bench" --out "$REPO_ROOT/BENCH_admission.json" \
+  | tee "$OUT/cac_admission_bench.txt"
+
+echo
+echo "outputs saved under $OUT/ (perf records in BENCH_admission.json)"

@@ -90,6 +90,14 @@ class ServiceCurve {
 
   [[nodiscard]] std::span<const Num> breakpoints() const { return starts_; }
 
+  /// G evaluated at each breakpoint (values()[k] == G(breakpoints()[k])).
+  [[nodiscard]] std::span<const Num> values() const { return values_; }
+
+  /// Service rate in force on segment k.
+  [[nodiscard]] const Num& capacity(std::size_t k) const {
+    return capacities_[k];
+  }
+
   /// Worst-case departure time for cumulative demand `a`:
   /// inf{u : G(u) > a}, falling back to the lower inverse when G saturates
   /// at exactly a.  nullopt if G never reaches a (demand never served).
@@ -151,9 +159,125 @@ class ServiceCurve {
 /// Worst-case queueing delay bound for priority-p arrivals S given the
 /// filtered higher-priority arrivals S1 (Algorithm 4.1).  For the highest
 /// priority pass the zero stream as S1.  Returns nullopt when unbounded.
+///
+/// Evaluated as a single merge sweep: the candidate maximizers (breakpoints
+/// of S plus the preimages under A of the service-curve breakpoints) are
+/// visited in time order while cursors over S and G advance monotonically,
+/// so the whole supremum costs O(|S| + |G|) instead of the
+/// O((|S| + |G|)²) of re-evaluating A and G⁻¹ from the origin per
+/// candidate (delay_bound_reference below, the pre-optimization form kept
+/// as the oracle).  Every candidate's value is computed by the same
+/// arithmetic in the same order as the reference, so the two agree exactly
+/// — not merely within tolerance — for both scalar instantiations.
 template <typename Num>
 std::optional<Num> delay_bound(const BasicBitStream<Num>& s,
                                const BasicBitStream<Num>& s1_filtered) {
+  if (s.is_zero()) return Num(0);  // no arrivals, no delay
+  const detail::ServiceCurve<Num> g(s1_filtered);
+
+  // Unbounded iff arrivals outpace service forever.
+  const bool tail_stable =
+      NumTraits<Num>::kExact
+          ? (s.final_rate() <= g.tail_capacity())
+          : NumTraits<Num>::nearly_leq(s.final_rate(), g.tail_capacity());
+  if (!tail_stable) return std::nullopt;
+
+  const auto segs = s.segments();
+  const auto gb = g.breakpoints();
+  const auto gv = g.values();
+
+  // Preimage times t with A(t) = G(u_k) for each service breakpoint u_k.
+  // The G(u_k) are non-decreasing, so one forward cursor over S computes
+  // them all (time_of_bits semantics, incrementalized).
+  std::vector<Num> pre;
+  pre.reserve(gb.size());
+  {
+    std::size_t k = 0;
+    Num area{0};
+    for (const Num& bits : gv) {
+      if (bits <= Num(0)) {
+        pre.push_back(Num(0));
+        continue;
+      }
+      while (k + 1 < segs.size()) {
+        const Num gained =
+            segs[k].rate * (segs[k + 1].start - segs[k].start);
+        if (area + gained >= bits) break;
+        area += gained;
+        ++k;
+      }
+      if (k + 1 < segs.size()) {
+        // rate > 0 here, or an earlier segment would already have
+        // accumulated `bits`.
+        pre.push_back(segs[k].start + (bits - area) / segs[k].rate);
+      } else if (segs[k].rate == Num(0)) {
+        const bool reached = NumTraits<Num>::kExact
+                                 ? (area >= bits)
+                                 : NumTraits<Num>::nearly_leq(bits, area);
+        if (reached) pre.push_back(segs[k].start);
+        // else: the stream never produces that much demand — no candidate.
+      } else {
+        pre.push_back(segs[k].start + (bits - area) / segs[k].rate);
+      }
+    }
+  }
+
+  // Sweep the merged candidate list in time order.  `ak`/`aarea` form the
+  // arrival cursor (A(t)), `dk` the departure cursor over G; both only
+  // ever move forward because candidate times — and therefore demands —
+  // are non-decreasing.
+  std::size_t ak = 0;
+  Num aarea{0};
+  std::size_t dk = 0;
+  const std::size_t glast = gb.size() - 1;
+  Num best{0};
+  std::size_t si = 0;
+  std::size_t pi = 0;
+  while (si < segs.size() || pi < pre.size()) {
+    Num t{};
+    if (pi >= pre.size() ||
+        (si < segs.size() && !(pre[pi] < segs[si].start))) {
+      t = segs[si++].start;
+    } else {
+      t = pre[pi++];
+    }
+    // A(t), incrementally.
+    while (ak + 1 < segs.size() && segs[ak + 1].start <= t) {
+      aarea += segs[ak].rate * (segs[ak + 1].start - segs[ak].start);
+      ++ak;
+    }
+    const Num a =
+        t <= Num(0) ? Num(0) : aarea + segs[ak].rate * (t - segs[ak].start);
+    // Departure time inf{u : G(u) > a}, incrementally (upper inverse;
+    // flat segments are skipped by the cursor advance).
+    while (dk + 1 < gb.size() && !(gv[dk + 1] > a)) ++dk;
+    Num depart{};
+    if (dk < glast) {
+      depart = gb[dk] + (a - gv[dk]) / g.capacity(dk);
+    } else if (g.capacity(glast) > Num(0)) {
+      const Num excess = a - gv[glast];
+      depart = gb[glast] +
+               (excess > Num(0) ? excess / g.capacity(glast) : Num(0));
+    } else {
+      // Saturated tail: rare, delegate to the reference scan (which ends
+      // in the lower inverse when the demand is exactly served).
+      const auto served = g.departure(a);
+      if (!served.has_value()) return std::nullopt;  // demand never served
+      depart = *served;
+    }
+    if (depart - t > best) best = depart - t;
+  }
+  return best;
+}
+
+/// Pre-optimization evaluation of the same bound: materialize every
+/// candidate, then re-evaluate A (bits_before) and the departure map from
+/// the origin for each one.  O((|S| + |G|)²).  Kept verbatim as the
+/// reference the sweep is property-tested against and as the baseline the
+/// admission benchmark measures (docs/PERFORMANCE.md).
+template <typename Num>
+std::optional<Num> delay_bound_reference(
+    const BasicBitStream<Num>& s, const BasicBitStream<Num>& s1_filtered) {
   if (s.is_zero()) return Num(0);  // no arrivals, no delay
   const detail::ServiceCurve<Num> g(s1_filtered);
 

@@ -3,6 +3,8 @@
 // The bit-stream manipulation algebra of Section 3 of the paper:
 //
 //   * multiplex    (Algorithm 3.2) — pointwise rate sum of two streams;
+//   * multiplex_all — k-way merge form of the same sum, used by the CAC
+//     hot path to aggregate whole cells in one O(S log k) sweep;
 //   * demultiplex  (Algorithm 3.3) — pointwise rate difference, used to
 //     remove a component from an aggregate it was previously added to;
 //   * filter       (Algorithm 3.4) — the smoothing a transmission link of
@@ -24,8 +26,12 @@
 
 #pragma once
 
+#include <functional>
 #include <optional>
+#include <queue>
+#include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/bitstream.h"
@@ -69,6 +75,87 @@ BasicBitStream<Num> multiplex(const BasicBitStream<Num>& s1,
   RTCAC_INVARIANT_AUDIT(result.invariants_hold(),
                         "multiplex: output violates the stream invariant");
   return result;
+}
+
+/// K-way multiplex: the aggregate of an arbitrary set of streams in one
+/// merge sweep.  Equivalent to left-folding `multiplex` over the set, and
+/// deliberately sums the in-force rates left-to-right at every union
+/// breakpoint so the result matches the fold *bitwise* whenever no
+/// tolerance coalescing fires in the fold's intermediates (always, for
+/// exact scalars) — remove/rebuild must restore aggregates bit for bit.
+/// Unlike the fold it allocates the output exactly once and never
+/// materializes the O(k) intermediate partial aggregates.  Null and zero
+/// entries contribute nothing; an empty set yields the zero stream.
+template <typename Num>
+BasicBitStream<Num> multiplex_all(
+    std::span<const BasicBitStream<Num>* const> streams) {
+  using Seg = BasicSegment<Num>;
+  std::vector<std::span<const Seg>> active;
+  active.reserve(streams.size());
+  std::size_t total = 0;
+  const BasicBitStream<Num>* only = nullptr;
+  for (const BasicBitStream<Num>* s : streams) {
+    if (s == nullptr || s->is_zero()) continue;
+    only = s;
+    active.push_back(s->segments());
+    total += s->size();
+  }
+  if (active.empty()) return BasicBitStream<Num>{};
+  if (active.size() == 1) return *only;
+
+  // Min-heap over (next breakpoint, stream index); all entries sharing a
+  // breakpoint are popped together so each union breakpoint emits exactly
+  // one output segment.
+  using Entry = std::pair<Num, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  std::vector<std::size_t> pos(active.size(), 0);
+  for (std::size_t s = 0; s < active.size(); ++s) {
+    heap.emplace(active[s].front().start, s);
+  }
+  std::vector<Seg> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    const Num t = heap.top().first;
+    while (!heap.empty() && heap.top().first == t) {
+      const std::size_t s = heap.top().second;
+      heap.pop();
+      const std::size_t k = pos[s]++;
+      if (k + 1 < active[s].size()) {
+        heap.emplace(active[s][k + 1].start, s);
+      }
+    }
+    // Left-nested sum in input order: identical association to the fold's
+    // partial aggregates, so the rates agree bitwise (see above).  Each
+    // term is non-increasing in t and fp rounding is monotone, so the sum
+    // stays non-increasing too.
+    Num rate_sum{0};
+    for (std::size_t s = 0; s < active.size(); ++s) {
+      rate_sum += pos[s] > 0 ? active[s][pos[s] - 1].rate : Num(0);
+    }
+    out.push_back(Seg{rate_sum, t});
+  }
+  BasicBitStream<Num> result(std::move(out));
+  RTCAC_INVARIANT_AUDIT(result.invariants_hold(),
+                        "multiplex_all: output violates the stream invariant");
+  return result;
+}
+
+/// Convenience overload over a materialized pointer container.
+template <typename Num>
+BasicBitStream<Num> multiplex_all(
+    const std::vector<const BasicBitStream<Num>*>& streams) {
+  return multiplex_all(
+      std::span<const BasicBitStream<Num>* const>(streams));
+}
+
+/// Convenience overload over streams by value (tests, small call sites).
+template <typename Num>
+BasicBitStream<Num> multiplex_all(
+    std::span<const BasicBitStream<Num>> streams) {
+  std::vector<const BasicBitStream<Num>*> ptrs;
+  ptrs.reserve(streams.size());
+  for (const auto& s : streams) ptrs.push_back(&s);
+  return multiplex_all(std::span<const BasicBitStream<Num>* const>(ptrs));
 }
 
 /// Thrown by demultiplex when the subtrahend is not contained in the

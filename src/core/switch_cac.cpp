@@ -1,5 +1,6 @@
 #include "core/switch_cac.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rtcac {
@@ -13,9 +14,24 @@ BasicSwitchCac<Num>::BasicSwitchCac(const Config& config) : config_(config) {
                 "SwitchCac: advertised bound must be > 0");
   advertised_.assign(config_.out_ports * config_.priorities,
                      config_.advertised_bound);
-  arrival_aggr_.assign(
-      config_.in_ports * config_.out_ports * config_.priorities, Stream{});
-  cell_counts_.assign(arrival_aggr_.size(), 0);
+  const std::size_t cells =
+      config_.in_ports * config_.out_ports * config_.priorities;
+  const std::size_t queues = config_.out_ports * config_.priorities;
+  arrival_aggr_.assign(cells, Stream{});
+  cell_counts_.assign(cells, 0);
+  cell_members_.assign(cells, {});
+  filtered_cell_.assign(cells, Stream{});
+  hp_cell_filtered_.assign(cells, Stream{});
+  offered_cache_.assign(queues, Stream{});
+  hp_filtered_cache_.assign(queues, Stream{});
+  bound_cache_.assign(queues, std::nullopt);
+  // Everything starts dirty; the ensure_* accessors fill entries on first
+  // use, so a fresh switch never pays for caches it does not read.
+  filtered_cell_dirty_.assign(cells, 1);
+  hp_cell_dirty_.assign(cells, 1);
+  offered_dirty_.assign(queues, 1);
+  hp_filtered_dirty_.assign(queues, 1);
+  bound_dirty_.assign(queues, 1);
 }
 
 template <typename Num>
@@ -24,6 +40,12 @@ std::size_t BasicSwitchCac<Num>::cell_index(std::size_t in_port,
                                             Priority priority) const {
   return (in_port * config_.out_ports + out_port) * config_.priorities +
          priority;
+}
+
+template <typename Num>
+std::size_t BasicSwitchCac<Num>::queue_index(std::size_t out_port,
+                                             Priority priority) const {
+  return out_port * config_.priorities + priority;
 }
 
 template <typename Num>
@@ -39,7 +61,7 @@ template <typename Num>
 Num BasicSwitchCac<Num>::advertised(std::size_t out_port,
                                     Priority priority) const {
   check_ports(0, out_port, priority);
-  return advertised_[out_port * config_.priorities + priority];
+  return advertised_[queue_index(out_port, priority)];
 }
 
 template <typename Num>
@@ -47,26 +69,189 @@ void BasicSwitchCac<Num>::set_advertised(std::size_t out_port,
                                          Priority priority, Num bound) {
   check_ports(0, out_port, priority);
   RTCAC_REQUIRE(bound > Num(0), "SwitchCac: advertised bound must be > 0");
-  advertised_[out_port * config_.priorities + priority] = bound;
+  advertised_[queue_index(out_port, priority)] = bound;
 }
 
 template <typename Num>
 typename BasicSwitchCac<Num>::Stream BasicSwitchCac<Num>::rebuild_cell(
     std::size_t in_port, std::size_t out_port, Priority priority) const {
-  Stream aggr;
-  for (const auto& [id, rec] : records_) {
-    if (rec.in_port == in_port && rec.out_port == out_port &&
-        rec.priority == priority) {
-      aggr = multiplex(aggr, rec.arrival);
-    }
+  const std::vector<ConnectionId>& members =
+      cell_members_[cell_index(in_port, out_port, priority)];
+  std::vector<const Stream*> parts;
+  parts.reserve(members.size());
+  for (const ConnectionId id : members) {
+    const auto it = records_.find(id);
+    RTCAC_ASSERT(it != records_.end(),
+                 "SwitchCac: membership index references unknown id " +
+                     std::to_string(id));
+    parts.push_back(&it->second.arrival);
   }
-  return aggr;
+  // Members are kept in insertion order, so this k-way mux reproduces the
+  // incremental adds bitwise: remove/rebuild restores the exact aggregate.
+  return multiplex_all(parts);
 }
 
 template <typename Num>
-typename BasicSwitchCac<Num>::Stream BasicSwitchCac<Num>::offered_aggregate(
-    std::size_t out_port, Priority priority, const Stream* extra,
-    std::size_t extra_in, Priority extra_prio) const {
+void BasicSwitchCac<Num>::invalidate_cell(std::size_t in_port,
+                                          std::size_t out_port,
+                                          Priority priority) {
+  // The cell feeds its own filtered stream, the offered aggregate and
+  // bound of its queue, and — being higher-priority traffic for every
+  // level below — the hp union of cells (in_port, out_port, q > priority)
+  // plus the hp aggregates and bounds of those queues.  Nothing else.
+  filtered_cell_dirty_[cell_index(in_port, out_port, priority)] = 1;
+  offered_dirty_[queue_index(out_port, priority)] = 1;
+  bound_dirty_[queue_index(out_port, priority)] = 1;
+  for (Priority q = priority + 1; q < config_.priorities; ++q) {
+    hp_cell_dirty_[cell_index(in_port, out_port, q)] = 1;
+    hp_filtered_dirty_[queue_index(out_port, q)] = 1;
+    bound_dirty_[queue_index(out_port, q)] = 1;
+  }
+}
+
+template <typename Num>
+const typename BasicSwitchCac<Num>::Stream&
+BasicSwitchCac<Num>::ensure_filtered_cell(std::size_t in_port,
+                                          std::size_t out_port,
+                                          Priority priority) const {
+  const std::size_t c = cell_index(in_port, out_port, priority);
+  if (filtered_cell_dirty_[c] != 0) {
+    filtered_cell_[c] = filter(arrival_aggr_[c]);
+    filtered_cell_dirty_[c] = 0;
+  }
+  return filtered_cell_[c];
+}
+
+template <typename Num>
+const typename BasicSwitchCac<Num>::Stream&
+BasicSwitchCac<Num>::ensure_hp_cell(std::size_t in_port, std::size_t out_port,
+                                    Priority priority) const {
+  const std::size_t c = cell_index(in_port, out_port, priority);
+  if (hp_cell_dirty_[c] != 0) {
+    if (priority == 0) {
+      hp_cell_filtered_[c] = Stream{};
+    } else {
+      std::vector<const Stream*> parts;
+      parts.reserve(priority);
+      for (Priority q = 0; q < priority; ++q) {
+        parts.push_back(&arrival_aggr_[cell_index(in_port, out_port, q)]);
+      }
+      hp_cell_filtered_[c] = filter(multiplex_all(parts));
+    }
+    hp_cell_dirty_[c] = 0;
+  }
+  return hp_cell_filtered_[c];
+}
+
+template <typename Num>
+const typename BasicSwitchCac<Num>::Stream&
+BasicSwitchCac<Num>::ensure_offered(std::size_t out_port,
+                                    Priority priority) const {
+  const std::size_t q = queue_index(out_port, priority);
+  if (offered_dirty_[q] != 0) {
+    std::vector<const Stream*> parts;
+    parts.reserve(config_.in_ports);
+    for (std::size_t i = 0; i < config_.in_ports; ++i) {
+      parts.push_back(&ensure_filtered_cell(i, out_port, priority));
+    }
+    offered_cache_[q] = multiplex_all(parts);
+    offered_dirty_[q] = 0;
+  }
+  return offered_cache_[q];
+}
+
+template <typename Num>
+const typename BasicSwitchCac<Num>::Stream&
+BasicSwitchCac<Num>::ensure_hp_filtered(std::size_t out_port,
+                                        Priority priority) const {
+  const std::size_t q = queue_index(out_port, priority);
+  if (hp_filtered_dirty_[q] != 0) {
+    std::vector<const Stream*> parts;
+    parts.reserve(config_.in_ports);
+    for (std::size_t i = 0; i < config_.in_ports; ++i) {
+      parts.push_back(&ensure_hp_cell(i, out_port, priority));
+    }
+    // The higher-priority traffic leaves through the same unit-rate
+    // out-link, so it can occupy at most rate 1 of it.
+    hp_filtered_cache_[q] = filter(multiplex_all(parts));
+    hp_filtered_dirty_[q] = 0;
+  }
+  return hp_filtered_cache_[q];
+}
+
+template <typename Num>
+const std::optional<Num>& BasicSwitchCac<Num>::ensure_bound(
+    std::size_t out_port, Priority priority) const {
+  const std::size_t q = queue_index(out_port, priority);
+  if (bound_dirty_[q] != 0) {
+    const Stream& offered = ensure_offered(out_port, priority);
+    if (offered.is_zero()) {
+      bound_cache_[q] = Num(0);
+    } else {
+      bound_cache_[q] =
+          delay_bound(offered, ensure_hp_filtered(out_port, priority));
+    }
+    bound_dirty_[q] = 0;
+  }
+  return bound_cache_[q];
+}
+
+template <typename Num>
+typename BasicSwitchCac<Num>::Stream
+BasicSwitchCac<Num>::compose_offered_trial(std::size_t out_port,
+                                           Priority priority,
+                                           std::size_t in_port,
+                                           const Stream& arrival) const {
+  // The candidate joins cell (in_port, out_port, priority) *before* the
+  // in-link filter; every other in-port contributes its cached filtered
+  // stream untouched.  Composed once — no per-in-port copy dance.
+  const Stream trial = filter(multiplex(
+      arrival_aggr_[cell_index(in_port, out_port, priority)], arrival));
+  std::vector<const Stream*> parts;
+  parts.reserve(config_.in_ports);
+  for (std::size_t i = 0; i < config_.in_ports; ++i) {
+    parts.push_back(i == in_port
+                        ? &trial
+                        : &ensure_filtered_cell(i, out_port, priority));
+  }
+  return multiplex_all(parts);
+}
+
+template <typename Num>
+typename BasicSwitchCac<Num>::Stream BasicSwitchCac<Num>::compose_hp_trial(
+    std::size_t out_port, Priority priority, std::size_t in_port,
+    Priority extra_prio, const Stream& arrival) const {
+  RTCAC_ASSERT(extra_prio < priority,
+               "SwitchCac: hp trial needs a strictly higher-priority extra");
+  // Only in_port's higher-priority union changes; rebuild it with the
+  // candidate multiplexed into its (in_port, out_port, extra_prio) slot and
+  // reuse the cached filtered unions of every other in-port.
+  const Stream trial_cell = multiplex(
+      arrival_aggr_[cell_index(in_port, out_port, extra_prio)], arrival);
+  std::vector<const Stream*> hp_parts;
+  hp_parts.reserve(priority);
+  for (Priority q = 0; q < priority; ++q) {
+    hp_parts.push_back(
+        q == extra_prio ? &trial_cell
+                        : &arrival_aggr_[cell_index(in_port, out_port, q)]);
+  }
+  const Stream trial_hp = filter(multiplex_all(hp_parts));
+  std::vector<const Stream*> parts;
+  parts.reserve(config_.in_ports);
+  for (std::size_t i = 0; i < config_.in_ports; ++i) {
+    parts.push_back(i == in_port ? &trial_hp
+                                 : &ensure_hp_cell(i, out_port, priority));
+  }
+  return filter(multiplex_all(parts));
+}
+
+template <typename Num>
+typename BasicSwitchCac<Num>::Stream
+BasicSwitchCac<Num>::offered_aggregate_scratch(std::size_t out_port,
+                                               Priority priority,
+                                               const Stream* extra,
+                                               std::size_t extra_in,
+                                               Priority extra_prio) const {
   Stream offered;
   for (std::size_t i = 0; i < config_.in_ports; ++i) {
     const Stream* cell = &arrival_aggr_[cell_index(i, out_port, priority)];
@@ -83,11 +268,9 @@ typename BasicSwitchCac<Num>::Stream BasicSwitchCac<Num>::offered_aggregate(
 
 template <typename Num>
 typename BasicSwitchCac<Num>::Stream
-BasicSwitchCac<Num>::higher_priority_filtered(std::size_t out_port,
-                                              Priority priority,
-                                              const Stream* extra,
-                                              std::size_t extra_in,
-                                              Priority extra_prio) const {
+BasicSwitchCac<Num>::higher_priority_filtered_scratch(
+    std::size_t out_port, Priority priority, const Stream* extra,
+    std::size_t extra_in, Priority extra_prio) const {
   Stream out_aggr;
   for (std::size_t i = 0; i < config_.in_ports; ++i) {
     // Aggregate all strictly-higher priorities on this incoming link: they
@@ -122,23 +305,88 @@ typename BasicSwitchCac<Num>::CheckResult BasicSwitchCac<Num>::check(
   // Steps 1-4 of the paper's CAC check for the connection's own priority,
   // then Step 5 for every lower priority level (higher levels cannot be
   // affected by the newcomer and keep their previously verified bounds).
+  // Every stream the candidate does not touch comes from the dirty-tracked
+  // caches; only the candidate's own cell is re-filtered.
   for (Priority q = 0; q < config_.priorities; ++q) {
     std::optional<Num> bound;
     if (q < priority) {
-      bound = computed_bound(out_port, q);
-    } else {
+      bound = ensure_bound(out_port, q);
+    } else if (q == priority) {
+      // Candidate raises the offered load of its own queue; the traffic
+      // above it is unchanged.
       const Stream offered =
-          offered_aggregate(out_port, q, &arrival, in_port, priority);
-      const Stream hp = higher_priority_filtered(out_port, q, &arrival,
-                                                 in_port, priority);
-      bound = delay_bound(offered, hp);
+          compose_offered_trial(out_port, q, in_port, arrival);
+      bound = delay_bound(offered, ensure_hp_filtered(out_port, q));
+    } else {
+      // Candidate is higher-priority traffic for queue q; q's own offered
+      // aggregate is unchanged.
+      const Stream hp =
+          compose_hp_trial(out_port, q, in_port, priority, arrival);
+      bound = delay_bound(ensure_offered(out_port, q), hp);
     }
     result.bounds[q] = bound;
     if (q == priority) {
       result.bound_at_priority = bound;
     }
     if (q >= priority) {
-      const Num dmax = advertised_[out_port * config_.priorities + q];
+      const Num dmax = advertised_[queue_index(out_port, q)];
+      if (!bound.has_value() || *bound > dmax) {
+        std::ostringstream os;
+        os << "delay bound at out-port " << out_port << " priority " << q
+           << " would be ";
+        if (bound.has_value()) {
+          os << *bound;
+        } else {
+          os << "unbounded";
+        }
+        os << " > advertised " << dmax;
+        result.admitted = false;
+        result.reason = os.str();
+        return result;
+      }
+    }
+  }
+  result.admitted = true;
+  return result;
+}
+
+template <typename Num>
+typename BasicSwitchCac<Num>::CheckResult
+BasicSwitchCac<Num>::check_from_scratch(std::size_t in_port,
+                                        std::size_t out_port,
+                                        Priority priority,
+                                        const Stream& arrival) const {
+  check_ports(in_port, out_port, priority);
+  CheckResult result;
+  result.bounds.assign(config_.priorities, std::nullopt);
+
+  // Frozen pre-optimization path: every aggregate re-folded with two-way
+  // multiplex, every bound from the reference candidate scan, no caches.
+  for (Priority q = 0; q < config_.priorities; ++q) {
+    std::optional<Num> bound;
+    if (q < priority) {
+      const Stream offered =
+          offered_aggregate_scratch(out_port, q, nullptr, 0, 0);
+      if (offered.is_zero()) {
+        bound = Num(0);
+      } else {
+        const Stream hp =
+            higher_priority_filtered_scratch(out_port, q, nullptr, 0, 0);
+        bound = delay_bound_reference(offered, hp);
+      }
+    } else {
+      const Stream offered =
+          offered_aggregate_scratch(out_port, q, &arrival, in_port, priority);
+      const Stream hp = higher_priority_filtered_scratch(
+          out_port, q, &arrival, in_port, priority);
+      bound = delay_bound_reference(offered, hp);
+    }
+    result.bounds[q] = bound;
+    if (q == priority) {
+      result.bound_at_priority = bound;
+    }
+    if (q >= priority) {
+      const Num dmax = advertised_[queue_index(out_port, q)];
       if (!bound.has_value() || *bound > dmax) {
         std::ostringstream os;
         os << "delay bound at out-port " << out_port << " priority " << q
@@ -171,6 +419,8 @@ void BasicSwitchCac<Num>::add(ConnectionId id, std::size_t in_port,
   const std::size_t idx = cell_index(in_port, out_port, priority);
   arrival_aggr_[idx] = multiplex(arrival_aggr_[idx], arrival);
   ++cell_counts_[idx];
+  cell_members_[idx].push_back(id);
+  invalidate_cell(in_port, out_port, priority);
   audit_invariants();
 }
 
@@ -196,12 +446,45 @@ double BasicSwitchCac<Num>::lease_expiry(ConnectionId id) const {
 }
 
 template <typename Num>
+std::size_t BasicSwitchCac<Num>::remove_record_bookkeeping(
+    typename std::map<ConnectionId, Record>::iterator it) {
+  const Record& rec = it->second;
+  const std::size_t idx = cell_index(rec.in_port, rec.out_port, rec.priority);
+  std::erase(cell_members_[idx], it->first);
+  --cell_counts_[idx];
+  records_.erase(it);
+  return idx;
+}
+
+template <typename Num>
 std::vector<ConnectionId> BasicSwitchCac<Num>::reclaim(double now) {
   std::vector<ConnectionId> expired;
   for (const auto& [id, rec] : records_) {
     if (rec.lease_expiry <= now) expired.push_back(id);
   }
-  for (const ConnectionId id : expired) remove(id);
+  if (expired.empty()) return expired;
+  // Batch: strip every expired record first, then rebuild each touched
+  // cell exactly once — a cell losing k orphans pays one rebuild, not k.
+  std::vector<std::size_t> touched;
+  touched.reserve(expired.size());
+  for (const ConnectionId id : expired) {
+    touched.push_back(remove_record_bookkeeping(records_.find(id)));
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  const std::size_t per_in = config_.out_ports * config_.priorities;
+  for (const std::size_t idx : touched) {
+    const std::size_t in_port = idx / per_in;
+    const std::size_t out_port = (idx % per_in) / config_.priorities;
+    const auto priority = static_cast<Priority>(idx % config_.priorities);
+    // Rebuild rather than demultiplex: repeated setup/teardown must not
+    // accumulate floating-point drift in the aggregates.
+    arrival_aggr_[idx] = cell_counts_[idx] == 0
+                             ? Stream{}
+                             : rebuild_cell(in_port, out_port, priority);
+    invalidate_cell(in_port, out_port, priority);
+  }
+  audit_invariants();
   return expired;
 }
 
@@ -214,19 +497,32 @@ std::vector<ConnectionId> BasicSwitchCac<Num>::connection_ids() const {
 }
 
 template <typename Num>
+std::vector<ConnectionId> BasicSwitchCac<Num>::connection_ids(
+    std::size_t out_port, Priority priority) const {
+  check_ports(0, out_port, priority);
+  std::vector<ConnectionId> ids;
+  for (std::size_t i = 0; i < config_.in_ports; ++i) {
+    const auto& members = cell_members_[cell_index(i, out_port, priority)];
+    ids.insert(ids.end(), members.begin(), members.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+template <typename Num>
 bool BasicSwitchCac<Num>::remove(ConnectionId id) {
   const auto it = records_.find(id);
   if (it == records_.end()) return false;
-  const Record rec = it->second;
-  records_.erase(it);
-  const std::size_t idx = cell_index(rec.in_port, rec.out_port, rec.priority);
-  --cell_counts_[idx];
+  const std::size_t in_port = it->second.in_port;
+  const std::size_t out_port = it->second.out_port;
+  const Priority priority = it->second.priority;
+  const std::size_t idx = remove_record_bookkeeping(it);
   // Rebuild rather than demultiplex: repeated setup/teardown must not
   // accumulate floating-point drift in the aggregates.
   arrival_aggr_[idx] = cell_counts_[idx] == 0
                            ? Stream{}
-                           : rebuild_cell(rec.in_port, rec.out_port,
-                                          rec.priority);
+                           : rebuild_cell(in_port, out_port, priority);
+  invalidate_cell(in_port, out_port, priority);
   audit_invariants();
   return true;
 }
@@ -235,22 +531,16 @@ template <typename Num>
 std::optional<Num> BasicSwitchCac<Num>::computed_bound(
     std::size_t out_port, Priority priority) const {
   check_ports(0, out_port, priority);
-  const Stream offered = offered_aggregate(out_port, priority, nullptr, 0, 0);
-  if (offered.is_zero()) return Num(0);
-  const Stream hp =
-      higher_priority_filtered(out_port, priority, nullptr, 0, 0);
-  return delay_bound(offered, hp);
+  return ensure_bound(out_port, priority);
 }
 
 template <typename Num>
 std::optional<Num> BasicSwitchCac<Num>::buffer_requirement(
     std::size_t out_port, Priority priority) const {
   check_ports(0, out_port, priority);
-  const Stream offered = offered_aggregate(out_port, priority, nullptr, 0, 0);
+  const Stream& offered = ensure_offered(out_port, priority);
   if (offered.is_zero()) return Num(0);
-  const Stream hp =
-      higher_priority_filtered(out_port, priority, nullptr, 0, 0);
-  return max_backlog(offered, hp);
+  return max_backlog(offered, ensure_hp_filtered(out_port, priority));
 }
 
 template <typename Num>
@@ -258,8 +548,8 @@ std::size_t BasicSwitchCac<Num>::connection_count(std::size_t out_port,
                                                   Priority priority) const {
   check_ports(0, out_port, priority);
   std::size_t count = 0;
-  for (const auto& [id, rec] : records_) {
-    if (rec.out_port == out_port && rec.priority == priority) ++count;
+  for (std::size_t i = 0; i < config_.in_ports; ++i) {
+    count += cell_counts_[cell_index(i, out_port, priority)];
   }
   return count;
 }
@@ -289,14 +579,19 @@ bool BasicSwitchCac<Num>::state_consistent() const {
   for (std::size_t i = 0; i < config_.in_ports; ++i) {
     for (std::size_t j = 0; j < config_.out_ports; ++j) {
       for (Priority p = 0; p < config_.priorities; ++p) {
+        const std::size_t idx = cell_index(i, j, p);
+        if (cell_members_[idx].size() != cell_counts_[idx]) return false;
         const Stream expect = rebuild_cell(i, j, p);
-        if (!expect.nearly_equal(arrival_aggr_[cell_index(i, j, p)])) {
+        if (!expect.nearly_equal(arrival_aggr_[idx])) {
           return false;
         }
       }
     }
   }
-  return true;
+  // Membership index and record map must describe the same connection set.
+  std::size_t indexed = 0;
+  for (const auto& members : cell_members_) indexed += members.size();
+  return indexed == records_.size();
 }
 
 template <typename Num>
@@ -319,6 +614,87 @@ bool BasicSwitchCac<Num>::bandwidth_conserved() const {
 }
 
 template <typename Num>
+bool BasicSwitchCac<Num>::cache_coherent() const {
+  const auto bounds_match = [](const std::optional<Num>& a,
+                               const std::optional<Num>& b) {
+    if (a.has_value() != b.has_value()) return false;
+    return !a.has_value() || NumTraits<Num>::nearly_equal(*a, *b);
+  };
+  for (std::size_t i = 0; i < config_.in_ports; ++i) {
+    for (std::size_t j = 0; j < config_.out_ports; ++j) {
+      for (Priority p = 0; p < config_.priorities; ++p) {
+        const std::size_t c = cell_index(i, j, p);
+        if (filtered_cell_dirty_[c] == 0 &&
+            !filtered_cell_[c].nearly_equal(filter(arrival_aggr_[c]))) {
+          return false;
+        }
+        if (hp_cell_dirty_[c] == 0) {
+          Stream expect;
+          if (p > 0) {
+            std::vector<const Stream*> parts;
+            parts.reserve(p);
+            for (Priority q = 0; q < p; ++q) {
+              parts.push_back(&arrival_aggr_[cell_index(i, j, q)]);
+            }
+            expect = filter(multiplex_all(parts));
+          }
+          if (!hp_cell_filtered_[c].nearly_equal(expect)) return false;
+        }
+      }
+    }
+  }
+  for (std::size_t j = 0; j < config_.out_ports; ++j) {
+    for (Priority p = 0; p < config_.priorities; ++p) {
+      const std::size_t q = queue_index(j, p);
+      // Recompute each clean entry from the raw cells only — deliberately
+      // not via the ensure_* accessors, so a corrupted upstream cache
+      // cannot vouch for a downstream one.
+      std::optional<Stream> offered;
+      if (offered_dirty_[q] == 0 || bound_dirty_[q] == 0) {
+        std::vector<Stream> fresh;
+        fresh.reserve(config_.in_ports);
+        for (std::size_t i = 0; i < config_.in_ports; ++i) {
+          fresh.push_back(filter(arrival_aggr_[cell_index(i, j, p)]));
+        }
+        offered = multiplex_all(std::span<const Stream>(fresh));
+      }
+      if (offered_dirty_[q] == 0 && !offered_cache_[q].nearly_equal(*offered)) {
+        return false;
+      }
+      std::optional<Stream> hp;
+      if (hp_filtered_dirty_[q] == 0 || bound_dirty_[q] == 0) {
+        std::vector<Stream> fresh;
+        fresh.reserve(config_.in_ports);
+        for (std::size_t i = 0; i < config_.in_ports; ++i) {
+          if (p == 0) {
+            fresh.emplace_back();
+            continue;
+          }
+          std::vector<const Stream*> parts;
+          parts.reserve(p);
+          for (Priority r = 0; r < p; ++r) {
+            parts.push_back(&arrival_aggr_[cell_index(i, j, r)]);
+          }
+          fresh.push_back(filter(multiplex_all(parts)));
+        }
+        hp = filter(multiplex_all(std::span<const Stream>(fresh)));
+      }
+      if (hp_filtered_dirty_[q] == 0 &&
+          !hp_filtered_cache_[q].nearly_equal(*hp)) {
+        return false;
+      }
+      if (bound_dirty_[q] == 0) {
+        const std::optional<Num> expect =
+            offered->is_zero() ? std::optional<Num>(Num(0))
+                               : delay_bound(*offered, *hp);
+        if (!bounds_match(bound_cache_[q], expect)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+template <typename Num>
 void BasicSwitchCac<Num>::audit_invariants() const {
   RTCAC_INVARIANT_AUDIT(
       bandwidth_conserved(),
@@ -326,6 +702,9 @@ void BasicSwitchCac<Num>::audit_invariants() const {
   RTCAC_INVARIANT_AUDIT(
       state_consistent(),
       "SwitchCac: cached aggregates diverged from connection records");
+  RTCAC_INVARIANT_AUDIT(
+      cache_coherent(),
+      "SwitchCac: derived-stream cache diverged from its inputs");
 }
 
 template class BasicSwitchCac<double>;

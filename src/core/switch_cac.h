@@ -27,6 +27,21 @@
 // the exact state (aggregates are rebuilt from the per-connection records,
 // so floating-point drift cannot accumulate across setup/teardown cycles).
 //
+// Admission hot path (docs/PERFORMANCE.md): every derived stream the check
+// needs — the filtered per-cell streams S_if, the higher-priority unions,
+// the per-(out, priority) offered aggregates S_oa / filtered aggregates
+// S_of and the computed bounds D' — is cached with dirty-tracking.  A
+// mutation at cell (i, j, p) invalidates only the entries that cell feeds
+// (its own filtered stream, S_oa(j, p), and the higher-priority caches of
+// every level below p at out-port j); everything else survives, so check()
+// composes cached streams with the candidate via the k-way multiplex_all
+// instead of re-folding the whole switch.  check_from_scratch() keeps the
+// pre-optimization fold exactly as it was: it is the oracle the
+// cache-coherence property tests compare against and the baseline the
+// admission benchmark measures.  Under RTCAC_CONTRACT_AUDIT every mutation
+// re-verifies cache coherence (cache_coherent()) alongside the existing
+// state-consistency and bandwidth-conservation audits.
+//
 // Fault tolerance: a commit may carry a *lease* — an expiry instant on the
 // caller's clock.  A hop reserved by a distributed SETUP holds its
 // bandwidth only until the lease runs out; CONNECTED (via
@@ -115,6 +130,16 @@ class BasicSwitchCac {
                                   Priority priority,
                                   const Stream& arrival) const;
 
+  /// Same trial decision computed the pre-optimization way: every derived
+  /// stream re-folded from the S_ia cells with two-way multiplex, every
+  /// bound evaluated by the reference candidate scan, no caches touched.
+  /// Kept as the oracle for the cache-coherence property suite and as the
+  /// baseline bench/cac_admission_bench measures the fast path against.
+  [[nodiscard]] CheckResult check_from_scratch(std::size_t in_port,
+                                               std::size_t out_port,
+                                               Priority priority,
+                                               const Stream& arrival) const;
+
   /// Lease expiry marking a permanent (non-expiring) commitment.
   static constexpr double kPermanentLease =
       std::numeric_limits<double>::infinity();
@@ -155,6 +180,11 @@ class BasicSwitchCac {
   /// Ids of all committed connections, ascending.
   [[nodiscard]] std::vector<ConnectionId> connection_ids() const;
 
+  /// Ids of the connections queued at (out_port, priority), ascending —
+  /// served from the per-cell membership index, not a record scan.
+  [[nodiscard]] std::vector<ConnectionId> connection_ids(
+      std::size_t out_port, Priority priority) const;
+
   /// Computed worst-case delay bound D'(j,p) with the current connection
   /// set; nullopt when unbounded.  Zero traffic yields 0.
   [[nodiscard]] std::optional<Num> computed_bound(std::size_t out_port,
@@ -194,6 +224,12 @@ class BasicSwitchCac {
   /// hook; O(n).
   [[nodiscard]] bool bandwidth_conserved() const;
 
+  /// Verifies that every *clean* (non-dirty) derived-stream/bound cache
+  /// entry equals its from-scratch recomputation.  Dirty entries are
+  /// skipped: they are recomputed on next use by construction.
+  /// Test/diagnostic hook; O(n).
+  [[nodiscard]] bool cache_coherent() const;
+
  private:
   struct Record {
     std::size_t in_port;
@@ -206,41 +242,104 @@ class BasicSwitchCac {
   [[nodiscard]] std::size_t cell_index(std::size_t in_port,
                                        std::size_t out_port,
                                        Priority priority) const;
+  [[nodiscard]] std::size_t queue_index(std::size_t out_port,
+                                        Priority priority) const;
   void check_ports(std::size_t in_port, std::size_t out_port,
                    Priority priority) const;
 
-  /// Rebuilds S_ia(i,j,p) from the per-connection records.
+  /// Rebuilds S_ia(i,j,p) from the cell's membership index (k-way mux of
+  /// the member connections' arrival streams).
   [[nodiscard]] Stream rebuild_cell(std::size_t in_port,
                                     std::size_t out_port,
                                     Priority priority) const;
 
-  /// S_oa(j,p): offered aggregate at out-queue (j,p), optionally with
-  /// `extra` multiplexed into cell (extra_in, j, extra_prio) — used for
-  /// trial checks without mutating state.
-  [[nodiscard]] Stream offered_aggregate(std::size_t out_port,
-                                         Priority priority,
-                                         const Stream* extra,
-                                         std::size_t extra_in,
-                                         Priority extra_prio) const;
+  /// Marks every derived cache fed by cell (i,j,p) dirty.  The only place
+  /// invalidation happens; called from each mutator.
+  void invalidate_cell(std::size_t in_port, std::size_t out_port,
+                       Priority priority);
 
-  /// S_of(j,p): filtered aggregate of priorities < p on out-link j,
-  /// with the same optional trial stream.
-  [[nodiscard]] Stream higher_priority_filtered(std::size_t out_port,
-                                                Priority priority,
-                                                const Stream* extra,
-                                                std::size_t extra_in,
-                                                Priority extra_prio) const;
+  /// Erases one record plus its index/aggregate bookkeeping WITHOUT
+  /// rebuilding the touched cell; returns its cell index.  Shared by
+  /// remove() and the batched reclaim().
+  std::size_t remove_record_bookkeeping(
+      typename std::map<ConnectionId, Record>::iterator it);
 
-  /// Re-audits the full CAC state (aggregate/record consistency and
-  /// bandwidth conservation) via RTCAC_INVARIANT_AUDIT; compiles to
-  /// nothing outside audit builds.  Called after every mutation.
+  // --- lazily rebuilt derived-stream caches (cache_coherent() audits) ---
+
+  /// S_if(i,j,p) = filter(S_ia(i,j,p)).
+  [[nodiscard]] const Stream& ensure_filtered_cell(std::size_t in_port,
+                                                   std::size_t out_port,
+                                                   Priority priority) const;
+  /// filter of the strictly-higher-priority union on in-link i toward j:
+  /// filter(mux_{q < p} S_ia(i,j,q)).
+  [[nodiscard]] const Stream& ensure_hp_cell(std::size_t in_port,
+                                             std::size_t out_port,
+                                             Priority priority) const;
+  /// S_oa(j,p) = mux_i S_if(i,j,p).
+  [[nodiscard]] const Stream& ensure_offered(std::size_t out_port,
+                                             Priority priority) const;
+  /// S_of(j,p) = filter(mux_i ensure_hp_cell(i,j,p)).
+  [[nodiscard]] const Stream& ensure_hp_filtered(std::size_t out_port,
+                                                 Priority priority) const;
+  /// D'(j,p) over the committed set (no trial stream).
+  [[nodiscard]] const std::optional<Num>& ensure_bound(std::size_t out_port,
+                                                       Priority priority) const;
+
+  /// S_oa(j,p) with the candidate multiplexed into cell (in,j,p) before
+  /// the in-link filter; composed from cached streams, the candidate's
+  /// cell is the only one re-filtered.
+  [[nodiscard]] Stream compose_offered_trial(std::size_t out_port,
+                                             Priority priority,
+                                             std::size_t in_port,
+                                             const Stream& arrival) const;
+  /// S_of(j,q) for q > extra_prio with the candidate joining cell
+  /// (in,j,extra_prio); only in-port `in_port`'s higher-priority union is
+  /// recomputed.
+  [[nodiscard]] Stream compose_hp_trial(std::size_t out_port, Priority priority,
+                                        std::size_t in_port,
+                                        Priority extra_prio,
+                                        const Stream& arrival) const;
+
+  // --- pre-optimization reference path (frozen; see check_from_scratch) --
+
+  [[nodiscard]] Stream offered_aggregate_scratch(std::size_t out_port,
+                                                 Priority priority,
+                                                 const Stream* extra,
+                                                 std::size_t extra_in,
+                                                 Priority extra_prio) const;
+  [[nodiscard]] Stream higher_priority_filtered_scratch(
+      std::size_t out_port, Priority priority, const Stream* extra,
+      std::size_t extra_in, Priority extra_prio) const;
+
+  /// Re-audits the full CAC state (aggregate/record consistency,
+  /// bandwidth conservation and cache coherence) via
+  /// RTCAC_INVARIANT_AUDIT; compiles to nothing outside audit builds.
+  /// Called after every mutation.
   void audit_invariants() const;
 
   Config config_;
   std::vector<Num> advertised_;        // [out * priorities + prio]
   std::vector<Stream> arrival_aggr_;   // S_ia per (in, out, prio)
   std::vector<std::size_t> cell_counts_;  // #connections per (in, out, prio)
+  // Membership index: ids per S_ia cell in insertion order, so rebuilds
+  // and per-queue queries never scan the full record map.
+  std::vector<std::vector<ConnectionId>> cell_members_;
   std::map<ConnectionId, Record> records_;
+
+  // Derived-stream caches (indexes mirror arrival_aggr_ / advertised_),
+  // rebuilt lazily by the ensure_* accessors; `..._dirty_` set by
+  // invalidate_cell().  Mutable: check() and the bound queries are
+  // logically const.
+  mutable std::vector<Stream> filtered_cell_;        // per cell
+  mutable std::vector<Stream> hp_cell_filtered_;     // per cell
+  mutable std::vector<Stream> offered_cache_;        // per (out, prio)
+  mutable std::vector<Stream> hp_filtered_cache_;    // per (out, prio)
+  mutable std::vector<std::optional<Num>> bound_cache_;  // per (out, prio)
+  mutable std::vector<char> filtered_cell_dirty_;
+  mutable std::vector<char> hp_cell_dirty_;
+  mutable std::vector<char> offered_dirty_;
+  mutable std::vector<char> hp_filtered_dirty_;
+  mutable std::vector<char> bound_dirty_;
 
   // Lets the invariant-audit tests corrupt internal state in place.
   friend struct SwitchCacTestAccess;

@@ -30,6 +30,16 @@ struct SwitchCacTestAccess {
       BasicSwitchCac<Num>& cac) {
     return cac.arrival_aggr_;
   }
+  template <typename Num>
+  static std::vector<BasicBitStream<Num>>& offered_cache(
+      BasicSwitchCac<Num>& cac) {
+    return cac.offered_cache_;
+  }
+  template <typename Num>
+  static std::size_t queue_index(const BasicSwitchCac<Num>& cac,
+                                 std::size_t out_port, Priority priority) {
+    return cac.queue_index(out_port, priority);
+  }
 };
 
 namespace {
@@ -93,6 +103,30 @@ TEST(InvariantAudit, SwitchCacStateConsistencyIsAudited) {
   EXPECT_THROW(static_cast<void>(cac.remove(7)), ContractViolation);
 }
 
+TEST(InvariantAudit, SwitchCacCacheCoherenceIsAudited) {
+  RTCAC_SKIP_UNLESS_THROWING_AUDITS();
+  SwitchCac::Config cfg;
+  cfg.in_ports = 2;
+  cfg.out_ports = 2;
+  cfg.priorities = 2;
+  SwitchCac cac(cfg);
+  const BitStream s = TrafficDescriptor::cbr(0.3).to_bitstream();
+  cac.add(1, 0, 0, 0, s);
+  cac.add(2, 0, 1, 0, s);
+  // Warm the out-port-1 caches, then corrupt the cached offered
+  // aggregate there.  A mutation at out-port 0 invalidates only its own
+  // port's entries, so the corrupted entry stays marked clean and the
+  // post-mutation coherence audit must flag it.
+  ASSERT_TRUE(cac.computed_bound(1, 0).has_value());
+  ASSERT_TRUE(cac.cache_coherent());
+  auto& offered = SwitchCacTestAccess::offered_cache(cac);
+  const std::size_t q = SwitchCacTestAccess::queue_index(cac, 1, 0);
+  offered[q] =
+      multiplex(offered[q], TrafficDescriptor::cbr(0.2).to_bitstream());
+  ASSERT_FALSE(cac.cache_coherent());
+  EXPECT_THROW(cac.add(3, 1, 0, 0, s), ContractViolation);
+}
+
 TEST(InvariantAudit, EventQueuePopMonotonicityIsAudited) {
   RTCAC_SKIP_UNLESS_THROWING_AUDITS();
   EventQueue q;
@@ -123,6 +157,7 @@ TEST(InvariantAudit, HealthyWorkloadsPassAudits) {
   EXPECT_TRUE(cac.remove(1));
   EXPECT_TRUE(cac.bandwidth_conserved());
   EXPECT_TRUE(cac.state_consistent());
+  EXPECT_TRUE(cac.cache_coherent());
 }
 
 }  // namespace

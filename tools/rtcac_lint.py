@@ -33,6 +33,20 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
                     (docs/FAULT_TOLERANCE.md), not in accessors or
                     plumbing.
 
+  cac-cache-state   BasicSwitchCac's aggregate and derived-stream
+                    cache state (arrival_aggr_, cell_members_,
+                    cell_counts_, the *_cache_ streams and their
+                    *_dirty_ flags) may be read or written only inside
+                    the cache-management member functions of
+                    src/core/switch_cac.cpp (constructor, add/remove/
+                    reclaim, rebuild_cell, invalidate_*, ensure_*,
+                    compose_*, the *_scratch oracles and the
+                    consistency audits) — never from query accessors
+                    or from other translation units.  Everything else
+                    must go through ensure_* so the dirty-tracking
+                    invariant (clean implies inputs clean,
+                    docs/PERFORMANCE.md) cannot be bypassed.
+
 A finding can be suppressed on its line with a trailing comment:
     // rtcac-lint: allow(<rule-name>)
 
@@ -75,6 +89,24 @@ SIGNALING_MUTATION_RE = re.compile(
     r"swap)\s*\(|\[)"
 )
 SIGNALING_HANDLER_PREFIXES = ("process_", "on_", "initiate", "release")
+
+# cac-cache-state: the switch CAC's aggregate/cache members, the member
+# we are inside (tracked from out-of-line definitions), and the member
+# functions allowed to touch that state directly (cache management,
+# from-scratch oracles, and the consistency audits that vouch for it).
+CAC_FUNC_RE = re.compile(r"\bBasicSwitchCac<\w+>::(\w+)\s*\(")
+CAC_STATE_RE = re.compile(
+    r"\b(?:arrival_aggr_|cell_counts_|cell_members_|filtered_cell_|"
+    r"hp_cell_filtered_|offered_cache_|hp_filtered_cache_|bound_cache_|"
+    r"filtered_cell_dirty_|hp_cell_dirty_|offered_dirty_|"
+    r"hp_filtered_dirty_|bound_dirty_)\b"
+)
+CAC_ACCESSOR_PREFIXES = (
+    "BasicSwitchCac", "add", "remove", "reclaim", "rebuild_cell",
+    "invalidate_", "ensure_", "compose_", "offered_aggregate_scratch",
+    "higher_priority_filtered_scratch", "arrival_aggregate",
+    "sustained_load", "connection_", "state_consistent",
+    "bandwidth_conserved", "cache_coherent")
 
 
 def strip_comments_and_strings(line: str, in_block_comment: bool):
@@ -144,6 +176,8 @@ class Linter:
         rel = path.relative_to(self.root)
         in_core = rel.parts[:2] == ("src", "core")
         is_signaling = rel.parts == ("src", "net", "signaling.cpp")
+        is_cac_impl = rel.parts == ("src", "core", "switch_cac.cpp")
+        is_cac_header = rel.parts == ("src", "core", "switch_cac.h")
         current_function = ""
         is_header = path.suffix == ".h"
         text = path.read_text(encoding="utf-8")
@@ -196,6 +230,29 @@ class Linter:
                         f"(currently in '{current_function or '<top level>'}'"
                         "); move the transition into initiate/release/"
                         "process_*/on_*", comment_text)
+
+            if is_cac_impl:
+                m = CAC_FUNC_RE.search(code)
+                if m:
+                    current_function = m.group(1)
+                if (CAC_STATE_RE.search(code)
+                        and not current_function.startswith(
+                            CAC_ACCESSOR_PREFIXES)):
+                    self.report(
+                        path, lineno, "cac-cache-state",
+                        "SwitchCac cache state (arrival_aggr_/*_cache_/"
+                        "*_dirty_) touched outside a cache-management "
+                        "member (currently in "
+                        f"'{current_function or '<top level>'}'); go "
+                        "through ensure_* so dirty-tracking stays "
+                        "coherent", comment_text)
+            elif not is_cac_header and CAC_STATE_RE.search(code):
+                self.report(
+                    path, lineno, "cac-cache-state",
+                    "SwitchCac cache state referenced outside "
+                    "src/core/switch_cac.{h,cpp}; use the public "
+                    "accessors (arrival_aggregate, computed_bound, ...)",
+                    comment_text)
 
             if in_core:
                 if NAKED_THROW_RE.search(code):
