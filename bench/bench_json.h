@@ -7,7 +7,13 @@
 //    "n": int,                    // problem size (connections, streams, ...)
 //    "wall_ns": number,           // total wall time of the timed section
 //    "admissions_per_sec": number,// ops / wall seconds for the scenario
-//    "segments_total": int}       // aggregate segment count (state size)
+//    "segments_total": int,       // aggregate segment count (state size)
+//    "threads": int,              // optional: worker threads (parallel runs)
+//    "speedup_vs_serial": number} // optional: wall(1 thread) / wall(threads)
+//
+// The two optional keys are emitted only when `threads` is nonzero
+// (i.e. by the thread-scaling harness, bench/parallel_admission_bench);
+// single-threaded harnesses keep the original five-key schema.
 //
 // Header-only and dependency-free on purpose: bench binaries link only
 // the library under test, so the writer cannot perturb what it measures.
@@ -29,6 +35,12 @@ struct BenchRecord {
   double wall_ns = 0.0;
   double admissions_per_sec = 0.0;
   std::size_t segments_total = 0;
+  /// Worker threads used for the timed section; 0 = single-threaded
+  /// harness (the `threads`/`speedup_vs_serial` keys are then omitted).
+  std::size_t threads = 0;
+  /// wall_ns of the 1-thread run of the same scenario divided by this
+  /// record's wall_ns; meaningful only when threads > 0.
+  double speedup_vs_serial = 0.0;
 };
 
 /// Collects records and serializes them as a JSON array.  Strings are
@@ -52,8 +64,12 @@ class BenchJsonWriter {
          << "\"n\": " << r.n << ", "
          << "\"wall_ns\": " << finite(r.wall_ns) << ", "
          << "\"admissions_per_sec\": " << finite(r.admissions_per_sec) << ", "
-         << "\"segments_total\": " << r.segments_total << "}"
-         << (i + 1 < records_.size() ? "," : "") << "\n";
+         << "\"segments_total\": " << r.segments_total;
+      if (r.threads > 0) {
+        os << ", \"threads\": " << r.threads << ", "
+           << "\"speedup_vs_serial\": " << finite(r.speedup_vs_serial);
+      }
+      os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     os << "]\n";
     return os.str();

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "core/delay_bound.h"
@@ -133,6 +135,97 @@ void BM_ExactSwitchAdmission(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactSwitchAdmission)->Arg(16)->Arg(64)->Arg(256);
+
+// Point queries on a segment-rich aggregate.  rate_at / bits_before now
+// binary-search the (strictly increasing) segment starts with prefix
+// areas precomputed at construction; the *Linear variants measure the
+// replaced left-to-right scan for comparison.  The gap is what the
+// delay-bound candidate sweep — many point queries per admission check —
+// gains on large aggregates.
+BitStream wide_aggregate(std::size_t segments) {
+  std::vector<Segment> segs;
+  segs.reserve(segments);
+  for (std::size_t k = 0; k < segments; ++k) {
+    // Strictly decreasing arithmetic rate ladder, far apart enough that
+    // coalescing never merges adjacent steps.
+    segs.push_back(Segment{static_cast<double>(segments - k) / 1024.0,
+                           8.0 * static_cast<double>(k)});
+  }
+  return BitStream(std::move(segs));
+}
+
+double rate_at_linear(const BitStream& s, double t) {
+  double rate = s.segments().front().rate;
+  for (const Segment& seg : s.segments()) {
+    if (!(seg.start <= t)) break;
+    rate = seg.rate;
+  }
+  return rate;
+}
+
+double bits_before_linear(const BitStream& s, double t) {
+  if (t <= 0) return 0;
+  double area = 0;
+  const auto segs = s.segments();
+  for (std::size_t k = 0; k < segs.size(); ++k) {
+    const bool last = (k + 1 == segs.size());
+    const double end = last ? t : std::min(t, segs[k + 1].start);
+    if (end <= segs[k].start) break;
+    area += segs[k].rate * (end - segs[k].start);
+    if (!last && t <= segs[k + 1].start) break;
+  }
+  return area;
+}
+
+void BM_PointQuery(benchmark::State& state) {
+  const auto segments = static_cast<std::size_t>(state.range(0));
+  const BitStream stream = wide_aggregate(segments);
+  const double horizon = 8.0 * static_cast<double>(segments);
+  Xorshift rng(7);
+  std::vector<double> times;
+  for (std::size_t i = 0; i < 64; ++i) {
+    times.push_back(horizon * rng.uniform());
+  }
+  for (auto _ : state) {
+    double acc = 0;
+    for (const double t : times) {
+      acc += stream.rate_at(t) + stream.bits_before(t);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PointQuery)->Range(8, 4096)->Complexity(benchmark::oLogN);
+
+void BM_PointQueryLinear(benchmark::State& state) {
+  const auto segments = static_cast<std::size_t>(state.range(0));
+  const BitStream stream = wide_aggregate(segments);
+  const double horizon = 8.0 * static_cast<double>(segments);
+  Xorshift rng(7);
+  std::vector<double> times;
+  for (std::size_t i = 0; i < 64; ++i) {
+    times.push_back(horizon * rng.uniform());
+  }
+  // Equivalence gate before timing: the linear references must agree
+  // with the binary-search implementations everywhere we sample.
+  for (const double t : times) {
+    if (stream.rate_at(t) != rate_at_linear(stream, t) ||
+        std::abs(stream.bits_before(t) - bits_before_linear(stream, t)) >
+            1e-9 * (1.0 + bits_before_linear(stream, t))) {
+      state.SkipWithError("binary-search/linear point-query mismatch");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    double acc = 0;
+    for (const double t : times) {
+      acc += rate_at_linear(stream, t) + bits_before_linear(stream, t);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PointQueryLinear)->Range(8, 4096)->Complexity(benchmark::oN);
 
 }  // namespace
 

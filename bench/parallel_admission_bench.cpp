@@ -1,0 +1,440 @@
+// Thread-scaling benchmark of the parallel sharded admission engine
+// (docs/PERFORMANCE.md, "Parallel admission").
+//
+// An 8-switch chain (each switch with 4 source and 4 sink terminals,
+// multi-hop routes up to 3 queueing points) is driven through recorded
+// operation traces — check-only, setup/teardown churn (immediate and
+// batch-drained) and a mixed 90/10 lookup/update workload — replayed by
+// AdmissionEngine::replay on 1/2/4/8 worker threads.
+//
+// The hard gate, checked before any number is reported: the parallel
+// decision stream must be IDENTICAL to a serial oracle — a plain
+// ConnectionManager replaying the same trace hop by hop — for every
+// workload and every thread count (verdicts and reason strings both).
+// A mismatch aborts with exit 1.  Speedups are reported honestly for
+// whatever hardware runs the bench (on a single-core container they
+// hover around 1x or below; the scheduling overhead is then the story)
+// and recorded in BENCH_parallel.json via the bench_json.h schema with
+// the `threads` / `speedup_vs_serial` keys.
+//
+// Usage: parallel_admission_bench [--smoke] [--out PATH]
+//   --smoke   CI-sized run: short traces, threads {1,2}, same gates.
+//   --out     JSON output path (default: BENCH_parallel.json).
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/traffic.h"
+#include "net/admission_engine.h"
+#include "net/connection_manager.h"
+#include "net/topology.h"
+#include "util/xorshift.h"
+
+namespace {
+
+using namespace rtcac;
+
+using TraceOp = AdmissionEngine::TraceOp;
+using OpOutcome = AdmissionEngine::OpOutcome;
+
+constexpr std::size_t kSwitches = 8;
+constexpr std::size_t kTermsPerSwitch = 4;
+constexpr Priority kPriorities = 4;
+
+struct Net {
+  Topology topology;
+  std::vector<Route> routes;  // 1..3 queueing points each
+};
+
+// Chain of kSwitches switches; every switch feeds the next and carries
+// kTermsPerSwitch source and sink terminals, so routes cross 1-3
+// distinct shards and neighboring routes contend on shared switches.
+Net make_net() {
+  Net net;
+  std::vector<NodeId> switches;
+  for (std::size_t s = 0; s < kSwitches; ++s) {
+    switches.push_back(net.topology.add_switch("sw" + std::to_string(s)));
+  }
+  std::vector<LinkId> chain;  // chain[s] = link sw(s) -> sw(s+1)
+  for (std::size_t s = 0; s + 1 < kSwitches; ++s) {
+    chain.push_back(net.topology.add_link(switches[s], switches[s + 1]));
+  }
+  std::vector<std::vector<LinkId>> access(kSwitches);  // terminal -> switch
+  std::vector<std::vector<LinkId>> egress(kSwitches);  // switch -> terminal
+  for (std::size_t s = 0; s < kSwitches; ++s) {
+    for (std::size_t t = 0; t < kTermsPerSwitch; ++t) {
+      const NodeId src = net.topology.add_terminal(
+          "src" + std::to_string(s) + "_" + std::to_string(t));
+      access[s].push_back(net.topology.add_link(src, switches[s]));
+      const NodeId dst = net.topology.add_terminal(
+          "dst" + std::to_string(s) + "_" + std::to_string(t));
+      egress[s].push_back(net.topology.add_link(switches[s], dst));
+    }
+  }
+  for (std::size_t s = 0; s < kSwitches; ++s) {
+    for (std::size_t hops = 1; hops <= 3; ++hops) {
+      const std::size_t last = s + hops - 1;
+      if (last >= kSwitches) continue;
+      for (std::size_t ti = 0; ti < kTermsPerSwitch; ++ti) {
+        Route route;
+        route.push_back(access[s][ti]);
+        for (std::size_t h = s; h < last; ++h) route.push_back(chain[h]);
+        route.push_back(egress[last][ti]);
+        net.routes.push_back(std::move(route));
+      }
+    }
+  }
+  return net;
+}
+
+ConnectionManager::Params make_params() {
+  ConnectionManager::Params params;
+  params.priorities = kPriorities;
+  params.advertised_bound = 512.0;
+  return params;
+}
+
+QosRequest random_request(Xorshift& rng) {
+  QosRequest request;
+  const double scr = static_cast<double>(1 + rng.below(6)) / 2048.0;
+  const double pcr = scr * static_cast<double>(2 + rng.below(6));
+  request.traffic = TrafficDescriptor::vbr(
+      pcr, scr, static_cast<std::uint32_t>(2 + rng.below(30)));
+  request.priority = static_cast<Priority>(rng.below(kPriorities));
+  // Mostly generous deadlines; one in eight tight enough to exercise the
+  // end-to-end rejection path in both the engine and the oracle.
+  request.deadline = rng.below(8) == 0 ? 900.0 : 1e7;
+  return request;
+}
+
+TraceOp check_op(Xorshift& rng, const Net& net) {
+  TraceOp op;
+  op.kind = TraceOp::Kind::kCheck;
+  op.request = random_request(rng);
+  op.route = net.routes[rng.below(net.routes.size())];
+  return op;
+}
+
+TraceOp setup_op(Xorshift& rng, const Net& net) {
+  TraceOp op = check_op(rng, net);
+  op.kind = TraceOp::Kind::kSetup;
+  return op;
+}
+
+// Teardown of a uniformly random earlier setup op.  Repeats are fine
+// (the second attempt is a no-op in engine and oracle alike).
+TraceOp teardown_op(Xorshift& rng, const std::vector<std::size_t>& setups,
+                    bool deferred) {
+  TraceOp op;
+  op.kind = deferred ? TraceOp::Kind::kTeardownDeferred
+                     : TraceOp::Kind::kTeardown;
+  op.target = setups[rng.below(setups.size())];
+  return op;
+}
+
+std::vector<TraceOp> make_check_only(std::size_t ops, const Net& net) {
+  Xorshift rng(101);
+  std::vector<TraceOp> trace;
+  // Prologue: load the network so the checks have state to fight.
+  for (std::size_t i = 0; i < ops / 4; ++i) trace.push_back(setup_op(rng, net));
+  for (std::size_t i = 0; i < ops; ++i) trace.push_back(check_op(rng, net));
+  return trace;
+}
+
+std::vector<TraceOp> make_churn(std::size_t ops, const Net& net,
+                                bool batched) {
+  Xorshift rng(202);
+  std::vector<TraceOp> trace;
+  std::vector<std::size_t> setups;
+  for (std::size_t i = 0; i < ops / 4; ++i) {
+    setups.push_back(trace.size());
+    trace.push_back(setup_op(rng, net));
+  }
+  for (std::size_t i = 0; i < ops; ++i) {
+    if (i % 2 == 0) {
+      trace.push_back(teardown_op(rng, setups, batched));
+    } else {
+      setups.push_back(trace.size());
+      trace.push_back(setup_op(rng, net));
+    }
+    if (batched && i % 32 == 31) {
+      TraceOp drain;
+      drain.kind = TraceOp::Kind::kDrain;
+      trace.push_back(std::move(drain));
+    }
+  }
+  if (batched) {
+    TraceOp drain;
+    drain.kind = TraceOp::Kind::kDrain;
+    trace.push_back(std::move(drain));
+  }
+  return trace;
+}
+
+std::vector<TraceOp> make_mixed(std::size_t ops, const Net& net) {
+  Xorshift rng(303);
+  std::vector<TraceOp> trace;
+  std::vector<std::size_t> setups;
+  for (std::size_t i = 0; i < ops / 8; ++i) {
+    setups.push_back(trace.size());
+    trace.push_back(setup_op(rng, net));
+  }
+  for (std::size_t i = 0; i < ops; ++i) {
+    if (rng.below(10) == 0) {
+      if (rng.below(2) == 0) {
+        trace.push_back(teardown_op(rng, setups, false));
+      } else {
+        setups.push_back(trace.size());
+        trace.push_back(setup_op(rng, net));
+      }
+    } else {
+      trace.push_back(check_op(rng, net));
+    }
+  }
+  return trace;
+}
+
+// --- serial oracle ------------------------------------------------------
+// A plain ConnectionManager walks the identical trace in order; its
+// decisions define correctness for every parallel replay.
+
+OpOutcome oracle_check(const ConnectionManager& cm, const QosRequest& request,
+                       const Route& route) {
+  OpOutcome outcome;
+  request.traffic.validate();
+  if (request.priority >= cm.params().priorities) {
+    outcome.reason = "priority out of range";
+    return outcome;
+  }
+  const std::vector<HopRef> hops = cm.queueing_points(route);
+  double computed = 0;
+  double advertised = 0;
+  for (std::size_t h = 0; h < hops.size(); ++h) {
+    const SwitchCac& cac = cm.switch_cac(hops[h].node);
+    const BitStream arrival =
+        cm.arrival_at_hop(request.traffic, hops, h, request.priority);
+    const SwitchCheckResult r = cac.check(hops[h].in_port, hops[h].out_port,
+                                          request.priority, arrival);
+    if (!r.admitted) {
+      outcome.reason = "rejected at " +
+                       cm.topology().node(hops[h].node).name + ": " + r.reason;
+      return outcome;
+    }
+    computed += r.bound_at_priority.value();
+    advertised += cac.advertised(hops[h].out_port, request.priority);
+  }
+  const double promised = cm.params().guarantee == GuaranteeMode::kAdvertised
+                              ? advertised
+                              : computed;
+  if (promised > request.deadline) {
+    std::ostringstream os;
+    os << "end-to-end bound " << promised << " exceeds deadline "
+       << request.deadline;
+    outcome.reason = os.str();
+    return outcome;
+  }
+  outcome.accepted = true;
+  return outcome;
+}
+
+std::vector<OpOutcome> oracle_replay(const std::vector<TraceOp>& trace,
+                                     const Topology& topology,
+                                     const ConnectionManager::Params& params) {
+  ConnectionManager cm(topology, params);
+  std::vector<OpOutcome> outcomes(trace.size());
+  std::vector<ConnectionId> ids_by_op(trace.size(), kInvalidConnection);
+  std::vector<ConnectionId> deferred;  // teardowns awaiting the next drain
+  std::set<ConnectionId> retired;      // records already handed to deferred
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceOp& op = trace[i];
+    const ConnectionId id = op.target != TraceOp::kNoTarget
+                                ? ids_by_op[op.target]
+                                : op.id;
+    switch (op.kind) {
+      case TraceOp::Kind::kCheck:
+        outcomes[i] = oracle_check(cm, op.request, op.route);
+        break;
+      case TraceOp::Kind::kSetup: {
+        const auto r = cm.setup(op.request, op.route);
+        ids_by_op[i] = r.accepted ? r.id : kInvalidConnection;
+        outcomes[i] = OpOutcome{r.accepted, r.reason};
+        break;
+      }
+      case TraceOp::Kind::kTeardown:
+        outcomes[i].accepted =
+            id != kInvalidConnection && !retired.contains(id) &&
+            cm.teardown(id);
+        break;
+      case TraceOp::Kind::kTeardownDeferred: {
+        const bool live = id != kInvalidConnection &&
+                          cm.connections().contains(id) &&
+                          !retired.contains(id);
+        if (live) {
+          retired.insert(id);
+          deferred.push_back(id);
+        }
+        outcomes[i].accepted = live;
+        break;
+      }
+      case TraceOp::Kind::kDrain:
+        for (const ConnectionId d : deferred) {
+          (void)cm.teardown(d);
+          retired.erase(d);
+        }
+        deferred.clear();
+        outcomes[i].accepted = true;
+        break;
+    }
+  }
+  return outcomes;
+}
+
+bool outcomes_identical(const std::vector<OpOutcome>& got,
+                        const std::vector<OpOutcome>& want,
+                        const std::string& what) {
+  if (got.size() != want.size()) {
+    std::cerr << "DECISION MISMATCH [" << what << "]: " << got.size()
+              << " outcomes vs " << want.size() << "\n";
+    return false;
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].accepted != want[i].accepted ||
+        got[i].reason != want[i].reason) {
+      std::cerr << "DECISION MISMATCH [" << what << "] at op " << i << ": got "
+                << (got[i].accepted ? "accept" : "reject") << " \""
+                << got[i].reason << "\", want "
+                << (want[i].accepted ? "accept" : "reject") << " \""
+                << want[i].reason << "\"\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+// Aggregate segment count across every shard's S_ia cells (state size);
+// only safe on a quiesced engine.
+std::size_t segments_total(const ConcurrentCac& cac) {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < cac.shard_count(); ++s) {
+    const SwitchCac& sw = cac.shard_state(s);
+    for (std::size_t i = 0; i < sw.in_ports(); ++i) {
+      for (std::size_t j = 0; j < sw.out_ports(); ++j) {
+        for (Priority p = 0; p < sw.priorities(); ++p) {
+          total += sw.arrival_aggregate(i, j, p).size();
+        }
+      }
+    }
+  }
+  return total;
+}
+
+template <typename F>
+double time_ns(F&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto stop = std::chrono::steady_clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count());
+}
+
+int run(bool smoke, const std::string& out_path) {
+  bench::BenchJsonWriter json;
+  const Net net = make_net();
+  const ConnectionManager::Params params = make_params();
+  const std::size_t ops = smoke ? 48 : 1200;
+  const std::vector<std::size_t> thread_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+
+  std::cout << (smoke ? "[smoke] " : "") << "parallel_admission_bench: "
+            << kSwitches << "-switch chain, " << kPriorities
+            << " priorities, " << net.routes.size() << " routes\n\n";
+
+  struct Workload {
+    std::string name;
+    std::vector<TraceOp> trace;
+  };
+  const std::vector<Workload> workloads = {
+      {"check_only", make_check_only(ops, net)},
+      {"churn", make_churn(ops, net, false)},
+      {"churn_batched", make_churn(ops, net, true)},
+      {"mixed_90_10", make_mixed(ops, net)},
+  };
+
+  for (const Workload& w : workloads) {
+    const std::vector<OpOutcome> oracle =
+        oracle_replay(w.trace, net.topology, params);
+    double wall_serial = 0;
+    for (const std::size_t threads : thread_counts) {
+      AdmissionEngine engine(net.topology, params);
+      std::vector<OpOutcome> outcomes;
+      const double wall = time_ns([&] {
+        outcomes = engine.replay(w.trace, threads);
+      });
+      // The gate: every thread count must reproduce the serial oracle's
+      // decision stream exactly, and leave coherent state behind.
+      if (!outcomes_identical(outcomes, oracle,
+                              w.name + " t" + std::to_string(threads))) {
+        return 1;
+      }
+      if (!engine.state_consistent() || !engine.bandwidth_conserved() ||
+          !engine.cache_coherent()) {
+        std::cerr << "STATE AUDIT FAILED [" << w.name << " t" << threads
+                  << "]\n";
+        return 1;
+      }
+      if (threads == 1) wall_serial = wall;
+
+      bench::BenchRecord r;
+      r.benchmark = w.name + "_t" + std::to_string(threads);
+      r.n = w.trace.size();
+      r.wall_ns = wall;
+      r.admissions_per_sec =
+          wall > 0 ? static_cast<double>(w.trace.size()) * 1e9 / wall : 0;
+      r.segments_total = segments_total(engine.core());
+      r.threads = threads;
+      r.speedup_vs_serial = wall > 0 ? wall_serial / wall : 0;
+      json.add(r);
+      std::cout << w.name << " t=" << threads << ": "
+                << wall / static_cast<double>(w.trace.size()) / 1e3
+                << " us/op, speedup " << r.speedup_vs_serial << "x\n";
+    }
+    std::cout << "\n";
+  }
+
+  if (!json.write(out_path)) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << json.records().size() << " records to " << out_path
+            << "\n";
+  std::cout << "decision-identity gate: PASS (all workloads, all thread "
+               "counts match the serial oracle)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: parallel_admission_bench [--smoke] [--out PATH]\n";
+      return 2;
+    }
+  }
+  return run(smoke, out_path);
+}

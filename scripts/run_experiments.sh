@@ -56,4 +56,11 @@ echo "== cac_admission_bench (perf trajectory -> BENCH_admission.json)"
   | tee "$OUT/cac_admission_bench.txt"
 
 echo
-echo "outputs saved under $OUT/ (perf records in BENCH_admission.json)"
+echo "== parallel_admission_bench (thread scaling -> BENCH_parallel.json)"
+"$BUILD/bench/parallel_admission_bench" \
+  --out "$REPO_ROOT/BENCH_parallel.json" \
+  | tee "$OUT/parallel_admission_bench.txt"
+
+echo
+echo "outputs saved under $OUT/ (perf records in BENCH_admission.json," \
+     "BENCH_parallel.json)"

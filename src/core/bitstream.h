@@ -107,7 +107,8 @@ class BasicBitStream {
   using Traits = NumTraits<Num>;
 
   /// The zero stream (no traffic).
-  BasicBitStream() : segments_{Segment{Num(0), Num(0)}} {}
+  BasicBitStream()
+      : segments_{Segment{Num(0), Num(0)}}, cum_bits_{Num(0)} {}
 
   /// Constant-rate stream from time 0.  Throws on negative rate.
   static BasicBitStream constant(const Num& rate) {
@@ -131,14 +132,13 @@ class BasicBitStream {
   }
   [[nodiscard]] std::size_t size() const noexcept { return segments_.size(); }
 
-  /// Rate of the stream at time t (t < 0 is treated as 0).
+  /// Rate of the stream at time t (t < 0 is treated as 0).  Segment
+  /// starts are strictly increasing (class invariant), so the active
+  /// segment is found by binary search — O(log m), not a linear scan.
   [[nodiscard]] Num rate_at(const Num& t) const {
-    const Segment* seg = &segments_.front();
-    for (const Segment& s : segments_) {
-      if (s.start > t) break;
-      seg = &s;
-    }
-    return seg->rate;
+    const auto it = first_segment_after(t);
+    return it == segments_.begin() ? segments_.front().rate
+                                   : std::prev(it)->rate;
   }
 
   /// Rate of the final (infinite) segment.
@@ -175,18 +175,17 @@ class BasicBitStream {
   }
 
   /// Cumulative bits A(t) = integral of the rate over [0, t].
-  /// t < 0 yields 0.
+  /// t < 0 yields 0.  Served from the prefix areas precomputed at
+  /// construction (`cum_bits_`, accumulated left-to-right in exactly the
+  /// order the former linear scan summed), so the lookup is O(log m) and
+  /// bitwise-identical to the scan it replaced.
   [[nodiscard]] Num bits_before(const Num& t) const {
     if (t <= Num(0)) return Num(0);
-    Num area{0};
-    for (std::size_t k = 0; k < segments_.size(); ++k) {
-      const Num seg_start = segments_[k].start;
-      if (seg_start >= t) break;
-      const Num seg_end =
-          (k + 1 < segments_.size()) ? std::min(segments_[k + 1].start, t) : t;
-      area += segments_[k].rate * (seg_end - seg_start);
-    }
-    return area;
+    // Last segment with start < t: t > 0 and the first segment starts at
+    // 0, so the cut is never before begin().
+    const auto it = std::prev(first_segment_after(t));
+    const auto k = static_cast<std::size_t>(it - segments_.begin());
+    return cum_bits_[k] + it->rate * (t - it->start);
   }
 
   /// Earliest time t with A(t) >= bits; nullopt if the stream never
@@ -290,6 +289,15 @@ class BasicBitStream {
     return v;
   }
 
+  /// First segment whose start is strictly after t (end() if none);
+  /// std::upper_bound over the strictly-increasing segment starts.
+  [[nodiscard]] typename std::vector<Segment>::const_iterator
+  first_segment_after(const Num& t) const {
+    return std::upper_bound(
+        segments_.begin(), segments_.end(), t,
+        [](const Num& value, const Segment& s) { return value < s.start; });
+  }
+
   void canonicalize() {
     RTCAC_REQUIRE(!segments_.empty(), "BitStream: needs at least one segment");
     RTCAC_REQUIRE(segments_.front().start == Num(0),
@@ -322,9 +330,24 @@ class BasicBitStream {
       out.push_back(segments_[k]);
     }
     segments_ = std::move(out);
+    // Prefix areas for the O(log m) bits_before: cum_bits_[k] is A(t(k)),
+    // accumulated left-to-right exactly as the former linear scan did so
+    // lookups reproduce its partial sums bitwise.
+    cum_bits_.clear();
+    cum_bits_.reserve(segments_.size());
+    Num area{0};
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      cum_bits_.push_back(area);
+      if (k + 1 < segments_.size()) {
+        area += segments_[k].rate * (segments_[k + 1].start -
+                                     segments_[k].start);
+      }
+    }
   }
 
   std::vector<Segment> segments_;
+  /// cum_bits_[k] = bits accumulated before segment k starts (A(t(k))).
+  std::vector<Num> cum_bits_;
 
   // Lets the invariant-audit tests corrupt a constructed stream in place
   // (the public API cannot, by design).

@@ -1,0 +1,230 @@
+// rtcac/core/concurrent_cac.cpp — see concurrent_cac.h for the design.
+
+#include "core/concurrent_cac.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contract.h"
+
+namespace rtcac {
+
+ConcurrentCac::ConcurrentCac(const std::vector<SwitchCac::Config>& configs) {
+  shards_.reserve(configs.size());
+  for (const SwitchCac::Config& config : configs) {
+    shards_.push_back(std::make_unique<Shard>(config));
+    shards_.back()->cac.prime_caches();
+  }
+}
+
+ConcurrentCac::Shard& ConcurrentCac::shard_at(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("ConcurrentCac: shard out of range");
+  }
+  return *shards_[shard];
+}
+
+double ConcurrentCac::advertised(std::size_t shard, std::size_t out_port,
+                                 Priority priority) const {
+  Shard& s = shard_at(shard);
+  const std::shared_lock lock(s.mutex);
+  return s.cac.advertised(out_port, priority);
+}
+
+ConcurrentCac::CheckResult ConcurrentCac::check(std::size_t shard,
+                                                std::size_t in_port,
+                                                std::size_t out_port,
+                                                Priority priority,
+                                                const Stream& arrival) const {
+  Shard& s = shard_at(shard);
+  const std::shared_lock lock(s.mutex);
+  return s.cac.check(in_port, out_port, priority, arrival);
+}
+
+ConcurrentCac::CheckResult ConcurrentCac::admit(
+    std::size_t shard, ConnectionId id, std::size_t in_port,
+    std::size_t out_port, Priority priority, const Stream& arrival,
+    double lease_expiry) {
+  Shard& s = shard_at(shard);
+  const std::unique_lock lock(s.mutex);
+  // Authoritative re-validation: any speculative check the caller ran
+  // under the shared lock may be stale by now.
+  CheckResult result = s.cac.check(in_port, out_port, priority, arrival);
+  if (result.admitted) {
+    s.cac.add(id, in_port, out_port, priority, arrival, lease_expiry);
+    s.cac.prime_caches();
+  }
+  return result;
+}
+
+ConcurrentCac::PathResult ConcurrentCac::admit_path(
+    std::span<const HopSpec> hops, ConnectionId id, double lease_expiry,
+    PathAcceptance accept, void* accept_ctx) {
+  PathResult result;
+  if (hops.empty()) return result;
+
+  // Canonical lock order: ascending shard id, each shard locked once
+  // even if the path crosses it twice.
+  std::vector<std::size_t> order;
+  order.reserve(hops.size());
+  for (const HopSpec& hop : hops) order.push_back(hop.shard);
+  std::sort(order.begin(), order.end());
+  order.erase(std::unique(order.begin(), order.end()), order.end());
+
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(order.size());
+  for (const std::size_t shard : order) {
+    locks.emplace_back(shard_at(shard).mutex);
+  }
+
+  // Check-all-then-commit-all.  With every involved shard exclusively
+  // locked this is decision-identical to the serial hop-by-hop walk:
+  // the hops reserve on distinct switches, so no hop's check can see
+  // another hop's commit of the same connection.
+  result.hops.reserve(hops.size());
+  for (std::size_t h = 0; h < hops.size(); ++h) {
+    const HopSpec& hop = hops[h];
+    result.hops.push_back(shard_at(hop.shard).cac.check(
+        hop.in_port, hop.out_port, hop.priority, hop.arrival));
+    if (!result.hops.back().admitted) {
+      result.rejecting_hop = h;
+      return result;
+    }
+  }
+  if (accept != nullptr && !accept(result.hops, accept_ctx)) {
+    return result;
+  }
+  for (const HopSpec& hop : hops) {
+    shard_at(hop.shard).cac.add(id, hop.in_port, hop.out_port, hop.priority,
+                                hop.arrival, lease_expiry);
+  }
+  for (const std::size_t shard : order) {
+    shard_at(shard).cac.prime_caches();
+  }
+  result.admitted = true;
+  return result;
+}
+
+bool ConcurrentCac::remove(std::size_t shard, ConnectionId id) {
+  Shard& s = shard_at(shard);
+  const std::unique_lock lock(s.mutex);
+  const bool removed = s.cac.remove(id);
+  if (removed) s.cac.prime_caches();
+  return removed;
+}
+
+void ConcurrentCac::queue_remove(std::size_t shard, ConnectionId id) {
+  Shard& s = shard_at(shard);
+  const std::scoped_lock lock(s.pending_mutex);
+  s.pending_removals.push_back(id);
+}
+
+std::size_t ConcurrentCac::drain_removals() {
+  std::size_t removed = 0;
+  for (const auto& shard : shards_) {
+    std::vector<ConnectionId> batch;
+    {
+      const std::scoped_lock lock(shard->pending_mutex);
+      batch.swap(shard->pending_removals);
+    }
+    if (batch.empty()) continue;
+    const std::unique_lock lock(shard->mutex);
+    removed += shard->cac.remove_many(batch);
+    shard->cac.prime_caches();
+  }
+  return removed;
+}
+
+std::size_t ConcurrentCac::pending_removals() const {
+  std::size_t pending = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->pending_mutex);
+    pending += shard->pending_removals.size();
+  }
+  return pending;
+}
+
+std::vector<ConnectionId> ConcurrentCac::reclaim(std::size_t shard,
+                                                 double now) {
+  Shard& s = shard_at(shard);
+  const std::unique_lock lock(s.mutex);
+  std::vector<ConnectionId> reclaimed = s.cac.reclaim(now);
+  if (!reclaimed.empty()) s.cac.prime_caches();
+  return reclaimed;
+}
+
+std::vector<ConnectionId> ConcurrentCac::reclaim_all(double now) {
+  std::vector<ConnectionId> reclaimed;
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    std::vector<ConnectionId> part = reclaim(shard, now);
+    reclaimed.insert(reclaimed.end(), part.begin(), part.end());
+  }
+  return reclaimed;
+}
+
+bool ConcurrentCac::renew_lease(std::size_t shard, ConnectionId id,
+                                double lease_expiry) {
+  Shard& s = shard_at(shard);
+  const std::unique_lock lock(s.mutex);
+  return s.cac.renew_lease(id, lease_expiry);
+}
+
+bool ConcurrentCac::make_permanent(std::size_t shard, ConnectionId id) {
+  Shard& s = shard_at(shard);
+  const std::unique_lock lock(s.mutex);
+  return s.cac.make_permanent(id);
+}
+
+bool ConcurrentCac::contains(std::size_t shard, ConnectionId id) const {
+  Shard& s = shard_at(shard);
+  const std::shared_lock lock(s.mutex);
+  return s.cac.contains(id);
+}
+
+std::size_t ConcurrentCac::connection_count() const {
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    const std::shared_lock lock(shard->mutex);
+    count += shard->cac.connection_count();
+  }
+  return count;
+}
+
+bool ConcurrentCac::state_consistent() const {
+  for (const auto& shard : shards_) {
+    const std::shared_lock lock(shard->mutex);
+    if (!shard->cac.state_consistent()) return false;
+  }
+  return true;
+}
+
+bool ConcurrentCac::bandwidth_conserved() const {
+  for (const auto& shard : shards_) {
+    const std::shared_lock lock(shard->mutex);
+    if (!shard->cac.bandwidth_conserved()) return false;
+  }
+  return true;
+}
+
+bool ConcurrentCac::cache_coherent() const {
+  for (const auto& shard : shards_) {
+    const std::shared_lock lock(shard->mutex);
+    if (!shard->cac.cache_coherent()) return false;
+  }
+  return true;
+}
+
+std::optional<double> ConcurrentCac::computed_bound(std::size_t shard,
+                                                    std::size_t out_port,
+                                                    Priority priority) const {
+  Shard& s = shard_at(shard);
+  const std::shared_lock lock(s.mutex);
+  return s.cac.computed_bound(out_port, priority);
+}
+
+const SwitchCac& ConcurrentCac::shard_state(std::size_t shard) const {
+  return shard_at(shard).cac;
+}
+
+}  // namespace rtcac

@@ -1,0 +1,186 @@
+// rtcac/core/concurrent_cac.h
+//
+// Sharded, thread-safe admission engine core (docs/PERFORMANCE.md,
+// "Parallel admission").  The paper's CAC is evaluated per switch along a
+// path (§4.1, §4.3): one switch's decision depends only on that switch's
+// own bookkeeping, which makes the network-level admission problem
+// naturally shardable.  ConcurrentCac holds one BasicSwitchCac<double>
+// per shard, each guarded by its own std::shared_mutex:
+//
+//   * check() takes the shard's lock *shared*: any number of threads may
+//     evaluate trial admissions against one switch concurrently.  This
+//     is race-free because of the priming invariant — every mutator
+//     fills all of the switch's lazy derived-stream caches
+//     (SwitchCac::prime_caches) before releasing its exclusive lock, so
+//     a reader's check() composes the candidate from *clean* caches and
+//     never writes the mutable cache members.
+//
+//   * admit()/remove()/reclaim()/drain_removals() take the lock
+//     *exclusive* and re-prime before unlocking.  admit() is the commit
+//     half of a two-phase check-then-commit: callers typically check()
+//     speculatively first (shared lock, in parallel), and admit()
+//     re-validates under the exclusive lock, so a stale speculative
+//     check can never over-admit — whatever interleaving happens, every
+//     committed connection passed the full bounds check against the
+//     exact state it was committed into.
+//
+//   * admit_path() commits one connection across several shards (the
+//     hops of a route).  Locks are acquired in ascending shard order —
+//     the canonical order that makes concurrent multi-hop commits
+//     deadlock-free — and the hop checks run check-all-then-commit-all
+//     inside the locked region.  Because distinct hops live on distinct
+//     switches, this is decision-identical to the serial hop-by-hop
+//     walk ConnectionManager::setup performs.
+//
+//   * queue_remove()/drain_removals() defer teardown commits so
+//     churn-heavy workloads can batch them: one drain removes a shard's
+//     whole backlog via SwitchCac::remove_many, which rebuilds every
+//     touched S_ia cell once (the PR-3 batched-reclaim machinery)
+//     instead of once per connection.
+//
+// Memory visibility: all state written under a shard's exclusive lock
+// (including the mutable caches filled by priming) happens-before any
+// subsequent shared acquisition of the same lock, so readers always see
+// fully-built streams.  Different shards share no mutable state.
+//
+// Concurrency primitives are confined to this module, to
+// util/thread_pool.h and to net/admission_engine.* by the
+// `concurrency-state` lint rule (tools/rtcac_lint.py).
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "core/switch_cac.h"
+
+namespace rtcac {
+
+class ConcurrentCac {
+ public:
+  using Stream = SwitchCac::Stream;
+  using CheckResult = SwitchCac::CheckResult;
+
+  /// One queueing point of a multi-shard path: which shard (switch) the
+  /// hop crosses and how the connection is routed through it.
+  struct HopSpec {
+    std::size_t shard = 0;
+    std::size_t in_port = 0;
+    std::size_t out_port = 0;
+    Priority priority = 0;
+    Stream arrival;
+  };
+
+  /// Verdict of admit_path(): per-hop check results up to (and
+  /// including) the first rejecting hop.  `rejecting_hop` is the index
+  /// into the hop span, or npos when every hop admitted (admission can
+  /// then still fail the caller's acceptance predicate — `admitted`
+  /// alone is authoritative).
+  struct PathResult {
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    bool admitted = false;
+    std::size_t rejecting_hop = npos;
+    std::vector<CheckResult> hops;
+  };
+
+  /// Caller-supplied acceptance predicate evaluated after every hop
+  /// check passed but before anything is committed (e.g. the end-to-end
+  /// deadline test).  Returning false rejects without mutating state.
+  using PathAcceptance = bool (*)(const std::vector<CheckResult>&, void*);
+
+  /// One switch shard per config entry; shard ids are indices into
+  /// `configs`.  Every shard starts fully primed.
+  explicit ConcurrentCac(const std::vector<SwitchCac::Config>& configs);
+
+  ConcurrentCac(const ConcurrentCac&) = delete;
+  ConcurrentCac& operator=(const ConcurrentCac&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Advertised bound of queue (out_port, priority) on `shard`.
+  [[nodiscard]] double advertised(std::size_t shard, std::size_t out_port,
+                                  Priority priority) const;
+
+  /// Trial admission under the shard's shared lock.  Concurrent with
+  /// other checks; serialized against commits on the same shard only.
+  [[nodiscard]] CheckResult check(std::size_t shard, std::size_t in_port,
+                                  std::size_t out_port, Priority priority,
+                                  const Stream& arrival) const;
+
+  /// Two-phase commit: re-validates the check under the shard's
+  /// exclusive lock and commits only when it (still) passes.
+  CheckResult admit(std::size_t shard, ConnectionId id, std::size_t in_port,
+                    std::size_t out_port, Priority priority,
+                    const Stream& arrival,
+                    double lease_expiry = SwitchCac::kPermanentLease);
+
+  /// Multi-hop two-phase commit: exclusive locks in ascending shard
+  /// order, all hop checks re-validated, then (optionally) `accept`
+  /// consulted, then all hops committed — or nothing at all.
+  PathResult admit_path(std::span<const HopSpec> hops, ConnectionId id,
+                        double lease_expiry = SwitchCac::kPermanentLease,
+                        PathAcceptance accept = nullptr,
+                        void* accept_ctx = nullptr);
+
+  /// Immediate removal under the shard's exclusive lock.
+  bool remove(std::size_t shard, ConnectionId id);
+
+  /// Defers a removal into the shard's pending queue (cheap, does not
+  /// take the shard's state lock); drain_removals() commits backlogs in
+  /// one batched remove_many per shard.
+  void queue_remove(std::size_t shard, ConnectionId id);
+  std::size_t drain_removals();
+  [[nodiscard]] std::size_t pending_removals() const;
+
+  /// Lease sweep of one shard / all shards (exclusive lock per shard).
+  std::vector<ConnectionId> reclaim(std::size_t shard, double now);
+  std::vector<ConnectionId> reclaim_all(double now);
+
+  bool renew_lease(std::size_t shard, ConnectionId id, double lease_expiry);
+  bool make_permanent(std::size_t shard, ConnectionId id);
+  [[nodiscard]] bool contains(std::size_t shard, ConnectionId id) const;
+
+  /// Total committed connections across shards (hop reservations, not
+  /// distinct network connections).
+  [[nodiscard]] std::size_t connection_count() const;
+
+  /// Diagnostics sweeps (shared lock per shard, consistent per shard but
+  /// not across shards — quiesce for a global snapshot).
+  [[nodiscard]] bool state_consistent() const;
+  [[nodiscard]] bool bandwidth_conserved() const;
+  [[nodiscard]] bool cache_coherent() const;
+
+  /// Computed bound of one queue (shared lock; primed, so read-only).
+  [[nodiscard]] std::optional<double> computed_bound(std::size_t shard,
+                                                     std::size_t out_port,
+                                                     Priority priority) const;
+
+  /// Direct shard access for quiesced inspection (tests, benchmarks).
+  /// NOT synchronized: the caller must guarantee no concurrent writers.
+  [[nodiscard]] const SwitchCac& shard_state(std::size_t shard) const;
+
+ private:
+  struct Shard {
+    explicit Shard(const SwitchCac::Config& config) : cac(config) {}
+    mutable std::shared_mutex mutex;
+    SwitchCac cac;
+    // Deferred teardowns; guarded by its own small mutex so producers
+    // never contend with in-flight checks on the state lock.
+    std::mutex pending_mutex;
+    std::vector<ConnectionId> pending_removals;
+  };
+
+  [[nodiscard]] Shard& shard_at(std::size_t shard) const;
+
+  // unique_ptr: shared_mutex is neither movable nor copyable, and shard
+  // addresses must stay stable while locks are held.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rtcac

@@ -470,6 +470,30 @@ std::vector<ConnectionId> BasicSwitchCac<Num>::reclaim(double now) {
   for (const ConnectionId id : expired) {
     touched.push_back(remove_record_bookkeeping(records_.find(id)));
   }
+  rebuild_cells(touched);
+  audit_invariants();
+  return expired;
+}
+
+template <typename Num>
+std::size_t BasicSwitchCac<Num>::remove_many(
+    std::span<const ConnectionId> ids) {
+  std::vector<std::size_t> touched;
+  touched.reserve(ids.size());
+  for (const ConnectionId id : ids) {
+    const auto it = records_.find(id);
+    if (it == records_.end()) continue;
+    touched.push_back(remove_record_bookkeeping(it));
+  }
+  if (touched.empty()) return 0;
+  const std::size_t removed = touched.size();
+  rebuild_cells(touched);
+  audit_invariants();
+  return removed;
+}
+
+template <typename Num>
+void BasicSwitchCac<Num>::rebuild_cells(std::vector<std::size_t>& touched) {
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   const std::size_t per_in = config_.out_ports * config_.priorities;
@@ -484,8 +508,6 @@ std::vector<ConnectionId> BasicSwitchCac<Num>::reclaim(double now) {
                              : rebuild_cell(in_port, out_port, priority);
     invalidate_cell(in_port, out_port, priority);
   }
-  audit_invariants();
-  return expired;
 }
 
 template <typename Num>
@@ -692,6 +714,21 @@ bool BasicSwitchCac<Num>::cache_coherent() const {
     }
   }
   return true;
+}
+
+template <typename Num>
+void BasicSwitchCac<Num>::prime_caches() const {
+  for (std::size_t j = 0; j < config_.out_ports; ++j) {
+    for (Priority p = 0; p < config_.priorities; ++p) {
+      // ensure_offered fills every filtered cell of queue (j, p) and
+      // ensure_hp_filtered every higher-priority union, so after this
+      // sweep no dirty flag is left set anywhere.  ensure_bound alone is
+      // not enough: it skips the hp aggregate when the queue is idle.
+      (void)ensure_offered(j, p);
+      (void)ensure_hp_filtered(j, p);
+      (void)ensure_bound(j, p);
+    }
+  }
 }
 
 template <typename Num>

@@ -60,6 +60,7 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -156,6 +157,12 @@ class BasicSwitchCac {
   /// Removes a connection; returns false if the id is unknown.
   bool remove(ConnectionId id);
 
+  /// Removes every (known) id in `ids` in one batch — each touched S_ia
+  /// cell is rebuilt once and the invariant audit runs once, the same
+  /// amortization reclaim() uses.  Unknown ids are skipped.  Returns the
+  /// number of connections actually removed.
+  std::size_t remove_many(std::span<const ConnectionId> ids);
+
   /// True iff `id` currently holds a reservation here.
   [[nodiscard]] bool contains(ConnectionId id) const noexcept {
     return records_.contains(id);
@@ -230,6 +237,14 @@ class BasicSwitchCac {
   /// Test/diagnostic hook; O(n).
   [[nodiscard]] bool cache_coherent() const;
 
+  /// Fills every lazy derived-stream/bound cache so no entry is left
+  /// dirty.  The concurrency layer (core/concurrent_cac.h) calls this
+  /// after every mutation, before releasing the shard's exclusive lock:
+  /// a fully primed switch makes check() and the bound queries genuinely
+  /// read-only, so any number of readers may run them concurrently under
+  /// a shared lock without racing on the mutable cache members.
+  void prime_caches() const;
+
  private:
   struct Record {
     std::size_t in_port;
@@ -260,9 +275,15 @@ class BasicSwitchCac {
 
   /// Erases one record plus its index/aggregate bookkeeping WITHOUT
   /// rebuilding the touched cell; returns its cell index.  Shared by
-  /// remove() and the batched reclaim().
+  /// remove(), remove_many() and the batched reclaim().
   std::size_t remove_record_bookkeeping(
       typename std::map<ConnectionId, Record>::iterator it);
+
+  /// Rebuilds (and invalidates the derived caches of) every cell index
+  /// in `touched` exactly once — `touched` is sorted/deduplicated in
+  /// place.  The shared tail of the batched mutators (reclaim,
+  /// remove_many).
+  void rebuild_cells(std::vector<std::size_t>& touched);
 
   // --- lazily rebuilt derived-stream caches (cache_coherent() audits) ---
 

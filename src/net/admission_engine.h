@@ -1,0 +1,209 @@
+// rtcac/net/admission_engine.h
+//
+// Parallel network-level admission control: the thread-safe counterpart
+// of ConnectionManager (docs/PERFORMANCE.md, "Parallel admission").
+//
+// AdmissionEngine shards the network's CAC state per switch inside a
+// ConcurrentCac and exposes the same setup/teardown/reclaim vocabulary
+// ConnectionManager does, with the same decision semantics:
+//
+//   * setup() runs a speculative check of every queueing point first —
+//     under shared shard locks, optionally fanned out across a
+//     ThreadPool so a multi-hop path's per-switch checks run in
+//     parallel ("pipeline mode") — and only then commits through
+//     ConcurrentCac::admit_path, which re-validates every hop under
+//     exclusive locks taken in canonical (ascending shard id) order.  A
+//     stale speculative check can therefore never over-admit; the
+//     worst a race can do is reject a connection that a different
+//     interleaving would have admitted, exactly as two racing SETUP
+//     messages would in the distributed protocol.
+//
+//   * check() is the commit-free variant: the full admission decision
+//     (hop bounds + end-to-end deadline) with no state change.
+//
+//   * teardown_deferred()/drain() batch teardown commits: the record is
+//     retired immediately but the per-switch removals queue up and one
+//     drain applies each shard's backlog as a single batched
+//     remove_many (PR 3's rebuild-once machinery).
+//
+//   * replay() executes a recorded operation trace on N threads with
+//     decisions *identical* to a serial replay: per-shard ticket
+//     counters hold every operation back until exactly the trace-order
+//     prefix of conflicting operations has finished — reads on a shard
+//     wait for all earlier writes to that shard, writes additionally
+//     wait for all earlier reads — so checks against the same switch
+//     still run concurrently, but every decision is made against the
+//     exact state the serial execution would have seen.  This is the
+//     oracle gate bench/parallel_admission_bench.cpp enforces.
+//
+// Reason strings, rejection points and deadline semantics mirror
+// ConnectionManager::setup exactly (same messages, same first-rejecting
+// hop), so a serial ConnectionManager replay of the same trace is a
+// bit-for-bit decision oracle.  Connection *ids* are the one permitted
+// difference: the engine burns an id on a rejected setup where the
+// serial manager does not; no decision depends on id values.
+//
+// Concurrency primitives are confined to this module, to
+// core/concurrent_cac.* and to util/thread_pool.h by the
+// `concurrency-state` lint rule (tools/rtcac_lint.py).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/concurrent_cac.h"
+#include "net/connection_manager.h"
+#include "net/topology.h"
+#include "util/thread_pool.h"
+
+namespace rtcac {
+
+class AdmissionEngine {
+ public:
+  using Params = ConnectionManager::Params;
+  using SetupResult = ConnectionManager::SetupResult;
+  using ConnectionRecord = ConnectionManager::ConnectionRecord;
+  using ReclaimResult = ConnectionManager::ReclaimResult;
+
+  /// `pipeline_threads` workers fan one setup's per-hop checks out in
+  /// parallel; 0 checks hops sequentially on the calling thread.  The
+  /// engine is thread-safe either way — any number of caller threads
+  /// may invoke setup/check/teardown concurrently.
+  AdmissionEngine(const Topology& topology, const Params& params,
+                  std::size_t pipeline_threads = 0);
+
+  AdmissionEngine(const AdmissionEngine&) = delete;
+  AdmissionEngine& operator=(const AdmissionEngine&) = delete;
+
+  /// Admits (or rejects) a connection over `route`; decision semantics,
+  /// reasons and rollback behavior match ConnectionManager::setup.
+  /// `lease_expiry` marks the reservations provisional until then
+  /// (default: permanent, like the serial manager).
+  SetupResult setup(const QosRequest& request, const Route& route,
+                    double lease_expiry = SwitchCac::kPermanentLease);
+
+  /// The full admission decision without committing anything.
+  [[nodiscard]] SetupResult check(const QosRequest& request,
+                                  const Route& route) const;
+
+  /// Immediate release of every hop reservation.  False for unknown ids.
+  bool teardown(ConnectionId id);
+
+  /// Retires the connection record now but defers the per-switch
+  /// removals into the shards' pending queues; false for unknown ids.
+  bool teardown_deferred(ConnectionId id);
+
+  /// Applies all deferred removals, one batched remove_many per shard;
+  /// returns the number of hop reservations released.
+  std::size_t drain();
+
+  [[nodiscard]] std::size_t pending_removals() const {
+    return cac_.pending_removals();
+  }
+
+  /// Lease sweep across every shard; reclaimed ids lose their record.
+  ReclaimResult reclaim(double now);
+
+  [[nodiscard]] std::size_t connection_count() const;
+
+  /// Queueing points / per-hop arrival stream — identical to the
+  /// ConnectionManager definitions (advertised bounds are fixed, so
+  /// these never depend on admission state).
+  [[nodiscard]] std::vector<HopRef> queueing_points(const Route& route) const;
+  [[nodiscard]] BitStream arrival_at_hop(const TrafficDescriptor& traffic,
+                                         std::span<const HopRef> hops,
+                                         std::size_t hop_index,
+                                         Priority priority) const;
+
+  /// Shard id of a switch node; throws for nodes without CAC state.
+  [[nodiscard]] std::size_t shard_of(NodeId node) const;
+
+  /// The sharded core (diagnostics sweeps, tests).
+  [[nodiscard]] const ConcurrentCac& core() const noexcept { return cac_; }
+
+  [[nodiscard]] bool state_consistent() const {
+    return cac_.state_consistent();
+  }
+  [[nodiscard]] bool bandwidth_conserved() const {
+    return cac_.bandwidth_conserved();
+  }
+  [[nodiscard]] bool cache_coherent() const { return cac_.cache_coherent(); }
+
+  // --- deterministic parallel trace replay ------------------------------
+
+  struct TraceOp {
+    enum class Kind {
+      kCheck,             ///< commit-free admission decision
+      kSetup,             ///< admit + commit
+      kTeardown,          ///< immediate release of an earlier setup
+      kTeardownDeferred,  ///< retire record, queue removals
+      kDrain,             ///< apply all deferred removals
+    };
+    static constexpr std::size_t kNoTarget = static_cast<std::size_t>(-1);
+
+    Kind kind = Kind::kCheck;
+    QosRequest request;  ///< kCheck/kSetup
+    /// kCheck/kSetup: the route to admit.  kTeardown/kTeardownDeferred
+    /// with an explicit `id`: the route of that established connection
+    /// (needed to schedule the op onto its shards).
+    Route route;
+    /// kTeardown/kTeardownDeferred: index of the kSetup op whose
+    /// connection to release (its route is taken from that op).
+    std::size_t target = kNoTarget;
+    /// Alternative to `target`: an id established before the trace ran.
+    ConnectionId id = kInvalidConnection;
+  };
+
+  struct OpOutcome {
+    bool accepted = false;
+    std::string reason;  ///< setup reasons; empty otherwise
+  };
+
+  /// Executes `trace` on `threads` workers (0 or 1 = serial) with the
+  /// per-shard ticket schedule described above.  Returns one outcome
+  /// per op, identical to what a serial execution would produce.
+  std::vector<OpOutcome> replay(std::span<const TraceOp> trace,
+                                std::size_t threads);
+
+ private:
+  struct PathPlan {
+    std::vector<HopRef> hops;
+    std::vector<ConcurrentCac::HopSpec> specs;
+    double e2e_advertised = 0;
+  };
+
+  [[nodiscard]] PathPlan plan_path(const QosRequest& request,
+                                   const Route& route) const;
+
+  /// Speculative per-hop checks under shared locks; fans out across the
+  /// pool when one exists.  Returns the index of the first rejecting
+  /// hop (kNoTarget when all admit) and fills `results`.
+  std::size_t speculative_checks(
+      const std::vector<ConcurrentCac::HopSpec>& specs,
+      std::vector<SwitchCheckResult>& results) const;
+
+  SetupResult do_setup(const QosRequest& request, const Route& route,
+                       double lease_expiry);
+  [[nodiscard]] OpOutcome run_trace_op(std::size_t index,
+                                       std::span<const TraceOp> trace,
+                                       std::span<ConnectionId> ids_by_op);
+
+  const Topology& topology_;
+  Params params_;
+  std::vector<std::size_t> shard_index_;  ///< per node; npos for terminals
+  ConcurrentCac cac_;
+  mutable std::unique_ptr<ThreadPool> pool_;  ///< pipeline mode; may be null
+
+  mutable std::mutex records_mutex_;
+  std::map<ConnectionId, ConnectionRecord> records_;
+  std::atomic<ConnectionId> next_id_{1};
+};
+
+}  // namespace rtcac

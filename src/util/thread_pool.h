@@ -1,0 +1,106 @@
+// rtcac/util/thread_pool.h
+//
+// Minimal fixed-size worker pool for the parallel admission engine
+// (net/admission_engine.h): submit() enqueues a task, wait_idle() blocks
+// until every submitted task has finished.  Nothing fancier on purpose —
+// no futures, no stealing — because the engine's unit of work (one
+// per-switch admission check) is large enough (tens of microseconds)
+// that a mutex-guarded queue is nowhere near the bottleneck.
+//
+// A pool constructed with zero threads degrades to inline execution:
+// submit() runs the task on the calling thread.  That keeps single-
+// threaded baselines and tests on the exact same code path with no
+// scheduling noise.
+//
+// Concurrency primitives are confined to this header, to
+// core/concurrent_cac.* and to net/admission_engine.* by the
+// `concurrency-state` lint rule (tools/rtcac_lint.py).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rtcac {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 means "run tasks inline in submit()".
+  explicit ThreadPool(std::size_t threads) {
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      const std::scoped_lock lock(mutex_);
+      stopping_ = true;
+    }
+    wake_workers_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task (runs it inline when the pool has no workers).
+  void submit(std::function<void()> task) {
+    if (workers_.empty()) {
+      task();
+      return;
+    }
+    {
+      const std::scoped_lock lock(mutex_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    wake_workers_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has completed.
+  void wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        wake_workers_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        const std::scoped_lock lock(mutex_);
+        --pending_;
+        if (pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rtcac

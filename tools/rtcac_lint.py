@@ -47,6 +47,17 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
                     invariant (clean implies inputs clean,
                     docs/PERFORMANCE.md) cannot be bypassed.
 
+  concurrency-state Threading primitives (std::mutex, std::shared_mutex,
+                    std::thread, std::atomic, std::condition_variable,
+                    locks, futures) are confined to the dedicated
+                    concurrency modules: util/thread_pool.h,
+                    core/concurrent_cac.{h,cpp} and
+                    net/admission_engine.{h,cpp}.  Everything else in
+                    src/ stays single-threaded by construction, so the
+                    priming/lock-order reasoning in concurrent_cac.h
+                    (docs/PERFORMANCE.md, "Parallel admission") covers
+                    every cross-thread access in the codebase.
+
 A finding can be suppressed on its line with a trailing comment:
     // rtcac-lint: allow(<rule-name>)
 
@@ -106,7 +117,26 @@ CAC_ACCESSOR_PREFIXES = (
     "invalidate_", "ensure_", "compose_", "offered_aggregate_scratch",
     "higher_priority_filtered_scratch", "arrival_aggregate",
     "sustained_load", "connection_", "state_consistent",
-    "bandwidth_conserved", "cache_coherent")
+    "bandwidth_conserved", "cache_coherent", "prime_caches")
+
+# concurrency-state: std:: threading vocabulary, and the only files in
+# src/ allowed to use it.  ConcurrentCac's safety argument (priming
+# invariant + canonical lock order) only holds if no other module grows
+# its own ad-hoc synchronization.
+CONCURRENCY_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|scoped_lock|unique_lock|"
+    r"shared_lock|lock_guard|condition_variable(?:_any)?|thread|jthread|"
+    r"atomic(?:_\w+)?|future|shared_future|promise|packaged_task|async|"
+    r"barrier|latch|counting_semaphore|binary_semaphore|stop_token|"
+    r"stop_source|call_once|once_flag)\b")
+CONCURRENCY_ALLOWED = (
+    ("src", "util", "thread_pool.h"),
+    ("src", "core", "concurrent_cac.h"),
+    ("src", "core", "concurrent_cac.cpp"),
+    ("src", "net", "admission_engine.h"),
+    ("src", "net", "admission_engine.cpp"),
+)
 
 
 def strip_comments_and_strings(line: str, in_block_comment: bool):
@@ -178,6 +208,7 @@ class Linter:
         is_signaling = rel.parts == ("src", "net", "signaling.cpp")
         is_cac_impl = rel.parts == ("src", "core", "switch_cac.cpp")
         is_cac_header = rel.parts == ("src", "core", "switch_cac.h")
+        concurrency_allowed = rel.parts in CONCURRENCY_ALLOWED
         current_function = ""
         is_header = path.suffix == ".h"
         text = path.read_text(encoding="utf-8")
@@ -215,6 +246,15 @@ class Linter:
                 self.report(path, lineno, "no-rand",
                             "rand()/srand() is not reproducible across "
                             "platforms; use util/xorshift.h", comment_text)
+
+            if not concurrency_allowed and CONCURRENCY_RE.search(code):
+                self.report(
+                    path, lineno, "concurrency-state",
+                    "std:: threading primitive outside the dedicated "
+                    "concurrency modules (util/thread_pool.h, "
+                    "core/concurrent_cac.*, net/admission_engine.*); "
+                    "route cross-thread work through ConcurrentCac / "
+                    "AdmissionEngine instead", comment_text)
 
             if is_signaling:
                 m = SIGNALING_FUNC_RE.search(code)
