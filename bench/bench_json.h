@@ -9,11 +9,13 @@
 //    "admissions_per_sec": number,// ops / wall seconds for the scenario
 //    "segments_total": int,       // aggregate segment count (state size)
 //    "threads": int,              // optional: worker threads (parallel runs)
-//    "speedup_vs_serial": number} // optional: wall(1 thread) / wall(threads)
+//    "speedup_vs_serial": number, // optional: wall(1 thread) / wall(threads)
+//    "policy": str}               // optional: CacPolicy name (bitstream, ...)
 //
-// The two optional keys are emitted only when `threads` is nonzero
-// (i.e. by the thread-scaling harness, bench/parallel_admission_bench);
-// single-threaded harnesses keep the original five-key schema.
+// The `threads`/`speedup_vs_serial` keys are emitted only when `threads`
+// is nonzero and `policy` only when non-empty (i.e. by the thread-scaling
+// harness, bench/parallel_admission_bench); single-threaded harnesses
+// keep the original five-key schema.
 //
 // Header-only and dependency-free on purpose: bench binaries link only
 // the library under test, so the writer cannot perturb what it measures.
@@ -41,6 +43,8 @@ struct BenchRecord {
   /// wall_ns of the 1-thread run of the same scenario divided by this
   /// record's wall_ns; meaningful only when threads > 0.
   double speedup_vs_serial = 0.0;
+  /// CacPolicy driving the run (core/path_eval.h); empty = key omitted.
+  std::string policy;
 };
 
 /// Collects records and serializes them as a JSON array.  Strings are
@@ -68,6 +72,9 @@ class BenchJsonWriter {
       if (r.threads > 0) {
         os << ", \"threads\": " << r.threads << ", "
            << "\"speedup_vs_serial\": " << finite(r.speedup_vs_serial);
+      }
+      if (!r.policy.empty()) {
+        os << ", \"policy\": \"" << escape(r.policy) << "\"";
       }
       os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }

@@ -9,26 +9,29 @@
 //
 // The hard gate, checked before any number is reported: the parallel
 // decision stream must be IDENTICAL to a serial oracle — a plain
-// ConnectionManager replaying the same trace hop by hop — for every
-// workload and every thread count (verdicts and reason strings both).
-// A mismatch aborts with exit 1.  Speedups are reported honestly for
-// whatever hardware runs the bench (on a single-core container they
-// hover around 1x or below; the scheduling overhead is then the story)
-// and recorded in BENCH_parallel.json via the bench_json.h schema with
-// the `threads` / `speedup_vs_serial` keys.
+// ConnectionManager built on the same CacPolicy replaying the same trace
+// through ConnectionManager::check()/setup() — for every workload, every
+// policy and every thread count (verdicts, reason strings and RejectReason
+// codes/hops alike).  A mismatch aborts with exit 1.  Speedups are
+// reported honestly for whatever hardware runs the bench (on a
+// single-core container they hover around 1x or below; the scheduling
+// overhead is then the story) and recorded in BENCH_parallel.json via the
+// bench_json.h schema with the `threads` / `speedup_vs_serial` / `policy`
+// keys.
 //
-// Usage: parallel_admission_bench [--smoke] [--out PATH]
+// Usage: parallel_admission_bench [--smoke] [--out PATH] [--policy NAME]
 //   --smoke   CI-sized run: short traces, threads {1,2}, same gates.
 //   --out     JSON output path (default: BENCH_parallel.json).
+//   --policy  bitstream (default), peak, max_rate, or all.
 
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "baseline/policies.h"
 #include "bench_json.h"
 #include "core/traffic.h"
 #include "net/admission_engine.h"
@@ -201,52 +204,16 @@ std::vector<TraceOp> make_mixed(std::size_t ops, const Net& net) {
 }
 
 // --- serial oracle ------------------------------------------------------
-// A plain ConnectionManager walks the identical trace in order; its
-// decisions define correctness for every parallel replay.
-
-OpOutcome oracle_check(const ConnectionManager& cm, const QosRequest& request,
-                       const Route& route) {
-  OpOutcome outcome;
-  request.traffic.validate();
-  if (request.priority >= cm.params().priorities) {
-    outcome.reason = "priority out of range";
-    return outcome;
-  }
-  const std::vector<HopRef> hops = cm.queueing_points(route);
-  double computed = 0;
-  double advertised = 0;
-  for (std::size_t h = 0; h < hops.size(); ++h) {
-    const SwitchCac& cac = cm.switch_cac(hops[h].node);
-    const BitStream arrival =
-        cm.arrival_at_hop(request.traffic, hops, h, request.priority);
-    const SwitchCheckResult r = cac.check(hops[h].in_port, hops[h].out_port,
-                                          request.priority, arrival);
-    if (!r.admitted) {
-      outcome.reason = "rejected at " +
-                       cm.topology().node(hops[h].node).name + ": " + r.reason;
-      return outcome;
-    }
-    computed += r.bound_at_priority.value();
-    advertised += cac.advertised(hops[h].out_port, request.priority);
-  }
-  const double promised = cm.params().guarantee == GuaranteeMode::kAdvertised
-                              ? advertised
-                              : computed;
-  if (promised > request.deadline) {
-    std::ostringstream os;
-    os << "end-to-end bound " << promised << " exceeds deadline "
-       << request.deadline;
-    outcome.reason = os.str();
-    return outcome;
-  }
-  outcome.accepted = true;
-  return outcome;
-}
+// A plain ConnectionManager on the same policy walks the identical trace
+// in order; its decisions define correctness for every parallel replay.
+// check() IS the oracle — both paths funnel through the one PathEvaluator
+// in src/core/path_eval.h, so there is no second hop walk to drift.
 
 std::vector<OpOutcome> oracle_replay(const std::vector<TraceOp>& trace,
                                      const Topology& topology,
-                                     const ConnectionManager::Params& params) {
-  ConnectionManager cm(topology, params);
+                                     const ConnectionManager::Params& params,
+                                     const CacPolicy& policy) {
+  ConnectionManager cm(topology, params, policy);
   std::vector<OpOutcome> outcomes(trace.size());
   std::vector<ConnectionId> ids_by_op(trace.size(), kInvalidConnection);
   std::vector<ConnectionId> deferred;  // teardowns awaiting the next drain
@@ -257,13 +224,15 @@ std::vector<OpOutcome> oracle_replay(const std::vector<TraceOp>& trace,
                                 ? ids_by_op[op.target]
                                 : op.id;
     switch (op.kind) {
-      case TraceOp::Kind::kCheck:
-        outcomes[i] = oracle_check(cm, op.request, op.route);
+      case TraceOp::Kind::kCheck: {
+        const auto r = cm.check(op.request, op.route);
+        outcomes[i] = OpOutcome{r.accepted, r.reason, r.reject};
         break;
+      }
       case TraceOp::Kind::kSetup: {
         const auto r = cm.setup(op.request, op.route);
         ids_by_op[i] = r.accepted ? r.id : kInvalidConnection;
-        outcomes[i] = OpOutcome{r.accepted, r.reason};
+        outcomes[i] = OpOutcome{r.accepted, r.reason, r.reject};
         break;
       }
       case TraceOp::Kind::kTeardown:
@@ -305,7 +274,9 @@ bool outcomes_identical(const std::vector<OpOutcome>& got,
   }
   for (std::size_t i = 0; i < got.size(); ++i) {
     if (got[i].accepted != want[i].accepted ||
-        got[i].reason != want[i].reason) {
+        got[i].reason != want[i].reason ||
+        got[i].reject.code != want[i].reject.code ||
+        got[i].reject.hop != want[i].reject.hop) {
       std::cerr << "DECISION MISMATCH [" << what << "] at op " << i << ": got "
                 << (got[i].accepted ? "accept" : "reject") << " \""
                 << got[i].reason << "\", want "
@@ -317,16 +288,23 @@ bool outcomes_identical(const std::vector<OpOutcome>& got,
   return true;
 }
 
-// Aggregate segment count across every shard's S_ia cells (state size);
-// only safe on a quiesced engine.
+// Aggregate state-size metric across shards; only safe on a quiesced
+// engine.  Bit-stream shards expose the full S_ia machinery, so their
+// metric is the total segment count; for other policies (flat per-port
+// aggregates, no segment lists) it degrades to live connections.
 std::size_t segments_total(const ConcurrentCac& cac) {
   std::size_t total = 0;
   for (std::size_t s = 0; s < cac.shard_count(); ++s) {
-    const SwitchCac& sw = cac.shard_state(s);
-    for (std::size_t i = 0; i < sw.in_ports(); ++i) {
-      for (std::size_t j = 0; j < sw.out_ports(); ++j) {
-        for (Priority p = 0; p < sw.priorities(); ++p) {
-          total += sw.arrival_aggregate(i, j, p).size();
+    const PolicyCac& point = cac.shard_point(s);
+    const SwitchCac* sw = point.bitstream();
+    if (sw == nullptr) {
+      total += point.connection_count();
+      continue;
+    }
+    for (std::size_t i = 0; i < sw->in_ports(); ++i) {
+      for (std::size_t j = 0; j < sw->out_ports(); ++j) {
+        for (Priority p = 0; p < sw->priorities(); ++p) {
+          total += sw->arrival_aggregate(i, j, p).size();
         }
       }
     }
@@ -344,7 +322,8 @@ double time_ns(F&& body) {
           .count());
 }
 
-int run(bool smoke, const std::string& out_path) {
+int run(bool smoke, const std::string& out_path,
+        const std::vector<const CacPolicy*>& policies) {
   bench::BenchJsonWriter json;
   const Net net = make_net();
   const ConnectionManager::Params params = make_params();
@@ -368,45 +347,50 @@ int run(bool smoke, const std::string& out_path) {
       {"mixed_90_10", make_mixed(ops, net)},
   };
 
-  for (const Workload& w : workloads) {
-    const std::vector<OpOutcome> oracle =
-        oracle_replay(w.trace, net.topology, params);
-    double wall_serial = 0;
-    for (const std::size_t threads : thread_counts) {
-      AdmissionEngine engine(net.topology, params);
-      std::vector<OpOutcome> outcomes;
-      const double wall = time_ns([&] {
-        outcomes = engine.replay(w.trace, threads);
-      });
-      // The gate: every thread count must reproduce the serial oracle's
-      // decision stream exactly, and leave coherent state behind.
-      if (!outcomes_identical(outcomes, oracle,
-                              w.name + " t" + std::to_string(threads))) {
-        return 1;
-      }
-      if (!engine.state_consistent() || !engine.bandwidth_conserved() ||
-          !engine.cache_coherent()) {
-        std::cerr << "STATE AUDIT FAILED [" << w.name << " t" << threads
-                  << "]\n";
-        return 1;
-      }
-      if (threads == 1) wall_serial = wall;
+  for (const CacPolicy* policy : policies) {
+    const std::string policy_name(policy->name());
+    for (const Workload& w : workloads) {
+      const std::vector<OpOutcome> oracle =
+          oracle_replay(w.trace, net.topology, params, *policy);
+      double wall_serial = 0;
+      for (const std::size_t threads : thread_counts) {
+        AdmissionEngine engine(net.topology, params, *policy);
+        std::vector<OpOutcome> outcomes;
+        const double wall = time_ns([&] {
+          outcomes = engine.replay(w.trace, threads);
+        });
+        // The gate: every thread count must reproduce the serial oracle's
+        // decision stream exactly, and leave coherent state behind.
+        if (!outcomes_identical(outcomes, oracle,
+                                policy_name + " " + w.name + " t" +
+                                    std::to_string(threads))) {
+          return 1;
+        }
+        if (!engine.state_consistent() || !engine.bandwidth_conserved() ||
+            !engine.cache_coherent()) {
+          std::cerr << "STATE AUDIT FAILED [" << policy_name << " " << w.name
+                    << " t" << threads << "]\n";
+          return 1;
+        }
+        if (threads == 1) wall_serial = wall;
 
-      bench::BenchRecord r;
-      r.benchmark = w.name + "_t" + std::to_string(threads);
-      r.n = w.trace.size();
-      r.wall_ns = wall;
-      r.admissions_per_sec =
-          wall > 0 ? static_cast<double>(w.trace.size()) * 1e9 / wall : 0;
-      r.segments_total = segments_total(engine.core());
-      r.threads = threads;
-      r.speedup_vs_serial = wall > 0 ? wall_serial / wall : 0;
-      json.add(r);
-      std::cout << w.name << " t=" << threads << ": "
-                << wall / static_cast<double>(w.trace.size()) / 1e3
-                << " us/op, speedup " << r.speedup_vs_serial << "x\n";
+        bench::BenchRecord r;
+        r.benchmark = w.name + "_t" + std::to_string(threads);
+        r.n = w.trace.size();
+        r.wall_ns = wall;
+        r.admissions_per_sec =
+            wall > 0 ? static_cast<double>(w.trace.size()) * 1e9 / wall : 0;
+        r.segments_total = segments_total(engine.core());
+        r.threads = threads;
+        r.speedup_vs_serial = wall > 0 ? wall_serial / wall : 0;
+        r.policy = policy_name;
+        json.add(r);
+        std::cout << policy_name << " " << w.name << " t=" << threads << ": "
+                  << wall / static_cast<double>(w.trace.size()) / 1e3
+                  << " us/op, speedup " << r.speedup_vs_serial << "x\n";
+      }
+      std::cout << "\n";
     }
-    std::cout << "\n";
   }
 
   if (!json.write(out_path)) {
@@ -415,8 +399,8 @@ int run(bool smoke, const std::string& out_path) {
   }
   std::cout << "wrote " << json.records().size() << " records to " << out_path
             << "\n";
-  std::cout << "decision-identity gate: PASS (all workloads, all thread "
-               "counts match the serial oracle)\n";
+  std::cout << "decision-identity gate: PASS (all policies, all workloads, "
+               "all thread counts match the serial oracle)\n";
   return 0;
 }
 
@@ -425,16 +409,34 @@ int run(bool smoke, const std::string& out_path) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_parallel.json";
+  std::string policy_arg = "bitstream";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--policy" && i + 1 < argc) {
+      policy_arg = argv[++i];
     } else {
-      std::cerr << "usage: parallel_admission_bench [--smoke] [--out PATH]\n";
+      std::cerr << "usage: parallel_admission_bench [--smoke] [--out PATH] "
+                   "[--policy bitstream|peak|max_rate|all]\n";
       return 2;
     }
   }
-  return run(smoke, out_path);
+  std::vector<const rtcac::CacPolicy*> policies;
+  if (policy_arg == "all") {
+    for (const char* name : {"bitstream", "peak", "max_rate"}) {
+      policies.push_back(rtcac::find_policy(name));
+    }
+  } else {
+    const rtcac::CacPolicy* policy = rtcac::find_policy(policy_arg);
+    if (policy == nullptr) {
+      std::cerr << "error: unknown policy \"" << policy_arg
+                << "\" (want bitstream, peak, max_rate or all)\n";
+      return 2;
+    }
+    policies.push_back(policy);
+  }
+  return run(smoke, out_path, policies);
 }

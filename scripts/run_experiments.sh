@@ -56,8 +56,9 @@ echo "== cac_admission_bench (perf trajectory -> BENCH_admission.json)"
   | tee "$OUT/cac_admission_bench.txt"
 
 echo
-echo "== parallel_admission_bench (thread scaling -> BENCH_parallel.json)"
-"$BUILD/bench/parallel_admission_bench" \
+echo "== parallel_admission_bench (thread scaling, all CAC policies ->" \
+     "BENCH_parallel.json)"
+"$BUILD/bench/parallel_admission_bench" --policy all \
   --out "$REPO_ROOT/BENCH_parallel.json" \
   | tee "$OUT/parallel_admission_bench.txt"
 

@@ -1,7 +1,10 @@
 #include "baseline/max_rate_cac.h"
 
-#include <sstream>
+#include <set>
 #include <stdexcept>
+
+#include "baseline/policies.h"
+#include "core/switch_cac.h"
 
 namespace rtcac {
 
@@ -62,80 +65,66 @@ std::optional<double> BurstyEnvelope::max_backlog() const {
 
 MaxRateNetworkCac::MaxRateNetworkCac(std::size_t queueing_points,
                                      double advertised_bound)
-    : points_(queueing_points),
-      advertised_bound_(advertised_bound),
-      components_(queueing_points) {
+    : advertised_bound_(advertised_bound),
+      // Hard CDV accumulation over the fixed advertised bounds, as in the
+      // bit-stream scheme, so the two CACs differ only in envelope math.
+      evaluator_(PathEvaluator::Params{/*priorities=*/1, CdvPolicy::kHard,
+                                       GuaranteeMode::kComputed}) {
   if (queueing_points == 0) {
     throw std::invalid_argument("MaxRateNetworkCac: need queueing points");
   }
   if (!(advertised_bound > 0)) {
     throw std::invalid_argument("MaxRateNetworkCac: bound must be > 0");
   }
-}
-
-BurstyEnvelope MaxRateNetworkCac::arrival_at(const TrafficDescriptor& traffic,
-                                             std::size_t hop_index) const {
-  // Hard CDV accumulation over the fixed advertised bounds, as in the
-  // bit-stream scheme, so the two CACs differ only in envelope math.
-  const double cdv = advertised_bound_ * static_cast<double>(hop_index);
-  return BurstyEnvelope::from_traffic(traffic).delayed(cdv);
-}
-
-BurstyEnvelope MaxRateNetworkCac::aggregate_with(
-    std::size_t point, const BurstyEnvelope* extra) const {
-  BurstyEnvelope aggregate;
-  for (const auto& [id, env] : components_[point]) {
-    aggregate = aggregate.multiplexed(env);
+  points_.reserve(queueing_points);
+  point_names_.reserve(queueing_points);
+  for (std::size_t p = 0; p < queueing_points; ++p) {
+    PointConfig cfg;
+    cfg.in_ports = 1;
+    cfg.out_ports = 1;
+    cfg.priorities = 1;
+    cfg.advertised_bound = advertised_bound;
+    points_.push_back(MaxRateCacPolicy::instance().make_point(cfg));
+    point_names_.push_back("point " + std::to_string(p));
   }
-  if (extra != nullptr) {
-    aggregate = aggregate.multiplexed(*extra);
-  }
-  return aggregate;
 }
 
 MaxRateNetworkCac::Result MaxRateNetworkCac::setup(
     const TrafficDescriptor& traffic, const std::vector<std::size_t>& route) {
   traffic.validate();
   Result result;
+  std::set<std::size_t> seen;
   for (const std::size_t point : route) {
-    if (point >= points_) {
+    if (point >= points_.size()) {
       throw std::invalid_argument("MaxRateNetworkCac: bad queueing point");
     }
+    if (!seen.insert(point).second) {
+      throw std::invalid_argument(
+          "MaxRateNetworkCac: route revisits a queueing point");
+    }
   }
 
-  const ConnectionId id = next_id_;
-  std::size_t committed = 0;
-  for (std::size_t h = 0; h < route.size(); ++h) {
-    const BurstyEnvelope arrival = arrival_at(traffic, h);
-    const auto bound =
-        aggregate_with(route[h], &arrival).delay_bound();
-    if (!bound.has_value() || *bound > advertised_bound_) {
-      std::ostringstream os;
-      os << "bound at point " << route[h] << " would be "
-         << (bound.has_value() ? std::to_string(*bound) : "unbounded")
-         << " > advertised " << advertised_bound_;
-      result.reason = os.str();
-      break;
-    }
-    components_[route[h]].emplace(id, arrival);
-    ++committed;
-    result.hop_bounds.push_back(*bound);
-    result.e2e_bound_at_setup += *bound;
+  std::vector<PathEvaluator::Hop> hops;
+  hops.reserve(route.size());
+  for (const std::size_t point : route) {
+    hops.push_back(
+        PathEvaluator::Hop{points_[point].get(), 0, 0, point_names_[point]});
   }
-
-  if (!result.reason.empty()) {
-    for (std::size_t h = 0; h < committed; ++h) {
-      components_[route[h]].erase(id);
-    }
-    result.hop_bounds.clear();
-    result.e2e_bound_at_setup = 0;
+  QosRequest request;  // deadline defaults to infinity: bounds-only check
+  request.traffic = traffic;
+  const PathEvaluator::Decision decision = evaluator_.evaluate(hops, request);
+  if (!decision.admitted) {
+    result.reject = decision.reject;
+    result.reason = result.reject.detail;
     return result;
   }
-
+  evaluator_.commit(hops, next_id_, request, decision.arrivals,
+                    SwitchCac::kPermanentLease);
+  result.hop_bounds = decision.hop_bounds;
+  result.e2e_bound_at_setup = decision.e2e_bound;
   result.accepted = true;
-  result.id = id;
-  ++next_id_;
-  records_.emplace(id, Record{traffic, route});
+  result.id = next_id_++;
+  records_.emplace(result.id, Record{traffic, route});
   return result;
 }
 
@@ -143,7 +132,7 @@ bool MaxRateNetworkCac::teardown(ConnectionId id) {
   const auto it = records_.find(id);
   if (it == records_.end()) return false;
   for (const std::size_t point : it->second.route) {
-    components_[point].erase(id);
+    points_[point]->remove(id);
   }
   records_.erase(it);
   return true;
@@ -151,11 +140,10 @@ bool MaxRateNetworkCac::teardown(ConnectionId id) {
 
 std::optional<double> MaxRateNetworkCac::computed_bound(
     std::size_t point) const {
-  if (point >= points_) {
+  if (point >= points_.size()) {
     throw std::invalid_argument("MaxRateNetworkCac: bad queueing point");
   }
-  if (components_[point].empty()) return 0.0;
-  return aggregate_with(point, nullptr).delay_bound();
+  return points_[point]->computed_bound(0, 0);
 }
 
 std::optional<double> MaxRateNetworkCac::current_e2e_bound(

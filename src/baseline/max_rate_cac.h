@@ -23,12 +23,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/bitstream.h"
 #include "core/connection.h"
+#include "core/path_eval.h"
 #include "core/stream_ops.h"
 #include "core/traffic.h"
 
@@ -75,6 +77,11 @@ class BurstyEnvelope {
 /// fixed bound, and accumulates CDV as the sum of upstream advertised
 /// bounds — the same deployment shape as ConnectionManager so results are
 /// directly comparable.
+///
+/// Per-point state is the `max_rate` CacPolicy (baseline/policies.h) and
+/// the route walk is the shared PathEvaluator of core/path_eval.h; this
+/// class maps point indices to PolicyCac state and keeps the legacy
+/// Result vocabulary.
 class MaxRateNetworkCac {
  public:
   /// `queueing_points` abstract link/port slots; `advertised_bound` is the
@@ -84,13 +91,17 @@ class MaxRateNetworkCac {
   struct Result {
     bool accepted = false;
     ConnectionId id = kInvalidConnection;
-    std::string reason;
+    std::string reason;  ///< equals reject.detail when rejected
     std::vector<double> hop_bounds;  ///< computed, at setup
     double e2e_bound_at_setup = 0;
+    /// Canonical rejection (core/path_eval.h); reject.hop indexes into
+    /// the route given to setup().
+    RejectReason reject;
   };
 
   /// Admits iff every queueing point's recomputed bound stays within the
-  /// advertised bound.  `route` lists queueing-point indices in order.
+  /// advertised bound.  `route` lists queueing-point indices in order
+  /// (each point at most once).
   Result setup(const TrafficDescriptor& traffic,
                const std::vector<std::size_t>& route);
   bool teardown(ConnectionId id);
@@ -114,15 +125,11 @@ class MaxRateNetworkCac {
     std::vector<std::size_t> route;
   };
 
-  [[nodiscard]] BurstyEnvelope arrival_at(const TrafficDescriptor& traffic,
-                                          std::size_t hop_index) const;
-  [[nodiscard]] BurstyEnvelope aggregate_with(
-      std::size_t point, const BurstyEnvelope* extra) const;
-
-  std::size_t points_;
   double advertised_bound_;
-  /// Component envelopes per queueing point, keyed by connection.
-  std::vector<std::map<ConnectionId, BurstyEnvelope>> components_;
+  PathEvaluator evaluator_;
+  /// One `max_rate` policy point per queueing point (out_port 0).
+  std::vector<std::unique_ptr<PolicyCac>> points_;
+  std::vector<std::string> point_names_;  ///< "point <i>", stable storage
   std::map<ConnectionId, Record> records_;
   ConnectionId next_id_ = 1;
 };

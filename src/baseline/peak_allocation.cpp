@@ -1,36 +1,52 @@
 #include "baseline/peak_allocation.h"
 
-#include <sstream>
+#include "baseline/policies.h"
+#include "core/switch_cac.h"
 
 namespace rtcac {
 
-namespace {
-// Admission slack: many equal-rate connections must fill a link to exactly
-// 1.0 despite floating-point summation.
-constexpr double kSlack = 1e-9;
-}  // namespace
-
 PeakAllocationCac::PeakAllocationCac(const Topology& topology)
-    : topology_(topology), load_(topology.link_count(), 0.0) {}
+    : topology_(topology),
+      evaluator_(PathEvaluator::Params{/*priorities=*/1, CdvPolicy::kHard,
+                                       GuaranteeMode::kComputed}) {
+  points_.reserve(topology.link_count());
+  point_names_.reserve(topology.link_count());
+  for (LinkId link = 0; link < topology.link_count(); ++link) {
+    PointConfig cfg;
+    cfg.in_ports = 1;
+    cfg.out_ports = 1;
+    cfg.priorities = 1;
+    cfg.advertised_bound = 0;  // peak allocation promises no delay bound
+    points_.push_back(PeakCacPolicy::instance().make_point(cfg));
+    point_names_.push_back("link " + std::to_string(link));
+  }
+}
 
 PeakAllocationCac::Result PeakAllocationCac::setup(
     const TrafficDescriptor& traffic, const Route& route) {
   traffic.validate();
   Result result;
   (void)topology_.route_nodes(route);  // validates connectivity
+  std::vector<PathEvaluator::Hop> hops;
+  hops.reserve(route.size());
   for (const LinkId link : route) {
-    if (load_[link] + traffic.pcr > 1.0 + kSlack) {
-      std::ostringstream os;
-      os << "link " << link << " peak load " << load_[link] + traffic.pcr
-         << " exceeds capacity";
-      result.reason = os.str();
-      result.rejecting_link = link;
-      return result;
+    hops.push_back(PathEvaluator::Hop{points_[link].get(), 0, 0,
+                                      point_names_[link]});
+  }
+  QosRequest request;  // deadline defaults to infinity: peak-only check
+  request.traffic = traffic;
+  const PathEvaluator::Decision decision = evaluator_.evaluate(hops, request);
+  if (!decision.admitted) {
+    result.reject = decision.reject;
+    result.reason = result.reject.detail;
+    if (result.reject.code == RejectCode::kAdmission &&
+        result.reject.hop < route.size()) {
+      result.rejecting_link = route[result.reject.hop];
     }
+    return result;
   }
-  for (const LinkId link : route) {
-    load_[link] += traffic.pcr;
-  }
+  evaluator_.commit(hops, next_id_, request, decision.arrivals,
+                    SwitchCac::kPermanentLease);
   result.accepted = true;
   result.id = next_id_++;
   records_.emplace(result.id, std::make_pair(traffic.pcr, route));
@@ -41,18 +57,25 @@ bool PeakAllocationCac::teardown(ConnectionId id) {
   const auto it = records_.find(id);
   if (it == records_.end()) return false;
   for (const LinkId link : it->second.second) {
-    load_[link] -= it->second.first;
-    if (load_[link] < 0) load_[link] = 0;  // absorb rounding
+    points_[link]->remove(id);
   }
   records_.erase(it);
   return true;
 }
 
 double PeakAllocationCac::link_load(LinkId link) const {
-  if (link >= load_.size()) {
+  if (link >= points_.size()) {
     throw std::invalid_argument("PeakAllocationCac: bad link id");
   }
-  return load_[link];
+  // Recomputed from the committed contracts; the policy point holds the
+  // authoritative copy used for admission.
+  double load = 0;
+  for (const auto& [id, record] : records_) {
+    for (const LinkId l : record.second) {
+      if (l == link) load += record.first;
+    }
+  }
+  return load;
 }
 
 }  // namespace rtcac

@@ -9,15 +9,22 @@
 // delay: jitter introduced upstream lets cells of many connections clump
 // and arrive simultaneously, overflowing any finite FIFO.  It is the
 // baseline the bit-stream CAC is measured against.
+//
+// The admission state itself is the `peak` CacPolicy (baseline/policies.h)
+// with one queueing point per link, and the route walk is the shared
+// PathEvaluator of core/path_eval.h — this class only maps link ids to
+// points and keeps the legacy Result vocabulary.
 
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/connection.h"
+#include "core/path_eval.h"
 #include "net/topology.h"
 
 namespace rtcac {
@@ -27,8 +34,11 @@ class PeakAllocationCac {
   struct Result {
     bool accepted = false;
     ConnectionId id = kInvalidConnection;
-    std::string reason;
+    std::string reason;  ///< equals reject.detail when rejected
     std::optional<LinkId> rejecting_link;
+    /// Canonical rejection (core/path_eval.h); reject.hop indexes into
+    /// the route given to setup().
+    RejectReason reject;
   };
 
   explicit PeakAllocationCac(const Topology& topology);
@@ -45,7 +55,10 @@ class PeakAllocationCac {
 
  private:
   const Topology& topology_;
-  std::vector<double> load_;
+  PathEvaluator evaluator_;
+  /// One `peak` policy point per link (out_port 0 = the link itself).
+  std::vector<std::unique_ptr<PolicyCac>> points_;
+  std::vector<std::string> point_names_;  ///< "link <id>", stable storage
   std::map<ConnectionId, std::pair<double, Route>> records_;
   ConnectionId next_id_ = 1;
 };

@@ -1,0 +1,342 @@
+// rtcac/baseline/policies.cpp — see policies.h for the design.
+
+#include "baseline/policies.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "baseline/max_rate_cac.h"
+#include "core/switch_cac.h"
+#include "util/contract.h"
+
+namespace rtcac {
+
+namespace {
+
+// Admission slack shared with baseline/peak_allocation.cpp: many
+// equal-rate connections must fill a port to exactly 1.0 despite
+// floating-point summation.
+constexpr double kPeakSlack = 1e-9;
+
+void check_port(std::size_t port, std::size_t limit, const char* what) {
+  if (port >= limit) {
+    throw std::invalid_argument(std::string(what) + ": port out of range");
+  }
+}
+
+/// One queueing point under peak bandwidth allocation: per-out-port sum
+/// of peak cell rates, admitted iff the sum stays within the unit link.
+class PeakPoint final : public PolicyCac {
+ public:
+  explicit PeakPoint(const PointConfig& config)
+      : config_(config), load_(config.out_ports, 0.0) {
+    RTCAC_REQUIRE(config.out_ports >= 1, "PeakPoint: need out ports");
+  }
+
+  [[nodiscard]] double advertised(std::size_t out_port,
+                                  Priority priority) const override {
+    check_port(out_port, config_.out_ports, "PeakPoint");
+    check_port(priority, config_.priorities, "PeakPoint");
+    return config_.advertised_bound;
+  }
+
+  [[nodiscard]] std::any prepare(const TrafficDescriptor& traffic,
+                                 double /*cdv*/) const override {
+    // Peak rates are jitter-invariant: CDV moves cells around but never
+    // raises the contracted peak, so the prepared arrival is just PCR.
+    return std::any(traffic.pcr);
+  }
+
+  [[nodiscard]] HopVerdict check(std::size_t /*in_port*/, std::size_t out_port,
+                                 Priority priority,
+                                 const std::any& arrival) const override {
+    check_port(out_port, config_.out_ports, "PeakPoint");
+    const double pcr = std::any_cast<double>(arrival);
+    HopVerdict verdict;
+    verdict.advertised = advertised(out_port, priority);
+    verdict.bound = 0;  // peak allocation guarantees no delay bound
+    const double total = load_[out_port] + pcr;
+    if (total > 1.0 + kPeakSlack) {
+      std::ostringstream os;
+      os << "peak load " << total << " exceeds capacity";
+      verdict.detail = os.str();
+      return verdict;
+    }
+    verdict.admitted = true;
+    return verdict;
+  }
+
+  void add(ConnectionId id, std::size_t /*in_port*/, std::size_t out_port,
+           Priority priority, const std::any& arrival,
+           double lease_expiry) override {
+    check_port(out_port, config_.out_ports, "PeakPoint");
+    check_port(priority, config_.priorities, "PeakPoint");
+    const double pcr = std::any_cast<double>(arrival);
+    const auto [it, inserted] =
+        records_.emplace(id, Reservation{out_port, pcr, lease_expiry});
+    if (!inserted) {
+      throw std::invalid_argument("PeakPoint: duplicate connection id");
+    }
+    load_[out_port] += pcr;
+  }
+
+  bool remove(ConnectionId id) override {
+    const auto it = records_.find(id);
+    if (it == records_.end()) return false;
+    release(it->second);
+    records_.erase(it);
+    return true;
+  }
+
+  std::size_t remove_many(std::span<const ConnectionId> ids) override {
+    std::size_t removed = 0;
+    for (const ConnectionId id : ids) {
+      if (remove(id)) ++removed;
+    }
+    return removed;
+  }
+
+  [[nodiscard]] bool contains(ConnectionId id) const override {
+    return records_.find(id) != records_.end();
+  }
+
+  bool renew_lease(ConnectionId id, double lease_expiry) override {
+    const auto it = records_.find(id);
+    if (it == records_.end()) return false;
+    it->second.lease_expiry = lease_expiry;
+    return true;
+  }
+
+  bool make_permanent(ConnectionId id) override {
+    return renew_lease(id, SwitchCac::kPermanentLease);
+  }
+
+  std::vector<ConnectionId> reclaim(double now) override {
+    std::vector<ConnectionId> reclaimed;
+    for (auto it = records_.begin(); it != records_.end();) {
+      if (it->second.lease_expiry <= now) {
+        release(it->second);
+        reclaimed.push_back(it->first);
+        it = records_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return reclaimed;
+  }
+
+  [[nodiscard]] std::optional<double> computed_bound(
+      std::size_t out_port, Priority priority) const override {
+    check_port(out_port, config_.out_ports, "PeakPoint");
+    check_port(priority, config_.priorities, "PeakPoint");
+    return 0.0;  // the scheme computes no delay bound at all
+  }
+
+  [[nodiscard]] std::size_t connection_count() const override {
+    return records_.size();
+  }
+
+  [[nodiscard]] bool bandwidth_conserved() const override {
+    for (const double load : load_) {
+      if (load < -kPeakSlack || load > 1.0 + kPeakSlack) return false;
+    }
+    return true;
+  }
+
+  /// Allocated peak bandwidth on an out port (PeakAllocationCac's
+  /// link_load diagnostic).
+  [[nodiscard]] double load(std::size_t out_port) const {
+    check_port(out_port, config_.out_ports, "PeakPoint");
+    return load_[out_port];
+  }
+
+ private:
+  struct Reservation {
+    std::size_t out_port = 0;
+    double pcr = 0;
+    double lease_expiry = SwitchCac::kPermanentLease;
+  };
+
+  void release(const Reservation& r) {
+    load_[r.out_port] -= r.pcr;
+    if (load_[r.out_port] < 0) load_[r.out_port] = 0;  // absorb rounding
+  }
+
+  PointConfig config_;
+  std::vector<double> load_;  ///< per out port
+  std::map<ConnectionId, Reservation> records_;
+};
+
+/// One queueing point under the max-rate baseline: a BurstyEnvelope
+/// aggregate per out port (single service class — priorities share the
+/// aggregate, as in [9]'s basic configuration).
+class MaxRatePoint final : public PolicyCac {
+ public:
+  explicit MaxRatePoint(const PointConfig& config)
+      : config_(config), components_(config.out_ports) {
+    RTCAC_REQUIRE(config.out_ports >= 1, "MaxRatePoint: need out ports");
+    RTCAC_REQUIRE(config.advertised_bound > 0,
+                  "MaxRatePoint: advertised bound must be > 0");
+  }
+
+  [[nodiscard]] double advertised(std::size_t out_port,
+                                  Priority priority) const override {
+    check_port(out_port, config_.out_ports, "MaxRatePoint");
+    check_port(priority, config_.priorities, "MaxRatePoint");
+    return config_.advertised_bound;
+  }
+
+  [[nodiscard]] std::any prepare(const TrafficDescriptor& traffic,
+                                 double cdv) const override {
+    // Upper-bound distortion: the whole early prefix becomes an
+    // instantaneous burst, not clipped by the incoming link rate.
+    return std::any(BurstyEnvelope::from_traffic(traffic).delayed(cdv));
+  }
+
+  [[nodiscard]] HopVerdict check(std::size_t /*in_port*/, std::size_t out_port,
+                                 Priority priority,
+                                 const std::any& arrival) const override {
+    check_port(out_port, config_.out_ports, "MaxRatePoint");
+    const auto& envelope = std::any_cast<const BurstyEnvelope&>(arrival);
+    HopVerdict verdict;
+    verdict.advertised = advertised(out_port, priority);
+    const std::optional<double> bound =
+        aggregate_with(out_port, &envelope).delay_bound();
+    if (!bound.has_value() || *bound > config_.advertised_bound) {
+      std::ostringstream os;
+      os << "bound would be "
+         << (bound.has_value() ? std::to_string(*bound) : "unbounded")
+         << " > advertised " << config_.advertised_bound;
+      verdict.detail = os.str();
+      return verdict;
+    }
+    verdict.admitted = true;
+    verdict.bound = *bound;
+    return verdict;
+  }
+
+  void add(ConnectionId id, std::size_t /*in_port*/, std::size_t out_port,
+           Priority priority, const std::any& arrival,
+           double lease_expiry) override {
+    check_port(out_port, config_.out_ports, "MaxRatePoint");
+    check_port(priority, config_.priorities, "MaxRatePoint");
+    const auto& envelope = std::any_cast<const BurstyEnvelope&>(arrival);
+    const auto [it, inserted] =
+        records_.emplace(id, Reservation{out_port, lease_expiry});
+    if (!inserted) {
+      throw std::invalid_argument("MaxRatePoint: duplicate connection id");
+    }
+    components_[out_port].emplace(id, envelope);
+  }
+
+  bool remove(ConnectionId id) override {
+    const auto it = records_.find(id);
+    if (it == records_.end()) return false;
+    components_[it->second.out_port].erase(id);
+    records_.erase(it);
+    return true;
+  }
+
+  std::size_t remove_many(std::span<const ConnectionId> ids) override {
+    std::size_t removed = 0;
+    for (const ConnectionId id : ids) {
+      if (remove(id)) ++removed;
+    }
+    return removed;
+  }
+
+  [[nodiscard]] bool contains(ConnectionId id) const override {
+    return records_.find(id) != records_.end();
+  }
+
+  bool renew_lease(ConnectionId id, double lease_expiry) override {
+    const auto it = records_.find(id);
+    if (it == records_.end()) return false;
+    it->second.lease_expiry = lease_expiry;
+    return true;
+  }
+
+  bool make_permanent(ConnectionId id) override {
+    return renew_lease(id, SwitchCac::kPermanentLease);
+  }
+
+  std::vector<ConnectionId> reclaim(double now) override {
+    std::vector<ConnectionId> reclaimed;
+    for (auto it = records_.begin(); it != records_.end();) {
+      if (it->second.lease_expiry <= now) {
+        components_[it->second.out_port].erase(it->first);
+        reclaimed.push_back(it->first);
+        it = records_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return reclaimed;
+  }
+
+  [[nodiscard]] std::optional<double> computed_bound(
+      std::size_t out_port, Priority priority) const override {
+    check_port(out_port, config_.out_ports, "MaxRatePoint");
+    check_port(priority, config_.priorities, "MaxRatePoint");
+    if (components_[out_port].empty()) return 0.0;
+    return aggregate_with(out_port, nullptr).delay_bound();
+  }
+
+  [[nodiscard]] std::size_t connection_count() const override {
+    return records_.size();
+  }
+
+ private:
+  struct Reservation {
+    std::size_t out_port = 0;
+    double lease_expiry = SwitchCac::kPermanentLease;
+  };
+
+  [[nodiscard]] BurstyEnvelope aggregate_with(
+      std::size_t out_port, const BurstyEnvelope* extra) const {
+    BurstyEnvelope aggregate;
+    for (const auto& [id, env] : components_[out_port]) {
+      aggregate = aggregate.multiplexed(env);
+    }
+    if (extra != nullptr) aggregate = aggregate.multiplexed(*extra);
+    return aggregate;
+  }
+
+  PointConfig config_;
+  /// Component envelopes per out port, keyed by connection.
+  std::vector<std::map<ConnectionId, BurstyEnvelope>> components_;
+  std::map<ConnectionId, Reservation> records_;
+};
+
+}  // namespace
+
+std::unique_ptr<PolicyCac> PeakCacPolicy::make_point(
+    const PointConfig& config) const {
+  return std::make_unique<PeakPoint>(config);
+}
+
+const PeakCacPolicy& PeakCacPolicy::instance() noexcept {
+  static const PeakCacPolicy policy;
+  return policy;
+}
+
+std::unique_ptr<PolicyCac> MaxRateCacPolicy::make_point(
+    const PointConfig& config) const {
+  return std::make_unique<MaxRatePoint>(config);
+}
+
+const MaxRateCacPolicy& MaxRateCacPolicy::instance() noexcept {
+  static const MaxRateCacPolicy policy;
+  return policy;
+}
+
+const CacPolicy* find_policy(std::string_view name) noexcept {
+  if (name == "bitstream") return &BitstreamCacPolicy::instance();
+  if (name == "peak") return &PeakCacPolicy::instance();
+  if (name == "max_rate") return &MaxRateCacPolicy::instance();
+  return nullptr;
+}
+
+}  // namespace rtcac

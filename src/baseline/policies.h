@@ -1,0 +1,62 @@
+// rtcac/baseline/policies.h
+//
+// The baseline admission schemes of src/baseline/ adapted to the
+// pluggable CacPolicy contract of core/path_eval.h, so every engine
+// (ConnectionManager, SignalingEngine, AdmissionEngine) can run them
+// through the one shared PathEvaluator hop walk and be compared against
+// the paper's bit-stream check on identical traces:
+//
+//   * `peak`     — peak bandwidth allocation (Section 1's strawman): a
+//     queueing point admits iff the summed peak cell rates on the
+//     outgoing port stay within the unit link bandwidth.  The policy
+//     computes no delay bound (verdicts report bound 0); the advertised
+//     bound of the PointConfig is still honored for CDV accumulation so
+//     cross-engine decisions stay identical.
+//
+//   * `max_rate` — the maximum-rate-function baseline of [9]
+//     (baseline/max_rate_cac.h): one BurstyEnvelope aggregate per
+//     outgoing port, upper-bound CDV distortion, no link filtering; a
+//     point admits iff the aggregate's delay bound stays within the
+//     advertised bound.
+//
+// The legacy standalone classes (PeakAllocationCac, MaxRateNetworkCac)
+// delegate to these same points through a PathEvaluator — the walk,
+// rollback and reason formatting live in core/path_eval.*, exactly once.
+
+#pragma once
+
+#include <string_view>
+
+#include "core/path_eval.h"
+
+namespace rtcac {
+
+/// Peak bandwidth allocation per queueing point (sum of PCRs <= 1).
+class PeakCacPolicy final : public CacPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "peak";
+  }
+  [[nodiscard]] std::unique_ptr<PolicyCac> make_point(
+      const PointConfig& config) const override;
+
+  [[nodiscard]] static const PeakCacPolicy& instance() noexcept;
+};
+
+/// Maximum-rate-function admission ([9]) per queueing point.
+class MaxRateCacPolicy final : public CacPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "max_rate";
+  }
+  [[nodiscard]] std::unique_ptr<PolicyCac> make_point(
+      const PointConfig& config) const override;
+
+  [[nodiscard]] static const MaxRateCacPolicy& instance() noexcept;
+};
+
+/// The built-in policy registry: "bitstream", "peak", "max_rate".
+/// Returns nullptr for unknown names.
+[[nodiscard]] const CacPolicy* find_policy(std::string_view name) noexcept;
+
+}  // namespace rtcac

@@ -10,13 +10,31 @@
 
 namespace rtcac {
 
-ConcurrentCac::ConcurrentCac(const std::vector<SwitchCac::Config>& configs) {
+ConcurrentCac::ConcurrentCac(const CacPolicy& policy,
+                             const std::vector<PointConfig>& configs) {
   shards_.reserve(configs.size());
-  for (const SwitchCac::Config& config : configs) {
-    shards_.push_back(std::make_unique<Shard>(config));
-    shards_.back()->cac.prime_caches();
+  for (const PointConfig& config : configs) {
+    shards_.push_back(std::make_unique<Shard>(policy.make_point(config)));
+    shards_.back()->cac->prime();
   }
 }
+
+namespace {
+std::vector<PointConfig> to_point_configs(
+    const std::vector<SwitchCac::Config>& configs) {
+  std::vector<PointConfig> points;
+  points.reserve(configs.size());
+  for (const SwitchCac::Config& config : configs) {
+    points.push_back(PointConfig{config.in_ports, config.out_ports,
+                                 config.priorities, config.advertised_bound});
+  }
+  return points;
+}
+}  // namespace
+
+ConcurrentCac::ConcurrentCac(const std::vector<SwitchCac::Config>& configs)
+    : ConcurrentCac(BitstreamCacPolicy::instance(),
+                    to_point_configs(configs)) {}
 
 ConcurrentCac::Shard& ConcurrentCac::shard_at(std::size_t shard) const {
   if (shard >= shards_.size()) {
@@ -25,11 +43,33 @@ ConcurrentCac::Shard& ConcurrentCac::shard_at(std::size_t shard) const {
   return *shards_[shard];
 }
 
+SwitchCac& ConcurrentCac::bitstream_at(Shard& s) const {
+  SwitchCac* cac = s.cac->bitstream();
+  RTCAC_REQUIRE(cac != nullptr,
+                "ConcurrentCac: Stream-typed API requires the bit-stream "
+                "policy");
+  return *cac;
+}
+
 double ConcurrentCac::advertised(std::size_t shard, std::size_t out_port,
                                  Priority priority) const {
   Shard& s = shard_at(shard);
   const std::shared_lock lock(s.mutex);
-  return s.cac.advertised(out_port, priority);
+  return s.cac->advertised(out_port, priority);
+}
+
+std::any ConcurrentCac::prepare(std::size_t shard,
+                                const TrafficDescriptor& traffic,
+                                double cdv) const {
+  Shard& s = shard_at(shard);
+  const std::shared_lock lock(s.mutex);
+  return s.cac->prepare(traffic, cdv);
+}
+
+HopVerdict ConcurrentCac::check_hop(const HopSpec& hop) const {
+  Shard& s = shard_at(hop.shard);
+  const std::shared_lock lock(s.mutex);
+  return s.cac->check(hop.in_port, hop.out_port, hop.priority, hop.arrival);
 }
 
 ConcurrentCac::CheckResult ConcurrentCac::check(std::size_t shard,
@@ -39,7 +79,7 @@ ConcurrentCac::CheckResult ConcurrentCac::check(std::size_t shard,
                                                 const Stream& arrival) const {
   Shard& s = shard_at(shard);
   const std::shared_lock lock(s.mutex);
-  return s.cac.check(in_port, out_port, priority, arrival);
+  return bitstream_at(s).check(in_port, out_port, priority, arrival);
 }
 
 ConcurrentCac::CheckResult ConcurrentCac::admit(
@@ -48,12 +88,13 @@ ConcurrentCac::CheckResult ConcurrentCac::admit(
     double lease_expiry) {
   Shard& s = shard_at(shard);
   const std::unique_lock lock(s.mutex);
+  SwitchCac& cac = bitstream_at(s);
   // Authoritative re-validation: any speculative check the caller ran
   // under the shared lock may be stale by now.
-  CheckResult result = s.cac.check(in_port, out_port, priority, arrival);
+  CheckResult result = cac.check(in_port, out_port, priority, arrival);
   if (result.admitted) {
-    s.cac.add(id, in_port, out_port, priority, arrival, lease_expiry);
-    s.cac.prime_caches();
+    cac.add(id, in_port, out_port, priority, arrival, lease_expiry);
+    s.cac->prime();
   }
   return result;
 }
@@ -85,7 +126,7 @@ ConcurrentCac::PathResult ConcurrentCac::admit_path(
   result.hops.reserve(hops.size());
   for (std::size_t h = 0; h < hops.size(); ++h) {
     const HopSpec& hop = hops[h];
-    result.hops.push_back(shard_at(hop.shard).cac.check(
+    result.hops.push_back(shard_at(hop.shard).cac->check(
         hop.in_port, hop.out_port, hop.priority, hop.arrival));
     if (!result.hops.back().admitted) {
       result.rejecting_hop = h;
@@ -96,11 +137,11 @@ ConcurrentCac::PathResult ConcurrentCac::admit_path(
     return result;
   }
   for (const HopSpec& hop : hops) {
-    shard_at(hop.shard).cac.add(id, hop.in_port, hop.out_port, hop.priority,
-                                hop.arrival, lease_expiry);
+    shard_at(hop.shard).cac->add(id, hop.in_port, hop.out_port, hop.priority,
+                                 hop.arrival, lease_expiry);
   }
   for (const std::size_t shard : order) {
-    shard_at(shard).cac.prime_caches();
+    shard_at(shard).cac->prime();
   }
   result.admitted = true;
   return result;
@@ -109,8 +150,8 @@ ConcurrentCac::PathResult ConcurrentCac::admit_path(
 bool ConcurrentCac::remove(std::size_t shard, ConnectionId id) {
   Shard& s = shard_at(shard);
   const std::unique_lock lock(s.mutex);
-  const bool removed = s.cac.remove(id);
-  if (removed) s.cac.prime_caches();
+  const bool removed = s.cac->remove(id);
+  if (removed) s.cac->prime();
   return removed;
 }
 
@@ -130,8 +171,8 @@ std::size_t ConcurrentCac::drain_removals() {
     }
     if (batch.empty()) continue;
     const std::unique_lock lock(shard->mutex);
-    removed += shard->cac.remove_many(batch);
-    shard->cac.prime_caches();
+    removed += shard->cac->remove_many(batch);
+    shard->cac->prime();
   }
   return removed;
 }
@@ -149,8 +190,8 @@ std::vector<ConnectionId> ConcurrentCac::reclaim(std::size_t shard,
                                                  double now) {
   Shard& s = shard_at(shard);
   const std::unique_lock lock(s.mutex);
-  std::vector<ConnectionId> reclaimed = s.cac.reclaim(now);
-  if (!reclaimed.empty()) s.cac.prime_caches();
+  std::vector<ConnectionId> reclaimed = s.cac->reclaim(now);
+  if (!reclaimed.empty()) s.cac->prime();
   return reclaimed;
 }
 
@@ -167,26 +208,26 @@ bool ConcurrentCac::renew_lease(std::size_t shard, ConnectionId id,
                                 double lease_expiry) {
   Shard& s = shard_at(shard);
   const std::unique_lock lock(s.mutex);
-  return s.cac.renew_lease(id, lease_expiry);
+  return s.cac->renew_lease(id, lease_expiry);
 }
 
 bool ConcurrentCac::make_permanent(std::size_t shard, ConnectionId id) {
   Shard& s = shard_at(shard);
   const std::unique_lock lock(s.mutex);
-  return s.cac.make_permanent(id);
+  return s.cac->make_permanent(id);
 }
 
 bool ConcurrentCac::contains(std::size_t shard, ConnectionId id) const {
   Shard& s = shard_at(shard);
   const std::shared_lock lock(s.mutex);
-  return s.cac.contains(id);
+  return s.cac->contains(id);
 }
 
 std::size_t ConcurrentCac::connection_count() const {
   std::size_t count = 0;
   for (const auto& shard : shards_) {
     const std::shared_lock lock(shard->mutex);
-    count += shard->cac.connection_count();
+    count += shard->cac->connection_count();
   }
   return count;
 }
@@ -194,7 +235,7 @@ std::size_t ConcurrentCac::connection_count() const {
 bool ConcurrentCac::state_consistent() const {
   for (const auto& shard : shards_) {
     const std::shared_lock lock(shard->mutex);
-    if (!shard->cac.state_consistent()) return false;
+    if (!shard->cac->state_consistent()) return false;
   }
   return true;
 }
@@ -202,7 +243,7 @@ bool ConcurrentCac::state_consistent() const {
 bool ConcurrentCac::bandwidth_conserved() const {
   for (const auto& shard : shards_) {
     const std::shared_lock lock(shard->mutex);
-    if (!shard->cac.bandwidth_conserved()) return false;
+    if (!shard->cac->bandwidth_conserved()) return false;
   }
   return true;
 }
@@ -210,7 +251,7 @@ bool ConcurrentCac::bandwidth_conserved() const {
 bool ConcurrentCac::cache_coherent() const {
   for (const auto& shard : shards_) {
     const std::shared_lock lock(shard->mutex);
-    if (!shard->cac.cache_coherent()) return false;
+    if (!shard->cac->cache_coherent()) return false;
   }
   return true;
 }
@@ -220,11 +261,19 @@ std::optional<double> ConcurrentCac::computed_bound(std::size_t shard,
                                                     Priority priority) const {
   Shard& s = shard_at(shard);
   const std::shared_lock lock(s.mutex);
-  return s.cac.computed_bound(out_port, priority);
+  return s.cac->computed_bound(out_port, priority);
 }
 
 const SwitchCac& ConcurrentCac::shard_state(std::size_t shard) const {
-  return shard_at(shard).cac;
+  Shard& s = shard_at(shard);
+  const SwitchCac* cac = s.cac->bitstream();
+  RTCAC_REQUIRE(cac != nullptr,
+                "ConcurrentCac::shard_state requires the bit-stream policy");
+  return *cac;
+}
+
+const PolicyCac& ConcurrentCac::shard_point(std::size_t shard) const {
+  return *shard_at(shard).cac;
 }
 
 }  // namespace rtcac

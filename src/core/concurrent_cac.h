@@ -4,21 +4,23 @@
 // "Parallel admission").  The paper's CAC is evaluated per switch along a
 // path (§4.1, §4.3): one switch's decision depends only on that switch's
 // own bookkeeping, which makes the network-level admission problem
-// naturally shardable.  ConcurrentCac holds one BasicSwitchCac<double>
-// per shard, each guarded by its own std::shared_mutex:
+// naturally shardable.  ConcurrentCac holds one PolicyCac (the pluggable
+// per-queueing-point admission state of core/path_eval.h; the default is
+// the paper's SwitchCac behind BitstreamCacPolicy) per shard, each
+// guarded by its own std::shared_mutex:
 //
-//   * check() takes the shard's lock *shared*: any number of threads may
-//     evaluate trial admissions against one switch concurrently.  This
-//     is race-free because of the priming invariant — every mutator
-//     fills all of the switch's lazy derived-stream caches
-//     (SwitchCac::prime_caches) before releasing its exclusive lock, so
-//     a reader's check() composes the candidate from *clean* caches and
+//   * check()/check_hop() take the shard's lock *shared*: any number of
+//     threads may evaluate trial admissions against one switch
+//     concurrently.  This is race-free because of the priming invariant
+//     — every mutator fills all of the point's lazy derived caches
+//     (PolicyCac::prime) before releasing its exclusive lock, so a
+//     reader's check composes the candidate from *clean* caches and
 //     never writes the mutable cache members.
 //
 //   * admit()/remove()/reclaim()/drain_removals() take the lock
 //     *exclusive* and re-prime before unlocking.  admit() is the commit
-//     half of a two-phase check-then-commit: callers typically check()
-//     speculatively first (shared lock, in parallel), and admit()
+//     half of a two-phase check-then-commit: callers typically check
+//     speculatively first (shared lock, in parallel), and the commit
 //     re-validates under the exclusive lock, so a stale speculative
 //     check can never over-admit — whatever interleaving happens, every
 //     committed connection passed the full bounds check against the
@@ -34,9 +36,16 @@
 //
 //   * queue_remove()/drain_removals() defer teardown commits so
 //     churn-heavy workloads can batch them: one drain removes a shard's
-//     whole backlog via SwitchCac::remove_many, which rebuilds every
-//     touched S_ia cell once (the PR-3 batched-reclaim machinery)
-//     instead of once per connection.
+//     whole backlog via PolicyCac::remove_many, which (for the paper's
+//     policy) rebuilds every touched S_ia cell once (the PR-3 batched-
+//     reclaim machinery) instead of once per connection.
+//
+// Per-hop arrivals are policy-erased (std::any, built by prepare() under
+// a shared lock and reused across the speculative check and the
+// exclusive-lock re-check + commit), so the generic path pays the
+// arrival construction exactly once per hop — the same economy the
+// Stream-typed fast path always had.  The Stream-typed legacy API
+// remains for bit-stream-policy callers and asserts that policy.
 //
 // Memory visibility: all state written under a shard's exclusive lock
 // (including the mutable caches filled by priming) happens-before any
@@ -49,6 +58,7 @@
 
 #pragma once
 
+#include <any>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -56,6 +66,7 @@
 #include <span>
 #include <vector>
 
+#include "core/path_eval.h"
 #include "core/switch_cac.h"
 
 namespace rtcac {
@@ -66,34 +77,39 @@ class ConcurrentCac {
   using CheckResult = SwitchCac::CheckResult;
 
   /// One queueing point of a multi-shard path: which shard (switch) the
-  /// hop crosses and how the connection is routed through it.
+  /// hop crosses and how the connection is routed through it.  The
+  /// arrival is policy-erased (PolicyCac::prepare / prepare()).
   struct HopSpec {
     std::size_t shard = 0;
     std::size_t in_port = 0;
     std::size_t out_port = 0;
     Priority priority = 0;
-    Stream arrival;
+    std::any arrival;
   };
 
-  /// Verdict of admit_path(): per-hop check results up to (and
-  /// including) the first rejecting hop.  `rejecting_hop` is the index
-  /// into the hop span, or npos when every hop admitted (admission can
-  /// then still fail the caller's acceptance predicate — `admitted`
-  /// alone is authoritative).
+  /// Verdict of admit_path(): per-hop verdicts up to (and including) the
+  /// first rejecting hop.  `rejecting_hop` is the index into the hop
+  /// span, or npos when every hop admitted (admission can then still
+  /// fail the caller's acceptance predicate — `admitted` alone is
+  /// authoritative).
   struct PathResult {
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
     bool admitted = false;
     std::size_t rejecting_hop = npos;
-    std::vector<CheckResult> hops;
+    std::vector<HopVerdict> hops;
   };
 
   /// Caller-supplied acceptance predicate evaluated after every hop
   /// check passed but before anything is committed (e.g. the end-to-end
   /// deadline test).  Returning false rejects without mutating state.
-  using PathAcceptance = bool (*)(const std::vector<CheckResult>&, void*);
+  using PathAcceptance = bool (*)(const std::vector<HopVerdict>&, void*);
 
-  /// One switch shard per config entry; shard ids are indices into
-  /// `configs`.  Every shard starts fully primed.
+  /// One queueing point per config entry, built by `policy`; shard ids
+  /// are indices into `configs`.  Every shard starts fully primed.
+  ConcurrentCac(const CacPolicy& policy,
+                const std::vector<PointConfig>& configs);
+
+  /// Bit-stream-policy convenience: one SwitchCac shard per config.
   explicit ConcurrentCac(const std::vector<SwitchCac::Config>& configs);
 
   ConcurrentCac(const ConcurrentCac&) = delete;
@@ -107,14 +123,24 @@ class ConcurrentCac {
   [[nodiscard]] double advertised(std::size_t shard, std::size_t out_port,
                                   Priority priority) const;
 
+  /// Policy-specific worst-case arrival of `traffic` on `shard` at
+  /// accumulated CDV `cdv` (shared lock; prepare() is pure).
+  [[nodiscard]] std::any prepare(std::size_t shard,
+                                 const TrafficDescriptor& traffic,
+                                 double cdv) const;
+
   /// Trial admission under the shard's shared lock.  Concurrent with
   /// other checks; serialized against commits on the same shard only.
+  [[nodiscard]] HopVerdict check_hop(const HopSpec& hop) const;
+
+  /// Stream-typed trial admission (bit-stream policy only).
   [[nodiscard]] CheckResult check(std::size_t shard, std::size_t in_port,
                                   std::size_t out_port, Priority priority,
                                   const Stream& arrival) const;
 
-  /// Two-phase commit: re-validates the check under the shard's
-  /// exclusive lock and commits only when it (still) passes.
+  /// Two-phase commit (bit-stream policy only): re-validates the check
+  /// under the shard's exclusive lock and commits only when it (still)
+  /// passes.
   CheckResult admit(std::size_t shard, ConnectionId id, std::size_t in_port,
                     std::size_t out_port, Priority priority,
                     const Stream& arrival,
@@ -161,15 +187,20 @@ class ConcurrentCac {
                                                      std::size_t out_port,
                                                      Priority priority) const;
 
-  /// Direct shard access for quiesced inspection (tests, benchmarks).
-  /// NOT synchronized: the caller must guarantee no concurrent writers.
+  /// Direct shard access for quiesced inspection (tests, benchmarks);
+  /// bit-stream policy only.  NOT synchronized: the caller must
+  /// guarantee no concurrent writers.
   [[nodiscard]] const SwitchCac& shard_state(std::size_t shard) const;
+
+  /// Direct policy-state access, same quiescence caveat.
+  [[nodiscard]] const PolicyCac& shard_point(std::size_t shard) const;
 
  private:
   struct Shard {
-    explicit Shard(const SwitchCac::Config& config) : cac(config) {}
+    explicit Shard(std::unique_ptr<PolicyCac> point)
+        : cac(std::move(point)) {}
     mutable std::shared_mutex mutex;
-    SwitchCac cac;
+    std::unique_ptr<PolicyCac> cac;
     // Deferred teardowns; guarded by its own small mutex so producers
     // never contend with in-flight checks on the state lock.
     std::mutex pending_mutex;
@@ -177,6 +208,8 @@ class ConcurrentCac {
   };
 
   [[nodiscard]] Shard& shard_at(std::size_t shard) const;
+  /// The shard's SwitchCac; throws unless it runs the bit-stream policy.
+  [[nodiscard]] SwitchCac& bitstream_at(Shard& s) const;
 
   // unique_ptr: shared_mutex is neither movable nor copyable, and shard
   // addresses must stay stable while locks are held.

@@ -5,13 +5,9 @@
 #include <algorithm>
 #include <limits>
 #include <set>
-#include <sstream>
-#include <stdexcept>
 #include <thread>
 #include <utility>
 
-#include "core/cdv.h"
-#include "core/stream_ops.h"
 #include "util/contract.h"
 
 namespace rtcac {
@@ -23,14 +19,14 @@ constexpr std::size_t kNoHop = ConcurrentCac::PathResult::npos;
 
 /// Same per-switch configs, in the same order, as the ConnectionManager
 /// constructor builds — shard ids must line up with the serial oracle.
-std::vector<SwitchCac::Config> shard_configs(
-    const Topology& topology, const ConnectionManager::Params& params,
-    std::vector<std::size_t>& index_out) {
+std::vector<PointConfig> shard_configs(const Topology& topology,
+                                       const ConnectionManager::Params& params,
+                                       std::vector<std::size_t>& index_out) {
   index_out.assign(topology.node_count(), kNoShard);
-  std::vector<SwitchCac::Config> configs;
+  std::vector<PointConfig> configs;
   for (const NodeInfo& n : topology.nodes()) {
     if (n.kind != NodeKind::kSwitch) continue;
-    SwitchCac::Config cfg;
+    PointConfig cfg;
     cfg.in_ports = topology.in_links(n.id).size() + 1;  // + local port
     cfg.out_ports = topology.out_links(n.id).size();
     cfg.priorities = params.priorities;
@@ -45,21 +41,29 @@ std::vector<SwitchCac::Config> shard_configs(
 /// admit_path acceptance hook implementing the end-to-end deadline
 /// check over the authoritative (exclusive-lock) hop bounds.
 struct DeadlineCtx {
-  GuaranteeMode guarantee;
+  const PathEvaluator* evaluator;
   double e2e_advertised;
   double deadline;
 };
 
-bool deadline_accept(const std::vector<SwitchCheckResult>& hops, void* raw) {
+bool deadline_accept(const std::vector<HopVerdict>& hops, void* raw) {
   const auto* ctx = static_cast<const DeadlineCtx*>(raw);
   double computed = 0;
-  for (const SwitchCheckResult& hop : hops) {
-    computed += hop.bound_at_priority.value();
+  for (const HopVerdict& hop : hops) computed += hop.bound;
+  return ctx->evaluator->deadline_met(computed, ctx->e2e_advertised,
+                                      ctx->deadline);
+}
+
+/// Installs a canonical rejection into a SetupResult, mirroring the
+/// serial manager's handling (reason text = detail; rejecting_node only
+/// for per-hop CAC rejections).
+void apply_reject(ConnectionManager::SetupResult& result, RejectReason reject,
+                  std::span<const HopRef> hops) {
+  if (reject.code == RejectCode::kAdmission && reject.hop < hops.size()) {
+    result.rejecting_node = hops[reject.hop].node;
   }
-  const double promised = ctx->guarantee == GuaranteeMode::kAdvertised
-                              ? ctx->e2e_advertised
-                              : computed;
-  return promised <= ctx->deadline;
+  result.reason = reject.detail;
+  result.reject = std::move(reject);
 }
 
 }  // namespace
@@ -67,9 +71,17 @@ bool deadline_accept(const std::vector<SwitchCheckResult>& hops, void* raw) {
 AdmissionEngine::AdmissionEngine(const Topology& topology,
                                  const Params& params,
                                  std::size_t pipeline_threads)
+    : AdmissionEngine(topology, params, BitstreamCacPolicy::instance(),
+                      pipeline_threads) {}
+
+AdmissionEngine::AdmissionEngine(const Topology& topology,
+                                 const Params& params, const CacPolicy& policy,
+                                 std::size_t pipeline_threads)
     : topology_(topology),
       params_(params),
-      cac_(shard_configs(topology, params, shard_index_)),
+      evaluator_(PathEvaluator::Params{params.priorities, params.cdv_policy,
+                                       params.guarantee}),
+      cac_(policy, shard_configs(topology, params, shard_index_)),
       pool_(pipeline_threads > 0 ? std::make_unique<ThreadPool>(pipeline_threads)
                                  : nullptr) {
   RTCAC_REQUIRE(params_.priorities >= 1,
@@ -114,8 +126,8 @@ BitStream AdmissionEngine::arrival_at_hop(const TrafficDescriptor& traffic,
     upstream.push_back(
         cac_.advertised(shard_of(hops[h].node), hops[h].out_port, priority));
   }
-  const double cdv = accumulate_cdv(params_.cdv_policy, upstream);
-  return delay(traffic.to_bitstream(), cdv);
+  return PathEvaluator::bitstream_arrival(traffic,
+                                          evaluator_.accumulated_cdv(upstream));
 }
 
 AdmissionEngine::PathPlan AdmissionEngine::plan_path(const QosRequest& request,
@@ -123,16 +135,23 @@ AdmissionEngine::PathPlan AdmissionEngine::plan_path(const QosRequest& request,
   PathPlan plan;
   plan.hops = queueing_points(route);
   plan.specs.reserve(plan.hops.size());
-  for (std::size_t h = 0; h < plan.hops.size(); ++h) {
+  std::vector<double> upstream;
+  upstream.reserve(plan.hops.size());
+  for (const HopRef& hop : plan.hops) {
     ConcurrentCac::HopSpec spec;
-    spec.shard = shard_of(plan.hops[h].node);
-    spec.in_port = plan.hops[h].in_port;
-    spec.out_port = plan.hops[h].out_port;
+    spec.shard = shard_of(hop.node);
+    spec.in_port = hop.in_port;
+    spec.out_port = hop.out_port;
     spec.priority = request.priority;
-    spec.arrival =
-        arrival_at_hop(request.traffic, plan.hops, h, request.priority);
-    plan.e2e_advertised +=
+    // The upstream advertised bounds are fixed, so the prepared arrival
+    // (policy-specific Alg. 3.1 distortion) is built once per hop and
+    // reused by both admission phases.
+    spec.arrival = cac_.prepare(spec.shard, request.traffic,
+                                evaluator_.accumulated_cdv(upstream));
+    const double adv =
         cac_.advertised(spec.shard, spec.out_port, request.priority);
+    plan.e2e_advertised += adv;
+    upstream.push_back(adv);
     plan.specs.push_back(std::move(spec));
   }
   return plan;
@@ -140,7 +159,7 @@ AdmissionEngine::PathPlan AdmissionEngine::plan_path(const QosRequest& request,
 
 std::size_t AdmissionEngine::speculative_checks(
     const std::vector<ConcurrentCac::HopSpec>& specs,
-    std::vector<SwitchCheckResult>& results) const {
+    std::vector<HopVerdict>& results) const {
   results.resize(specs.size());
   if (pool_ != nullptr && pool_->size() > 0 && specs.size() > 1) {
     // Pipeline mode: the path's per-switch checks run concurrently,
@@ -148,9 +167,7 @@ std::size_t AdmissionEngine::speculative_checks(
     std::atomic<std::size_t> remaining{specs.size()};
     for (std::size_t h = 0; h < specs.size(); ++h) {
       pool_->submit([this, &specs, &results, &remaining, h] {
-        const ConcurrentCac::HopSpec& spec = specs[h];
-        results[h] = cac_.check(spec.shard, spec.in_port, spec.out_port,
-                                spec.priority, spec.arrival);
+        results[h] = cac_.check_hop(specs[h]);
         remaining.fetch_sub(1, std::memory_order_release);
       });
     }
@@ -159,9 +176,7 @@ std::size_t AdmissionEngine::speculative_checks(
     }
   } else {
     for (std::size_t h = 0; h < specs.size(); ++h) {
-      const ConcurrentCac::HopSpec& spec = specs[h];
-      results[h] = cac_.check(spec.shard, spec.in_port, spec.out_port,
-                              spec.priority, spec.arrival);
+      results[h] = cac_.check_hop(specs[h]);
     }
   }
   for (std::size_t h = 0; h < specs.size(); ++h) {
@@ -170,32 +185,12 @@ std::size_t AdmissionEngine::speculative_checks(
   return kNoHop;
 }
 
-namespace {
-
-void fill_hop_rejection(ConnectionManager::SetupResult& result,
-                        const Topology& topology, NodeId node,
-                        const std::string& why) {
-  result.rejecting_node = node;
-  std::ostringstream os;
-  os << "rejected at " << topology.node(node).name << ": " << why;
-  result.reason = os.str();
-}
-
-void fill_deadline_rejection(ConnectionManager::SetupResult& result,
-                             double promised, double deadline) {
-  std::ostringstream os;
-  os << "end-to-end bound " << promised << " exceeds deadline " << deadline;
-  result.reason = os.str();
-}
-
-}  // namespace
-
 AdmissionEngine::SetupResult AdmissionEngine::do_setup(
     const QosRequest& request, const Route& route, double lease_expiry) {
   SetupResult result;
   request.traffic.validate();
-  if (request.priority >= params_.priorities) {
-    result.reason = "priority out of range";
+  if (!evaluator_.priority_valid(request.priority)) {
+    apply_reject(result, PathEvaluator::priority_rejection(), {});
     return result;
   }
 
@@ -203,19 +198,24 @@ AdmissionEngine::SetupResult AdmissionEngine::do_setup(
 
   // Phase one: speculative checks under shared locks (parallel across
   // shards in pipeline mode).  A rejection here commits nothing.
-  std::vector<SwitchCheckResult> speculative;
+  std::vector<HopVerdict> speculative;
   const std::size_t rejecting = speculative_checks(plan.specs, speculative);
   if (rejecting != kNoHop) {
-    fill_hop_rejection(result, topology_, plan.hops[rejecting].node,
-                       speculative[rejecting].reason);
+    apply_reject(result,
+                 PathEvaluator::hop_rejection(
+                     rejecting, topology_.node(plan.hops[rejecting].node).name,
+                     speculative[rejecting].detail),
+                 plan.hops);
     return result;
   }
 
   if (plan.specs.empty()) {
     // Routes without queueing points carry a vacuous zero bound, like
     // the serial manager's empty hop walk.
-    if (0 > request.deadline) {
-      fill_deadline_rejection(result, 0, request.deadline);
+    RejectReason deadline =
+        evaluator_.deadline_rejection(0, 0.0, 0.0, request.deadline);
+    if (deadline.rejected()) {
+      apply_reject(result, std::move(deadline), plan.hops);
       return result;
     }
     const ConnectionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
@@ -229,32 +229,35 @@ AdmissionEngine::SetupResult AdmissionEngine::do_setup(
   // Phase two: authoritative re-check + commit under exclusive locks in
   // canonical shard order.  The id is burned if the re-check rejects.
   const ConnectionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  DeadlineCtx ctx{params_.guarantee, plan.e2e_advertised, request.deadline};
+  DeadlineCtx ctx{&evaluator_, plan.e2e_advertised, request.deadline};
   const ConcurrentCac::PathResult path =
       cac_.admit_path(plan.specs, id, lease_expiry, &deadline_accept, &ctx);
 
   if (!path.admitted) {
     if (path.rejecting_hop != kNoHop) {
-      fill_hop_rejection(result, topology_,
-                         plan.hops[path.rejecting_hop].node,
-                         path.hops[path.rejecting_hop].reason);
+      apply_reject(
+          result,
+          PathEvaluator::hop_rejection(
+              path.rejecting_hop,
+              topology_.node(plan.hops[path.rejecting_hop].node).name,
+              path.hops[path.rejecting_hop].detail),
+          plan.hops);
     } else {
       // Every hop admitted; the deadline predicate said no.
       double computed = 0;
-      for (const SwitchCheckResult& hop : path.hops) {
-        computed += hop.bound_at_priority.value();
-      }
-      const double promised = params_.guarantee == GuaranteeMode::kAdvertised
-                                  ? plan.e2e_advertised
-                                  : computed;
-      fill_deadline_rejection(result, promised, request.deadline);
+      for (const HopVerdict& hop : path.hops) computed += hop.bound;
+      apply_reject(result,
+                   evaluator_.deadline_rejection(plan.hops.size(), computed,
+                                                 plan.e2e_advertised,
+                                                 request.deadline),
+                   plan.hops);
     }
     return result;
   }
 
-  for (const SwitchCheckResult& hop : path.hops) {
-    result.hop_bounds.push_back(hop.bound_at_priority.value());
-    result.e2e_bound_at_setup += hop.bound_at_priority.value();
+  for (const HopVerdict& hop : path.hops) {
+    result.hop_bounds.push_back(hop.bound);
+    result.e2e_bound_at_setup += hop.bound;
   }
   result.e2e_advertised = plan.e2e_advertised;
   result.accepted = true;
@@ -276,33 +279,36 @@ AdmissionEngine::SetupResult AdmissionEngine::check(const QosRequest& request,
                                                     const Route& route) const {
   SetupResult result;
   request.traffic.validate();
-  if (request.priority >= params_.priorities) {
-    result.reason = "priority out of range";
+  if (!evaluator_.priority_valid(request.priority)) {
+    apply_reject(result, PathEvaluator::priority_rejection(), {});
     return result;
   }
 
   const PathPlan plan = plan_path(request, route);
-  std::vector<SwitchCheckResult> speculative;
+  std::vector<HopVerdict> speculative;
   const std::size_t rejecting = speculative_checks(plan.specs, speculative);
   if (rejecting != kNoHop) {
-    fill_hop_rejection(result, topology_, plan.hops[rejecting].node,
-                       speculative[rejecting].reason);
+    apply_reject(result,
+                 PathEvaluator::hop_rejection(
+                     rejecting, topology_.node(plan.hops[rejecting].node).name,
+                     speculative[rejecting].detail),
+                 plan.hops);
     return result;
   }
 
-  for (const SwitchCheckResult& hop : speculative) {
-    result.hop_bounds.push_back(hop.bound_at_priority.value());
-    result.e2e_bound_at_setup += hop.bound_at_priority.value();
+  for (const HopVerdict& hop : speculative) {
+    result.hop_bounds.push_back(hop.bound);
+    result.e2e_bound_at_setup += hop.bound;
   }
   result.e2e_advertised = plan.e2e_advertised;
-  const double promised = params_.guarantee == GuaranteeMode::kAdvertised
-                              ? result.e2e_advertised
-                              : result.e2e_bound_at_setup;
-  if (promised > request.deadline) {
-    fill_deadline_rejection(result, promised, request.deadline);
+  RejectReason deadline = evaluator_.deadline_rejection(
+      plan.hops.size(), result.e2e_bound_at_setup, plan.e2e_advertised,
+      request.deadline);
+  if (deadline.rejected()) {
     result.hop_bounds.clear();
     result.e2e_bound_at_setup = 0;
     result.e2e_advertised = 0;
+    apply_reject(result, std::move(deadline), plan.hops);
     return result;
   }
   result.accepted = true;
@@ -384,17 +390,19 @@ AdmissionEngine::OpOutcome AdmissionEngine::run_trace_op(
   OpOutcome outcome;
   switch (op.kind) {
     case TraceOp::Kind::kCheck: {
-      const SetupResult r = check(op.request, op.route);
+      SetupResult r = check(op.request, op.route);
       outcome.accepted = r.accepted;
-      outcome.reason = r.reason;
+      outcome.reason = std::move(r.reason);
+      outcome.reject = std::move(r.reject);
       break;
     }
     case TraceOp::Kind::kSetup: {
-      const SetupResult r = do_setup(op.request, op.route,
-                                     SwitchCac::kPermanentLease);
+      SetupResult r = do_setup(op.request, op.route,
+                               SwitchCac::kPermanentLease);
       ids_by_op[index] = r.accepted ? r.id : kInvalidConnection;
       outcome.accepted = r.accepted;
-      outcome.reason = r.reason;
+      outcome.reason = std::move(r.reason);
+      outcome.reject = std::move(r.reject);
       break;
     }
     case TraceOp::Kind::kTeardown: {

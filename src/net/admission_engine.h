@@ -26,6 +26,12 @@
 //     drain applies each shard's backlog as a single batched
 //     remove_many (PR 3's rebuild-once machinery).
 //
+//   * the admission policy is pluggable (core/path_eval.h CacPolicy):
+//     the same sharded two-phase machinery runs the paper's bit-stream
+//     check, peak allocation, or the max-rate baseline, because hop
+//     arrivals are policy-erased (prepare() once per hop, reused by the
+//     speculative check and the exclusive-lock re-check + commit).
+//
 //   * replay() executes a recorded operation trace on N threads with
 //     decisions *identical* to a serial replay: per-shard ticket
 //     counters hold every operation back until exactly the trace-order
@@ -78,6 +84,10 @@ class AdmissionEngine {
   /// may invoke setup/check/teardown concurrently.
   AdmissionEngine(const Topology& topology, const Params& params,
                   std::size_t pipeline_threads = 0);
+  /// Explicit admission policy (stateless factory, used only during
+  /// construction).
+  AdmissionEngine(const Topology& topology, const Params& params,
+                  const CacPolicy& policy, std::size_t pipeline_threads = 0);
 
   AdmissionEngine(const AdmissionEngine&) = delete;
   AdmissionEngine& operator=(const AdmissionEngine&) = delete;
@@ -164,6 +174,7 @@ class AdmissionEngine {
   struct OpOutcome {
     bool accepted = false;
     std::string reason;  ///< setup reasons; empty otherwise
+    RejectReason reject;  ///< canonical rejection for check/setup ops
   };
 
   /// Executes `trace` on `threads` workers (0 or 1 = serial) with the
@@ -187,7 +198,7 @@ class AdmissionEngine {
   /// hop (kNoTarget when all admit) and fills `results`.
   std::size_t speculative_checks(
       const std::vector<ConcurrentCac::HopSpec>& specs,
-      std::vector<SwitchCheckResult>& results) const;
+      std::vector<HopVerdict>& results) const;
 
   SetupResult do_setup(const QosRequest& request, const Route& route,
                        double lease_expiry);
@@ -197,6 +208,7 @@ class AdmissionEngine {
 
   const Topology& topology_;
   Params params_;
+  PathEvaluator evaluator_;
   std::vector<std::size_t> shard_index_;  ///< per node; npos for terminals
   ConcurrentCac cac_;
   mutable std::unique_ptr<ThreadPool> pool_;  ///< pipeline mode; may be null

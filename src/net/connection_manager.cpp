@@ -2,10 +2,9 @@
 
 #include <limits>
 #include <set>
-#include <sstream>
 #include <stdexcept>
+#include <utility>
 
-#include "core/stream_ops.h"
 #include "util/contract.h"
 #include "util/log.h"
 
@@ -29,33 +28,58 @@ const char* to_string(TeardownReason reason) noexcept {
 
 ConnectionManager::ConnectionManager(const Topology& topology,
                                      const Params& params)
-    : topology_(topology), params_(params) {
+    : ConnectionManager(topology, params, BitstreamCacPolicy::instance()) {}
+
+ConnectionManager::ConnectionManager(const Topology& topology,
+                                     const Params& params,
+                                     const CacPolicy& policy)
+    : topology_(topology),
+      params_(params),
+      evaluator_(PathEvaluator::Params{params.priorities, params.cdv_policy,
+                                       params.guarantee}),
+      policy_name_(policy.name()) {
   RTCAC_REQUIRE(params_.priorities >= 1,
                 "ConnectionManager: priorities must be >= 1");
   cac_index_.assign(topology_.node_count(), kNoCac);
   for (const NodeInfo& n : topology_.nodes()) {
     if (n.kind != NodeKind::kSwitch) continue;
-    SwitchCac::Config cfg;
+    PointConfig cfg;
     cfg.in_ports = topology_.in_links(n.id).size() + 1;  // + local port
     cfg.out_ports = topology_.out_links(n.id).size();
     cfg.priorities = params_.priorities;
     cfg.advertised_bound = params_.advertised_bound;
     if (cfg.out_ports == 0) continue;  // sink-only switch: nothing to admit
     cac_index_[n.id] = cacs_.size();
-    cacs_.emplace_back(cfg);
+    cacs_.push_back(policy.make_point(cfg));
   }
 }
 
-SwitchCac& ConnectionManager::switch_cac(NodeId node) {
+PolicyCac& ConnectionManager::policy_point(NodeId node) {
   RTCAC_REQUIRE(node < cac_index_.size() && cac_index_[node] != kNoCac,
                 "ConnectionManager: node has no CAC state (terminal or sink)");
-  return cacs_[cac_index_[node]];
+  return *cacs_[cac_index_[node]];
+}
+
+const PolicyCac& ConnectionManager::policy_point(NodeId node) const {
+  RTCAC_REQUIRE(node < cac_index_.size() && cac_index_[node] != kNoCac,
+                "ConnectionManager: node has no CAC state (terminal or sink)");
+  return *cacs_[cac_index_[node]];
+}
+
+SwitchCac& ConnectionManager::switch_cac(NodeId node) {
+  SwitchCac* cac = policy_point(node).bitstream();
+  RTCAC_REQUIRE(cac != nullptr,
+                "ConnectionManager: switch_cac requires the bit-stream "
+                "policy");
+  return *cac;
 }
 
 const SwitchCac& ConnectionManager::switch_cac(NodeId node) const {
-  RTCAC_REQUIRE(node < cac_index_.size() && cac_index_[node] != kNoCac,
-                "ConnectionManager: node has no CAC state (terminal or sink)");
-  return cacs_[cac_index_[node]];
+  const SwitchCac* cac = policy_point(node).bitstream();
+  RTCAC_REQUIRE(cac != nullptr,
+                "ConnectionManager: switch_cac requires the bit-stream "
+                "policy");
+  return *cac;
 }
 
 std::vector<HopRef> ConnectionManager::queueing_points(
@@ -79,90 +103,100 @@ std::vector<HopRef> ConnectionManager::queueing_points(
   return hops;
 }
 
+std::vector<PathEvaluator::Hop> ConnectionManager::eval_hops(
+    std::span<const HopRef> hops) const {
+  std::vector<PathEvaluator::Hop> views;
+  views.reserve(hops.size());
+  for (const HopRef& hop : hops) {
+    PathEvaluator::Hop view;
+    // The evaluator only mutates a hop through commit_hop(); the const
+    // driver paths (check, arrival_at_hop) never call it.
+    view.cac = const_cast<PolicyCac*>(&policy_point(hop.node));
+    view.in_port = hop.in_port;
+    view.out_port = hop.out_port;
+    view.name = topology_.node(hop.node).name;
+    views.push_back(view);
+  }
+  return views;
+}
+
 BitStream ConnectionManager::arrival_at_hop(const TrafficDescriptor& traffic,
                                             std::span<const HopRef> hops,
                                             std::size_t hop_index,
                                             Priority priority) const {
   RTCAC_REQUIRE(hop_index <= hops.size(),
                 "arrival_at_hop: hop index out of range");
-  std::vector<double> upstream;
-  upstream.reserve(hop_index);
-  for (std::size_t h = 0; h < hop_index; ++h) {
-    upstream.push_back(
-        switch_cac(hops[h].node).advertised(hops[h].out_port, priority));
-  }
-  const double cdv = accumulate_cdv(params_.cdv_policy, upstream);
-  return delay(traffic.to_bitstream(), cdv);
+  const std::vector<PathEvaluator::Hop> views = eval_hops(hops);
+  return PathEvaluator::bitstream_arrival(
+      traffic, evaluator_.cdv_before(views, hop_index, priority));
 }
+
+namespace {
+
+/// Applies a PathEvaluator decision to the engine-facing SetupResult.
+void apply_decision(ConnectionManager::SetupResult& result,
+                    const PathEvaluator::Decision& decision,
+                    std::span<const HopRef> hops) {
+  result.reject = decision.reject;
+  result.reason = decision.reject.detail;
+  if (decision.reject.code == RejectCode::kAdmission &&
+      decision.reject.hop < hops.size()) {
+    result.rejecting_node = hops[decision.reject.hop].node;
+  }
+  result.hop_bounds = decision.hop_bounds;
+  result.e2e_bound_at_setup = decision.e2e_bound;
+  result.e2e_advertised = decision.e2e_advertised;
+  result.accepted = decision.admitted;
+}
+
+}  // namespace
 
 ConnectionManager::SetupResult ConnectionManager::setup(
     const QosRequest& request, const Route& route) {
   SetupResult result;
   request.traffic.validate();
-  if (request.priority >= params_.priorities) {
-    result.reason = "priority out of range";
+  // Priority gate first, as the historical walk did: an out-of-range
+  // priority rejects even when the route itself is malformed.
+  if (!evaluator_.priority_valid(request.priority)) {
+    result.reject = PathEvaluator::priority_rejection();
+    result.reason = result.reject.detail;
     return result;
   }
-
   const std::vector<HopRef> hops = queueing_points(route);
-  const ConnectionId id = next_id_;
+  const std::vector<PathEvaluator::Hop> views = eval_hops(hops);
 
-  // Walk the route as the SETUP message would, committing hop by hop and
-  // rolling back on the first rejection.
-  std::size_t committed = 0;
-  for (std::size_t h = 0; h < hops.size(); ++h) {
-    SwitchCac& cac = switch_cac(hops[h].node);
-    const BitStream arrival =
-        arrival_at_hop(request.traffic, hops, h, request.priority);
-    const SwitchCheckResult check =
-        cac.check(hops[h].in_port, hops[h].out_port, request.priority,
-                  arrival);
-    if (!check.admitted) {
-      result.rejecting_node = hops[h].node;
-      std::ostringstream os;
-      os << "rejected at " << topology_.node(hops[h].node).name << ": "
-         << check.reason;
-      result.reason = os.str();
-      break;
-    }
-    cac.add(id, hops[h].in_port, hops[h].out_port, request.priority, arrival);
-    ++committed;
-    // check.bound_at_priority always has a value when admitted (an
-    // unbounded result is rejected inside check()).
-    result.hop_bounds.push_back(check.bound_at_priority.value());
-    result.e2e_bound_at_setup += check.bound_at_priority.value();
-    result.e2e_advertised +=
-        cac.advertised(hops[h].out_port, request.priority);
-  }
-
-  // Deadline check under the configured guarantee semantics.
-  if (result.reason.empty()) {
-    const double promised = params_.guarantee == GuaranteeMode::kAdvertised
-                                ? result.e2e_advertised
-                                : result.e2e_bound_at_setup;
-    if (promised > request.deadline) {
-      std::ostringstream os;
-      os << "end-to-end bound " << promised << " exceeds deadline "
-         << request.deadline;
-      result.reason = os.str();
-    }
-  }
-
-  if (!result.reason.empty()) {
-    for (std::size_t h = 0; h < committed; ++h) {
-      switch_cac(hops[h].node).remove(id);
-    }
-    result.hop_bounds.clear();
-    result.e2e_bound_at_setup = 0;
-    result.e2e_advertised = 0;
+  // The shared walk evaluates every hop against the current state and
+  // only then commits.  Decision-identical to the historical interleaved
+  // check/add walk: the hops reserve on distinct switches, so no hop's
+  // check could ever see another hop's commit of the same connection.
+  PathEvaluator::Decision decision = evaluator_.evaluate(views, request);
+  apply_decision(result, decision, hops);
+  if (!result.accepted) {
     RTCAC_DEBUG << "setup failed: " << result.reason;
     return result;
   }
 
-  result.accepted = true;
+  const ConnectionId id = next_id_;
+  evaluator_.commit(views, id, request, decision.arrivals,
+                    SwitchCac::kPermanentLease);
   result.id = id;
   next_id_++;
   records_.emplace(id, ConnectionRecord{request, route, hops});
+  return result;
+}
+
+ConnectionManager::SetupResult ConnectionManager::check(
+    const QosRequest& request, const Route& route) const {
+  SetupResult result;
+  request.traffic.validate();
+  if (!evaluator_.priority_valid(request.priority)) {
+    result.reject = PathEvaluator::priority_rejection();
+    result.reason = result.reject.detail;
+    return result;
+  }
+  const std::vector<HopRef> hops = queueing_points(route);
+  const std::vector<PathEvaluator::Hop> views = eval_hops(hops);
+  apply_decision(result, evaluator_.evaluate(views, request), hops);
   return result;
 }
 
@@ -170,13 +204,14 @@ void ConnectionManager::adopt(ConnectionId id, ConnectionRecord record) {
   RTCAC_REQUIRE(!records_.contains(id),
                 "ConnectionManager: duplicate adopted id");
   for (const HopRef& hop : record.hops) {
-    RTCAC_ASSERT(switch_cac(hop.node).contains(id),
+    PolicyCac& cac = policy_point(hop.node);
+    RTCAC_ASSERT(cac.contains(id),
                  "ConnectionManager: adopted connection " +
                      std::to_string(id) + " holds no reservation at " +
                      topology_.node(hop.node).name);
     // CONNECTED confirmed the route end to end; the reservations stop
     // being provisional and outlive any setup lease.
-    switch_cac(hop.node).make_permanent(id);
+    cac.make_permanent(id);
   }
   records_.emplace(id, std::move(record));
 }
@@ -189,7 +224,7 @@ bool ConnectionManager::teardown(ConnectionId id, TeardownReason reason) {
   const auto it = records_.find(id);
   if (it == records_.end()) return false;
   for (const HopRef& hop : it->second.hops) {
-    switch_cac(hop.node).remove(id);
+    policy_point(hop.node).remove(id);
   }
   records_.erase(it);
   ++teardowns_[reason];
@@ -204,8 +239,8 @@ std::size_t ConnectionManager::teardowns(TeardownReason reason) const {
 ConnectionManager::ReclaimResult ConnectionManager::reclaim(double now) {
   ReclaimResult result;
   std::set<ConnectionId> orphans;
-  for (SwitchCac& cac : cacs_) {
-    for (const ConnectionId id : cac.reclaim(now)) {
+  for (const auto& cac : cacs_) {
+    for (const ConnectionId id : cac->reclaim(now)) {
       // Adopted connections are permanent; an expired lease can only
       // belong to a setup attempt that never completed.
       RTCAC_ASSERT(!records_.contains(id),
@@ -226,7 +261,7 @@ std::optional<double> ConnectionManager::current_e2e_bound(
   if (it == records_.end()) return std::nullopt;
   double total = 0;
   for (const HopRef& hop : it->second.hops) {
-    const auto bound = switch_cac(hop.node).computed_bound(
+    const auto bound = policy_point(hop.node).computed_bound(
         hop.out_port, it->second.request.priority);
     if (!bound.has_value()) return std::nullopt;
     total += *bound;

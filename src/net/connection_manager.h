@@ -7,11 +7,13 @@
 // distributed SETUP procedure would (signaling.h drives the same state
 // machine message-by-message).
 //
-// Per hop, the connection's worst-case arrival stream is its source
-// envelope distorted by the CDV accumulated over upstream queueing points
-// (accumulate_cdv over the *advertised* per-hop bounds — fixed regardless
-// of load, the paper's no-iteration property).  The switch check then
-// verifies the computed worst-case bounds stay within the advertised ones.
+// The walk itself — per-hop arrival construction under accumulated CDV,
+// the admission query, and the GuaranteeMode deadline split — is the
+// shared core/path_eval.h PathEvaluator; this class is a thin serial
+// driver that owns one PolicyCac per switch and feeds the evaluator.
+// The admission policy is pluggable (CacPolicy): the default is the
+// paper's bit-stream check (SwitchCac); baseline/policies.h provides
+// `peak` and `max_rate` for comparison workloads.
 //
 // End-to-end deadline semantics are selectable:
 //   * GuaranteeMode::kAdvertised — sum of advertised hop bounds must meet
@@ -26,18 +28,18 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/cdv.h"
 #include "core/connection.h"
+#include "core/path_eval.h"
 #include "core/switch_cac.h"
 #include "net/topology.h"
 
 namespace rtcac {
-
-enum class GuaranteeMode { kAdvertised, kComputed };
 
 /// Why a connection's reservations were released (diagnostics counters).
 enum class TeardownReason {
@@ -72,6 +74,9 @@ class ConnectionManager {
     bool accepted = false;
     ConnectionId id = kInvalidConnection;
     std::string reason;                   ///< empty when accepted
+    /// Canonical machine-readable rejection (core/path_eval.h); reason
+    /// always equals reject.detail.
+    RejectReason reject;
     std::optional<NodeId> rejecting_node; ///< switch that said no, if any
     /// Computed worst-case bound at each queueing point, at setup time.
     std::vector<double> hop_bounds;
@@ -79,15 +84,26 @@ class ConnectionManager {
     double e2e_advertised = 0;      ///< sum of advertised hop bounds
   };
 
+  /// Bit-stream (paper Alg. 4.1) policy.
   ConnectionManager(const Topology& topology, const Params& params);
+  /// Explicit admission policy; `policy` is only used during
+  /// construction (it is a stateless factory).
+  ConnectionManager(const Topology& topology, const Params& params,
+                    const CacPolicy& policy);
 
   ConnectionManager(const ConnectionManager&) = delete;
   ConnectionManager& operator=(const ConnectionManager&) = delete;
 
   /// Admits (or rejects) a connection over `route`.  On success the state
-  /// of every switch on the route is updated; on failure all partial
-  /// updates are rolled back and `reason` explains the rejection.
+  /// of every switch on the route is updated; on failure nothing is
+  /// committed and `reason`/`reject` explain the rejection.
   SetupResult setup(const QosRequest& request, const Route& route);
+
+  /// The same decision setup() would make right now, committing nothing
+  /// (result.id stays kInvalidConnection).  The serial oracle the
+  /// equivalence suite and the parallel benchmark gate replay against.
+  [[nodiscard]] SetupResult check(const QosRequest& request,
+                                  const Route& route) const;
 
   /// Releases a connection, restoring every switch's state.  Returns
   /// false for an unknown id.  The reason-tagged variant feeds the
@@ -118,7 +134,8 @@ class ConnectionManager {
   [[nodiscard]] std::vector<HopRef> queueing_points(const Route& route) const;
 
   /// Worst-case arrival stream the connection presents at queueing point
-  /// `hop_index` of `hops` (CDV-distorted per the configured policy).
+  /// `hop_index` of `hops` (CDV-distorted per the configured policy,
+  /// bit-stream representation regardless of the admission policy).
   [[nodiscard]] BitStream arrival_at_hop(const TrafficDescriptor& traffic,
                                          std::span<const HopRef> hops,
                                          std::size_t hop_index,
@@ -130,9 +147,24 @@ class ConnectionManager {
   [[nodiscard]] std::optional<double> current_e2e_bound(ConnectionId id) const;
 
   /// Per-switch CAC state (advertised-bound tuning, diagnostics).  Throws
-  /// std::invalid_argument for a terminal node.
+  /// std::invalid_argument for a terminal node, and (via RTCAC_REQUIRE)
+  /// when the configured policy is not the bit-stream one.
   [[nodiscard]] SwitchCac& switch_cac(NodeId node);
   [[nodiscard]] const SwitchCac& switch_cac(NodeId node) const;
+
+  /// Policy-agnostic per-switch admission state.
+  [[nodiscard]] PolicyCac& policy_point(NodeId node);
+  [[nodiscard]] const PolicyCac& policy_point(NodeId node) const;
+
+  /// The shared hop-walk evaluator (used by SignalingEngine to evaluate
+  /// SETUP hops with identical semantics).
+  [[nodiscard]] const PathEvaluator& evaluator() const noexcept {
+    return evaluator_;
+  }
+
+  [[nodiscard]] const std::string& policy_name() const noexcept {
+    return policy_name_;
+  }
 
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] const Params& params() const noexcept { return params_; }
@@ -162,12 +194,19 @@ class ConnectionManager {
   /// lease refresh the CONNECTED confirmation implies.
   void adopt(ConnectionId id, ConnectionRecord record);
 
+  /// PathEvaluator views of a route's queueing points (hop names point
+  /// into the topology and stay valid for its lifetime).
+  [[nodiscard]] std::vector<PathEvaluator::Hop> eval_hops(
+      std::span<const HopRef> hops) const;
+
  private:
   const Topology& topology_;
   Params params_;
+  PathEvaluator evaluator_;
+  std::string policy_name_;
   /// Index into cacs_ per node; npos for terminals.
   std::vector<std::size_t> cac_index_;
-  std::vector<SwitchCac> cacs_;
+  std::vector<std::unique_ptr<PolicyCac>> cacs_;
   std::map<ConnectionId, ConnectionRecord> records_;
   std::map<TeardownReason, std::size_t> teardowns_;
   std::size_t orphans_reclaimed_ = 0;

@@ -73,7 +73,7 @@ struct SignalingReport {
   std::size_t released_hops = 0;
   std::size_t lost_to_faults = 0;
   std::size_t orphans_reclaimed = 0;
-  std::map<RejectReason, std::size_t> rejects_by_reason;
+  std::map<RejectCode, std::size_t> rejects_by_reason;
   std::map<TeardownReason, std::size_t> teardowns;
 
   /// Fraction of resolved attempts that connected (1 when none resolved).

@@ -23,26 +23,12 @@ const char* to_string(SignalingMessageType type) noexcept {
   return "?";
 }
 
-const char* to_string(RejectReason reason) noexcept {
-  switch (reason) {
-    case RejectReason::kNone:
-      return "none";
-    case RejectReason::kAdmission:
-      return "admission";
-    case RejectReason::kDeadline:
-      return "deadline";
-    case RejectReason::kTimeout:
-      return "timeout";
-  }
-  return "?";
-}
-
 std::string to_string(const SignalingMessage& m) {
   std::ostringstream os;
   os << to_string(m.type) << " conn=" << m.id << " at=" << m.at
      << " hop=" << m.hop_index;
   if (m.attempt > 0) os << " attempt=" << m.attempt;
-  if (!m.reason.empty()) os << " (" << m.reason << ")";
+  if (!m.reject.detail.empty()) os << " (" << m.reject.detail << ")";
   return os.str();
 }
 
@@ -71,6 +57,7 @@ ConnectionId SignalingEngine::initiate(const QosRequest& request,
   flight.request = request;
   flight.route = route;
   flight.hops = manager_.queueing_points(route);
+  flight.eval_hops = manager_.eval_hops(flight.hops);
   flight.hop_states.assign(flight.hops.size(), HopState{});
   flight.rto = timers_.setup_rto;
   flight.source = nodes.front();
@@ -183,11 +170,13 @@ void SignalingEngine::process_setup(const SignalingMessage& m) {
       bound_sum += hs.bound;
       advertised_sum += hs.advertised;
     }
-    const double promised =
-        manager_.params().guarantee == GuaranteeMode::kAdvertised
-            ? advertised_sum
-            : bound_sum;
-    if (promised > flight.request.deadline) {
+    // The shared deadline split (core/path_eval.h) under the manager's
+    // GuaranteeMode — identical comparison and reason text to the serial
+    // walk.
+    RejectReason deadline = manager_.evaluator().deadline_rejection(
+        flight.hops.size(), bound_sum, advertised_sum,
+        flight.request.deadline);
+    if (deadline.rejected()) {
       SignalingMessage reject;
       reject.type = SignalingMessageType::kReject;
       reject.id = m.id;
@@ -195,12 +184,8 @@ void SignalingEngine::process_setup(const SignalingMessage& m) {
       reject.hop_index = flight.hops.size();
       reject.attempt = m.attempt;
       reject.origin = flight.destination;
-      reject.category = RejectReason::kDeadline;
+      reject.reject = std::move(deadline);
       if (!flight.route.empty()) reject.via = flight.route.back();
-      std::ostringstream os;
-      os << "end-to-end bound " << promised << " exceeds deadline "
-         << flight.request.deadline;
-      reject.reason = os.str();
       send(std::move(reject), timers_.hop_latency);
       return;
     }
@@ -218,7 +203,7 @@ void SignalingEngine::process_setup(const SignalingMessage& m) {
   }
 
   const HopRef& hop = flight.hops[m.hop_index];
-  SwitchCac& cac = manager_.switch_cac(hop.node);
+  PolicyCac& cac = manager_.policy_point(hop.node);
   HopState& state = flight.hop_states[m.hop_index];
   const double lease_until = static_cast<double>(now() + timers_.lease);
 
@@ -228,12 +213,12 @@ void SignalingEngine::process_setup(const SignalingMessage& m) {
     cac.renew_lease(m.id, lease_until);
     state.committed = true;
   } else {
-    const BitStream arrival = manager_.arrival_at_hop(
-        flight.request.traffic, flight.hops, m.hop_index,
-        flight.request.priority);
-    const SwitchCheckResult check = cac.check(
-        hop.in_port, hop.out_port, flight.request.priority, arrival);
-    if (!check.admitted) {
+    // The shared per-hop trial (arrival under accumulated CDV + policy
+    // check); commit reuses the prepared arrival.
+    const PathEvaluator& evaluator = manager_.evaluator();
+    PathEvaluator::HopEvaluation eval =
+        evaluator.evaluate_hop(flight.eval_hops, m.hop_index, flight.request);
+    if (!eval.verdict.admitted) {
       SignalingMessage reject;
       reject.type = SignalingMessageType::kReject;
       reject.id = m.id;
@@ -241,8 +226,9 @@ void SignalingEngine::process_setup(const SignalingMessage& m) {
       reject.hop_index = m.hop_index;
       reject.attempt = m.attempt;
       reject.origin = hop.node;
-      reject.category = RejectReason::kAdmission;
-      reject.reason = check.reason;
+      reject.reject = PathEvaluator::hop_rejection(
+          m.hop_index, manager_.topology().node(hop.node).name,
+          eval.verdict.detail);
       if (m.hop_index > 0) {
         reject.via = flight.hops[m.hop_index - 1].link;
       } else if (!flight.route.empty()) {
@@ -251,13 +237,11 @@ void SignalingEngine::process_setup(const SignalingMessage& m) {
       send(std::move(reject), timers_.hop_latency);
       return;
     }
-    cac.add(m.id, hop.in_port, hop.out_port, flight.request.priority,
-            arrival, lease_until);
+    evaluator.commit_hop(flight.eval_hops[m.hop_index], m.id,
+                         flight.request.priority, eval.arrival, lease_until);
     state.committed = true;
-    // check.bound_at_priority always has a value when admitted (an
-    // unbounded result is rejected inside check()).
-    state.bound = check.bound_at_priority.value();
-    state.advertised = cac.advertised(hop.out_port, flight.request.priority);
+    state.bound = eval.verdict.bound;
+    state.advertised = eval.verdict.advertised;
   }
 
   SignalingMessage forward = m;
@@ -283,7 +267,7 @@ void SignalingEngine::process_reject(const SignalingMessage& m) {
     HopState& state = flight.hop_states[k];
     if (state.committed) {
       // remove() may find nothing if the lease was already reclaimed.
-      manager_.switch_cac(flight.hops[k].node).remove(m.id);
+      manager_.policy_point(flight.hops[k].node).remove(m.id);
       state = HopState{};
     }
     SignalingMessage upstream = m;
@@ -299,11 +283,15 @@ void SignalingEngine::process_reject(const SignalingMessage& m) {
   }
   SignalingOutcome outcome;
   outcome.connected = false;
-  outcome.reason = m.reason.empty() ? "rejected" : m.reason;
+  outcome.reject = m.reject;
+  if (outcome.reject.code == RejectCode::kNone) {
+    outcome.reject.code = RejectCode::kAdmission;  // bare REJECT default
+  }
+  outcome.reason =
+      m.reject.detail.empty() ? "rejected" : m.reject.detail;
   outcome.rejecting_node = m.origin.has_value() ? *m.origin : m.at;
-  process_failure(m.id, flight, std::move(outcome),
-                  m.category == RejectReason::kNone ? RejectReason::kAdmission
-                                                    : m.category);
+  const RejectCode category = outcome.reject.code;
+  process_failure(m.id, flight, std::move(outcome), category);
 }
 
 void SignalingEngine::process_connected(const SignalingMessage& m) {
@@ -319,7 +307,7 @@ void SignalingEngine::process_connected(const SignalingMessage& m) {
   // drives another round (or times the attempt out).
   for (std::size_t k = 0; k < flight.hops.size(); ++k) {
     if (!flight.hop_states[k].committed ||
-        !manager_.switch_cac(flight.hops[k].node).contains(m.id)) {
+        !manager_.policy_point(flight.hops[k].node).contains(m.id)) {
       ++counters_.stale_dropped;
       return;
     }
@@ -346,7 +334,7 @@ void SignalingEngine::process_release(const SignalingMessage& m) {
   if (m.hop_index < hops.size()) {
     const HopRef& hop = hops[m.hop_index];
     // The lease may have beaten us to it; remove() tolerates that.
-    if (manager_.switch_cac(hop.node).remove(m.id)) {
+    if (manager_.policy_point(hop.node).remove(m.id)) {
       ++counters_.released_hops;
     }
     if (m.hop_index + 1 < hops.size()) {
@@ -366,7 +354,7 @@ void SignalingEngine::process_release(const SignalingMessage& m) {
 
 void SignalingEngine::process_failure(ConnectionId id, InFlight& flight,
                                       SignalingOutcome outcome,
-                                      RejectReason category) {
+                                      RejectCode category) {
   ++counters_.rejects_by_reason[category];
   const bool residue =
       std::any_of(flight.hop_states.begin(), flight.hop_states.end(),
@@ -402,7 +390,9 @@ void SignalingEngine::on_setup_timer(ConnectionId id, std::uint32_t attempt) {
     std::ostringstream os;
     os << "setup timed out after " << flight.retries << " retransmissions";
     outcome.reason = os.str();
-    process_failure(id, flight, std::move(outcome), RejectReason::kTimeout);
+    outcome.reject.code = RejectCode::kTimeout;
+    outcome.reject.detail = outcome.reason;
+    process_failure(id, flight, std::move(outcome), RejectCode::kTimeout);
     return;
   }
   // New attempt epoch: anything still in flight from the old round is

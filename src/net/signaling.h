@@ -52,7 +52,9 @@ namespace rtcac {
 /// Final fate of a signaling attempt.
 struct SignalingOutcome {
   bool connected = false;
-  std::string reason;  ///< empty when connected
+  std::string reason;  ///< empty when connected; equals reject.detail
+  /// Canonical machine-readable rejection (core/path_eval.h).
+  RejectReason reject;
   std::optional<NodeId> rejecting_node;
   double e2e_bound_at_setup = 0;
   double e2e_advertised = 0;
@@ -76,7 +78,7 @@ class SignalingEngine {
     std::size_t releases_sent = 0;  ///< RELEASE teardowns initiated
     std::size_t released_hops = 0;  ///< hop reservations RELEASE returned
     std::size_t lost_to_faults = 0; ///< messages the fault layer destroyed
-    std::map<RejectReason, std::size_t> rejects_by_reason;
+    std::map<RejectCode, std::size_t> rejects_by_reason;
   };
 
   explicit SignalingEngine(ConnectionManager& manager);
@@ -156,6 +158,9 @@ class SignalingEngine {
     QosRequest request;
     Route route;
     std::vector<HopRef> hops;
+    /// PathEvaluator views of `hops` (pointers into the manager's
+    /// per-switch policy state), built once at initiate().
+    std::vector<PathEvaluator::Hop> eval_hops;
     std::vector<HopState> hop_states;
     std::uint32_t attempt = 0;  ///< current epoch; older messages are stale
     std::uint32_t retries = 0;
@@ -175,7 +180,7 @@ class SignalingEngine {
   /// Finalizes a failed attempt: records the outcome, counts the reject
   /// category, and starts a RELEASE sweep over any committed residue.
   void process_failure(ConnectionId id, InFlight& flight,
-                       SignalingOutcome outcome, RejectReason category);
+                       SignalingOutcome outcome, RejectCode category);
   void on_setup_timer(ConnectionId id, std::uint32_t attempt);
   void arm_setup_timer(ConnectionId id, const InFlight& flight);
   void send_setup(ConnectionId id, const InFlight& flight);

@@ -12,6 +12,11 @@
 // stale message from an abandoned attempt can be recognized and dropped
 // instead of double-committing or double-releasing (see
 // docs/FAULT_TOLERANCE.md).
+//
+// REJECT carries the canonical RejectReason of core/path_eval.h — the
+// same machine-readable record every admission engine produces — so the
+// source's outcome is bit-identical to what the serial walk would have
+// reported.
 
 #pragma once
 
@@ -20,17 +25,14 @@
 #include <string>
 
 #include "core/connection.h"
+#include "core/path_eval.h"
 #include "net/topology.h"
 
 namespace rtcac {
 
 enum class SignalingMessageType { kSetup, kReject, kConnected, kRelease };
 
-/// Coarse rejection category, for the rejects-by-reason counters.
-enum class RejectReason { kNone, kAdmission, kDeadline, kTimeout };
-
 [[nodiscard]] const char* to_string(SignalingMessageType type) noexcept;
-[[nodiscard]] const char* to_string(RejectReason reason) noexcept;
 
 struct SignalingMessage {
   SignalingMessageType type = SignalingMessageType::kSetup;
@@ -51,8 +53,8 @@ struct SignalingMessage {
   /// For REJECT: the node that originated the rejection (`at` mutates as
   /// the message walks upstream).
   std::optional<NodeId> origin;
-  std::string reason;                       ///< REJECT diagnostics
-  RejectReason category = RejectReason::kNone;  ///< REJECT classification
+  /// For REJECT: canonical rejection (hop, code, detail).
+  RejectReason reject;
 };
 
 [[nodiscard]] std::string to_string(const SignalingMessage& m);

@@ -127,6 +127,19 @@ TEST(MaxRateNetworkCac, RollbackOnMidRouteRejection) {
   EXPECT_DOUBLE_EQ(cac.computed_bound(0).value(), 0.0);  // nothing leaked
 }
 
+TEST(MaxRateNetworkCac, RejectionsCarryCanonicalHopIndices) {
+  MaxRateNetworkCac cac(3, 2.0);
+  // Fill point 1 so a route crossing it fails there, not at point 0.
+  while (cac.setup(TrafficDescriptor::cbr(0.25), {1}).accepted) {
+  }
+  const auto r = cac.setup(TrafficDescriptor::cbr(0.25), {0, 1, 2});
+  ASSERT_FALSE(r.accepted);
+  EXPECT_EQ(r.reject.code, RejectCode::kAdmission);
+  EXPECT_EQ(r.reject.hop, 1u);  // index into the route passed to setup()
+  EXPECT_EQ(r.reason, r.reject.detail);
+  EXPECT_FALSE(r.reject.detail.empty());
+}
+
 TEST(MaxRateNetworkCac, TeardownRestores) {
   MaxRateNetworkCac cac(1, 16.0);
   const auto a = cac.setup(TrafficDescriptor::cbr(0.4), {0});

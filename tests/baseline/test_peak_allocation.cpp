@@ -76,6 +76,27 @@ TEST(PeakAllocation, PartialRouteFailureReservesNothing) {
   EXPECT_DOUBLE_EQ(cac.link_load(c.a0), 0.0);
 }
 
+TEST(PeakAllocation, RejectionsCarryCanonicalHopIndices) {
+  Chain c;
+  PeakAllocationCac cac(c.topo);
+  ASSERT_TRUE(cac.setup(TrafficDescriptor::cbr(0.9), {c.mid}).accepted);
+  // Route {a0, mid}: a0 has room, mid is full -> the RejectReason must
+  // point at hop 1 of the route the caller passed in.
+  const auto r = cac.setup(TrafficDescriptor::cbr(0.2), {c.a0, c.mid});
+  ASSERT_FALSE(r.accepted);
+  EXPECT_EQ(r.reject.code, RejectCode::kAdmission);
+  EXPECT_EQ(r.reject.hop, 1u);
+  EXPECT_EQ(r.rejecting_link.value(), c.mid);
+  EXPECT_EQ(r.reason, r.reject.detail);
+  // Rejection at the first hop indexes hop 0.
+  ASSERT_TRUE(cac.setup(TrafficDescriptor::cbr(0.95), {c.a0}).accepted);
+  const auto first = cac.setup(TrafficDescriptor::cbr(0.2), {c.a0, c.mid});
+  ASSERT_FALSE(first.accepted);
+  EXPECT_EQ(first.reject.code, RejectCode::kAdmission);
+  EXPECT_EQ(first.reject.hop, 0u);
+  EXPECT_EQ(first.rejecting_link.value(), c.a0);
+}
+
 TEST(PeakAllocation, ValidatesInput) {
   Chain c;
   PeakAllocationCac cac(c.topo);

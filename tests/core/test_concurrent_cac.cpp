@@ -234,8 +234,7 @@ TEST(ConcurrentCac, AcceptancePredicateVetoesWithoutCommit) {
   // deadline test) says no: nothing may be committed, and the hop
   // results are still reported so the caller can explain the rejection.
   int calls = 0;
-  const auto veto = +[](const std::vector<SwitchCheckResult>& checked,
-                        void* ctx) {
+  const auto veto = +[](const std::vector<HopVerdict>& checked, void* ctx) {
     ++*static_cast<int*>(ctx);
     return checked.empty();  // always false here
   };
@@ -247,7 +246,7 @@ TEST(ConcurrentCac, AcceptancePredicateVetoesWithoutCommit) {
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(cac.connection_count(), 0u);
 
-  const auto pass = +[](const std::vector<SwitchCheckResult>&, void*) {
+  const auto pass = +[](const std::vector<HopVerdict>&, void*) {
     return true;
   };
   EXPECT_TRUE(

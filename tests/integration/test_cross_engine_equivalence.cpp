@@ -1,0 +1,266 @@
+// Cross-engine equivalence property suite (ctest label "equivalence").
+//
+// The refactor invariant behind src/core/path_eval.h: all three admission
+// paths — the serial ConnectionManager, the fault-tolerant SignalingEngine
+// and the parallel sharded AdmissionEngine — are views over the SAME
+// PathEvaluator + CacPolicy core, so an identical seeded operation trace
+// must produce a bit-identical decision stream from each of them: the
+// same verdicts, the same canonical reason strings, the same RejectReason
+// codes AND the same rejecting hop indices, under every built-in policy
+// (bitstream, peak, max_rate) and every replay thread count.
+//
+// Any drift here means a second hop walk grew back somewhere; the
+// admission-walk lint rule (tools/rtcac_lint.py) guards the same property
+// statically.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/policies.h"
+#include "core/traffic.h"
+#include "net/admission_engine.h"
+#include "net/connection_manager.h"
+#include "net/signaling.h"
+#include "net/topology.h"
+#include "util/xorshift.h"
+
+namespace rtcac {
+namespace {
+
+using TraceOp = AdmissionEngine::TraceOp;
+using OpOutcome = AdmissionEngine::OpOutcome;
+
+constexpr std::size_t kSwitches = 4;
+constexpr std::size_t kTermsPerSwitch = 3;
+constexpr Priority kPriorities = 2;
+constexpr std::size_t kOps = 160;
+
+struct Net {
+  Topology topology;
+  std::vector<Route> routes;  // 1..3 queueing points each
+};
+
+// Small chain with enough terminals that routes overlap on the middle
+// links; the trace drives every policy into genuine rejections.
+Net make_net() {
+  Net net;
+  std::vector<NodeId> switches;
+  for (std::size_t s = 0; s < kSwitches; ++s) {
+    switches.push_back(net.topology.add_switch("sw" + std::to_string(s)));
+  }
+  std::vector<LinkId> chain;
+  for (std::size_t s = 0; s + 1 < kSwitches; ++s) {
+    chain.push_back(net.topology.add_link(switches[s], switches[s + 1]));
+  }
+  std::vector<std::vector<LinkId>> access(kSwitches);
+  std::vector<std::vector<LinkId>> egress(kSwitches);
+  for (std::size_t s = 0; s < kSwitches; ++s) {
+    for (std::size_t t = 0; t < kTermsPerSwitch; ++t) {
+      const NodeId src = net.topology.add_terminal(
+          "src" + std::to_string(s) + "_" + std::to_string(t));
+      access[s].push_back(net.topology.add_link(src, switches[s]));
+      const NodeId dst = net.topology.add_terminal(
+          "dst" + std::to_string(s) + "_" + std::to_string(t));
+      egress[s].push_back(net.topology.add_link(switches[s], dst));
+    }
+  }
+  for (std::size_t s = 0; s < kSwitches; ++s) {
+    for (std::size_t hops = 1; hops <= 3; ++hops) {
+      const std::size_t last = s + hops - 1;
+      if (last >= kSwitches) continue;
+      for (std::size_t ti = 0; ti < kTermsPerSwitch; ++ti) {
+        Route route;
+        route.push_back(access[s][ti]);
+        for (std::size_t h = s; h < last; ++h) route.push_back(chain[h]);
+        route.push_back(egress[last][ti]);
+        net.routes.push_back(std::move(route));
+      }
+    }
+  }
+  return net;
+}
+
+ConnectionManager::Params make_params() {
+  ConnectionManager::Params params;
+  params.priorities = kPriorities;
+  // Tight enough that the bit-stream and max-rate checks reject within
+  // the trace; peak rejects once per-link PCR sums pass 1.
+  params.advertised_bound = 48.0;
+  return params;
+}
+
+// Heavier than the bench generator on purpose: per-link PCR sums must
+// cross 1.0 within kOps ops so even the peak policy sees rejections.
+QosRequest random_request(Xorshift& rng) {
+  QosRequest request;
+  const double scr = static_cast<double>(1 + rng.below(8)) / 96.0;
+  const double pcr = scr * static_cast<double>(2 + rng.below(4));
+  request.traffic = TrafficDescriptor::vbr(
+      pcr, scr, static_cast<std::uint32_t>(2 + rng.below(16)));
+  request.priority = static_cast<Priority>(rng.below(kPriorities));
+  // One in six deadlines tight enough to trip the end-to-end check.
+  request.deadline = rng.below(6) == 0 ? 30.0 : 1e7;
+  return request;
+}
+
+// Seeded check/setup/teardown trace (no deferred ops: those are an
+// AdmissionEngine-only batching concept with no signaling analogue).
+std::vector<TraceOp> make_trace(std::uint64_t seed, const Net& net) {
+  Xorshift rng(seed);
+  std::vector<TraceOp> trace;
+  std::vector<std::size_t> setups;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    const std::uint64_t pick = rng.below(10);
+    TraceOp op;
+    if (pick < 2 && !setups.empty()) {
+      op.kind = TraceOp::Kind::kTeardown;
+      op.target = setups[rng.below(setups.size())];
+    } else if (pick < 6) {
+      op.kind = TraceOp::Kind::kSetup;
+      op.request = random_request(rng);
+      op.route = net.routes[rng.below(net.routes.size())];
+      setups.push_back(trace.size());
+    } else {
+      op.kind = TraceOp::Kind::kCheck;
+      op.request = random_request(rng);
+      op.route = net.routes[rng.below(net.routes.size())];
+    }
+    trace.push_back(std::move(op));
+  }
+  return trace;
+}
+
+// --- one decision stream per engine -------------------------------------
+
+std::vector<OpOutcome> manager_stream(const std::vector<TraceOp>& trace,
+                                      const Net& net,
+                                      const ConnectionManager::Params& params,
+                                      const CacPolicy& policy) {
+  ConnectionManager cm(net.topology, params, policy);
+  std::vector<OpOutcome> outcomes(trace.size());
+  std::vector<ConnectionId> ids(trace.size(), kInvalidConnection);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceOp& op = trace[i];
+    switch (op.kind) {
+      case TraceOp::Kind::kCheck: {
+        const auto r = cm.check(op.request, op.route);
+        outcomes[i] = OpOutcome{r.accepted, r.reason, r.reject};
+        break;
+      }
+      case TraceOp::Kind::kSetup: {
+        const auto r = cm.setup(op.request, op.route);
+        ids[i] = r.accepted ? r.id : kInvalidConnection;
+        outcomes[i] = OpOutcome{r.accepted, r.reason, r.reject};
+        break;
+      }
+      default: {
+        const ConnectionId id = ids[op.target];
+        outcomes[i].accepted = id != kInvalidConnection && cm.teardown(id);
+        break;
+      }
+    }
+  }
+  return outcomes;
+}
+
+// Fault-free signaling: each setup runs the full SETUP/CONNECTED exchange
+// to completion before the next op.  Checks and teardowns go through the
+// engine's underlying manager — signaling only owns the setup walk.
+std::vector<OpOutcome> signaling_stream(
+    const std::vector<TraceOp>& trace, const Net& net,
+    const ConnectionManager::Params& params, const CacPolicy& policy) {
+  ConnectionManager cm(net.topology, params, policy);
+  SignalingEngine signaling(cm);
+  std::vector<OpOutcome> outcomes(trace.size());
+  std::vector<ConnectionId> ids(trace.size(), kInvalidConnection);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceOp& op = trace[i];
+    switch (op.kind) {
+      case TraceOp::Kind::kCheck: {
+        const auto r = cm.check(op.request, op.route);
+        outcomes[i] = OpOutcome{r.accepted, r.reason, r.reject};
+        break;
+      }
+      case TraceOp::Kind::kSetup: {
+        const ConnectionId id = signaling.initiate(op.request, op.route);
+        signaling.run();
+        const auto outcome = signaling.outcome(id);
+        if (!outcome.has_value()) {
+          ADD_FAILURE() << "setup op " << i << " never resolved (fault-free "
+                           "run() must settle every attempt)";
+          return outcomes;
+        }
+        ids[i] = outcome->connected ? id : kInvalidConnection;
+        outcomes[i] =
+            OpOutcome{outcome->connected, outcome->reason, outcome->reject};
+        break;
+      }
+      default: {
+        const ConnectionId id = ids[op.target];
+        outcomes[i].accepted = id != kInvalidConnection && cm.teardown(id);
+        break;
+      }
+    }
+  }
+  return outcomes;
+}
+
+void expect_identical(const std::vector<OpOutcome>& got,
+                      const std::vector<OpOutcome>& want,
+                      const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].accepted, want[i].accepted) << what << " op " << i;
+    EXPECT_EQ(got[i].reason, want[i].reason) << what << " op " << i;
+    EXPECT_EQ(got[i].reject.code, want[i].reject.code) << what << " op " << i;
+    EXPECT_EQ(got[i].reject.hop, want[i].reject.hop) << what << " op " << i;
+  }
+}
+
+class CrossEngineEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrossEngineEquivalence, AllEnginesProduceIdenticalDecisionStreams) {
+  const CacPolicy* policy = find_policy(GetParam());
+  ASSERT_NE(policy, nullptr) << GetParam();
+  const Net net = make_net();
+  const ConnectionManager::Params params = make_params();
+
+  for (const std::uint64_t seed : {11u, 23u, 47u}) {
+    const std::vector<TraceOp> trace = make_trace(seed, net);
+    const std::vector<OpOutcome> reference =
+        manager_stream(trace, net, params, *policy);
+
+    // The trace must actually exercise rejections, or equivalence on the
+    // reject metadata would hold vacuously.
+    std::size_t rejections = 0;
+    for (const OpOutcome& o : reference) {
+      if (!o.accepted && o.reject.code != RejectCode::kNone) ++rejections;
+    }
+    EXPECT_GT(rejections, 0u) << "seed " << seed << " trace too easy";
+
+    const std::vector<OpOutcome> via_signaling =
+        signaling_stream(trace, net, params, *policy);
+    expect_identical(via_signaling, reference,
+                     std::string(GetParam()) + " signaling seed " +
+                         std::to_string(seed));
+
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      AdmissionEngine engine(net.topology, params, *policy);
+      const std::vector<OpOutcome> via_replay = engine.replay(trace, threads);
+      expect_identical(via_replay, reference,
+                       std::string(GetParam()) + " replay t" +
+                           std::to_string(threads) + " seed " +
+                           std::to_string(seed));
+      EXPECT_TRUE(engine.state_consistent());
+      EXPECT_TRUE(engine.bandwidth_conserved());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CrossEngineEquivalence,
+                         ::testing::Values("bitstream", "peak", "max_rate"));
+
+}  // namespace
+}  // namespace rtcac

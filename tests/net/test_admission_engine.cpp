@@ -319,48 +319,10 @@ TEST(AdmissionEngine, ShardOfRejectsTerminals) {
 }
 
 // --- deterministic parallel replay vs the serial oracle -----------------
-// Compact copy of the bench oracle (bench/parallel_admission_bench.cpp):
-// a plain ConnectionManager walks the trace in order; its decisions and
-// reason strings define correctness for every thread count.
-
-OpOutcome oracle_check(const ConnectionManager& cm, const QosRequest& request,
-                       const Route& route) {
-  OpOutcome outcome;
-  request.traffic.validate();
-  if (request.priority >= cm.params().priorities) {
-    outcome.reason = "priority out of range";
-    return outcome;
-  }
-  const std::vector<HopRef> hops = cm.queueing_points(route);
-  double computed = 0;
-  double advertised = 0;
-  for (std::size_t h = 0; h < hops.size(); ++h) {
-    const SwitchCac& cac = cm.switch_cac(hops[h].node);
-    const BitStream arrival =
-        cm.arrival_at_hop(request.traffic, hops, h, request.priority);
-    const SwitchCheckResult r = cac.check(hops[h].in_port, hops[h].out_port,
-                                          request.priority, arrival);
-    if (!r.admitted) {
-      outcome.reason = "rejected at " +
-                       cm.topology().node(hops[h].node).name + ": " + r.reason;
-      return outcome;
-    }
-    computed += r.bound_at_priority.value();
-    advertised += cac.advertised(hops[h].out_port, request.priority);
-  }
-  const double promised = cm.params().guarantee == GuaranteeMode::kAdvertised
-                              ? advertised
-                              : computed;
-  if (promised > request.deadline) {
-    std::ostringstream os;
-    os << "end-to-end bound " << promised << " exceeds deadline "
-       << request.deadline;
-    outcome.reason = os.str();
-    return outcome;
-  }
-  outcome.accepted = true;
-  return outcome;
-}
+// A plain ConnectionManager walks the trace in order; its decisions,
+// reason strings and RejectReason records define correctness for every
+// thread count.  ConnectionManager::check() is the commit-free oracle
+// for kCheck ops — the same walk the bench gate uses.
 
 std::vector<OpOutcome> oracle_replay(const std::vector<TraceOp>& trace,
                                      const Topology& topology,
@@ -377,13 +339,15 @@ std::vector<OpOutcome> oracle_replay(const std::vector<TraceOp>& trace,
                                 ? ids_by_op[op.target]
                                 : op.id;
     switch (op.kind) {
-      case TraceOp::Kind::kCheck:
-        outcomes[i] = oracle_check(cm, op.request, op.route);
+      case TraceOp::Kind::kCheck: {
+        const auto r = cm.check(op.request, op.route);
+        outcomes[i] = OpOutcome{r.accepted, r.reason, r.reject};
         break;
+      }
       case TraceOp::Kind::kSetup: {
         const auto r = cm.setup(op.request, op.route);
         ids_by_op[i] = r.accepted ? r.id : kInvalidConnection;
-        outcomes[i] = OpOutcome{r.accepted, r.reason};
+        outcomes[i] = OpOutcome{r.accepted, r.reason, r.reject};
         break;
       }
       case TraceOp::Kind::kTeardown:
@@ -478,6 +442,10 @@ TEST(AdmissionEngine, ReplayMatchesSerialOracleOnEveryThreadCount) {
         EXPECT_EQ(outcomes[i].accepted, oracle[i].accepted)
             << "seed " << seed << " threads " << threads << " op " << i;
         EXPECT_EQ(outcomes[i].reason, oracle[i].reason)
+            << "seed " << seed << " threads " << threads << " op " << i;
+        EXPECT_EQ(outcomes[i].reject.code, oracle[i].reject.code)
+            << "seed " << seed << " threads " << threads << " op " << i;
+        EXPECT_EQ(outcomes[i].reject.hop, oracle[i].reject.hop)
             << "seed " << seed << " threads " << threads << " op " << i;
       }
       // The trace ends with a drain, so record counts line up too.

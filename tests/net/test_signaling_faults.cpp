@@ -104,7 +104,7 @@ TEST(SignalingFaults, LostUpstreamRejectIsRetriedAndFullyReleased) {
   EXPECT_FALSE(outcome->connected);
   EXPECT_NE(outcome->reason.find("deadline"), std::string::npos);
   EXPECT_EQ(engine.counters().retransmits, 1u);
-  EXPECT_EQ(engine.counters().rejects_by_reason.at(RejectReason::kDeadline),
+  EXPECT_EQ(engine.counters().rejects_by_reason.at(RejectCode::kDeadline),
             1u);
   EXPECT_EQ(mgr.connection_count(), 0u);
   expect_no_reservations(mgr, c);
@@ -204,7 +204,7 @@ TEST(SignalingFaults, SwitchOutageTimesOutAndReleasesUpstream) {
   EXPECT_FALSE(outcome->connected);
   EXPECT_EQ(engine.counters().retransmits, 2u);
   EXPECT_EQ(engine.counters().timeouts, 1u);
-  EXPECT_EQ(engine.counters().rejects_by_reason.at(RejectReason::kTimeout),
+  EXPECT_EQ(engine.counters().rejects_by_reason.at(RejectCode::kTimeout),
             1u);
   // Every walk committed sw0 and died at the downed sw1; the RELEASE walk
   // freed sw0 before itself dying there.

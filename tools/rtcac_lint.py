@@ -47,6 +47,18 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
                     invariant (clean implies inputs clean,
                     docs/PERFORMANCE.md) cannot be bypassed.
 
+  admission-walk    The hop-walk arithmetic lives in exactly one place:
+                    src/core/path_eval.{h,cpp} (PathEvaluator).  In the
+                    admission modules (src/core, src/net, src/baseline)
+                    no other file may call accumulate_cdv (beyond its
+                    definition in core/cdv.{h,cpp}), compare a value
+                    against a deadline with a relational operator, or
+                    branch on GuaranteeMode — those are the three
+                    ingredients of the walk that used to be triplicated
+                    across ConnectionManager, SignalingEngine and
+                    AdmissionEngine.  Engines consume PathEvaluator's
+                    Decision/RejectReason instead (docs/ARCHITECTURE.md).
+
   concurrency-state Threading primitives (std::mutex, std::shared_mutex,
                     std::thread, std::atomic, std::condition_variable,
                     locks, futures) are confined to the dedicated
@@ -118,6 +130,28 @@ CAC_ACCESSOR_PREFIXES = (
     "higher_priority_filtered_scratch", "arrival_aggregate",
     "sustained_load", "connection_", "state_consistent",
     "bandwidth_conserved", "cache_coherent", "prime_caches")
+
+# admission-walk: the three ingredients of the per-hop admission walk.
+# CDV accumulation may be *called* only from PathEvaluator (it is
+# *defined* in core/cdv.{h,cpp}); deadline comparisons and GuaranteeMode
+# branches may not appear outside path_eval at all within the admission
+# modules.  rtnet/ and cli/ sit above admission Results and are out of
+# scope (their deadline sweeps consume reported bounds, not the walk).
+ADMISSION_WALK_MODULES = (("src", "core"), ("src", "net"), ("src", "baseline"))
+ADMISSION_WALK_HOME = (
+    ("src", "core", "path_eval.h"),
+    ("src", "core", "path_eval.cpp"),
+)
+ACCUMULATE_CDV_DEF = (
+    ("src", "core", "cdv.h"),
+    ("src", "core", "cdv.cpp"),
+)
+ACCUMULATE_CDV_RE = re.compile(r"\baccumulate_cdv\s*\(")
+DEADLINE_CMP_RE = re.compile(
+    r"(?:<=|>=|<|(?<!-)>)\s*(?:[\w.]|->)*deadline\w*\b"
+    r"|\b(?:[\w.]|->)*deadline\w*(?:\[\w+\])?\s*(?:<=|>=|[<>])")
+GUARANTEE_CMP_RE = re.compile(
+    r"[=!]=\s*GuaranteeMode::\w+|GuaranteeMode::\w+\s*[=!]=")
 
 # concurrency-state: std:: threading vocabulary, and the only files in
 # src/ allowed to use it.  ConcurrentCac's safety argument (priming
@@ -205,6 +239,9 @@ class Linter:
     def lint_file(self, path: Path) -> None:
         rel = path.relative_to(self.root)
         in_core = rel.parts[:2] == ("src", "core")
+        walk_restricted = (rel.parts[:2] in ADMISSION_WALK_MODULES
+                           and rel.parts not in ADMISSION_WALK_HOME)
+        cdv_call_allowed = rel.parts in ACCUMULATE_CDV_DEF
         is_signaling = rel.parts == ("src", "net", "signaling.cpp")
         is_cac_impl = rel.parts == ("src", "core", "switch_cac.cpp")
         is_cac_header = rel.parts == ("src", "core", "switch_cac.h")
@@ -246,6 +283,29 @@ class Linter:
                 self.report(path, lineno, "no-rand",
                             "rand()/srand() is not reproducible across "
                             "platforms; use util/xorshift.h", comment_text)
+
+            if walk_restricted:
+                if not cdv_call_allowed and ACCUMULATE_CDV_RE.search(code):
+                    self.report(
+                        path, lineno, "admission-walk",
+                        "accumulate_cdv called outside PathEvaluator "
+                        "(src/core/path_eval.*); take the accumulated CDV "
+                        "from PathEvaluator::accumulated_cdv instead",
+                        comment_text)
+                if DEADLINE_CMP_RE.search(code):
+                    self.report(
+                        path, lineno, "admission-walk",
+                        "deadline comparison outside PathEvaluator "
+                        "(src/core/path_eval.*); use deadline_met / "
+                        "deadline_rejection so the GuaranteeMode split "
+                        "stays in one place", comment_text)
+                if GUARANTEE_CMP_RE.search(code):
+                    self.report(
+                        path, lineno, "admission-walk",
+                        "GuaranteeMode branch outside PathEvaluator "
+                        "(src/core/path_eval.*); the advertised-vs-"
+                        "computed split is PathEvaluator's to make",
+                        comment_text)
 
             if not concurrency_allowed and CONCURRENCY_RE.search(code):
                 self.report(
