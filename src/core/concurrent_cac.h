@@ -7,7 +7,7 @@
 // naturally shardable.  ConcurrentCac holds one PolicyCac (the pluggable
 // per-queueing-point admission state of core/path_eval.h; the default is
 // the paper's SwitchCac behind BitstreamCacPolicy) per shard, each
-// guarded by its own std::shared_mutex:
+// guarded by its own annotated SharedMutex (util/thread_annotations.h):
 //
 //   * check()/check_hop() take the shard's lock *shared*: any number of
 //     threads may evaluate trial admissions against one switch
@@ -52,22 +52,29 @@
 // subsequent shared acquisition of the same lock, so readers always see
 // fully-built streams.  Different shards share no mutable state.
 //
+// The lock discipline above is machine-checked (docs/STATIC_ANALYSIS.md):
+// shard state carries clang thread-safety annotations
+// (util/thread_annotations.h) verified by the `tsa` preset, the
+// `lock-order` lint rule confines multi-shard acquisition to the
+// ShardLockSet scoped capability below, and util/lock_order.h asserts
+// the ascending-shard runtime order in audit builds.
+//
 // Concurrency primitives are confined to this module, to
-// util/thread_pool.h and to net/admission_engine.* by the
-// `concurrency-state` lint rule (tools/rtcac_lint.py).
+// util/thread_annotations.h, util/thread_pool.h and
+// net/admission_engine.* by the `concurrency-state` lint rule
+// (tools/rtcac_lint.py).
 
 #pragma once
 
 #include <any>
 #include <cstddef>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <vector>
 
 #include "core/path_eval.h"
 #include "core/switch_cac.h"
+#include "util/thread_annotations.h"
 
 namespace rtcac {
 
@@ -103,6 +110,39 @@ class ConcurrentCac {
   /// check passed but before anything is committed (e.g. the end-to-end
   /// deadline test).  Returning false rejects without mutating state.
   using PathAcceptance = bool (*)(const std::vector<HopVerdict>&, void*);
+
+  /// Scoped capability over the exclusive locks of every distinct shard
+  /// a path crosses — the *only* way more than one shard lock may be
+  /// held at once (lint rule `lock-order`).  Acquisition runs in the
+  /// canonical ascending shard-id order that makes concurrent multi-hop
+  /// commits deadlock-free, with LockOrderAudit (util/lock_order.h)
+  /// asserting the discipline per thread in audit builds.  Because the
+  /// locked set is dynamic, the clang analysis cannot name the
+  /// individual capabilities; all guarded state reached while the set
+  /// is held therefore goes through point(), which confines the
+  /// per-site RTCAC_NO_THREAD_SAFETY_ANALYSIS escapes to this class.
+  class RTCAC_SCOPED_CAPABILITY ShardLockSet {
+   public:
+    /// Exclusively locks the distinct shards of `hops`, ascending.
+    ShardLockSet(ConcurrentCac& owner, std::span<const HopSpec> hops)
+        RTCAC_ACQUIRE();
+    ShardLockSet(const ShardLockSet&) = delete;
+    ShardLockSet& operator=(const ShardLockSet&) = delete;
+    ~ShardLockSet() RTCAC_RELEASE();
+
+    /// The locked shard ids, ascending and distinct.
+    [[nodiscard]] std::span<const std::size_t> shards() const noexcept {
+      return shards_;
+    }
+
+    /// Exclusive access to a locked shard's policy state; asserts that
+    /// `shard` is a member of the set.
+    [[nodiscard]] PolicyCac& point(std::size_t shard) const;
+
+   private:
+    ConcurrentCac& owner_;
+    std::vector<std::size_t> shards_;
+  };
 
   /// One queueing point per config entry, built by `policy`; shard ids
   /// are indices into `configs`.  Every shard starts fully primed.
@@ -199,17 +239,26 @@ class ConcurrentCac {
   struct Shard {
     explicit Shard(std::unique_ptr<PolicyCac> point)
         : cac(std::move(point)) {}
-    mutable std::shared_mutex mutex;
-    std::unique_ptr<PolicyCac> cac;
+    mutable SharedMutex mutex;
+    // The pointer is set once at construction; the *pointee* (the
+    // shard's whole admission state) is what the lock guards.
+    std::unique_ptr<PolicyCac> cac RTCAC_PT_GUARDED_BY(mutex);
     // Deferred teardowns; guarded by its own small mutex so producers
-    // never contend with in-flight checks on the state lock.
-    std::mutex pending_mutex;
-    std::vector<ConnectionId> pending_removals;
+    // never contend with in-flight checks on the state lock.  Never
+    // held while acquiring `mutex`, so it stays outside the shard
+    // lock-order audit.
+    Mutex pending_mutex;
+    std::vector<ConnectionId> pending_removals
+        RTCAC_GUARDED_BY(pending_mutex);
   };
 
   [[nodiscard]] Shard& shard_at(std::size_t shard) const;
-  /// The shard's SwitchCac; throws unless it runs the bit-stream policy.
-  [[nodiscard]] SwitchCac& bitstream_at(Shard& s) const;
+  /// The shard's SwitchCac; throws unless it runs the bit-stream
+  /// policy.  Read form for the shared-lock check path, mutable form
+  /// for the exclusive-lock commit path (admit).
+  [[nodiscard]] const SwitchCac& bitstream_at(const Shard& s) const
+      RTCAC_REQUIRES_SHARED(s.mutex);
+  [[nodiscard]] SwitchCac& bitstream_mut(Shard& s) RTCAC_REQUIRES(s.mutex);
 
   // unique_ptr: shared_mutex is neither movable nor copyable, and shard
   // addresses must stay stable while locks are held.

@@ -221,7 +221,7 @@ AdmissionEngine::SetupResult AdmissionEngine::do_setup(
     const ConnectionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
     result.accepted = true;
     result.id = id;
-    const std::scoped_lock lock(records_mutex_);
+    const MutexLock lock(records_mutex_);
     records_.emplace(id, ConnectionRecord{request, route, plan.hops});
     return result;
   }
@@ -263,7 +263,7 @@ AdmissionEngine::SetupResult AdmissionEngine::do_setup(
   result.accepted = true;
   result.id = id;
   {
-    const std::scoped_lock lock(records_mutex_);
+    const MutexLock lock(records_mutex_);
     records_.emplace(id, ConnectionRecord{request, route, plan.hops});
   }
   return result;
@@ -318,7 +318,7 @@ AdmissionEngine::SetupResult AdmissionEngine::check(const QosRequest& request,
 bool AdmissionEngine::teardown(ConnectionId id) {
   ConnectionRecord record;
   {
-    const std::scoped_lock lock(records_mutex_);
+    const MutexLock lock(records_mutex_);
     const auto it = records_.find(id);
     if (it == records_.end()) return false;
     record = std::move(it->second);
@@ -333,7 +333,7 @@ bool AdmissionEngine::teardown(ConnectionId id) {
 bool AdmissionEngine::teardown_deferred(ConnectionId id) {
   ConnectionRecord record;
   {
-    const std::scoped_lock lock(records_mutex_);
+    const MutexLock lock(records_mutex_);
     const auto it = records_.find(id);
     if (it == records_.end()) return false;
     record = std::move(it->second);
@@ -358,14 +358,14 @@ AdmissionEngine::ReclaimResult AdmissionEngine::reclaim(double now) {
   }
   result.orphans.assign(orphans.begin(), orphans.end());
   if (!result.orphans.empty()) {
-    const std::scoped_lock lock(records_mutex_);
+    const MutexLock lock(records_mutex_);
     for (const ConnectionId id : result.orphans) records_.erase(id);
   }
   return result;
 }
 
 std::size_t AdmissionEngine::connection_count() const {
-  const std::scoped_lock lock(records_mutex_);
+  const MutexLock lock(records_mutex_);
   return records_.size();
 }
 

@@ -49,9 +49,15 @@
 // difference: the engine burns an id on a rejected setup where the
 // serial manager does not; no decision depends on id values.
 //
+// The record map is guarded by an annotated Mutex
+// (util/thread_annotations.h) and the whole locking surface is
+// machine-checked by clang's -Wthread-safety under the `tsa` preset
+// (docs/STATIC_ANALYSIS.md).
+//
 // Concurrency primitives are confined to this module, to
-// core/concurrent_cac.* and to util/thread_pool.h by the
-// `concurrency-state` lint rule (tools/rtcac_lint.py).
+// util/thread_annotations.h, core/concurrent_cac.* and
+// util/thread_pool.h by the `concurrency-state` lint rule
+// (tools/rtcac_lint.py).
 
 #pragma once
 
@@ -59,7 +65,6 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -206,15 +211,23 @@ class AdmissionEngine {
                                        std::span<const TraceOp> trace,
                                        std::span<ConnectionId> ids_by_op);
 
-  const Topology& topology_;
-  Params params_;
-  PathEvaluator evaluator_;
-  std::vector<std::size_t> shard_index_;  ///< per node; npos for terminals
-  ConcurrentCac cac_;
-  mutable std::unique_ptr<ThreadPool> pool_;  ///< pipeline mode; may be null
+  // topology_/params_/evaluator_/shard_index_ are immutable after
+  // construction; cac_ and pool_ are internally synchronized (their own
+  // annotated locks); next_id_ is atomic.  The guarded-by lint rule
+  // requires each non-annotated member of a mutex-owning class to state
+  // why, hence the inline allows.
+  const Topology& topology_;  // rtcac-lint: allow(guarded-by)
+  Params params_;  // rtcac-lint: allow(guarded-by)
+  PathEvaluator evaluator_;  // rtcac-lint: allow(guarded-by)
+  /// Per node; npos for terminals.
+  std::vector<std::size_t> shard_index_;  // rtcac-lint: allow(guarded-by)
+  ConcurrentCac cac_;  // rtcac-lint: allow(guarded-by)
+  /// Pipeline mode; may be null.
+  mutable std::unique_ptr<ThreadPool> pool_;  // rtcac-lint: allow(guarded-by)
 
-  mutable std::mutex records_mutex_;
-  std::map<ConnectionId, ConnectionRecord> records_;
+  mutable Mutex records_mutex_;
+  std::map<ConnectionId, ConnectionRecord> records_
+      RTCAC_GUARDED_BY(records_mutex_);
   std::atomic<ConnectionId> next_id_{1};
 };
 

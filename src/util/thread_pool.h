@@ -12,9 +12,18 @@
 // threaded baselines and tests on the exact same code path with no
 // scheduling noise.
 //
+// The queue state is guarded by an annotated Mutex
+// (util/thread_annotations.h) so clang's -Wthread-safety analysis can
+// verify every access (docs/STATIC_ANALYSIS.md).  The condition
+// variables are std::condition_variable_any because they wait on the
+// annotated MutexLock guard rather than a raw std::unique_lock — the
+// pool's hand-offs are tens-of-microseconds-scale, so _any's small
+// generality cost is irrelevant here.
+//
 // Concurrency primitives are confined to this header, to
-// core/concurrent_cac.* and to net/admission_engine.* by the
-// `concurrency-state` lint rule (tools/rtcac_lint.py).
+// util/thread_annotations.h, core/concurrent_cac.* and
+// net/admission_engine.* by the `concurrency-state` lint rule
+// (tools/rtcac_lint.py).
 
 #pragma once
 
@@ -22,10 +31,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace rtcac {
 
@@ -44,7 +54,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      const std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       stopping_ = true;
     }
     wake_workers_.notify_all();
@@ -60,7 +70,7 @@ class ThreadPool {
       return;
     }
     {
-      const std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       queue_.push_back(std::move(task));
       ++pending_;
     }
@@ -69,8 +79,8 @@ class ThreadPool {
 
   /// Blocks until every task submitted so far has completed.
   void wait_idle() {
-    std::unique_lock lock(mutex_);
-    idle_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(mutex_);
+    while (pending_ != 0) idle_.wait(lock);
   }
 
  private:
@@ -78,29 +88,30 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock lock(mutex_);
-        wake_workers_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(mutex_);
+        while (!stopping_ && queue_.empty()) wake_workers_.wait(lock);
         if (queue_.empty()) return;  // stopping_ and drained
         task = std::move(queue_.front());
         queue_.pop_front();
       }
       task();
       {
-        const std::scoped_lock lock(mutex_);
+        const MutexLock lock(mutex_);
         --pending_;
         if (pending_ == 0) idle_.notify_all();
       }
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable wake_workers_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t pending_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mutex_;
+  std::condition_variable_any wake_workers_;
+  std::condition_variable_any idle_;
+  std::deque<std::function<void()>> queue_ RTCAC_GUARDED_BY(mutex_);
+  std::size_t pending_ RTCAC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ RTCAC_GUARDED_BY(mutex_) = false;
+  // Written only by the constructor and joined by the destructor;
+  // immutable while any other thread can see the pool.
+  std::vector<std::thread> workers_;  // rtcac-lint: allow(guarded-by)
 };
 
 }  // namespace rtcac

@@ -1,0 +1,19 @@
+// lint-fixture-dest: src/net/reroute_planner.cpp
+//
+// admission-walk positive fixture: all three ingredients of the
+// per-hop walk (CDV accumulation, deadline comparison, GuaranteeMode
+// branch) re-implemented outside PathEvaluator.
+
+#include "core/path_eval.h"
+
+namespace rtcac {
+
+bool hop_fits(double delay, double limit, double cdv, GuaranteeMode mode) {
+  const double total_cdv = accumulate_cdv(cdv, delay);  // expect: admission-walk
+  if (mode == GuaranteeMode::kDeterministic) {  // expect: admission-walk
+    return delay + total_cdv <= request_deadline();  // expect: admission-walk
+  }
+  return delay < limit;
+}
+
+}  // namespace rtcac

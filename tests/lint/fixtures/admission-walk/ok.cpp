@@ -1,0 +1,21 @@
+// lint-fixture-dest: src/net/reroute_planner.cpp
+//
+// admission-walk negative fixture: engines consume PathEvaluator's
+// Decision instead of re-deriving the walk arithmetic.
+
+#include "core/path_eval.h"
+
+namespace rtcac {
+
+bool hop_fits(const PathEvaluator::Decision& decision) {
+  if (decision.reason == RejectReason::kDeadline) {
+    return false;
+  }
+  return decision.admitted;
+}
+
+double slack_report(const PathEvaluator::Decision& decision) {
+  return decision.slack;
+}
+
+}  // namespace rtcac

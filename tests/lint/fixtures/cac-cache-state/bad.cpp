@@ -1,0 +1,20 @@
+// lint-fixture-dest: src/core/switch_cac.cpp
+//
+// cac-cache-state positive fixture: cache/dirty state touched from a
+// query accessor instead of the cache-management members.
+
+#include "core/switch_cac.h"
+
+namespace rtcac {
+
+template <typename Num>
+double BasicSwitchCac<Num>::peek_bound() const {
+  return bound_cache_;  // expect: cac-cache-state
+}
+
+template <typename Num>
+void BasicSwitchCac<Num>::touch(std::size_t cell) {
+  cell_counts_[cell] += 1;  // expect: cac-cache-state
+}
+
+}  // namespace rtcac

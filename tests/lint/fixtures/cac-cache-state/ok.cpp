@@ -1,0 +1,33 @@
+// lint-fixture-dest: src/core/switch_cac.cpp
+//
+// cac-cache-state negative fixture: the cache-management members
+// (ensure_* / invalidate_* / rebuild_cell / audits) own that state.
+
+#include "core/switch_cac.h"
+
+namespace rtcac {
+
+template <typename Num>
+void BasicSwitchCac<Num>::ensure_bound() const {
+  if (bound_dirty_) {
+    bound_cache_ = 0;
+    bound_dirty_ = false;
+  }
+}
+
+template <typename Num>
+void BasicSwitchCac<Num>::invalidate_bound() {
+  bound_dirty_ = true;
+}
+
+template <typename Num>
+void BasicSwitchCac<Num>::rebuild_cell(std::size_t cell) {
+  cell_counts_[cell] = 0;
+}
+
+template <typename Num>
+bool BasicSwitchCac<Num>::cache_coherent() const {
+  return !bound_dirty_ || cell_counts_.empty();
+}
+
+}  // namespace rtcac

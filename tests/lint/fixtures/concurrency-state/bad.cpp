@@ -1,0 +1,20 @@
+// lint-fixture-dest: src/sim/timer_wheel.cpp
+//
+// concurrency-state positive fixture: ad-hoc std:: threading outside
+// the dedicated concurrency modules.
+
+#include <mutex>
+#include <thread>
+
+namespace rtcac {
+
+struct TimerWheel {
+  std::mutex mutex;  // expect: concurrency-state
+  std::thread ticker;  // expect: concurrency-state
+};
+
+void spin(TimerWheel& wheel) {
+  const std::scoped_lock lock(wheel.mutex);  // expect: concurrency-state
+}
+
+}  // namespace rtcac

@@ -1,0 +1,19 @@
+// lint-fixture-dest: src/core/concurrent_cac.cpp
+//
+// concurrency-state negative fixture: the same vocabulary is fine
+// inside a dedicated concurrency module (this fixture pretends to be
+// core/concurrent_cac.cpp, one of the allowed files).
+
+#include <atomic>
+
+#include "core/concurrent_cac.h"
+
+namespace rtcac {
+
+std::atomic<unsigned> g_admissions{0};
+
+void count_admission() {
+  g_admissions.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace rtcac

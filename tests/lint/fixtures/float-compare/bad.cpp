@@ -1,0 +1,21 @@
+// lint-fixture-dest: src/core/bound_margin.cpp
+//
+// float-compare positive fixture: raw relational comparison against a
+// floating-point literal inside src/core must be reported.
+
+#include "core/switch_cac.h"
+
+namespace rtcac {
+
+bool margin_is_half(double margin) {
+  return margin == 0.5;  // expect: float-compare
+}
+
+bool within_epsilon(double residual) {
+  if (residual <= 1e-9) {  // expect: float-compare
+    return true;
+  }
+  return 2.0f >= residual;  // expect: float-compare
+}
+
+}  // namespace rtcac

@@ -1,0 +1,24 @@
+// lint-fixture-dest: src/core/bound_margin.cpp
+//
+// float-compare negative fixture: tolerant comparisons through
+// NumTraits, integer-literal comparisons, and float literals in plain
+// arithmetic are all fine.
+
+#include "core/numeric.h"
+
+namespace rtcac {
+
+bool margin_is_half(double margin) {
+  return NumTraits<double>::nearly_equal(margin, 0.5);
+}
+
+bool within_bound(double value, double bound) {
+  if (value < bound * 0.5) {  // scaling, not comparison against literal
+    return true;
+  }
+  return NumTraits<double>::nearly_leq(value, bound);
+}
+
+bool empty_cells(int count) { return count == 0; }
+
+}  // namespace rtcac

@@ -1,0 +1,23 @@
+// lint-fixture-dest: src/util/metrics_hub.h
+//
+// guarded-by positive fixture: a mutex-owning class with unannotated
+// data members.  hits_ is declared *before* the mutex on purpose — the
+// rule must judge the class as a whole, not line by line.
+
+#pragma once
+
+#include "util/thread_annotations.h"
+
+namespace rtcac {
+
+class MetricsHub {
+ public:
+  void record(double rate);
+
+ private:
+  long hits_ = 0;  // expect: guarded-by
+  mutable Mutex mutex_;
+  double peak_rate_ = 0.0;  // expect: guarded-by
+};
+
+}  // namespace rtcac

@@ -1,0 +1,47 @@
+// lint-fixture-dest: src/util/metrics_hub.h
+//
+// guarded-by negative fixture: every member of the mutex-owning class
+// is annotated, exempt by type (the lock itself, condition variables,
+// atomics), exempt by kind (static constants, nested types, function
+// declarations), or carries a justified allow.  A mutex-free class
+// owes nothing.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace rtcac {
+
+class MetricsHub {
+ public:
+  void record(double rate);
+
+  struct Snapshot {
+    long hits = 0;
+    double peak_rate = 0.0;
+  };
+
+ private:
+  static constexpr std::size_t kWindow = 64;
+
+  mutable Mutex mutex_;
+  std::condition_variable_any flushed_;
+  std::atomic<bool> armed_{false};
+  long hits_ RTCAC_GUARDED_BY(mutex_) = 0;
+  std::vector<double> window_
+      RTCAC_GUARDED_BY(mutex_);
+  // Written once by the constructor, read-only afterwards.
+  double ceiling_ = 0.0;  // rtcac-lint: allow(guarded-by)
+};
+
+struct PlainConfig {
+  long hits = 0;
+  double peak_rate = 0.0;
+};
+
+}  // namespace rtcac

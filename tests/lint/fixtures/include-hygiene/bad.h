@@ -1,0 +1,18 @@
+// lint-fixture-dest: src/net/route_glue.h
+//
+// include-hygiene positive fixture: parent-relative includes and quoted
+// includes that are not src/-relative must be reported.
+
+#pragma once
+
+#include "../core/switch_cac.h"  // expect: include-hygiene
+#include "route_glue_detail.h"  // expect: include-hygiene
+#include "core/switch_cac.h"
+
+#include <vector>
+
+namespace rtcac {
+struct RouteGlue {
+  std::vector<int> hops;
+};
+}  // namespace rtcac

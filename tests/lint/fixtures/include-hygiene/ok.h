@@ -1,0 +1,19 @@
+// lint-fixture-dest: src/net/route_glue.h
+//
+// include-hygiene negative fixture: #pragma once present, quoted
+// includes all src/-relative, system headers in angle brackets.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/switch_cac.h"
+#include "net/topology.h"
+#include "util/contract.h"
+
+namespace rtcac {
+struct RouteGlue {
+  std::vector<std::size_t> hops;
+};
+}  // namespace rtcac

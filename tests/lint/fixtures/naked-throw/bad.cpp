@@ -1,0 +1,16 @@
+// lint-fixture-dest: src/core/rate_check.cpp
+//
+// naked-throw positive fixture: a direct `throw std::invalid_argument`
+// in src/core bypasses the configurable contract failure mode.
+
+#include <stdexcept>
+
+namespace rtcac {
+
+void require_rate(double rate) {
+  if (rate < 0) {
+    throw std::invalid_argument("rate must be non-negative");  // expect: naked-throw
+  }
+}
+
+}  // namespace rtcac

@@ -1,0 +1,24 @@
+// lint-fixture-dest: src/core/rate_check.cpp
+//
+// naked-throw negative fixture: precondition failures go through
+// RTCAC_REQUIRE; other exception types (and out_of_range plumbing) are
+// outside this rule's scope.
+
+#include <stdexcept>
+
+#include "util/contract.h"
+
+namespace rtcac {
+
+void require_rate(double rate) {
+  RTCAC_REQUIRE(rate >= 0, "rate must be non-negative");
+}
+
+int checked_index(int index, int size) {
+  if (index >= size) {
+    throw std::out_of_range("index");
+  }
+  return index;
+}
+
+}  // namespace rtcac

@@ -1,0 +1,18 @@
+// lint-fixture-dest: src/sim/jitter_source.cpp
+//
+// no-rand positive fixture: rand()/srand() anywhere in src/ must be
+// reported — simulations must be reproducible from a seed.
+
+#include <cstdlib>
+
+namespace rtcac {
+
+void seed_jitter(unsigned seed) {
+  srand(seed);  // expect: no-rand
+}
+
+int next_jitter_cells() {
+  return std::rand() % 7;  // expect: no-rand
+}
+
+}  // namespace rtcac

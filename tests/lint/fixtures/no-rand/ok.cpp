@@ -1,0 +1,17 @@
+// lint-fixture-dest: src/sim/jitter_source.cpp
+//
+// no-rand negative fixture: the seeded xorshift generator is the
+// sanctioned randomness source, and identifiers merely *containing*
+// "rand" are not findings.
+
+#include "util/xorshift.h"
+
+namespace rtcac {
+
+int next_jitter_cells(Xorshift& rng) {
+  return static_cast<int>(rng.next() % 7);
+}
+
+double operand_spread(double operand) { return operand * 2.0; }
+
+}  // namespace rtcac

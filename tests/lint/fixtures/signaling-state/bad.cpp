@@ -1,0 +1,18 @@
+// lint-fixture-dest: src/net/signaling.cpp
+//
+// signaling-state positive fixture: protocol-state mutation from a
+// SignalingEngine member that is not a message/timer handler.
+
+#include "net/signaling.h"
+
+namespace rtcac {
+
+void SignalingEngine::force_outcome(ConnectionId id) {
+  outcomes_[id] = SetupOutcome{};  // expect: signaling-state
+}
+
+bool SignalingEngine::tidy(ConnectionId id) {
+  return in_flight_.erase(id) != 0;  // expect: signaling-state
+}
+
+}  // namespace rtcac

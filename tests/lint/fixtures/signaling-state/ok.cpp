@@ -1,0 +1,27 @@
+// lint-fixture-dest: src/net/signaling.cpp
+//
+// signaling-state negative fixture: the same mutations are fine on
+// handler paths (initiate / release / process_* / on_*), and reads of
+// protocol state are fine anywhere.
+
+#include "net/signaling.h"
+
+namespace rtcac {
+
+void SignalingEngine::initiate(ConnectionId id) {
+  in_flight_.emplace(id, PendingSetup{});
+}
+
+void SignalingEngine::process_response(ConnectionId id) {
+  outcomes_[id] = SetupOutcome{};
+}
+
+void SignalingEngine::on_timer(ConnectionId id) {
+  releasing_.erase(id);
+}
+
+bool SignalingEngine::is_pending(ConnectionId id) const {
+  return in_flight_.count(id) != 0;
+}
+
+}  // namespace rtcac

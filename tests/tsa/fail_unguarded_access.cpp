@@ -1,0 +1,40 @@
+// tests/tsa/fail_unguarded_access.cpp
+//
+// Compile-FAIL fixture for the thread-safety annotation layer: reading
+// an RTCAC_GUARDED_BY member without holding its mutex must be rejected
+// by clang under -Werror=thread-safety.  tests/tsa/CMakeLists.txt
+// try_compiles this at configure time and aborts the build if it
+// *succeeds* — that would mean the macros in util/thread_annotations.h
+// decayed to no-ops under the clang toolchain and the whole `tsa`
+// preset had silently stopped checking anything.  The same fixture runs
+// as the WILL_FAIL `tsa_compile_fail` ctest.
+//
+// The twin fixture pass_guarded_access.cpp is the positive control: the
+// identical access *with* the lock held must compile.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    const rtcac::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // BUG (deliberate): no lock held around the guarded read.
+  [[nodiscard]] int unguarded_read() const { return value_; }
+
+ private:
+  mutable rtcac::Mutex mutex_;
+  int value_ RTCAC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.unguarded_read();
+}

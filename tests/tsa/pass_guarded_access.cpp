@@ -1,0 +1,57 @@
+// tests/tsa/pass_guarded_access.cpp
+//
+// Compile-PASS control for fail_unguarded_access.cpp: the same guarded
+// member, accessed only under its lock (scoped guards for both the
+// exclusive and the shared side), must compile cleanly under
+// -Werror=thread-safety.  If this fixture ever fails to compile the
+// annotation wrappers themselves regressed — which would otherwise be
+// indistinguishable from "the negative fixture failed for the right
+// reason".
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    const rtcac::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  [[nodiscard]] int read() const {
+    const rtcac::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable rtcac::Mutex mutex_;
+  int value_ RTCAC_GUARDED_BY(mutex_) = 0;
+};
+
+class Registry {
+ public:
+  void publish(int snapshot) {
+    const rtcac::ExclusiveLock lock(mutex_);
+    snapshot_ = snapshot;
+  }
+
+  [[nodiscard]] int snapshot() const {
+    const rtcac::SharedLock lock(mutex_);
+    return snapshot_;
+  }
+
+ private:
+  mutable rtcac::SharedMutex mutex_;
+  int snapshot_ RTCAC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  Registry registry;
+  registry.publish(counter.read());
+  return registry.snapshot();
+}

@@ -1,0 +1,109 @@
+// Unit tests for util/lock_order.h: the runtime half of the shard
+// lock-order discipline (the static half is the clang thread-safety
+// annotations plus the `lock-order` lint rule).
+//
+// The audit is armed only under RTCAC_CONTRACT_AUDIT (Debug presets),
+// so every expectation is split on RTCAC_AUDIT_ENABLED: armed builds
+// must throw ContractViolation on a discipline violation *before* the
+// would-be deadlock, release builds must compile the whole audit to
+// nothing.
+
+#include "util/lock_order.h"
+
+#include <cstddef>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/contract.h"
+
+namespace rtcac {
+namespace {
+
+#if RTCAC_AUDIT_ENABLED
+
+TEST(LockOrderAudit, AscendingAcquisitionIsAccepted) {
+  EXPECT_EQ(LockOrderAudit::depth(), 0u);
+  LockOrderAudit::push(0);
+  LockOrderAudit::push(3);
+  LockOrderAudit::push(7);
+  EXPECT_EQ(LockOrderAudit::depth(), 3u);
+  LockOrderAudit::pop(7);
+  LockOrderAudit::pop(3);
+  LockOrderAudit::pop(0);
+  EXPECT_EQ(LockOrderAudit::depth(), 0u);
+}
+
+TEST(LockOrderAudit, DescendingAcquisitionThrowsBeforeRecording) {
+  LockOrderAudit::push(5);
+  EXPECT_THROW(LockOrderAudit::push(2), ContractViolation);
+  // The failed push must not have been recorded.
+  EXPECT_EQ(LockOrderAudit::depth(), 1u);
+  LockOrderAudit::pop(5);
+}
+
+TEST(LockOrderAudit, RecursiveAcquisitionThrows) {
+  LockOrderAudit::push(4);
+  EXPECT_THROW(LockOrderAudit::push(4), ContractViolation);
+  LockOrderAudit::pop(4);
+}
+
+TEST(LockOrderAudit, OutOfLifoReleaseThrows) {
+  LockOrderAudit::push(1);
+  LockOrderAudit::push(2);
+  EXPECT_THROW(LockOrderAudit::pop(1), ContractViolation);
+  LockOrderAudit::pop(2);
+  LockOrderAudit::pop(1);
+}
+
+TEST(LockOrderAudit, PopOnEmptyStackThrows) {
+  EXPECT_EQ(LockOrderAudit::depth(), 0u);
+  EXPECT_THROW(LockOrderAudit::pop(0), ContractViolation);
+}
+
+TEST(LockOrderAudit, ScopeRecordsAndReleases) {
+  {
+    const LockOrderAudit::Scope outer(2);
+    EXPECT_EQ(LockOrderAudit::depth(), 1u);
+    {
+      const LockOrderAudit::Scope inner(6);
+      EXPECT_EQ(LockOrderAudit::depth(), 2u);
+    }
+    EXPECT_EQ(LockOrderAudit::depth(), 1u);
+  }
+  EXPECT_EQ(LockOrderAudit::depth(), 0u);
+}
+
+TEST(LockOrderAudit, StacksArePerThread) {
+  // A thread holding shard 9 must not constrain another thread that
+  // starts its own ascent from shard 0.
+  LockOrderAudit::push(9);
+  std::thread other([] {
+    EXPECT_EQ(LockOrderAudit::depth(), 0u);
+    LockOrderAudit::push(0);
+    LockOrderAudit::push(1);
+    LockOrderAudit::pop(1);
+    LockOrderAudit::pop(0);
+  });
+  other.join();
+  EXPECT_EQ(LockOrderAudit::depth(), 1u);
+  LockOrderAudit::pop(9);
+}
+
+#else  // !RTCAC_AUDIT_ENABLED
+
+TEST(LockOrderAudit, DisarmedShellIsInert) {
+  // Out-of-order and unbalanced sequences are all no-ops: the release
+  // shell records nothing and never throws.
+  LockOrderAudit::push(5);
+  LockOrderAudit::push(2);
+  LockOrderAudit::pop(5);
+  EXPECT_EQ(LockOrderAudit::depth(), 0u);
+  const LockOrderAudit::Scope scope(3);
+  EXPECT_EQ(LockOrderAudit::depth(), 0u);
+}
+
+#endif  // RTCAC_AUDIT_ENABLED
+
+}  // namespace
+}  // namespace rtcac

@@ -62,16 +62,48 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
   concurrency-state Threading primitives (std::mutex, std::shared_mutex,
                     std::thread, std::atomic, std::condition_variable,
                     locks, futures) are confined to the dedicated
-                    concurrency modules: util/thread_pool.h,
-                    core/concurrent_cac.{h,cpp} and
+                    concurrency modules: util/thread_annotations.h,
+                    util/thread_pool.h, core/concurrent_cac.{h,cpp} and
                     net/admission_engine.{h,cpp}.  Everything else in
                     src/ stays single-threaded by construction, so the
                     priming/lock-order reasoning in concurrent_cac.h
                     (docs/PERFORMANCE.md, "Parallel admission") covers
                     every cross-thread access in the codebase.
 
+  lock-order        Locking goes through the annotated RAII guards of
+                    util/thread_annotations.h, never around them: no
+                    raw .lock()/.unlock()/.try_lock() method calls, no
+                    std::lock/std::try_lock or adopt_lock/defer_lock
+                    tags, and no TSA-blind std:: guard types
+                    (scoped_lock, unique_lock, lock_guard,
+                    shared_lock), all of which would sidestep the clang
+                    thread-safety analysis.  At most one shard-state
+                    guard (ExclusiveLock/SharedLock) may be constructed
+                    per function: holding several shard locks at once
+                    is exactly the deadlock-prone pattern that must go
+                    through ConcurrentCac::ShardLockSet, whose members
+                    are the rule's only raw-call exception (they
+                    implement the canonical ascending acquisition
+                    order, audited by util/lock_order.h).
+
+  guarded-by        In any class that owns a mutex (Mutex, SharedMutex
+                    or their std:: equivalents), every other data
+                    member must either carry an RTCAC_GUARDED_BY /
+                    RTCAC_PT_GUARDED_BY annotation naming its lock or
+                    an explicit allow() with a written justification
+                    (immutable after construction, internally
+                    synchronized, ...).  This keeps the clang analysis
+                    honest: an unannotated member in a lock-owning
+                    class is invisible to -Wthread-safety, so every
+                    escape must be a deliberate, reviewable decision.
+
 A finding can be suppressed on its line with a trailing comment:
     // rtcac-lint: allow(<rule-name>)
+
+Findings are emitted compiler-style — `file:line: rule-name: message` —
+so editors and CI problem matchers pick them up like gcc/clang
+diagnostics.  `--rule <name>` (repeatable) restricts the run to the
+named rules; anything else found is not reported.
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 errors.  Run from anywhere: paths are resolved against --root (default:
@@ -165,12 +197,62 @@ CONCURRENCY_RE = re.compile(
     r"barrier|latch|counting_semaphore|binary_semaphore|stop_token|"
     r"stop_source|call_once|once_flag)\b")
 CONCURRENCY_ALLOWED = (
+    ("src", "util", "thread_annotations.h"),
     ("src", "util", "thread_pool.h"),
     ("src", "core", "concurrent_cac.h"),
     ("src", "core", "concurrent_cac.cpp"),
     ("src", "net", "admission_engine.h"),
     ("src", "net", "admission_engine.cpp"),
 )
+
+# lock-order: the annotated-wrapper layer itself is the one place raw
+# mutex methods and std:: lock vocabulary legitimately appear.
+LOCK_WRAPPER_HOME = ("src", "util", "thread_annotations.h")
+# Raw mutex method calls (".lock()", "->try_lock_shared()", ...).
+RAW_LOCK_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(?:try_lock|lock|unlock)(?:_shared)?\s*\(")
+# Multi-lock algorithms and lock-adoption tags: all of them exist to
+# juggle several mutexes by hand, which is ShardLockSet's job.
+STD_LOCK_VOCAB_RE = re.compile(
+    r"\bstd::(?:lock|try_lock)\s*\(|"
+    r"\bstd::(?:adopt_lock|defer_lock|try_to_lock)\b|"
+    r"\bstd::(?:scoped_lock|unique_lock|lock_guard|shared_lock)\b")
+# A shard-state guard construction ("const ExclusiveLock lock(...)").
+# MutexLock deliberately does not count: it guards leaf mutexes
+# (pending queues, the engine's record map) that are never held while
+# acquiring a shard lock, so two of them cannot invert the shard order.
+SHARD_GUARD_RE = re.compile(r"\b(?:ExclusiveLock|SharedLock)\s+\w+\s*[({]")
+# Out-of-line member definition at column 0: tracks which qualified
+# function the scan is inside (same technique as SIGNALING_FUNC_RE, but
+# anchored to the line start so *calls* of qualified names never
+# masquerade as definitions).
+QUALIFIED_DEF_RE = re.compile(r"(\w+(?:<[\w,\s]*>)?(?:::~?\w+)+)\s*\(")
+
+# guarded-by: mutex-owning members, and member types that are exempt
+# because they are synchronization primitives themselves (the lock, the
+# condition variables waiting on it, atomics, and the debug lock-order
+# audit scope).
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:rtcac::)?(?:Mutex|SharedMutex)\s+\w+\s*;|"
+    r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_|shared_timed_)?"
+    r"mutex\s+\w+\s*;")
+GUARDED_EXEMPT_RE = re.compile(
+    r"\bstd::condition_variable(?:_any)?\b|\bstd::atomic\b|"
+    r"\bLockOrderAudit\b")
+GUARDED_ANNOTATION_RE = re.compile(r"\bRTCAC_(?:PT_)?GUARDED_BY\s*\(")
+# Keywords that mark a member-level statement as something other than a
+# plain data member (type aliases, nested types, constants, friends).
+GUARDED_SKIP_RE = re.compile(
+    r"\b(?:using|typedef|friend|static|constexpr|enum|class|struct|"
+    r"template|operator)\b")
+CLASS_DEF_RE = re.compile(
+    r"^\s*(?:template\s*<[^>]*>\s*)?(?:class|struct)\b(?!.*\benum\b)"
+    r".*\{")
+ACCESS_LABEL_RE = re.compile(r"^\s*(?:public|private|protected)\s*:")
+# Name of a plain data member: the identifier directly before the
+# optional default initializer and the semicolon (the annotated and
+# function-declaration cases are recognized before this is consulted).
+MEMBER_NAME_RE = re.compile(r"\b(\w+)\s*(?:=[^;]*|\{[^}]*\})?;")
 
 
 def strip_comments_and_strings(line: str, in_block_comment: bool):
@@ -225,13 +307,22 @@ def strip_comments_and_strings(line: str, in_block_comment: bool):
     return "".join(code), "".join(comment), state == "block"
 
 
+# Every rule this linter knows; --rule validates against it.
+RULES = ("float-compare", "no-rand", "naked-throw", "include-hygiene",
+         "signaling-state", "cac-cache-state", "admission-walk",
+         "concurrency-state", "lock-order", "guarded-by")
+
+
 class Linter:
-    def __init__(self, root: Path):
+    def __init__(self, root: Path, rules: list[str] | None = None):
         self.root = root
+        self.rules = tuple(rules) if rules else None
         self.findings: list[tuple[Path, int, str, str]] = []
 
     def report(self, path: Path, lineno: int, rule: str, message: str,
                comment_text: str) -> None:
+        if self.rules is not None and rule not in self.rules:
+            return
         if rule in ALLOW_RE.findall(comment_text):
             return
         self.findings.append((path, lineno, rule, message))
@@ -246,7 +337,15 @@ class Linter:
         is_cac_impl = rel.parts == ("src", "core", "switch_cac.cpp")
         is_cac_header = rel.parts == ("src", "core", "switch_cac.h")
         concurrency_allowed = rel.parts in CONCURRENCY_ALLOWED
+        is_lock_wrapper = rel.parts == LOCK_WRAPPER_HOME
         current_function = ""
+        # lock-order bookkeeping: the qualified name of the out-of-line
+        # function being scanned (column-0 definitions only, so calls of
+        # qualified names never masquerade as definitions) and how many
+        # shard guards it has constructed so far.
+        current_qualified = ""
+        in_lockset = False
+        shard_guard_count = 0
         is_header = path.suffix == ".h"
         text = path.read_text(encoding="utf-8")
         lines = text.splitlines()
@@ -255,6 +354,8 @@ class Linter:
                 ln.strip() == "#pragma once" for ln in lines):
             self.report(path, 1, "include-hygiene",
                         "header is missing #pragma once", "")
+
+        self.check_guarded_by(path, lines)
 
         in_block = False
         for lineno, raw in enumerate(lines, start=1):
@@ -306,6 +407,41 @@ class Linter:
                         "(src/core/path_eval.*); the advertised-vs-"
                         "computed split is PathEvaluator's to make",
                         comment_text)
+
+            if not is_lock_wrapper:
+                if code and not code[0].isspace() and "(" in code:
+                    m = QUALIFIED_DEF_RE.search(code)
+                    current_qualified = m.group(1) if m else ""
+                    in_lockset = (
+                        "ShardLockSet" in current_qualified.split("::"))
+                    shard_guard_count = 0
+                if STD_LOCK_VOCAB_RE.search(code):
+                    self.report(
+                        path, lineno, "lock-order",
+                        "std:: lock vocabulary (std::lock / scoped_lock / "
+                        "unique_lock / adopt_lock, ...) is invisible to the "
+                        "clang thread-safety analysis; use the annotated "
+                        "guards of util/thread_annotations.h", comment_text)
+                if not in_lockset and RAW_LOCK_CALL_RE.search(code):
+                    self.report(
+                        path, lineno, "lock-order",
+                        "raw .lock()/.unlock()/.try_lock() call outside "
+                        "ConcurrentCac::ShardLockSet; locking goes through "
+                        "the RAII guards of util/thread_annotations.h so "
+                        "the analysis sees every transition", comment_text)
+                if not in_lockset:
+                    hits = len(SHARD_GUARD_RE.findall(code))
+                    if hits:
+                        shard_guard_count += hits
+                        if shard_guard_count > 1:
+                            self.report(
+                                path, lineno, "lock-order",
+                                "second shard-state guard constructed in '"
+                                f"{current_qualified or '<file scope>'}'; "
+                                "holding several shard locks must go "
+                                "through ConcurrentCac::ShardLockSet "
+                                "(canonical ascending order, audited by "
+                                "util/lock_order.h)", comment_text)
 
             if not concurrency_allowed and CONCURRENCY_RE.search(code):
                 self.report(
@@ -367,12 +503,93 @@ class Linter:
                                 "NumTraits<Num> (nearly_equal / nearly_leq)",
                                 comment_text)
 
+    def check_guarded_by(self, path: Path, lines: list[str]) -> None:
+        """guarded-by: in a class that owns a mutex, every plain data
+        member carries RTCAC_[PT_]GUARDED_BY or an explicit allow().
+
+        A dedicated pass because the verdict is per-*class*, not
+        per-line: the mutex member may be declared after the members it
+        guards, so unannotated candidates are buffered until the class
+        body closes and reported only if a mutex turned up.  Statements
+        are joined until their `;` so multi-line declarations (member,
+        annotation and semicolon on different lines) are judged whole.
+        """
+        in_block = False
+        depth = 0
+        # One entry per open class body: the brace depth of its member
+        # level, whether a mutex member has been seen, and the buffered
+        # unannotated candidates (line, member name, comment text).
+        stack: list[dict] = []
+        stmt = ""
+        stmt_comment = ""
+        stmt_line = 0
+        for lineno, raw in enumerate(lines, start=1):
+            code, comment_text, in_block = strip_comments_and_strings(
+                raw, in_block)
+            class_here = bool(CLASS_DEF_RE.match(code))
+            at_member_level = (stack
+                               and depth == stack[-1]["body_depth"]
+                               and not class_here)
+            if at_member_level:
+                member_code = ACCESS_LABEL_RE.sub("", code)
+                if member_code.strip():
+                    if not stmt.strip():
+                        stmt_line = lineno
+                    stmt += " " + member_code
+                if comment_text.strip():
+                    stmt_comment += " " + comment_text
+                if ";" in stmt:
+                    self._judge_member(stack[-1], stmt, stmt_line,
+                                       stmt_comment)
+                    stmt, stmt_comment = "", ""
+                elif "{" in stmt:  # inline function body opens
+                    stmt, stmt_comment = "", ""
+            if class_here:
+                stack.append({"body_depth": depth + 1, "has_mutex": False,
+                              "candidates": []})
+                stmt, stmt_comment = "", ""
+            depth += code.count("{") - code.count("}")
+            while stack and depth < stack[-1]["body_depth"]:
+                closed = stack.pop()
+                if closed["has_mutex"]:
+                    for mem_line, name, mem_comment in closed["candidates"]:
+                        self.report(
+                            path, mem_line, "guarded-by",
+                            f"member '{name}' of a mutex-owning class has "
+                            "no RTCAC_GUARDED_BY / RTCAC_PT_GUARDED_BY "
+                            "annotation; name its lock, or justify the "
+                            "escape with rtcac-lint: allow(guarded-by)",
+                            mem_comment)
+                stmt, stmt_comment = "", ""
+
+    @staticmethod
+    def _judge_member(cls_state: dict, stmt: str, lineno: int,
+                      comment_text: str) -> None:
+        s = stmt.strip()
+        if not s:
+            return
+        if GUARDED_ANNOTATION_RE.search(s):
+            return  # annotated — exactly what the rule wants
+        if MUTEX_MEMBER_RE.search(s):
+            cls_state["has_mutex"] = True
+            return
+        if "(" in s:
+            return  # function declaration / deleted op / ctor
+        if GUARDED_EXEMPT_RE.search(s) or GUARDED_SKIP_RE.search(s):
+            return
+        m = MEMBER_NAME_RE.search(s)
+        if m:
+            cls_state["candidates"].append((lineno, m.group(1),
+                                            comment_text))
+
     def run(self, paths: list[Path]) -> int:
         for path in paths:
             self.lint_file(path)
         for path, lineno, rule, message in self.findings:
             rel = path.relative_to(self.root)
-            print(f"{rel}:{lineno}: [{rule}] {message}")
+            # Compiler-style diagnostics: editors and CI problem
+            # matchers parse these like gcc/clang output.
+            print(f"{rel}:{lineno}: {rule}: {message}")
         if self.findings:
             print(f"rtcac_lint: {len(self.findings)} finding(s)",
                   file=sys.stderr)
@@ -385,6 +602,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--root", type=Path,
                         default=Path(__file__).resolve().parent.parent,
                         help="repository root (default: inferred)")
+    parser.add_argument("--rule", action="append", dest="rules",
+                        metavar="NAME", choices=RULES,
+                        help="run only the named rule (repeatable; "
+                             f"known: {', '.join(RULES)})")
     parser.add_argument("files", nargs="*", type=Path,
                         help="files to lint (default: all of src/)")
     args = parser.parse_args(argv)
@@ -405,7 +626,7 @@ def main(argv: list[str]) -> int:
         paths = sorted(p for p in (root / "src").rglob("*")
                        if p.suffix in (".h", ".cpp") and p.is_file())
 
-    return Linter(root).run(paths)
+    return Linter(root, args.rules).run(paths)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/rtcac_lint.py against the fixture corpus.
+
+Every rule the linter knows has a fixture pair under
+tests/lint/fixtures/<rule>/:
+
+  bad.*   must produce *exactly* the findings marked in-line with a
+          trailing `// expect: <rule>` comment (rule and line number
+          both have to match), and exit 1;
+  ok.*    must produce no findings at all, and exit 0.
+
+Most rules are path-sensitive (signaling-state only fires in
+src/net/signaling.cpp, concurrency-state depends on an allow-list, ...),
+so each fixture declares where it pretends to live with a first-line
+directive:
+
+  // lint-fixture-dest: src/net/signaling.cpp
+
+The runner materializes a scratch tree per fixture, copies the fixture
+to its declared destination, and invokes the linter as a subprocess
+with `--rule <rule>` — so each fixture is judged by its own rule alone
+and the filter flag itself gets exercised on every run.  A missing
+fixture pair for any known rule is itself a failure: a new rule cannot
+land unchecked.
+
+Runs standalone (exit 0/1, one PASS/FAIL line per fixture) and under
+pytest (each fixture becomes one parametrized test case).
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINTER = REPO / "tools" / "rtcac_lint.py"
+FIXTURES = REPO / "tests" / "lint" / "fixtures"
+
+sys.path.insert(0, str(REPO / "tools"))
+from rtcac_lint import RULES  # noqa: E402
+
+DEST_RE = re.compile(r"^//\s*lint-fixture-dest:\s*(\S+)\s*$")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+FINDING_RE = re.compile(r"^(?P<path>.+?):(?P<line>\d+): (?P<rule>[a-z-]+): ")
+
+
+def iter_cases() -> list[tuple[str, Path]]:
+    """All (rule, fixture path) pairs, plus coverage errors as cases
+    with a None path so they surface through the same reporting."""
+    cases: list[tuple[str, Path]] = []
+    for rule in RULES:
+        rule_dir = FIXTURES / rule
+        for kind in ("bad", "ok"):
+            matches = sorted(rule_dir.glob(f"{kind}.*"))
+            if len(matches) == 1:
+                cases.append((rule, matches[0]))
+            else:
+                cases.append((rule, rule_dir / f"{kind}.<missing>"))
+    return cases
+
+
+def check_fixture(rule: str, fixture: Path) -> list[str]:
+    """Returns a list of human-readable problems; empty means pass."""
+    if not fixture.is_file():
+        return [f"no fixture: every rule needs a bad.* and an ok.* file "
+                f"under {fixture.parent.relative_to(REPO)}/"]
+    lines = fixture.read_text(encoding="utf-8").splitlines()
+    dest_match = DEST_RE.match(lines[0]) if lines else None
+    if not dest_match:
+        return ["first line must be '// lint-fixture-dest: src/...'"]
+    dest = dest_match.group(1)
+    if not dest.startswith("src/"):
+        return [f"lint-fixture-dest must point into src/ (got {dest!r})"]
+
+    expected: set[tuple[int, str]] = set()
+    problems: list[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        for marked_rule in EXPECT_RE.findall(line):
+            if marked_rule != rule:
+                problems.append(
+                    f"line {lineno}: expect-marker names rule "
+                    f"'{marked_rule}' inside the '{rule}' fixture")
+            expected.add((lineno, marked_rule))
+    is_bad = fixture.name.startswith("bad")
+    if is_bad and not expected:
+        problems.append("positive fixture carries no '// expect:' marker")
+    if not is_bad and expected:
+        problems.append("negative fixture must not carry expect-markers")
+    if problems:
+        return problems
+
+    with tempfile.TemporaryDirectory(prefix="rtcac_lint_selftest.") as tmp:
+        root = Path(tmp)
+        target = root / dest
+        target.parent.mkdir(parents=True)
+        shutil.copyfile(fixture, target)
+        proc = subprocess.run(
+            [sys.executable, str(LINTER), "--root", str(root),
+             "--rule", rule, str(target)],
+            capture_output=True, text=True, check=False)
+
+    actual: set[tuple[int, str]] = set()
+    for out_line in proc.stdout.splitlines():
+        finding = FINDING_RE.match(out_line)
+        if finding:
+            actual.add((int(finding.group("line")), finding.group("rule")))
+
+    for lineno, missed in sorted(expected - actual):
+        problems.append(f"line {lineno}: expected a '{missed}' finding, "
+                        "linter reported none")
+    for lineno, extra in sorted(actual - expected):
+        problems.append(f"line {lineno}: unexpected '{extra}' finding")
+    want_rc = 1 if expected else 0
+    if proc.returncode != want_rc:
+        problems.append(f"exit status {proc.returncode}, expected {want_rc}"
+                        + (f"; stderr: {proc.stderr.strip()}"
+                           if proc.returncode not in (0, 1) else ""))
+    return problems
+
+
+def main() -> int:
+    failures = 0
+    for rule, fixture in iter_cases():
+        problems = check_fixture(rule, fixture)
+        label = f"{rule}/{fixture.name}"
+        if problems:
+            failures += 1
+            print(f"FAIL {label}")
+            for problem in problems:
+                print(f"     {problem}")
+        else:
+            print(f"PASS {label}")
+    total = len(iter_cases())
+    print(f"rtcac_lint_selftest: {total - failures}/{total} fixtures passed")
+    return 1 if failures else 0
+
+
+def test_fixtures() -> None:
+    """pytest entry point: one assertion over the whole corpus, with
+    every problem in the failure message."""
+    report = {f"{rule}/{fixture.name}": check_fixture(rule, fixture)
+              for rule, fixture in iter_cases()}
+    bad = {label: problems for label, problems in report.items() if problems}
+    assert not bad, f"fixture failures: {bad}"
+
+
+if __name__ == "__main__":
+    sys.exit(main())
