@@ -21,6 +21,8 @@ const char* to_string(RejectCode code) noexcept {
       return "deadline";
     case RejectCode::kTimeout:
       return "timeout";
+    case RejectCode::kNoRoute:
+      return "no-route";
   }
   return "?";
 }
@@ -179,6 +181,13 @@ RejectReason PathEvaluator::priority_rejection() {
   return reason;
 }
 
+RejectReason PathEvaluator::no_route_rejection() {
+  RejectReason reason;
+  reason.code = RejectCode::kNoRoute;
+  reason.detail = "no route avoiding the failed set";
+  return reason;
+}
+
 RejectReason PathEvaluator::hop_rejection(std::size_t hop,
                                           std::string_view point_name,
                                           std::string_view detail) {
@@ -249,6 +258,35 @@ void PathEvaluator::commit(std::span<const Hop> hops, ConnectionId id,
                 "PathEvaluator::commit: arrival/hop count mismatch");
   for (std::size_t h = 0; h < hops.size(); ++h) {
     commit_hop(hops[h], id, request.priority, arrivals[h], lease_expiry);
+  }
+}
+
+PathEvaluator::Decision PathEvaluator::admit_delta(
+    std::span<const Hop> hops, ConnectionId provisional_id,
+    const QosRequest& request, double lease_expiry) const {
+  // The ordinary walk *is* the delta check: the connection's old
+  // reservations are still part of every queueing point's load, so the
+  // verdict covers the combined old+new state.
+  Decision decision = evaluate(hops, request);
+  if (decision.admitted) {
+    commit(hops, provisional_id, request, decision.arrivals, lease_expiry);
+  }
+  return decision;
+}
+
+void PathEvaluator::rebind(std::span<const Hop> hops,
+                           ConnectionId provisional_id, ConnectionId final_id,
+                           const QosRequest& request,
+                           std::span<const std::any> arrivals,
+                           double lease_expiry) const {
+  RTCAC_REQUIRE(arrivals.size() == hops.size(),
+                "PathEvaluator::rebind: arrival/hop count mismatch");
+  for (std::size_t h = 0; h < hops.size(); ++h) {
+    RTCAC_ASSERT(hops[h].cac != nullptr && hops[h].cac->contains(provisional_id),
+                 "PathEvaluator::rebind: provisional reservation missing");
+    hops[h].cac->remove(provisional_id);
+    hops[h].cac->add(final_id, hops[h].in_port, hops[h].out_port,
+                     request.priority, arrivals[h], lease_expiry);
   }
 }
 

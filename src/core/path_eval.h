@@ -74,6 +74,7 @@ enum class RejectCode {
   kAdmission,  ///< a queueing point's CAC said no
   kDeadline,   ///< all hops admitted, but the promised bound exceeds D
   kTimeout,    ///< signaling retransmission budget exhausted
+  kNoRoute,    ///< no route exists around the failed set (rerouting)
 };
 
 [[nodiscard]] const char* to_string(RejectCode code) noexcept;
@@ -92,6 +93,10 @@ struct RejectReason {
   [[nodiscard]] bool rejected() const noexcept {
     return code != RejectCode::kNone;
   }
+
+  /// Bit-identical equality — what the equivalence and replay-determinism
+  /// suites compare across engines and runs.
+  friend bool operator==(const RejectReason&, const RejectReason&) = default;
 };
 
 /// Verdict of one queueing point's policy check for one candidate.
@@ -300,6 +305,9 @@ class PathEvaluator {
   // to what the engines historically emitted; docs/ARCHITECTURE.md maps
   // the old strings to the codes.
   [[nodiscard]] static RejectReason priority_rejection();
+  /// No path around the avoided/failed set (mass rerouting,
+  /// net/reroute.h); not attributable to a hop.
+  [[nodiscard]] static RejectReason no_route_rejection();
   [[nodiscard]] static RejectReason hop_rejection(std::size_t hop,
                                                   std::string_view point_name,
                                                   std::string_view detail);
@@ -319,6 +327,35 @@ class PathEvaluator {
   void commit(std::span<const Hop> hops, ConnectionId id,
               const QosRequest& request, std::span<const std::any> arrivals,
               double lease_expiry) const;
+
+  // --- Delta admission (make-before-break rerouting) -------------------
+  //
+  // A live connection being rehomed still holds its old reservations
+  // while the replacement route is judged, so the walk validates the
+  // *combined* old+new load — conservative by construction: there is
+  // never a window with zero reservation, and any double-booking on
+  // queueing points the two routes share is exactly what the admission
+  // check explicitly re-validated.  After the old path is released the
+  // true load only shrinks, so every bound promised here still holds.
+  // See docs/FAULT_TOLERANCE.md, "Survivability".
+
+  /// Evaluates the replacement route against the current state and, on
+  /// acceptance, commits it under `provisional_id` (a fresh id, so shared
+  /// queueing points can hold old and new reservations side by side).
+  /// Rejection commits nothing.
+  [[nodiscard]] Decision admit_delta(std::span<const Hop> hops,
+                                     ConnectionId provisional_id,
+                                     const QosRequest& request,
+                                     double lease_expiry) const;
+
+  /// Final step of make-before-break, after the old path is released:
+  /// re-keys the reservations committed under `provisional_id` onto the
+  /// connection's stable `final_id` at every hop.  Deterministic and
+  /// infallible — each hop swap is remove-then-add of an arrival that
+  /// was already committed, so no admission decision is re-opened.
+  void rebind(std::span<const Hop> hops, ConnectionId provisional_id,
+              ConnectionId final_id, const QosRequest& request,
+              std::span<const std::any> arrivals, double lease_expiry) const;
 
  private:
   [[nodiscard]] double promised(double e2e_bound, double e2e_advertised) const;

@@ -22,6 +22,8 @@ const char* to_string(TeardownReason reason) noexcept {
       return "release";
     case TeardownReason::kFailure:
       return "failure";
+    case TeardownReason::kRerouted:
+      return "rerouted";
   }
   return "?";
 }
@@ -197,6 +199,55 @@ ConnectionManager::SetupResult ConnectionManager::check(
   const std::vector<HopRef> hops = queueing_points(route);
   const std::vector<PathEvaluator::Hop> views = eval_hops(hops);
   apply_decision(result, evaluator_.evaluate(views, request), hops);
+  return result;
+}
+
+ConnectionManager::SetupResult ConnectionManager::check_reroute(
+    ConnectionId id, const Route& new_route) const {
+  const auto it = records_.find(id);
+  RTCAC_REQUIRE(it != records_.end(),
+                "ConnectionManager: check_reroute of unknown connection");
+  // The old reservations are still part of every switch's load, so this
+  // plain check is the combined old+new validation.
+  return check(it->second.request, new_route);
+}
+
+ConnectionManager::SetupResult ConnectionManager::rehome(
+    ConnectionId id, const Route& new_route) {
+  const auto it = records_.find(id);
+  RTCAC_REQUIRE(it != records_.end(),
+                "ConnectionManager: rehome of unknown connection");
+  const QosRequest& request = it->second.request;
+
+  SetupResult result;
+  const std::vector<HopRef> new_hops = queueing_points(new_route);
+  const std::vector<PathEvaluator::Hop> new_views = eval_hops(new_hops);
+
+  // Make: admit the replacement while the old path is still reserved.
+  // The provisional id keeps shared queueing points collision-free while
+  // both incarnations coexist.
+  const ConnectionId provisional = next_id_++;
+  const PathEvaluator::Decision decision = evaluator_.admit_delta(
+      new_views, provisional, request, SwitchCac::kPermanentLease);
+  apply_decision(result, decision, new_hops);
+  if (!result.accepted) {
+    RTCAC_DEBUG << "rehome " << id << " failed: " << result.reason;
+    return result;
+  }
+
+  // Break: release the old path — the provisional reservations already
+  // protect the connection, so there is no zero-reservation window.
+  for (const HopRef& hop : it->second.hops) {
+    policy_point(hop.node).remove(id);
+  }
+  ++teardowns_[TeardownReason::kRerouted];
+
+  // Rebind the new reservations onto the stable id and swing the record.
+  evaluator_.rebind(new_views, provisional, id, request, decision.arrivals,
+                    SwitchCac::kPermanentLease);
+  it->second.route = new_route;
+  it->second.hops = new_hops;
+  result.id = id;
   return result;
 }
 

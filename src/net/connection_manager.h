@@ -43,9 +43,10 @@ namespace rtcac {
 
 /// Why a connection's reservations were released (diagnostics counters).
 enum class TeardownReason {
-  kLocal,    ///< ordinary user-requested teardown
-  kRelease,  ///< signaling RELEASE tearing down a failed/timed-out setup
-  kFailure,  ///< component failure forced the release
+  kLocal,     ///< ordinary user-requested teardown
+  kRelease,   ///< signaling RELEASE tearing down a failed/timed-out setup
+  kFailure,   ///< component failure forced the release
+  kRerouted,  ///< old path released after a make-before-break rehome
 };
 
 [[nodiscard]] const char* to_string(TeardownReason reason) noexcept;
@@ -104,6 +105,23 @@ class ConnectionManager {
   /// equivalence suite and the parallel benchmark gate replay against.
   [[nodiscard]] SetupResult check(const QosRequest& request,
                                   const Route& route) const;
+
+  /// Delta admission for an established connection: could `id` be carried
+  /// over `new_route` *in addition to* the current load (its old
+  /// reservations still held — the make-before-break combined check)?
+  /// Commits nothing.  Throws (RTCAC_REQUIRE) on an unknown id.
+  [[nodiscard]] SetupResult check_reroute(ConnectionId id,
+                                          const Route& new_route) const;
+
+  /// Make-before-break rehome (docs/FAULT_TOLERANCE.md, "Survivability"):
+  /// admits `new_route` as a delta against the combined old+new load,
+  /// commits it under a provisional id, releases the old path (counted as
+  /// TeardownReason::kRerouted), and rebinds the new reservations onto
+  /// the connection's stable id.  The connection keeps its id and its
+  /// record follows the new route; at no instant does it hold zero
+  /// reserved paths.  On rejection nothing changes — the old path stays
+  /// reserved — and the result carries the canonical RejectReason.
+  SetupResult rehome(ConnectionId id, const Route& new_route);
 
   /// Releases a connection, restoring every switch's state.  Returns
   /// false for an unknown id.  The reason-tagged variant feeds the

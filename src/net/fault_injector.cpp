@@ -6,6 +6,16 @@
 
 namespace rtcac {
 
+const char* to_string(ComponentKind kind) noexcept {
+  switch (kind) {
+    case ComponentKind::kNode:
+      return "node";
+    case ComponentKind::kLink:
+      return "link";
+  }
+  return "?";
+}
+
 FaultInjector::FaultInjector(std::uint64_t seed, FaultProfile profile)
     : rng_(seed), profile_(profile) {
   const auto is_probability = [](double p) { return p >= 0.0 && p <= 1.0; };
@@ -71,19 +81,94 @@ void FaultInjector::duplicate_nth(SignalingMessageType type,
   scripted_dups_[type].insert(nth);
 }
 
-void FaultInjector::fail_node(NodeId node) { down_nodes_.insert(node); }
-void FaultInjector::recover_node(NodeId node) { down_nodes_.erase(node); }
-void FaultInjector::fail_link(LinkId link) { down_links_.insert(link); }
-void FaultInjector::recover_link(LinkId link) { down_links_.erase(link); }
+void FaultInjector::fail_node(NodeId node) {
+  down_nodes_.insert(node);
+  notify(ComponentKind::kNode, node, cursor_);
+}
+
+void FaultInjector::recover_node(NodeId node) {
+  down_nodes_.erase(node);
+  notify(ComponentKind::kNode, node, cursor_);
+}
+
+void FaultInjector::fail_link(LinkId link) {
+  down_links_.insert(link);
+  notify(ComponentKind::kLink, link, cursor_);
+}
+
+void FaultInjector::recover_link(LinkId link) {
+  down_links_.erase(link);
+  notify(ComponentKind::kLink, link, cursor_);
+}
 
 void FaultInjector::schedule_node_outage(NodeId node, Tick from, Tick to) {
   RTCAC_REQUIRE(from < to, "FaultInjector: empty outage window");
   node_outages_[node].push_back(Outage{from, to});
+  boundaries_.emplace(from, ComponentKind::kNode, node);
+  boundaries_.emplace(to, ComponentKind::kNode, node);
 }
 
 void FaultInjector::schedule_link_outage(LinkId link, Tick from, Tick to) {
   RTCAC_REQUIRE(from < to, "FaultInjector: empty outage window");
   link_outages_[link].push_back(Outage{from, to});
+  boundaries_.emplace(from, ComponentKind::kLink, link);
+  boundaries_.emplace(to, ComponentKind::kLink, link);
+}
+
+std::size_t FaultInjector::subscribe(ComponentObserver observer) {
+  RTCAC_REQUIRE(observer != nullptr, "FaultInjector: null observer");
+  const std::size_t token = next_observer_token_++;
+  observers_.emplace_back(token, std::move(observer));
+  return token;
+}
+
+void FaultInjector::unsubscribe(std::size_t token) {
+  std::erase_if(observers_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+void FaultInjector::notify(ComponentKind kind, std::uint32_t component,
+                           Tick at) {
+  const bool up = kind == ComponentKind::kNode
+                      ? node_up(component, at)
+                      : link_up(component, at);
+  const auto key = std::make_pair(kind, component);
+  const auto it = announced_.find(key);
+  const bool last_up = it == announced_.end() ? true : it->second;
+  if (up == last_up) return;  // no effective transition
+  announced_[key] = up;
+  ComponentEvent event;
+  event.kind = kind;
+  event.component = component;
+  event.up = up;
+  event.at = at;
+  for (const auto& [token, observer] : observers_) {
+    (void)token;
+    observer(event);
+  }
+}
+
+void FaultInjector::advance_to(Tick now) {
+  RTCAC_REQUIRE(now >= cursor_,
+                "FaultInjector: advance_to must be monotone");
+  // Sweep every pending boundary up to `now` in canonical
+  // (tick, kind, id) order; notify() re-derives the effective state, so
+  // overlapping windows collapse to single transitions.  A boundary
+  // scheduled in the cursor's past (late scheduling) takes effect at the
+  // cursor, never retroactively.
+  auto it = boundaries_.begin();
+  while (it != boundaries_.end() && std::get<0>(*it) <= now) {
+    const auto [tick, kind, component] = *it;
+    it = boundaries_.erase(it);
+    notify(kind, component, std::max(tick, cursor_));
+  }
+  cursor_ = now;
+}
+
+std::optional<Tick> FaultInjector::next_scheduled_change() const {
+  if (boundaries_.empty()) return std::nullopt;
+  // A boundary scheduled behind the cursor takes effect at the cursor.
+  return std::max(std::get<0>(*boundaries_.begin()), cursor_);
 }
 
 bool FaultInjector::in_outage(const std::vector<Outage>& outages,

@@ -19,12 +19,28 @@
 // The injector only *classifies*; the SignalingEngine applies verdicts to
 // its timed queue.  All state, including the RNG, lives here so two
 // engines with equal seeds and schedules replay identical fault traces.
+//
+// Component-state *observers* (docs/FAULT_TOLERANCE.md, "Survivability"):
+// subscribers receive a ComponentEvent whenever a node or link changes
+// effective up/down state — immediately for manual fail_*/recover_*
+// calls, and at the boundary ticks of scheduled [from, to) outage
+// windows when the owner drives advance_to(now).  Events report
+// *effective* transitions: overlapping windows and manual failures are
+// OR-ed together, so a component already down fires nothing when a
+// second cause appears and recovers only when the last cause clears.
+// Delivery order is deterministic: ascending (tick, kind, id), and
+// within one transition subscribers fire in subscription order — the
+// RerouteCoordinator (net/reroute.h) relies on this for replayable
+// mass-rerouting decisions.
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "net/signaling_message.h"
@@ -64,6 +80,29 @@ struct FaultCounters {
   std::size_t failed_component_losses = 0;
 };
 
+/// Which kind of component a ComponentEvent is about.
+enum class ComponentKind { kNode, kLink };
+
+[[nodiscard]] const char* to_string(ComponentKind kind) noexcept;
+
+/// One effective up/down transition of a node or link, as delivered to
+/// component observers.
+struct ComponentEvent {
+  ComponentKind kind = ComponentKind::kNode;
+  /// NodeId or LinkId, per `kind`.
+  std::uint32_t component = 0;
+  /// New effective state: false = just failed, true = just recovered.
+  bool up = false;
+  /// Tick of the transition: the boundary tick for scheduled outages,
+  /// the injector's advance cursor for manual calls.
+  Tick at = 0;
+};
+
+/// Observer callback; invoked synchronously from fail_*/recover_*/
+/// advance_to.  Observers may mutate admission state (that is the point)
+/// but must not re-enter the injector's mutators.
+using ComponentObserver = std::function<void(const ComponentEvent&)>;
+
 class FaultInjector {
  public:
   explicit FaultInjector(std::uint64_t seed, FaultProfile profile = {});
@@ -78,15 +117,39 @@ class FaultInjector {
   void drop_nth(SignalingMessageType type, std::size_t nth);
   void duplicate_nth(SignalingMessageType type, std::size_t nth);
 
-  /// Manual component state; failures persist until recovered.
+  /// Manual component state; failures persist until recovered.  Fires
+  /// observers immediately when the effective state changes.
   void fail_node(NodeId node);
   void recover_node(NodeId node);
   void fail_link(LinkId link);
   void recover_link(LinkId link);
 
   /// Scheduled outage over the half-open tick window [from, to).
+  /// Observers learn about its boundaries when advance_to crosses them.
   void schedule_node_outage(NodeId node, Tick from, Tick to);
   void schedule_link_outage(LinkId link, Tick from, Tick to);
+
+  /// Registers an observer for effective component transitions; returns a
+  /// token for unsubscribe().  Observers fire in subscription order.
+  std::size_t subscribe(ComponentObserver observer);
+  void unsubscribe(std::size_t token);
+
+  /// Moves the observer cursor forward to `now` (monotone), firing, in
+  /// ascending (tick, kind, id) order, one event per effective up/down
+  /// transition a pending scheduled outage boundary at or before `now`
+  /// causes.  Half-open windows mean a component is down *at* `from` and
+  /// up again *at* `to`.  A window scheduled behind the cursor takes
+  /// effect at the cursor, never retroactively.  Without observers this
+  /// is a cheap cursor bump.
+  void advance_to(Tick now);
+
+  /// Earliest unprocessed scheduled boundary, if any — what the next
+  /// advance_to would act on.  Drivers (RerouteCoordinator) use it to
+  /// interleave outage boundaries with their own timers in tick order.
+  [[nodiscard]] std::optional<Tick> next_scheduled_change() const;
+
+  /// The observer cursor: everything scheduled up to here has fired.
+  [[nodiscard]] Tick cursor() const noexcept { return cursor_; }
 
   [[nodiscard]] bool node_up(NodeId node, Tick now) const;
   [[nodiscard]] bool link_up(LinkId link, Tick now) const;
@@ -107,6 +170,10 @@ class FaultInjector {
   [[nodiscard]] static bool in_outage(const std::vector<Outage>& outages,
                                       Tick now) noexcept;
 
+  /// Recomputes the component's effective state at `at` and notifies
+  /// observers iff it differs from the last state they saw.
+  void notify(ComponentKind kind, std::uint32_t component, Tick at);
+
   Xorshift rng_;
   FaultProfile profile_;
   std::map<SignalingMessageType, std::set<std::size_t>> scripted_drops_;
@@ -117,6 +184,16 @@ class FaultInjector {
   std::map<NodeId, std::vector<Outage>> node_outages_;
   std::map<LinkId, std::vector<Outage>> link_outages_;
   FaultCounters counters_;
+
+  // Observer plumbing: scheduled boundaries not yet swept by advance_to
+  // (each outage contributes its `from` and `to` ticks; a set both
+  // dedupes shared boundaries and yields the canonical sweep order) and
+  // the last effective state each component was announced with.
+  std::vector<std::pair<std::size_t, ComponentObserver>> observers_;
+  std::size_t next_observer_token_ = 1;
+  std::set<std::tuple<Tick, ComponentKind, std::uint32_t>> boundaries_;
+  std::map<std::pair<ComponentKind, std::uint32_t>, bool> announced_;
+  Tick cursor_ = 0;
 };
 
 }  // namespace rtcac

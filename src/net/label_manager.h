@@ -63,6 +63,9 @@ class LabelManager {
   [[nodiscard]] std::size_t connection_count() const noexcept {
     return paths_.size();
   }
+  [[nodiscard]] bool contains(ConnectionId id) const noexcept {
+    return paths_.contains(id);
+  }
   [[nodiscard]] const LabelPath& path(ConnectionId id) const {
     return paths_.at(id).path;
   }

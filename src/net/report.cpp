@@ -101,8 +101,50 @@ SignalingReport summarize_signaling(const SignalingEngine& engine) {
   report.orphans_reclaimed = manager.orphans_reclaimed();
   for (const TeardownReason reason :
        {TeardownReason::kLocal, TeardownReason::kRelease,
-        TeardownReason::kFailure}) {
+        TeardownReason::kFailure, TeardownReason::kRerouted}) {
     report.teardowns[reason] = manager.teardowns(reason);
+  }
+  return report;
+}
+
+std::string RerouteReport::to_string() const {
+  std::ostringstream os;
+  os << "reroute report: " << episodes << " episodes ("
+     << failure_events << " failures, " << recovery_events
+     << " recoveries observed)\n";
+  os << "  rehomed " << rehomed << ", kept original " << kept_original
+     << ", degraded " << degraded << " (" << attempts << " admission attempts)\n";
+  if (rehomed + kept_original > 0) {
+    os << "  rescue latency: mean " << mean_rescue_latency << ", max "
+       << max_rescue_latency << " ticks\n";
+  }
+  for (const auto& [reason, count] : degraded_by_reason) {
+    if (count > 0) {
+      os << "  degraded (" << rtcac::to_string(reason) << "): " << count
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+RerouteReport summarize_reroute(const RerouteCoordinator& coordinator) {
+  RerouteReport report;
+  const RerouteCoordinator::Stats& s = coordinator.stats();
+  report.failure_events = s.failure_events;
+  report.recovery_events = s.recovery_events;
+  report.episodes = s.episodes;
+  report.rehomed = s.rehomed;
+  report.kept_original = s.kept_original;
+  report.degraded = s.degraded;
+  report.attempts = s.attempts;
+  report.max_rescue_latency = s.max_rescue_latency;
+  const std::size_t rescued = s.rehomed + s.kept_original;
+  report.mean_rescue_latency =
+      rescued == 0 ? 0.0
+                   : static_cast<double>(s.total_rescue_latency) /
+                         static_cast<double>(rescued);
+  for (const DegradationEntry& entry : coordinator.degradation().entries) {
+    ++report.degraded_by_reason[entry.reason.code];
   }
   return report;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/connection_manager.h"
+#include "net/reroute.h"
 #include "net/signaling.h"
 
 namespace rtcac {
@@ -86,5 +87,29 @@ struct SignalingReport {
 /// Snapshot of an engine's (and its manager's) signaling counters.
 [[nodiscard]] SignalingReport summarize_signaling(
     const SignalingEngine& engine);
+
+/// Survivability summary of a RerouteCoordinator run (net/reroute.h): how
+/// many connections lost their path, how they fared (rehomed onto an
+/// alternate route / kept the recovered original / degraded), and the
+/// re-admission latency the make-before-break machinery achieved.
+struct RerouteReport {
+  std::size_t failure_events = 0;
+  std::size_t recovery_events = 0;
+  std::size_t episodes = 0;
+  std::size_t rehomed = 0;
+  std::size_t kept_original = 0;
+  std::size_t degraded = 0;
+  std::size_t attempts = 0;
+  Tick max_rescue_latency = 0;
+  double mean_rescue_latency = 0;  ///< over rehomed + kept-original rescues
+  /// Final-attempt rejection codes of the degraded connections.
+  std::map<RejectCode, std::size_t> degraded_by_reason;
+
+  /// Human-readable multi-line summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] RerouteReport summarize_reroute(
+    const RerouteCoordinator& coordinator);
 
 }  // namespace rtcac

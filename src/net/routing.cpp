@@ -21,15 +21,28 @@ struct Label {
 
 std::optional<Route> shortest_route_avoiding(
     const Topology& topology, NodeId from, NodeId to,
-    std::span<const LinkId> excluded) {
+    const RouteAvoidance& avoid) {
   if (from >= topology.node_count() || to >= topology.node_count()) {
     return std::nullopt;
   }
+
+  std::vector<bool> banned_node(topology.node_count(), false);
+  for (const NodeId n : avoid.nodes) {
+    if (n < banned_node.size()) banned_node[n] = true;
+  }
+  // A down endpoint ends the search before it starts: no route can avoid
+  // its own source or destination.
+  if (banned_node[from] || banned_node[to]) return std::nullopt;
   if (from == to) return Route{};
 
   std::vector<bool> banned(topology.link_count(), false);
-  for (const LinkId l : excluded) {
+  for (const LinkId l : avoid.links) {
     if (l < banned.size()) banned[l] = true;
+  }
+  // Every link touching a banned node is unusable; folding that into the
+  // link mask keeps the relaxation loop a single test.
+  for (const LinkInfo& l : topology.links()) {
+    if (banned_node[l.from] || banned_node[l.to]) banned[l.id] = true;
   }
 
   // Dijkstra over (hops, propagation); the graph is small and static.
@@ -82,9 +95,18 @@ std::optional<Route> shortest_route_avoiding(
   return route;
 }
 
+std::optional<Route> shortest_route_avoiding(
+    const Topology& topology, NodeId from, NodeId to,
+    std::span<const LinkId> excluded) {
+  RouteAvoidance avoid;
+  avoid.links = excluded;
+  return shortest_route_avoiding(topology, from, to, avoid);
+}
+
 std::optional<Route> shortest_route(const Topology& topology, NodeId from,
                                     NodeId to) {
-  return shortest_route_avoiding(topology, from, to, {});
+  return shortest_route_avoiding(topology, from, to,
+                                 std::span<const LinkId>{});
 }
 
 }  // namespace rtcac

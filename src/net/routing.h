@@ -19,10 +19,28 @@ namespace rtcac {
 [[nodiscard]] std::optional<Route> shortest_route(const Topology& topology,
                                                   NodeId from, NodeId to);
 
+/// The components a route computation must steer around — the failed set
+/// during mass rerouting (net/reroute.h).  A banned node bans every link
+/// touching it: a route may neither transit nor terminate there.
+struct RouteAvoidance {
+  std::span<const NodeId> nodes;
+  std::span<const LinkId> links;
+};
+
 /// Minimum-hop route that avoids every link in `excluded` (e.g. a failed
 /// cable); nullopt when no such route exists.
 [[nodiscard]] std::optional<Route> shortest_route_avoiding(
     const Topology& topology, NodeId from, NodeId to,
     std::span<const LinkId> excluded);
+
+/// Minimum-hop route avoiding a whole failed set — nodes and links in one
+/// query.  nullopt when no such route exists, and in particular when
+/// `from` or `to` is itself in the avoided set (a connection whose
+/// endpoint is down cannot be rehomed).  The search never relaxes into an
+/// avoided node, so a candidate route cannot re-enter the avoided set
+/// through any intermediate hop either.
+[[nodiscard]] std::optional<Route> shortest_route_avoiding(
+    const Topology& topology, NodeId from, NodeId to,
+    const RouteAvoidance& avoid);
 
 }  // namespace rtcac

@@ -297,5 +297,115 @@ TEST(ConnectionManager, ReclaimSweepsExpiredLeasesAcrossSwitches) {
   }
 }
 
+// term -> sw_in, then two parallel transit paths to sw_out:
+// sw_in -> up -> sw_out and sw_in -> dn -> sw_out.
+struct TwoPaths {
+  Topology topo;
+  NodeId term, sw_in, up, dn, sw_out;
+  LinkId acc, in_up, up_out, in_dn, dn_out;
+
+  TwoPaths() {
+    term = topo.add_terminal("t");
+    sw_in = topo.add_switch("in");
+    up = topo.add_switch("up");
+    dn = topo.add_switch("dn");
+    sw_out = topo.add_switch("out");
+    acc = topo.add_link(term, sw_in);
+    in_up = topo.add_link(sw_in, up);
+    up_out = topo.add_link(up, sw_out);
+    in_dn = topo.add_link(sw_in, dn);
+    dn_out = topo.add_link(dn, sw_out);
+  }
+
+  [[nodiscard]] Route via_up() const { return {acc, in_up, up_out}; }
+  [[nodiscard]] Route via_dn() const { return {acc, in_dn, dn_out}; }
+
+  [[nodiscard]] ConnectionManager::Params params(double bound = 32) const {
+    ConnectionManager::Params p;
+    p.priorities = 1;
+    p.advertised_bound = bound;
+    return p;
+  }
+};
+
+TEST(ConnectionManager, RehomeKeepsIdAndSwingsRoute) {
+  TwoPaths g;
+  ConnectionManager mgr(g.topo, g.params());
+  const auto setup = mgr.setup(cbr_request(0.5), g.via_up());
+  ASSERT_TRUE(setup.accepted) << setup.reason;
+
+  const auto rehomed = mgr.rehome(setup.id, g.via_dn());
+  EXPECT_TRUE(rehomed.accepted) << rehomed.reason;
+  EXPECT_EQ(rehomed.id, setup.id);  // stable id across the rehome
+  EXPECT_EQ(mgr.connection_count(), 1u);
+  EXPECT_EQ(mgr.connections().at(setup.id).route, g.via_dn());
+
+  // Reservations moved: the old transit switch is empty, the new one and
+  // the shared access switch carry exactly the stable id.
+  EXPECT_FALSE(mgr.policy_point(g.up).contains(setup.id));
+  EXPECT_EQ(mgr.policy_point(g.up).connection_count(), 0u);
+  EXPECT_TRUE(mgr.policy_point(g.dn).contains(setup.id));
+  EXPECT_TRUE(mgr.policy_point(g.sw_in).contains(setup.id));
+  EXPECT_EQ(mgr.policy_point(g.sw_in).connection_count(), 1u);
+
+  // A rehomed connection is rerouted, not failed.
+  EXPECT_EQ(mgr.teardowns(TeardownReason::kRerouted), 1u);
+  EXPECT_EQ(mgr.teardowns(TeardownReason::kFailure), 0u);
+  EXPECT_TRUE(mgr.current_e2e_bound(setup.id).has_value());
+  EXPECT_TRUE(mgr.teardown(setup.id));  // still torn down normally
+}
+
+TEST(ConnectionManager, RehomeRejectionLeavesOldPathReserved) {
+  TwoPaths g;
+  ConnectionManager mgr(g.topo, g.params());
+  const auto victim = mgr.setup(cbr_request(0.5), g.via_up());
+  ASSERT_TRUE(victim.accepted);
+  // Saturate the alternate transit path so the combined check must say
+  // no.  The saturators enter at sw_in's local port (their aggregate is
+  // capped at that input link's rate); the victim arrives via the access
+  // link, so rehoming it would push the output past the link rate.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(mgr.setup(cbr_request(0.9), Route{g.in_dn, g.dn_out}).accepted);
+  }
+
+  const auto rehomed = mgr.rehome(victim.id, g.via_dn());
+  EXPECT_FALSE(rehomed.accepted);
+  EXPECT_EQ(rehomed.reject.code, RejectCode::kAdmission);
+  // Nothing changed: the old path is still fully reserved and the record
+  // still points at it.
+  EXPECT_TRUE(mgr.policy_point(g.up).contains(victim.id));
+  EXPECT_TRUE(mgr.policy_point(g.sw_in).contains(victim.id));
+  EXPECT_EQ(mgr.connections().at(victim.id).route, g.via_up());
+  EXPECT_EQ(mgr.teardowns(TeardownReason::kRerouted), 0u);
+  // No provisional residue anywhere.
+  for (const NodeId node : {g.sw_in, g.up, g.dn}) {
+    EXPECT_TRUE(mgr.switch_cac(node).state_consistent());
+  }
+}
+
+TEST(ConnectionManager, CheckRerouteCommitsNothing) {
+  TwoPaths g;
+  ConnectionManager mgr(g.topo, g.params());
+  const auto setup = mgr.setup(cbr_request(0.5), g.via_up());
+  ASSERT_TRUE(setup.accepted);
+
+  const auto check = mgr.check_reroute(setup.id, g.via_dn());
+  EXPECT_TRUE(check.accepted) << check.reason;
+  EXPECT_EQ(check.id, kInvalidConnection);
+  EXPECT_EQ(mgr.policy_point(g.dn).connection_count(), 0u);
+  EXPECT_EQ(mgr.connections().at(setup.id).route, g.via_up());
+
+  EXPECT_THROW((void)mgr.check_reroute(999, g.via_dn()),
+               std::invalid_argument);
+  EXPECT_THROW((void)mgr.rehome(999, g.via_dn()), std::invalid_argument);
+}
+
+TEST(ConnectionManager, TeardownReasonNamesCoverAllReasons) {
+  EXPECT_STREQ(to_string(TeardownReason::kLocal), "local");
+  EXPECT_STREQ(to_string(TeardownReason::kRelease), "release");
+  EXPECT_STREQ(to_string(TeardownReason::kFailure), "failure");
+  EXPECT_STREQ(to_string(TeardownReason::kRerouted), "rerouted");
+}
+
 }  // namespace
 }  // namespace rtcac

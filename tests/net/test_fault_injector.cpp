@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace rtcac {
 namespace {
 
@@ -131,6 +133,119 @@ TEST(FaultInjector, ScheduledOutageWindowsAreHalfOpen) {
   // Other components are unaffected.
   EXPECT_TRUE(faults.node_up(3, 12));
   EXPECT_TRUE(faults.link_up(5, 15));
+}
+
+TEST(FaultInjector, ComponentKindToString) {
+  EXPECT_STREQ(to_string(ComponentKind::kNode), "node");
+  EXPECT_STREQ(to_string(ComponentKind::kLink), "link");
+}
+
+TEST(FaultInjector, ObserversSeeManualTransitionsOnce) {
+  FaultInjector faults(1);
+  std::vector<ComponentEvent> events;
+  const std::size_t token = faults.subscribe(
+      [&](const ComponentEvent& e) { events.push_back(e); });
+  EXPECT_THROW(faults.subscribe(nullptr), std::invalid_argument);
+
+  faults.fail_node(3);
+  faults.fail_node(3);  // already down: effective state unchanged
+  faults.fail_link(5);
+  faults.recover_node(3);
+  faults.recover_node(3);  // already up
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, ComponentKind::kNode);
+  EXPECT_EQ(events[0].component, 3u);
+  EXPECT_FALSE(events[0].up);
+  EXPECT_EQ(events[1].kind, ComponentKind::kLink);
+  EXPECT_EQ(events[1].component, 5u);
+  EXPECT_FALSE(events[1].up);
+  EXPECT_TRUE(events[2].up);
+
+  faults.unsubscribe(token);
+  faults.recover_link(5);
+  EXPECT_EQ(events.size(), 3u);  // unsubscribed: no further delivery
+}
+
+TEST(FaultInjector, ObserversSeeHalfOpenOutageBoundaries) {
+  FaultInjector faults(1);
+  faults.schedule_node_outage(2, 10, 20);
+  faults.schedule_link_outage(4, 15, 16);
+  std::vector<ComponentEvent> events;
+  faults.subscribe([&](const ComponentEvent& e) { events.push_back(e); });
+
+  ASSERT_TRUE(faults.next_scheduled_change().has_value());
+  EXPECT_EQ(*faults.next_scheduled_change(), 10);
+
+  faults.advance_to(9);  // strictly before the window: nothing fires
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(faults.cursor(), 9);
+
+  faults.advance_to(10);  // the down boundary is inclusive...
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, ComponentKind::kNode);
+  EXPECT_EQ(events[0].component, 2u);
+  EXPECT_FALSE(events[0].up);
+  EXPECT_EQ(events[0].at, 10);
+
+  faults.advance_to(19);  // ...the whole [15,16) link outage fits here...
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].kind, ComponentKind::kLink);
+  EXPECT_FALSE(events[1].up);
+  EXPECT_EQ(events[1].at, 15);
+  EXPECT_TRUE(events[2].up);
+  EXPECT_EQ(events[2].at, 16);
+
+  faults.advance_to(20);  // ...and the up boundary is exclusive of the window
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_TRUE(events[3].up);
+  EXPECT_EQ(events[3].at, 20);
+  EXPECT_FALSE(faults.next_scheduled_change().has_value());
+
+  EXPECT_THROW(faults.advance_to(19), std::invalid_argument);  // monotone
+}
+
+TEST(FaultInjector, OverlappingWindowsCoalesceIntoOneOutage) {
+  FaultInjector faults(1);
+  faults.schedule_node_outage(2, 10, 20);
+  faults.schedule_node_outage(2, 15, 25);
+  std::vector<ComponentEvent> events;
+  faults.subscribe([&](const ComponentEvent& e) { events.push_back(e); });
+
+  faults.advance_to(100);
+  // Effective state changed exactly twice: down at 10, up at 25.  The
+  // boundaries at 15 and 20 are swallowed (still covered by a window).
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].up);
+  EXPECT_EQ(events[0].at, 10);
+  EXPECT_TRUE(events[1].up);
+  EXPECT_EQ(events[1].at, 25);
+}
+
+TEST(FaultInjector, BoundaryBehindCursorTakesEffectAtCursor) {
+  FaultInjector faults(1);
+  std::vector<ComponentEvent> events;
+  faults.subscribe([&](const ComponentEvent& e) { events.push_back(e); });
+  faults.advance_to(12);
+  faults.schedule_node_outage(7, 10, 30);  // scheduled late: started "already"
+  EXPECT_EQ(*faults.next_scheduled_change(), 12);  // clamped, never in the past
+  faults.advance_to(12);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].up);
+  EXPECT_EQ(events[0].at, 12);  // clamped to the cursor, not retroactive
+  faults.advance_to(30);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[1].up);
+  EXPECT_EQ(events[1].at, 30);
+}
+
+TEST(FaultInjector, ObserversFireInSubscriptionOrder) {
+  FaultInjector faults(1);
+  std::vector<int> order;
+  faults.subscribe([&](const ComponentEvent&) { order.push_back(1); });
+  faults.subscribe([&](const ComponentEvent&) { order.push_back(2); });
+  faults.fail_node(1);
+  ASSERT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 }  // namespace

@@ -1,0 +1,364 @@
+// Unit tests for the survivability layer (net/reroute.h): make-before-break
+// failover, priority-ordered requeueing, bounded retry, degradation.
+
+#include "net/reroute.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "net/report.h"
+#include "net/routing.h"
+
+namespace rtcac {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+QosRequest cbr_request(double pcr, Priority priority = 0) {
+  QosRequest r;
+  r.traffic = TrafficDescriptor::cbr(pcr);
+  r.deadline = kInf;
+  r.priority = priority;
+  return r;
+}
+
+// term -> sw_in, two parallel transit paths to sw_out.
+struct TwoPaths {
+  Topology topo;
+  NodeId term, sw_in, up, dn, sw_out;
+  LinkId acc, in_up, up_out, in_dn, dn_out;
+
+  TwoPaths() {
+    term = topo.add_terminal("t");
+    sw_in = topo.add_switch("in");
+    up = topo.add_switch("up");
+    dn = topo.add_switch("dn");
+    sw_out = topo.add_switch("out");
+    acc = topo.add_link(term, sw_in);
+    in_up = topo.add_link(sw_in, up);
+    up_out = topo.add_link(up, sw_out);
+    in_dn = topo.add_link(sw_in, dn);
+    dn_out = topo.add_link(dn, sw_out);
+  }
+
+  [[nodiscard]] Route via_up() const { return {acc, in_up, up_out}; }
+  [[nodiscard]] Route via_dn() const { return {acc, in_dn, dn_out}; }
+
+  [[nodiscard]] ConnectionManager::Params params(std::size_t priorities = 1,
+                                                 double bound = 32) const {
+    ConnectionManager::Params p;
+    p.priorities = priorities;
+    p.advertised_bound = bound;
+    return p;
+  }
+};
+
+// term -> sw0 -> sw1 with no alternate path at all.
+struct Chain {
+  Topology topo;
+  NodeId term, sw0, sw1;
+  LinkId acc, l01;
+
+  Chain() {
+    term = topo.add_terminal("t");
+    sw0 = topo.add_switch("sw0");
+    sw1 = topo.add_switch("sw1");
+    acc = topo.add_link(term, sw0);
+    l01 = topo.add_link(sw0, sw1);
+  }
+
+  [[nodiscard]] Route route() const { return {acc, l01}; }
+
+  [[nodiscard]] ConnectionManager::Params params() const {
+    ConnectionManager::Params p;
+    p.priorities = 1;
+    p.advertised_bound = 32;
+    return p;
+  }
+};
+
+TEST(RerouteCoordinator, LinkFailureRehomesMakeBeforeBreak) {
+  TwoPaths g;
+  ConnectionManager mgr(g.topo, g.params());
+  FaultInjector faults(1);
+  RerouteCoordinator coordinator(mgr, faults);
+
+  const auto setup = mgr.setup(cbr_request(0.5), g.via_up());
+  ASSERT_TRUE(setup.accepted);
+
+  faults.fail_link(g.up_out);  // manual failures are handled synchronously
+
+  EXPECT_EQ(coordinator.stats().failure_events, 1u);
+  EXPECT_EQ(coordinator.stats().episodes, 1u);
+  EXPECT_EQ(coordinator.stats().rehomed, 1u);
+  EXPECT_EQ(coordinator.pending_reroutes(), 0u);
+  EXPECT_EQ(mgr.connections().at(setup.id).route, g.via_dn());
+  EXPECT_EQ(mgr.teardowns(TeardownReason::kRerouted), 1u);
+  EXPECT_EQ(mgr.teardowns(TeardownReason::kFailure), 0u);
+  EXPECT_TRUE(mgr.policy_point(g.dn).contains(setup.id));
+  EXPECT_FALSE(mgr.policy_point(g.up).contains(setup.id));
+
+  ASSERT_EQ(coordinator.decisions().size(), 1u);
+  const RerouteDecision& d = coordinator.decisions().front();
+  EXPECT_EQ(d.id, setup.id);
+  EXPECT_EQ(d.outcome, RerouteDecision::Outcome::kRehomed);
+  EXPECT_EQ(d.route, g.via_dn());
+  EXPECT_EQ(d.at, 0);
+}
+
+TEST(RerouteCoordinator, NodeFailureStrandsEveryTransitingConnection) {
+  TwoPaths g;
+  ConnectionManager mgr(g.topo, g.params());
+  FaultInjector faults(1);
+  RerouteCoordinator coordinator(mgr, faults);
+
+  const auto a = mgr.setup(cbr_request(0.2), g.via_up());
+  const auto b = mgr.setup(cbr_request(0.2), g.via_up());
+  const auto c = mgr.setup(cbr_request(0.2), g.via_dn());  // unaffected
+  ASSERT_TRUE(a.accepted && b.accepted && c.accepted);
+
+  faults.fail_node(g.up);
+
+  EXPECT_EQ(coordinator.stats().episodes, 2u);
+  EXPECT_EQ(coordinator.stats().rehomed, 2u);
+  EXPECT_EQ(mgr.connections().at(a.id).route, g.via_dn());
+  EXPECT_EQ(mgr.connections().at(b.id).route, g.via_dn());
+  EXPECT_EQ(mgr.connections().at(c.id).route, g.via_dn());
+  EXPECT_EQ(mgr.connection_count(), 3u);
+}
+
+TEST(RerouteCoordinator, HighestPriorityIsRequeuedFirst) {
+  TwoPaths g;
+  ConnectionManager mgr(g.topo, g.params(/*priorities=*/2));
+  FaultInjector faults(1);
+  RerouteCoordinator coordinator(mgr, faults);
+
+  // Lower-priority connection set up first (smaller id): the requeue
+  // order must still put the priority-0 one ahead of it.
+  const auto low = mgr.setup(cbr_request(0.2, /*priority=*/1), g.via_up());
+  const auto high = mgr.setup(cbr_request(0.2, /*priority=*/0), g.via_up());
+  ASSERT_TRUE(low.accepted && high.accepted);
+  ASSERT_LT(low.id, high.id);
+
+  faults.fail_link(g.in_up);
+
+  ASSERT_EQ(coordinator.decisions().size(), 2u);
+  EXPECT_EQ(coordinator.decisions()[0].id, high.id);
+  EXPECT_EQ(coordinator.decisions()[1].id, low.id);
+  EXPECT_EQ(coordinator.stats().rehomed, 2u);
+}
+
+TEST(RerouteCoordinator, OriginalPathKeptWhenOutageEndsBeforeRetry) {
+  Chain g;
+  ConnectionManager mgr(g.topo, g.params());
+  FaultInjector faults(1);
+  RerouteCoordinator::Params params;
+  params.retry_backoff = 16;
+  RerouteCoordinator coordinator(mgr, faults, params);
+
+  const auto setup = mgr.setup(cbr_request(0.5), g.route());
+  ASSERT_TRUE(setup.accepted);
+
+  faults.schedule_link_outage(g.l01, 10, 20);
+  coordinator.advance_to(100);
+
+  // Attempt at 10 finds no alternate (retry backed off to 26); the
+  // recovery at 20 re-arms it immediately and the original reservations,
+  // never released, simply remain in force.
+  ASSERT_EQ(coordinator.decisions().size(), 2u);
+  EXPECT_EQ(coordinator.decisions()[0].outcome,
+            RerouteDecision::Outcome::kRetryScheduled);
+  EXPECT_EQ(coordinator.decisions()[0].at, 10);
+  EXPECT_EQ(coordinator.decisions()[0].reason.code, RejectCode::kNoRoute);
+  EXPECT_EQ(coordinator.decisions()[1].outcome,
+            RerouteDecision::Outcome::kKeptOriginal);
+  EXPECT_EQ(coordinator.decisions()[1].at, 20);
+  EXPECT_EQ(coordinator.stats().kept_original, 1u);
+  EXPECT_EQ(coordinator.stats().max_rescue_latency, 10);
+  EXPECT_EQ(mgr.connection_count(), 1u);
+  EXPECT_TRUE(mgr.policy_point(g.sw0).contains(setup.id));
+  EXPECT_TRUE(coordinator.degradation().empty());
+}
+
+TEST(RerouteCoordinator, ExhaustedRetryBudgetDegradesWithReport) {
+  Chain g;
+  ConnectionManager mgr(g.topo, g.params());
+  FaultInjector faults(1);
+  RerouteCoordinator::Params params;
+  params.max_attempts = 3;
+  params.retry_backoff = 4;
+  params.backoff_multiplier = 2;
+  RerouteCoordinator coordinator(mgr, faults, params);
+
+  const auto setup = mgr.setup(cbr_request(0.5), g.route());
+  ASSERT_TRUE(setup.accepted);
+
+  faults.fail_link(g.l01);  // never recovered
+  EXPECT_EQ(coordinator.pending_reroutes(), 1u);
+  EXPECT_EQ(coordinator.next_wakeup(), std::optional<Tick>{4});
+  coordinator.quiesce();
+
+  // Attempts at 0, 4 and 12 (exponential backoff), then the budget is
+  // gone: the connection is torn down as a failure and reported.
+  EXPECT_EQ(coordinator.stats().attempts, 3u);
+  EXPECT_EQ(coordinator.stats().degraded, 1u);
+  EXPECT_EQ(coordinator.pending_reroutes(), 0u);
+  EXPECT_EQ(mgr.connection_count(), 0u);
+  EXPECT_EQ(mgr.teardowns(TeardownReason::kFailure), 1u);
+  EXPECT_EQ(mgr.teardowns(TeardownReason::kRerouted), 0u);
+
+  ASSERT_EQ(coordinator.degradation().entries.size(), 1u);
+  const DegradationEntry& entry = coordinator.degradation().entries.front();
+  EXPECT_EQ(entry.id, setup.id);
+  EXPECT_EQ(entry.reason.code, RejectCode::kNoRoute);
+  EXPECT_EQ(entry.attempts, 3u);
+  EXPECT_EQ(entry.failed_at, 0);
+  EXPECT_EQ(entry.gave_up_at, 12);
+  EXPECT_NE(coordinator.degradation().to_string().find("no-route"),
+            std::string::npos);
+
+  ASSERT_EQ(coordinator.decisions().size(), 3u);
+  EXPECT_EQ(coordinator.decisions().back().outcome,
+            RerouteDecision::Outcome::kDegraded);
+  EXPECT_EQ(coordinator.decisions().back().at, 12);
+}
+
+TEST(RerouteCoordinator, AdmissionRejectionIsRetriedThenReported) {
+  TwoPaths g;
+  ConnectionManager mgr(g.topo, g.params());
+  FaultInjector faults(1);
+  RerouteCoordinator::Params params;
+  params.max_attempts = 2;
+  params.retry_backoff = 8;
+  RerouteCoordinator coordinator(mgr, faults, params);
+
+  const auto victim = mgr.setup(cbr_request(0.5), g.via_up());
+  ASSERT_TRUE(victim.accepted);
+  // Saturate the alternate transit path: an alternate route exists, but
+  // the combined old+new admission check must reject it (the saturators'
+  // local-port aggregate plus the victim's access-port load exceeds the
+  // output link rate).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(mgr.setup(cbr_request(0.9), Route{g.in_dn, g.dn_out}).accepted);
+  }
+
+  faults.fail_link(g.up_out);
+  coordinator.quiesce();
+
+  EXPECT_EQ(coordinator.stats().degraded, 1u);
+  ASSERT_EQ(coordinator.degradation().entries.size(), 1u);
+  EXPECT_EQ(coordinator.degradation().entries.front().reason.code,
+            RejectCode::kAdmission);
+  // The victim is gone, but the saturating connections are untouched and
+  // every switch's books balance.
+  EXPECT_FALSE(mgr.policy_point(g.up).contains(victim.id));
+  EXPECT_FALSE(mgr.policy_point(g.sw_in).contains(victim.id));
+  for (const NodeId node : {g.sw_in, g.up, g.dn}) {
+    EXPECT_TRUE(mgr.switch_cac(node).state_consistent());
+  }
+}
+
+TEST(RerouteCoordinator, ExternallyTornDownConnectionLeavesQueueQuietly) {
+  Chain g;
+  ConnectionManager mgr(g.topo, g.params());
+  FaultInjector faults(1);
+  RerouteCoordinator coordinator(mgr, faults);
+
+  const auto setup = mgr.setup(cbr_request(0.5), g.route());
+  ASSERT_TRUE(setup.accepted);
+  faults.fail_link(g.l01);
+  ASSERT_EQ(coordinator.pending_reroutes(), 1u);
+
+  mgr.teardown(setup.id);  // the user gave up first
+  coordinator.quiesce();
+
+  EXPECT_EQ(coordinator.pending_reroutes(), 0u);
+  EXPECT_EQ(coordinator.stats().degraded, 0u);
+  EXPECT_TRUE(coordinator.degradation().empty());
+}
+
+TEST(RerouteCoordinator, LabelsFollowTheRehomedRoute) {
+  TwoPaths g;
+  ConnectionManager mgr(g.topo, g.params());
+  FaultInjector faults(1);
+  LabelManager labels(g.topo);
+  RerouteCoordinator coordinator(mgr, faults, {}, &labels);
+
+  const auto setup = mgr.setup(cbr_request(0.5), g.via_up());
+  ASSERT_TRUE(setup.accepted);
+  labels.establish(setup.id, g.via_up());
+
+  faults.fail_node(g.up);
+  ASSERT_EQ(coordinator.stats().rehomed, 1u);
+  ASSERT_TRUE(labels.contains(setup.id));
+  const LabelPath& path = labels.path(setup.id);
+  ASSERT_EQ(path.bindings.size(), 2u);  // sw_in and dn translate
+  EXPECT_EQ(path.bindings[0].node, g.sw_in);
+  EXPECT_EQ(path.bindings[1].node, g.dn);
+}
+
+TEST(RerouteCoordinator, LabelsReleasedWhenDegraded) {
+  Chain g;
+  ConnectionManager mgr(g.topo, g.params());
+  FaultInjector faults(1);
+  LabelManager labels(g.topo);
+  RerouteCoordinator::Params params;
+  params.max_attempts = 1;
+  RerouteCoordinator coordinator(mgr, faults, params, &labels);
+
+  const auto setup = mgr.setup(cbr_request(0.5), g.route());
+  ASSERT_TRUE(setup.accepted);
+  labels.establish(setup.id, g.route());
+
+  faults.fail_link(g.l01);  // max_attempts=1: degrades on the spot
+  EXPECT_EQ(coordinator.stats().degraded, 1u);
+  EXPECT_FALSE(labels.contains(setup.id));
+  EXPECT_EQ(labels.connection_count(), 0u);
+}
+
+TEST(RerouteCoordinator, RerouteReportSummarizesTheRun) {
+  TwoPaths g;
+  ConnectionManager mgr(g.topo, g.params());
+  FaultInjector faults(1);
+  RerouteCoordinator coordinator(mgr, faults);
+
+  const auto setup = mgr.setup(cbr_request(0.5), g.via_up());
+  ASSERT_TRUE(setup.accepted);
+  faults.fail_link(g.up_out);
+
+  const RerouteReport report = summarize_reroute(coordinator);
+  EXPECT_EQ(report.failure_events, 1u);
+  EXPECT_EQ(report.episodes, 1u);
+  EXPECT_EQ(report.rehomed, 1u);
+  EXPECT_EQ(report.degraded, 0u);
+  EXPECT_DOUBLE_EQ(report.mean_rescue_latency, 0.0);
+  EXPECT_NE(report.to_string().find("rehomed 1"), std::string::npos);
+
+  // The signaling-report teardown table now carries the rerouted count
+  // too (kRerouted reaches it via ConnectionManager::teardowns).
+  EXPECT_EQ(mgr.teardowns(TeardownReason::kRerouted), 1u);
+  EXPECT_STREQ(to_string(RerouteDecision::Outcome::kRehomed), "rehomed");
+  EXPECT_STREQ(to_string(RerouteDecision::Outcome::kKeptOriginal),
+               "kept-original");
+  EXPECT_STREQ(to_string(RerouteDecision::Outcome::kRetryScheduled),
+               "retry-scheduled");
+  EXPECT_STREQ(to_string(RerouteDecision::Outcome::kDegraded), "degraded");
+}
+
+TEST(RerouteCoordinator, RejectsDegenerateParams) {
+  Chain g;
+  ConnectionManager mgr(g.topo, g.params());
+  FaultInjector faults(1);
+  RerouteCoordinator::Params params;
+  params.retry_backoff = 0;
+  EXPECT_THROW(RerouteCoordinator(mgr, faults, params),
+               std::invalid_argument);
+  params = {};
+  params.max_attempts = 0;
+  EXPECT_THROW(RerouteCoordinator(mgr, faults, params),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtcac

@@ -105,5 +105,80 @@ TEST(Routing, FindsRingPath) {
   EXPECT_EQ(topo.route_nodes(*route).back(), nodes[5]);
 }
 
+TEST(Routing, AvoidanceSetBansNodesAndLinksInOneQuery) {
+  Diamond g;
+  // Node b and the direct link both down: only a -> c -> d remains.
+  const NodeId down_nodes[] = {g.b};
+  const LinkId down_links[] = {g.ad};
+  const auto route = shortest_route_avoiding(
+      g.topo, g.a, g.d, RouteAvoidance{down_nodes, down_links});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(*route, (Route{g.ac, g.cd}));
+}
+
+TEST(Routing, EmptyAvoidanceMatchesPlainShortestRoute) {
+  Diamond g;
+  EXPECT_EQ(shortest_route_avoiding(g.topo, g.a, g.d, RouteAvoidance{}),
+            shortest_route(g.topo, g.a, g.d));
+}
+
+TEST(Routing, NoAlternatePathAroundFailedSetIsNullopt) {
+  Diamond g;
+  // Both transit switches and the direct link down: d is cut off.
+  const NodeId down_nodes[] = {g.b, g.c};
+  const LinkId down_links[] = {g.ad};
+  EXPECT_FALSE(shortest_route_avoiding(g.topo, g.a, g.d,
+                                       RouteAvoidance{down_nodes, down_links})
+                   .has_value());
+}
+
+TEST(Routing, DownEndpointIsNullopt) {
+  Diamond g;
+  const NodeId source_down[] = {g.a};
+  EXPECT_FALSE(shortest_route_avoiding(g.topo, g.a, g.d,
+                                       RouteAvoidance{source_down, {}})
+                   .has_value());
+  const NodeId dest_down[] = {g.d};
+  EXPECT_FALSE(shortest_route_avoiding(g.topo, g.a, g.d,
+                                       RouteAvoidance{dest_down, {}})
+                   .has_value());
+  // Even the trivial self-route needs its (single) endpoint to be up.
+  EXPECT_FALSE(shortest_route_avoiding(g.topo, g.a, g.a,
+                                       RouteAvoidance{source_down, {}})
+                   .has_value());
+}
+
+TEST(Routing, CandidateRouteNeverReentersAvoidedSet) {
+  // a -> x -> d is shortest, but x is down; the detour a -> p -> q -> d
+  // must win, and no link touching x may appear in it.
+  Topology topo;
+  const NodeId a = topo.add_switch("a");
+  const NodeId x = topo.add_switch("x");
+  const NodeId d = topo.add_switch("d");
+  const NodeId p = topo.add_switch("p");
+  const NodeId q = topo.add_switch("q");
+  topo.add_link(a, x);
+  const LinkId xd = topo.add_link(x, d);
+  const LinkId ap = topo.add_link(a, p);
+  const LinkId pq = topo.add_link(p, q);
+  const LinkId qd = topo.add_link(q, d);
+  topo.add_link(p, x);  // tempting shortcut back into the failed set
+
+  const NodeId down[] = {x};
+  const auto route =
+      shortest_route_avoiding(topo, a, d, RouteAvoidance{down, {}});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(*route, (Route{ap, pq, qd}));
+  for (const NodeId node : topo.route_nodes(*route)) {
+    EXPECT_NE(node, x);
+  }
+  // A banned node also bans its links even when queried as link-only
+  // avoidance of something else.
+  const LinkId other[] = {xd};
+  const auto via_x = shortest_route_avoiding(topo, a, d, RouteAvoidance{down, other});
+  ASSERT_TRUE(via_x.has_value());
+  EXPECT_EQ(*via_x, (Route{ap, pq, qd}));
+}
+
 }  // namespace
 }  // namespace rtcac

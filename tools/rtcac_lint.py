@@ -33,6 +33,17 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
                     (docs/FAULT_TOLERANCE.md), not in accessors or
                     plumbing.
 
+  reroute-state     In src/net/reroute.cpp the coordinator's recovery
+                    state (down_nodes_, down_links_, pending_,
+                    decisions_, degraded_, the stats_ counters) may be
+                    mutated only inside RerouteCoordinator member
+                    functions named on_*, attempt_*, advance_to or
+                    quiesce — every transition must sit on a
+                    component-event or retry-clock handler path
+                    (docs/FAULT_TOLERANCE.md, "Survivability"), so the
+                    decision journal stays a faithful, replayable record
+                    of what the event stream did.
+
   cac-cache-state   BasicSwitchCac's aggregate and derived-stream
                     cache state (arrival_aggr_, cell_members_,
                     cell_counts_, the *_cache_ streams and their
@@ -144,6 +155,22 @@ SIGNALING_MUTATION_RE = re.compile(
     r"swap)\s*\(|\[)"
 )
 SIGNALING_HANDLER_PREFIXES = ("process_", "on_", "initiate", "release")
+
+# reroute-state: which RerouteCoordinator member we are inside, which
+# members form the survivability-layer state, and what mutating them
+# looks like (container mutators on the sets/queues/journal — including
+# through the degraded_.entries vector — and any write to a stats_
+# counter).
+REROUTE_FUNC_RE = re.compile(r"\bRerouteCoordinator::(\w+)\s*\(")
+REROUTE_MUTATION_RE = re.compile(
+    r"\b(?:pending_|decisions_|down_nodes_|down_links_|degraded_)\s*"
+    r"(?:\.\s*\w+)*?\s*"
+    r"(?:\.\s*(?:emplace|emplace_back|push_back|pop_back|insert|erase|"
+    r"clear|extract|merge|swap|resize|assign)\s*\(|\[)"
+    r"|(?:\+\+|--)\s*stats_\s*\."
+    r"|\bstats_\s*\.\s*\w+\s*(?:\+\+|--|\+=|-=|=[^=])"
+)
+REROUTE_HANDLER_PREFIXES = ("on_", "attempt_", "advance_to", "quiesce")
 
 # cac-cache-state: the switch CAC's aggregate/cache members, the member
 # we are inside (tracked from out-of-line definitions), and the member
@@ -309,8 +336,8 @@ def strip_comments_and_strings(line: str, in_block_comment: bool):
 
 # Every rule this linter knows; --rule validates against it.
 RULES = ("float-compare", "no-rand", "naked-throw", "include-hygiene",
-         "signaling-state", "cac-cache-state", "admission-walk",
-         "concurrency-state", "lock-order", "guarded-by")
+         "signaling-state", "reroute-state", "cac-cache-state",
+         "admission-walk", "concurrency-state", "lock-order", "guarded-by")
 
 
 class Linter:
@@ -334,6 +361,7 @@ class Linter:
                            and rel.parts not in ADMISSION_WALK_HOME)
         cdv_call_allowed = rel.parts in ACCUMULATE_CDV_DEF
         is_signaling = rel.parts == ("src", "net", "signaling.cpp")
+        is_reroute = rel.parts == ("src", "net", "reroute.cpp")
         is_cac_impl = rel.parts == ("src", "core", "switch_cac.cpp")
         is_cac_header = rel.parts == ("src", "core", "switch_cac.h")
         concurrency_allowed = rel.parts in CONCURRENCY_ALLOWED
@@ -466,6 +494,22 @@ class Linter:
                         f"(currently in '{current_function or '<top level>'}'"
                         "); move the transition into initiate/release/"
                         "process_*/on_*", comment_text)
+
+            if is_reroute:
+                m = REROUTE_FUNC_RE.search(code)
+                if m:
+                    current_function = m.group(1)
+                if (REROUTE_MUTATION_RE.search(code)
+                        and not current_function.startswith(
+                            REROUTE_HANDLER_PREFIXES)):
+                    self.report(
+                        path, lineno, "reroute-state",
+                        "reroute state (down sets/pending_/decisions_/"
+                        "degraded_/stats_) mutated outside a "
+                        "RerouteCoordinator handler (currently in "
+                        f"'{current_function or '<top level>'}'); move "
+                        "the transition into on_*/attempt_*/advance_to/"
+                        "quiesce", comment_text)
 
             if is_cac_impl:
                 m = CAC_FUNC_RE.search(code)
