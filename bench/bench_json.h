@@ -10,12 +10,19 @@
 //    "segments_total": int,       // aggregate segment count (state size)
 //    "threads": int,              // optional: worker threads (parallel runs)
 //    "speedup_vs_serial": number, // optional: wall(1 thread) / wall(threads)
-//    "policy": str}               // optional: CacPolicy name (bitstream, ...)
+//    "policy": str,               // optional: CacPolicy name (bitstream, ...)
+//    "variant": str,              // optional: aggregate mode (exact|coalesced)
+//    "arena_bytes": int,          // optional: arena-pooled segment bytes
+//    "segments_high_water": int,  // optional: peak live segments (trees)
+//    "rss_peak_kb": int}          // optional: process peak RSS (getrusage)
 //
 // The `threads`/`speedup_vs_serial` keys are emitted only when `threads`
 // is nonzero and `policy` only when non-empty (i.e. by the thread-scaling
 // harness, bench/parallel_admission_bench); single-threaded harnesses
-// keep the original five-key schema.
+// keep the original five-key schema.  The `variant` block
+// (variant/arena_bytes/segments_high_water/rss_peak_kb) is emitted only
+// when `variant` is non-empty — i.e. by the merge-tree scaling sweep in
+// bench/cac_admission_bench.
 //
 // Header-only and dependency-free on purpose: bench binaries link only
 // the library under test, so the writer cannot perturb what it measures.
@@ -45,6 +52,16 @@ struct BenchRecord {
   double speedup_vs_serial = 0.0;
   /// CacPolicy driving the run (core/path_eval.h); empty = key omitted.
   std::string policy;
+  /// Aggregate mode of the merge-tree scaling sweep ("exact" or
+  /// "coalesced"); empty = the whole variant block is omitted.
+  std::string variant;
+  /// Segment bytes parked in the stream arena's pool after the run.
+  std::size_t arena_bytes = 0;
+  /// High-water mark of live segments held across all merge trees.
+  std::size_t segments_high_water = 0;
+  /// Peak resident set size of the process in KiB (getrusage ru_maxrss);
+  /// 0 where unavailable.
+  std::size_t rss_peak_kb = 0;
 };
 
 /// Collects records and serializes them as a JSON array.  Strings are
@@ -75,6 +92,12 @@ class BenchJsonWriter {
       }
       if (!r.policy.empty()) {
         os << ", \"policy\": \"" << escape(r.policy) << "\"";
+      }
+      if (!r.variant.empty()) {
+        os << ", \"variant\": \"" << escape(r.variant) << "\", "
+           << "\"arena_bytes\": " << r.arena_bytes << ", "
+           << "\"segments_high_water\": " << r.segments_high_water << ", "
+           << "\"rss_peak_kb\": " << r.rss_peak_kb;
       }
       os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }

@@ -8,9 +8,18 @@
 // paths reach identical admission decisions (bounds within
 // NumTraits<double>::kEps) before timing anything.
 //
-// Usage: cac_admission_bench [--smoke] [--out PATH]
-//   --smoke   CI-sized run: tiny rep counts, same scenarios and schema.
-//   --out     JSON output path (default: BENCH_admission.json).
+// Also runs the merge-tree scaling sweep: n = 1k/10k/100k admitted
+// connections, exact (coalesce_budget = 0) vs coalesced (budget 64)
+// aggregates, recording per-admission churn cost, segment counts, arena
+// stats, and peak RSS.  The exact variant is gated on decision identity
+// with check_from_scratch; the coalesced variant on admit-side
+// conservatism (it may only reject more / bound higher than the oracle).
+//
+// Usage: cac_admission_bench [--smoke] [--scale-smoke] [--out PATH]
+//   --smoke        CI-sized run: tiny rep counts, same scenarios and schema.
+//   --scale-smoke  only the scaling sweep at n=1000 (the bench_scale_smoke
+//                  ctest): oracle gates on, tiny rep counts.
+//   --out          JSON output path (default: BENCH_admission.json).
 
 #include <algorithm>
 #include <chrono>
@@ -20,6 +29,10 @@
 #include <optional>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "bench_json.h"
 #include "core/stream_ops.h"
@@ -47,7 +60,7 @@ struct Candidate {
 // admits.  Segment-rich streams are the regime the paper's online CAC
 // must survive — and what separates the linear sweep from the quadratic
 // reference scan.
-BitStream random_arrival(Xorshift& rng) {
+BitStream random_arrival(Xorshift& rng, std::size_t rate_scale = 1) {
   const std::size_t steps = 18 + rng.below(8);
   std::vector<Segment> segs;
   double t = 0.0;
@@ -55,38 +68,69 @@ BitStream random_arrival(Xorshift& rng) {
     // Strictly decreasing arithmetic ladder: every step is a distinct
     // rate (1/2048 apart, far beyond coalescing tolerance), so segment
     // counts survive aggregation and grow with the admitted set.
-    const double rate = static_cast<double>(steps - i) / 2048.0;
+    // `rate_scale` (a power of two, so sums stay exactly representable)
+    // shrinks the ladder for large-n sweeps where 256-connection rates
+    // would saturate the links.
+    const double rate = static_cast<double>(steps - i) /
+                        (2048.0 * static_cast<double>(rate_scale));
     segs.push_back(Segment{rate, t});
     t += 4.0 * static_cast<double>(1 + rng.below(64));
   }
   return BitStream(std::move(segs));
 }
 
-Candidate random_candidate(Xorshift& rng) {
+Candidate random_candidate(Xorshift& rng, std::size_t rate_scale = 1) {
   return Candidate{rng.below(kInPorts), rng.below(kOutPorts),
                    static_cast<Priority>(rng.below(kPriorities)),
-                   random_arrival(rng)};
+                   random_arrival(rng, rate_scale)};
 }
 
-SwitchCac make_switch() {
+// Smallest power of two keeping the burst-phase peak load of an output
+// port below ~0.7 link rates for n admitted connections (n/4 connections
+// per out port across all priorities, peak rate ~25/2048 each), so the
+// sweep operates in the admit-mostly regime a provisioned switch runs in
+// rather than rejecting everything on backlog.
+std::size_t rate_scale_for(std::size_t n) {
+  std::size_t scale = 1;
+  while (scale * 256 < n) scale <<= 1;
+  return scale;
+}
+
+SwitchCac make_switch(std::size_t coalesce_budget = 0) {
   SwitchCac::Config cfg;
   cfg.in_ports = kInPorts;
   cfg.out_ports = kOutPorts;
   cfg.priorities = kPriorities;
   cfg.advertised_bound = 512.0;
+  cfg.coalesce_budget = coalesce_budget;
   return SwitchCac(cfg);
 }
 
-std::vector<Candidate> populate(SwitchCac& cac, std::size_t n,
-                                Xorshift& rng) {
+std::vector<Candidate> populate(SwitchCac& cac, std::size_t n, Xorshift& rng,
+                                std::size_t rate_scale = 1) {
   std::vector<Candidate> routes;
   routes.reserve(n);
   for (std::size_t id = 1; id <= n; ++id) {
-    Candidate c = random_candidate(rng);
+    Candidate c = random_candidate(rng, rate_scale);
     cac.add(id, c.in, c.out, c.prio, c.arrival);
     routes.push_back(std::move(c));
   }
   return routes;
+}
+
+std::size_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports KiB; macOS reports bytes.
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss) / 1024;
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
 }
 
 std::size_t segments_total(const SwitchCac& cac) {
@@ -128,9 +172,9 @@ bench::BenchRecord make_record(const std::string& name, std::size_t n,
 // agree — same verdicts, bounds within tolerance — on a candidate sweep
 // over the populated switch.
 bool decisions_identical(const SwitchCac& cac, Xorshift& rng,
-                         std::size_t trials) {
+                         std::size_t trials, std::size_t rate_scale = 1) {
   for (std::size_t t = 0; t < trials; ++t) {
-    const Candidate c = random_candidate(rng);
+    const Candidate c = random_candidate(rng, rate_scale);
     const SwitchCheckResult fast = cac.check(c.in, c.out, c.prio, c.arrival);
     const SwitchCheckResult slow =
         cac.check_from_scratch(c.in, c.out, c.prio, c.arrival);
@@ -153,11 +197,146 @@ bool decisions_identical(const SwitchCac& cac, Xorshift& rng,
   return true;
 }
 
-int run(bool smoke, const std::string& out_path) {
+// The coalesced-mode gate: the tree's bounded aggregates may only make
+// the check MORE pessimistic than the from-scratch exact oracle — a
+// coalesced admit implies an oracle admit, and every coalesced bound is
+// at least the oracle's (losing a bound entirely is allowed, gaining one
+// is not).
+bool decisions_conservative(const SwitchCac& cac, Xorshift& rng,
+                            std::size_t trials, std::size_t rate_scale) {
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Candidate c = random_candidate(rng, rate_scale);
+    const SwitchCheckResult fast = cac.check(c.in, c.out, c.prio, c.arrival);
+    const SwitchCheckResult slow =
+        cac.check_from_scratch(c.in, c.out, c.prio, c.arrival);
+    if (fast.admitted && !slow.admitted) {
+      std::cerr << "CONSERVATISM VIOLATION: coalesced admits where the "
+                   "exact oracle rejects\n";
+      return false;
+    }
+    for (std::size_t q = 0; q < fast.bounds.size(); ++q) {
+      const auto& a = fast.bounds[q];
+      const auto& b = slow.bounds[q];
+      if (a.has_value() && !b.has_value()) {
+        std::cerr << "CONSERVATISM VIOLATION: coalesced bounds priority "
+                  << q << " where the exact oracle cannot\n";
+        return false;
+      }
+      if (a.has_value() && b.has_value() && *a < *b &&
+          !NumTraits<double>::nearly_equal(*a, *b)) {
+        std::cerr << "CONSERVATISM VIOLATION: coalesced bound " << *a
+                  << " below oracle bound " << *b << " at priority " << q
+                  << "\n";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// The tentpole's scaling story: per-admission churn cost at n admitted
+// connections, exact vs coalesced merge-tree aggregates.  `reps_scale`
+// in (0, 1] shrinks op counts for the smoke/ctest variants.
+int scaling_sweep(bench::BenchJsonWriter& json,
+                  const std::vector<std::size_t>& sizes, bool tiny) {
+  std::cout << "\nscaling sweep (merge-tree aggregates)\n";
+  struct Variant {
+    const char* name;
+    std::size_t budget;
+  };
+  constexpr Variant kVariants[] = {{"exact", 0}, {"coalesced", 64}};
+  double per_op_first = 0.0;
+  double per_op_last = 0.0;
+  for (const Variant& v : kVariants) {
+    for (const std::size_t n : sizes) {
+      const std::size_t rate_scale = rate_scale_for(n);
+      Xorshift rng(42);
+      SwitchCac cac = make_switch(v.budget);
+      populate(cac, n, rng, rate_scale);
+      const std::size_t segments = segments_total(cac);
+
+      // Oracle gate before timing anything.
+      Xorshift gate_rng(7);
+      const std::size_t trials =
+          tiny ? 6 : (n >= 100000 ? 3 : (n >= 10000 ? 6 : 12));
+      const bool gate_ok =
+          v.budget == 0
+              ? decisions_identical(cac, gate_rng, trials, rate_scale)
+              : decisions_conservative(cac, gate_rng, trials, rate_scale);
+      if (!gate_ok) {
+        std::cerr << "scaling sweep gate failed: variant " << v.name
+                  << ", n=" << n << "\n";
+        return 1;
+      }
+
+      // One churn op = teardown of the oldest connection + admission
+      // check + setup of a fresh one: the steady-state per-admission
+      // cost an online CAC pays at population n.
+      const std::size_t ops = tiny ? 30 : 200;
+      Xorshift churn_rng(99);
+      ConnectionId next_id = n + 1;
+      ConnectionId oldest = 1;
+      std::size_t admitted = 0;
+      const double ns = time_ns([&] {
+        for (std::size_t i = 0; i < ops; ++i) {
+          (void)cac.remove(oldest++);
+          Candidate c = random_candidate(churn_rng, rate_scale);
+          if (cac.check(c.in, c.out, c.prio, c.arrival).admitted) {
+            cac.add(next_id, c.in, c.out, c.prio, c.arrival);
+            ++admitted;
+          }
+          ++next_id;
+        }
+      });
+
+      const CacArenaStats stats = cac.arena_stats();
+      bench::BenchRecord r = make_record(
+          std::string("scale_churn_") + v.name + "_n" + std::to_string(n), n,
+          ns, ops, segments);
+      r.variant = v.name;
+      r.arena_bytes = stats.pooled_bytes;
+      r.segments_high_water = stats.peak_segments;
+      r.rss_peak_kb = peak_rss_kb();
+      json.add(std::move(r));
+
+      const double per_op = ns / static_cast<double>(ops);
+      if (v.budget != 0) {
+        if (n == sizes.front()) per_op_first = per_op;
+        per_op_last = per_op;
+      }
+      std::cout << "scale_churn  n=" << n << " (" << v.name
+                << "): " << per_op / 1e3 << " us/op, " << admitted << "/"
+                << ops << " admitted, " << segments << " aggr segments, "
+                << stats.peak_segments << " peak tree segments, arena "
+                << stats.pooled_bytes / 1024 << " KiB ("
+                << stats.arena_reuses << "/" << stats.arena_acquires
+                << " reused)\n";
+    }
+  }
+  if (sizes.size() > 1 && per_op_first > 0.0) {
+    std::cout << "coalesced per-op growth n=" << sizes.front() << " -> n="
+              << sizes.back() << ": " << per_op_last / per_op_first
+              << "x\n";
+  }
+  return 0;
+}
+
+int run(bool smoke, bool scale_only, const std::string& out_path) {
   bench::BenchJsonWriter json;
-  std::cout << (smoke ? "[smoke] " : "")
+  std::cout << (smoke ? "[smoke] " : (scale_only ? "[scale-smoke] " : ""))
             << "cac_admission_bench: " << kInPorts << "x" << kOutPorts
             << " switch, " << kPriorities << " priorities\n\n";
+
+  if (scale_only) {
+    if (scaling_sweep(json, {1000}, /*tiny=*/true) != 0) return 1;
+    if (!json.write(out_path)) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << json.records().size() << " records to "
+              << out_path << "\n";
+    return 0;
+  }
 
   // --- admission throughput vs. admitted-connection count ---------------
   const std::vector<std::size_t> sizes =
@@ -359,6 +538,14 @@ int run(bool smoke, const std::string& out_path) {
               << wall[1] / wall[0] << "x)\n";
   }
 
+  // --- merge-tree scaling sweep (exact vs coalesced aggregates) ---------
+  {
+    const std::vector<std::size_t> sizes =
+        smoke ? std::vector<std::size_t>{1000}
+              : std::vector<std::size_t>{1000, 10000, 100000};
+    if (scaling_sweep(json, sizes, /*tiny=*/smoke) != 0) return 1;
+  }
+
   if (!json.write(out_path)) {
     std::cerr << "error: cannot write " << out_path << "\n";
     return 1;
@@ -372,17 +559,21 @@ int run(bool smoke, const std::string& out_path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool scale_only = false;
   std::string out_path = "BENCH_admission.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--scale-smoke") {
+      scale_only = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::cerr << "usage: cac_admission_bench [--smoke] [--out PATH]\n";
+      std::cerr << "usage: cac_admission_bench [--smoke] [--scale-smoke] "
+                   "[--out PATH]\n";
       return 2;
     }
   }
-  return run(smoke, out_path);
+  return run(smoke, scale_only, out_path);
 }

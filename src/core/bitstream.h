@@ -119,12 +119,65 @@ class BasicBitStream {
   /// Throws std::invalid_argument on any invariant violation.
   explicit BasicBitStream(std::vector<Segment> segments)
       : segments_(std::move(segments)) {
-    canonicalize();
+    canonicalize_segments(segments_);
+    rebuild_prefix_areas();
   }
 
   BasicBitStream(std::initializer_list<Segment> segments)
       : segments_(segments) {
-    canonicalize();
+    canonicalize_segments(segments_);
+    rebuild_prefix_areas();
+  }
+
+  /// Builds a stream from segments that are already canonical (validated,
+  /// non-increasing, no coalescable adjacents) — the merge-tree hot path
+  /// (core/merge_tree.h) produces exactly such output, so re-running the
+  /// full canonicalize pass per aggregate materialization would be pure
+  /// overhead.  Audit builds re-verify the claim; a non-canonical input
+  /// is a caller bug.
+  static BasicBitStream from_canonical(std::vector<Segment> segments) {
+    BasicBitStream s(CanonicalTag{}, std::move(segments));
+    RTCAC_INVARIANT_AUDIT(
+        s.is_canonical_form(),
+        "BitStream::from_canonical: input was not canonical");
+    return s;
+  }
+
+  /// The in-place validation/normalization pass the constructor applies:
+  /// snaps rounding noise, enforces the step-wise non-increasing
+  /// invariant and coalesces (nearly) equal adjacent rates.  Exposed so
+  /// stream composition that assembles segment buffers outside a
+  /// BitStream (core/merge_tree.h) shares the one canonical definition
+  /// instead of re-implementing it.
+  static void canonicalize_segments(std::vector<Segment>& segments) {
+    RTCAC_REQUIRE(!segments.empty(), "BitStream: needs at least one segment");
+    RTCAC_REQUIRE(segments.front().start == Num(0),
+                  "BitStream: first segment must start at 0");
+    for (auto& seg : segments) {
+      seg.rate = Traits::snap_nonnegative(seg.rate);
+      RTCAC_REQUIRE(!(seg.rate < Num(0)), "BitStream: negative rate");
+    }
+    for (std::size_t k = 1; k < segments.size(); ++k) {
+      RTCAC_REQUIRE(segments[k - 1].start < segments[k].start,
+                    "BitStream: segment starts must be strictly increasing");
+      if (segments[k].rate > segments[k - 1].rate) {
+        RTCAC_REQUIRE(
+            Traits::nearly_leq(segments[k].rate, segments[k - 1].rate),
+            "BitStream: rates must be non-increasing");
+        segments[k].rate = segments[k - 1].rate;  // snap rounding noise
+      }
+    }
+    // Coalesce adjacent segments with (nearly) equal rates so equivalent
+    // streams have identical representations and repeated algebra does not
+    // grow the segment list without bound.
+    std::size_t kept = 1;
+    for (std::size_t k = 1; k < segments.size(); ++k) {
+      if (Traits::nearly_equal(segments[k].rate, segments[kept - 1].rate)) {
+        continue;
+      }
+      segments[kept++] = segments[k];
+    }
+    segments.resize(kept);
   }
 
   [[nodiscard]] std::span<const Segment> segments() const noexcept {
@@ -169,6 +222,19 @@ class BasicBitStream {
       if (k > 0) {
         if (!(segments_[k - 1].start < segments_[k].start)) return false;
         if (segments_[k].rate > segments_[k - 1].rate) return false;
+      }
+    }
+    return true;
+  }
+
+  /// invariants_hold() plus the canonical-representation guarantee: no
+  /// adjacent segments with (nearly) equal rates survive canonicalization,
+  /// so a stream claiming to be canonical (from_canonical) must have none.
+  [[nodiscard]] bool is_canonical_form() const noexcept {
+    if (!invariants_hold()) return false;
+    for (std::size_t k = 1; k < segments_.size(); ++k) {
+      if (Traits::nearly_equal(segments_[k].rate, segments_[k - 1].rate)) {
+        return false;
       }
     }
     return true;
@@ -298,41 +364,16 @@ class BasicBitStream {
         [](const Num& value, const Segment& s) { return value < s.start; });
   }
 
-  void canonicalize() {
-    RTCAC_REQUIRE(!segments_.empty(), "BitStream: needs at least one segment");
-    RTCAC_REQUIRE(segments_.front().start == Num(0),
-                  "BitStream: first segment must start at 0");
-    for (auto& seg : segments_) {
-      seg.rate = Traits::snap_nonnegative(seg.rate);
-      RTCAC_REQUIRE(!(seg.rate < Num(0)), "BitStream: negative rate");
-    }
-    for (std::size_t k = 1; k < segments_.size(); ++k) {
-      RTCAC_REQUIRE(segments_[k - 1].start < segments_[k].start,
-                    "BitStream: segment starts must be strictly increasing");
-      if (segments_[k].rate > segments_[k - 1].rate) {
-        RTCAC_REQUIRE(
-            Traits::nearly_leq(segments_[k].rate, segments_[k - 1].rate),
-            "BitStream: rates must be non-increasing (got " + to_string() +
-                ")");
-        segments_[k].rate = segments_[k - 1].rate;  // snap rounding noise
-      }
-    }
-    // Coalesce adjacent segments with (nearly) equal rates so equivalent
-    // streams have identical representations and repeated algebra does not
-    // grow the segment list without bound.
-    std::vector<Segment> out;
-    out.reserve(segments_.size());
-    out.push_back(segments_.front());
-    for (std::size_t k = 1; k < segments_.size(); ++k) {
-      if (Traits::nearly_equal(segments_[k].rate, out.back().rate)) {
-        continue;
-      }
-      out.push_back(segments_[k]);
-    }
-    segments_ = std::move(out);
-    // Prefix areas for the O(log m) bits_before: cum_bits_[k] is A(t(k)),
-    // accumulated left-to-right exactly as the former linear scan did so
-    // lookups reproduce its partial sums bitwise.
+  struct CanonicalTag {};
+  BasicBitStream(CanonicalTag, std::vector<Segment> segments)
+      : segments_(std::move(segments)) {
+    rebuild_prefix_areas();
+  }
+
+  /// Prefix areas for the O(log m) bits_before: cum_bits_[k] is A(t(k)),
+  /// accumulated left-to-right exactly as the former linear scan did so
+  /// lookups reproduce its partial sums bitwise.
+  void rebuild_prefix_areas() {
     cum_bits_.clear();
     cum_bits_.reserve(segments_.size());
     Num area{0};

@@ -39,7 +39,8 @@ std::vector<PointConfig> to_point_configs(
   points.reserve(configs.size());
   for (const SwitchCac::Config& config : configs) {
     points.push_back(PointConfig{config.in_ports, config.out_ports,
-                                 config.priorities, config.advertised_bound});
+                                 config.priorities, config.advertised_bound,
+                                 config.coalesce_budget});
   }
   return points;
 }

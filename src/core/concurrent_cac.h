@@ -15,7 +15,10 @@
 //     — every mutator fills all of the point's lazy derived caches
 //     (PolicyCac::prime) before releasing its exclusive lock, so a
 //     reader's check composes the candidate from *clean* caches and
-//     never writes the mutable cache members.
+//     never writes the mutable cache members.  The same rule covers the
+//     bitstream policy's merge trees and stream arena: mutators flush
+//     every dirty tree path and recycle buffers through the arena before
+//     unlocking, and readers only consume the materialized aggregates.
 //
 //   * admit()/remove()/reclaim()/drain_removals() take the lock
 //     *exclusive* and re-prime before unlocking.  admit() is the commit

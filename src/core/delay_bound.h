@@ -61,6 +61,8 @@ template <typename Num>
 class ServiceCurve {
  public:
   explicit ServiceCurve(const BasicBitStream<Num>& higher_priority_filtered) {
+    starts_.reserve(higher_priority_filtered.size());
+    capacities_.reserve(higher_priority_filtered.size());
     for (const auto& seg : higher_priority_filtered.segments()) {
       Num capacity = NumTraits<Num>::snap_nonnegative(Num(1) - seg.rate);
       RTCAC_REQUIRE(!(capacity < Num(0)),

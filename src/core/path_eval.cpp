@@ -34,7 +34,8 @@ class BitstreamPoint final : public PolicyCac {
  public:
   explicit BitstreamPoint(const PointConfig& config)
       : cac_(SwitchCac::Config{config.in_ports, config.out_ports,
-                               config.priorities, config.advertised_bound}) {}
+                               config.priorities, config.advertised_bound,
+                               config.coalesce_budget}) {}
 
   [[nodiscard]] double advertised(std::size_t out_port,
                                   Priority priority) const override {

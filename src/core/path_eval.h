@@ -117,6 +117,12 @@ struct PointConfig {
   std::size_t out_ports = 0;
   std::size_t priorities = 1;
   double advertised_bound = 32;
+  /// Per-aggregate segment cap (0 = exact).  Policies that keep
+  /// per-cell aggregates (the bitstream policy's merge trees) bound
+  /// every aggregate to this many segments, trading admit-side
+  /// conservatism for population-independent admission cost; policies
+  /// without aggregates ignore it.
+  std::size_t coalesce_budget = 0;
 };
 
 /// Admission state of ONE queueing point under some policy.  Not

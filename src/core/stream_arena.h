@@ -1,0 +1,104 @@
+// rtcac/core/stream_arena.h
+//
+// Pooled segment-buffer allocation for the mergeable stream algebra.
+//
+// Every merge-tree node (core/merge_tree.h) owns a std::vector of
+// segments that is rebuilt whenever a leaf on its path changes.  Under
+// connection churn at production populations (100k+ connections) those
+// rebuilds would hammer the heap: each path re-merge frees and
+// reallocates O(log n) buffers.  The arena keeps released buffers —
+// capacity intact — in a pool sorted by capacity and hands them back on
+// the next acquire, so steady-state churn performs no heap allocation at
+// all once buffer capacities have reached their high-water marks.
+//
+// Ownership/lifetime rules (see docs/PERFORMANCE.md, "Mergeable
+// aggregates"):
+//   * The arena is owned by the structure that owns the trees (one per
+//     BasicSwitchCac) and must outlive every buffer acquired from it —
+//     trees never store a back-pointer; the owner passes the arena into
+//     each mutating call, which keeps tree/arena values freely copyable.
+//   * Buffers are plain std::vector<Segment>: acquiring transfers
+//     ownership out of the pool, releasing transfers it back.  Dropping
+//     a buffer without releasing it is safe (the vector frees itself);
+//     it merely forfeits the reuse.
+//   * Concurrency: none.  The arena is mutated only on paths that
+//     already hold the owning structure's exclusive lock (ConcurrentCac
+//     mutators); shared-lock readers never touch it.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/bitstream.h"
+
+namespace rtcac {
+
+/// Capacity-recycling pool of segment buffers for one family of merge
+/// trees.  Not thread-safe; see the header comment for the locking rule.
+template <typename Num>
+class BasicStreamArena {
+ public:
+  using Segment = BasicSegment<Num>;
+  using Buffer = std::vector<Segment>;
+
+  /// Takes a buffer with capacity >= `capacity_hint` from the pool, or a
+  /// freshly reserved one when the pool has none big enough.  The
+  /// returned buffer is empty (size 0).
+  [[nodiscard]] Buffer acquire(std::size_t capacity_hint) {
+    ++acquires_;
+    const auto it = std::lower_bound(
+        pool_.begin(), pool_.end(), capacity_hint,
+        [](const Buffer& b, std::size_t want) { return b.capacity() < want; });
+    if (it != pool_.end()) {
+      Buffer buf = std::move(*it);
+      pool_.erase(it);
+      pooled_bytes_ -= buf.capacity() * sizeof(Segment);
+      buf.clear();
+      ++reuses_;
+      return buf;
+    }
+    Buffer buf;
+    buf.reserve(capacity_hint);
+    return buf;
+  }
+
+  /// Returns a buffer's storage to the pool for reuse.  Zero-capacity
+  /// buffers are dropped (nothing to recycle).
+  void release(Buffer&& buf) {
+    if (buf.capacity() == 0) return;
+    buf.clear();
+    pooled_bytes_ += buf.capacity() * sizeof(Segment);
+    const auto it = std::lower_bound(
+        pool_.begin(), pool_.end(), buf.capacity(),
+        [](const Buffer& b, std::size_t cap) { return b.capacity() < cap; });
+    pool_.insert(it, std::move(buf));
+  }
+
+  /// Bytes of segment storage currently parked in the pool.
+  [[nodiscard]] std::size_t pooled_bytes() const noexcept {
+    return pooled_bytes_;
+  }
+  /// Buffers currently parked in the pool.
+  [[nodiscard]] std::size_t pooled_buffers() const noexcept {
+    return pool_.size();
+  }
+  /// Total acquire calls, and how many were served from the pool instead
+  /// of the heap — the bench reports these to show steady-state churn
+  /// allocates nothing.
+  [[nodiscard]] std::size_t acquires() const noexcept { return acquires_; }
+  [[nodiscard]] std::size_t reuses() const noexcept { return reuses_; }
+
+ private:
+  std::vector<Buffer> pool_;  // sorted ascending by capacity
+  std::size_t pooled_bytes_ = 0;
+  std::size_t acquires_ = 0;
+  std::size_t reuses_ = 0;
+};
+
+using StreamArena = BasicStreamArena<double>;
+using ExactStreamArena = BasicStreamArena<Rational>;
+
+}  // namespace rtcac

@@ -39,17 +39,21 @@
 
 namespace rtcac {
 
-/// Multiplexes two streams (Algorithm 3.2): the worst-case aggregate of two
-/// connections sharing a queueing point has, at every instant, the sum of
-/// the component rates.
+namespace detail {
+
+/// The two-way union sweep at the heart of `multiplex` (Algorithm 3.2):
+/// appends to `out` one segment per breakpoint in the union of `a` and
+/// `b`, whose rate is the sum of the rates in force.  Output is raw —
+/// adjacent equal-rate segments are NOT coalesced; callers canonicalize
+/// (the BitStream constructor, or BitStream::canonicalize_segments for
+/// buffer-reusing callers like the merge tree).  Shared so every 2-way
+/// aggregate in the system — fold, k-way verify, merge-tree node — sums
+/// rates through the one definition and stays bitwise comparable.
 template <typename Num>
-BasicBitStream<Num> multiplex(const BasicBitStream<Num>& s1,
-                              const BasicBitStream<Num>& s2) {
+void multiplex_union(std::span<const BasicSegment<Num>> a,
+                     std::span<const BasicSegment<Num>> b,
+                     std::vector<BasicSegment<Num>>& out) {
   using Seg = BasicSegment<Num>;
-  std::vector<Seg> out;
-  out.reserve(s1.size() + s2.size());
-  const auto a = s1.segments();
-  const auto b = s2.segments();
   std::size_t i = 0;
   std::size_t j = 0;
   // Sweep the union of breakpoints; at each, the aggregate rate is the sum
@@ -71,6 +75,19 @@ BasicBitStream<Num> multiplex(const BasicBitStream<Num>& s1,
                      (j > 0 ? b[j - 1].rate : Num(0));
     out.push_back(Seg{rate, t});
   }
+}
+
+}  // namespace detail
+
+/// Multiplexes two streams (Algorithm 3.2): the worst-case aggregate of two
+/// connections sharing a queueing point has, at every instant, the sum of
+/// the component rates.
+template <typename Num>
+BasicBitStream<Num> multiplex(const BasicBitStream<Num>& s1,
+                              const BasicBitStream<Num>& s2) {
+  std::vector<BasicSegment<Num>> out;
+  out.reserve(s1.size() + s2.size());
+  detail::multiplex_union(s1.segments(), s2.segments(), out);
   BasicBitStream<Num> result(std::move(out));
   RTCAC_INVARIANT_AUDIT(result.invariants_hold(),
                         "multiplex: output violates the stream invariant");

@@ -12,12 +12,16 @@ BasicSwitchCac<Num>::BasicSwitchCac(const Config& config) : config_(config) {
                 "SwitchCac: ports and priorities must be positive");
   RTCAC_REQUIRE(config_.advertised_bound > Num(0),
                 "SwitchCac: advertised bound must be > 0");
+  RTCAC_REQUIRE(config_.coalesce_budget == 0 || config_.coalesce_budget >= 2,
+                "SwitchCac: non-zero coalescing budget must be >= 2");
   advertised_.assign(config_.out_ports * config_.priorities,
                      config_.advertised_bound);
   const std::size_t cells =
       config_.in_ports * config_.out_ports * config_.priorities;
   const std::size_t queues = config_.out_ports * config_.priorities;
   arrival_aggr_.assign(cells, Stream{});
+  cell_trees_.assign(cells,
+                     BasicStreamMergeTree<Num>(config_.coalesce_budget));
   cell_counts_.assign(cells, 0);
   cell_members_.assign(cells, {});
   filtered_cell_.assign(cells, Stream{});
@@ -75,8 +79,8 @@ void BasicSwitchCac<Num>::set_advertised(std::size_t out_port,
 template <typename Num>
 typename BasicSwitchCac<Num>::Stream BasicSwitchCac<Num>::rebuild_cell(
     std::size_t in_port, std::size_t out_port, Priority priority) const {
-  const std::vector<ConnectionId>& members =
-      cell_members_[cell_index(in_port, out_port, priority)];
+  const std::size_t idx = cell_index(in_port, out_port, priority);
+  const std::vector<ConnectionId>& members = cell_members_[idx];
   std::vector<const Stream*> parts;
   parts.reserve(members.size());
   for (const ConnectionId id : members) {
@@ -84,10 +88,12 @@ typename BasicSwitchCac<Num>::Stream BasicSwitchCac<Num>::rebuild_cell(
     RTCAC_ASSERT(it != records_.end(),
                  "SwitchCac: membership index references unknown id " +
                      std::to_string(id));
-    parts.push_back(&it->second.arrival);
+    parts.push_back(&cell_trees_[idx].leaf(it->second.slot));
   }
   // Members are kept in insertion order, so this k-way mux reproduces the
-  // incremental adds bitwise: remove/rebuild restores the exact aggregate.
+  // pre-merge-tree incremental adds bitwise: the exact fold the scratch
+  // oracle and the audits compare against, independent of the (possibly
+  // coalesced) cached aggregate.
   return multiplex_all(parts);
 }
 
@@ -254,14 +260,14 @@ BasicSwitchCac<Num>::offered_aggregate_scratch(std::size_t out_port,
                                                Priority extra_prio) const {
   Stream offered;
   for (std::size_t i = 0; i < config_.in_ports; ++i) {
-    const Stream* cell = &arrival_aggr_[cell_index(i, out_port, priority)];
-    Stream with_extra;
+    // Exact fold from the records — never the cached aggregate, which in
+    // coalescing mode only dominates the true cell stream.
+    Stream cell = rebuild_cell(i, out_port, priority);
     if (extra != nullptr && i == extra_in && priority == extra_prio) {
-      with_extra = multiplex(*cell, *extra);
-      cell = &with_extra;
+      cell = multiplex(cell, *extra);
     }
-    if (cell->is_zero()) continue;
-    offered = multiplex(offered, filter(*cell));
+    if (cell.is_zero()) continue;
+    offered = multiplex(offered, filter(cell));
   }
   return offered;
 }
@@ -274,17 +280,16 @@ BasicSwitchCac<Num>::higher_priority_filtered_scratch(
   Stream out_aggr;
   for (std::size_t i = 0; i < config_.in_ports; ++i) {
     // Aggregate all strictly-higher priorities on this incoming link: they
-    // share the link, so one filter pass applies to their union.
+    // share the link, so one filter pass applies to their union.  Cells
+    // are re-folded from the records (see offered_aggregate_scratch).
     Stream hp;
     for (Priority q = 0; q < priority; ++q) {
-      const Stream* cell = &arrival_aggr_[cell_index(i, out_port, q)];
-      Stream with_extra;
+      Stream cell = rebuild_cell(i, out_port, q);
       if (extra != nullptr && i == extra_in && q == extra_prio) {
-        with_extra = multiplex(*cell, *extra);
-        cell = &with_extra;
+        cell = multiplex(cell, *extra);
       }
-      if (cell->is_zero()) continue;
-      hp = multiplex(hp, *cell);
+      if (cell.is_zero()) continue;
+      hp = multiplex(hp, cell);
     }
     if (hp.is_zero()) continue;
     out_aggr = multiplex(out_aggr, filter(hp));
@@ -414,10 +419,12 @@ void BasicSwitchCac<Num>::add(ConnectionId id, std::size_t in_port,
   check_ports(in_port, out_port, priority);
   RTCAC_REQUIRE(!records_.contains(id),
                 "SwitchCac: duplicate connection id " + std::to_string(id));
-  records_.emplace(id,
-                   Record{in_port, out_port, priority, arrival, lease_expiry});
   const std::size_t idx = cell_index(in_port, out_port, priority);
-  arrival_aggr_[idx] = multiplex(arrival_aggr_[idx], arrival);
+  const std::size_t slot = cell_trees_[idx].insert(stream_arena_, arrival);
+  records_.emplace(id,
+                   Record{in_port, out_port, priority, slot, lease_expiry});
+  if (lease_expiry != kPermanentLease) lease_index_.emplace(lease_expiry, id);
+  arrival_aggr_[idx] = cell_trees_[idx].aggregate(stream_arena_);
   ++cell_counts_[idx];
   cell_members_[idx].push_back(id);
   invalidate_cell(in_port, out_port, priority);
@@ -428,8 +435,24 @@ template <typename Num>
 bool BasicSwitchCac<Num>::renew_lease(ConnectionId id, double lease_expiry) {
   const auto it = records_.find(id);
   if (it == records_.end()) return false;
+  drop_lease_index_entry(it->second.lease_expiry, id);
   it->second.lease_expiry = lease_expiry;
+  if (lease_expiry != kPermanentLease) lease_index_.emplace(lease_expiry, id);
   return true;
+}
+
+template <typename Num>
+void BasicSwitchCac<Num>::drop_lease_index_entry(double expiry,
+                                                 ConnectionId id) {
+  if (expiry == kPermanentLease) return;
+  const auto [first, last] = lease_index_.equal_range(expiry);
+  for (auto it = first; it != last; ++it) {
+    if (it->second == id) {
+      lease_index_.erase(it);
+      return;
+    }
+  }
+  RTCAC_ASSERT(false, "SwitchCac: finite lease missing from the lease index");
 }
 
 template <typename Num>
@@ -450,6 +473,8 @@ std::size_t BasicSwitchCac<Num>::remove_record_bookkeeping(
     typename std::map<ConnectionId, Record>::iterator it) {
   const Record& rec = it->second;
   const std::size_t idx = cell_index(rec.in_port, rec.out_port, rec.priority);
+  cell_trees_[idx].erase(rec.slot);
+  drop_lease_index_entry(rec.lease_expiry, it->first);
   std::erase(cell_members_[idx], it->first);
   --cell_counts_[idx];
   records_.erase(it);
@@ -458,11 +483,15 @@ std::size_t BasicSwitchCac<Num>::remove_record_bookkeeping(
 
 template <typename Num>
 std::vector<ConnectionId> BasicSwitchCac<Num>::reclaim(double now) {
+  // Walk the expired prefix of the lease index — O(expired log n), never
+  // a scan of the full record map.
   std::vector<ConnectionId> expired;
-  for (const auto& [id, rec] : records_) {
-    if (rec.lease_expiry <= now) expired.push_back(id);
+  for (auto it = lease_index_.begin();
+       it != lease_index_.end() && it->first <= now; ++it) {
+    expired.push_back(it->second);
   }
   if (expired.empty()) return expired;
+  std::sort(expired.begin(), expired.end());  // contract: ascending ids
   // Batch: strip every expired record first, then rebuild each touched
   // cell exactly once — a cell losing k orphans pays one rebuild, not k.
   std::vector<std::size_t> touched;
@@ -501,11 +530,10 @@ void BasicSwitchCac<Num>::rebuild_cells(std::vector<std::size_t>& touched) {
     const std::size_t in_port = idx / per_in;
     const std::size_t out_port = (idx % per_in) / config_.priorities;
     const auto priority = static_cast<Priority>(idx % config_.priorities);
-    // Rebuild rather than demultiplex: repeated setup/teardown must not
-    // accumulate floating-point drift in the aggregates.
-    arrival_aggr_[idx] = cell_counts_[idx] == 0
-                             ? Stream{}
-                             : rebuild_cell(in_port, out_port, priority);
+    // One flush per touched cell: a cell losing k members re-merges each
+    // dirty tree node once, the same incremental path remove() takes —
+    // not k times, and never a full refold.
+    arrival_aggr_[idx] = cell_trees_[idx].aggregate(stream_arena_);
     invalidate_cell(in_port, out_port, priority);
   }
 }
@@ -539,11 +567,11 @@ bool BasicSwitchCac<Num>::remove(ConnectionId id) {
   const std::size_t out_port = it->second.out_port;
   const Priority priority = it->second.priority;
   const std::size_t idx = remove_record_bookkeeping(it);
-  // Rebuild rather than demultiplex: repeated setup/teardown must not
-  // accumulate floating-point drift in the aggregates.
-  arrival_aggr_[idx] = cell_counts_[idx] == 0
-                           ? Stream{}
-                           : rebuild_cell(in_port, out_port, priority);
+  // Re-merge the erased leaf's root path rather than demultiplex: the
+  // remaining leaves are recombined from their exact streams, so repeated
+  // setup/teardown cannot accumulate floating-point drift — at O(log n)
+  // node merges instead of the old full refold.
+  arrival_aggr_[idx] = cell_trees_[idx].aggregate(stream_arena_);
   invalidate_cell(in_port, out_port, priority);
   audit_invariants();
   return true;
@@ -603,9 +631,32 @@ bool BasicSwitchCac<Num>::state_consistent() const {
       for (Priority p = 0; p < config_.priorities; ++p) {
         const std::size_t idx = cell_index(i, j, p);
         if (cell_members_[idx].size() != cell_counts_[idx]) return false;
+        const auto& tree = cell_trees_[idx];
+        // Tree bookkeeping: one live leaf per member, internal nodes
+        // re-derivable from the leaves (coherent() is also false when a
+        // flush is pending, which a completed mutation never leaves).
+        if (tree.size() != cell_counts_[idx]) return false;
+        if (!tree.coherent()) return false;
+        for (const ConnectionId id : cell_members_[idx]) {
+          const auto rit = records_.find(id);
+          if (rit == records_.end() || !tree.leaf_live(rit->second.slot)) {
+            return false;
+          }
+        }
+        // The cached aggregate must be exactly what the tree's root
+        // materializes to (deterministic, so bitwise comparable).
+        if (!(arrival_aggr_[idx] == tree.materialized())) return false;
         const Stream expect = rebuild_cell(i, j, p);
-        if (!expect.nearly_equal(arrival_aggr_[idx])) {
-          return false;
+        if (config_.coalesce_budget == 0) {
+          if (!expect.nearly_equal(arrival_aggr_[idx])) return false;
+        } else {
+          // Conservative contract: the coalesced aggregate dominates the
+          // exact fold pointwise and preserves its sustained (tail) rate.
+          if (!arrival_aggr_[idx].dominates(expect)) return false;
+          if (!NumTraits<Num>::nearly_equal(arrival_aggr_[idx].final_rate(),
+                                            expect.final_rate())) {
+            return false;
+          }
         }
       }
     }
@@ -613,7 +664,24 @@ bool BasicSwitchCac<Num>::state_consistent() const {
   // Membership index and record map must describe the same connection set.
   std::size_t indexed = 0;
   for (const auto& members : cell_members_) indexed += members.size();
-  return indexed == records_.size();
+  if (indexed != records_.size()) return false;
+  // Every finite-lease record appears in the lease index exactly once and
+  // nothing else does.
+  std::size_t finite = 0;
+  for (const auto& [id, rec] : records_) {
+    if (rec.lease_expiry == kPermanentLease) continue;
+    ++finite;
+    const auto [first, last] = lease_index_.equal_range(rec.lease_expiry);
+    bool found = false;
+    for (auto it = first; it != last; ++it) {
+      if (it->second == id) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return finite == lease_index_.size();
 }
 
 template <typename Num>
@@ -623,8 +691,9 @@ bool BasicSwitchCac<Num>::bandwidth_conserved() const {
   // aggregates — up to numeric tolerance for the double instantiation.
   std::vector<Num> expected(arrival_aggr_.size(), Num(0));
   for (const auto& [id, rec] : records_) {
-    expected[cell_index(rec.in_port, rec.out_port, rec.priority)] +=
-        rec.arrival.final_rate();
+    const std::size_t idx =
+        cell_index(rec.in_port, rec.out_port, rec.priority);
+    expected[idx] += cell_trees_[idx].leaf(rec.slot).final_rate();
   }
   for (std::size_t k = 0; k < arrival_aggr_.size(); ++k) {
     if (!NumTraits<Num>::nearly_equal(arrival_aggr_[k].final_rate(),
@@ -729,6 +798,20 @@ void BasicSwitchCac<Num>::prime_caches() const {
       (void)ensure_bound(j, p);
     }
   }
+}
+
+template <typename Num>
+CacArenaStats BasicSwitchCac<Num>::arena_stats() const {
+  CacArenaStats st;
+  st.pooled_bytes = stream_arena_.pooled_bytes();
+  st.arena_acquires = stream_arena_.acquires();
+  st.arena_reuses = stream_arena_.reuses();
+  for (const auto& tree : cell_trees_) {
+    st.held_bytes += tree.held_bytes();
+    st.held_segments += tree.held_segments();
+    st.peak_segments += tree.peak_segments();
+  }
+  return st;
 }
 
 template <typename Num>

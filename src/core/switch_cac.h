@@ -42,6 +42,21 @@
 // re-verifies cache coherence (cache_coherent()) alongside the existing
 // state-consistency and bandwidth-conservation audits.
 //
+// Scaling (docs/PERFORMANCE.md, "Mergeable aggregates"): each S_ia cell is
+// backed by a BasicStreamMergeTree (core/merge_tree.h) owning the member
+// arrival streams as leaves, so add()/remove() re-merge only an O(log n)
+// root path instead of refolding the cell, with node buffers pooled in a
+// per-switch BasicStreamArena (core/stream_arena.h).  With
+// Config::coalesce_budget == 0 (the default) aggregates are exact and the
+// behavior is unchanged; a non-zero budget caps every tree node at that
+// many segments by conservative breakpoint dropping — the aggregate then
+// *dominates* the exact multiplex pointwise (offered load only ever
+// over-estimated, delay bounds only ever larger), so check() may reject
+// connections the exact oracle admits but can never admit one it rejects.
+// check_from_scratch() stays exact in both modes: it folds straight from
+// the per-connection records and never reads the (possibly coalesced)
+// aggregates.
+//
 // Fault tolerance: a commit may carry a *lease* — an expiry instant on the
 // caller's clock.  A hop reserved by a distributed SETUP holds its
 // bandwidth only until the lease runs out; CONNECTED (via
@@ -57,6 +72,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <limits>
 #include <map>
 #include <optional>
@@ -68,6 +84,8 @@
 #include "core/bitstream.h"
 #include "core/connection.h"
 #include "core/delay_bound.h"
+#include "core/merge_tree.h"
+#include "core/stream_arena.h"
 #include "core/stream_ops.h"
 #include "util/contract.h"
 
@@ -91,6 +109,24 @@ struct BasicSwitchCheckResult {
   std::string reason;
 };
 
+/// Allocation/footprint counters of one switch's mergeable-aggregate
+/// storage (merge trees + segment arena); reported by the admission bench
+/// as the memory columns of BENCH_admission.json.
+struct CacArenaStats {
+  /// Bytes of segment storage parked in the arena pool (reusable).
+  std::size_t pooled_bytes = 0;
+  /// Bytes of segment storage held by live merge-tree node buffers.
+  std::size_t held_bytes = 0;
+  /// Segments currently stored across all trees (leaves + nodes).
+  std::size_t held_segments = 0;
+  /// Sum of each tree's high-water segment count over its lifetime.
+  std::size_t peak_segments = 0;
+  /// Buffer acquisitions, and how many the arena served from its pool
+  /// instead of the heap.
+  std::size_t arena_acquires = 0;
+  std::size_t arena_reuses = 0;
+};
+
 /// CAC state of one static-priority FIFO switch.
 template <typename Num>
 class BasicSwitchCac {
@@ -105,6 +141,12 @@ class BasicSwitchCac {
     /// Default advertised per-queue delay bound Dmax (cell times); equal
     /// to the FIFO queue depth in cells, per the paper's RTnet setup.
     Num advertised_bound = Num(32);
+    /// Per-node segment cap of the mergeable aggregates.  0 (default)
+    /// means exact aggregates; a value >= 2 bounds every aggregate's
+    /// size, making per-admission cost independent of population at the
+    /// price of admit-side-conservative (never optimistic) decisions —
+    /// see the header comment.
+    std::size_t coalesce_budget = 0;
   };
 
   /// Throws std::invalid_argument on a degenerate config.
@@ -131,11 +173,13 @@ class BasicSwitchCac {
                                   Priority priority,
                                   const Stream& arrival) const;
 
-  /// Same trial decision computed the pre-optimization way: every derived
-  /// stream re-folded from the S_ia cells with two-way multiplex, every
-  /// bound evaluated by the reference candidate scan, no caches touched.
-  /// Kept as the oracle for the cache-coherence property suite and as the
-  /// baseline bench/cac_admission_bench measures the fast path against.
+  /// Same trial decision computed the pre-optimization way: every S_ia
+  /// cell re-folded straight from the per-connection records with two-way
+  /// multiplex, every bound evaluated by the reference candidate scan, no
+  /// caches (and no coalesced aggregates) touched.  Kept as the exact
+  /// oracle for the cache-coherence and conservative-dominance property
+  /// suites and as the baseline bench/cac_admission_bench measures the
+  /// fast path against.
   [[nodiscard]] CheckResult check_from_scratch(std::size_t in_port,
                                                std::size_t out_port,
                                                Priority priority,
@@ -220,8 +264,12 @@ class BasicSwitchCac {
                                                 std::size_t out_port,
                                                 Priority priority) const;
 
-  /// Verifies that every cached aggregate equals the mux of its component
-  /// connection streams (within tolerance).  Test/diagnostic hook; O(n).
+  /// Verifies the aggregate state against the per-connection records:
+  /// merge-tree node coherence, slot bookkeeping, and — in exact mode —
+  /// that every cached aggregate equals the mux of its component streams
+  /// (within tolerance).  In coalescing mode the aggregate must instead
+  /// dominate the exact mux pointwise with the tail rate preserved (the
+  /// conservative contract).  Test/diagnostic hook; O(n).
   [[nodiscard]] bool state_consistent() const;
 
   /// Verifies sustained-bandwidth conservation: for every S_ia cell, the
@@ -245,12 +293,22 @@ class BasicSwitchCac {
   /// a shared lock without racing on the mutable cache members.
   void prime_caches() const;
 
+  /// Allocation counters of the merge-tree/arena storage (bench hook).
+  [[nodiscard]] CacArenaStats arena_stats() const;
+
+  /// The configured per-node segment cap (0 = exact mode).
+  [[nodiscard]] std::size_t coalesce_budget() const noexcept {
+    return config_.coalesce_budget;
+  }
+
  private:
   struct Record {
     std::size_t in_port;
     std::size_t out_port;
     Priority priority;
-    Stream arrival;
+    /// Leaf slot of this connection's arrival stream in its cell's merge
+    /// tree — the tree owns the stream; read it via cell_trees_[...].leaf.
+    std::size_t slot;
     double lease_expiry = kPermanentLease;
   };
 
@@ -273,11 +331,16 @@ class BasicSwitchCac {
   void invalidate_cell(std::size_t in_port, std::size_t out_port,
                        Priority priority);
 
-  /// Erases one record plus its index/aggregate bookkeeping WITHOUT
-  /// rebuilding the touched cell; returns its cell index.  Shared by
-  /// remove(), remove_many() and the batched reclaim().
+  /// Erases one record plus its index/aggregate bookkeeping — tree leaf,
+  /// membership, lease index — WITHOUT re-merging the touched cell;
+  /// returns its cell index.  Shared by remove(), remove_many() and the
+  /// batched reclaim().
   std::size_t remove_record_bookkeeping(
       typename std::map<ConnectionId, Record>::iterator it);
+
+  /// Removes (expiry, id) from the finite-lease index; no-op for a
+  /// permanent lease.
+  void drop_lease_index_entry(double expiry, ConnectionId id);
 
   /// Rebuilds (and invalidates the derived caches of) every cell index
   /// in `touched` exactly once — `touched` is sorted/deduplicated in
@@ -346,6 +409,18 @@ class BasicSwitchCac {
   // and per-queue queries never scan the full record map.
   std::vector<std::vector<ConnectionId>> cell_members_;
   std::map<ConnectionId, Record> records_;
+  // Mergeable aggregate state: one merge tree per S_ia cell owning the
+  // member arrival streams (Record::slot indexes its leaves), node
+  // buffers pooled in the arena.  arrival_aggr_[c] is always the
+  // materialized root of cell_trees_[c].  Mutated only by the mutators
+  // (add/remove*/reclaim paths) — check() and the bound queries never
+  // touch either, which is what keeps shared-lock readers in
+  // ConcurrentCac race-free.
+  std::vector<BasicStreamMergeTree<Num>> cell_trees_;
+  BasicStreamArena<Num> stream_arena_;
+  // Finite-lease expiries, ordered: reclaim(now) walks the <= now prefix
+  // instead of scanning every record.  Permanent commitments are absent.
+  std::multimap<double, ConnectionId> lease_index_;
 
   // Derived-stream caches (indexes mirror arrival_aggr_ / advertised_),
   // rebuilt lazily by the ensure_* accessors; `..._dirty_` set by

@@ -1,7 +1,8 @@
 // lint-fixture-dest: src/core/switch_cac.cpp
 //
 // cac-cache-state negative fixture: the cache-management members
-// (ensure_* / invalidate_* / rebuild_cell / audits) own that state.
+// (ensure_* / invalidate_* / rebuild_cell* / lease bookkeeping /
+// arena_stats / audits) own that state, merge trees and arena included.
 
 #include "core/switch_cac.h"
 
@@ -23,6 +24,19 @@ void BasicSwitchCac<Num>::invalidate_bound() {
 template <typename Num>
 void BasicSwitchCac<Num>::rebuild_cell(std::size_t cell) {
   cell_counts_[cell] = 0;
+  arrival_aggr_[cell] = cell_trees_[cell].aggregate(stream_arena_);
+}
+
+template <typename Num>
+void BasicSwitchCac<Num>::drop_lease_index_entry(double expiry) {
+  lease_index_.erase(expiry);
+}
+
+template <typename Num>
+CacArenaStats BasicSwitchCac<Num>::arena_stats() const {
+  CacArenaStats st;
+  st.pooled_bytes = stream_arena_.pooled_bytes();
+  return st;
 }
 
 template <typename Num>

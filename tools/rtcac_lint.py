@@ -47,16 +47,22 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
   cac-cache-state   BasicSwitchCac's aggregate and derived-stream
                     cache state (arrival_aggr_, cell_members_,
                     cell_counts_, the *_cache_ streams and their
-                    *_dirty_ flags) may be read or written only inside
+                    *_dirty_ flags) plus the mergeable-aggregate
+                    storage behind it (cell_trees_, stream_arena_,
+                    lease_index_ — docs/PERFORMANCE.md, "Mergeable
+                    aggregates") may be read or written only inside
                     the cache-management member functions of
                     src/core/switch_cac.cpp (constructor, add/remove/
-                    reclaim, rebuild_cell, invalidate_*, ensure_*,
-                    compose_*, the *_scratch oracles and the
+                    reclaim, renew_lease/drop_lease_index_entry,
+                    rebuild_cell*, invalidate_*, ensure_*, compose_*,
+                    the *_scratch oracles, arena_stats and the
                     consistency audits) — never from query accessors
                     or from other translation units.  Everything else
                     must go through ensure_* so the dirty-tracking
-                    invariant (clean implies inputs clean,
-                    docs/PERFORMANCE.md) cannot be bypassed.
+                    invariant (clean implies inputs clean) and the
+                    tree/aggregate coherence contract (every mutation
+                    flushes its root path before returning) cannot be
+                    bypassed.
 
   admission-walk    The hop-walk arithmetic lives in exactly one place:
                     src/core/path_eval.{h,cpp} (PathEvaluator).  In the
@@ -172,23 +178,28 @@ REROUTE_MUTATION_RE = re.compile(
 )
 REROUTE_HANDLER_PREFIXES = ("on_", "attempt_", "advance_to", "quiesce")
 
-# cac-cache-state: the switch CAC's aggregate/cache members, the member
-# we are inside (tracked from out-of-line definitions), and the member
-# functions allowed to touch that state directly (cache management,
-# from-scratch oracles, and the consistency audits that vouch for it).
+# cac-cache-state: the switch CAC's aggregate/cache members — including
+# the merge trees, segment arena and lease index the mergeable-aggregate
+# layer added — the member we are inside (tracked from out-of-line
+# definitions), and the member functions allowed to touch that state
+# directly (cache management, lease bookkeeping, from-scratch oracles,
+# the arena_stats bench hook, and the consistency audits that vouch for
+# it all).
 CAC_FUNC_RE = re.compile(r"\bBasicSwitchCac<\w+>::(\w+)\s*\(")
 CAC_STATE_RE = re.compile(
     r"\b(?:arrival_aggr_|cell_counts_|cell_members_|filtered_cell_|"
     r"hp_cell_filtered_|offered_cache_|hp_filtered_cache_|bound_cache_|"
     r"filtered_cell_dirty_|hp_cell_dirty_|offered_dirty_|"
-    r"hp_filtered_dirty_|bound_dirty_)\b"
+    r"hp_filtered_dirty_|bound_dirty_|cell_trees_|stream_arena_|"
+    r"lease_index_)\b"
 )
 CAC_ACCESSOR_PREFIXES = (
     "BasicSwitchCac", "add", "remove", "reclaim", "rebuild_cell",
     "invalidate_", "ensure_", "compose_", "offered_aggregate_scratch",
     "higher_priority_filtered_scratch", "arrival_aggregate",
     "sustained_load", "connection_", "state_consistent",
-    "bandwidth_conserved", "cache_coherent", "prime_caches")
+    "bandwidth_conserved", "cache_coherent", "prime_caches",
+    "renew_lease", "drop_lease_index_entry", "arena_stats")
 
 # admission-walk: the three ingredients of the per-hop admission walk.
 # CDV accumulation may be *called* only from PathEvaluator (it is
@@ -521,11 +532,12 @@ class Linter:
                     self.report(
                         path, lineno, "cac-cache-state",
                         "SwitchCac cache state (arrival_aggr_/*_cache_/"
-                        "*_dirty_) touched outside a cache-management "
-                        "member (currently in "
+                        "*_dirty_/cell_trees_/stream_arena_/lease_index_) "
+                        "touched outside a cache-management member "
+                        "(currently in "
                         f"'{current_function or '<top level>'}'); go "
-                        "through ensure_* so dirty-tracking stays "
-                        "coherent", comment_text)
+                        "through ensure_* so dirty-tracking and tree/"
+                        "aggregate coherence stay intact", comment_text)
             elif not is_cac_header and CAC_STATE_RE.search(code):
                 self.report(
                     path, lineno, "cac-cache-state",
