@@ -10,19 +10,26 @@
 //    "segments_total": int,       // aggregate segment count (state size)
 //    "threads": int,              // optional: worker threads (parallel runs)
 //    "speedup_vs_serial": number, // optional: wall(1 thread) / wall(threads)
+//    "hardware_concurrency": int, // optional: hw threads of the runner
 //    "policy": str,               // optional: CacPolicy name (bitstream, ...)
 //    "variant": str,              // optional: aggregate mode (exact|coalesced)
+//    "false_reject_rate": number, // optional: coalesced-only rejections /
+//                                 //   probes (conservatism cost)
 //    "arena_bytes": int,          // optional: arena-pooled segment bytes
 //    "segments_high_water": int,  // optional: peak live segments (trees)
 //    "rss_peak_kb": int}          // optional: process peak RSS (getrusage)
 //
 // The `threads`/`speedup_vs_serial` keys are emitted only when `threads`
 // is nonzero and `policy` only when non-empty (i.e. by the thread-scaling
-// harness, bench/parallel_admission_bench); single-threaded harnesses
-// keep the original five-key schema.  The `variant` block
-// (variant/arena_bytes/segments_high_water/rss_peak_kb) is emitted only
-// when `variant` is non-empty — i.e. by the merge-tree scaling sweep in
-// bench/cac_admission_bench.
+// harness, bench/parallel_admission_bench); `hardware_concurrency` rides
+// along whenever it is nonzero, so speedup columns carry the runner's
+// core count for honest cross-machine comparison.  Single-threaded
+// harnesses keep the original five-key schema.  The `variant` block
+// (variant/false_reject_rate/arena_bytes/segments_high_water/rss_peak_kb)
+// is emitted only when `variant` is non-empty — i.e. by the merge-tree
+// scaling sweep in bench/cac_admission_bench; `false_reject_rate` is the
+// fraction of probe candidates the coalesced (conservative) check
+// rejects while the exact oracle admits, 0 for exact rows.
 //
 // Header-only and dependency-free on purpose: bench binaries link only
 // the library under test, so the writer cannot perturb what it measures.
@@ -50,11 +57,17 @@ struct BenchRecord {
   /// wall_ns of the 1-thread run of the same scenario divided by this
   /// record's wall_ns; meaningful only when threads > 0.
   double speedup_vs_serial = 0.0;
+  /// std::thread::hardware_concurrency() of the machine that produced
+  /// the record; 0 (unknown) omits the key.
+  std::size_t hardware_concurrency = 0;
   /// CacPolicy driving the run (core/path_eval.h); empty = key omitted.
   std::string policy;
   /// Aggregate mode of the merge-tree scaling sweep ("exact" or
   /// "coalesced"); empty = the whole variant block is omitted.
   std::string variant;
+  /// Fraction of probe candidates rejected by the coalesced check but
+  /// admitted by the exact oracle (conservatism cost; 0 for exact rows).
+  double false_reject_rate = 0.0;
   /// Segment bytes parked in the stream arena's pool after the run.
   std::size_t arena_bytes = 0;
   /// High-water mark of live segments held across all merge trees.
@@ -90,11 +103,15 @@ class BenchJsonWriter {
         os << ", \"threads\": " << r.threads << ", "
            << "\"speedup_vs_serial\": " << finite(r.speedup_vs_serial);
       }
+      if (r.hardware_concurrency > 0) {
+        os << ", \"hardware_concurrency\": " << r.hardware_concurrency;
+      }
       if (!r.policy.empty()) {
         os << ", \"policy\": \"" << escape(r.policy) << "\"";
       }
       if (!r.variant.empty()) {
         os << ", \"variant\": \"" << escape(r.variant) << "\", "
+           << "\"false_reject_rate\": " << finite(r.false_reject_rate) << ", "
            << "\"arena_bytes\": " << r.arena_bytes << ", "
            << "\"segments_high_water\": " << r.segments_high_water << ", "
            << "\"rss_peak_kb\": " << r.rss_peak_kb;

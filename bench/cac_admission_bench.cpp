@@ -14,6 +14,10 @@
 // stats, and peak RSS.  The exact variant is gated on decision identity
 // with check_from_scratch; the coalesced variant on admit-side
 // conservatism (it may only reject more / bound higher than the oracle).
+// The same conservatism sweep records the false-reject rate — the
+// fraction of probes the coalesced check rejects while the exact oracle
+// admits — into the records' `false_reject_rate` key, so the budget's
+// conservatism COST is tracked alongside its safety.
 //
 // Usage: cac_admission_bench [--smoke] [--scale-smoke] [--out PATH]
 //   --smoke        CI-sized run: tiny rep counts, same scenarios and schema.
@@ -201,9 +205,13 @@ bool decisions_identical(const SwitchCac& cac, Xorshift& rng,
 // the check MORE pessimistic than the from-scratch exact oracle — a
 // coalesced admit implies an oracle admit, and every coalesced bound is
 // at least the oracle's (losing a bound entirely is allowed, gaining one
-// is not).
+// is not).  The same sweep measures the price of that safety: when
+// `false_reject_rate` is non-null it receives the fraction of probes
+// the coalesced check rejected while the exact oracle admitted.
 bool decisions_conservative(const SwitchCac& cac, Xorshift& rng,
-                            std::size_t trials, std::size_t rate_scale) {
+                            std::size_t trials, std::size_t rate_scale,
+                            double* false_reject_rate = nullptr) {
+  std::size_t false_rejects = 0;
   for (std::size_t t = 0; t < trials; ++t) {
     const Candidate c = random_candidate(rng, rate_scale);
     const SwitchCheckResult fast = cac.check(c.in, c.out, c.prio, c.arrival);
@@ -214,6 +222,7 @@ bool decisions_conservative(const SwitchCac& cac, Xorshift& rng,
                    "exact oracle rejects\n";
       return false;
     }
+    if (!fast.admitted && slow.admitted) ++false_rejects;
     for (std::size_t q = 0; q < fast.bounds.size(); ++q) {
       const auto& a = fast.bounds[q];
       const auto& b = slow.bounds[q];
@@ -230,6 +239,10 @@ bool decisions_conservative(const SwitchCac& cac, Xorshift& rng,
         return false;
       }
     }
+  }
+  if (false_reject_rate != nullptr && trials > 0) {
+    *false_reject_rate =
+        static_cast<double>(false_rejects) / static_cast<double>(trials);
   }
   return true;
 }
@@ -259,10 +272,12 @@ int scaling_sweep(bench::BenchJsonWriter& json,
       Xorshift gate_rng(7);
       const std::size_t trials =
           tiny ? 6 : (n >= 100000 ? 3 : (n >= 10000 ? 6 : 12));
+      double false_reject_rate = 0.0;
       const bool gate_ok =
           v.budget == 0
               ? decisions_identical(cac, gate_rng, trials, rate_scale)
-              : decisions_conservative(cac, gate_rng, trials, rate_scale);
+              : decisions_conservative(cac, gate_rng, trials, rate_scale,
+                                       &false_reject_rate);
       if (!gate_ok) {
         std::cerr << "scaling sweep gate failed: variant " << v.name
                   << ", n=" << n << "\n";
@@ -294,6 +309,7 @@ int scaling_sweep(bench::BenchJsonWriter& json,
           std::string("scale_churn_") + v.name + "_n" + std::to_string(n), n,
           ns, ops, segments);
       r.variant = v.name;
+      r.false_reject_rate = false_reject_rate;
       r.arena_bytes = stats.pooled_bytes;
       r.segments_high_water = stats.peak_segments;
       r.rss_peak_kb = peak_rss_kb();
@@ -310,7 +326,8 @@ int scaling_sweep(bench::BenchJsonWriter& json,
                 << stats.peak_segments << " peak tree segments, arena "
                 << stats.pooled_bytes / 1024 << " KiB ("
                 << stats.arena_reuses << "/" << stats.arena_acquires
-                << " reused)\n";
+                << " reused), false-reject rate " << false_reject_rate
+                << "\n";
     }
   }
   if (sizes.size() > 1 && per_op_first > 0.0) {

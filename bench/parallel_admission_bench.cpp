@@ -5,7 +5,19 @@
 // multi-hop routes up to 3 queueing points) is driven through recorded
 // operation traces — check-only, setup/teardown churn (immediate and
 // batch-drained) and a mixed 90/10 lookup/update workload — replayed by
-// AdmissionEngine::replay on 1/2/4/8 worker threads.
+// AdmissionEngine::replay on 1/2/4/8 worker threads.  A second,
+// deliberately contended topology — a wide 12-switch star field with
+// single-switch routes, so worker threads fan out over disjoint shards —
+// carries the wide_check_only workload where the lock-free snapshot read
+// path can show real thread scaling (the chain's replay-order ticket
+// dependencies bound what any read path could deliver).  Every record
+// carries the runner's hardware_concurrency so speedup columns compare
+// like with like across machines, and n counts *admission* ops (drain
+// barriers excluded) for the same reason.  In audit builds
+// (RTCAC_AUDIT_ENABLED) the wide bitstream run additionally asserts the
+// tentpole's zero-shared-lock promise: a post-replay burst of checks
+// against the quiesced engine must leave the process-wide SharedMutex
+// acquisition counters (util/thread_annotations.h LockStats) unchanged.
 //
 // The hard gate, checked before any number is reported: the parallel
 // decision stream must be IDENTICAL to a serial oracle — a plain
@@ -24,11 +36,13 @@
 //   --out     JSON output path (default: BENCH_parallel.json).
 //   --policy  bitstream (default), peak, max_rate, or all.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/policies.h"
@@ -37,6 +51,7 @@
 #include "net/admission_engine.h"
 #include "net/connection_manager.h"
 #include "net/topology.h"
+#include "util/thread_annotations.h"
 #include "util/xorshift.h"
 
 namespace {
@@ -96,11 +111,47 @@ Net make_net() {
   return net;
 }
 
+// Contended topology where real scaling is possible: kWideSwitches
+// independent switches, each with its own terminals, every route
+// crossing exactly ONE switch.  Disjoint single-shard routes mean the
+// replay's per-shard ticket schedule serializes almost nothing, so the
+// wall clock measures the read path itself — snapshot checks with zero
+// lock traffic fan out across every worker.
+constexpr std::size_t kWideSwitches = 12;
+constexpr std::size_t kWideTermsPerSwitch = 4;
+
+Net make_wide_net() {
+  Net net;
+  for (std::size_t s = 0; s < kWideSwitches; ++s) {
+    const NodeId sw = net.topology.add_switch("wsw" + std::to_string(s));
+    for (std::size_t t = 0; t < kWideTermsPerSwitch; ++t) {
+      const NodeId src = net.topology.add_terminal(
+          "wsrc" + std::to_string(s) + "_" + std::to_string(t));
+      const LinkId in = net.topology.add_link(src, sw);
+      const NodeId dst = net.topology.add_terminal(
+          "wdst" + std::to_string(s) + "_" + std::to_string(t));
+      const LinkId out = net.topology.add_link(sw, dst);
+      net.routes.push_back({in, out});
+    }
+  }
+  return net;
+}
+
 ConnectionManager::Params make_params() {
   ConnectionManager::Params params;
   params.priorities = kPriorities;
   params.advertised_bound = 512.0;
   return params;
+}
+
+// Admission ops of a trace: drain barriers are batching punctuation, not
+// admission work, so they stay out of `n` and the per-op rates — the
+// churn_batched rows must compare like with like against churn.
+std::size_t admission_ops(const std::vector<TraceOp>& trace) {
+  return static_cast<std::size_t>(
+      std::count_if(trace.begin(), trace.end(), [](const TraceOp& op) {
+        return op.kind != TraceOp::Kind::kDrain;
+      }));
 }
 
 QosRequest random_request(Xorshift& rng) {
@@ -322,39 +373,89 @@ double time_ns(F&& body) {
           .count());
 }
 
+// Audit-build gate on the tentpole promise: a burst of checks against a
+// quiesced, fully-published bitstream engine must take ZERO SharedMutex
+// acquisitions — the whole burst rides the snapshot read path.  Returns
+// true when the promise holds (or cannot be measured in this build).
+bool verify_lock_free_checks(const Net& net,
+                             const ConnectionManager::Params& params,
+                             const std::vector<TraceOp>& trace) {
+  if (!LockStats::enabled()) {
+    std::cout << "lock-free check gate: skipped (LockStats needs an audit "
+                 "build)\n\n";
+    return true;
+  }
+  AdmissionEngine engine(net.topology, params);
+  (void)engine.replay(trace, 1);
+  Xorshift rng(909);
+  std::vector<std::pair<QosRequest, const Route*>> probes;
+  for (int i = 0; i < 256; ++i) {
+    probes.emplace_back(random_request(rng),
+                        &net.routes[rng.below(net.routes.size())]);
+  }
+  const std::uint64_t shared_before = LockStats::shared_acquisitions();
+  const std::uint64_t exclusive_before = LockStats::exclusive_acquisitions();
+  for (const auto& [request, route] : probes) {
+    (void)engine.check(request, *route);
+  }
+  const std::uint64_t shared_delta =
+      LockStats::shared_acquisitions() - shared_before;
+  const std::uint64_t exclusive_delta =
+      LockStats::exclusive_acquisitions() - exclusive_before;
+  if (shared_delta != 0 || exclusive_delta != 0) {
+    std::cerr << "LOCK-FREE CHECK GATE FAILED: " << probes.size()
+              << " checks took " << shared_delta << " shared / "
+              << exclusive_delta
+              << " exclusive SharedMutex acquisitions (want 0/0)\n";
+    return false;
+  }
+  std::cout << "lock-free check gate: PASS (" << probes.size()
+            << " checks, zero shared_mutex acquisitions)\n\n";
+  return true;
+}
+
 int run(bool smoke, const std::string& out_path,
         const std::vector<const CacPolicy*>& policies) {
   bench::BenchJsonWriter json;
   const Net net = make_net();
+  const Net wide = make_wide_net();
   const ConnectionManager::Params params = make_params();
   const std::size_t ops = smoke ? 48 : 1200;
   const std::vector<std::size_t> thread_counts =
       smoke ? std::vector<std::size_t>{1, 2}
             : std::vector<std::size_t>{1, 2, 4, 8};
+  const std::size_t hw = std::thread::hardware_concurrency();
 
   std::cout << (smoke ? "[smoke] " : "") << "parallel_admission_bench: "
-            << kSwitches << "-switch chain, " << kPriorities
-            << " priorities, " << net.routes.size() << " routes\n\n";
+            << kSwitches << "-switch chain (" << net.routes.size()
+            << " routes) + " << kWideSwitches << "-switch wide field ("
+            << wide.routes.size() << " disjoint routes), " << kPriorities
+            << " priorities, hardware_concurrency " << hw << "\n\n";
 
   struct Workload {
     std::string name;
+    const Net* net;
     std::vector<TraceOp> trace;
   };
   const std::vector<Workload> workloads = {
-      {"check_only", make_check_only(ops, net)},
-      {"churn", make_churn(ops, net, false)},
-      {"churn_batched", make_churn(ops, net, true)},
-      {"mixed_90_10", make_mixed(ops, net)},
+      {"check_only", &net, make_check_only(ops, net)},
+      {"churn", &net, make_churn(ops, net, false)},
+      {"churn_batched", &net, make_churn(ops, net, true)},
+      {"mixed_90_10", &net, make_mixed(ops, net)},
+      // The contended block: disjoint single-shard routes over the wide
+      // field, where the snapshot read path's scaling is visible.
+      {"wide_check_only", &wide, make_check_only(ops * 2, wide)},
   };
 
   for (const CacPolicy* policy : policies) {
     const std::string policy_name(policy->name());
     for (const Workload& w : workloads) {
       const std::vector<OpOutcome> oracle =
-          oracle_replay(w.trace, net.topology, params, *policy);
+          oracle_replay(w.trace, w.net->topology, params, *policy);
+      const std::size_t n_ops = admission_ops(w.trace);
       double wall_serial = 0;
       for (const std::size_t threads : thread_counts) {
-        AdmissionEngine engine(net.topology, params, *policy);
+        AdmissionEngine engine(w.net->topology, params, *policy);
         std::vector<OpOutcome> outcomes;
         const double wall = time_ns([&] {
           outcomes = engine.replay(w.trace, threads);
@@ -376,21 +477,26 @@ int run(bool smoke, const std::string& out_path,
 
         bench::BenchRecord r;
         r.benchmark = w.name + "_t" + std::to_string(threads);
-        r.n = w.trace.size();
+        r.n = n_ops;
         r.wall_ns = wall;
         r.admissions_per_sec =
-            wall > 0 ? static_cast<double>(w.trace.size()) * 1e9 / wall : 0;
+            wall > 0 ? static_cast<double>(n_ops) * 1e9 / wall : 0;
         r.segments_total = segments_total(engine.core());
         r.threads = threads;
         r.speedup_vs_serial = wall > 0 ? wall_serial / wall : 0;
+        r.hardware_concurrency = hw;
         r.policy = policy_name;
         json.add(r);
         std::cout << policy_name << " " << w.name << " t=" << threads << ": "
-                  << wall / static_cast<double>(w.trace.size()) / 1e3
+                  << wall / static_cast<double>(n_ops) / 1e3
                   << " us/op, speedup " << r.speedup_vs_serial << "x\n";
       }
       std::cout << "\n";
     }
+  }
+
+  if (!verify_lock_free_checks(wide, params, workloads.back().trace)) {
+    return 1;
   }
 
   if (!json.write(out_path)) {

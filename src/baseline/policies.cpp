@@ -26,12 +26,115 @@ void check_port(std::size_t port, std::size_t limit, const char* what) {
   }
 }
 
+/// The one peak-allocation verdict, shared by the live PeakPoint::check
+/// and its snapshot so the two paths cannot drift (same slack, same
+/// detail string).
+HopVerdict peak_verdict(double load, double pcr, double advertised) {
+  HopVerdict verdict;
+  verdict.advertised = advertised;
+  verdict.bound = 0;  // peak allocation guarantees no delay bound
+  const double total = load + pcr;
+  if (total > 1.0 + kPeakSlack) {
+    std::ostringstream os;
+    os << "peak load " << total << " exceeds capacity";
+    verdict.detail = os.str();
+    return verdict;
+  }
+  verdict.admitted = true;
+  return verdict;
+}
+
+/// Per-out dirty flags -> queue keys (out * priorities + priority), the
+/// PolicyCac::dirty_queues vocabulary.  Both baselines decide
+/// independently of priority, so a mutated out-port dirties every
+/// priority level it carries.
+std::optional<std::vector<std::size_t>> dirty_queue_keys(
+    const std::vector<char>& dirty_outs, std::size_t priorities) {
+  std::vector<std::size_t> keys;
+  for (std::size_t out = 0; out < dirty_outs.size(); ++out) {
+    if (dirty_outs[out] == 0) continue;
+    for (std::size_t p = 0; p < priorities; ++p) {
+      keys.push_back(out * priorities + p);
+    }
+  }
+  return keys;
+}
+
+void clear_dirty(std::vector<char>& dirty_outs) {
+  std::fill(dirty_outs.begin(), dirty_outs.end(), 0);
+}
+
+/// Frozen peak-allocation state of one out-port: the committed load sum.
+class PeakPointSnapshot final : public PointSnapshot {
+ public:
+  PeakPointSnapshot(double load, double advertised, std::size_t priorities)
+      : load_(load), advertised_(advertised), priorities_(priorities) {}
+
+  [[nodiscard]] HopVerdict check(std::size_t /*in_port*/, Priority priority,
+                                 const std::any& arrival) const override {
+    check_port(priority, priorities_, "PeakPoint");
+    return peak_verdict(load_, std::any_cast<double>(arrival), advertised_);
+  }
+
+ private:
+  double load_;
+  double advertised_;
+  std::size_t priorities_;
+};
+
+/// The one max-rate verdict, shared by the live MaxRatePoint::check and
+/// its snapshot: `combined` is the committed aggregate with the
+/// candidate already multiplexed in (last, matching the live fold
+/// order).
+HopVerdict max_rate_verdict(const BurstyEnvelope& combined,
+                            double advertised_bound) {
+  HopVerdict verdict;
+  verdict.advertised = advertised_bound;
+  const std::optional<double> bound = combined.delay_bound();
+  if (!bound.has_value() || *bound > advertised_bound) {
+    std::ostringstream os;
+    os << "bound would be "
+       << (bound.has_value() ? std::to_string(*bound) : "unbounded")
+       << " > advertised " << advertised_bound;
+    verdict.detail = os.str();
+    return verdict;
+  }
+  verdict.admitted = true;
+  verdict.bound = *bound;
+  return verdict;
+}
+
+/// Frozen max-rate state of one out-port: the committed aggregate
+/// envelope, pre-folded in the live path's component order.
+class MaxRatePointSnapshot final : public PointSnapshot {
+ public:
+  MaxRatePointSnapshot(BurstyEnvelope aggregate, double advertised,
+                       std::size_t priorities)
+      : aggregate_(std::move(aggregate)),
+        advertised_(advertised),
+        priorities_(priorities) {}
+
+  [[nodiscard]] HopVerdict check(std::size_t /*in_port*/, Priority priority,
+                                 const std::any& arrival) const override {
+    check_port(priority, priorities_, "MaxRatePoint");
+    const auto& envelope = std::any_cast<const BurstyEnvelope&>(arrival);
+    return max_rate_verdict(aggregate_.multiplexed(envelope), advertised_);
+  }
+
+ private:
+  BurstyEnvelope aggregate_;
+  double advertised_;
+  std::size_t priorities_;
+};
+
 /// One queueing point under peak bandwidth allocation: per-out-port sum
 /// of peak cell rates, admitted iff the sum stays within the unit link.
 class PeakPoint final : public PolicyCac {
  public:
   explicit PeakPoint(const PointConfig& config)
-      : config_(config), load_(config.out_ports, 0.0) {
+      : config_(config),
+        load_(config.out_ports, 0.0),
+        dirty_outs_(config.out_ports, 0) {
     RTCAC_REQUIRE(config.out_ports >= 1, "PeakPoint: need out ports");
   }
 
@@ -53,20 +156,25 @@ class PeakPoint final : public PolicyCac {
                                  Priority priority,
                                  const std::any& arrival) const override {
     check_port(out_port, config_.out_ports, "PeakPoint");
-    const double pcr = std::any_cast<double>(arrival);
-    HopVerdict verdict;
-    verdict.advertised = advertised(out_port, priority);
-    verdict.bound = 0;  // peak allocation guarantees no delay bound
-    const double total = load_[out_port] + pcr;
-    if (total > 1.0 + kPeakSlack) {
-      std::ostringstream os;
-      os << "peak load " << total << " exceeds capacity";
-      verdict.detail = os.str();
-      return verdict;
-    }
-    verdict.admitted = true;
-    return verdict;
+    return peak_verdict(load_[out_port], std::any_cast<double>(arrival),
+                        advertised(out_port, priority));
   }
+
+  [[nodiscard]] std::shared_ptr<const PointSnapshot> export_point_snapshot(
+      std::size_t out_port, const PointSnapshot* /*previous*/,
+      std::span<const std::size_t> /*stale_priorities*/) const override {
+    // The whole frozen state is one double; rebuilding beats sharing.
+    check_port(out_port, config_.out_ports, "PeakPoint");
+    return std::make_shared<PeakPointSnapshot>(
+        load_[out_port], config_.advertised_bound, config_.priorities);
+  }
+
+  [[nodiscard]] std::optional<std::vector<std::size_t>> dirty_queues()
+      const override {
+    return dirty_queue_keys(dirty_outs_, config_.priorities);
+  }
+
+  void prime() const override { clear_dirty(dirty_outs_); }
 
   void add(ConnectionId id, std::size_t /*in_port*/, std::size_t out_port,
            Priority priority, const std::any& arrival,
@@ -80,6 +188,7 @@ class PeakPoint final : public PolicyCac {
       throw std::invalid_argument("PeakPoint: duplicate connection id");
     }
     load_[out_port] += pcr;
+    dirty_outs_[out_port] = 1;
   }
 
   bool remove(ConnectionId id) override {
@@ -162,10 +271,13 @@ class PeakPoint final : public PolicyCac {
   void release(const Reservation& r) {
     load_[r.out_port] -= r.pcr;
     if (load_[r.out_port] < 0) load_[r.out_port] = 0;  // absorb rounding
+    dirty_outs_[r.out_port] = 1;
   }
 
   PointConfig config_;
   std::vector<double> load_;  ///< per out port
+  /// Out-ports mutated since the last prime() (snapshot invalidation).
+  mutable std::vector<char> dirty_outs_;
   std::map<ConnectionId, Reservation> records_;
 };
 
@@ -175,7 +287,9 @@ class PeakPoint final : public PolicyCac {
 class MaxRatePoint final : public PolicyCac {
  public:
   explicit MaxRatePoint(const PointConfig& config)
-      : config_(config), components_(config.out_ports) {
+      : config_(config),
+        components_(config.out_ports),
+        dirty_outs_(config.out_ports, 0) {
     RTCAC_REQUIRE(config.out_ports >= 1, "MaxRatePoint: need out ports");
     RTCAC_REQUIRE(config.advertised_bound > 0,
                   "MaxRatePoint: advertised bound must be > 0");
@@ -199,23 +313,27 @@ class MaxRatePoint final : public PolicyCac {
                                  Priority priority,
                                  const std::any& arrival) const override {
     check_port(out_port, config_.out_ports, "MaxRatePoint");
+    check_port(priority, config_.priorities, "MaxRatePoint");
     const auto& envelope = std::any_cast<const BurstyEnvelope&>(arrival);
-    HopVerdict verdict;
-    verdict.advertised = advertised(out_port, priority);
-    const std::optional<double> bound =
-        aggregate_with(out_port, &envelope).delay_bound();
-    if (!bound.has_value() || *bound > config_.advertised_bound) {
-      std::ostringstream os;
-      os << "bound would be "
-         << (bound.has_value() ? std::to_string(*bound) : "unbounded")
-         << " > advertised " << config_.advertised_bound;
-      verdict.detail = os.str();
-      return verdict;
-    }
-    verdict.admitted = true;
-    verdict.bound = *bound;
-    return verdict;
+    return max_rate_verdict(aggregate_with(out_port, &envelope),
+                            config_.advertised_bound);
   }
+
+  [[nodiscard]] std::shared_ptr<const PointSnapshot> export_point_snapshot(
+      std::size_t out_port, const PointSnapshot* /*previous*/,
+      std::span<const std::size_t> /*stale_priorities*/) const override {
+    check_port(out_port, config_.out_ports, "MaxRatePoint");
+    return std::make_shared<MaxRatePointSnapshot>(
+        aggregate_with(out_port, nullptr), config_.advertised_bound,
+        config_.priorities);
+  }
+
+  [[nodiscard]] std::optional<std::vector<std::size_t>> dirty_queues()
+      const override {
+    return dirty_queue_keys(dirty_outs_, config_.priorities);
+  }
+
+  void prime() const override { clear_dirty(dirty_outs_); }
 
   void add(ConnectionId id, std::size_t /*in_port*/, std::size_t out_port,
            Priority priority, const std::any& arrival,
@@ -229,12 +347,14 @@ class MaxRatePoint final : public PolicyCac {
       throw std::invalid_argument("MaxRatePoint: duplicate connection id");
     }
     components_[out_port].emplace(id, envelope);
+    dirty_outs_[out_port] = 1;
   }
 
   bool remove(ConnectionId id) override {
     const auto it = records_.find(id);
     if (it == records_.end()) return false;
     components_[it->second.out_port].erase(id);
+    dirty_outs_[it->second.out_port] = 1;
     records_.erase(it);
     return true;
   }
@@ -267,6 +387,7 @@ class MaxRatePoint final : public PolicyCac {
     for (auto it = records_.begin(); it != records_.end();) {
       if (it->second.lease_expiry <= now) {
         components_[it->second.out_port].erase(it->first);
+        dirty_outs_[it->second.out_port] = 1;
         reclaimed.push_back(it->first);
         it = records_.erase(it);
       } else {
@@ -307,6 +428,8 @@ class MaxRatePoint final : public PolicyCac {
   PointConfig config_;
   /// Component envelopes per out port, keyed by connection.
   std::vector<std::map<ConnectionId, BurstyEnvelope>> components_;
+  /// Out-ports mutated since the last prime() (snapshot invalidation).
+  mutable std::vector<char> dirty_outs_;
   std::map<ConnectionId, Reservation> records_;
 };
 

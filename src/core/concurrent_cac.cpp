@@ -4,10 +4,16 @@
 // single-shard entry point pairs a LockOrderAudit::Scope with a
 // SharedLock/ExclusiveLock RAII guard on that shard's mutex; the only
 // multi-shard path is admit_path, which goes through the ShardLockSet
-// scoped capability.  The three RTCAC_NO_THREAD_SAFETY_ANALYSIS escapes
-// in this file (ShardLockSet's constructor/destructor/point accessor)
-// plus the two quiesced test accessors at the bottom are the complete
-// list the `tsa` preset tolerates — each is justified at its site.
+// scoped capability.  The snapshot fast path takes no shard lock at all
+// — it synchronizes through each slot's atomic shared_ptr and validates
+// version stamps — and reader-side refresh nests the slot's
+// refresh_mutex *outside* the shard's shared lock (writers never take a
+// refresh mutex, so the edge is one-way).  The
+// RTCAC_NO_THREAD_SAFETY_ANALYSIS escapes in this file (ShardLockSet's
+// constructor/destructor/point/stamp_current/publish_epoch) plus the two
+// quiesced test accessors at the bottom and point_const in the header
+// are the complete list the `tsa` preset tolerates — each is justified
+// at its site.
 
 #include "core/concurrent_cac.h"
 
@@ -21,14 +27,43 @@
 namespace rtcac {
 
 ConcurrentCac::ConcurrentCac(const CacPolicy& policy,
-                             const std::vector<PointConfig>& configs) {
+                             const std::vector<PointConfig>& configs)
+    : ConcurrentCac(policy, configs, Options{}) {}
+
+ConcurrentCac::ConcurrentCac(const CacPolicy& policy,
+                             const std::vector<PointConfig>& configs,
+                             const Options& options)
+    : publish_window_(options.publish_window == 0 ? 1
+                                                  : options.publish_window) {
   shards_.reserve(configs.size());
   for (const PointConfig& config : configs) {
     // Prime before the point is published into a Shard: afterwards the
     // derived caches may only be touched under the shard's lock.
     std::unique_ptr<PolicyCac> point = policy.make_point(config);
     point->prime();
-    shards_.push_back(std::make_unique<Shard>(std::move(point)));
+    // Probe once whether this policy exports snapshots; the answer is
+    // frozen into the shard (its slots exist only when it does).
+    bool snapshots = false;
+    if (config.out_ports > 0 && config.priorities > 0) {
+      std::vector<std::size_t> all(config.priorities);
+      for (std::size_t p = 0; p < config.priorities; ++p) all[p] = p;
+      snapshots = point->export_point_snapshot(0, nullptr, all) != nullptr;
+    }
+    shards_.push_back(std::make_unique<Shard>(
+        std::move(point), config.out_ports, config.priorities, snapshots));
+  }
+  // Publish every point's initial snapshot so the very first checks
+  // already run lock-free.  No other thread can reference the shards
+  // yet; the locks are uncontended and keep the annotated discipline
+  // uniform.
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    Shard& s = *shards_[shard];
+    if (!s.snapshots_enabled) continue;
+    const LockOrderAudit::Scope audit(shard);
+    const ExclusiveLock lock(s.mutex);
+    for (std::size_t out = 0; out < s.out_ports; ++out) {
+      rebuild_published_locked(s, out);
+    }
   }
 }
 
@@ -47,8 +82,12 @@ std::vector<PointConfig> to_point_configs(
 }  // namespace
 
 ConcurrentCac::ConcurrentCac(const std::vector<SwitchCac::Config>& configs)
-    : ConcurrentCac(BitstreamCacPolicy::instance(),
-                    to_point_configs(configs)) {}
+    : ConcurrentCac(configs, Options{}) {}
+
+ConcurrentCac::ConcurrentCac(const std::vector<SwitchCac::Config>& configs,
+                             const Options& options)
+    : ConcurrentCac(BitstreamCacPolicy::instance(), to_point_configs(configs),
+                    options) {}
 
 ConcurrentCac::Shard& ConcurrentCac::shard_at(std::size_t shard) const {
   if (shard >= shards_.size()) {
@@ -71,6 +110,138 @@ SwitchCac& ConcurrentCac::bitstream_mut(Shard& s) {
                 "ConcurrentCac: Stream-typed API requires the bit-stream "
                 "policy");
   return *cac;
+}
+
+// --- snapshot machinery -----------------------------------------------------
+
+bool ConcurrentCac::snapshot_current(const Shard& s, const Published& pub,
+                                     std::size_t out_port,
+                                     Priority priority) {
+  if (pub.versions.size() != s.priorities) return false;
+  // The verdict at `priority` depends only on queues [priority, P) of
+  // this out-port: a mutation at priority r invalidates every queue
+  // q >= r (the policy's dirty-queue contract), so a mutation at r <
+  // priority that changed anything the check reads also moved these
+  // stamps.
+  for (std::size_t q = priority; q < s.priorities; ++q) {
+    if (pub.versions[q] !=
+        s.point_versions[out_port * s.priorities + q].load(
+            std::memory_order_acquire)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ConcurrentCac::stamp_matches(const Shard& s, const CheckStamp& stamp) {
+  if (stamp.versions.size() != s.priorities || stamp.out_port >= s.out_ports ||
+      stamp.priority >= s.priorities) {
+    return false;  // null or malformed stamp never validates
+  }
+  for (std::size_t q = stamp.priority; q < s.priorities; ++q) {
+    if (stamp.versions[q] !=
+        s.point_versions[stamp.out_port * s.priorities + q].load(
+            std::memory_order_acquire)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ConcurrentCac::rebuild_published_locked(const Shard& s,
+                                             std::size_t out_port) const {
+  OutSlot& slot = s.slots[out_port];
+  const std::shared_ptr<const Published> prev =
+      slot.snap.load();
+  // The lock (shared suffices) freezes the version counters — writers
+  // advance them only under the exclusive lock — so this publication's
+  // embedded stamps exactly describe the state being exported.
+  std::vector<std::uint64_t> versions(s.priorities);
+  std::vector<std::size_t> stale;
+  for (std::size_t p = 0; p < s.priorities; ++p) {
+    versions[p] = s.point_versions[out_port * s.priorities + p].load(
+        std::memory_order_acquire);
+    if (prev == nullptr || prev->versions.size() != s.priorities ||
+        prev->versions[p] != versions[p]) {
+      stale.push_back(p);
+    }
+  }
+  if (prev != nullptr && stale.empty()) return;  // already current
+  std::shared_ptr<const PointSnapshot> state = s.cac->export_point_snapshot(
+      out_port, prev != nullptr ? prev->state.get() : nullptr, stale);
+  if (state == nullptr) return;  // policy declined (snapshots disabled)
+  slot.snap.store(std::make_shared<const Published>(
+      Published{std::move(versions), std::move(state)}));
+}
+
+void ConcurrentCac::refresh_snapshot(std::size_t shard, Shard& s,
+                                     std::size_t out_port) const {
+  OutSlot& slot = s.slots[out_port];
+  // refresh_mutex serializes concurrent refreshers of one slot; the
+  // shared lock excludes writers for the duration of the rebuild.  A
+  // writer publication racing ahead of this one is harmless: the store
+  // below happens under the shared lock, which no writer can interleave
+  // with, so a fresher publication is never overwritten by a staler
+  // one.
+  const MutexLock refresh(slot.refresh_mutex);
+  const LockOrderAudit::Scope audit(shard);
+  const SharedLock lock(s.mutex);
+  rebuild_published_locked(s, out_port);
+}
+
+void ConcurrentCac::commit_epoch_locked(Shard& s) {
+  // Dirty set first: prime() rebuilds the derived caches and clears the
+  // policy's dirty bookkeeping in the same stroke.
+  const std::optional<std::vector<std::size_t>> dirty = s.cac->dirty_queues();
+  s.cac->prime();
+  const std::size_t queues = s.out_ports * s.priorities;
+  if (queues == 0) return;
+  bool any = false;
+  if (dirty.has_value()) {
+    for (const std::size_t key : *dirty) {
+      RTCAC_ASSERT(key < queues,
+                   "ConcurrentCac: dirty queue key out of range");
+      s.point_versions[key].fetch_add(1, std::memory_order_release);
+      if (s.snapshots_enabled) s.stale_outs[key / s.priorities] = 1;
+      any = true;
+    }
+  } else {
+    // Policy cannot attribute the mutations: advance every queue.
+    for (std::size_t key = 0; key < queues; ++key) {
+      s.point_versions[key].fetch_add(1, std::memory_order_release);
+    }
+    if (s.snapshots_enabled) {
+      std::fill(s.stale_outs.begin(), s.stale_outs.end(), 1);
+    }
+    any = true;
+  }
+  if (!any || !s.snapshots_enabled) return;
+  if (++s.commits_since_publish < publish_window_) return;  // batch
+  publish_stale_locked(s);
+}
+
+std::size_t ConcurrentCac::publish_stale_locked(Shard& s) {
+  std::size_t published = 0;
+  for (std::size_t out = 0; out < s.out_ports; ++out) {
+    if (s.stale_outs[out] == 0) continue;
+    rebuild_published_locked(s, out);
+    s.stale_outs[out] = 0;
+    ++published;
+  }
+  s.commits_since_publish = 0;
+  return published;
+}
+
+std::size_t ConcurrentCac::publish_snapshots() {
+  std::size_t published = 0;
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    Shard& s = *shards_[shard];
+    if (!s.snapshots_enabled) continue;
+    const LockOrderAudit::Scope audit(shard);
+    const ExclusiveLock lock(s.mutex);
+    published += publish_stale_locked(s);
+  }
+  return published;
 }
 
 // --- ShardLockSet: the canonical multi-shard acquisition --------------------
@@ -116,29 +287,92 @@ PolicyCac& ConcurrentCac::ShardLockSet::point(std::size_t shard) const
   return *owner_.shard_at(shard).cac;
 }
 
+bool ConcurrentCac::ShardLockSet::stamp_current(const CheckStamp& stamp) const
+    // Justified escape: compares atomic version counters on behalf of
+    // the dynamic lock set.  Membership is asserted, so the exclusive
+    // lock the set holds freezes the counters being compared — a match
+    // proves the stamped point saw no commit since the stamp was taken.
+    RTCAC_NO_THREAD_SAFETY_ANALYSIS {
+  RTCAC_ASSERT(
+      std::binary_search(shards_.begin(), shards_.end(), stamp.shard),
+      "ShardLockSet: stamped shard not locked by this set");
+  return stamp_matches(owner_.shard_at(stamp.shard), stamp);
+}
+
+void ConcurrentCac::ShardLockSet::publish_epoch(std::size_t shard) const
+    // Justified escape: commit epilogue on behalf of the dynamic lock
+    // set; membership is asserted (same exclusion argument as point()).
+    RTCAC_NO_THREAD_SAFETY_ANALYSIS {
+  RTCAC_ASSERT(std::binary_search(shards_.begin(), shards_.end(), shard),
+               "ShardLockSet: shard not locked by this set");
+  owner_.commit_epoch_locked(owner_.shard_at(shard));
+}
+
 // --- single-shard operations ------------------------------------------------
+
+bool ConcurrentCac::snapshots_enabled(std::size_t shard) const {
+  return shard_at(shard).snapshots_enabled;
+}
+
+std::uint64_t ConcurrentCac::point_version(std::size_t shard,
+                                           std::size_t out_port,
+                                           Priority priority) const {
+  const Shard& s = shard_at(shard);
+  RTCAC_REQUIRE(out_port < s.out_ports && priority < s.priorities,
+                "ConcurrentCac: queue out of range");
+  return s.point_versions[out_port * s.priorities + priority].load(
+      std::memory_order_acquire);
+}
 
 double ConcurrentCac::advertised(std::size_t shard, std::size_t out_port,
                                  Priority priority) const {
-  Shard& s = shard_at(shard);
-  const LockOrderAudit::Scope audit(shard);
-  const SharedLock lock(s.mutex);
-  return s.cac->advertised(out_port, priority);
+  return point_const(shard_at(shard)).advertised(out_port, priority);
 }
 
 std::any ConcurrentCac::prepare(std::size_t shard,
                                 const TrafficDescriptor& traffic,
                                 double cdv) const {
-  Shard& s = shard_at(shard);
-  const LockOrderAudit::Scope audit(shard);
-  const SharedLock lock(s.mutex);
-  return s.cac->prepare(traffic, cdv);
+  return point_const(shard_at(shard)).prepare(traffic, cdv);
 }
 
-HopVerdict ConcurrentCac::check_hop(const HopSpec& hop) const {
+HopVerdict ConcurrentCac::check_hop(const HopSpec& hop,
+                                    CheckStamp* stamp) const {
   Shard& s = shard_at(hop.shard);
+  if (s.snapshots_enabled && hop.out_port < s.out_ports &&
+      hop.priority < s.priorities) {
+    OutSlot& slot = s.slots[hop.out_port];
+    // Bounded optimism: a stale slot is self-refreshed once; if the
+    // state is still moving after that, the shared lock settles it.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const std::shared_ptr<const Published> pub =
+          slot.snap.load();
+      if (pub != nullptr &&
+          snapshot_current(s, *pub, hop.out_port, hop.priority)) {
+        if (stamp != nullptr) {
+          *stamp = CheckStamp{hop.shard, hop.out_port, hop.priority,
+                              pub->versions};
+        }
+        // Zero lock traffic: the pinned snapshot is immutable, and its
+        // validated stamps prove it equals the live state.
+        return pub->state->check(hop.in_port, hop.priority, hop.arrival);
+      }
+      refresh_snapshot(hop.shard, s, hop.out_port);
+    }
+  }
   const LockOrderAudit::Scope audit(hop.shard);
   const SharedLock lock(s.mutex);
+  if (stamp != nullptr && hop.out_port < s.out_ports &&
+      hop.priority < s.priorities) {
+    // The shared lock freezes the counters, so this stamp is as exact
+    // as a snapshot's embedded one.
+    std::vector<std::uint64_t> versions(s.priorities);
+    for (std::size_t p = 0; p < s.priorities; ++p) {
+      versions[p] = s.point_versions[hop.out_port * s.priorities + p].load(
+          std::memory_order_acquire);
+    }
+    *stamp = CheckStamp{hop.shard, hop.out_port, hop.priority,
+                        std::move(versions)};
+  }
   return s.cac->check(hop.in_port, hop.out_port, hop.priority, hop.arrival);
 }
 
@@ -162,18 +396,19 @@ ConcurrentCac::CheckResult ConcurrentCac::admit(
   const ExclusiveLock lock(s.mutex);
   SwitchCac& cac = bitstream_mut(s);
   // Authoritative re-validation: any speculative check the caller ran
-  // under the shared lock may be stale by now.
+  // may be stale by now.
   CheckResult result = cac.check(in_port, out_port, priority, arrival);
   if (result.admitted) {
     cac.add(id, in_port, out_port, priority, arrival, lease_expiry);
-    s.cac->prime();
+    commit_epoch_locked(s);
   }
   return result;
 }
 
 ConcurrentCac::PathResult ConcurrentCac::admit_path(
     std::span<const HopSpec> hops, ConnectionId id, double lease_expiry,
-    PathAcceptance accept, void* accept_ctx) {
+    PathAcceptance accept, void* accept_ctx,
+    std::span<const SpeculativeHop> speculative) {
   PathResult result;
   if (hops.empty()) return result;
 
@@ -181,15 +416,32 @@ ConcurrentCac::PathResult ConcurrentCac::admit_path(
   // locked once even if the path crosses it twice.
   const ShardLockSet locks(*this, hops);
 
-  // Check-all-then-commit-all.  With every involved shard exclusively
-  // locked this is decision-identical to the serial hop-by-hop walk:
-  // the hops reserve on distinct switches, so no hop's check can see
-  // another hop's commit of the same connection.
+  // Check-all-then-commit-all, with validate-on-commit: a hop whose
+  // speculative stamp still matches the live version counters (frozen
+  // by the exclusive locks) reuses its optimistic verdict — the point
+  // provably saw no commit since the check.  Every other hop is
+  // re-checked against the locked state, so the outcome is identical
+  // to re-checking all of them, and a stale speculative check can
+  // never over-admit.  With every involved shard exclusively locked
+  // this is decision-identical to the serial hop-by-hop walk: the hops
+  // reserve on distinct switches, so no hop's check can see another
+  // hop's commit of the same connection.
   result.hops.reserve(hops.size());
   for (std::size_t h = 0; h < hops.size(); ++h) {
     const HopSpec& hop = hops[h];
-    result.hops.push_back(locks.point(hop.shard).check(
-        hop.in_port, hop.out_port, hop.priority, hop.arrival));
+    const SpeculativeHop* spec =
+        h < speculative.size() ? &speculative[h] : nullptr;
+    if (spec != nullptr && spec->stamp.shard == hop.shard &&
+        spec->stamp.out_port == hop.out_port &&
+        spec->stamp.priority == hop.priority &&
+        locks.stamp_current(spec->stamp)) {
+      result.hops.push_back(spec->verdict);
+      ++result.hops_reused;
+    } else {
+      result.hops.push_back(locks.point(hop.shard).check(
+          hop.in_port, hop.out_port, hop.priority, hop.arrival));
+      ++result.hops_revalidated;
+    }
     if (!result.hops.back().admitted) {
       result.rejecting_hop = h;
       return result;
@@ -203,7 +455,7 @@ ConcurrentCac::PathResult ConcurrentCac::admit_path(
                                hop.arrival, lease_expiry);
   }
   for (const std::size_t shard : locks.shards()) {
-    locks.point(shard).prime();
+    locks.publish_epoch(shard);
   }
   result.admitted = true;
   return result;
@@ -214,7 +466,7 @@ bool ConcurrentCac::remove(std::size_t shard, ConnectionId id) {
   const LockOrderAudit::Scope audit(shard);
   const ExclusiveLock lock(s.mutex);
   const bool removed = s.cac->remove(id);
-  if (removed) s.cac->prime();
+  if (removed) commit_epoch_locked(s);
   return removed;
 }
 
@@ -237,7 +489,7 @@ std::size_t ConcurrentCac::drain_removals() {
     const LockOrderAudit::Scope audit(shard);
     const ExclusiveLock lock(s.mutex);
     removed += s.cac->remove_many(batch);
-    s.cac->prime();
+    commit_epoch_locked(s);
   }
   return removed;
 }
@@ -258,7 +510,7 @@ std::vector<ConnectionId> ConcurrentCac::reclaim(std::size_t shard,
   const LockOrderAudit::Scope audit(shard);
   const ExclusiveLock lock(s.mutex);
   std::vector<ConnectionId> reclaimed = s.cac->reclaim(now);
-  if (!reclaimed.empty()) s.cac->prime();
+  if (!reclaimed.empty()) commit_epoch_locked(s);
   return reclaimed;
 }
 
@@ -276,6 +528,8 @@ bool ConcurrentCac::renew_lease(std::size_t shard, ConnectionId id,
   Shard& s = shard_at(shard);
   const LockOrderAudit::Scope audit(shard);
   const ExclusiveLock lock(s.mutex);
+  // No epoch: lease metadata feeds no admission aggregate, so the
+  // published snapshots stay exact.
   return s.cac->renew_lease(id, lease_expiry);
 }
 

@@ -7,27 +7,51 @@
 // naturally shardable.  ConcurrentCac holds one PolicyCac (the pluggable
 // per-queueing-point admission state of core/path_eval.h; the default is
 // the paper's SwitchCac behind BitstreamCacPolicy) per shard, each
-// guarded by its own annotated SharedMutex (util/thread_annotations.h):
+// guarded by its own annotated SharedMutex (util/thread_annotations.h).
 //
-//   * check()/check_hop() take the shard's lock *shared*: any number of
-//     threads may evaluate trial admissions against one switch
-//     concurrently.  This is race-free because of the priming invariant
-//     — every mutator fills all of the point's lazy derived caches
-//     (PolicyCac::prime) before releasing its exclusive lock, so a
-//     reader's check composes the candidate from *clean* caches and
-//     never writes the mutable cache members.  The same rule covers the
-//     bitstream policy's merge trees and stream arena: mutators flush
-//     every dirty tree path and recycle buffers through the arena before
-//     unlocking, and readers only consume the materialized aggregates.
+// Two read paths, one write path:
+//
+//   * Optimistic snapshot checks (the default for policies that export
+//     PointSnapshots): every queueing point — one (out-port, priority)
+//     queue group per out-port — publishes an *immutable* snapshot of
+//     its admission state through an atomic shared_ptr, stamped with the
+//     per-queue version counters it was built from.  check_hop() loads
+//     the snapshot with an acquire, validates the stamps of the queues
+//     the verdict depends on (priorities [p, P) of the hop's out-port —
+//     any state mutation at priority r invalidates every queue q >= r,
+//     so these stamps cover the whole dependency cone), and evaluates
+//     the candidate against the frozen state with ZERO shared_mutex
+//     traffic.  Decision and reason-string identity with the live check
+//     is by construction: both run the same check algorithm
+//     (core/point_snapshot.h) over the same aggregates.  Reclamation is
+//     shared_ptr reference counting — a reader that pinned a snapshot
+//     keeps it alive across any number of newer publications.
+//
+//   * Locked fallback: when the stamps are stale, the reader first
+//     self-refreshes the slot (publishing a fresh snapshot under the
+//     slot's refresh mutex + the shard's *shared* lock — writers are
+//     excluded, so the versions it freezes are exact), and only if the
+//     state keeps moving falls back to a classic shared-lock check.
+//     Policies that export no snapshots always take this path, which is
+//     exactly the pre-snapshot behaviour.
 //
 //   * admit()/remove()/reclaim()/drain_removals() take the lock
-//     *exclusive* and re-prime before unlocking.  admit() is the commit
-//     half of a two-phase check-then-commit: callers typically check
-//     speculatively first (shared lock, in parallel), and the commit
-//     re-validates under the exclusive lock, so a stale speculative
-//     check can never over-admit — whatever interleaving happens, every
-//     committed connection passed the full bounds check against the
-//     exact state it was committed into.
+//     *exclusive*; each commit epilogue (commit_epoch) reads the
+//     policy's dirty-queue set, re-primes the caches, advances the
+//     per-queue version counters, and republishes the affected
+//     out-ports' snapshots.  Options::publish_window batches the
+//     republication: within a window only versions advance (readers
+//     self-refresh or fall back), and one publication amortizes the
+//     whole window's exports.
+//
+// admit() remains the commit half of a two-phase check-then-commit, now
+// with validate-on-commit: a speculative check returns a CheckStamp, and
+// admit_path() re-checks only hops whose stamps went stale — a hop whose
+// point did not change since the speculative check reuses that verdict
+// under the exclusive lock.  A stale stamp can never over-admit: stamps
+// are validated against the live version counters while the shard is
+// exclusively locked, so any interleaved mutation forces the full
+// re-check against the exact state the connection commits into.
 //
 //   * admit_path() commits one connection across several shards (the
 //     hops of a route).  Locks are acquired in ascending shard order —
@@ -43,17 +67,27 @@
 //     policy) rebuilds every touched S_ia cell once (the PR-3 batched-
 //     reclaim machinery) instead of once per connection.
 //
-// Per-hop arrivals are policy-erased (std::any, built by prepare() under
-// a shared lock and reused across the speculative check and the
-// exclusive-lock re-check + commit), so the generic path pays the
-// arrival construction exactly once per hop — the same economy the
-// Stream-typed fast path always had.  The Stream-typed legacy API
-// remains for bit-stream-policy callers and asserts that policy.
+// Per-hop arrivals are policy-erased (std::any, built by prepare() and
+// reused across the speculative check and the exclusive-lock re-check +
+// commit), so the generic path pays the arrival construction exactly
+// once per hop.  prepare() and advertised() are lock-free: both touch
+// only policy state that is immutable after construction.
 //
 // Memory visibility: all state written under a shard's exclusive lock
 // (including the mutable caches filled by priming) happens-before any
-// subsequent shared acquisition of the same lock, so readers always see
-// fully-built streams.  Different shards share no mutable state.
+// subsequent shared acquisition of the same lock, so locked readers
+// always see fully-built streams.  Snapshot readers synchronize through
+// the publication cell's spin bit (acquire in, release out on both the
+// read and write paths — see PublishedCell for why
+// std::atomic<std::shared_ptr> is not used) and never touch the
+// mutable state at all.  Different shards share no mutable state.
+//
+// Lock order: the only lock ever held while acquiring a shard lock is
+// an OutSlot::refresh_mutex, taken by *readers* (self-refresh) before
+// the shard's shared lock; writers never touch a refresh mutex, so the
+// refresh-mutex -> shard-lock edge is one-way and cycle-free
+// (util/lock_order.h).  Multi-shard acquisition is confined to the
+// ShardLockSet scoped capability (ascending shard ids, audited).
 //
 // The lock discipline above is machine-checked (docs/STATIC_ANALYSIS.md):
 // shard state carries clang thread-safety annotations
@@ -70,8 +104,11 @@
 #pragma once
 
 #include <any>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -86,6 +123,18 @@ class ConcurrentCac {
   using Stream = SwitchCac::Stream;
   using CheckResult = SwitchCac::CheckResult;
 
+  /// Publication tuning.
+  struct Options {
+    /// Commits per shard between snapshot republications.  1 (the
+    /// default) publishes eagerly after every commit; a window of N
+    /// advances version stamps on every commit but exports snapshots
+    /// only on every Nth, so a setup burst pays one export.  Readers
+    /// in between self-refresh (or fall back to the shared lock), so
+    /// correctness is unaffected — this trades read-path lock traffic
+    /// against export amortization.  0 behaves as 1.
+    std::size_t publish_window = 1;
+  };
+
   /// One queueing point of a multi-shard path: which shard (switch) the
   /// hop crosses and how the connection is routed through it.  The
   /// arrival is policy-erased (PolicyCac::prepare / prepare()).
@@ -97,16 +146,40 @@ class ConcurrentCac {
     std::any arrival;
   };
 
+  /// Version witness of one optimistic check: the per-priority version
+  /// stamps of the checked point at evaluation time (for a snapshot
+  /// check, the snapshot's embedded build versions; for a locked check,
+  /// the live counters frozen under the shared lock).  admit_path()
+  /// compares the stamps against the live counters under the exclusive
+  /// lock and reuses the speculative verdict on a match.  An empty
+  /// `versions` vector is the null stamp and never validates.
+  struct CheckStamp {
+    std::size_t shard = 0;
+    std::size_t out_port = 0;
+    Priority priority = 0;
+    std::vector<std::uint64_t> versions;
+  };
+
+  /// A speculative hop verdict plus the stamp that can prove it is
+  /// still current at commit time.
+  struct SpeculativeHop {
+    HopVerdict verdict;
+    CheckStamp stamp;
+  };
+
   /// Verdict of admit_path(): per-hop verdicts up to (and including) the
   /// first rejecting hop.  `rejecting_hop` is the index into the hop
   /// span, or npos when every hop admitted (admission can then still
   /// fail the caller's acceptance predicate — `admitted` alone is
-  /// authoritative).
+  /// authoritative).  hops_reused / hops_revalidated split the hops by
+  /// whether a speculative verdict's stamp held at commit time.
   struct PathResult {
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
     bool admitted = false;
     std::size_t rejecting_hop = npos;
     std::vector<HopVerdict> hops;
+    std::size_t hops_reused = 0;
+    std::size_t hops_revalidated = 0;
   };
 
   /// Caller-supplied acceptance predicate evaluated after every hop
@@ -122,8 +195,9 @@ class ConcurrentCac {
   /// asserting the discipline per thread in audit builds.  Because the
   /// locked set is dynamic, the clang analysis cannot name the
   /// individual capabilities; all guarded state reached while the set
-  /// is held therefore goes through point(), which confines the
-  /// per-site RTCAC_NO_THREAD_SAFETY_ANALYSIS escapes to this class.
+  /// is held therefore goes through point()/publish_epoch(), which
+  /// confines the per-site RTCAC_NO_THREAD_SAFETY_ANALYSIS escapes to
+  /// this class.
   class RTCAC_SCOPED_CAPABILITY ShardLockSet {
    public:
     /// Exclusively locks the distinct shards of `hops`, ascending.
@@ -142,18 +216,35 @@ class ConcurrentCac {
     /// `shard` is a member of the set.
     [[nodiscard]] PolicyCac& point(std::size_t shard) const;
 
+    /// Validates `stamp` against the locked shard's live version
+    /// counters: true iff no verdict-relevant queue of the stamped
+    /// point changed since the stamp was taken.  Asserts membership.
+    [[nodiscard]] bool stamp_current(const CheckStamp& stamp) const;
+
+    /// Commit epilogue for a locked shard that was mutated: advance the
+    /// dirty queues' version stamps, re-prime, and (publish window
+    /// permitting) republish the affected snapshots.  Asserts
+    /// membership.
+    void publish_epoch(std::size_t shard) const;
+
    private:
     ConcurrentCac& owner_;
     std::vector<std::size_t> shards_;
   };
 
   /// One queueing point per config entry, built by `policy`; shard ids
-  /// are indices into `configs`.  Every shard starts fully primed.
+  /// are indices into `configs`.  Every shard starts fully primed, with
+  /// all snapshots published (when the policy exports them).
   ConcurrentCac(const CacPolicy& policy,
                 const std::vector<PointConfig>& configs);
+  ConcurrentCac(const CacPolicy& policy,
+                const std::vector<PointConfig>& configs,
+                const Options& options);
 
   /// Bit-stream-policy convenience: one SwitchCac shard per config.
   explicit ConcurrentCac(const std::vector<SwitchCac::Config>& configs);
+  ConcurrentCac(const std::vector<SwitchCac::Config>& configs,
+                const Options& options);
 
   ConcurrentCac(const ConcurrentCac&) = delete;
   ConcurrentCac& operator=(const ConcurrentCac&) = delete;
@@ -162,21 +253,39 @@ class ConcurrentCac {
     return shards_.size();
   }
 
+  /// Whether `shard`'s policy exports snapshots (the optimistic read
+  /// path is active for it).
+  [[nodiscard]] bool snapshots_enabled(std::size_t shard) const;
+
+  /// Live version counter of queue (out_port, priority) on `shard`
+  /// (atomic read, no lock).  Advances on every commit that invalidates
+  /// the queue; diagnostics and tests use it to observe epochs.
+  [[nodiscard]] std::uint64_t point_version(std::size_t shard,
+                                            std::size_t out_port,
+                                            Priority priority) const;
+
   /// Advertised bound of queue (out_port, priority) on `shard`.
+  /// Lock-free: advertised bounds are fixed at construction.
   [[nodiscard]] double advertised(std::size_t shard, std::size_t out_port,
                                   Priority priority) const;
 
   /// Policy-specific worst-case arrival of `traffic` on `shard` at
-  /// accumulated CDV `cdv` (shared lock; prepare() is pure).
+  /// accumulated CDV `cdv`.  Lock-free: prepare() is pure and touches
+  /// only construction-time policy configuration.
   [[nodiscard]] std::any prepare(std::size_t shard,
                                  const TrafficDescriptor& traffic,
                                  double cdv) const;
 
-  /// Trial admission under the shard's shared lock.  Concurrent with
-  /// other checks; serialized against commits on the same shard only.
-  [[nodiscard]] HopVerdict check_hop(const HopSpec& hop) const;
+  /// Trial admission.  Snapshot-publishing policies evaluate against
+  /// the point's published snapshot with zero lock traffic (validating
+  /// its version stamps, self-refreshing on staleness); other policies
+  /// check under the shard's shared lock.  When `stamp` is non-null it
+  /// receives the version witness admit_path() can later validate.
+  [[nodiscard]] HopVerdict check_hop(const HopSpec& hop,
+                                     CheckStamp* stamp = nullptr) const;
 
-  /// Stream-typed trial admission (bit-stream policy only).
+  /// Stream-typed trial admission (bit-stream policy only; always
+  /// evaluates under the shared lock).
   [[nodiscard]] CheckResult check(std::size_t shard, std::size_t in_port,
                                   std::size_t out_port, Priority priority,
                                   const Stream& arrival) const;
@@ -190,12 +299,17 @@ class ConcurrentCac {
                     double lease_expiry = SwitchCac::kPermanentLease);
 
   /// Multi-hop two-phase commit: exclusive locks in ascending shard
-  /// order, all hop checks re-validated, then (optionally) `accept`
-  /// consulted, then all hops committed — or nothing at all.
+  /// order, every hop validated, then (optionally) `accept` consulted,
+  /// then all hops committed — or nothing at all.  When `speculative`
+  /// is non-empty it carries the optimistic per-hop verdicts (parallel
+  /// to `hops`): a hop whose stamp still matches the live version
+  /// counters reuses its verdict, every other hop is re-checked against
+  /// the locked state, so the outcome is identical to re-checking all.
   PathResult admit_path(std::span<const HopSpec> hops, ConnectionId id,
                         double lease_expiry = SwitchCac::kPermanentLease,
                         PathAcceptance accept = nullptr,
-                        void* accept_ctx = nullptr);
+                        void* accept_ctx = nullptr,
+                        std::span<const SpeculativeHop> speculative = {});
 
   /// Immediate removal under the shard's exclusive lock.
   bool remove(std::size_t shard, ConnectionId id);
@@ -206,6 +320,12 @@ class ConcurrentCac {
   void queue_remove(std::size_t shard, ConnectionId id);
   std::size_t drain_removals();
   [[nodiscard]] std::size_t pending_removals() const;
+
+  /// Publishes every shard's deferred snapshots now (exclusive lock per
+  /// shard with a stale slot).  Use after a batch of commits under a
+  /// publish_window > 1 to restore the lock-free read path at once;
+  /// returns the number of out-port slots republished.
+  std::size_t publish_snapshots();
 
   /// Lease sweep of one shard / all shards (exclusive lock per shard).
   std::vector<ConnectionId> reclaim(std::size_t shard, double now);
@@ -239,9 +359,74 @@ class ConcurrentCac {
   [[nodiscard]] const PolicyCac& shard_point(std::size_t shard) const;
 
  private:
+  /// One epoch's publication for one out-port: the immutable snapshot
+  /// plus the per-priority version counters it was built from.  Readers
+  /// pin it via shared_ptr; it is reclaimed when the last pin drops.
+  struct Published {
+    std::vector<std::uint64_t> versions;
+    std::shared_ptr<const PointSnapshot> state;
+  };
+
+  /// Atomic publication cell for the current `Published` value.  A
+  /// hand-rolled spin bit replaces `std::atomic<std::shared_ptr<..>>`
+  /// deliberately: libstdc++'s `_Sp_atomic` releases its reader-side
+  /// spinlock with a *relaxed* RMW, so there is no release edge from a
+  /// reader's pointer read to the next writer's pointer write — a
+  /// formal data race the C++ memory model does not excuse and that
+  /// ThreadSanitizer reports.  Here both paths leave the critical
+  /// section with a release store, so writer acquisition of the spin
+  /// bit synchronizes with every prior reader.  The section is a
+  /// refcount bump + pointer copy (a few ns); the displaced
+  /// publication is released outside it.
+  class PublishedCell {
+   public:
+    [[nodiscard]] std::shared_ptr<const Published> load() const {
+      spin_acquire();
+      std::shared_ptr<const Published> copy = value_;
+      busy_.store(0, std::memory_order_release);
+      return copy;
+    }
+
+    void store(std::shared_ptr<const Published> next) {
+      spin_acquire();
+      value_.swap(next);
+      busy_.store(0, std::memory_order_release);
+    }
+
+   private:
+    void spin_acquire() const {
+      while (busy_.exchange(1, std::memory_order_acquire) != 0) {
+      }
+    }
+
+    mutable std::atomic<std::uint8_t> busy_{0};
+    std::shared_ptr<const Published> value_;  // guarded by busy_
+  };
+
+  /// Per-out-port publication slot.  `snap` is the atomically swapped
+  /// current publication; `refresh_mutex` serializes reader-side
+  /// self-refresh (held while acquiring the shard's *shared* lock —
+  /// writers never take it, so the edge cannot cycle with the shard
+  /// lock order; see util/lock_order.h).
+  struct OutSlot {
+    Mutex refresh_mutex;
+    // rtcac-lint: allow(guarded-by) — PublishedCell is itself the
+    // synchronization primitive (internal spin bit); refresh_mutex
+    // only serializes refreshers, it does not guard the cell.
+    PublishedCell snap;
+  };
+
   struct Shard {
-    explicit Shard(std::unique_ptr<PolicyCac> point)
-        : cac(std::move(point)) {}
+    Shard(std::unique_ptr<PolicyCac> point, std::size_t out_ports_,
+          std::size_t priorities_, bool snapshots)
+        : cac(std::move(point)),
+          out_ports(out_ports_),
+          priorities(priorities_),
+          snapshots_enabled(snapshots),
+          point_versions(std::make_unique<std::atomic<std::uint64_t>[]>(
+              out_ports_ * priorities_)),
+          slots(snapshots ? out_ports_ : 0),
+          stale_outs(out_ports_, 0) {}
     mutable SharedMutex mutex;
     // The pointer is set once at construction; the *pointee* (the
     // shard's whole admission state) is what the lock guards.
@@ -253,6 +438,28 @@ class ConcurrentCac {
     Mutex pending_mutex;
     std::vector<ConnectionId> pending_removals
         RTCAC_GUARDED_BY(pending_mutex);
+    // Point geometry, frozen at construction; every queue of the shard
+    // has key out_port * priorities + priority.
+    // rtcac-lint: allow(guarded-by) — immutable after construction.
+    const std::size_t out_ports;
+    // rtcac-lint: allow(guarded-by) — immutable after construction.
+    const std::size_t priorities;
+    // rtcac-lint: allow(guarded-by) — immutable after construction.
+    const bool snapshots_enabled;
+    // Per-queue version counters (lock-free reads; advanced only under
+    // the exclusive lock).  A queue's counter moves exactly when a
+    // commit invalidated its derived state.
+    const std::unique_ptr<std::atomic<std::uint64_t>[]> point_versions;
+    // One publication slot per out-port (empty when the policy exports
+    // no snapshots).  Readers synchronize through each slot's atomic
+    // shared_ptr and refresh mutex, never through the shard lock.
+    // rtcac-lint: allow(guarded-by) — element synchronization is the
+    // slot's own atomic + refresh mutex; the vector itself is sized at
+    // construction and never reallocated.
+    mutable std::vector<OutSlot> slots;
+    // Publication batching bookkeeping (Options::publish_window).
+    std::size_t commits_since_publish RTCAC_GUARDED_BY(mutex) = 0;
+    std::vector<char> stale_outs RTCAC_GUARDED_BY(mutex);
   };
 
   [[nodiscard]] Shard& shard_at(std::size_t shard) const;
@@ -263,9 +470,59 @@ class ConcurrentCac {
       RTCAC_REQUIRES_SHARED(s.mutex);
   [[nodiscard]] SwitchCac& bitstream_mut(Shard& s) RTCAC_REQUIRES(s.mutex);
 
+  /// Unsynchronized access to policy surface that is immutable after
+  /// construction — advertised() reads bounds fixed by the point's
+  /// config, prepare() is pure (path_eval.h contract).  Justified
+  /// escape: no lock could add anything; the members involved are
+  /// never written after the shard is built, and the mutable caches
+  /// stay untouched on these virtuals for every policy.
+  [[nodiscard]] static const PolicyCac& point_const(const Shard& s)
+      RTCAC_NO_THREAD_SAFETY_ANALYSIS {
+    return *s.cac;
+  }
+
+  /// True iff `pub`'s stamps match the live counters for every queue
+  /// the verdict at `priority` depends on (priorities [priority, P) of
+  /// the out-port — a mutation at priority r invalidates all q >= r,
+  /// so these stamps witness the whole dependency cone).
+  [[nodiscard]] static bool snapshot_current(const Shard& s,
+                                             const Published& pub,
+                                             std::size_t out_port,
+                                             Priority priority);
+
+  /// stamp_current over a caller-provided stamp vector (same
+  /// dependency-cone rule); used for validate-on-commit.
+  [[nodiscard]] static bool stamp_matches(const Shard& s,
+                                          const CheckStamp& stamp);
+
+  /// Rebuilds and publishes out-port `out_port`'s snapshot from the
+  /// current (primed) state, structurally sharing every priority whose
+  /// version did not move.  Requires at least the shared lock, which
+  /// freezes the version counters (writers advance them exclusively),
+  /// so the stamps embedded in the publication are exact.  No-op when
+  /// the previous publication is already current.
+  void rebuild_published_locked(const Shard& s, std::size_t out_port) const
+      RTCAC_REQUIRES_SHARED(s.mutex);
+
+  /// Reader-side self-refresh of one slot: refresh_mutex (serializes
+  /// concurrent refreshers) then the shard's shared lock (excludes
+  /// writers), then rebuild_published_locked.
+  void refresh_snapshot(std::size_t shard, Shard& s,
+                        std::size_t out_port) const;
+
+  /// Commit epilogue, under the exclusive lock: read the policy's
+  /// dirty-queue set (before prime() — priming clears it), re-prime,
+  /// advance the dirty queues' version counters, and republish the
+  /// affected out-ports' snapshots (or defer within publish_window).
+  void commit_epoch_locked(Shard& s) RTCAC_REQUIRES(s.mutex);
+
+  /// Republishes every stale out-port slot of `s`; returns how many.
+  std::size_t publish_stale_locked(Shard& s) RTCAC_REQUIRES(s.mutex);
+
   // unique_ptr: shared_mutex is neither movable nor copyable, and shard
   // addresses must stay stable while locks are held.
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t publish_window_ = 1;
 };
 
 }  // namespace rtcac

@@ -29,6 +29,48 @@ const char* to_string(RejectCode code) noexcept {
 
 namespace {
 
+/// The one SwitchCheckResult -> HopVerdict conversion, shared by the
+/// live BitstreamPoint::check and the snapshot check so the two paths
+/// cannot drift (same bound selection, same detail string move).
+HopVerdict to_bitstream_verdict(SwitchCheckResult result, double advertised) {
+  HopVerdict verdict;
+  verdict.admitted = result.admitted;
+  verdict.bound = result.admitted ? result.bound_at_priority.value() : 0.0;
+  verdict.advertised = advertised;
+  verdict.detail = std::move(result.reason);
+  return verdict;
+}
+
+/// Immutable snapshot of one SwitchCac out-port: the exported sections
+/// plus the shared per-point check algorithm (core/point_snapshot.h) —
+/// decision- and string-identical to the live check by construction.
+class BitstreamPointSnapshot final : public PointSnapshot {
+ public:
+  explicit BitstreamPointSnapshot(
+      std::shared_ptr<const BasicPointSections<double>> sections)
+      : sections_(std::move(sections)) {}
+
+  [[nodiscard]] HopVerdict check(std::size_t in_port, Priority priority,
+                                 const std::any& arrival) const override {
+    RTCAC_REQUIRE(in_port < sections_->in_ports &&
+                      priority < sections_->sections.size(),
+                  "SwitchCac: port or priority out of range");
+    const auto& stream = std::any_cast<const BitStream&>(arrival);
+    SwitchCheckResult result = check_point_view<double>(
+        sections_->view(), sections_->in_ports, sections_->sections.size(),
+        sections_->out_port, in_port, priority, stream);
+    return to_bitstream_verdict(std::move(result),
+                                sections_->sections[priority]->advertised);
+  }
+
+  [[nodiscard]] const BasicPointSections<double>& sections() const noexcept {
+    return *sections_;
+  }
+
+ private:
+  std::shared_ptr<const BasicPointSections<double>> sections_;
+};
+
 /// PolicyCac adapter over the paper's SwitchCac check (Alg. 4.1).
 class BitstreamPoint final : public PolicyCac {
  public:
@@ -52,12 +94,24 @@ class BitstreamPoint final : public PolicyCac {
                                  const std::any& arrival) const override {
     const auto& stream = std::any_cast<const BitStream&>(arrival);
     SwitchCheckResult result = cac_.check(in_port, out_port, priority, stream);
-    HopVerdict verdict;
-    verdict.admitted = result.admitted;
-    verdict.bound = result.admitted ? result.bound_at_priority.value() : 0.0;
-    verdict.advertised = cac_.advertised(out_port, priority);
-    verdict.detail = std::move(result.reason);
-    return verdict;
+    return to_bitstream_verdict(std::move(result),
+                                cac_.advertised(out_port, priority));
+  }
+
+  [[nodiscard]] std::shared_ptr<const PointSnapshot> export_point_snapshot(
+      std::size_t out_port, const PointSnapshot* previous,
+      std::span<const std::size_t> stale_priorities) const override {
+    // The contract guarantees `previous` came from this point's own
+    // export (same policy, same out-port), so the downcast is safe.
+    const auto* prev = static_cast<const BitstreamPointSnapshot*>(previous);
+    return std::make_shared<BitstreamPointSnapshot>(cac_.export_point_sections(
+        out_port, prev != nullptr ? &prev->sections() : nullptr,
+        stale_priorities));
+  }
+
+  [[nodiscard]] std::optional<std::vector<std::size_t>> dirty_queues()
+      const override {
+    return cac_.dirty_queue_keys();
   }
 
   void add(ConnectionId id, std::size_t in_port, std::size_t out_port,

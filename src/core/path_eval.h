@@ -125,6 +125,29 @@ struct PointConfig {
   std::size_t coalesce_budget = 0;
 };
 
+/// Immutable, policy-erased snapshot of ONE out-port's admission state,
+/// exported by PolicyCac::export_point_snapshot and published by the
+/// concurrency layer (core/concurrent_cac.h) for lock-free optimistic
+/// checks.  The contract: check() against a snapshot must be decision-
+/// and string-identical to PolicyCac::check against the exact state the
+/// snapshot was exported from.  Implementations hold plain immutable
+/// data; thread safety is by immutability, reclamation is shared_ptr
+/// reference counting (a pinned snapshot outlives any number of newer
+/// publications).
+class PointSnapshot {
+ public:
+  PointSnapshot() = default;
+  PointSnapshot(const PointSnapshot&) = delete;
+  PointSnapshot& operator=(const PointSnapshot&) = delete;
+  virtual ~PointSnapshot() = default;
+
+  /// Trial admission against the frozen state; same verdict the live
+  /// check would have produced at export time.
+  [[nodiscard]] virtual HopVerdict check(std::size_t in_port,
+                                         Priority priority,
+                                         const std::any& arrival) const = 0;
+};
+
 /// Admission state of ONE queueing point under some policy.  Not
 /// thread-safe; callers (ConcurrentCac shards) provide locking.
 ///
@@ -182,6 +205,32 @@ class PolicyCac {
   /// Rebuild whatever derived caches the policy keeps, so later const
   /// reads are cheap and race-free (the ConcurrentCac priming invariant).
   virtual void prime() const {}
+
+  /// Immutable export of out-port `out_port`'s state for the optimistic
+  /// snapshot read path.  `previous` must be a prior export of the SAME
+  /// point and out-port (or nullptr); `stale_priorities` lists the
+  /// priorities whose state changed since it — everything else may be
+  /// structurally shared.  Requires primed caches, so on primed state
+  /// the export is a pure read (safe under a shared lock).  The default
+  /// returns nullptr: the concurrency layer then keeps every check for
+  /// this policy under the shared lock.
+  [[nodiscard]] virtual std::shared_ptr<const PointSnapshot>
+  export_point_snapshot(std::size_t /*out_port*/,
+                        const PointSnapshot* /*previous*/,
+                        std::span<const std::size_t> /*stale_priorities*/)
+      const {
+    return nullptr;
+  }
+
+  /// Queue keys (out_port * priorities + priority) invalidated by the
+  /// mutations since the last prime() — the snapshot versions the
+  /// concurrency layer must advance.  Must be read *before* prime()
+  /// (priming may clear the bookkeeping).  nullopt means "unknown":
+  /// the caller then advances every version of the touched shard.
+  [[nodiscard]] virtual std::optional<std::vector<std::size_t>>
+  dirty_queues() const {
+    return std::nullopt;
+  }
 
   // Invariant audits (RTCAC_CONTRACT_AUDIT); policies without derived
   // state report vacuous truth.

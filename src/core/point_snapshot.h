@@ -1,0 +1,214 @@
+// rtcac/core/point_snapshot.h
+//
+// The paper's per-queueing-point admission check (Section 4.3, Alg. 4.1)
+// expressed once, over an abstract *view* of one out-port's derived
+// streams — so the exact same arithmetic (and the exact same rejection
+// strings) runs against two different backings:
+//
+//   * the live, dirty-tracked caches inside BasicSwitchCac (the serial /
+//     exclusive-lock path), and
+//   * an immutable, heap-shared export of those caches (BasicQueueSection
+//     / BasicPointSections below) — the RCU-style snapshot the
+//     concurrency layer (core/concurrent_cac.h) publishes per queueing
+//     point so readers can run the check with zero shared_mutex traffic.
+//
+// A View provides, for one fixed out-port j:
+//
+//   cell(i, q)         S_ia(i,j,q)   — raw aggregate arrival of a cell
+//   filtered(i, q)     S_if(i,j,q)   = filter(S_ia)
+//   hp_cell(i, q)      filter(mux_{r<q} S_ia(i,j,r))
+//   offered(q)         S_oa(j,q)     = mux_i S_if(i,j,q)
+//   hp_filtered(q)     S_of(j,q)
+//   bound(q)           D'(j,q) over the committed set
+//   advertised(q)      Dmax(j,q)
+//
+// check_point_view() composes the candidate's trial aggregates from those
+// accessors exactly the way the pre-snapshot BasicSwitchCac::check did
+// (the candidate's own cell is the only stream re-filtered; every other
+// input is consumed as-is), so a snapshot whose sections equal the live
+// caches yields a bitwise-identical CheckResult — the property the
+// version-stamp protocol in concurrent_cac.h relies on.
+//
+// This header holds plain data plus shared_ptr section handles only — no
+// atomics, no locks; publication and reclamation of snapshots live
+// entirely in core/concurrent_cac.* (lint rule `concurrency-state`).
+// Reclamation is shared_ptr reference counting: a reader that pinned a
+// snapshot keeps every section alive for the duration of its check, no
+// matter how many newer snapshots are published meanwhile.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bitstream.h"
+#include "core/connection.h"
+#include "core/delay_bound.h"
+#include "core/stream_ops.h"
+
+namespace rtcac {
+
+/// Admission verdict for one switch, with the computed worst-case bounds
+/// that justify it.  nullopt bounds mean "unbounded" (always a
+/// rejection).
+template <typename Num>
+struct BasicSwitchCheckResult {
+  bool admitted = false;
+  /// Computed worst-case queueing delay D'(j,p) at the connection's own
+  /// priority, including the candidate connection (cell times).
+  std::optional<Num> bound_at_priority;
+  /// Computed bounds D'(j,q) for every priority q at the outgoing port,
+  /// including the candidate (index = priority).  Entries at q < the
+  /// candidate's priority are informational only (they never gate the
+  /// verdict) and, on the optimistic snapshot path, may reflect an older
+  /// epoch than the verdict-relevant window [priority, priorities).
+  std::vector<std::optional<Num>> bounds;
+  /// Human-readable rejection reason; empty when admitted.
+  std::string reason;
+};
+
+/// Immutable export of one queue's (out-port × priority) derived streams,
+/// section-shared across snapshot generations: a republication after a
+/// mutation at priority r rebuilds only the sections r and below it feeds
+/// and re-links the untouched ones, so snapshot cost tracks the dirty
+/// set, not the switch size.
+template <typename Num>
+struct BasicQueueSection {
+  using Stream = BasicBitStream<Num>;
+  std::vector<Stream> cells;     ///< S_ia per in-port
+  std::vector<Stream> filtered;  ///< S_if per in-port
+  std::vector<Stream> hp_cells;  ///< higher-priority union per in-port
+  Stream offered;                ///< S_oa
+  Stream hp_filtered;            ///< S_of
+  std::optional<Num> bound;      ///< D' over the committed set
+  Num advertised = Num(0);       ///< Dmax
+};
+
+/// Immutable snapshot of one out-port: one shared section per priority.
+template <typename Num>
+struct BasicPointSections {
+  std::size_t out_port = 0;  ///< for the canonical rejection string
+  std::size_t in_ports = 0;
+  std::vector<std::shared_ptr<const BasicQueueSection<Num>>> sections;
+
+  /// View adapter over the sections, satisfying check_point_view's
+  /// concept.
+  class View {
+   public:
+    explicit View(const BasicPointSections& owner) : owner_(owner) {}
+    [[nodiscard]] const BasicBitStream<Num>& cell(std::size_t in,
+                                                  Priority q) const {
+      return owner_.sections[q]->cells[in];
+    }
+    [[nodiscard]] const BasicBitStream<Num>& filtered(std::size_t in,
+                                                      Priority q) const {
+      return owner_.sections[q]->filtered[in];
+    }
+    [[nodiscard]] const BasicBitStream<Num>& hp_cell(std::size_t in,
+                                                     Priority q) const {
+      return owner_.sections[q]->hp_cells[in];
+    }
+    [[nodiscard]] const BasicBitStream<Num>& offered(Priority q) const {
+      return owner_.sections[q]->offered;
+    }
+    [[nodiscard]] const BasicBitStream<Num>& hp_filtered(Priority q) const {
+      return owner_.sections[q]->hp_filtered;
+    }
+    [[nodiscard]] const std::optional<Num>& bound(Priority q) const {
+      return owner_.sections[q]->bound;
+    }
+    [[nodiscard]] Num advertised(Priority q) const {
+      return owner_.sections[q]->advertised;
+    }
+
+   private:
+    const BasicPointSections& owner_;
+  };
+
+  [[nodiscard]] View view() const { return View(*this); }
+};
+
+/// The paper's CAC check for one candidate at one out-port, over any
+/// View (live caches or immutable sections).  Steps 1-4 for the
+/// candidate's own priority, Step 5 for every lower level; levels above
+/// the candidate cannot be affected and keep their previously verified
+/// bounds.
+template <typename Num, typename View>
+[[nodiscard]] BasicSwitchCheckResult<Num> check_point_view(
+    const View& view, std::size_t in_ports, std::size_t priorities,
+    std::size_t out_port, std::size_t in_port, Priority priority,
+    const BasicBitStream<Num>& arrival) {
+  using Stream = BasicBitStream<Num>;
+  BasicSwitchCheckResult<Num> result;
+  result.bounds.assign(priorities, std::nullopt);
+
+  for (Priority q = 0; q < priorities; ++q) {
+    std::optional<Num> bound;
+    if (q < priority) {
+      bound = view.bound(q);
+    } else if (q == priority) {
+      // Candidate raises the offered load of its own queue; the traffic
+      // above it is unchanged.  It joins cell (in_port, q) *before* the
+      // in-link filter; every other in-port contributes its filtered
+      // stream untouched.
+      const Stream trial = filter(multiplex(view.cell(in_port, q), arrival));
+      std::vector<const Stream*> parts;
+      parts.reserve(in_ports);
+      for (std::size_t i = 0; i < in_ports; ++i) {
+        parts.push_back(i == in_port ? &trial : &view.filtered(i, q));
+      }
+      const Stream offered = multiplex_all(parts);
+      bound = delay_bound(offered, view.hp_filtered(q));
+    } else {
+      // Candidate is higher-priority traffic for queue q; q's own
+      // offered aggregate is unchanged.  Only in_port's higher-priority
+      // union changes: rebuild it with the candidate multiplexed into
+      // its own cell and reuse the unions of every other in-port.
+      const Stream trial_cell = multiplex(view.cell(in_port, priority),
+                                          arrival);
+      std::vector<const Stream*> hp_parts;
+      hp_parts.reserve(q);
+      for (Priority r = 0; r < q; ++r) {
+        hp_parts.push_back(r == priority ? &trial_cell
+                                         : &view.cell(in_port, r));
+      }
+      const Stream trial_hp = filter(multiplex_all(hp_parts));
+      std::vector<const Stream*> parts;
+      parts.reserve(in_ports);
+      for (std::size_t i = 0; i < in_ports; ++i) {
+        parts.push_back(i == in_port ? &trial_hp : &view.hp_cell(i, q));
+      }
+      const Stream hp = filter(multiplex_all(parts));
+      bound = delay_bound(view.offered(q), hp);
+    }
+    result.bounds[q] = bound;
+    if (q == priority) {
+      result.bound_at_priority = bound;
+    }
+    if (q >= priority) {
+      const Num dmax = view.advertised(q);
+      if (!bound.has_value() || *bound > dmax) {
+        std::ostringstream os;
+        os << "delay bound at out-port " << out_port << " priority " << q
+           << " would be ";
+        if (bound.has_value()) {
+          os << *bound;
+        } else {
+          os << "unbounded";
+        }
+        os << " > advertised " << dmax;
+        result.admitted = false;
+        result.reason = os.str();
+        return result;
+      }
+    }
+  }
+  result.admitted = true;
+  return result;
+}
+
+}  // namespace rtcac

@@ -202,54 +202,38 @@ const std::optional<Num>& BasicSwitchCac<Num>::ensure_bound(
   return bound_cache_[q];
 }
 
+/// Live-cache view for check_point_view (core/point_snapshot.h): every
+/// accessor forwards to the dirty-tracked caches of one out-port.  The
+/// caches fill lazily on first use, so a check on an unprimed switch
+/// still works — and on a *primed* switch (the concurrency layer's
+/// invariant) every accessor is a pure read.
 template <typename Num>
-typename BasicSwitchCac<Num>::Stream
-BasicSwitchCac<Num>::compose_offered_trial(std::size_t out_port,
-                                           Priority priority,
-                                           std::size_t in_port,
-                                           const Stream& arrival) const {
-  // The candidate joins cell (in_port, out_port, priority) *before* the
-  // in-link filter; every other in-port contributes its cached filtered
-  // stream untouched.  Composed once — no per-in-port copy dance.
-  const Stream trial = filter(multiplex(
-      arrival_aggr_[cell_index(in_port, out_port, priority)], arrival));
-  std::vector<const Stream*> parts;
-  parts.reserve(config_.in_ports);
-  for (std::size_t i = 0; i < config_.in_ports; ++i) {
-    parts.push_back(i == in_port
-                        ? &trial
-                        : &ensure_filtered_cell(i, out_port, priority));
-  }
-  return multiplex_all(parts);
-}
+struct BasicSwitchCac<Num>::CheckView {
+  const BasicSwitchCac& cac;
+  std::size_t out_port;
 
-template <typename Num>
-typename BasicSwitchCac<Num>::Stream BasicSwitchCac<Num>::compose_hp_trial(
-    std::size_t out_port, Priority priority, std::size_t in_port,
-    Priority extra_prio, const Stream& arrival) const {
-  RTCAC_ASSERT(extra_prio < priority,
-               "SwitchCac: hp trial needs a strictly higher-priority extra");
-  // Only in_port's higher-priority union changes; rebuild it with the
-  // candidate multiplexed into its (in_port, out_port, extra_prio) slot and
-  // reuse the cached filtered unions of every other in-port.
-  const Stream trial_cell = multiplex(
-      arrival_aggr_[cell_index(in_port, out_port, extra_prio)], arrival);
-  std::vector<const Stream*> hp_parts;
-  hp_parts.reserve(priority);
-  for (Priority q = 0; q < priority; ++q) {
-    hp_parts.push_back(
-        q == extra_prio ? &trial_cell
-                        : &arrival_aggr_[cell_index(in_port, out_port, q)]);
+  [[nodiscard]] const Stream& cell(std::size_t in, Priority q) const {
+    return cac.arrival_aggr_[cac.cell_index(in, out_port, q)];
   }
-  const Stream trial_hp = filter(multiplex_all(hp_parts));
-  std::vector<const Stream*> parts;
-  parts.reserve(config_.in_ports);
-  for (std::size_t i = 0; i < config_.in_ports; ++i) {
-    parts.push_back(i == in_port ? &trial_hp
-                                 : &ensure_hp_cell(i, out_port, priority));
+  [[nodiscard]] const Stream& filtered(std::size_t in, Priority q) const {
+    return cac.ensure_filtered_cell(in, out_port, q);
   }
-  return filter(multiplex_all(parts));
-}
+  [[nodiscard]] const Stream& hp_cell(std::size_t in, Priority q) const {
+    return cac.ensure_hp_cell(in, out_port, q);
+  }
+  [[nodiscard]] const Stream& offered(Priority q) const {
+    return cac.ensure_offered(out_port, q);
+  }
+  [[nodiscard]] const Stream& hp_filtered(Priority q) const {
+    return cac.ensure_hp_filtered(out_port, q);
+  }
+  [[nodiscard]] const std::optional<Num>& bound(Priority q) const {
+    return cac.ensure_bound(out_port, q);
+  }
+  [[nodiscard]] Num advertised(Priority q) const {
+    return cac.advertised_[cac.queue_index(out_port, q)];
+  }
+};
 
 template <typename Num>
 typename BasicSwitchCac<Num>::Stream
@@ -304,55 +288,15 @@ typename BasicSwitchCac<Num>::CheckResult BasicSwitchCac<Num>::check(
     std::size_t in_port, std::size_t out_port, Priority priority,
     const Stream& arrival) const {
   check_ports(in_port, out_port, priority);
-  CheckResult result;
-  result.bounds.assign(config_.priorities, std::nullopt);
-
-  // Steps 1-4 of the paper's CAC check for the connection's own priority,
-  // then Step 5 for every lower priority level (higher levels cannot be
-  // affected by the newcomer and keep their previously verified bounds).
-  // Every stream the candidate does not touch comes from the dirty-tracked
-  // caches; only the candidate's own cell is re-filtered.
-  for (Priority q = 0; q < config_.priorities; ++q) {
-    std::optional<Num> bound;
-    if (q < priority) {
-      bound = ensure_bound(out_port, q);
-    } else if (q == priority) {
-      // Candidate raises the offered load of its own queue; the traffic
-      // above it is unchanged.
-      const Stream offered =
-          compose_offered_trial(out_port, q, in_port, arrival);
-      bound = delay_bound(offered, ensure_hp_filtered(out_port, q));
-    } else {
-      // Candidate is higher-priority traffic for queue q; q's own offered
-      // aggregate is unchanged.
-      const Stream hp =
-          compose_hp_trial(out_port, q, in_port, priority, arrival);
-      bound = delay_bound(ensure_offered(out_port, q), hp);
-    }
-    result.bounds[q] = bound;
-    if (q == priority) {
-      result.bound_at_priority = bound;
-    }
-    if (q >= priority) {
-      const Num dmax = advertised_[queue_index(out_port, q)];
-      if (!bound.has_value() || *bound > dmax) {
-        std::ostringstream os;
-        os << "delay bound at out-port " << out_port << " priority " << q
-           << " would be ";
-        if (bound.has_value()) {
-          os << *bound;
-        } else {
-          os << "unbounded";
-        }
-        os << " > advertised " << dmax;
-        result.admitted = false;
-        result.reason = os.str();
-        return result;
-      }
-    }
-  }
-  result.admitted = true;
-  return result;
+  // The shared per-point algorithm (core/point_snapshot.h) over the
+  // live caches: every stream the candidate does not touch comes from
+  // the dirty-tracked caches; only the candidate's own cell is
+  // re-filtered.  The exported-snapshot path runs the same template
+  // over BasicPointSections, so the two stay decision- and
+  // string-identical by construction.
+  return check_point_view<Num>(CheckView{*this, out_port}, config_.in_ports,
+                               config_.priorities, out_port, in_port,
+                               priority, arrival);
 }
 
 template <typename Num>
@@ -798,6 +742,61 @@ void BasicSwitchCac<Num>::prime_caches() const {
       (void)ensure_bound(j, p);
     }
   }
+}
+
+template <typename Num>
+std::shared_ptr<const BasicPointSections<Num>>
+BasicSwitchCac<Num>::export_point_sections(
+    std::size_t out_port, const BasicPointSections<Num>* previous,
+    std::span<const std::size_t> stale_priorities) const {
+  check_ports(0, out_port, 0);
+  RTCAC_ASSERT(previous == nullptr ||
+                   (previous->out_port == out_port &&
+                    previous->sections.size() == config_.priorities),
+               "SwitchCac: snapshot export given a foreign previous export");
+  std::vector<char> stale(config_.priorities, previous == nullptr ? 1 : 0);
+  for (const std::size_t p : stale_priorities) {
+    if (p < config_.priorities) stale[p] = 1;
+  }
+  auto sections = std::make_shared<BasicPointSections<Num>>();
+  sections->out_port = out_port;
+  sections->in_ports = config_.in_ports;
+  sections->sections.resize(config_.priorities);
+  for (Priority p = 0; p < config_.priorities; ++p) {
+    if (stale[p] == 0) {
+      // Untouched priority: re-link the previous generation's section.
+      sections->sections[p] = previous->sections[p];
+      continue;
+    }
+    auto section = std::make_shared<BasicQueueSection<Num>>();
+    section->cells.reserve(config_.in_ports);
+    section->filtered.reserve(config_.in_ports);
+    section->hp_cells.reserve(config_.in_ports);
+    for (std::size_t i = 0; i < config_.in_ports; ++i) {
+      section->cells.push_back(arrival_aggregate(i, out_port, p));
+      section->filtered.push_back(ensure_filtered_cell(i, out_port, p));
+      section->hp_cells.push_back(ensure_hp_cell(i, out_port, p));
+    }
+    section->offered = ensure_offered(out_port, p);
+    section->hp_filtered = ensure_hp_filtered(out_port, p);
+    section->bound = ensure_bound(out_port, p);
+    section->advertised = advertised_[queue_index(out_port, p)];
+    sections->sections[p] = std::move(section);
+  }
+  return sections;
+}
+
+template <typename Num>
+std::vector<std::size_t> BasicSwitchCac<Num>::dirty_queue_keys() const {
+  // invalidate_cell() marks bound_dirty_ for the mutated queue and every
+  // level below it at the same out-port, so the dirty bound set is
+  // exactly the set of queueing points whose snapshot sections (and
+  // versions) a mutation invalidated.
+  std::vector<std::size_t> keys;
+  for (std::size_t q = 0; q < bound_dirty_.size(); ++q) {
+    if (bound_dirty_[q] != 0) keys.push_back(q);
+  }
+  return keys;
 }
 
 template <typename Num>

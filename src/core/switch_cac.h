@@ -85,6 +85,7 @@
 #include "core/connection.h"
 #include "core/delay_bound.h"
 #include "core/merge_tree.h"
+#include "core/point_snapshot.h"
 #include "core/stream_arena.h"
 #include "core/stream_ops.h"
 #include "util/contract.h"
@@ -92,22 +93,6 @@
 namespace rtcac {
 
 struct SwitchCacTestAccess;  // white-box corruption hook for audit tests
-
-/// Admission verdict for one switch, with the computed worst-case bounds
-/// that justify it.  nullopt bounds mean "unbounded" (always a
-/// rejection).
-template <typename Num>
-struct BasicSwitchCheckResult {
-  bool admitted = false;
-  /// Computed worst-case queueing delay D'(j,p) at the connection's own
-  /// priority, including the candidate connection (cell times).
-  std::optional<Num> bound_at_priority;
-  /// Computed bounds D'(j,q) for every priority q at the outgoing port,
-  /// including the candidate (index = priority).
-  std::vector<std::optional<Num>> bounds;
-  /// Human-readable rejection reason; empty when admitted.
-  std::string reason;
-};
 
 /// Allocation/footprint counters of one switch's mergeable-aggregate
 /// storage (merge trees + segment arena); reported by the admission bench
@@ -296,6 +281,26 @@ class BasicSwitchCac {
   /// Allocation counters of the merge-tree/arena storage (bench hook).
   [[nodiscard]] CacArenaStats arena_stats() const;
 
+  /// Immutable export of out-port `out_port`'s derived streams for the
+  /// optimistic snapshot read path (core/point_snapshot.h).  Sections
+  /// whose priority appears in `stale_priorities` are rebuilt from the
+  /// caches; every other section is re-linked (shared) from `previous`,
+  /// which must be a prior export of the same out-port — or nullptr to
+  /// rebuild everything.  Requires primed caches (prime_caches()), which
+  /// makes the export a pure read: safe under the concurrency layer's
+  /// shared lock.
+  [[nodiscard]] std::shared_ptr<const BasicPointSections<Num>>
+  export_point_sections(std::size_t out_port,
+                        const BasicPointSections<Num>* previous,
+                        std::span<const std::size_t> stale_priorities) const;
+
+  /// Queue keys (out_port * priorities + priority) whose computed bound
+  /// is currently dirty — exactly the queueing points the mutations
+  /// since the last priming invalidated, i.e. the snapshot versions the
+  /// concurrency layer must advance.  Read it *before* prime_caches():
+  /// priming clears the flags.
+  [[nodiscard]] std::vector<std::size_t> dirty_queue_keys() const;
+
   /// The configured per-node segment cap (0 = exact mode).
   [[nodiscard]] std::size_t coalesce_budget() const noexcept {
     return config_.coalesce_budget;
@@ -369,20 +374,11 @@ class BasicSwitchCac {
   [[nodiscard]] const std::optional<Num>& ensure_bound(std::size_t out_port,
                                                        Priority priority) const;
 
-  /// S_oa(j,p) with the candidate multiplexed into cell (in,j,p) before
-  /// the in-link filter; composed from cached streams, the candidate's
-  /// cell is the only one re-filtered.
-  [[nodiscard]] Stream compose_offered_trial(std::size_t out_port,
-                                             Priority priority,
-                                             std::size_t in_port,
-                                             const Stream& arrival) const;
-  /// S_of(j,q) for q > extra_prio with the candidate joining cell
-  /// (in,j,extra_prio); only in-port `in_port`'s higher-priority union is
-  /// recomputed.
-  [[nodiscard]] Stream compose_hp_trial(std::size_t out_port, Priority priority,
-                                        std::size_t in_port,
-                                        Priority extra_prio,
-                                        const Stream& arrival) const;
+  /// View over the live caches satisfying check_point_view's concept
+  /// (core/point_snapshot.h) — check() runs the shared per-point
+  /// algorithm through it, so the live path and the exported snapshot
+  /// path are one algorithm by construction.  Defined in switch_cac.cpp.
+  struct CheckView;
 
   // --- pre-optimization reference path (frozen; see check_from_scratch) --
 

@@ -31,6 +31,7 @@ std::vector<PointConfig> shard_configs(const Topology& topology,
     cfg.out_ports = topology.out_links(n.id).size();
     cfg.priorities = params.priorities;
     cfg.advertised_bound = params.advertised_bound;
+    cfg.coalesce_budget = params.coalesce_budget;
     if (cfg.out_ports == 0) continue;  // sink-only switch: nothing to admit
     index_out[n.id] = configs.size();
     configs.push_back(cfg);
@@ -77,13 +78,21 @@ AdmissionEngine::AdmissionEngine(const Topology& topology,
 AdmissionEngine::AdmissionEngine(const Topology& topology,
                                  const Params& params, const CacPolicy& policy,
                                  std::size_t pipeline_threads)
+    : AdmissionEngine(topology, params, policy,
+                      Options{pipeline_threads, 1}) {}
+
+AdmissionEngine::AdmissionEngine(const Topology& topology,
+                                 const Params& params, const CacPolicy& policy,
+                                 const Options& options)
     : topology_(topology),
       params_(params),
       evaluator_(PathEvaluator::Params{params.priorities, params.cdv_policy,
                                        params.guarantee}),
-      cac_(policy, shard_configs(topology, params, shard_index_)),
-      pool_(pipeline_threads > 0 ? std::make_unique<ThreadPool>(pipeline_threads)
-                                 : nullptr) {
+      cac_(policy, shard_configs(topology, params, shard_index_),
+           ConcurrentCac::Options{options.publish_window}),
+      pool_(options.pipeline_threads > 0
+                ? std::make_unique<ThreadPool>(options.pipeline_threads)
+                : nullptr) {
   RTCAC_REQUIRE(params_.priorities >= 1,
                 "AdmissionEngine: priorities must be >= 1");
 }
@@ -159,15 +168,18 @@ AdmissionEngine::PathPlan AdmissionEngine::plan_path(const QosRequest& request,
 
 std::size_t AdmissionEngine::speculative_checks(
     const std::vector<ConcurrentCac::HopSpec>& specs,
-    std::vector<HopVerdict>& results) const {
+    std::vector<HopVerdict>& results,
+    std::vector<ConcurrentCac::CheckStamp>* stamps) const {
   results.resize(specs.size());
+  if (stamps != nullptr) stamps->resize(specs.size());
   if (pool_ != nullptr && pool_->size() > 0 && specs.size() > 1) {
     // Pipeline mode: the path's per-switch checks run concurrently,
-    // each under its own shard's shared lock.
+    // each against its shard's published snapshot (or shared lock).
     std::atomic<std::size_t> remaining{specs.size()};
     for (std::size_t h = 0; h < specs.size(); ++h) {
-      pool_->submit([this, &specs, &results, &remaining, h] {
-        results[h] = cac_.check_hop(specs[h]);
+      pool_->submit([this, &specs, &results, &remaining, stamps, h] {
+        results[h] = cac_.check_hop(
+            specs[h], stamps != nullptr ? &(*stamps)[h] : nullptr);
         remaining.fetch_sub(1, std::memory_order_release);
       });
     }
@@ -176,7 +188,8 @@ std::size_t AdmissionEngine::speculative_checks(
     }
   } else {
     for (std::size_t h = 0; h < specs.size(); ++h) {
-      results[h] = cac_.check_hop(specs[h]);
+      results[h] = cac_.check_hop(
+          specs[h], stamps != nullptr ? &(*stamps)[h] : nullptr);
     }
   }
   for (std::size_t h = 0; h < specs.size(); ++h) {
@@ -196,10 +209,13 @@ AdmissionEngine::SetupResult AdmissionEngine::do_setup(
 
   const PathPlan plan = plan_path(request, route);
 
-  // Phase one: speculative checks under shared locks (parallel across
-  // shards in pipeline mode).  A rejection here commits nothing.
+  // Phase one: speculative checks — lock-free against the published
+  // snapshots (or under shared locks), parallel across shards in
+  // pipeline mode.  A rejection here commits nothing.
   std::vector<HopVerdict> speculative;
-  const std::size_t rejecting = speculative_checks(plan.specs, speculative);
+  std::vector<ConcurrentCac::CheckStamp> stamps;
+  const std::size_t rejecting =
+      speculative_checks(plan.specs, speculative, &stamps);
   if (rejecting != kNoHop) {
     apply_reject(result,
                  PathEvaluator::hop_rejection(
@@ -226,12 +242,19 @@ AdmissionEngine::SetupResult AdmissionEngine::do_setup(
     return result;
   }
 
-  // Phase two: authoritative re-check + commit under exclusive locks in
-  // canonical shard order.  The id is burned if the re-check rejects.
+  // Phase two: validate-on-commit under exclusive locks in canonical
+  // shard order — hops whose version stamps still match reuse their
+  // speculative verdicts, the rest are re-checked.  The id is burned
+  // if the validation rejects.
   const ConnectionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   DeadlineCtx ctx{&evaluator_, plan.e2e_advertised, request.deadline};
-  const ConcurrentCac::PathResult path =
-      cac_.admit_path(plan.specs, id, lease_expiry, &deadline_accept, &ctx);
+  std::vector<ConcurrentCac::SpeculativeHop> witnesses(plan.specs.size());
+  for (std::size_t h = 0; h < plan.specs.size(); ++h) {
+    witnesses[h] =
+        ConcurrentCac::SpeculativeHop{speculative[h], std::move(stamps[h])};
+  }
+  const ConcurrentCac::PathResult path = cac_.admit_path(
+      plan.specs, id, lease_expiry, &deadline_accept, &ctx, witnesses);
 
   if (!path.admitted) {
     if (path.rejecting_hop != kNoHop) {

@@ -8,13 +8,17 @@
 // ConnectionManager does, with the same decision semantics:
 //
 //   * setup() runs a speculative check of every queueing point first —
-//     under shared shard locks, optionally fanned out across a
-//     ThreadPool so a multi-hop path's per-switch checks run in
-//     parallel ("pipeline mode") — and only then commits through
-//     ConcurrentCac::admit_path, which re-validates every hop under
-//     exclusive locks taken in canonical (ascending shard id) order.  A
-//     stale speculative check can therefore never over-admit; the
-//     worst a race can do is reject a connection that a different
+//     lock-free against the shards' published snapshots for policies
+//     that export them, under shared shard locks otherwise, optionally
+//     fanned out across a ThreadPool so a multi-hop path's per-switch
+//     checks run in parallel ("pipeline mode") — and only then commits
+//     through ConcurrentCac::admit_path, which validates every hop
+//     under exclusive locks taken in canonical (ascending shard id)
+//     order.  Each speculative check carries a version stamp
+//     (ConcurrentCac::CheckStamp); a hop whose point saw no commit in
+//     between reuses its speculative verdict, every other hop is
+//     re-checked, so a stale speculative check can never over-admit;
+//     the worst a race can do is reject a connection that a different
 //     interleaving would have admitted, exactly as two racing SETUP
 //     messages would in the distributed protocol.
 //
@@ -83,6 +87,21 @@ class AdmissionEngine {
   using ConnectionRecord = ConnectionManager::ConnectionRecord;
   using ReclaimResult = ConnectionManager::ReclaimResult;
 
+  /// Engine tuning (construction-time, immutable afterwards).
+  struct Options {
+    /// Workers fanning one setup's per-hop checks out in parallel; 0
+    /// checks hops sequentially on the calling thread.  The engine is
+    /// thread-safe either way — any number of caller threads may
+    /// invoke setup/check/teardown concurrently.
+    std::size_t pipeline_threads = 0;
+    /// Snapshot republication window of the sharded core
+    /// (ConcurrentCac::Options::publish_window): commits per shard
+    /// between snapshot exports.  1 (default) publishes eagerly; N > 1
+    /// batches a setup burst behind one export — flush explicitly with
+    /// publish_snapshots().
+    std::size_t publish_window = 1;
+  };
+
   /// `pipeline_threads` workers fan one setup's per-hop checks out in
   /// parallel; 0 checks hops sequentially on the calling thread.  The
   /// engine is thread-safe either way — any number of caller threads
@@ -93,6 +112,9 @@ class AdmissionEngine {
   /// construction).
   AdmissionEngine(const Topology& topology, const Params& params,
                   const CacPolicy& policy, std::size_t pipeline_threads = 0);
+  /// Full tuning surface.
+  AdmissionEngine(const Topology& topology, const Params& params,
+                  const CacPolicy& policy, const Options& options);
 
   AdmissionEngine(const AdmissionEngine&) = delete;
   AdmissionEngine& operator=(const AdmissionEngine&) = delete;
@@ -118,6 +140,11 @@ class AdmissionEngine {
   /// Applies all deferred removals, one batched remove_many per shard;
   /// returns the number of hop reservations released.
   std::size_t drain();
+
+  /// Flushes snapshot publications deferred by Options::publish_window
+  /// (no-op under the default eager window); returns the number of
+  /// out-port slots republished.
+  std::size_t publish_snapshots() { return cac_.publish_snapshots(); }
 
   [[nodiscard]] std::size_t pending_removals() const {
     return cac_.pending_removals();
@@ -198,12 +225,17 @@ class AdmissionEngine {
   [[nodiscard]] PathPlan plan_path(const QosRequest& request,
                                    const Route& route) const;
 
-  /// Speculative per-hop checks under shared locks; fans out across the
-  /// pool when one exists.  Returns the index of the first rejecting
-  /// hop (kNoTarget when all admit) and fills `results`.
+  /// Speculative per-hop checks — against the shards' published
+  /// snapshots when the policy exports them (lock-free), under shared
+  /// locks otherwise; fans out across the pool when one exists.
+  /// Returns the index of the first rejecting hop (kNoTarget when all
+  /// admit) and fills `results`; when `stamps` is non-null it receives
+  /// the per-hop version witnesses admit_path validates at commit time
+  /// (validate-on-commit: unchanged hops reuse their verdicts).
   std::size_t speculative_checks(
       const std::vector<ConcurrentCac::HopSpec>& specs,
-      std::vector<HopVerdict>& results) const;
+      std::vector<HopVerdict>& results,
+      std::vector<ConcurrentCac::CheckStamp>* stamps = nullptr) const;
 
   SetupResult do_setup(const QosRequest& request, const Route& route,
                        double lease_expiry);

@@ -50,6 +50,7 @@ ConnectionManager::ConnectionManager(const Topology& topology,
     cfg.out_ports = topology_.out_links(n.id).size();
     cfg.priorities = params_.priorities;
     cfg.advertised_bound = params_.advertised_bound;
+    cfg.coalesce_budget = params_.coalesce_budget;
     if (cfg.out_ports == 0) continue;  // sink-only switch: nothing to admit
     cac_index_[n.id] = cacs_.size();
     cacs_.push_back(policy.make_point(cfg));

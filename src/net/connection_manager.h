@@ -69,6 +69,12 @@ class ConnectionManager {
     double advertised_bound = 32;
     CdvPolicy cdv_policy = CdvPolicy::kHard;
     GuaranteeMode guarantee = GuaranteeMode::kComputed;
+    /// Per-aggregate segment cap forwarded to every queueing point
+    /// (PointConfig::coalesce_budget; 0 = exact).  Policies with
+    /// per-cell aggregates trade admit-side conservatism for
+    /// population-independent admission cost; a coalesced engine may
+    /// reject a connection the exact engine admits, never the reverse.
+    std::size_t coalesce_budget = 0;
   };
 
   struct SetupResult {

@@ -43,8 +43,12 @@
 
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
+
+#include "util/contract.h"
 
 // Attribute spelling: clang implements the analysis; everything else
 // sees empty macros.  (GCC would warn -Wattributes on the unknown
@@ -118,6 +122,48 @@
 
 namespace rtcac {
 
+/// Audit-build (RTCAC_AUDIT_ENABLED) process-wide counters of
+/// SharedMutex acquisitions.  The snapshot read path of
+/// core/concurrent_cac.h promises *zero* shared_mutex traffic per
+/// check; tests and the parallel bench assert that promise as a
+/// shared-acquisition delta of zero across a burst of checks.  Release
+/// builds compile the counting hooks to nothing and enabled() reports
+/// false, so the hot path is untouched outside audit builds.
+class LockStats {
+ public:
+  [[nodiscard]] static constexpr bool enabled() noexcept {
+    return RTCAC_AUDIT_ENABLED != 0;
+  }
+
+#if RTCAC_AUDIT_ENABLED
+  [[nodiscard]] static std::uint64_t exclusive_acquisitions() noexcept {
+    return exclusive_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] static std::uint64_t shared_acquisitions() noexcept {
+    return shared_.load(std::memory_order_relaxed);
+  }
+  static void count_exclusive() noexcept {
+    exclusive_.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void count_shared() noexcept {
+    shared_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  static inline std::atomic<std::uint64_t> exclusive_{0};
+  static inline std::atomic<std::uint64_t> shared_{0};
+#else
+  [[nodiscard]] static std::uint64_t exclusive_acquisitions() noexcept {
+    return 0;
+  }
+  [[nodiscard]] static std::uint64_t shared_acquisitions() noexcept {
+    return 0;
+  }
+  static void count_exclusive() noexcept {}
+  static void count_shared() noexcept {}
+#endif
+};
+
 /// std::mutex with annotated lock transitions.
 class RTCAC_CAPABILITY("mutex") Mutex {
  public:
@@ -141,13 +187,25 @@ class RTCAC_CAPABILITY("shared_mutex") SharedMutex {
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() RTCAC_ACQUIRE() { m_.lock(); }
-  bool try_lock() RTCAC_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock() RTCAC_ACQUIRE() {
+    LockStats::count_exclusive();
+    m_.lock();
+  }
+  bool try_lock() RTCAC_TRY_ACQUIRE(true) {
+    const bool held = m_.try_lock();
+    if (held) LockStats::count_exclusive();
+    return held;
+  }
   void unlock() RTCAC_RELEASE() { m_.unlock(); }
 
-  void lock_shared() RTCAC_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void lock_shared() RTCAC_ACQUIRE_SHARED() {
+    LockStats::count_shared();
+    m_.lock_shared();
+  }
   bool try_lock_shared() RTCAC_TRY_ACQUIRE_SHARED(true) {
-    return m_.try_lock_shared();
+    const bool held = m_.try_lock_shared();
+    if (held) LockStats::count_shared();
+    return held;
   }
   void unlock_shared() RTCAC_RELEASE_SHARED() { m_.unlock_shared(); }
 

@@ -9,12 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <any>
 #include <atomic>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/traffic.h"
+#include "util/thread_annotations.h"
 #include "util/xorshift.h"
 
 namespace rtcac {
@@ -426,6 +428,317 @@ TEST(ConcurrentCac, StressMixedOperationsLeaveCoherentState) {
   EXPECT_TRUE(cac.state_consistent());
   EXPECT_TRUE(cac.bandwidth_conserved());
   EXPECT_TRUE(cac.cache_coherent());
+}
+
+// --- optimistic snapshot read path --------------------------------------
+
+ConcurrentCac::HopSpec hop_spec(std::size_t shard, const Candidate& c) {
+  ConcurrentCac::HopSpec hop;
+  hop.shard = shard;
+  hop.in_port = c.in_port;
+  hop.out_port = c.out_port;
+  hop.priority = c.priority;
+  hop.arrival = std::any(c.stream);
+  return hop;
+}
+
+TEST(ConcurrentCacSnapshot, SnapshotChecksMatchSerialVerdicts) {
+  const auto cfg = shard_config();
+  ConcurrentCac cac({cfg});
+  SwitchCac serial(cfg);
+  Xorshift rng(7);
+  for (ConnectionId id = 1; id <= 20; ++id) {
+    const Candidate c = random_candidate(rng, cfg);
+    if (cac.admit(0, id, c.in_port, c.out_port, c.priority, c.stream)
+            .admitted) {
+      serial.add(id, c.in_port, c.out_port, c.priority, c.stream);
+    }
+  }
+  ASSERT_TRUE(cac.snapshots_enabled(0));
+  for (int i = 0; i < 32; ++i) {
+    const Candidate c = random_candidate(rng, cfg);
+    ConcurrentCac::CheckStamp stamp;
+    const HopVerdict got = cac.check_hop(hop_spec(0, c), &stamp);
+    const auto want = serial.check(c.in_port, c.out_port, c.priority, c.stream);
+    ASSERT_EQ(got.admitted, want.admitted) << "candidate " << i;
+    EXPECT_EQ(got.detail, want.reason) << "candidate " << i;
+    if (want.admitted) {
+      EXPECT_DOUBLE_EQ(got.bound, want.bound_at_priority.value());
+    }
+    // The stamp witnesses every queue of the checked point.
+    EXPECT_EQ(stamp.shard, 0u);
+    EXPECT_EQ(stamp.out_port, c.out_port);
+    EXPECT_EQ(stamp.priority, c.priority);
+    ASSERT_EQ(stamp.versions.size(), cfg.priorities);
+  }
+}
+
+TEST(ConcurrentCacSnapshot, CheckPathTakesNoSharedLocksInAuditBuilds) {
+  if (!LockStats::enabled()) {
+    GTEST_SKIP() << "LockStats counts SharedMutex traffic only in audit "
+                    "builds (RTCAC_AUDIT_ENABLED)";
+  }
+  const auto cfg = shard_config();
+  ConcurrentCac cac({cfg});
+  Xorshift rng(8);
+  for (ConnectionId id = 1; id <= 16; ++id) {
+    const Candidate c = random_candidate(rng, cfg);
+    (void)cac.admit(0, id, c.in_port, c.out_port, c.priority, c.stream);
+  }
+  std::vector<ConcurrentCac::HopSpec> probes;
+  for (int i = 0; i < 64; ++i) {
+    probes.push_back(hop_spec(0, random_candidate(rng, cfg)));
+  }
+  // Quiesced and eagerly published (default publish_window == 1): every
+  // probe must ride the snapshot with zero shared_mutex acquisitions —
+  // the tentpole promise of the optimistic read path.
+  const std::uint64_t shared_before = LockStats::shared_acquisitions();
+  const std::uint64_t exclusive_before = LockStats::exclusive_acquisitions();
+  std::size_t admitted = 0;
+  for (const auto& probe : probes) {
+    if (cac.check_hop(probe).admitted) ++admitted;
+  }
+  EXPECT_EQ(LockStats::shared_acquisitions() - shared_before, 0u);
+  EXPECT_EQ(LockStats::exclusive_acquisitions() - exclusive_before, 0u);
+  EXPECT_LE(admitted, probes.size());
+}
+
+TEST(ConcurrentCacSnapshot, PointVersionsCoverTheDependencyCone) {
+  auto cfg = shard_config(1e6);  // generous: every candidate admits
+  ConcurrentCac cac({cfg});
+  const BitStream stream = TrafficDescriptor::vbr(0.02, 0.01, 4).to_bitstream();
+  const auto version = [&](std::size_t out, Priority p) {
+    return cac.point_version(0, out, p);
+  };
+  const std::uint64_t v00 = version(0, 0), v01 = version(0, 1);
+  const std::uint64_t v10 = version(1, 0), v11 = version(1, 1);
+  // A commit at priority 1 invalidates only queue (0, 1): lower
+  // priorities never depend on lower-priority traffic.
+  ASSERT_TRUE(cac.admit(0, 1, 0, 0, 1, stream).admitted);
+  EXPECT_EQ(version(0, 0), v00);
+  EXPECT_GT(version(0, 1), v01);
+  // A commit at priority 0 dirties the whole cone [0, P) of its out-port.
+  ASSERT_TRUE(cac.admit(0, 2, 1, 0, 0, stream).admitted);
+  EXPECT_GT(version(0, 0), v00);
+  // The other out-port never moved.
+  EXPECT_EQ(version(1, 0), v10);
+  EXPECT_EQ(version(1, 1), v11);
+  // Removal is a mutation like any other.
+  const std::uint64_t v01_mid = version(0, 1);
+  ASSERT_TRUE(cac.remove(0, 1));
+  EXPECT_GT(version(0, 1), v01_mid);
+}
+
+TEST(ConcurrentCacSnapshot, StaleStampNeverOverAdmits) {
+  SwitchCac::Config cfg;
+  cfg.in_ports = 4;
+  cfg.out_ports = 1;
+  cfg.priorities = 1;
+  cfg.advertised_bound = 24.0;
+  ConcurrentCac cac({cfg});
+  const BitStream hog = TrafficDescriptor::vbr(0.4, 0.1, 16).to_bitstream();
+  // Speculative verdicts against the empty point, one per candidate
+  // input: both admitted.
+  std::vector<ConcurrentCac::SpeculativeHop> specs(2);
+  for (std::size_t in = 0; in < 2; ++in) {
+    const Candidate probe{in, 0, 0, hog};
+    specs[in].verdict = cac.check_hop(hop_spec(0, probe), &specs[in].stamp);
+    ASSERT_TRUE(specs[in].verdict.admitted);
+  }
+  // Interleaved commits fill the queue until it rejects the hog.
+  std::size_t prefilled = 0;
+  for (ConnectionId id = 100; id < 164; ++id) {
+    if (!cac.admit(0, id, id % 2, 0, 0, hog).admitted) break;
+    ++prefilled;
+  }
+  ASSERT_GT(prefilled, 0u);
+  ASSERT_LT(prefilled, 64u) << "queue never filled";
+  // The input the fill loop broke on is the one the live check now
+  // rejects; drive the stale speculative verdict for exactly that hop.
+  const Candidate cand{(100 + prefilled) % 2, 0, 0, hog};
+  ASSERT_FALSE(
+      cac.check(0, cand.in_port, cand.out_port, cand.priority, cand.stream)
+          .admitted);
+  const HopVerdict early = specs[cand.in_port].verdict;
+  const ConcurrentCac::CheckStamp stamp = specs[cand.in_port].stamp;
+  // The stale admitted verdict must NOT be reused: its stamp no longer
+  // matches the live version counters, so admit_path re-checks the hop
+  // against the committed state and rejects.
+  const std::vector<ConcurrentCac::HopSpec> hops = {hop_spec(0, cand)};
+  const std::vector<ConcurrentCac::SpeculativeHop> stale = {{early, stamp}};
+  const auto rejected = cac.admit_path(hops, 999, SwitchCac::kPermanentLease,
+                                       nullptr, nullptr, stale);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.rejecting_hop, 0u);
+  EXPECT_EQ(rejected.hops_reused, 0u);
+  EXPECT_EQ(rejected.hops_revalidated, 1u);
+  EXPECT_FALSE(cac.contains(0, 999));
+  EXPECT_EQ(cac.connection_count(), prefilled);
+  const auto bound = cac.computed_bound(0, 0, 0);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_LE(*bound, cfg.advertised_bound + 1e-9);
+}
+
+TEST(ConcurrentCacSnapshot, CurrentStampReusesSpeculativeVerdict) {
+  ConcurrentCac cac({shard_config()});
+  Xorshift rng(9);
+  const Candidate cand = random_candidate(rng, shard_config());
+  ConcurrentCac::CheckStamp stamp;
+  const HopVerdict verdict = cac.check_hop(hop_spec(0, cand), &stamp);
+  ASSERT_TRUE(verdict.admitted);
+  // Nothing committed in between: the stamp still matches under the
+  // exclusive lock, so admit_path trusts the speculative verdict.
+  const std::vector<ConcurrentCac::HopSpec> hops = {hop_spec(0, cand)};
+  const std::vector<ConcurrentCac::SpeculativeHop> fresh = {{verdict, stamp}};
+  const auto result = cac.admit_path(hops, 1, SwitchCac::kPermanentLease,
+                                     nullptr, nullptr, fresh);
+  EXPECT_TRUE(result.admitted);
+  EXPECT_EQ(result.hops_reused, 1u);
+  EXPECT_EQ(result.hops_revalidated, 0u);
+  EXPECT_TRUE(cac.contains(0, 1));
+  // A null stamp (empty versions) never validates — the conservative
+  // fallback for locked checks of non-snapshot policies.
+  ConcurrentCac::CheckStamp null_stamp;
+  null_stamp.out_port = cand.out_port;
+  null_stamp.priority = cand.priority;
+  const std::vector<ConcurrentCac::SpeculativeHop> null_spec = {
+      {verdict, null_stamp}};
+  const auto revalidated = cac.admit_path(hops, 2, SwitchCac::kPermanentLease,
+                                          nullptr, nullptr, null_spec);
+  EXPECT_EQ(revalidated.hops_reused, 0u);
+  EXPECT_EQ(revalidated.hops_revalidated, 1u);
+}
+
+TEST(ConcurrentCacSnapshot, PublishWindowDefersExportsUntilFlush) {
+  const auto cfg = shard_config(1e6);
+  const BitStream stream = TrafficDescriptor::vbr(0.02, 0.01, 4).to_bitstream();
+  // Eager window: every commit republishes, so there is nothing to flush.
+  ConcurrentCac eager({cfg});
+  ASSERT_TRUE(eager.admit(0, 1, 0, 0, 0, stream).admitted);
+  EXPECT_EQ(eager.publish_snapshots(), 0u);
+  // Window of 4: three commits stay inside the window, publication is
+  // deferred and the flush republishes the touched out-port once.
+  ConcurrentCac batched({cfg}, ConcurrentCac::Options{.publish_window = 4});
+  for (ConnectionId id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(batched.admit(0, id, 0, 0, 0, stream).admitted);
+  }
+  EXPECT_EQ(batched.publish_snapshots(), 1u);
+  EXPECT_EQ(batched.publish_snapshots(), 0u);  // idempotent once flushed
+}
+
+TEST(ConcurrentCacSnapshot, DeferredPublicationNeverServesStaleVerdicts) {
+  // With publication deferred far beyond the trace, every check_hop
+  // must still match the serial oracle: the version stamps go stale and
+  // the reader self-refreshes (or falls back to the shared lock).
+  const auto cfg = shard_config();
+  ConcurrentCac cac({cfg}, ConcurrentCac::Options{.publish_window = 100});
+  SwitchCac serial(cfg);
+  Xorshift rng(10);
+  for (ConnectionId id = 1; id <= 24; ++id) {
+    const Candidate c = random_candidate(rng, cfg);
+    const auto got =
+        cac.admit(0, id, c.in_port, c.out_port, c.priority, c.stream);
+    ASSERT_EQ(got.admitted,
+              serial.check(c.in_port, c.out_port, c.priority, c.stream)
+                  .admitted);
+    if (got.admitted) serial.add(id, c.in_port, c.out_port, c.priority,
+                                 c.stream);
+    const Candidate probe = random_candidate(rng, cfg);
+    const HopVerdict hop = cac.check_hop(hop_spec(0, probe));
+    const auto want =
+        serial.check(probe.in_port, probe.out_port, probe.priority,
+                     probe.stream);
+    ASSERT_EQ(hop.admitted, want.admitted) << "after id " << id;
+    EXPECT_EQ(hop.detail, want.reason);
+  }
+  EXPECT_TRUE(cac.cache_coherent());
+}
+
+// The snapshot-reclamation TSan target: readers pin publications via
+// shared_ptr while writers churn state, republish, and reclaim leases.
+// Seeded; correctness here is "no data race, no torn snapshot" plus
+// post-quiesce agreement with the live state.
+TEST(ConcurrentCacSnapshot, ReadersPinSnapshotsAcrossConcurrentChurn) {
+  const auto cfg = shard_config(96.0);
+  ConcurrentCac cac({cfg, cfg}, ConcurrentCac::Options{.publish_window = 3});
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      Xorshift rng(400 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t shard = rng.below(2);
+        const Candidate c = random_candidate(rng, cfg);
+        ConcurrentCac::CheckStamp stamp;
+        const HopVerdict v = cac.check_hop(hop_spec(shard, c), &stamp);
+        // Any verdict is acceptable mid-race; the stamp must always
+        // cover the full point (snapshots are enabled for bitstream).
+        if (stamp.versions.size() != cfg.priorities) std::abort();
+        reads.fetch_add(1 + static_cast<std::size_t>(v.admitted),
+                        std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      Xorshift rng(500 + static_cast<std::uint64_t>(t));
+      std::vector<std::pair<std::size_t, ConnectionId>> mine;
+      for (int k = 0; k < 240; ++k) {
+        const std::size_t shard = rng.below(2);
+        const auto dice = rng.below(8);
+        if (dice < 4) {
+          const ConnectionId id =
+              static_cast<ConnectionId>(t * 10000 + k + 1);
+          const Candidate c = random_candidate(rng, cfg);
+          const double lease = rng.below(4) == 0 ? 1e6 : SwitchCac::kPermanentLease;
+          if (cac.admit(shard, id, c.in_port, c.out_port, c.priority,
+                        c.stream, lease)
+                  .admitted) {
+            mine.emplace_back(shard, id);
+          }
+        } else if (dice < 6 && !mine.empty()) {
+          const auto [s, id] = mine.back();
+          mine.pop_back();
+          if (rng.below(2) == 0) {
+            (void)cac.remove(s, id);
+          } else {
+            cac.queue_remove(s, id);
+          }
+        } else if (dice == 6) {
+          (void)cac.drain_removals();
+        } else {
+          if (rng.below(2) == 0) {
+            (void)cac.reclaim_all(2e6);
+          } else {
+            (void)cac.publish_snapshots();
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& r : readers) r.join();
+  EXPECT_GT(reads.load(), 0u);
+  (void)cac.drain_removals();
+  (void)cac.publish_snapshots();
+  EXPECT_TRUE(cac.state_consistent());
+  EXPECT_TRUE(cac.bandwidth_conserved());
+  EXPECT_TRUE(cac.cache_coherent());
+  // Quiesced and flushed: the snapshot verdict agrees with the live
+  // locked check again.
+  Xorshift rng(600);
+  for (int i = 0; i < 16; ++i) {
+    const std::size_t shard = rng.below(2);
+    const Candidate c = random_candidate(rng, cfg);
+    const HopVerdict snap = cac.check_hop(hop_spec(shard, c));
+    const auto live =
+        cac.check(shard, c.in_port, c.out_port, c.priority, c.stream);
+    ASSERT_EQ(snap.admitted, live.admitted) << "probe " << i;
+    EXPECT_EQ(snap.detail, live.reason);
+  }
 }
 
 TEST(ConcurrentCac, ShardRangeIsChecked) {

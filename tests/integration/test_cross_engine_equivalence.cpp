@@ -262,5 +262,55 @@ TEST_P(CrossEngineEquivalence, AllEnginesProduceIdenticalDecisionStreams) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, CrossEngineEquivalence,
                          ::testing::Values("bitstream", "peak", "max_rate"));
 
+// Params::coalesce_budget reaches every engine through the same
+// PointConfig plumbing, so a coalesced trace must still produce one
+// decision stream across ConnectionManager, SignalingEngine and the
+// parallel replay — and, against the exact (budget 0) stream, the first
+// divergence may only go in the conservative direction.
+TEST_P(CrossEngineEquivalence, CoalescedBudgetReachesEveryEngineIdentically) {
+  const CacPolicy* policy = find_policy(GetParam());
+  ASSERT_NE(policy, nullptr) << GetParam();
+  const Net net = make_net();
+  ConnectionManager::Params params = make_params();
+  params.coalesce_budget = 4;
+
+  const std::vector<TraceOp> trace = make_trace(31, net);
+  const std::vector<OpOutcome> reference =
+      manager_stream(trace, net, params, *policy);
+
+  const std::vector<OpOutcome> via_signaling =
+      signaling_stream(trace, net, params, *policy);
+  expect_identical(via_signaling, reference,
+                   std::string(GetParam()) + " coalesced signaling");
+
+  for (const std::size_t threads : {1u, 4u}) {
+    AdmissionEngine engine(net.topology, params, *policy);
+    expect_identical(engine.replay(trace, threads), reference,
+                     std::string(GetParam()) + " coalesced replay t" +
+                         std::to_string(threads));
+    EXPECT_TRUE(engine.state_consistent());
+    EXPECT_TRUE(engine.bandwidth_conserved());
+  }
+
+  // Up to the first divergence both runs committed identical sets, so
+  // the states compared at that op are identical — and a coalesced
+  // aggregate only over-estimates, so the first differing decision must
+  // be a coalesced rejection of an exactly-admitted candidate.  (The
+  // baselines keep no per-cell aggregates and ignore the budget, so
+  // their streams may not diverge at all.)
+  ConnectionManager::Params exact = make_params();
+  const std::vector<OpOutcome> exact_stream =
+      manager_stream(trace, net, exact, *policy);
+  ASSERT_EQ(reference.size(), exact_stream.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i].accepted == exact_stream[i].accepted) continue;
+    EXPECT_TRUE(exact_stream[i].accepted && !reference[i].accepted)
+        << GetParam() << ": first divergence at op " << i
+        << " admitted under the budget but not exactly — the coalesced "
+           "check over-admitted";
+    break;
+  }
+}
+
 }  // namespace
 }  // namespace rtcac

@@ -20,6 +20,17 @@ void write_side(SharedMutex& mutex, double& bound) {
   bound = 0;
 }
 
+// Snapshot self-refresh of one queueing-point slot: the slot's leaf
+// refresh mutex (a Mutex, not shard state) nests outside the shard's
+// shared lock.  MutexLock guards do not count as shard-state guards, so
+// this is one shard guard per function, which the rule allows.
+void refresh_point_slot(Mutex& refresh_mutex, SharedMutex& shard,
+                        double& slot) {
+  const MutexLock refresh(refresh_mutex);
+  const SharedLock pin(shard);
+  slot = 0;
+}
+
 ConcurrentCac::ShardLockSet::ShardLockSet(ConcurrentCac& owner,
                                           std::span<const HopSpec> hops) {
   for (const HopSpec& hop : hops) {

@@ -302,6 +302,42 @@ TEST(AdmissionEngine, ReclaimSweepsExpiredLeases) {
   EXPECT_TRUE(engine.state_consistent());
 }
 
+TEST(AdmissionEngine, PublishWindowDoesNotChangeDecisions) {
+  // A deferred snapshot-publication window batches export work behind a
+  // setup burst; it must be invisible in the decision stream, because
+  // stale stamps only ever force the locked fallback / revalidation.
+  const Net net = make_net();
+  const auto params = make_params();
+  AdmissionEngine eager(net.topology, params);
+  AdmissionEngine batched(net.topology, params,
+                          BitstreamCacPolicy::instance(),
+                          AdmissionEngine::Options{.pipeline_threads = 0,
+                                                   .publish_window = 6});
+  Xorshift rng(14);
+  for (std::size_t step = 0; step < 64; ++step) {
+    const QosRequest request = random_request(rng);
+    const Route& route = net.routes[rng.below(net.routes.size())];
+    if (step % 4 == 0) {
+      const auto a = eager.check(request, route);
+      const auto b = batched.check(request, route);
+      EXPECT_EQ(a.accepted, b.accepted) << "step " << step;
+      EXPECT_EQ(a.reason, b.reason) << "step " << step;
+    } else {
+      expect_same_result(batched.setup(request, route),
+                         eager.setup(request, route), step);
+    }
+  }
+  EXPECT_EQ(batched.connection_count(), eager.connection_count());
+  // The burst left deferred publications behind; the eager engine has
+  // none.  Flushing is idempotent.
+  EXPECT_EQ(eager.publish_snapshots(), 0u);
+  EXPECT_GT(batched.publish_snapshots(), 0u);
+  EXPECT_EQ(batched.publish_snapshots(), 0u);
+  EXPECT_TRUE(batched.state_consistent());
+  EXPECT_TRUE(batched.bandwidth_conserved());
+  EXPECT_TRUE(batched.cache_coherent());
+}
+
 TEST(AdmissionEngine, ShardOfRejectsTerminals) {
   const Net net = make_net();
   AdmissionEngine engine(net.topology, make_params());

@@ -183,8 +183,10 @@ REROUTE_HANDLER_PREFIXES = ("on_", "attempt_", "advance_to", "quiesce")
 # layer added — the member we are inside (tracked from out-of-line
 # definitions), and the member functions allowed to touch that state
 # directly (cache management, lease bookkeeping, from-scratch oracles,
-# the arena_stats bench hook, and the consistency audits that vouch for
-# it all).
+# the arena_stats bench hook, the snapshot exporters of the optimistic
+# read path (export_point_sections / dirty_queue_keys, which read the
+# primed caches and dirty flags to build immutable publications), and
+# the consistency audits that vouch for it all).
 CAC_FUNC_RE = re.compile(r"\bBasicSwitchCac<\w+>::(\w+)\s*\(")
 CAC_STATE_RE = re.compile(
     r"\b(?:arrival_aggr_|cell_counts_|cell_members_|filtered_cell_|"
@@ -199,7 +201,8 @@ CAC_ACCESSOR_PREFIXES = (
     "higher_priority_filtered_scratch", "arrival_aggregate",
     "sustained_load", "connection_", "state_consistent",
     "bandwidth_conserved", "cache_coherent", "prime_caches",
-    "renew_lease", "drop_lease_index_entry", "arena_stats")
+    "renew_lease", "drop_lease_index_entry", "arena_stats",
+    "export_", "dirty_queue")
 
 # admission-walk: the three ingredients of the per-hop admission walk.
 # CDV accumulation may be *called* only from PathEvaluator (it is
