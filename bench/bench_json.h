@@ -17,7 +17,9 @@
 //                                 //   probes (conservatism cost)
 //    "arena_bytes": int,          // optional: arena-pooled segment bytes
 //    "segments_high_water": int,  // optional: peak live segments (trees)
-//    "rss_peak_kb": int}          // optional: process peak RSS (getrusage)
+//    "rss_peak_kb": int,          // optional: process peak RSS (getrusage)
+//    "modifies": int,             // optional: in-place renegotiations run
+//    "modify_admit_rate": number} // optional: admitted modifies / modifies
 //
 // The `threads`/`speedup_vs_serial` keys are emitted only when `threads`
 // is nonzero and `policy` only when non-empty (i.e. by the thread-scaling
@@ -29,7 +31,11 @@
 // is emitted only when `variant` is non-empty — i.e. by the merge-tree
 // scaling sweep in bench/cac_admission_bench; `false_reject_rate` is the
 // fraction of probe candidates the coalesced (conservative) check
-// rejects while the exact oracle admits, 0 for exact rows.
+// rejects while the exact oracle admits, 0 for exact rows.  The
+// renegotiation block (`modifies`/`modify_admit_rate`) is emitted only
+// when `modifies` is nonzero — i.e. by the renegotiate_churn workloads,
+// where it records how many in-place MODIFY transactions the timed
+// section ran and what fraction the combined-load check admitted.
 //
 // Header-only and dependency-free on purpose: bench binaries link only
 // the library under test, so the writer cannot perturb what it measures.
@@ -75,6 +81,11 @@ struct BenchRecord {
   /// Peak resident set size of the process in KiB (getrusage ru_maxrss);
   /// 0 where unavailable.
   std::size_t rss_peak_kb = 0;
+  /// In-place renegotiations (MODIFY DeltaTransactions) executed in the
+  /// timed section; 0 = the renegotiation block is omitted.
+  std::size_t modifies = 0;
+  /// Fraction of those the combined-load check admitted.
+  double modify_admit_rate = 0.0;
 };
 
 /// Collects records and serializes them as a JSON array.  Strings are
@@ -115,6 +126,10 @@ class BenchJsonWriter {
            << "\"arena_bytes\": " << r.arena_bytes << ", "
            << "\"segments_high_water\": " << r.segments_high_water << ", "
            << "\"rss_peak_kb\": " << r.rss_peak_kb;
+      }
+      if (r.modifies > 0) {
+        os << ", \"modifies\": " << r.modifies << ", "
+           << "\"modify_admit_rate\": " << finite(r.modify_admit_rate);
       }
       os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }

@@ -8,6 +8,12 @@
 // paths reach identical admission decisions (bounds within
 // NumTraits<double>::kEps) before timing anything.
 //
+// The renegotiate_churn section drives in-place MODIFY storms through
+// the DeltaTransaction swap sequence with the decision gated against the
+// release-then-readmit-under-combined-load oracle (exact: identical;
+// coalesced: admit-side conservative), emitting the `modifies` /
+// `modify_admit_rate` record block.
+//
 // Also runs the merge-tree scaling sweep: n = 1k/10k/100k admitted
 // connections, exact (coalesce_budget = 0) vs coalesced (budget 64)
 // aggregates, recording per-admission churn cost, segment counts, arena
@@ -247,6 +253,112 @@ bool decisions_conservative(const SwitchCac& cac, Xorshift& rng,
   return true;
 }
 
+// In-place renegotiation churn (MODIFY): a standing population whose
+// descriptors keep being replaced in place through the DeltaTransaction
+// swap — add(provisional, new), remove(id), remove(provisional),
+// add(id, new) — the exact per-cell op sequence PathEvaluator's delta
+// core commits, so the timed loop measures what a MODIFY storm costs a
+// single switch.  The gate before timing anything is the ISSUE's
+// renegotiation oracle: the MODIFY decision is the NEW descriptor
+// checked while the OLD reservation stays committed (release-then-
+// readmit under combined load), and the cached check must reproduce
+// check_from_scratch on those candidates bit-identically in exact mode
+// and admit-side conservatively in coalesced mode.  Emits the
+// `modifies` / `modify_admit_rate` record block.
+int renegotiate_churn(bench::BenchJsonWriter& json, bool tiny) {
+  std::cout << "\nrenegotiate churn (in-place MODIFY)\n";
+  struct Variant {
+    const char* name;
+    std::size_t budget;
+  };
+  constexpr Variant kVariants[] = {{"exact", 0}, {"coalesced", 64}};
+  const std::size_t n = tiny ? 32 : 256;
+  for (const Variant& v : kVariants) {
+    Xorshift rng(42);
+    SwitchCac cac = make_switch(v.budget);
+    std::vector<Candidate> routes = populate(cac, n, rng);
+
+    // The decision-identity gate, on renegotiation candidates: same
+    // ports and priority as an established connection, fresh arrival,
+    // old reservation still committed.
+    Xorshift gate_rng(7);
+    const std::size_t trials = tiny ? 8 : 32;
+    std::size_t false_rejects = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const Candidate& old_c = routes[gate_rng.below(routes.size())];
+      const BitStream next = random_arrival(gate_rng);
+      const SwitchCheckResult fast =
+          cac.check(old_c.in, old_c.out, old_c.prio, next);
+      const SwitchCheckResult slow =
+          cac.check_from_scratch(old_c.in, old_c.out, old_c.prio, next);
+      if (v.budget == 0) {
+        if (fast.admitted != slow.admitted) {
+          std::cerr << "RENEGOTIATION DECISION MISMATCH (exact): cached "
+                    << (fast.admitted ? "admits" : "rejects")
+                    << ", combined-load oracle "
+                    << (slow.admitted ? "admits" : "rejects") << "\n";
+          return 1;
+        }
+      } else {
+        if (fast.admitted && !slow.admitted) {
+          std::cerr << "RENEGOTIATION CONSERVATISM VIOLATION: coalesced "
+                       "admits a MODIFY the combined-load oracle rejects\n";
+          return 1;
+        }
+        if (!fast.admitted && slow.admitted) ++false_rejects;
+      }
+    }
+    const double false_reject_rate =
+        static_cast<double>(false_rejects) / static_cast<double>(trials);
+
+    const std::size_t ops = tiny ? 30 : 400;
+    Xorshift churn_rng(99);
+    ConnectionId provisional = n + 1;
+    std::size_t admitted = 0;
+    const double ns = time_ns([&] {
+      for (std::size_t i = 0; i < ops; ++i) {
+        const std::size_t victim = churn_rng.below(routes.size());
+        Candidate& c = routes[victim];
+        BitStream next = random_arrival(churn_rng);
+        if (!cac.check(c.in, c.out, c.prio, next).admitted) {
+          ++provisional;  // the core burns an id per attempt
+          continue;
+        }
+        // The DeltaTransaction swap, make-before-break: the new
+        // descriptor is held under the provisional id across the old
+        // reservation's release, then moved to the surviving id.
+        const ConnectionId id = victim + 1;
+        cac.add(provisional, c.in, c.out, c.prio, next);
+        (void)cac.remove(id);
+        (void)cac.remove(provisional);
+        cac.add(id, c.in, c.out, c.prio, next);
+        ++provisional;
+        c.arrival = std::move(next);
+        ++admitted;
+      }
+    });
+
+    const CacArenaStats stats = cac.arena_stats();
+    bench::BenchRecord r = make_record(
+        std::string("renegotiate_churn_") + v.name + "_n" + std::to_string(n),
+        n, ns, ops, segments_total(cac));
+    r.variant = v.name;
+    r.false_reject_rate = false_reject_rate;
+    r.arena_bytes = stats.pooled_bytes;
+    r.segments_high_water = stats.peak_segments;
+    r.rss_peak_kb = peak_rss_kb();
+    r.modifies = ops;
+    r.modify_admit_rate =
+        static_cast<double>(admitted) / static_cast<double>(ops);
+    json.add(std::move(r));
+    std::cout << "renegotiate  n=" << n << " (" << v.name << "): "
+              << ns / static_cast<double>(ops) / 1e3 << " us/op, " << admitted
+              << "/" << ops << " modifies admitted, false-reject rate "
+              << false_reject_rate << "\n";
+  }
+  return 0;
+}
+
 // The tentpole's scaling story: per-admission churn cost at n admitted
 // connections, exact vs coalesced merge-tree aggregates.  `reps_scale`
 // in (0, 1] shrinks op counts for the smoke/ctest variants.
@@ -467,6 +579,9 @@ int run(bool smoke, bool scale_only, const std::string& out_path) {
     std::cout << "churn speedup (scratch/cached): "
               << per_op[1] / per_op[0] << "x\n";
   }
+
+  // --- in-place renegotiation churn (MODIFY) ----------------------------
+  if (renegotiate_churn(json, /*tiny=*/smoke) != 0) return 1;
 
   // --- k-way multiplex vs. left-fold micro ------------------------------
   for (const std::size_t k :

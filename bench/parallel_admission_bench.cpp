@@ -4,8 +4,11 @@
 // An 8-switch chain (each switch with 4 source and 4 sink terminals,
 // multi-hop routes up to 3 queueing points) is driven through recorded
 // operation traces — check-only, setup/teardown churn (immediate and
-// batch-drained) and a mixed 90/10 lookup/update workload — replayed by
-// AdmissionEngine::replay on 1/2/4/8 worker threads.  A second,
+// batch-drained), a mixed 90/10 lookup/update workload, and a
+// renegotiate_churn MODIFY storm (in-place renegotiations through the
+// DeltaTransaction core, gated against the serial renegotiate oracle
+// and recorded via the `modifies`/`modify_admit_rate` keys) — replayed
+// by AdmissionEngine::replay on 1/2/4/8 worker threads.  A second,
 // deliberately contended topology — a wide 12-switch star field with
 // single-switch routes, so worker threads fan out over disjoint shards —
 // carries the wide_check_only workload where the lock-free snapshot read
@@ -254,6 +257,40 @@ std::vector<TraceOp> make_mixed(std::size_t ops, const Net& net) {
   return trace;
 }
 
+// In-place renegotiation churn: a standing population whose descriptors
+// keep being renegotiated in place (MODIFY) with a setup/teardown ripple
+// on the side, so the replay drives AdmissionEngine::renegotiate — the
+// union-cone stamp validation and the DeltaTransaction swap under the
+// exclusive lock set — against the serial ConnectionManager::renegotiate
+// oracle.  Some MODIFYs deliberately target torn-down connections; both
+// sides report the same unknown-id rejection, so the decision stream
+// stays bit-comparable.
+std::vector<TraceOp> make_renegotiate_churn(std::size_t ops, const Net& net) {
+  Xorshift rng(404);
+  std::vector<TraceOp> trace;
+  std::vector<std::size_t> setups;
+  for (std::size_t i = 0; i < ops / 4; ++i) {
+    setups.push_back(trace.size());
+    trace.push_back(setup_op(rng, net));
+  }
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint64_t pick = rng.below(10);
+    if (pick < 6) {
+      TraceOp op;
+      op.kind = TraceOp::Kind::kModify;
+      op.target = setups[rng.below(setups.size())];
+      op.request = random_request(rng);
+      trace.push_back(std::move(op));
+    } else if (pick < 8) {
+      setups.push_back(trace.size());
+      trace.push_back(setup_op(rng, net));
+    } else {
+      trace.push_back(teardown_op(rng, setups, false));
+    }
+  }
+  return trace;
+}
+
 // --- serial oracle ------------------------------------------------------
 // A plain ConnectionManager on the same policy walks the identical trace
 // in order; its decisions define correctness for every parallel replay.
@@ -300,6 +337,24 @@ std::vector<OpOutcome> oracle_replay(const std::vector<TraceOp>& trace,
           deferred.push_back(id);
         }
         outcomes[i].accepted = live;
+        break;
+      }
+      case TraceOp::Kind::kModify: {
+        const bool live = id != kInvalidConnection &&
+                          cm.connections().contains(id) &&
+                          !retired.contains(id);
+        if (!live) {
+          // Mirror the engine's unknown-id rejection so a MODIFY racing
+          // a teardown still compares bit-identically.
+          if (id != kInvalidConnection) {
+            outcomes[i].reject.code = RejectCode::kNoRoute;
+            outcomes[i].reject.detail = "renegotiate: unknown connection id";
+            outcomes[i].reason = outcomes[i].reject.detail;
+          }
+          break;
+        }
+        const auto r = cm.renegotiate(id, op.request);
+        outcomes[i] = OpOutcome{r.accepted, r.reason, r.reject};
         break;
       }
       case TraceOp::Kind::kDrain:
@@ -442,6 +497,7 @@ int run(bool smoke, const std::string& out_path,
       {"churn", &net, make_churn(ops, net, false)},
       {"churn_batched", &net, make_churn(ops, net, true)},
       {"mixed_90_10", &net, make_mixed(ops, net)},
+      {"renegotiate_churn", &net, make_renegotiate_churn(ops, net)},
       // The contended block: disjoint single-shard routes over the wide
       // field, where the snapshot read path's scaling is visible.
       {"wide_check_only", &wide, make_check_only(ops * 2, wide)},
@@ -453,6 +509,15 @@ int run(bool smoke, const std::string& out_path,
       const std::vector<OpOutcome> oracle =
           oracle_replay(w.trace, w.net->topology, params, *policy);
       const std::size_t n_ops = admission_ops(w.trace);
+      // Renegotiation block of the record: identical at every thread
+      // count by the gate below, so the oracle's stream is the source.
+      std::size_t modifies = 0;
+      std::size_t modify_admits = 0;
+      for (std::size_t i = 0; i < w.trace.size(); ++i) {
+        if (w.trace[i].kind != TraceOp::Kind::kModify) continue;
+        ++modifies;
+        if (oracle[i].accepted) ++modify_admits;
+      }
       double wall_serial = 0;
       for (const std::size_t threads : thread_counts) {
         AdmissionEngine engine(w.net->topology, params, *policy);
@@ -486,6 +551,12 @@ int run(bool smoke, const std::string& out_path,
         r.speedup_vs_serial = wall > 0 ? wall_serial / wall : 0;
         r.hardware_concurrency = hw;
         r.policy = policy_name;
+        r.modifies = modifies;
+        r.modify_admit_rate =
+            modifies > 0
+                ? static_cast<double>(modify_admits) /
+                      static_cast<double>(modifies)
+                : 0.0;
         json.add(r);
         std::cout << policy_name << " " << w.name << " t=" << threads << ": "
                   << wall / static_cast<double>(n_ops) / 1e3

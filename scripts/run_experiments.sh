@@ -51,13 +51,14 @@ echo "== micro_algorithms (google-benchmark)"
   | tee "$OUT/micro_algorithms.txt"
 
 echo
-echo "== cac_admission_bench (perf trajectory -> BENCH_admission.json)"
+echo "== cac_admission_bench (perf trajectory incl. renegotiate_churn" \
+     "MODIFY storm -> BENCH_admission.json)"
 "$BUILD/bench/cac_admission_bench" --out "$REPO_ROOT/BENCH_admission.json" \
   | tee "$OUT/cac_admission_bench.txt"
 
 echo
-echo "== parallel_admission_bench (thread scaling, all CAC policies ->" \
-     "BENCH_parallel.json)"
+echo "== parallel_admission_bench (thread scaling incl. renegotiate_churn," \
+     "all CAC policies -> BENCH_parallel.json)"
 "$BUILD/bench/parallel_admission_bench" --policy all \
   --out "$REPO_ROOT/BENCH_parallel.json" \
   | tee "$OUT/parallel_admission_bench.txt"

@@ -3,14 +3,16 @@
 // Lock discipline (machine-checked, docs/STATIC_ANALYSIS.md): every
 // single-shard entry point pairs a LockOrderAudit::Scope with a
 // SharedLock/ExclusiveLock RAII guard on that shard's mutex; the only
-// multi-shard path is admit_path, which goes through the ShardLockSet
-// scoped capability.  The snapshot fast path takes no shard lock at all
+// multi-shard paths are admit_path and renegotiate_path, which go
+// through the ShardLockSet scoped capability.  The snapshot fast path
+// takes no shard lock at all
 // — it synchronizes through each slot's atomic shared_ptr and validates
 // version stamps — and reader-side refresh nests the slot's
 // refresh_mutex *outside* the shard's shared lock (writers never take a
 // refresh mutex, so the edge is one-way).  The
 // RTCAC_NO_THREAD_SAFETY_ANALYSIS escapes in this file (ShardLockSet's
-// constructor/destructor/point/stamp_current/publish_epoch) plus the two
+// constructor/destructor/point/both stamp_current overloads/
+// publish_epoch) plus the two
 // quiesced test accessors at the bottom and point_const in the header
 // are the complete list the `tsa` preset tolerates — each is justified
 // at its site.
@@ -134,11 +136,20 @@ bool ConcurrentCac::snapshot_current(const Shard& s, const Published& pub,
 }
 
 bool ConcurrentCac::stamp_matches(const Shard& s, const CheckStamp& stamp) {
+  return stamp_matches(s, stamp, stamp.priority);
+}
+
+bool ConcurrentCac::stamp_matches(const Shard& s, const CheckStamp& stamp,
+                                  Priority floor) {
   if (stamp.versions.size() != s.priorities || stamp.out_port >= s.out_ports ||
       stamp.priority >= s.priorities) {
     return false;  // null or malformed stamp never validates
   }
-  for (std::size_t q = stamp.priority; q < s.priorities; ++q) {
+  // The stamp holds every priority's counter, so a cone wider than the
+  // one the check itself needed (floor < stamp.priority — the
+  // renegotiation union cone) is validatable from the same witness.
+  for (std::size_t q = std::min<std::size_t>(floor, stamp.priority);
+       q < s.priorities; ++q) {
     if (stamp.versions[q] !=
         s.point_versions[stamp.out_port * s.priorities + q].load(
             std::memory_order_acquire)) {
@@ -299,6 +310,19 @@ bool ConcurrentCac::ShardLockSet::stamp_current(const CheckStamp& stamp) const
   return stamp_matches(owner_.shard_at(stamp.shard), stamp);
 }
 
+bool ConcurrentCac::ShardLockSet::stamp_current(const CheckStamp& stamp,
+                                                Priority floor) const
+    // Justified escape: same argument as the plain overload, over the
+    // widened cone [min(floor, stamp.priority), P) — a renegotiation
+    // verdict also depends on the old descriptor's queues staying
+    // unchanged, and the exclusive lock freezes those counters too.
+    RTCAC_NO_THREAD_SAFETY_ANALYSIS {
+  RTCAC_ASSERT(
+      std::binary_search(shards_.begin(), shards_.end(), stamp.shard),
+      "ShardLockSet: stamped shard not locked by this set");
+  return stamp_matches(owner_.shard_at(stamp.shard), stamp, floor);
+}
+
 void ConcurrentCac::ShardLockSet::publish_epoch(std::size_t shard) const
     // Justified escape: commit epilogue on behalf of the dynamic lock
     // set; membership is asserted (same exclusion argument as point()).
@@ -454,6 +478,80 @@ ConcurrentCac::PathResult ConcurrentCac::admit_path(
     locks.point(hop.shard).add(id, hop.in_port, hop.out_port, hop.priority,
                                hop.arrival, lease_expiry);
   }
+  for (const std::size_t shard : locks.shards()) {
+    locks.publish_epoch(shard);
+  }
+  result.admitted = true;
+  return result;
+}
+
+ConcurrentCac::PathResult ConcurrentCac::renegotiate_path(
+    std::span<const HopSpec> hops, ConnectionId id, ConnectionId provisional,
+    Priority old_priority, double lease_expiry, PathAcceptance accept,
+    void* accept_ctx, std::span<const SpeculativeHop> speculative) {
+  PathResult result;
+  if (hops.empty()) return result;
+  RTCAC_REQUIRE(provisional != kInvalidConnection && provisional != id,
+                "renegotiate_path: provisional id must be fresh and distinct");
+
+  const ShardLockSet locks(*this, hops);
+
+  // Check-all against the *combined* old+new load: the old descriptor's
+  // reservations stay committed while every new-descriptor hop is
+  // validated, so each check is exactly the make-before-break combined
+  // check the serial renegotiate walk performs.  Stamp reuse validates
+  // the union cone [min(old_priority, new priority), P): committing the
+  // swap releases the old reservation, whose queues (>= old_priority)
+  // the verdict therefore also depends on staying unchanged.
+  result.hops.reserve(hops.size());
+  for (std::size_t h = 0; h < hops.size(); ++h) {
+    const HopSpec& hop = hops[h];
+    const SpeculativeHop* spec =
+        h < speculative.size() ? &speculative[h] : nullptr;
+    if (spec != nullptr && spec->stamp.shard == hop.shard &&
+        spec->stamp.out_port == hop.out_port &&
+        spec->stamp.priority == hop.priority &&
+        locks.stamp_current(spec->stamp, old_priority)) {
+      result.hops.push_back(spec->verdict);
+      ++result.hops_reused;
+    } else {
+      result.hops.push_back(locks.point(hop.shard).check(
+          hop.in_port, hop.out_port, hop.priority, hop.arrival));
+      ++result.hops_revalidated;
+    }
+    if (!result.hops.back().admitted) {
+      result.rejecting_hop = h;
+      return result;
+    }
+  }
+  if (accept != nullptr && !accept(result.hops, accept_ctx)) {
+    return result;
+  }
+
+  // DeltaTransaction commit with release == acquire, driven through the
+  // single path_eval core over the locked points: commit the new
+  // descriptor under `provisional`, release the old reservations, rebind
+  // `provisional` onto `id`.  The whole sequence runs inside the
+  // exclusive lock set, so no concurrent check ever observes a mixed
+  // old/new path, and the per-cell mutation order matches the serial
+  // walk's exactly.
+  const Priority priority = hops.front().priority;
+  std::vector<PathEvaluator::Hop> views;
+  std::vector<std::any> arrivals;
+  views.reserve(hops.size());
+  arrivals.reserve(hops.size());
+  for (const HopSpec& hop : hops) {
+    RTCAC_ASSERT(hop.priority == priority,
+                 "renegotiate_path: hops must share the request's priority");
+    PathEvaluator::Hop view;
+    view.cac = &locks.point(hop.shard);
+    view.in_port = hop.in_port;
+    view.out_port = hop.out_port;
+    views.push_back(view);
+    arrivals.push_back(hop.arrival);
+  }
+  PathEvaluator::commit_delta_hops(views, views, id, provisional, priority,
+                                   arrivals, lease_expiry);
   for (const std::size_t shard : locks.shards()) {
     locks.publish_epoch(shard);
   }

@@ -221,6 +221,14 @@ class ConcurrentCac {
     /// point changed since the stamp was taken.  Asserts membership.
     [[nodiscard]] bool stamp_current(const CheckStamp& stamp) const;
 
+    /// The same validation over a *widened* invalidation cone:
+    /// priorities [min(floor, stamp.priority), P) of the stamped
+    /// out-port must be unchanged.  renegotiate_path() uses this with
+    /// floor = the connection's old priority, so the stamps witness the
+    /// union of the old and the new descriptor's dependency cones.
+    [[nodiscard]] bool stamp_current(const CheckStamp& stamp,
+                                     Priority floor) const;
+
     /// Commit epilogue for a locked shard that was mutated: advance the
     /// dirty queues' version stamps, re-prime, and (publish window
     /// permitting) republish the affected snapshots.  Asserts
@@ -310,6 +318,29 @@ class ConcurrentCac {
                         PathAcceptance accept = nullptr,
                         void* accept_ctx = nullptr,
                         std::span<const SpeculativeHop> speculative = {});
+
+  /// In-place renegotiation (MODIFY) of established connection `id`
+  /// over its existing path: the same two-phase shape as admit_path(),
+  /// but the commit is the DeltaTransaction of core/path_eval.h with
+  /// release == acquire.  Every hop of `hops` carries the *new*
+  /// descriptor's arrival; checks run against the combined old+new load
+  /// (the old reservations stay committed throughout — make before
+  /// break), speculative stamps are validated over the *union* of the
+  /// old and new invalidation cones ([min(old_priority, new priority),
+  /// P) per out-port), and on acceptance the new reservations commit
+  /// under `provisional`, the old ones are released, and `provisional`
+  /// is rebound onto `id` — all inside the exclusive lock set, so no
+  /// concurrent check ever observes a mixed old/new path.  On rejection
+  /// nothing changes.  Decision-identical to the serial
+  /// ConnectionManager::renegotiate walk (distinct hops live on
+  /// distinct shards).
+  PathResult renegotiate_path(std::span<const HopSpec> hops,
+                              ConnectionId id, ConnectionId provisional,
+                              Priority old_priority,
+                              double lease_expiry = SwitchCac::kPermanentLease,
+                              PathAcceptance accept = nullptr,
+                              void* accept_ctx = nullptr,
+                              std::span<const SpeculativeHop> speculative = {});
 
   /// Immediate removal under the shard's exclusive lock.
   bool remove(std::size_t shard, ConnectionId id);
@@ -491,9 +522,14 @@ class ConcurrentCac {
                                              Priority priority);
 
   /// stamp_current over a caller-provided stamp vector (same
-  /// dependency-cone rule); used for validate-on-commit.
+  /// dependency-cone rule); used for validate-on-commit.  The floor
+  /// form widens the cone to [min(floor, stamp.priority), P) —
+  /// renegotiation must witness the old descriptor's cone too.
   [[nodiscard]] static bool stamp_matches(const Shard& s,
                                           const CheckStamp& stamp);
+  [[nodiscard]] static bool stamp_matches(const Shard& s,
+                                          const CheckStamp& stamp,
+                                          Priority floor);
 
   /// Rebuilds and publishes out-port `out_port`'s snapshot from the
   /// current (primed) state, structurally sharing every priority whose

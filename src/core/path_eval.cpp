@@ -214,7 +214,7 @@ PathEvaluator::HopEvaluation PathEvaluator::evaluate_hop(
 
 void PathEvaluator::commit_hop(const Hop& hop, ConnectionId id,
                                Priority priority, const std::any& arrival,
-                               double lease_expiry) const {
+                               double lease_expiry) {
   RTCAC_REQUIRE(hop.cac != nullptr, "PathEvaluator: hop has no policy state");
   hop.cac->add(id, hop.in_port, hop.out_port, priority, arrival, lease_expiry);
 }
@@ -316,17 +316,102 @@ void PathEvaluator::commit(std::span<const Hop> hops, ConnectionId id,
   }
 }
 
+// --- DeltaTransaction --------------------------------------------------
+
+PathEvaluator::Decision PathEvaluator::evaluate_delta(
+    const DeltaTransaction& txn) const {
+  if (txn.acquire.empty()) {
+    // Pure release: nothing to validate — dropping load cannot violate
+    // any bound already promised.
+    Decision decision;
+    decision.admitted = true;
+    return decision;
+  }
+  RTCAC_REQUIRE(txn.request != nullptr,
+                "DeltaTransaction: acquire side needs a descriptor");
+  // The ordinary walk *is* the delta check: the release side's
+  // reservations are still part of every queueing point's load, so the
+  // verdict covers the combined old+new state.
+  return evaluate(txn.acquire, *txn.request);
+}
+
+void PathEvaluator::commit_delta(const DeltaTransaction& txn,
+                                 std::span<const std::any> arrivals) const {
+  if (txn.acquire.empty()) {
+    release_path(txn.release, txn.id);
+    return;
+  }
+  RTCAC_REQUIRE(txn.request != nullptr,
+                "DeltaTransaction: acquire side needs a descriptor");
+  if (txn.release.empty()) {
+    commit(txn.acquire, txn.id, *txn.request, arrivals, txn.lease_expiry);
+    return;
+  }
+  RTCAC_REQUIRE(
+      txn.provisional != kInvalidConnection && txn.provisional != txn.id,
+      "DeltaTransaction: both-sided transaction needs a fresh provisional id");
+  commit_delta_hops(txn.release, txn.acquire, txn.id, txn.provisional,
+                    txn.request->priority, arrivals, txn.lease_expiry);
+}
+
+PathEvaluator::Decision PathEvaluator::execute(
+    const DeltaTransaction& txn) const {
+  Decision decision = evaluate_delta(txn);
+  if (decision.admitted) {
+    commit_delta(txn, decision.arrivals);
+  }
+  return decision;
+}
+
+void PathEvaluator::commit_delta_hops(std::span<const Hop> release,
+                                      std::span<const Hop> acquire,
+                                      ConnectionId id,
+                                      ConnectionId provisional,
+                                      Priority priority,
+                                      std::span<const std::any> arrivals,
+                                      double lease_expiry) {
+  RTCAC_REQUIRE(arrivals.size() == acquire.size(),
+                "DeltaTransaction: arrival/hop count mismatch");
+  // Make before break: the acquire side goes in first, under the
+  // provisional id, while the release side is still committed.
+  for (std::size_t h = 0; h < acquire.size(); ++h) {
+    commit_hop(acquire[h], provisional, priority, arrivals[h], lease_expiry);
+  }
+  finalize_delta(release, acquire, id, provisional, priority, arrivals,
+                 lease_expiry);
+}
+
+void PathEvaluator::finalize_delta(std::span<const Hop> release,
+                                   std::span<const Hop> acquire,
+                                   ConnectionId id, ConnectionId provisional,
+                                   Priority priority,
+                                   std::span<const std::any> arrivals,
+                                   double lease_expiry) {
+  // Break: the provisional reservations already protect the connection,
+  // so there is no zero-reservation window.
+  release_path(release, id);
+  rebind_hops(acquire, provisional, id, priority, arrivals, lease_expiry);
+}
+
+std::size_t PathEvaluator::release_path(std::span<const Hop> hops,
+                                        ConnectionId id) {
+  std::size_t released = 0;
+  for (const Hop& hop : hops) {
+    RTCAC_REQUIRE(hop.cac != nullptr, "PathEvaluator: hop has no policy state");
+    if (hop.cac->remove(id)) ++released;
+  }
+  return released;
+}
+
 PathEvaluator::Decision PathEvaluator::admit_delta(
     std::span<const Hop> hops, ConnectionId provisional_id,
     const QosRequest& request, double lease_expiry) const {
-  // The ordinary walk *is* the delta check: the connection's old
-  // reservations are still part of every queueing point's load, so the
-  // verdict covers the combined old+new state.
-  Decision decision = evaluate(hops, request);
-  if (decision.admitted) {
-    commit(hops, provisional_id, request, decision.arrivals, lease_expiry);
-  }
-  return decision;
+  DeltaTransaction txn;
+  txn.acquire = hops;
+  txn.id = provisional_id;
+  txn.request = &request;
+  txn.lease_expiry = lease_expiry;
+  return execute(txn);
 }
 
 void PathEvaluator::rebind(std::span<const Hop> hops,
@@ -334,14 +419,23 @@ void PathEvaluator::rebind(std::span<const Hop> hops,
                            const QosRequest& request,
                            std::span<const std::any> arrivals,
                            double lease_expiry) const {
+  rebind_hops(hops, provisional_id, final_id, request.priority, arrivals,
+              lease_expiry);
+}
+
+void PathEvaluator::rebind_hops(std::span<const Hop> hops,
+                                ConnectionId provisional_id,
+                                ConnectionId final_id, Priority priority,
+                                std::span<const std::any> arrivals,
+                                double lease_expiry) {
   RTCAC_REQUIRE(arrivals.size() == hops.size(),
                 "PathEvaluator::rebind: arrival/hop count mismatch");
   for (std::size_t h = 0; h < hops.size(); ++h) {
-    RTCAC_ASSERT(hops[h].cac != nullptr && hops[h].cac->contains(provisional_id),
-                 "PathEvaluator::rebind: provisional reservation missing");
+    RTCAC_ASSERT(
+        hops[h].cac != nullptr && hops[h].cac->contains(provisional_id),
+        "PathEvaluator::rebind: provisional reservation missing");
     hops[h].cac->remove(provisional_id);
-    hops[h].cac->add(final_id, hops[h].in_port, hops[h].out_port,
-                     request.priority, arrivals[h], lease_expiry);
+    commit_hop(hops[h], final_id, priority, arrivals[h], lease_expiry);
   }
 }
 

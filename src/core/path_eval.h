@@ -347,8 +347,10 @@ class PathEvaluator {
                                            const QosRequest& request) const;
 
   /// Commit a previously evaluated hop, reusing its prepared arrival.
-  void commit_hop(const Hop& hop, ConnectionId id, Priority priority,
-                  const std::any& arrival, double lease_expiry) const;
+  /// Static (needs no Params): the concurrency layer drives the same
+  /// commit over its locked shard points.
+  static void commit_hop(const Hop& hop, ConnectionId id, Priority priority,
+                         const std::any& arrival, double lease_expiry);
 
   /// The deadline split (Section 4.3): does the promised bound under the
   /// configured GuaranteeMode meet the requested deadline?  The only
@@ -383,37 +385,124 @@ class PathEvaluator {
               const QosRequest& request, std::span<const std::any> arrivals,
               double lease_expiry) const;
 
-  // --- Delta admission (make-before-break rerouting) -------------------
+  // --- DeltaTransaction: the one reservation-mutation primitive --------
   //
-  // A live connection being rehomed still holds its old reservations
-  // while the replacement route is judged, so the walk validates the
+  // Every way reservations change is one transaction: the hops to
+  // *release* (the connection's old reservations — held until commit, so
+  // make-before-break holds by construction) and the hops to *acquire*
+  // under the (possibly new) descriptor.  The familiar operations are
+  // instances:
+  //
+  //   fresh admission   release = {},        acquire = route
+  //   teardown          release = route,     acquire = {}
+  //   reroute (rehome)  release = old route, acquire = new route
+  //   renegotiate       release = route,     acquire = same route,
+  //                                          new QosRequest
+  //
+  // Validation is the ordinary walk over the acquire side while the
+  // release side stays committed, so the verdict always covers the
   // *combined* old+new load — conservative by construction: there is
   // never a window with zero reservation, and any double-booking on
-  // queueing points the two routes share is exactly what the admission
-  // check explicitly re-validated.  After the old path is released the
-  // true load only shrinks, so every bound promised here still holds.
-  // See docs/FAULT_TOLERANCE.md, "Survivability".
+  // queueing points the two sides share is exactly what the admission
+  // check re-validated.  After the release side is dropped the true
+  // load only shrinks, so every bound promised here still holds.  See
+  // docs/ARCHITECTURE.md §2 and docs/FAULT_TOLERANCE.md.
+  //
+  // The admission-walk lint rule keeps the release/acquire interleaving
+  // confined to this layer: a function elsewhere in src/ that both
+  // releases and acquires reservations is a build failure.
 
-  /// Evaluates the replacement route against the current state and, on
-  /// acceptance, commits it under `provisional_id` (a fresh id, so shared
-  /// queueing points can hold old and new reservations side by side).
-  /// Rejection commits nothing.
+  struct DeltaTransaction {
+    /// Hops currently holding reservations of `id` (may be empty).
+    std::span<const Hop> release;
+    /// Hops to reserve for `*request` (empty for a pure teardown).
+    std::span<const Hop> acquire;
+    /// The connection's stable id: what the release side holds and what
+    /// the acquire side ends up keyed under.
+    ConnectionId id = kInvalidConnection;
+    /// Fresh network-unique id for the make-before-break window; read
+    /// only when both sides are non-empty (queueing points the sides
+    /// share then hold old and new reservations side by side until the
+    /// swap).
+    ConnectionId provisional = kInvalidConnection;
+    /// Acquire-side descriptor; must be non-null iff acquire is
+    /// non-empty.
+    const QosRequest* request = nullptr;
+    double lease_expiry = 0;
+  };
+
+  /// Validates the transaction: the full walk over the acquire side
+  /// against the current state.  The release side's reservations are
+  /// still part of every queueing point's load, so the verdict covers
+  /// the combined old+new state.  A pure release trivially admits.
+  /// Commits nothing.
+  [[nodiscard]] Decision evaluate_delta(const DeltaTransaction& txn) const;
+
+  /// Commits an accepted transaction, reusing the evaluated arrivals.
+  /// Infallible — no admission decision is re-opened:
+  ///   * acquire only: commit the hops under `id` (fresh admission);
+  ///   * release only: release `id` at every hop (teardown);
+  ///   * both sides:   commit the acquire side under `provisional`,
+  ///                   release `id`, rebind `provisional` onto `id`
+  ///                   (reroute / renegotiate).
+  void commit_delta(const DeltaTransaction& txn,
+                    std::span<const std::any> arrivals) const;
+
+  /// evaluate_delta + commit_delta on acceptance.
+  [[nodiscard]] Decision execute(const DeltaTransaction& txn) const;
+
+  /// Static commit core of a both-sided transaction over explicit hop
+  /// views — needs no Params, so ConcurrentCac::renegotiate_path drives
+  /// it over its locked shard points: commit the acquire side under
+  /// `provisional`, then finalize_delta.
+  static void commit_delta_hops(std::span<const Hop> release,
+                                std::span<const Hop> acquire, ConnectionId id,
+                                ConnectionId provisional, Priority priority,
+                                std::span<const std::any> arrivals,
+                                double lease_expiry);
+
+  /// The break-then-rebind epilogue of a both-sided transaction, for
+  /// drivers whose acquire-side commits already happened hop by hop
+  /// under `provisional` (the signaling MODIFY walk): releases `id`
+  /// from the release hops, then rebinds `provisional` onto `id` over
+  /// the acquire hops.
+  static void finalize_delta(std::span<const Hop> release,
+                             std::span<const Hop> acquire, ConnectionId id,
+                             ConnectionId provisional, Priority priority,
+                             std::span<const std::any> arrivals,
+                             double lease_expiry);
+
+  /// Release `id` at every hop (tolerant of hops that no longer hold
+  /// it); returns how many reservations were actually released.
+  static std::size_t release_path(std::span<const Hop> hops, ConnectionId id);
+
+  /// A transaction with an empty release side, pre-packaged for the
+  /// reroute window: evaluates the replacement route against the
+  /// current (combined) state and, on acceptance, commits it under
+  /// `provisional_id`.  Rejection commits nothing.
   [[nodiscard]] Decision admit_delta(std::span<const Hop> hops,
                                      ConnectionId provisional_id,
                                      const QosRequest& request,
                                      double lease_expiry) const;
 
-  /// Final step of make-before-break, after the old path is released:
-  /// re-keys the reservations committed under `provisional_id` onto the
-  /// connection's stable `final_id` at every hop.  Deterministic and
-  /// infallible — each hop swap is remove-then-add of an arrival that
-  /// was already committed, so no admission decision is re-opened.
+  /// The rebind half of finalize_delta, kept callable on its own: after
+  /// the old path is released, re-keys the reservations committed under
+  /// `provisional_id` onto the connection's stable `final_id` at every
+  /// hop.  Deterministic and infallible — each hop swap is
+  /// remove-then-add of an arrival that was already committed, so no
+  /// admission decision is re-opened.
   void rebind(std::span<const Hop> hops, ConnectionId provisional_id,
               ConnectionId final_id, const QosRequest& request,
               std::span<const std::any> arrivals, double lease_expiry) const;
 
  private:
   [[nodiscard]] double promised(double e2e_bound, double e2e_advertised) const;
+
+  static void rebind_hops(std::span<const Hop> hops,
+                          ConnectionId provisional_id, ConnectionId final_id,
+                          Priority priority,
+                          std::span<const std::any> arrivals,
+                          double lease_expiry);
 
   Params params_;
 };

@@ -338,6 +338,115 @@ AdmissionEngine::SetupResult AdmissionEngine::check(const QosRequest& request,
   return result;
 }
 
+AdmissionEngine::SetupResult AdmissionEngine::renegotiate(
+    ConnectionId id, const QosRequest& new_request, double lease_expiry) {
+  SetupResult result;
+  new_request.traffic.validate();
+  if (!evaluator_.priority_valid(new_request.priority)) {
+    apply_reject(result, PathEvaluator::priority_rejection(), {});
+    return result;
+  }
+
+  QosRequest old_request;
+  Route route;
+  {
+    const MutexLock lock(records_mutex_);
+    const auto it = records_.find(id);
+    if (it == records_.end()) {
+      RejectReason reject;
+      reject.code = RejectCode::kNoRoute;
+      reject.detail = "renegotiate: unknown connection id";
+      apply_reject(result, std::move(reject), {});
+      return result;
+    }
+    old_request = it->second.request;
+    route = it->second.route;
+  }
+
+  // The new descriptor is planned over the connection's *existing*
+  // route; every speculative check runs against the live state, which
+  // still carries the old reservations — exactly the combined-load
+  // (make-before-break) check the serial renegotiate walk performs.
+  const PathPlan plan = plan_path(new_request, route);
+  std::vector<HopVerdict> speculative;
+  std::vector<ConcurrentCac::CheckStamp> stamps;
+  const std::size_t rejecting =
+      speculative_checks(plan.specs, speculative, &stamps);
+  if (rejecting != kNoHop) {
+    apply_reject(result,
+                 PathEvaluator::hop_rejection(
+                     rejecting, topology_.node(plan.hops[rejecting].node).name,
+                     speculative[rejecting].detail),
+                 plan.hops);
+    return result;
+  }
+
+  if (plan.specs.empty()) {
+    RejectReason deadline =
+        evaluator_.deadline_rejection(0, 0.0, 0.0, new_request.deadline);
+    if (deadline.rejected()) {
+      apply_reject(result, std::move(deadline), plan.hops);
+      return result;
+    }
+    result.accepted = true;
+    result.id = id;
+    const MutexLock lock(records_mutex_);
+    const auto it = records_.find(id);
+    if (it != records_.end()) it->second.request = new_request;
+    return result;
+  }
+
+  // Validate-on-commit with the *union* cone: the provisional id is
+  // burned even when the locked validation rejects (ids are the one
+  // permitted cross-engine difference).
+  const ConnectionId provisional =
+      next_id_.fetch_add(1, std::memory_order_relaxed);
+  DeadlineCtx ctx{&evaluator_, plan.e2e_advertised, new_request.deadline};
+  std::vector<ConcurrentCac::SpeculativeHop> witnesses(plan.specs.size());
+  for (std::size_t h = 0; h < plan.specs.size(); ++h) {
+    witnesses[h] =
+        ConcurrentCac::SpeculativeHop{speculative[h], std::move(stamps[h])};
+  }
+  const ConcurrentCac::PathResult path = cac_.renegotiate_path(
+      plan.specs, id, provisional, old_request.priority, lease_expiry,
+      &deadline_accept, &ctx, witnesses);
+
+  if (!path.admitted) {
+    if (path.rejecting_hop != kNoHop) {
+      apply_reject(
+          result,
+          PathEvaluator::hop_rejection(
+              path.rejecting_hop,
+              topology_.node(plan.hops[path.rejecting_hop].node).name,
+              path.hops[path.rejecting_hop].detail),
+          plan.hops);
+    } else {
+      double computed = 0;
+      for (const HopVerdict& hop : path.hops) computed += hop.bound;
+      apply_reject(result,
+                   evaluator_.deadline_rejection(plan.hops.size(), computed,
+                                                 plan.e2e_advertised,
+                                                 new_request.deadline),
+                   plan.hops);
+    }
+    return result;
+  }
+
+  for (const HopVerdict& hop : path.hops) {
+    result.hop_bounds.push_back(hop.bound);
+    result.e2e_bound_at_setup += hop.bound;
+  }
+  result.e2e_advertised = plan.e2e_advertised;
+  result.accepted = true;
+  result.id = id;
+  {
+    const MutexLock lock(records_mutex_);
+    const auto it = records_.find(id);
+    if (it != records_.end()) it->second.request = new_request;
+  }
+  return result;
+}
+
 bool AdmissionEngine::teardown(ConnectionId id) {
   ConnectionRecord record;
   {
@@ -443,6 +552,15 @@ AdmissionEngine::OpOutcome AdmissionEngine::run_trace_op(
       outcome.accepted = true;
       break;
     }
+    case TraceOp::Kind::kModify: {
+      const ConnectionId id = resolve_trace_id(op, ids_by_op);
+      if (id == kInvalidConnection) break;  // rejected setup: no-op
+      SetupResult r = renegotiate(id, op.request);
+      outcome.accepted = r.accepted;
+      outcome.reason = std::move(r.reason);
+      outcome.reject = std::move(r.reject);
+      break;
+    }
   }
   return outcome;
 }
@@ -476,6 +594,7 @@ std::vector<AdmissionEngine::OpOutcome> AdmissionEngine::replay(
       case TraceOp::Kind::kSetup:
       case TraceOp::Kind::kTeardownDeferred:
       case TraceOp::Kind::kTeardown:
+      case TraceOp::Kind::kModify:
         is_write[i] = 1;
         if (op.target != TraceOp::kNoTarget) route = &trace[op.target].route;
         break;

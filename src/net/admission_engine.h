@@ -130,6 +130,20 @@ class AdmissionEngine {
   [[nodiscard]] SetupResult check(const QosRequest& request,
                                   const Route& route) const;
 
+  /// In-place renegotiation (MODIFY) of established connection `id` to
+  /// `new_request` over its current route: speculative checks of the
+  /// new descriptor against the combined old+new load (the old
+  /// reservations stay committed), then
+  /// ConcurrentCac::renegotiate_path validates the stamps over the
+  /// union of the old and new invalidation cones and performs the
+  /// DeltaTransaction swap under the exclusive lock set.  Decision
+  /// semantics match ConnectionManager::renegotiate; an unknown id is
+  /// reported as a rejection (not a throw — records may be retired by
+  /// concurrent teardowns).  On success the record keeps its id and
+  /// carries the new descriptor.
+  SetupResult renegotiate(ConnectionId id, const QosRequest& new_request,
+                          double lease_expiry = SwitchCac::kPermanentLease);
+
   /// Immediate release of every hop reservation.  False for unknown ids.
   bool teardown(ConnectionId id);
 
@@ -187,17 +201,19 @@ class AdmissionEngine {
       kTeardown,          ///< immediate release of an earlier setup
       kTeardownDeferred,  ///< retire record, queue removals
       kDrain,             ///< apply all deferred removals
+      kModify,            ///< in-place renegotiation of an earlier setup
     };
     static constexpr std::size_t kNoTarget = static_cast<std::size_t>(-1);
 
     Kind kind = Kind::kCheck;
-    QosRequest request;  ///< kCheck/kSetup
-    /// kCheck/kSetup: the route to admit.  kTeardown/kTeardownDeferred
-    /// with an explicit `id`: the route of that established connection
-    /// (needed to schedule the op onto its shards).
+    QosRequest request;  ///< kCheck/kSetup; kModify: the NEW descriptor
+    /// kCheck/kSetup: the route to admit.  kTeardown/kTeardownDeferred/
+    /// kModify with an explicit `id`: the route of that established
+    /// connection (needed to schedule the op onto its shards).
     Route route;
-    /// kTeardown/kTeardownDeferred: index of the kSetup op whose
-    /// connection to release (its route is taken from that op).
+    /// kTeardown/kTeardownDeferred/kModify: index of the kSetup op
+    /// whose connection to release or renegotiate (its route is taken
+    /// from that op).
     std::size_t target = kNoTarget;
     /// Alternative to `target`: an id established before the trace ran.
     ConnectionId id = kInvalidConnection;

@@ -168,23 +168,26 @@ ConnectionManager::SetupResult ConnectionManager::setup(
   const std::vector<HopRef> hops = queueing_points(route);
   const std::vector<PathEvaluator::Hop> views = eval_hops(hops);
 
-  // The shared walk evaluates every hop against the current state and
-  // only then commits.  Decision-identical to the historical interleaved
+  // Fresh admission is the acquire-only DeltaTransaction: the shared
+  // walk evaluates every hop against the current state and only then
+  // commits.  Decision-identical to the historical interleaved
   // check/add walk: the hops reserve on distinct switches, so no hop's
   // check could ever see another hop's commit of the same connection.
-  PathEvaluator::Decision decision = evaluator_.evaluate(views, request);
+  PathEvaluator::DeltaTransaction txn;
+  txn.acquire = views;
+  txn.id = next_id_;
+  txn.request = &request;
+  txn.lease_expiry = SwitchCac::kPermanentLease;
+  const PathEvaluator::Decision decision = evaluator_.execute(txn);
   apply_decision(result, decision, hops);
   if (!result.accepted) {
     RTCAC_DEBUG << "setup failed: " << result.reason;
     return result;
   }
 
-  const ConnectionId id = next_id_;
-  evaluator_.commit(views, id, request, decision.arrivals,
-                    SwitchCac::kPermanentLease);
-  result.id = id;
+  result.id = next_id_;
   next_id_++;
-  records_.emplace(id, ConnectionRecord{request, route, hops});
+  records_.emplace(result.id, ConnectionRecord{request, route, hops});
   return result;
 }
 
@@ -223,32 +226,87 @@ ConnectionManager::SetupResult ConnectionManager::rehome(
   SetupResult result;
   const std::vector<HopRef> new_hops = queueing_points(new_route);
   const std::vector<PathEvaluator::Hop> new_views = eval_hops(new_hops);
+  const std::vector<PathEvaluator::Hop> old_views = eval_hops(it->second.hops);
 
-  // Make: admit the replacement while the old path is still reserved.
-  // The provisional id keeps shared queueing points collision-free while
-  // both incarnations coexist.
+  // The both-sided DeltaTransaction: admit the replacement while the old
+  // path is still reserved, release the old path, rebind the new
+  // reservations onto the stable id.  The provisional id keeps shared
+  // queueing points collision-free while both incarnations coexist.
   const ConnectionId provisional = next_id_++;
-  const PathEvaluator::Decision decision = evaluator_.admit_delta(
-      new_views, provisional, request, SwitchCac::kPermanentLease);
+  PathEvaluator::DeltaTransaction txn;
+  txn.release = old_views;
+  txn.acquire = new_views;
+  txn.id = id;
+  txn.provisional = provisional;
+  txn.request = &request;
+  txn.lease_expiry = SwitchCac::kPermanentLease;
+  const PathEvaluator::Decision decision = evaluator_.execute(txn);
   apply_decision(result, decision, new_hops);
   if (!result.accepted) {
     RTCAC_DEBUG << "rehome " << id << " failed: " << result.reason;
     return result;
   }
 
-  // Break: release the old path — the provisional reservations already
-  // protect the connection, so there is no zero-reservation window.
-  for (const HopRef& hop : it->second.hops) {
-    policy_point(hop.node).remove(id);
-  }
   ++teardowns_[TeardownReason::kRerouted];
-
-  // Rebind the new reservations onto the stable id and swing the record.
-  evaluator_.rebind(new_views, provisional, id, request, decision.arrivals,
-                    SwitchCac::kPermanentLease);
   it->second.route = new_route;
   it->second.hops = new_hops;
   result.id = id;
+  return result;
+}
+
+ConnectionManager::SetupResult ConnectionManager::renegotiate(
+    ConnectionId id, const QosRequest& new_request) {
+  const auto it = records_.find(id);
+  RTCAC_REQUIRE(it != records_.end(),
+                "ConnectionManager: renegotiate of unknown connection");
+  new_request.traffic.validate();
+
+  SetupResult result;
+  const std::vector<PathEvaluator::Hop> views = eval_hops(it->second.hops);
+
+  // Renegotiation is the both-sided DeltaTransaction with release ==
+  // acquire: the new descriptor is validated over the same route while
+  // the old reservations are still part of every queueing point's load,
+  // so the verdict covers the combined old+new state and the old
+  // descriptor stays committed until acceptance.
+  const ConnectionId provisional = next_id_++;
+  PathEvaluator::DeltaTransaction txn;
+  txn.release = views;
+  txn.acquire = views;
+  txn.id = id;
+  txn.provisional = provisional;
+  txn.request = &new_request;
+  txn.lease_expiry = SwitchCac::kPermanentLease;
+  const PathEvaluator::Decision decision = evaluator_.execute(txn);
+  apply_decision(result, decision, it->second.hops);
+  if (!result.accepted) {
+    RTCAC_DEBUG << "renegotiate " << id << " failed: " << result.reason;
+    return result;
+  }
+
+  it->second.request = new_request;
+  result.id = id;
+  return result;
+}
+
+ConnectionManager::SetupResult ConnectionManager::check_renegotiate(
+    ConnectionId id, const QosRequest& new_request) const {
+  const auto it = records_.find(id);
+  RTCAC_REQUIRE(it != records_.end(),
+                "ConnectionManager: check_renegotiate of unknown connection");
+  new_request.traffic.validate();
+  // The old reservations are still part of every switch's load, so this
+  // plain check over the current hops is the release-then-readmit-
+  // under-combined-load oracle.
+  SetupResult result;
+  if (!evaluator_.priority_valid(new_request.priority)) {
+    result.reject = PathEvaluator::priority_rejection();
+    result.reason = result.reject.detail;
+    return result;
+  }
+  const std::vector<PathEvaluator::Hop> views = eval_hops(it->second.hops);
+  apply_decision(result, evaluator_.evaluate(views, new_request),
+                 it->second.hops);
   return result;
 }
 
@@ -268,6 +326,28 @@ void ConnectionManager::adopt(ConnectionId id, ConnectionRecord record) {
   records_.emplace(id, std::move(record));
 }
 
+void ConnectionManager::complete_modify(ConnectionId id,
+                                        ConnectionId provisional,
+                                        const QosRequest& new_request,
+                                        std::span<const std::any> arrivals) {
+  const auto it = records_.find(id);
+  RTCAC_REQUIRE(it != records_.end(),
+                "ConnectionManager: complete_modify of unknown connection");
+  const std::vector<PathEvaluator::Hop> views = eval_hops(it->second.hops);
+  // The acquire side was already committed hop by hop under the
+  // provisional id by the MODIFY walk; run the DeltaTransaction epilogue
+  // (release old, rebind provisional onto the stable id).
+  PathEvaluator::finalize_delta(views, views, id, provisional,
+                                new_request.priority, arrivals,
+                                SwitchCac::kPermanentLease);
+  for (const HopRef& hop : it->second.hops) {
+    // MODIFIED confirmed the swap end to end; the rebound reservations
+    // stop being provisional, exactly as CONNECTED does for a setup.
+    policy_point(hop.node).make_permanent(id);
+  }
+  it->second.request = new_request;
+}
+
 bool ConnectionManager::teardown(ConnectionId id) {
   return teardown(id, TeardownReason::kLocal);
 }
@@ -275,9 +355,12 @@ bool ConnectionManager::teardown(ConnectionId id) {
 bool ConnectionManager::teardown(ConnectionId id, TeardownReason reason) {
   const auto it = records_.find(id);
   if (it == records_.end()) return false;
-  for (const HopRef& hop : it->second.hops) {
-    policy_point(hop.node).remove(id);
-  }
+  // Teardown is the release-only DeltaTransaction.
+  const std::vector<PathEvaluator::Hop> views = eval_hops(it->second.hops);
+  PathEvaluator::DeltaTransaction txn;
+  txn.release = views;
+  txn.id = id;
+  evaluator_.commit_delta(txn, {});
   records_.erase(it);
   ++teardowns_[reason];
   return true;

@@ -129,6 +129,24 @@ class ConnectionManager {
   /// reserved — and the result carries the canonical RejectReason.
   SetupResult rehome(ConnectionId id, const Route& new_route);
 
+  /// In-place renegotiation (MODIFY): swap an established connection's
+  /// descriptor for `new_request` over its existing route, re-validating
+  /// the paper's Alg. 3.1 walk against the combined old+new load (the
+  /// old reservations stay committed until the full-path verdict — the
+  /// same make-before-break DeltaTransaction that drives rehome, with
+  /// release == acquire).  On acceptance the record's request is
+  /// updated; on rejection nothing changes and the old descriptor stays
+  /// reserved.  Throws (RTCAC_REQUIRE) on an unknown id.
+  SetupResult renegotiate(ConnectionId id, const QosRequest& new_request);
+
+  /// The decision renegotiate() would make right now, committing
+  /// nothing: the new descriptor checked over the connection's current
+  /// hops while the old reservations are still held — exactly the
+  /// release-then-readmit-under-combined-load oracle.  Throws on an
+  /// unknown id.
+  [[nodiscard]] SetupResult check_renegotiate(
+      ConnectionId id, const QosRequest& new_request) const;
+
   /// Releases a connection, restoring every switch's state.  Returns
   /// false for an unknown id.  The reason-tagged variant feeds the
   /// teardowns() diagnostics counters (the plain form counts as kLocal).
@@ -217,6 +235,17 @@ class ConnectionManager {
   /// reservation for `id`, then makes those reservations permanent — the
   /// lease refresh the CONNECTED confirmation implies.
   void adopt(ConnectionId id, ConnectionRecord record);
+
+  /// Signaling support: completes a distributed MODIFY whose new
+  /// reservations were already committed hop by hop under `provisional`
+  /// (the kModify walk).  Runs the DeltaTransaction epilogue — release
+  /// the old descriptor, rebind `provisional` onto the stable id — then
+  /// makes the reservations permanent and swings the record's request.
+  /// `arrivals` are the per-hop prepared arrivals of the new descriptor,
+  /// in record-hop order.  Throws on an unknown id.
+  void complete_modify(ConnectionId id, ConnectionId provisional,
+                       const QosRequest& new_request,
+                       std::span<const std::any> arrivals);
 
   /// PathEvaluator views of a route's queueing points (hop names point
   /// into the topology and stay valid for its lifetime).

@@ -19,6 +19,12 @@ const char* to_string(SignalingMessageType type) noexcept {
       return "CONNECTED";
     case SignalingMessageType::kRelease:
       return "RELEASE";
+    case SignalingMessageType::kModify:
+      return "MODIFY";
+    case SignalingMessageType::kModifyReject:
+      return "MODIFY-REJECT";
+    case SignalingMessageType::kModified:
+      return "MODIFIED";
   }
   return "?";
 }
@@ -132,6 +138,15 @@ void SignalingEngine::deliver(const SignalingMessage& m) {
       break;
     case SignalingMessageType::kRelease:
       process_release(m);
+      break;
+    case SignalingMessageType::kModify:
+      process_modify(m);
+      break;
+    case SignalingMessageType::kModifyReject:
+      process_modify_reject(m);
+      break;
+    case SignalingMessageType::kModified:
+      process_modified(m);
       break;
   }
 }
@@ -404,6 +419,311 @@ void SignalingEngine::on_setup_timer(ConnectionId id, std::uint32_t attempt) {
   ++counters_.retransmits;
   send_setup(id, flight);
   arm_setup_timer(id, flight);
+}
+
+// --- in-place renegotiation (MODIFY/MODIFY-REJECT/MODIFIED) -----------------
+
+bool SignalingEngine::modify(ConnectionId id, const QosRequest& new_request) {
+  // Validate before allocating the provisional id, exactly as initiate()
+  // validates before allocating the connection id.
+  new_request.traffic.validate();
+  RTCAC_REQUIRE(new_request.priority < manager_.params().priorities,
+                "SignalingEngine: modify priority out of range");
+  const auto& connections = manager_.connections();
+  const auto it = connections.find(id);
+  if (it == connections.end() || modifying_.contains(id) ||
+      releasing_.contains(id)) {
+    return false;
+  }
+  const std::vector<NodeId> nodes =
+      manager_.topology().route_nodes(it->second.route);
+
+  ModifyFlight flight;
+  flight.request = new_request;
+  flight.provisional = manager_.allocate_id();
+  flight.route = it->second.route;
+  flight.hops = it->second.hops;
+  flight.eval_hops = manager_.eval_hops(flight.hops);
+  flight.hop_states.assign(flight.hops.size(), HopState{});
+  flight.arrivals.assign(flight.hops.size(), std::any{});
+  flight.rto = timers_.setup_rto;
+  flight.source = nodes.front();
+  flight.destination = nodes.back();
+
+  const auto [mit, inserted] = modifying_.emplace(id, std::move(flight));
+  RTCAC_ASSERT(inserted, "SignalingEngine: duplicate in-flight modify");
+  ++counters_.modifies_sent;
+  send_modify(id, mit->second);
+  arm_modify_timer(id, mit->second);
+  return true;
+}
+
+void SignalingEngine::send_modify(ConnectionId id, const ModifyFlight& flight) {
+  SignalingMessage m;
+  m.type = SignalingMessageType::kModify;
+  m.id = id;
+  m.at = flight.source;
+  m.hop_index = 0;
+  m.attempt = flight.attempt;
+  if (!flight.route.empty()) m.via = flight.route.front();
+  send(std::move(m), timers_.hop_latency);
+}
+
+void SignalingEngine::arm_modify_timer(ConnectionId id,
+                                       const ModifyFlight& flight) {
+  events_.schedule(now() + flight.rto, EventPhase::kTimer,
+                   [this, id, attempt = flight.attempt] {
+                     on_modify_timer(id, attempt);
+                   });
+}
+
+void SignalingEngine::process_modify(const SignalingMessage& m) {
+  const auto it = modifying_.find(m.id);
+  if (it == modifying_.end() || m.attempt != it->second.attempt) {
+    ++counters_.stale_dropped;  // finished or superseded modify
+    return;
+  }
+  ModifyFlight& flight = it->second;
+
+  if (m.hop_index >= flight.hops.size()) {
+    // MODIFY reached the destination: the per-hop verdicts covered the
+    // combined old+new load; re-run the shared deadline split over the
+    // new descriptor's bounds before confirming the swap.
+    double bound_sum = 0;
+    double advertised_sum = 0;
+    for (const HopState& hs : flight.hop_states) {
+      bound_sum += hs.bound;
+      advertised_sum += hs.advertised;
+    }
+    RejectReason deadline = manager_.evaluator().deadline_rejection(
+        flight.hops.size(), bound_sum, advertised_sum,
+        flight.request.deadline);
+    if (deadline.rejected()) {
+      SignalingMessage reject;
+      reject.type = SignalingMessageType::kModifyReject;
+      reject.id = m.id;
+      reject.at = flight.destination;
+      reject.hop_index = flight.hops.size();
+      reject.attempt = m.attempt;
+      reject.origin = flight.destination;
+      reject.reject = std::move(deadline);
+      if (!flight.route.empty()) reject.via = flight.route.back();
+      send(std::move(reject), timers_.hop_latency);
+      return;
+    }
+    SignalingMessage modified;
+    modified.type = SignalingMessageType::kModified;
+    modified.id = m.id;
+    modified.at = flight.source;
+    modified.hop_index = flight.hops.size();
+    modified.attempt = m.attempt;
+    if (!flight.route.empty()) modified.via = flight.route.front();
+    send(std::move(modified),
+         timers_.hop_latency * static_cast<Tick>(flight.route.size()));
+    return;
+  }
+
+  const HopRef& hop = flight.hops[m.hop_index];
+  PolicyCac& cac = manager_.policy_point(hop.node);
+  HopState& state = flight.hop_states[m.hop_index];
+  const double lease_until = static_cast<double>(now() + timers_.lease);
+
+  if (cac.contains(flight.provisional)) {
+    // Duplicate or retransmitted MODIFY: renew instead of
+    // double-committing, exactly as SETUP does.
+    cac.renew_lease(flight.provisional, lease_until);
+    state.committed = true;
+  } else {
+    // The shared per-hop trial of the NEW descriptor.  The connection's
+    // old reservation is still part of this point's load, so the verdict
+    // covers the combined old+new state (the DeltaTransaction's
+    // conservative make-before-break check).
+    const PathEvaluator& evaluator = manager_.evaluator();
+    PathEvaluator::HopEvaluation eval =
+        evaluator.evaluate_hop(flight.eval_hops, m.hop_index, flight.request);
+    if (!eval.verdict.admitted) {
+      SignalingMessage reject;
+      reject.type = SignalingMessageType::kModifyReject;
+      reject.id = m.id;
+      reject.at = hop.node;
+      reject.hop_index = m.hop_index;
+      reject.attempt = m.attempt;
+      reject.origin = hop.node;
+      reject.reject = PathEvaluator::hop_rejection(
+          m.hop_index, manager_.topology().node(hop.node).name,
+          eval.verdict.detail);
+      if (m.hop_index > 0) {
+        reject.via = flight.hops[m.hop_index - 1].link;
+      } else if (!flight.route.empty()) {
+        reject.via = flight.route.front();
+      }
+      send(std::move(reject), timers_.hop_latency);
+      return;
+    }
+    evaluator.commit_hop(flight.eval_hops[m.hop_index], flight.provisional,
+                         flight.request.priority, eval.arrival, lease_until);
+    state.committed = true;
+    state.bound = eval.verdict.bound;
+    state.advertised = eval.verdict.advertised;
+    flight.arrivals[m.hop_index] = std::move(eval.arrival);
+  }
+
+  SignalingMessage forward = m;
+  forward.hop_index = m.hop_index + 1;
+  forward.at = manager_.topology().link(hop.link).to;
+  forward.via = hop.link;
+  send(std::move(forward), timers_.hop_latency);
+}
+
+void SignalingEngine::process_modify_reject(const SignalingMessage& m) {
+  const auto it = modifying_.find(m.id);
+  if (it == modifying_.end() || m.attempt != it->second.attempt) {
+    ++counters_.stale_dropped;
+    return;
+  }
+  ModifyFlight& flight = it->second;
+  if (m.hop_index > 0) {
+    // Release the most recent provisional commit and keep walking
+    // upstream.  The old descriptor's reservation is untouched.
+    const std::size_t k = m.hop_index - 1;
+    HopState& state = flight.hop_states[k];
+    if (state.committed) {
+      manager_.policy_point(flight.hops[k].node).remove(flight.provisional);
+      state = HopState{};
+    }
+    SignalingMessage upstream = m;
+    upstream.hop_index = k;
+    upstream.at = flight.hops[k].node;
+    if (k > 0) {
+      upstream.via = flight.hops[k - 1].link;
+    } else if (!flight.route.empty()) {
+      upstream.via = flight.route.front();
+    }
+    send(std::move(upstream), timers_.hop_latency);
+    return;
+  }
+  SignalingOutcome outcome;
+  outcome.connected = false;
+  outcome.reject = m.reject;
+  if (outcome.reject.code == RejectCode::kNone) {
+    outcome.reject.code = RejectCode::kAdmission;
+  }
+  outcome.reason = m.reject.detail.empty() ? "rejected" : m.reject.detail;
+  outcome.rejecting_node = m.origin.has_value() ? *m.origin : m.at;
+  const RejectCode category = outcome.reject.code;
+  process_modify_failure(m.id, flight, std::move(outcome), category);
+}
+
+void SignalingEngine::process_modified(const SignalingMessage& m) {
+  const auto it = modifying_.find(m.id);
+  if (it == modifying_.end() || m.attempt != it->second.attempt) {
+    ++counters_.stale_dropped;
+    return;
+  }
+  ModifyFlight& flight = it->second;
+  // Swap only if the provisional chain is intact end to end; a hole
+  // (crossing stale reject, aggressive reclaim) means this confirmation
+  // is unsafe — the retransmission timer drives another round.
+  for (std::size_t k = 0; k < flight.hops.size(); ++k) {
+    if (!flight.hop_states[k].committed ||
+        !manager_.policy_point(flight.hops[k].node)
+             .contains(flight.provisional)) {
+      ++counters_.stale_dropped;
+      return;
+    }
+  }
+  // The base connection must still exist on the same route: a crossing
+  // RELEASE (or a rehome) invalidates the swap — roll the provisional
+  // commits back instead of leaving mixed reservations.
+  const auto& connections = manager_.connections();
+  const auto conn = connections.find(m.id);
+  const bool route_intact =
+      conn != connections.end() && conn->second.route == flight.route;
+  if (!route_intact) {
+    SignalingOutcome outcome;
+    outcome.connected = false;
+    outcome.reject.code = RejectCode::kAdmission;
+    outcome.reject.detail = "connection changed during modify";
+    outcome.reason = outcome.reject.detail;
+    process_modify_failure(m.id, flight, std::move(outcome),
+                           RejectCode::kAdmission);
+    return;
+  }
+  SignalingOutcome outcome;
+  outcome.connected = true;
+  for (const HopState& hs : flight.hop_states) {
+    outcome.e2e_bound_at_setup += hs.bound;
+    outcome.e2e_advertised += hs.advertised;
+  }
+  // The atomic swap: release the old descriptor, rebind the provisional
+  // reservations onto the stable id (the DeltaTransaction epilogue).
+  manager_.complete_modify(m.id, flight.provisional, flight.request,
+                           flight.arrivals);
+  ++counters_.modifies_completed;
+  modify_outcomes_.insert_or_assign(m.id, std::move(outcome));
+  modifying_.erase(it);
+}
+
+void SignalingEngine::process_modify_failure(ConnectionId id,
+                                             ModifyFlight& flight,
+                                             SignalingOutcome outcome,
+                                             RejectCode category) {
+  ++counters_.modify_rejects_by_reason[category];
+  const bool residue =
+      std::any_of(flight.hop_states.begin(), flight.hop_states.end(),
+                  [](const HopState& hs) { return hs.committed; });
+  if (residue && !releasing_.contains(flight.provisional)) {
+    // Roll back the provisional commits with a RELEASE walk keyed by the
+    // provisional id; the old descriptor's reservations are untouched.
+    // If the walk is itself lost, the provisional leases are the
+    // backstop — either way no connection ends with mixed descriptors.
+    releasing_.emplace(flight.provisional, flight.hops);
+    ++counters_.releases_sent;
+    SignalingMessage release;
+    release.type = SignalingMessageType::kRelease;
+    release.id = flight.provisional;
+    release.at = flight.hops.front().node;
+    release.hop_index = 0;
+    release.attempt = flight.attempt;
+    if (!flight.route.empty()) release.via = flight.route.front();
+    send(std::move(release), timers_.hop_latency);
+  }
+  modify_outcomes_.insert_or_assign(id, std::move(outcome));
+  modifying_.erase(id);
+}
+
+void SignalingEngine::on_modify_timer(ConnectionId id, std::uint32_t attempt) {
+  const auto it = modifying_.find(id);
+  if (it == modifying_.end() || it->second.attempt != attempt) {
+    return;  // modify resolved or superseded; timer is stale
+  }
+  ModifyFlight& flight = it->second;
+  if (flight.retries >= timers_.max_retries) {
+    ++counters_.timeouts;
+    SignalingOutcome outcome;
+    outcome.connected = false;
+    std::ostringstream os;
+    os << "modify timed out after " << flight.retries << " retransmissions";
+    outcome.reason = os.str();
+    outcome.reject.code = RejectCode::kTimeout;
+    outcome.reject.detail = outcome.reason;
+    process_modify_failure(id, flight, std::move(outcome),
+                           RejectCode::kTimeout);
+    return;
+  }
+  ++flight.retries;
+  ++flight.attempt;
+  flight.rto *= timers_.backoff;
+  ++counters_.modify_retransmits;
+  send_modify(id, flight);
+  arm_modify_timer(id, flight);
+}
+
+std::optional<SignalingOutcome> SignalingEngine::modify_outcome(
+    ConnectionId id) const {
+  const auto it = modify_outcomes_.find(id);
+  if (it == modify_outcomes_.end()) return std::nullopt;
+  return it->second;
 }
 
 bool SignalingEngine::release(ConnectionId id) {

@@ -30,6 +30,17 @@
 //     whatever was committed; reservations a lost RELEASE leaves behind
 //     die with their leases (ConnectionManager::reclaim).
 //
+// In-place renegotiation (MODIFY/MODIFY-REJECT/MODIFIED) reuses the same
+// machinery over an established connection's route: MODIFY commits the
+// *new* descriptor hop by hop under a fresh provisional id while the old
+// reservations stay untouched (make-before-break — the DeltaTransaction
+// of core/path_eval.h with release == acquire), MODIFIED triggers the
+// atomic swap at the source (ConnectionManager::complete_modify), and
+// MODIFY-REJECT or an exhausted retry budget rolls back only the
+// provisional commits — a lost MODIFY can never leave mixed old/new
+// reservations, because the old descriptor is released only after the
+// full-path verdict, and provisional residue dies with its leases.
+//
 // Messages are processed one at a time — step() — in virtual-time order,
 // so tests and examples can interleave and observe the protocol, including
 // rejection cascades.  Processing is deterministic; under a seeded
@@ -79,6 +90,10 @@ class SignalingEngine {
     std::size_t released_hops = 0;  ///< hop reservations RELEASE returned
     std::size_t lost_to_faults = 0; ///< messages the fault layer destroyed
     std::map<RejectCode, std::size_t> rejects_by_reason;
+    std::size_t modifies_sent = 0;       ///< MODIFY walks initiated
+    std::size_t modifies_completed = 0;  ///< descriptor swaps confirmed
+    std::size_t modify_retransmits = 0;  ///< MODIFYs re-sent after a loss
+    std::map<RejectCode, std::size_t> modify_rejects_by_reason;
   };
 
   explicit SignalingEngine(ConnectionManager& manager);
@@ -111,6 +126,28 @@ class SignalingEngine {
   /// records the completed teardown with TeardownReason::kRelease.
   /// Returns false for an unknown id or a release already in progress.
   bool release(ConnectionId id);
+
+  /// Queues a MODIFY walk renegotiating established connection `id` to
+  /// `new_request` over its current route and arms its retransmission
+  /// timer.  The new descriptor is committed hop by hop under a fresh
+  /// provisional id while the old reservations stay in place; only the
+  /// MODIFIED confirmation at the source performs the swap.  Returns
+  /// false for an unknown id, or one that is already being modified or
+  /// released.  Throws std::invalid_argument on a malformed descriptor
+  /// or an out-of-range priority — validation happens before the
+  /// provisional id is allocated.
+  bool modify(ConnectionId id, const QosRequest& new_request);
+
+  /// Outcome of the most recent finished MODIFY of `id` (connected ==
+  /// swap confirmed); nullopt while in flight or never modified.
+  [[nodiscard]] std::optional<SignalingOutcome> modify_outcome(
+      ConnectionId id) const;
+
+  /// Latest finished MODIFY outcome per connection id.
+  [[nodiscard]] const std::map<ConnectionId, SignalingOutcome>&
+  modify_outcomes() const noexcept {
+    return modify_outcomes_;
+  }
 
   /// Outcome of a finished attempt; nullopt while still in flight.
   [[nodiscard]] std::optional<SignalingOutcome> outcome(
@@ -169,6 +206,26 @@ class SignalingEngine {
     NodeId destination = 0;
   };
 
+  /// One in-flight MODIFY of an established connection, keyed by the
+  /// connection's *stable* id.  The new descriptor's reservations ride
+  /// under `provisional` until MODIFIED confirms the full path; the
+  /// prepared arrivals are kept per hop so the final rebind reuses
+  /// exactly what was committed.
+  struct ModifyFlight {
+    QosRequest request;  ///< the NEW descriptor being negotiated
+    ConnectionId provisional = kInvalidConnection;
+    Route route;
+    std::vector<HopRef> hops;
+    std::vector<PathEvaluator::Hop> eval_hops;
+    std::vector<HopState> hop_states;
+    std::vector<std::any> arrivals;  ///< per hop, set at commit time
+    std::uint32_t attempt = 0;
+    std::uint32_t retries = 0;
+    Tick rto = 0;
+    NodeId source = 0;
+    NodeId destination = 0;
+  };
+
   void send(SignalingMessage m, Tick transit);
   void enqueue(SignalingMessage m, Tick at);
   void deliver(const SignalingMessage& m);
@@ -185,6 +242,19 @@ class SignalingEngine {
   void arm_setup_timer(ConnectionId id, const InFlight& flight);
   void send_setup(ConnectionId id, const InFlight& flight);
 
+  void process_modify(const SignalingMessage& m);
+  void process_modify_reject(const SignalingMessage& m);
+  void process_modified(const SignalingMessage& m);
+  /// Finalizes a failed MODIFY: records the outcome, counts the reject
+  /// category, and rolls back any provisional residue via a RELEASE walk
+  /// keyed by the provisional id (the old reservations are untouched —
+  /// the rollback guarantee).
+  void process_modify_failure(ConnectionId id, ModifyFlight& flight,
+                              SignalingOutcome outcome, RejectCode category);
+  void on_modify_timer(ConnectionId id, std::uint32_t attempt);
+  void arm_modify_timer(ConnectionId id, const ModifyFlight& flight);
+  void send_modify(ConnectionId id, const ModifyFlight& flight);
+
   ConnectionManager& manager_;
   Timers timers_;
   FaultInjector* faults_;
@@ -192,10 +262,15 @@ class SignalingEngine {
   std::size_t pending_messages_ = 0;
   bool processed_message_ = false;  ///< set by deliver(), read by step()
   std::map<ConnectionId, InFlight> in_flight_;
+  /// In-flight MODIFYs by stable connection id (at most one each).
+  std::map<ConnectionId, ModifyFlight> modifying_;
   /// Routes of teardowns in progress: RELEASE walks outlive their
-  /// (already finalized) in-flight record.
+  /// (already finalized) in-flight record.  MODIFY rollbacks enter here
+  /// keyed by their *provisional* id.
   std::map<ConnectionId, std::vector<HopRef>> releasing_;
   std::map<ConnectionId, SignalingOutcome> outcomes_;
+  /// Latest finished MODIFY outcome per stable connection id.
+  std::map<ConnectionId, SignalingOutcome> modify_outcomes_;
   std::vector<SignalingMessage> trace_;
   Counters counters_;
 };

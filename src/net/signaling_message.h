@@ -7,11 +7,18 @@
 // Beyond the paper's SETUP/REJECT/CONNECTED, the fault-tolerant engine
 // adds RELEASE — sent by the source after a retransmission budget is
 // exhausted (or a failure is detected) to tear down whatever part of the
-// route was committed.  Every message additionally carries the *attempt
-// epoch* of the setup it belongs to: retransmissions bump the epoch, so a
-// stale message from an abandoned attempt can be recognized and dropped
-// instead of double-committing or double-releasing (see
-// docs/FAULT_TOLERANCE.md).
+// route was committed — and the in-place renegotiation triple
+// MODIFY/MODIFY-REJECT/MODIFIED: MODIFY walks an established
+// connection's route committing the *new* descriptor under a fresh
+// provisional id (the old reservations stay untouched until the
+// full-path verdict), MODIFY-REJECT walks back upstream releasing only
+// the provisional commits, and MODIFIED confirms the swap to the source,
+// which atomically releases the old descriptor and rebinds the new one
+// onto the stable id (the DeltaTransaction epilogue).  Every message
+// additionally carries the *attempt epoch* of the setup or modify it
+// belongs to: retransmissions bump the epoch, so a stale message from an
+// abandoned attempt can be recognized and dropped instead of
+// double-committing or double-releasing (see docs/FAULT_TOLERANCE.md).
 //
 // REJECT carries the canonical RejectReason of core/path_eval.h — the
 // same machine-readable record every admission engine produces — so the
@@ -30,7 +37,15 @@
 
 namespace rtcac {
 
-enum class SignalingMessageType { kSetup, kReject, kConnected, kRelease };
+enum class SignalingMessageType {
+  kSetup,
+  kReject,
+  kConnected,
+  kRelease,
+  kModify,        ///< renegotiation walk committing the new descriptor
+  kModifyReject,  ///< upstream walk releasing only the provisional commits
+  kModified,      ///< full-path confirmation of the descriptor swap
+};
 
 [[nodiscard]] const char* to_string(SignalingMessageType type) noexcept;
 

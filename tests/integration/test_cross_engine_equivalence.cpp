@@ -4,10 +4,13 @@
 // paths — the serial ConnectionManager, the fault-tolerant SignalingEngine
 // and the parallel sharded AdmissionEngine — are views over the SAME
 // PathEvaluator + CacPolicy core, so an identical seeded operation trace
-// must produce a bit-identical decision stream from each of them: the
-// same verdicts, the same canonical reason strings, the same RejectReason
+// — mixed setups, in-place renegotiations (MODIFY) and releases — must
+// produce a bit-identical decision stream from each of them: the same
+// verdicts, the same canonical reason strings, the same RejectReason
 // codes AND the same rejecting hop indices, under every built-in policy
-// (bitstream, peak, max_rate) and every replay thread count.
+// (bitstream, peak, max_rate) and every replay thread count.  MODIFY in
+// particular exercises the DeltaTransaction commit (release == acquire)
+// of core/path_eval.h through all three drivers.
 //
 // Any drift here means a second hop walk grew back somewhere; the
 // admission-walk lint rule (tools/rtcac_lint.py) guards the same property
@@ -105,8 +108,10 @@ QosRequest random_request(Xorshift& rng) {
   return request;
 }
 
-// Seeded check/setup/teardown trace (no deferred ops: those are an
-// AdmissionEngine-only batching concept with no signaling analogue).
+// Seeded mixed check/setup/modify/teardown trace (no deferred ops:
+// those are an AdmissionEngine-only batching concept with no signaling
+// analogue).  MODIFY targets may already be torn down — every engine
+// must report those identically too.
 std::vector<TraceOp> make_trace(std::uint64_t seed, const Net& net) {
   Xorshift rng(seed);
   std::vector<TraceOp> trace;
@@ -117,7 +122,11 @@ std::vector<TraceOp> make_trace(std::uint64_t seed, const Net& net) {
     if (pick < 2 && !setups.empty()) {
       op.kind = TraceOp::Kind::kTeardown;
       op.target = setups[rng.below(setups.size())];
-    } else if (pick < 6) {
+    } else if (pick < 4 && !setups.empty()) {
+      op.kind = TraceOp::Kind::kModify;
+      op.target = setups[rng.below(setups.size())];
+      op.request = random_request(rng);  // new descriptor, fresh priority
+    } else if (pick < 7) {
       op.kind = TraceOp::Kind::kSetup;
       op.request = random_request(rng);
       op.route = net.routes[rng.below(net.routes.size())];
@@ -130,6 +139,17 @@ std::vector<TraceOp> make_trace(std::uint64_t seed, const Net& net) {
     trace.push_back(std::move(op));
   }
   return trace;
+}
+
+/// The unknown-id rejection AdmissionEngine::renegotiate reports when a
+/// MODIFY races the connection's teardown; the serial streams mirror it
+/// so the comparison stays bit-identical.
+OpOutcome unknown_modify_outcome() {
+  OpOutcome outcome;
+  outcome.reject.code = RejectCode::kNoRoute;
+  outcome.reject.detail = "renegotiate: unknown connection id";
+  outcome.reason = outcome.reject.detail;
+  return outcome;
 }
 
 // --- one decision stream per engine -------------------------------------
@@ -152,6 +172,17 @@ std::vector<OpOutcome> manager_stream(const std::vector<TraceOp>& trace,
       case TraceOp::Kind::kSetup: {
         const auto r = cm.setup(op.request, op.route);
         ids[i] = r.accepted ? r.id : kInvalidConnection;
+        outcomes[i] = OpOutcome{r.accepted, r.reason, r.reject};
+        break;
+      }
+      case TraceOp::Kind::kModify: {
+        const ConnectionId id = ids[op.target];
+        if (id == kInvalidConnection) break;
+        if (!cm.connections().contains(id)) {
+          outcomes[i] = unknown_modify_outcome();
+          break;
+        }
+        const auto r = cm.renegotiate(id, op.request);
         outcomes[i] = OpOutcome{r.accepted, r.reason, r.reject};
         break;
       }
@@ -197,6 +228,24 @@ std::vector<OpOutcome> signaling_stream(
             OpOutcome{outcome->connected, outcome->reason, outcome->reject};
         break;
       }
+      case TraceOp::Kind::kModify: {
+        const ConnectionId id = ids[op.target];
+        if (id == kInvalidConnection) break;
+        if (!signaling.modify(id, op.request)) {
+          outcomes[i] = unknown_modify_outcome();
+          break;
+        }
+        signaling.run();
+        const auto outcome = signaling.modify_outcome(id);
+        if (!outcome.has_value()) {
+          ADD_FAILURE() << "modify op " << i << " never resolved (fault-free "
+                           "run() must settle every attempt)";
+          return outcomes;
+        }
+        outcomes[i] =
+            OpOutcome{outcome->connected, outcome->reason, outcome->reject};
+        break;
+      }
       default: {
         const ConnectionId id = ids[op.target];
         outcomes[i].accepted = id != kInvalidConnection && cm.teardown(id);
@@ -232,13 +281,27 @@ TEST_P(CrossEngineEquivalence, AllEnginesProduceIdenticalDecisionStreams) {
     const std::vector<OpOutcome> reference =
         manager_stream(trace, net, params, *policy);
 
-    // The trace must actually exercise rejections, or equivalence on the
-    // reject metadata would hold vacuously.
+    // The trace must actually exercise rejections — including rejected
+    // AND admitted renegotiations — or equivalence on the reject
+    // metadata would hold vacuously.
     std::size_t rejections = 0;
-    for (const OpOutcome& o : reference) {
+    std::size_t modifies_admitted = 0;
+    std::size_t modifies_rejected = 0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const OpOutcome& o = reference[i];
       if (!o.accepted && o.reject.code != RejectCode::kNone) ++rejections;
+      if (trace[i].kind == TraceOp::Kind::kModify) {
+        if (o.accepted) ++modifies_admitted;
+        if (!o.accepted && o.reject.code != RejectCode::kNone) {
+          ++modifies_rejected;
+        }
+      }
     }
     EXPECT_GT(rejections, 0u) << "seed " << seed << " trace too easy";
+    EXPECT_GT(modifies_admitted, 0u)
+        << "seed " << seed << " never admitted a MODIFY";
+    EXPECT_GT(modifies_rejected, 0u)
+        << "seed " << seed << " never rejected a MODIFY";
 
     const std::vector<OpOutcome> via_signaling =
         signaling_stream(trace, net, params, *policy);

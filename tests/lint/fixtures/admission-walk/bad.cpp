@@ -2,7 +2,9 @@
 //
 // admission-walk positive fixture: all three ingredients of the
 // per-hop walk (CDV accumulation, deadline comparison, GuaranteeMode
-// branch) re-implemented outside PathEvaluator.
+// branch) re-implemented outside PathEvaluator, plus a hand-rolled
+// reservation delta (release paired with acquire in one function)
+// outside the DeltaTransaction core.
 
 #include "core/path_eval.h"
 
@@ -14,6 +16,14 @@ bool hop_fits(double delay, double limit, double cdv, GuaranteeMode mode) {
     return delay + total_cdv <= request_deadline();  // expect: admission-walk
   }
   return delay < limit;
+}
+
+void swap_descriptor(SwitchCac& cac, ConnectionId id, ConnectionId fresh,
+                     const BitStream& next) {
+  cac.add(fresh, 0, 0, 0, next);
+  (void)cac.remove(id);  // expect: admission-walk
+  (void)cac.remove(fresh);
+  cac.add(id, 0, 0, 0, next);
 }
 
 }  // namespace rtcac

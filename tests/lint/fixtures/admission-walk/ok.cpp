@@ -1,7 +1,10 @@
 // lint-fixture-dest: src/net/reroute_planner.cpp
 //
 // admission-walk negative fixture: engines consume PathEvaluator's
-// Decision instead of re-deriving the walk arithmetic.
+// Decision instead of re-deriving the walk arithmetic, and a function
+// may release OR acquire reservations alone (setup/teardown) — only
+// the pair is a delta, and deltas go through the DeltaTransaction
+// core (PathEvaluator::commit_delta_hops).
 
 #include "core/path_eval.h"
 
@@ -16,6 +19,21 @@ bool hop_fits(const PathEvaluator::Decision& decision) {
 
 double slack_report(const PathEvaluator::Decision& decision) {
   return decision.slack;
+}
+
+void teardown_only(SwitchCac& cac, ConnectionId id) {
+  (void)cac.remove(id);
+}
+
+void setup_only(SwitchCac& cac, ConnectionId id, const BitStream& arrival) {
+  cac.add(id, 0, 0, 0, arrival);
+}
+
+bool renegotiate_via_core(std::span<const PathEvaluator::Hop> hops,
+                          ConnectionId id, ConnectionId provisional,
+                          std::span<std::any> arrivals) {
+  return PathEvaluator::commit_delta_hops(hops, hops, id, provisional, 0,
+                                          arrivals, 0.0);
 }
 
 }  // namespace rtcac

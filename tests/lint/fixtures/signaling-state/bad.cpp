@@ -15,4 +15,9 @@ bool SignalingEngine::tidy(ConnectionId id) {
   return in_flight_.erase(id) != 0;  // expect: signaling-state
 }
 
+void SignalingEngine::scrub(ConnectionId id) {
+  modifying_.erase(id);  // expect: signaling-state
+  modify_outcomes_.insert_or_assign(id, SignalingOutcome{});  // expect: signaling-state
+}
+
 }  // namespace rtcac

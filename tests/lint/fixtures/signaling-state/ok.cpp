@@ -1,8 +1,8 @@
 // lint-fixture-dest: src/net/signaling.cpp
 //
 // signaling-state negative fixture: the same mutations are fine on
-// handler paths (initiate / release / process_* / on_*), and reads of
-// protocol state are fine anywhere.
+// handler paths (initiate / release / modify* / process_* / on_*), and
+// reads of protocol state are fine anywhere.
 
 #include "net/signaling.h"
 
@@ -20,8 +20,18 @@ void SignalingEngine::on_timer(ConnectionId id) {
   releasing_.erase(id);
 }
 
+bool SignalingEngine::modify(ConnectionId id) {
+  modifying_.emplace(id, ModifyFlight{});
+  return true;
+}
+
+void SignalingEngine::process_modified(ConnectionId id) {
+  modify_outcomes_.insert_or_assign(id, SignalingOutcome{});
+  modifying_.erase(id);
+}
+
 bool SignalingEngine::is_pending(ConnectionId id) const {
-  return in_flight_.count(id) != 0;
+  return in_flight_.count(id) != 0 && !modifying_.contains(id);
 }
 
 }  // namespace rtcac

@@ -401,6 +401,24 @@ std::vector<OpOutcome> oracle_replay(const std::vector<TraceOp>& trace,
         outcomes[i].accepted = live;
         break;
       }
+      case TraceOp::Kind::kModify: {
+        const bool live = id != kInvalidConnection &&
+                          cm.connections().contains(id) &&
+                          !retired.contains(id);
+        if (!live) {
+          // Mirror the engine's unknown-id rejection so a MODIFY racing
+          // a teardown still compares bit-identically.
+          if (id != kInvalidConnection) {
+            outcomes[i].reject.code = RejectCode::kNoRoute;
+            outcomes[i].reject.detail = "renegotiate: unknown connection id";
+            outcomes[i].reason = outcomes[i].reject.detail;
+          }
+          break;
+        }
+        const auto r = cm.renegotiate(id, op.request);
+        outcomes[i] = OpOutcome{r.accepted, r.reason, r.reject};
+        break;
+      }
       case TraceOp::Kind::kDrain:
         for (const ConnectionId d : deferred) {
           (void)cm.teardown(d);

@@ -25,13 +25,14 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
                     Every header starts with #pragma once.
 
   signaling-state   In src/net/signaling.cpp the engine's protocol
-                    state (in_flight_, outcomes_, releasing_) may be
-                    mutated only inside SignalingEngine member
-                    functions named initiate, release, process_* or
-                    on_* — every state transition must sit on a
-                    message- or timer-driven handler path
-                    (docs/FAULT_TOLERANCE.md), not in accessors or
-                    plumbing.
+                    state (in_flight_, outcomes_, releasing_, and the
+                    renegotiation ledgers modifying_ /
+                    modify_outcomes_) may be mutated only inside
+                    SignalingEngine member functions named initiate,
+                    release, modify*, process_* or on_* — every state
+                    transition must sit on a message- or timer-driven
+                    handler path (docs/FAULT_TOLERANCE.md), not in
+                    accessors or plumbing.
 
   reroute-state     In src/net/reroute.cpp the coordinator's recovery
                     state (down_nodes_, down_links_, pending_,
@@ -75,6 +76,14 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
                     across ConnectionManager, SignalingEngine and
                     AdmissionEngine.  Engines consume PathEvaluator's
                     Decision/RejectReason instead (docs/ARCHITECTURE.md).
+                    Likewise, no function outside that home may pair a
+                    reservation RELEASE (.remove() / release_path) with
+                    a reservation ACQUIRE (.add() / commit_hop) — a
+                    release/acquire pair is a delta, and deltas execute
+                    only through the DeltaTransaction core
+                    (PathEvaluator::commit_delta_hops / finalize_delta),
+                    which is what makes every reroute/renegotiation
+                    make-before-break by construction.
 
   concurrency-state Threading primitives (std::mutex, std::shared_mutex,
                     std::thread, std::atomic, std::condition_variable,
@@ -156,11 +165,12 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
 # and what a mutation of them looks like.
 SIGNALING_FUNC_RE = re.compile(r"\bSignalingEngine::(\w+)\s*\(")
 SIGNALING_MUTATION_RE = re.compile(
-    r"\b(?:in_flight_|outcomes_|releasing_)\s*"
-    r"(?:\.\s*(?:emplace|try_emplace|insert|erase|clear|extract|merge|"
-    r"swap)\s*\(|\[)"
+    r"\b(?:in_flight_|outcomes_|releasing_|modifying_|modify_outcomes_)\s*"
+    r"(?:\.\s*(?:emplace|try_emplace|insert|insert_or_assign|erase|clear|"
+    r"extract|merge|swap)\s*\(|\[)"
 )
-SIGNALING_HANDLER_PREFIXES = ("process_", "on_", "initiate", "release")
+SIGNALING_HANDLER_PREFIXES = ("process_", "on_", "initiate", "release",
+                              "modify")
 
 # reroute-state: which RerouteCoordinator member we are inside, which
 # members form the survivability-layer state, and what mutating them
@@ -220,6 +230,15 @@ ACCUMULATE_CDV_DEF = (
     ("src", "core", "cdv.cpp"),
 )
 ACCUMULATE_CDV_RE = re.compile(r"\baccumulate_cdv\s*\(")
+# A reservation release paired with a reservation acquire in ONE
+# function is a hand-rolled delta; those go through the DeltaTransaction
+# core (PathEvaluator::commit_delta_hops / finalize_delta) so the
+# make-before-break ordering cannot be reinvented wrong.  Either half
+# alone is fine (setup only acquires, teardown only releases).
+RESERVATION_RELEASE_RE = re.compile(
+    r"(?:\.|->)\s*remove\s*\(|\brelease_path\s*\(")
+RESERVATION_ACQUIRE_RE = re.compile(
+    r"(?:\.|->)\s*add\s*\(|\bcommit_hop\s*\(")
 DEADLINE_CMP_RE = re.compile(
     r"(?:<=|>=|<|(?<!-)>)\s*(?:[\w.]|->)*deadline\w*\b"
     r"|\b(?:[\w.]|->)*deadline\w*(?:\[\w+\])?\s*(?:<=|>=|[<>])")
@@ -388,6 +407,12 @@ class Linter:
         current_qualified = ""
         in_lockset = False
         shard_guard_count = 0
+        # admission-walk delta bookkeeping: whether the function being
+        # scanned has released and/or acquired a reservation, and
+        # whether the pair has already been reported (once per
+        # function — the line completing the pair is the finding).
+        walk_fn = ""
+        walk_released = walk_acquired = walk_pair_reported = False
         is_header = path.suffix == ".h"
         text = path.read_text(encoding="utf-8")
         lines = text.splitlines()
@@ -449,6 +474,27 @@ class Linter:
                         "(src/core/path_eval.*); the advertised-vs-"
                         "computed split is PathEvaluator's to make",
                         comment_text)
+                if code and not code[0].isspace() and "(" in code:
+                    m = QUALIFIED_DEF_RE.search(code)
+                    walk_fn = m.group(1) if m else ""
+                    walk_released = walk_acquired = False
+                    walk_pair_reported = False
+                if RESERVATION_RELEASE_RE.search(code):
+                    walk_released = True
+                if RESERVATION_ACQUIRE_RE.search(code):
+                    walk_acquired = True
+                if (walk_released and walk_acquired
+                        and not walk_pair_reported):
+                    self.report(
+                        path, lineno, "admission-walk",
+                        "reservation release/acquire pair in '"
+                        f"{walk_fn or '<file scope>'}' outside the "
+                        "DeltaTransaction core (src/core/path_eval.*); "
+                        "express the swap as a DeltaTransaction "
+                        "(PathEvaluator::commit_delta_hops / "
+                        "finalize_delta) so it stays make-before-break",
+                        comment_text)
+                    walk_pair_reported = True
 
             if not is_lock_wrapper:
                 if code and not code[0].isspace() and "(" in code:
